@@ -1,0 +1,50 @@
+//! Baseline approaches to reasoning with inconsistent ontologies — the
+//! three families §1 and §5 of the paper position SHOIN(D)4 against:
+//!
+//! 1. [`classical`] — do nothing: a classical reasoner on an inconsistent
+//!    KB entails *everything* (the triviality the paper opens with);
+//! 2. [`mcs`] — reason with consistent subsets: maximal consistent
+//!    subsets (skeptical / credulous), and Huang-style syntactic-relevance
+//!    selection;
+//! 3. [`stratified`] — Benferhat-style possibilistic stratification:
+//!    keep the reliable strata, drop everything at and below the
+//!    inconsistency level.
+//!
+//! All baselines answer the same interface so the benchmark harness can
+//! compare *meaningful answer rates* on KBs with injected contradictions
+//! (experiment X1 in DESIGN.md).
+
+pub mod classical;
+pub mod mcs;
+pub mod stratified;
+
+use dl::Axiom;
+use tableau::ReasonerError;
+
+/// A yes/no/degenerate answer from a baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Answer {
+    /// Entailed for a meaningful reason.
+    Yes,
+    /// Not entailed.
+    No,
+    /// The method degenerated (e.g. classical explosion: "yes, but only
+    /// because everything is entailed").
+    Trivial,
+}
+
+impl Answer {
+    /// Did the method produce usable information?
+    pub fn is_meaningful(self) -> bool {
+        !matches!(self, Answer::Trivial)
+    }
+}
+
+/// Common interface over the baselines.
+pub trait InconsistencyBaseline {
+    /// Human-readable method name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Answer an entailment query over the (possibly inconsistent) KB.
+    fn entails(&mut self, query: &Axiom) -> Result<Answer, ReasonerError>;
+}

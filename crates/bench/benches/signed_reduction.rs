@@ -1,0 +1,69 @@
+//! Experiment X3 (substituted eval): the propositional signed reduction —
+//! four-valued entailment via classical DPLL vs exhaustive `4^n`
+//! enumeration. The shape to verify: enumeration explodes exponentially
+//! in the atom count while the reduction stays flat on these instances —
+//! the *reason* the paper's reduction strategy matters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fourval::consequence::entails4;
+use fourval::prop::Formula;
+use fourval::signed::entails4_signed;
+use std::hint::black_box;
+
+/// Γ = pairwise exclusions over n atoms plus a chain of internal
+/// implications; query: the chain's conclusion.
+fn instance(n: usize) -> (Vec<Formula>, Formula) {
+    let atoms: Vec<Formula> = (0..n).map(|i| Formula::atom(format!("x{i}"))).collect();
+    let mut premises = Vec::new();
+    premises.push(atoms[0].clone());
+    for w in atoms.windows(2) {
+        premises.push(w[0].clone().internal_imp(w[1].clone()));
+    }
+    (premises, atoms[n - 1].clone())
+}
+
+fn bench_signed_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("X3_signed_reduction");
+    group.sample_size(10);
+    let mut rows = Vec::new();
+    for &n in &[4usize, 6, 8, 10] {
+        let (premises, conclusion) = instance(n);
+        // Both decide the same question…
+        assert_eq!(
+            entails4_signed(&premises, &conclusion),
+            entails4(&premises, &conclusion)
+        );
+        group.bench_with_input(
+            BenchmarkId::new("enumeration_4_pow_n", n),
+            &n,
+            |b, _| {
+                b.iter(|| black_box(entails4(black_box(&premises), &conclusion)))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("signed_dpll", n), &n, |b, _| {
+            b.iter(|| black_box(entails4_signed(black_box(&premises), &conclusion)))
+        });
+        for (series, f) in [
+            ("enumeration", entails4 as fn(&[Formula], &Formula) -> bool),
+            ("signed_dpll", entails4_signed),
+        ] {
+            let start = std::time::Instant::now();
+            let reps = 5;
+            for _ in 0..reps {
+                black_box(f(&premises, &conclusion));
+            }
+            rows.push(bench::ExperimentRow {
+                experiment: "X3".into(),
+                x: n as f64,
+                series: series.into(),
+                value: start.elapsed().as_micros() as f64 / reps as f64,
+                unit: "us/query".into(),
+            });
+        }
+    }
+    group.finish();
+    bench::write_rows("x3_signed_reduction", &rows).expect("write rows");
+}
+
+criterion_group!(benches, bench_signed_reduction);
+criterion_main!(benches);

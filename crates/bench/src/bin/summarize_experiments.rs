@@ -1,0 +1,77 @@
+//! Summarize the machine-generated experiment rows
+//! (`target/experiments/*.jsonl`, written by the benches) into markdown
+//! tables — the data half of EXPERIMENTS.md.
+//!
+//! Rows are appended on every bench run; the summarizer keeps the *last*
+//! row per (experiment, series, x), i.e. the most recent measurement.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+#[derive(serde::Deserialize)]
+struct Row {
+    experiment: String,
+    x: f64,
+    series: String,
+    value: f64,
+    unit: String,
+}
+
+fn main() -> std::io::Result<()> {
+    let dir = Path::new("target").join("experiments");
+    let mut latest: BTreeMap<(String, String, u64), (f64, String)> = BTreeMap::new();
+    if dir.exists() {
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().is_none_or(|e| e != "jsonl") {
+                continue;
+            }
+            for line in std::fs::read_to_string(&path)?.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let row: Row = match serde_json::from_str(line) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("skipping malformed row in {path:?}: {e}");
+                        continue;
+                    }
+                };
+                latest.insert(
+                    (row.experiment, row.series, row.x.to_bits()),
+                    (row.value, row.unit),
+                );
+            }
+        }
+    }
+    if latest.is_empty() {
+        println!("(no experiment rows found — run `cargo bench --workspace` first)");
+        return Ok(());
+    }
+    // Group by experiment.
+    let mut by_exp: BTreeMap<String, Vec<(String, f64, f64, String)>> = BTreeMap::new();
+    for ((exp, series, xbits), (value, unit)) in latest {
+        by_exp.entry(exp).or_default().push((
+            series,
+            f64::from_bits(xbits),
+            value,
+            unit,
+        ));
+    }
+    for (exp, mut rows) in by_exp {
+        rows.sort_by(|a, b| (a.0.clone(), a.1.total_cmp(&b.1)).partial_cmp(&(b.0.clone(), b.1.total_cmp(&b.1))).unwrap_or(std::cmp::Ordering::Equal));
+        rows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        println!("### Experiment {exp}\n");
+        println!("| series | x | value | unit |");
+        println!("|---|---:|---:|---|");
+        for (series, x, value, unit) in rows {
+            if value.is_nan() {
+                println!("| {series} | {x} | (skipped) | {unit} |");
+            } else {
+                println!("| {series} | {x} | {value:.1} | {unit} |");
+            }
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Shared support for the benchmark harness.
+//!
+//! The actual benchmarks live in `benches/` (one Criterion target per
+//! experiment id from DESIGN.md §3). This library provides the pieces
+//! they share: experiment-row records serialized to JSON so EXPERIMENTS.md
+//! can cite machine-generated numbers.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// One measured row of an experiment, written to `target/experiments/`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentRow {
+    /// Experiment id from DESIGN.md (e.g. "C1", "X1").
+    pub experiment: String,
+    /// The independent variable (size, rate, …).
+    pub x: f64,
+    /// Label of the series (method/config name).
+    pub series: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit of `value`.
+    pub unit: String,
+}
+
+/// Append rows to `target/experiments/<name>.jsonl` (one JSON object per
+/// line). Benches call this with their summary rows so the repo's
+/// EXPERIMENTS.md numbers are regenerable.
+pub fn write_rows(name: &str, rows: &[ExperimentRow]) -> std::io::Result<()> {
+    let dir = Path::new("target").join("experiments");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.jsonl"));
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    for row in rows {
+        let line = serde_json::to_string(row).expect("rows serialize");
+        writeln!(f, "{line}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_serialize_to_json() {
+        let row = ExperimentRow {
+            experiment: "C1".into(),
+            x: 100.0,
+            series: "memoized".into(),
+            value: 1.5,
+            unit: "us".into(),
+        };
+        let s = serde_json::to_string(&row).unwrap();
+        assert!(s.contains("\"experiment\":\"C1\""));
+    }
+}

@@ -1,0 +1,343 @@
+//! The `shoin4` command-line reasoner: load a SHOIN(D)4 ontology in the
+//! text syntax and ask it things — satisfiability, four-valued queries,
+//! contradiction reports, the classical translation, format conversion,
+//! and the paper's Table 4.
+//!
+//! The command surface is a thin, fully testable library: [`run`] takes
+//! the argument vector and returns the output text (or a [`CliError`]),
+//! and `main.rs` only does I/O plumbing.
+
+use dl::IndividualName;
+use fourval::TruthValue;
+use shoin4::analysis::{classify4, contradiction_report};
+use shoin4::{parse_kb4, KnowledgeBase4, Reasoner4};
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Errors surfaced to the user with exit code 1.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad usage; the string is the usage text.
+    Usage(String),
+    /// File I/O failure.
+    Io(String, std::io::Error),
+    /// Ontology parse failure.
+    Parse(String),
+    /// Reasoning hit a resource limit.
+    Reasoning(tableau::ReasonerError),
+    /// Snapshot decode failure.
+    Snapshot(dl::snapshot::SnapshotError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(u) => write!(f, "{u}"),
+            CliError::Io(path, e) => write!(f, "{path}: {e}"),
+            CliError::Parse(e) => write!(f, "parse error: {e}"),
+            CliError::Reasoning(e) => write!(f, "reasoning aborted: {e}"),
+            CliError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+        }
+    }
+}
+
+impl From<tableau::ReasonerError> for CliError {
+    fn from(e: tableau::ReasonerError) -> Self {
+        CliError::Reasoning(e)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "shoin4 — paraconsistent OWL DL reasoner (SHOIN(D)4)
+
+USAGE:
+    shoin4 check <ontology>                  satisfiability + statistics
+    shoin4 query <ontology> <ind> <concept>  four-valued instance query
+    shoin4 report <ontology>                 contradiction survey (⊤ map)
+    shoin4 classify <ontology>               internal-inclusion taxonomy
+    shoin4 transform <ontology>              print the classical induced KB
+    shoin4 convert <in> <out>                text ⇄ binary snapshot (.dlkb)
+    shoin4 table4                            regenerate the paper's Table 4
+
+Ontologies use the line-based Manchester-like syntax (see README).";
+
+fn load_kb4(path: &str, read: &dyn Fn(&str) -> std::io::Result<Vec<u8>>) -> Result<KnowledgeBase4, CliError> {
+    let bytes = read(path).map_err(|e| CliError::Io(path.to_string(), e))?;
+    if Path::new(path).extension().is_some_and(|e| e == "dlkb") {
+        let kb = dl::snapshot::decode(&bytes).map_err(CliError::Snapshot)?;
+        return Ok(KnowledgeBase4::from_classical(
+            &kb,
+            shoin4::InclusionKind::Internal,
+        ));
+    }
+    let text = String::from_utf8(bytes)
+        .map_err(|_| CliError::Parse(format!("{path} is not UTF-8")))?;
+    parse_kb4(&text).map_err(|e| CliError::Parse(e.to_string()))
+}
+
+fn truth_gloss(v: TruthValue) -> &'static str {
+    match v {
+        TruthValue::True => "t (information: yes)",
+        TruthValue::False => "f (information: no)",
+        TruthValue::Both => "⊤ (contradictory information)",
+        TruthValue::Neither => "⊥ (no information)",
+    }
+}
+
+/// Run a command line (without the program name). `read`/`write` abstract
+/// the filesystem so tests can run hermetically.
+pub fn run_with_fs(
+    args: &[String],
+    read: &dyn Fn(&str) -> std::io::Result<Vec<u8>>,
+    write: &mut dyn FnMut(&str, &[u8]) -> std::io::Result<()>,
+) -> Result<String, CliError> {
+    let mut out = String::new();
+    match args {
+        [cmd, path] if cmd == "check" => {
+            let kb = load_kb4(path, read)?;
+            let mut r = Reasoner4::new(&kb);
+            let sat = r.is_satisfiable()?;
+            writeln!(out, "axioms:       {}", kb.len()).unwrap();
+            writeln!(out, "size:         {}", kb.size()).unwrap();
+            writeln!(out, "satisfiable:  {sat}").unwrap();
+            let stats = r.stats();
+            writeln!(
+                out,
+                "tableau:      {} nodes, {} rule applications, {} branches",
+                stats.nodes_created, stats.rule_applications, stats.branches
+            )
+            .unwrap();
+        }
+        [cmd, path, ind, concept] if cmd == "query" => {
+            let kb = load_kb4(path, read)?;
+            let c = dl::parser::parse_concept(concept)
+                .map_err(|e| CliError::Parse(e.to_string()))?;
+            let mut r = Reasoner4::new(&kb);
+            let v = r.query(&IndividualName::new(ind.as_str()), &c)?;
+            writeln!(out, "{ind} : {c} = {}", truth_gloss(v)).unwrap();
+        }
+        [cmd, path] if cmd == "report" => {
+            let kb = load_kb4(path, read)?;
+            let mut r = Reasoner4::new(&kb);
+            let report = contradiction_report(&mut r, &kb)?;
+            writeln!(
+                out,
+                "{} facts surveyed: {} contested, {} asserted, {} denied, {} unknown",
+                report.total(),
+                report.contested.len(),
+                report.asserted.len(),
+                report.denied.len(),
+                report.unknown
+            )
+            .unwrap();
+            writeln!(out, "contamination: {:.1}%", 100.0 * report.contamination())
+                .unwrap();
+            for (who, what) in &report.contested {
+                writeln!(out, "  ⊤  {who} : {what}").unwrap();
+            }
+        }
+        [cmd, path] if cmd == "classify" => {
+            let kb = load_kb4(path, read)?;
+            let mut r = Reasoner4::new(&kb);
+            let taxonomy = classify4(&mut r, &kb)?;
+            for (class, supers) in &taxonomy {
+                let proper: Vec<String> = supers
+                    .iter()
+                    .filter(|s| s.as_str() != class.as_str())
+                    .map(ToString::to_string)
+                    .collect();
+                if proper.is_empty() {
+                    writeln!(out, "{class}").unwrap();
+                } else {
+                    writeln!(out, "{class} ⊏ {}", proper.join(", ")).unwrap();
+                }
+            }
+        }
+        [cmd, path] if cmd == "transform" => {
+            let kb = load_kb4(path, read)?;
+            let induced = shoin4::transform_kb(&kb);
+            out.push_str(&dl::printer::print_kb(&induced));
+        }
+        [cmd, input, output] if cmd == "convert" => {
+            let to_binary = Path::new(output).extension().is_some_and(|e| e == "dlkb");
+            let bytes = read(input).map_err(|e| CliError::Io(input.clone(), e))?;
+            let from_binary = Path::new(input).extension().is_some_and(|e| e == "dlkb");
+            let kb = if from_binary {
+                dl::snapshot::decode(&bytes).map_err(CliError::Snapshot)?
+            } else {
+                let text = String::from_utf8(bytes)
+                    .map_err(|_| CliError::Parse(format!("{input} is not UTF-8")))?;
+                dl::parser::parse_kb(&text).map_err(|e| CliError::Parse(e.to_string()))?
+            };
+            let payload: Vec<u8> = if to_binary {
+                dl::snapshot::encode(&kb).to_vec()
+            } else {
+                dl::printer::print_kb(&kb).into_bytes()
+            };
+            write(output, &payload).map_err(|e| CliError::Io(output.clone(), e))?;
+            writeln!(
+                out,
+                "wrote {} ({} axioms, {} bytes)",
+                output,
+                kb.len(),
+                payload.len()
+            )
+            .unwrap();
+        }
+        [cmd] if cmd == "table4" => {
+            out.push_str(&fourmodels::table4::render_table4());
+        }
+        _ => return Err(CliError::Usage(USAGE.to_string())),
+    }
+    Ok(out)
+}
+
+/// Run against the real filesystem.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    run_with_fs(
+        args,
+        &|p| std::fs::read(p),
+        &mut |p, bytes| std::fs::write(p, bytes),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+
+    /// An in-memory filesystem for hermetic CLI tests.
+    struct MemFs {
+        files: RefCell<BTreeMap<String, Vec<u8>>>,
+    }
+
+    impl MemFs {
+        fn new(files: &[(&str, &str)]) -> Self {
+            MemFs {
+                files: RefCell::new(
+                    files
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.as_bytes().to_vec()))
+                        .collect(),
+                ),
+            }
+        }
+
+        fn run(&self, args: &[&str]) -> Result<String, CliError> {
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            let read = |p: &str| -> std::io::Result<Vec<u8>> {
+                self.files.borrow().get(p).cloned().ok_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::NotFound, "not found")
+                })
+            };
+            let files = &self.files;
+            let mut write = |p: &str, bytes: &[u8]| -> std::io::Result<()> {
+                files.borrow_mut().insert(p.to_string(), bytes.to_vec());
+                Ok(())
+            };
+            run_with_fs(&args, &read, &mut write)
+        }
+    }
+
+    const MEDICAL: &str = "SurgicalTeam SubClassOf not ReadPatientRecordTeam
+UrgencyTeam SubClassOf ReadPatientRecordTeam
+john : SurgicalTeam
+john : UrgencyTeam";
+
+    #[test]
+    fn check_reports_satisfiability() {
+        let fs = MemFs::new(&[("kb.dl4", MEDICAL)]);
+        let out = fs.run(&["check", "kb.dl4"]).unwrap();
+        assert!(out.contains("satisfiable:  true"), "{out}");
+        assert!(out.contains("axioms:       4"), "{out}");
+    }
+
+    #[test]
+    fn query_gives_four_valued_answer() {
+        let fs = MemFs::new(&[("kb.dl4", MEDICAL)]);
+        let out = fs
+            .run(&["query", "kb.dl4", "john", "ReadPatientRecordTeam"])
+            .unwrap();
+        assert!(out.contains('⊤'), "{out}");
+        let out = fs.run(&["query", "kb.dl4", "john", "Patient"]).unwrap();
+        assert!(out.contains('⊥'), "{out}");
+    }
+
+    #[test]
+    fn report_lists_contested_facts() {
+        let fs = MemFs::new(&[("kb.dl4", MEDICAL)]);
+        let out = fs.run(&["report", "kb.dl4"]).unwrap();
+        assert!(out.contains("⊤  john : ReadPatientRecordTeam"), "{out}");
+        assert!(out.contains("contamination"), "{out}");
+    }
+
+    #[test]
+    fn transform_prints_induced_kb() {
+        let fs = MemFs::new(&[("kb.dl4", MEDICAL)]);
+        let out = fs.run(&["transform", "kb.dl4"]).unwrap();
+        assert!(
+            out.contains("SurgicalTeam+ SubClassOf ReadPatientRecordTeam-"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn classify_prints_taxonomy() {
+        let fs = MemFs::new(&[(
+            "kb.dl4",
+            "Surgeon SubClassOf Doctor\nDoctor SubClassOf Person",
+        )]);
+        let out = fs.run(&["classify", "kb.dl4"]).unwrap();
+        assert!(out.contains("Surgeon ⊏ Doctor, Person"), "{out}");
+    }
+
+    #[test]
+    fn convert_round_trips_through_snapshot() {
+        let fs = MemFs::new(&[("kb.dl", "A SubClassOf B\nx : A")]);
+        let out = fs.run(&["convert", "kb.dl", "kb.dlkb"]).unwrap();
+        assert!(out.contains("wrote kb.dlkb"), "{out}");
+        let out = fs.run(&["convert", "kb.dlkb", "back.dl"]).unwrap();
+        assert!(out.contains("2 axioms"), "{out}");
+        let files = fs.files.borrow();
+        let text = String::from_utf8(files["back.dl"].clone()).unwrap();
+        assert!(text.contains("A SubClassOf B"));
+        // And the snapshot can be loaded directly by `check`.
+        drop(files);
+        let out = fs.run(&["check", "kb.dlkb"]).unwrap();
+        assert!(out.contains("satisfiable:  true"), "{out}");
+    }
+
+    #[test]
+    fn table4_renders() {
+        let fs = MemFs::new(&[]);
+        let out = fs.run(&["table4"]).unwrap();
+        assert!(out.contains("M1-M4"), "{out}");
+        assert!(out.contains("M9"), "{out}");
+    }
+
+    #[test]
+    fn usage_on_bad_args() {
+        let fs = MemFs::new(&[]);
+        assert!(matches!(fs.run(&["bogus"]), Err(CliError::Usage(_))));
+        assert!(matches!(fs.run(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let fs = MemFs::new(&[]);
+        assert!(matches!(
+            fs.run(&["check", "nope.dl4"]),
+            Err(CliError::Io(..))
+        ));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let fs = MemFs::new(&[("bad.dl4", "A SubClassOf\n")]);
+        let err = fs.run(&["check", "bad.dl4"]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+    }
+}

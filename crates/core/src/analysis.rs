@@ -1,0 +1,175 @@
+//! Ontology analysis on top of the paraconsistent reasoner:
+//! contradiction diagnosis and four-valued classification.
+//!
+//! Because SHOIN(D)4 keeps inconsistent KBs non-trivial, it can do what a
+//! classical reasoner cannot: *survey* a contradictory ontology — which
+//! facts are contested (`⊤`), which are clean, how contaminated the KB is
+//! overall. This is the practical payoff of "the inconsistencies are
+//! localized" (§5).
+
+use crate::kb4::KnowledgeBase4;
+use crate::reasoner4::Reasoner4;
+use dl::name::{ConceptName, IndividualName};
+use dl::Concept;
+use fourval::TruthValue;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use tableau::ReasonerError;
+
+/// A survey of the KB's atomic facts: every individual × atomic-concept
+/// pair in the signature, with its four-valued verdict.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ContradictionReport {
+    /// Facts with contradictory information (`⊤`).
+    pub contested: Vec<(IndividualName, ConceptName)>,
+    /// Facts with positive-only information (`t`).
+    pub asserted: Vec<(IndividualName, ConceptName)>,
+    /// Facts with negative-only information (`f`).
+    pub denied: Vec<(IndividualName, ConceptName)>,
+    /// Number of pairs with no information (`⊥`).
+    pub unknown: usize,
+}
+
+impl ContradictionReport {
+    /// Total pairs surveyed.
+    pub fn total(&self) -> usize {
+        self.contested.len() + self.asserted.len() + self.denied.len() + self.unknown
+    }
+
+    /// Fraction of surveyed facts that are contested — a simple
+    /// inconsistency degree in `[0, 1]`.
+    pub fn contamination(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        self.contested.len() as f64 / self.total() as f64
+    }
+}
+
+/// Survey every individual × atomic concept of the KB's signature.
+pub fn contradiction_report(
+    reasoner: &mut Reasoner4,
+    kb: &KnowledgeBase4,
+) -> Result<ContradictionReport, ReasonerError> {
+    let sig = kb.signature();
+    let mut report = ContradictionReport::default();
+    for a in &sig.individuals {
+        for c in &sig.concepts {
+            let v = reasoner.query(a, &Concept::atomic(c.as_str()))?;
+            match v {
+                TruthValue::Both => report.contested.push((a.clone(), c.clone())),
+                TruthValue::True => report.asserted.push((a.clone(), c.clone())),
+                TruthValue::False => report.denied.push((a.clone(), c.clone())),
+                TruthValue::Neither => report.unknown += 1,
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Four-valued classification: the internal-inclusion (`⊏`) taxonomy over
+/// the named concepts, computed via Corollary 7. Returns, for each
+/// concept, its (reflexive) set of super-concepts.
+pub fn classify4(
+    reasoner: &mut Reasoner4,
+    kb: &KnowledgeBase4,
+) -> Result<BTreeMap<ConceptName, Vec<ConceptName>>, ReasonerError> {
+    let sig = kb.signature();
+    let names: Vec<ConceptName> = sig.concepts.into_iter().collect();
+    let mut out = BTreeMap::new();
+    for a in &names {
+        let mut supers = Vec::new();
+        for b in &names {
+            let ax = crate::kb4::Axiom4::ConceptInclusion(
+                crate::inclusion::InclusionKind::Internal,
+                Concept::atomic(a.as_str()),
+                Concept::atomic(b.as_str()),
+            );
+            if reasoner.entails(&ax)? {
+                supers.push(b.clone());
+            }
+        }
+        out.insert(a.clone(), supers);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_kb4;
+
+    #[test]
+    fn report_splits_facts_by_verdict() {
+        let kb = parse_kb4(
+            "A SubClassOf B
+             x : A
+             x : not A
+             y : B
+             z : not B",
+        )
+        .unwrap();
+        let mut r = Reasoner4::new(&kb);
+        let report = contradiction_report(&mut r, &kb).unwrap();
+        // x:A is contested; x:B is asserted (via inclusion from the
+        // positive half); y:B asserted; z:B denied.
+        assert!(report
+            .contested
+            .contains(&(IndividualName::new("x"), ConceptName::new("A"))));
+        assert!(report
+            .asserted
+            .contains(&(IndividualName::new("x"), ConceptName::new("B"))));
+        assert!(report
+            .asserted
+            .contains(&(IndividualName::new("y"), ConceptName::new("B"))));
+        assert!(report
+            .denied
+            .contains(&(IndividualName::new("z"), ConceptName::new("B"))));
+        assert_eq!(report.total(), 6); // 3 individuals × 2 concepts
+        assert!(report.contamination() > 0.0 && report.contamination() < 0.5);
+    }
+
+    #[test]
+    fn clean_kb_has_zero_contamination() {
+        let kb = parse_kb4("A SubClassOf B\nx : A").unwrap();
+        let mut r = Reasoner4::new(&kb);
+        let report = contradiction_report(&mut r, &kb).unwrap();
+        assert!(report.contested.is_empty());
+        assert_eq!(report.contamination(), 0.0);
+    }
+
+    #[test]
+    fn classification_respects_internal_taxonomy() {
+        let kb = parse_kb4(
+            "Surgeon SubClassOf Doctor
+             Doctor SubClassOf Person
+             Nurse SubClassOf Person",
+        )
+        .unwrap();
+        let mut r = Reasoner4::new(&kb);
+        let taxonomy = classify4(&mut r, &kb).unwrap();
+        let supers = &taxonomy[&ConceptName::new("Surgeon")];
+        assert!(supers.contains(&ConceptName::new("Doctor")));
+        assert!(supers.contains(&ConceptName::new("Person")));
+        assert!(supers.contains(&ConceptName::new("Surgeon")));
+        assert!(!taxonomy[&ConceptName::new("Nurse")]
+            .contains(&ConceptName::new("Doctor")));
+    }
+
+    #[test]
+    fn classification_survives_contradictions() {
+        // The headline: classification still works on inconsistent input.
+        let kb = parse_kb4(
+            "Surgeon SubClassOf Doctor
+             Doctor SubClassOf Person
+             x : Surgeon
+             x : not Surgeon",
+        )
+        .unwrap();
+        let mut r = Reasoner4::new(&kb);
+        assert!(r.is_satisfiable().unwrap());
+        let taxonomy = classify4(&mut r, &kb).unwrap();
+        assert!(taxonomy[&ConceptName::new("Surgeon")]
+            .contains(&ConceptName::new("Person")));
+    }
+}

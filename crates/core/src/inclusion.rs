@@ -1,0 +1,91 @@
+//! The three inclusion kinds of SHOIN(D)4 (§3.1 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which implication of `FOUR` an inclusion axiom corresponds to.
+///
+/// Exactness increases `Material < Internal < Strong`:
+///
+/// * `Material` (`C ↦ D`): *birds fly* — admits exceptions; an individual
+///   contradictorily asserted to be a non-bird escapes the conclusion.
+/// * `Internal` (`C ⊏ D`): *every bird must fly* — no exceptions, but
+///   learning something cannot fly says nothing about its birdhood.
+/// * `Strong` (`C → D`): exception-free **and** contraposable — a
+///   non-flyer is a non-bird.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum InclusionKind {
+    /// `C ↦ D` — `¬C ⊔ D` reading; tolerates exceptions.
+    Material,
+    /// `C ⊏ D` — the four-valued counterpart of the classical `⊑`.
+    Internal,
+    /// `C → D` — internal plus contraposition.
+    Strong,
+}
+
+impl InclusionKind {
+    /// All three kinds, in increasing exactness.
+    pub const ALL: [InclusionKind; 3] = [
+        InclusionKind::Material,
+        InclusionKind::Internal,
+        InclusionKind::Strong,
+    ];
+
+    /// The paper's symbol for this inclusion.
+    pub const fn symbol(self) -> &'static str {
+        match self {
+            InclusionKind::Material => "↦",
+            InclusionKind::Internal => "⊏",
+            InclusionKind::Strong => "→",
+        }
+    }
+
+    /// The concrete-syntax keyword used by [`crate::parse_kb4`].
+    pub const fn keyword(self) -> &'static str {
+        match self {
+            InclusionKind::Material => "MaterialSubClassOf",
+            InclusionKind::Internal => "SubClassOf",
+            InclusionKind::Strong => "StrongSubClassOf",
+        }
+    }
+
+    /// Does this kind imply the conclusions of `other` in every model?
+    /// (Strong ⇒ Internal; Material is incomparable to both — it neither
+    /// implies nor is implied by the exception-free kinds.)
+    pub fn at_least_as_exact_as(self, other: InclusionKind) -> bool {
+        self == other
+            || (self == InclusionKind::Strong && other == InclusionKind::Internal)
+    }
+}
+
+impl fmt::Display for InclusionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_match_the_paper() {
+        assert_eq!(InclusionKind::Material.symbol(), "↦");
+        assert_eq!(InclusionKind::Internal.symbol(), "⊏");
+        assert_eq!(InclusionKind::Strong.symbol(), "→");
+    }
+
+    #[test]
+    fn exactness_partial_order() {
+        use InclusionKind::*;
+        assert!(Strong.at_least_as_exact_as(Internal));
+        assert!(!Internal.at_least_as_exact_as(Strong));
+        assert!(!Material.at_least_as_exact_as(Internal));
+        assert!(!Internal.at_least_as_exact_as(Material));
+        for k in InclusionKind::ALL {
+            assert!(k.at_least_as_exact_as(k));
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! The model correspondences of Definitions 8 and 9: from a four-valued
+//! interpretation of `K` to a classical interpretation of `K̄` and back.
+//!
+//! These mappings are what make Lemma 5 and Theorem 6 *checkable*: the
+//! test suite enumerates small four-valued models, pushes them through
+//! [`classical_induced`], and verifies that satisfaction is preserved in
+//! both directions (and dually with [`four_valued_induced`]).
+//!
+//! Classical interpretations are represented as [`Interp4`] values whose
+//! assignments are all classical pairs — the embedding the paper uses
+//! (`P ∩ N = ∅`, `P ∪ N = Δ`).
+
+use crate::interp4::{DataRolePair, Elem, Interp4, RolePair};
+use crate::kb4::KnowledgeBase4;
+use crate::transform::{
+    eq_data_role, eq_role, neg_concept_name, plus_data_role, plus_role, pos_concept_name,
+};
+use dl::axiom::RoleExpr;
+use dl::datatype::DataValue;
+use dl::kb::Signature;
+use fourval::SetPair;
+use std::collections::BTreeSet;
+
+fn all_pairs(domain: &BTreeSet<Elem>) -> BTreeSet<(Elem, Elem)> {
+    domain
+        .iter()
+        .flat_map(|&x| domain.iter().map(move |&y| (x, y)))
+        .collect()
+}
+
+fn all_data_pairs(
+    domain: &BTreeSet<Elem>,
+    data_domain: &BTreeSet<DataValue>,
+) -> BTreeSet<(Elem, DataValue)> {
+    domain
+        .iter()
+        .flat_map(|&x| data_domain.iter().map(move |v| (x, v.clone())))
+        .collect()
+}
+
+/// Definition 8: the classical induced interpretation `Ī` of a
+/// four-valued `I`, over the transformed vocabulary of `K̄`.
+///
+/// * same domain and individual mapping;
+/// * `(A⁺)^Ī = proj⁺(A^I)`, `(A⁻)^Ī = proj⁻(A^I)`;
+/// * `(R⁺)^Ī = proj⁺(R^I)`, `(R⁼)^Ī = Δ×Δ ∖ proj⁻(R^I)`;
+/// * datatype roles analogously over the active data domain.
+///
+/// The result is classical: every concept pair is `<P, Δ∖P>` and every
+/// role pair `<P, Δ²∖P>`.
+pub fn classical_induced(i: &Interp4, kb: &KnowledgeBase4) -> Interp4 {
+    let sig: Signature = kb.signature();
+    let mut out = clone_domain(i);
+    for a in &sig.concepts {
+        let pair = i.concept(a);
+        let pos_comp: BTreeSet<Elem> =
+            i.domain().difference(&pair.pos).copied().collect();
+        let neg_comp: BTreeSet<Elem> =
+            i.domain().difference(&pair.neg).copied().collect();
+        out.set_concept(
+            pos_concept_name(a),
+            SetPair {
+                pos: pair.pos.clone(),
+                neg: pos_comp,
+            },
+        );
+        out.set_concept(
+            neg_concept_name(a),
+            SetPair {
+                pos: pair.neg.clone(),
+                neg: neg_comp,
+            },
+        );
+    }
+    let full = all_pairs(i.domain());
+    for r in &sig.roles {
+        let pair = i.role(r);
+        let plus = pair.pos.clone();
+        let eq: BTreeSet<(Elem, Elem)> = full.difference(&pair.neg).copied().collect();
+        out.set_role(
+            plus_role(&RoleExpr::named(r.clone())).name().clone(),
+            RolePair {
+                neg: full.difference(&plus).copied().collect(),
+                pos: plus,
+            },
+        );
+        out.set_role(
+            eq_role(&RoleExpr::named(r.clone())).name().clone(),
+            RolePair {
+                pos: eq.clone(),
+                neg: full.difference(&eq).copied().collect(),
+            },
+        );
+    }
+    let data_full = all_data_pairs(i.domain(), i.data_domain());
+    for u in &sig.data_roles {
+        let pair = i.data_role(u);
+        let plus = pair.pos.clone();
+        let eq: BTreeSet<(Elem, DataValue)> =
+            data_full.difference(&pair.neg).cloned().collect();
+        out.set_data_role(
+            plus_data_role(u),
+            DataRolePair {
+                neg: data_full.difference(&plus).cloned().collect(),
+                pos: plus,
+            },
+        );
+        out.set_data_role(
+            eq_data_role(u),
+            DataRolePair {
+                pos: eq.clone(),
+                neg: data_full.difference(&eq).cloned().collect(),
+            },
+        );
+    }
+    for v in i.data_domain() {
+        out.add_data_value(v.clone());
+    }
+    out
+}
+
+/// Definition 9: the four-valued induced interpretation of a classical
+/// interpretation of `K̄`, back over the original vocabulary.
+///
+/// * `A^I = <(A⁺)^Ī, (A⁻)^Ī>`;
+/// * `R^I = <(R⁺)^Ī, Δ×Δ ∖ (R⁼)^Ī>`;
+/// * datatype roles analogously.
+pub fn four_valued_induced(classical: &Interp4, kb: &KnowledgeBase4) -> Interp4 {
+    let sig = kb.signature();
+    let mut out = clone_domain(classical);
+    for a in &sig.concepts {
+        let p = classical.concept(&pos_concept_name(a)).pos;
+        let n = classical.concept(&neg_concept_name(a)).pos;
+        out.set_concept(a.clone(), SetPair { pos: p, neg: n });
+    }
+    let full = all_pairs(classical.domain());
+    for r in &sig.roles {
+        let plus = classical
+            .role(plus_role(&RoleExpr::named(r.clone())).name())
+            .pos;
+        let eq = classical
+            .role(eq_role(&RoleExpr::named(r.clone())).name())
+            .pos;
+        out.set_role(
+            r.clone(),
+            RolePair {
+                pos: plus,
+                neg: full.difference(&eq).copied().collect(),
+            },
+        );
+    }
+    let data_full = all_data_pairs(classical.domain(), classical.data_domain());
+    for u in &sig.data_roles {
+        let plus = classical.data_role(&plus_data_role(u)).pos;
+        let eq = classical.data_role(&eq_data_role(u)).pos;
+        out.set_data_role(
+            u.clone(),
+            DataRolePair {
+                pos: plus,
+                neg: data_full.difference(&eq).cloned().collect(),
+            },
+        );
+    }
+    for v in classical.data_domain() {
+        out.add_data_value(v.clone());
+    }
+    out
+}
+
+/// Copy domain, data domain and individual mapping into a fresh
+/// interpretation.
+fn clone_domain(i: &Interp4) -> Interp4 {
+    let max = i.domain().iter().copied().max().map_or(0, |m| m + 1);
+    let mut out = Interp4::with_domain_size(max);
+    // with_domain_size(n) creates {0..n-1}; domains are always built that
+    // way in this crate, so the shapes coincide.
+    debug_assert_eq!(out.domain(), i.domain(), "non-contiguous domain");
+    for v in i.data_domain() {
+        out.add_data_value(v.clone());
+    }
+    for (name, elem) in i.individuals() {
+        out.set_individual(name.clone(), elem);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inclusion::InclusionKind;
+    use crate::kb4::Axiom4;
+    use crate::transform::{transform_concept, transform_neg_concept};
+    use dl::name::{IndividualName, RoleName};
+    use dl::Concept;
+
+    fn pair(pos: &[Elem], neg: &[Elem]) -> SetPair<Elem> {
+        SetPair::new(pos.iter().copied(), neg.iter().copied())
+    }
+
+    fn sample_kb() -> KnowledgeBase4 {
+        KnowledgeBase4::from_axioms([
+            Axiom4::ConceptInclusion(
+                InclusionKind::Internal,
+                Concept::some(RoleExpr::named("r"), Concept::atomic("B")),
+                Concept::atomic("A"),
+            ),
+            Axiom4::ConceptAssertion(IndividualName::new("x"), Concept::atomic("A")),
+        ])
+    }
+
+    fn sample_interp() -> Interp4 {
+        let mut i = Interp4::with_domain_size(3);
+        i.set_individual("x", 0);
+        i.set_concept("A", pair(&[0, 1], &[1]));
+        i.set_concept("B", pair(&[2], &[0]));
+        i.set_role(
+            "r",
+            RolePair {
+                pos: BTreeSet::from([(0, 2), (1, 1)]),
+                neg: BTreeSet::from([(2, 2)]),
+            },
+        );
+        i
+    }
+
+    #[test]
+    fn classical_induced_is_classical() {
+        let i = sample_interp();
+        let c = classical_induced(&i, &sample_kb());
+        assert!(c.is_classical());
+    }
+
+    #[test]
+    fn round_trip_is_identity_on_signature() {
+        let i = sample_interp();
+        let kb = sample_kb();
+        let back = four_valued_induced(&classical_induced(&i, &kb), &kb);
+        for a in kb.signature().concepts {
+            assert_eq!(back.concept(&a), i.concept(&a), "concept {a}");
+        }
+        for r in kb.signature().roles {
+            assert_eq!(back.role(&r), i.role(&r), "role {r}");
+        }
+    }
+
+    #[test]
+    fn lemma5_projections_match_for_sample_concepts() {
+        // eval_Ī(C̄).pos == eval_I(C).pos and eval_Ī(¬C̄).pos == eval_I(C).neg
+        let i = sample_interp();
+        let kb = sample_kb();
+        let ci = classical_induced(&i, &kb);
+        let concepts = [
+            Concept::atomic("A"),
+            Concept::atomic("A").not(),
+            Concept::atomic("A").and(Concept::atomic("B")),
+            Concept::atomic("A").or(Concept::atomic("B").not()),
+            Concept::some(RoleExpr::named("r"), Concept::atomic("B")),
+            Concept::all(RoleExpr::named("r"), Concept::atomic("A")),
+            Concept::at_least(1, RoleExpr::named("r")),
+            Concept::at_most(1, RoleExpr::named("r")),
+            Concept::some(RoleExpr::named("r").inverse(), Concept::atomic("A")),
+        ];
+        for c in &concepts {
+            let four = i.eval(c);
+            assert_eq!(
+                ci.eval(&transform_concept(c)).pos,
+                four.pos,
+                "positive projection mismatch for {c}"
+            );
+            assert_eq!(
+                ci.eval(&transform_neg_concept(c)).pos,
+                four.neg,
+                "negative projection mismatch for {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem6_satisfaction_transfers() {
+        let i = sample_interp();
+        let kb = sample_kb();
+        let induced_kb = crate::transform::transform_kb(&kb);
+        let ci = classical_induced(&i, &kb);
+        let classical_as_4 =
+            crate::kb4::KnowledgeBase4::from_classical(&induced_kb, InclusionKind::Internal);
+        assert_eq!(
+            i.satisfies(&kb),
+            ci.satisfies(&classical_as_4),
+            "satisfaction must transfer through Definition 8"
+        );
+    }
+
+    #[test]
+    fn role_neg_encoded_as_eq_complement() {
+        let i = sample_interp();
+        let kb = sample_kb();
+        let ci = classical_induced(&i, &kb);
+        let eq = ci.role(&RoleName::new("r="));
+        // (2,2) ∈ proj⁻(r) ⟹ (2,2) ∉ r⁼.
+        assert!(!eq.pos.contains(&(2, 2)));
+        assert!(eq.pos.contains(&(0, 0)));
+    }
+}

@@ -1,0 +1,770 @@
+//! Four-valued interpretations and satisfaction — Definitions 2–3 and
+//! Tables 2–3 of the paper, over *finite* domains.
+//!
+//! This module is the semantic ground truth of the crate: the model
+//! enumerator (`fourmodels`) and the property tests for Lemma 5 /
+//! Theorem 6 all evaluate against it.
+//!
+//! ## Documented divergences from the paper's tables
+//!
+//! * **Roles as general relations.** Table 2 writes role denotations as
+//!   products `<P₁×P₂, N₁×N₂>`; we interpret roles as arbitrary pairs of
+//!   relations `<P, N> ⊆ Δ×Δ × Δ×Δ`, which is strictly more general and
+//!   is what Definitions 8–9 actually require (`R⁼` is the complement of
+//!   `N`, regardless of product structure).
+//! * **Nominals.** Table 2 leaves the negative part of `{o₁,…}` as an
+//!   unconstrained `N`; we fix `N = Δ ∖ {o₁,…}` (nominals are
+//!   definitionally classical), which matches the transformation's
+//!   treatment of nominals as untouched.
+//! * **Role material inclusion.** Table 3 prints
+//!   `Δ×Δ ∖ proj⁺(R₁) ⊆ proj⁺(R₂)`; the proof of Theorem 6 uses
+//!   `proj⁻(R₁)`, so we implement `Δ×Δ ∖ proj⁻(R₁) ⊆ proj⁺(R₂)` (the
+//!   `proj⁺` in the table is a typo — with it, material inclusion would
+//!   not even be reflexive).
+//! * **Datatype restrictions.** Table 2's datatype rows contain obvious
+//!   transcription slips (`proj⁻(U) ⇒ y ∈ D` for the *negative* part of
+//!   `∃U.D`); we mirror the object-role rows, with datatype concepts kept
+//!   two-valued as §4 prescribes: the negative filler condition is `v ∉ D`.
+//! * **Transitivity** `R = (R)⁺` is read on the positive part (that is
+//!   what `Trans(R⁺)` in Definition 6 preserves).
+
+use crate::inclusion::InclusionKind;
+use crate::kb4::{Axiom4, KnowledgeBase4};
+use dl::datatype::{DataRange, DataValue};
+use dl::name::{ConceptName, DataRoleName, IndividualName, RoleName};
+use dl::{Concept, RoleExpr};
+use fourval::{SetPair, TruthValue};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A domain element.
+pub type Elem = u32;
+
+/// A role denotation `<P, N>` with `P, N ⊆ Δ×Δ`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RolePair {
+    /// Pairs with positive information.
+    pub pos: BTreeSet<(Elem, Elem)>,
+    /// Pairs with negative information.
+    pub neg: BTreeSet<(Elem, Elem)>,
+}
+
+/// A datatype-role denotation `<P, N>` with `P, N ⊆ Δ×Δ_D`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataRolePair {
+    /// Pairs with positive information.
+    pub pos: BTreeSet<(Elem, DataValue)>,
+    /// Pairs with negative information.
+    pub neg: BTreeSet<(Elem, DataValue)>,
+}
+
+/// A four-valued interpretation `I = (Δ, ·^I)` over a finite domain.
+///
+/// The datatype side uses an explicit finite *active data domain* — the
+/// values quantified over when evaluating datatype restrictions and
+/// material datatype-role inclusions.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interp4 {
+    domain: BTreeSet<Elem>,
+    data_domain: BTreeSet<DataValue>,
+    concepts: BTreeMap<ConceptName, SetPair<Elem>>,
+    roles: BTreeMap<RoleName, RolePair>,
+    data_roles: BTreeMap<DataRoleName, DataRolePair>,
+    individuals: BTreeMap<IndividualName, Elem>,
+}
+
+impl Interp4 {
+    /// An interpretation with domain `{0, …, n−1}`.
+    pub fn with_domain_size(n: u32) -> Self {
+        Interp4 {
+            domain: (0..n).collect(),
+            ..Default::default()
+        }
+    }
+
+    /// The object domain.
+    pub fn domain(&self) -> &BTreeSet<Elem> {
+        &self.domain
+    }
+
+    /// The active data domain.
+    pub fn data_domain(&self) -> &BTreeSet<DataValue> {
+        &self.data_domain
+    }
+
+    /// Add a value to the active data domain.
+    pub fn add_data_value(&mut self, v: DataValue) {
+        self.data_domain.insert(v);
+    }
+
+    /// Map an individual name to a domain element.
+    pub fn set_individual(&mut self, name: impl Into<IndividualName>, e: Elem) {
+        assert!(self.domain.contains(&e), "element {e} outside the domain");
+        self.individuals.insert(name.into(), e);
+    }
+
+    /// The element an individual denotes.
+    pub fn individual(&self, name: &IndividualName) -> Option<Elem> {
+        self.individuals.get(name).copied()
+    }
+
+    /// Iterate over the individual mapping.
+    pub fn individuals(&self) -> impl Iterator<Item = (&IndividualName, Elem)> {
+        self.individuals.iter().map(|(n, &e)| (n, e))
+    }
+
+    /// Assign an atomic concept's `<P, N>` pair.
+    pub fn set_concept(&mut self, name: impl Into<ConceptName>, pair: SetPair<Elem>) {
+        self.concepts.insert(name.into(), pair);
+    }
+
+    /// An atomic concept's pair (defaults to `<∅, ∅>`).
+    pub fn concept(&self, name: &ConceptName) -> SetPair<Elem> {
+        self.concepts.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Assign a role's `<P, N>` pair.
+    pub fn set_role(&mut self, name: impl Into<RoleName>, pair: RolePair) {
+        self.roles.insert(name.into(), pair);
+    }
+
+    /// A named role's pair (defaults to empty).
+    pub fn role(&self, name: &RoleName) -> RolePair {
+        self.roles.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Assign a datatype role's `<P, N>` pair, adding mentioned values to
+    /// the active data domain.
+    pub fn set_data_role(&mut self, name: impl Into<DataRoleName>, pair: DataRolePair) {
+        for (_, v) in pair.pos.iter().chain(pair.neg.iter()) {
+            self.data_domain.insert(v.clone());
+        }
+        self.data_roles.insert(name.into(), pair);
+    }
+
+    /// A datatype role's pair (defaults to empty).
+    pub fn data_role(&self, name: &DataRoleName) -> DataRolePair {
+        self.data_roles.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Positive pairs of a role expression, with inverse handled by
+    /// swapping.
+    pub fn role_pos(&self, role: &RoleExpr) -> BTreeSet<(Elem, Elem)> {
+        let pairs = self.role(role.name()).pos;
+        if role.is_inverse() {
+            pairs.into_iter().map(|(a, b)| (b, a)).collect()
+        } else {
+            pairs
+        }
+    }
+
+    /// Negative pairs of a role expression.
+    pub fn role_neg(&self, role: &RoleExpr) -> BTreeSet<(Elem, Elem)> {
+        let pairs = self.role(role.name()).neg;
+        if role.is_inverse() {
+            pairs.into_iter().map(|(a, b)| (b, a)).collect()
+        } else {
+            pairs
+        }
+    }
+
+    /// Evaluate a concept to its `<P, N>` pair (Table 2).
+    pub fn eval(&self, c: &Concept) -> SetPair<Elem> {
+        match c {
+            Concept::Top => SetPair::top(self.domain.iter().copied()),
+            Concept::Bottom => SetPair::bottom(self.domain.iter().copied()),
+            Concept::Atomic(a) => self.concept(a),
+            Concept::Not(inner) => self.eval(inner).neg(),
+            Concept::And(l, r) => self.eval(l).and(&self.eval(r)),
+            Concept::Or(l, r) => self.eval(l).or(&self.eval(r)),
+            Concept::OneOf(os) => {
+                let pos: BTreeSet<Elem> =
+                    os.iter().filter_map(|o| self.individual(o)).collect();
+                let neg: BTreeSet<Elem> =
+                    self.domain.difference(&pos).copied().collect();
+                SetPair { pos, neg }
+            }
+            Concept::Some(role, filler) => {
+                let rp = self.role_pos(role);
+                let fp = self.eval(filler);
+                let pos = self
+                    .domain
+                    .iter()
+                    .copied()
+                    .filter(|&x| {
+                        self.domain
+                            .iter()
+                            .any(|&y| rp.contains(&(x, y)) && fp.pos.contains(&y))
+                    })
+                    .collect();
+                let neg = self
+                    .domain
+                    .iter()
+                    .copied()
+                    .filter(|&x| {
+                        self.domain
+                            .iter()
+                            .all(|&y| !rp.contains(&(x, y)) || fp.neg.contains(&y))
+                    })
+                    .collect();
+                SetPair { pos, neg }
+            }
+            Concept::All(role, filler) => {
+                let rp = self.role_pos(role);
+                let fp = self.eval(filler);
+                let pos = self
+                    .domain
+                    .iter()
+                    .copied()
+                    .filter(|&x| {
+                        self.domain
+                            .iter()
+                            .all(|&y| !rp.contains(&(x, y)) || fp.pos.contains(&y))
+                    })
+                    .collect();
+                let neg = self
+                    .domain
+                    .iter()
+                    .copied()
+                    .filter(|&x| {
+                        self.domain
+                            .iter()
+                            .any(|&y| rp.contains(&(x, y)) && fp.neg.contains(&y))
+                    })
+                    .collect();
+                SetPair { pos, neg }
+            }
+            Concept::AtLeast(n, role) => {
+                let rp = self.role_pos(role);
+                let rn = self.role_neg(role);
+                let n = *n as usize;
+                let pos = self
+                    .domain
+                    .iter()
+                    .copied()
+                    .filter(|&x| {
+                        self.domain.iter().filter(|&&y| rp.contains(&(x, y))).count() >= n
+                    })
+                    .collect();
+                let neg = self
+                    .domain
+                    .iter()
+                    .copied()
+                    .filter(|&x| {
+                        self.domain.iter().filter(|&&y| !rn.contains(&(x, y))).count() < n
+                    })
+                    .collect();
+                SetPair { pos, neg }
+            }
+            Concept::AtMost(n, role) => {
+                let rp = self.role_pos(role);
+                let rn = self.role_neg(role);
+                let n = *n as usize;
+                let pos = self
+                    .domain
+                    .iter()
+                    .copied()
+                    .filter(|&x| {
+                        self.domain.iter().filter(|&&y| !rn.contains(&(x, y))).count() <= n
+                    })
+                    .collect();
+                let neg = self
+                    .domain
+                    .iter()
+                    .copied()
+                    .filter(|&x| {
+                        self.domain.iter().filter(|&&y| rp.contains(&(x, y))).count() > n
+                    })
+                    .collect();
+                SetPair { pos, neg }
+            }
+            Concept::DataSome(u, d) => self.eval_data_restriction(u, d, true),
+            Concept::DataAll(u, d) => self.eval_data_restriction(u, d, false),
+            Concept::DataAtLeast(n, u) => self.eval_data_card(u, *n as usize, true),
+            Concept::DataAtMost(n, u) => self.eval_data_card(u, *n as usize, false),
+        }
+    }
+
+    fn eval_data_restriction(
+        &self,
+        u: &DataRoleName,
+        d: &DataRange,
+        exists: bool,
+    ) -> SetPair<Elem> {
+        let up = self.data_role(u).pos;
+        let some_in = |x: Elem, in_d: bool| {
+            self.data_domain
+                .iter()
+                .any(|v| up.contains(&(x, v.clone())) && d.contains(v) == in_d)
+        };
+        let all_in = |x: Elem, in_d: bool| {
+            self.data_domain
+                .iter()
+                .all(|v| !up.contains(&(x, v.clone())) || d.contains(v) == in_d)
+        };
+        let (pos, neg): (BTreeSet<Elem>, BTreeSet<Elem>) = if exists {
+            (
+                self.domain.iter().copied().filter(|&x| some_in(x, true)).collect(),
+                self.domain.iter().copied().filter(|&x| all_in(x, false)).collect(),
+            )
+        } else {
+            (
+                self.domain.iter().copied().filter(|&x| all_in(x, true)).collect(),
+                self.domain.iter().copied().filter(|&x| some_in(x, false)).collect(),
+            )
+        };
+        SetPair { pos, neg }
+    }
+
+    fn eval_data_card(&self, u: &DataRoleName, n: usize, at_least: bool) -> SetPair<Elem> {
+        let up = self.data_role(u).pos;
+        let un = self.data_role(u).neg;
+        let count_pos = |x: Elem| {
+            self.data_domain
+                .iter()
+                .filter(|v| up.contains(&(x, (*v).clone())))
+                .count()
+        };
+        let count_not_neg = |x: Elem| {
+            self.data_domain
+                .iter()
+                .filter(|v| !un.contains(&(x, (*v).clone())))
+                .count()
+        };
+        let (pos, neg): (BTreeSet<Elem>, BTreeSet<Elem>) = if at_least {
+            (
+                self.domain.iter().copied().filter(|&x| count_pos(x) >= n).collect(),
+                self.domain
+                    .iter()
+                    .copied()
+                    .filter(|&x| count_not_neg(x) < n)
+                    .collect(),
+            )
+        } else {
+            (
+                self.domain
+                    .iter()
+                    .copied()
+                    .filter(|&x| count_not_neg(x) <= n)
+                    .collect(),
+                self.domain.iter().copied().filter(|&x| count_pos(x) > n).collect(),
+            )
+        };
+        SetPair { pos, neg }
+    }
+
+    /// The four-valued membership status of an individual in a concept
+    /// (Definition 3).
+    pub fn truth_of(&self, c: &Concept, a: &IndividualName) -> Option<TruthValue> {
+        let e = self.individual(a)?;
+        Some(self.eval(c).status(&e))
+    }
+
+    /// Does the interpretation satisfy one axiom (Table 3)?
+    pub fn satisfies_axiom(&self, ax: &Axiom4) -> bool {
+        match ax {
+            Axiom4::ConceptInclusion(kind, c, d) => {
+                let cp = self.eval(c);
+                let dp = self.eval(d);
+                match kind {
+                    InclusionKind::Material => self
+                        .domain
+                        .iter()
+                        .all(|x| cp.neg.contains(x) || dp.pos.contains(x)),
+                    InclusionKind::Internal => cp.pos.is_subset(&dp.pos),
+                    InclusionKind::Strong => {
+                        cp.pos.is_subset(&dp.pos) && dp.neg.is_subset(&cp.neg)
+                    }
+                }
+            }
+            Axiom4::RoleInclusion(kind, r, s) => {
+                let (rp, rn) = (self.role_pos(r), self.role_neg(r));
+                let (sp, sn) = (self.role_pos(s), self.role_neg(s));
+                match kind {
+                    InclusionKind::Material => self.domain.iter().all(|&x| {
+                        self.domain.iter().all(|&y| {
+                            rn.contains(&(x, y)) || sp.contains(&(x, y))
+                        })
+                    }),
+                    InclusionKind::Internal => rp.is_subset(&sp),
+                    InclusionKind::Strong => rp.is_subset(&sp) && sn.is_subset(&rn),
+                }
+            }
+            Axiom4::DataRoleInclusion(kind, u, v) => {
+                let (up, un) = (self.data_role(u).pos, self.data_role(u).neg);
+                let (vp, vn) = (self.data_role(v).pos, self.data_role(v).neg);
+                match kind {
+                    InclusionKind::Material => self.domain.iter().all(|&x| {
+                        self.data_domain.iter().all(|w| {
+                            un.contains(&(x, w.clone())) || vp.contains(&(x, w.clone()))
+                        })
+                    }),
+                    InclusionKind::Internal => up.is_subset(&vp),
+                    InclusionKind::Strong => up.is_subset(&vp) && vn.is_subset(&un),
+                }
+            }
+            Axiom4::Transitive(r) => {
+                let p = self.role(r).pos;
+                p.iter().all(|&(x, y)| {
+                    p.iter()
+                        .filter(|&&(y2, _)| y2 == y)
+                        .all(|&(_, z)| p.contains(&(x, z)))
+                })
+            }
+            Axiom4::ConceptAssertion(a, c) => match self.individual(a) {
+                Some(e) => self.eval(c).pos.contains(&e),
+                None => false,
+            },
+            Axiom4::RoleAssertion(r, a, b) => {
+                match (self.individual(a), self.individual(b)) {
+                    (Some(x), Some(y)) => self.role(r).pos.contains(&(x, y)),
+                    _ => false,
+                }
+            }
+            Axiom4::NegativeRoleAssertion(r, a, b) => {
+                match (self.individual(a), self.individual(b)) {
+                    (Some(x), Some(y)) => self.role(r).neg.contains(&(x, y)),
+                    _ => false,
+                }
+            }
+            Axiom4::DataAssertion(u, a, v) => match self.individual(a) {
+                Some(x) => self.data_role(u).pos.contains(&(x, v.clone())),
+                None => false,
+            },
+            Axiom4::SameIndividual(a, b) => {
+                match (self.individual(a), self.individual(b)) {
+                    (Some(x), Some(y)) => x == y,
+                    _ => false,
+                }
+            }
+            Axiom4::DifferentIndividuals(a, b) => {
+                match (self.individual(a), self.individual(b)) {
+                    (Some(x), Some(y)) => x != y,
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    /// Does the interpretation satisfy the whole KB?
+    pub fn satisfies(&self, kb: &KnowledgeBase4) -> bool {
+        kb.axioms().iter().all(|ax| self.satisfies_axiom(ax))
+    }
+
+    /// Is every assignment classical (`P ∩ N = ∅`, `P ∪ N = Δ`)? Such
+    /// interpretations are exactly the embedded two-valued ones.
+    pub fn is_classical(&self) -> bool {
+        let full: BTreeSet<(Elem, Elem)> = self
+            .domain
+            .iter()
+            .flat_map(|&x| self.domain.iter().map(move |&y| (x, y)))
+            .collect();
+        self.concepts.values().all(|p| p.is_classical(&self.domain))
+            && self.roles.values().all(|r| {
+                r.pos.is_disjoint(&r.neg)
+                    && r.pos.union(&r.neg).copied().collect::<BTreeSet<_>>() == full
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(pos: &[Elem], neg: &[Elem]) -> SetPair<Elem> {
+        SetPair::new(pos.iter().copied(), neg.iter().copied())
+    }
+
+    /// The model of the paper's Example 1.
+    fn example1_model() -> Interp4 {
+        let mut i = Interp4::with_domain_size(3);
+        i.set_individual("john", 0);
+        i.set_individual("mary", 1);
+        i.set_individual("bill", 2);
+        i.set_concept("Doctor", pair(&[0, 2], &[0]));
+        i.set_concept("Patient", pair(&[1], &[]));
+        i.set_role(
+            "hasPatient",
+            RolePair {
+                pos: BTreeSet::from([(2, 1)]),
+                neg: BTreeSet::new(),
+            },
+        );
+        i
+    }
+
+    #[test]
+    fn example1_contradiction_is_localized() {
+        let i = example1_model();
+        let doctor = Concept::atomic("Doctor");
+        assert_eq!(
+            i.truth_of(&doctor, &IndividualName::new("john")),
+            Some(TruthValue::Both)
+        );
+        assert_eq!(
+            i.truth_of(&doctor, &IndividualName::new("bill")),
+            Some(TruthValue::True)
+        );
+        assert_eq!(
+            i.truth_of(&doctor, &IndividualName::new("mary")),
+            Some(TruthValue::Neither)
+        );
+    }
+
+    #[test]
+    fn example1_model_satisfies_kb() {
+        let i = example1_model();
+        let kb = KnowledgeBase4::from_axioms([
+            Axiom4::ConceptInclusion(
+                InclusionKind::Internal,
+                Concept::some(RoleExpr::named("hasPatient"), Concept::atomic("Patient")),
+                Concept::atomic("Doctor"),
+            ),
+            Axiom4::ConceptAssertion(IndividualName::new("john"), Concept::atomic("Doctor")),
+            Axiom4::ConceptAssertion(
+                IndividualName::new("john"),
+                Concept::atomic("Doctor").not(),
+            ),
+            Axiom4::ConceptAssertion(IndividualName::new("mary"), Concept::atomic("Patient")),
+            Axiom4::RoleAssertion(
+                RoleName::new("hasPatient"),
+                IndividualName::new("bill"),
+                IndividualName::new("mary"),
+            ),
+        ]);
+        assert!(i.satisfies(&kb));
+    }
+
+    #[test]
+    fn exists_restriction_four_valued_semantics() {
+        let i = example1_model();
+        let c = Concept::some(RoleExpr::named("hasPatient"), Concept::atomic("Patient"));
+        let p = i.eval(&c);
+        // bill has a patient; john/mary have no hasPatient-successors at
+        // all, so they are vacuously in the *negative* part (∀y …⇒ y∈N).
+        assert!(p.pos.contains(&2));
+        assert!(p.neg.contains(&0) && p.neg.contains(&1));
+        assert!(!p.neg.contains(&2)); // mary ∉ proj⁻(Patient)
+    }
+
+    #[test]
+    fn top_bottom_identities_prop3_hold_for_eval() {
+        let i = example1_model();
+        let c = Concept::atomic("Doctor");
+        assert_eq!(i.eval(&c.clone().and(Concept::Top)), i.eval(&c));
+        assert_eq!(
+            i.eval(&c.clone().or(Concept::Top)),
+            i.eval(&Concept::Top)
+        );
+        assert_eq!(
+            i.eval(&c.clone().and(Concept::Bottom)),
+            i.eval(&Concept::Bottom)
+        );
+        assert_eq!(i.eval(&c.clone().or(Concept::Bottom)), i.eval(&c));
+    }
+
+    #[test]
+    fn de_morgan_prop4_holds_for_eval() {
+        let i = example1_model();
+        let c = Concept::atomic("Doctor");
+        let d = Concept::atomic("Patient");
+        assert_eq!(
+            i.eval(&c.clone().or(d.clone()).not()),
+            i.eval(&c.clone().not().and(d.clone().not()))
+        );
+        assert_eq!(
+            i.eval(&c.clone().and(d.clone()).not()),
+            i.eval(&c.clone().not().or(d.clone().not()))
+        );
+        let r = RoleExpr::named("hasPatient");
+        assert_eq!(
+            i.eval(&Concept::all(r.clone(), d.clone()).not()),
+            i.eval(&Concept::some(r.clone(), d.clone().not()))
+        );
+        assert_eq!(
+            i.eval(&Concept::at_least(2, r.clone()).not()),
+            i.eval(&Concept::at_most(1, r.clone()))
+        );
+        assert_eq!(
+            i.eval(&Concept::at_most(1, r.clone()).not()),
+            i.eval(&Concept::at_least(2, r))
+        );
+    }
+
+    #[test]
+    fn inclusion_kinds_differ_on_contradictory_models() {
+        // Δ={0}; C = <{0},{0}>, D = <∅,∅>.
+        let mut i = Interp4::with_domain_size(1);
+        i.set_concept("C", pair(&[0], &[0]));
+        i.set_concept("D", pair(&[], &[]));
+        let c = Concept::atomic("C");
+        let d = Concept::atomic("D");
+        // Material: Δ∖N(C) = ∅ ⊆ P(D): satisfied (the exception excuses).
+        assert!(i.satisfies_axiom(&Axiom4::ConceptInclusion(
+            InclusionKind::Material,
+            c.clone(),
+            d.clone()
+        )));
+        // Internal: P(C)={0} ⊄ P(D)=∅: violated.
+        assert!(!i.satisfies_axiom(&Axiom4::ConceptInclusion(
+            InclusionKind::Internal,
+            c.clone(),
+            d.clone()
+        )));
+        // Strong: also violated.
+        assert!(!i.satisfies_axiom(&Axiom4::ConceptInclusion(
+            InclusionKind::Strong,
+            c,
+            d
+        )));
+    }
+
+    #[test]
+    fn strong_requires_contraposition() {
+        // P(C)=∅⊆P(D); N(D)={0} ⊄ N(C)=∅ → internal holds, strong fails.
+        let mut i = Interp4::with_domain_size(1);
+        i.set_concept("C", pair(&[], &[]));
+        i.set_concept("D", pair(&[], &[0]));
+        let (c, d) = (Concept::atomic("C"), Concept::atomic("D"));
+        assert!(i.satisfies_axiom(&Axiom4::ConceptInclusion(
+            InclusionKind::Internal,
+            c.clone(),
+            d.clone()
+        )));
+        assert!(!i.satisfies_axiom(&Axiom4::ConceptInclusion(
+            InclusionKind::Strong,
+            c,
+            d
+        )));
+    }
+
+    #[test]
+    fn nominal_evaluation_is_classical() {
+        let i = example1_model();
+        let c = Concept::one_of([IndividualName::new("john")]);
+        let p = i.eval(&c);
+        assert_eq!(p, pair(&[0], &[1, 2]));
+    }
+
+    #[test]
+    fn transitivity_checks_positive_closure() {
+        let mut i = Interp4::with_domain_size(3);
+        i.set_role(
+            "r",
+            RolePair {
+                pos: BTreeSet::from([(0, 1), (1, 2)]),
+                neg: BTreeSet::new(),
+            },
+        );
+        assert!(!i.satisfies_axiom(&Axiom4::Transitive(RoleName::new("r"))));
+        i.set_role(
+            "r",
+            RolePair {
+                pos: BTreeSet::from([(0, 1), (1, 2), (0, 2)]),
+                neg: BTreeSet::new(),
+            },
+        );
+        assert!(i.satisfies_axiom(&Axiom4::Transitive(RoleName::new("r"))));
+    }
+
+    #[test]
+    fn inverse_roles_swap_pairs() {
+        let mut i = Interp4::with_domain_size(2);
+        i.set_role(
+            "r",
+            RolePair {
+                pos: BTreeSet::from([(0, 1)]),
+                neg: BTreeSet::from([(1, 0)]),
+            },
+        );
+        let inv = RoleExpr::named("r").inverse();
+        assert!(i.role_pos(&inv).contains(&(1, 0)));
+        assert!(i.role_neg(&inv).contains(&(0, 1)));
+    }
+
+    #[test]
+    fn negative_role_assertions() {
+        let mut i = Interp4::with_domain_size(2);
+        i.set_individual("a", 0);
+        i.set_individual("b", 1);
+        i.set_role(
+            "r",
+            RolePair {
+                pos: BTreeSet::new(),
+                neg: BTreeSet::from([(0, 1)]),
+            },
+        );
+        assert!(i.satisfies_axiom(&Axiom4::NegativeRoleAssertion(
+            RoleName::new("r"),
+            IndividualName::new("a"),
+            IndividualName::new("b"),
+        )));
+        assert!(!i.satisfies_axiom(&Axiom4::RoleAssertion(
+            RoleName::new("r"),
+            IndividualName::new("a"),
+            IndividualName::new("b"),
+        )));
+    }
+
+    #[test]
+    fn data_restrictions_active_domain() {
+        let mut i = Interp4::with_domain_size(1);
+        i.set_individual("a", 0);
+        i.set_data_role(
+            "age",
+            DataRolePair {
+                pos: BTreeSet::from([(0, DataValue::Integer(12))]),
+                neg: BTreeSet::new(),
+            },
+        );
+        let minor = Concept::DataSome(
+            DataRoleName::new("age"),
+            DataRange::IntRange {
+                min: Some(0),
+                max: Some(17),
+            },
+        );
+        let p = i.eval(&minor);
+        assert!(p.pos.contains(&0));
+        let adult = Concept::DataSome(
+            DataRoleName::new("age"),
+            DataRange::IntRange {
+                min: Some(18),
+                max: None,
+            },
+        );
+        let p = i.eval(&adult);
+        assert!(!p.pos.contains(&0));
+        assert!(p.neg.contains(&0)); // all age-successors (just 12) miss [18..]
+    }
+
+    #[test]
+    fn classicality_detection() {
+        let mut i = Interp4::with_domain_size(2);
+        i.set_concept("A", pair(&[0], &[1]));
+        assert!(i.is_classical());
+        i.set_concept("B", pair(&[0], &[0, 1]));
+        assert!(!i.is_classical());
+    }
+
+    #[test]
+    fn material_role_inclusion_reflexivity_sanity() {
+        // With the paper's literal Table-3 text (proj⁺), R ↦ R would fail
+        // on any model where R has unknown pairs; with the corrected
+        // proj⁻ reading it holds exactly when no pair is ⊥.
+        let mut i = Interp4::with_domain_size(1);
+        i.set_role(
+            "r",
+            RolePair {
+                pos: BTreeSet::new(),
+                neg: BTreeSet::from([(0, 0)]),
+            },
+        );
+        let ax = Axiom4::RoleInclusion(
+            InclusionKind::Material,
+            RoleExpr::named("r"),
+            RoleExpr::named("r"),
+        );
+        assert!(i.satisfies_axiom(&ax));
+    }
+}

@@ -1,0 +1,306 @@
+//! SHOIN(D)4 knowledge bases: the axioms of Table 3.
+//!
+//! Fact axioms are those of SHOIN(D); inclusion axioms carry an
+//! [`InclusionKind`]. A classical KB embeds via
+//! [`KnowledgeBase4::from_classical`] (classical `⊑` reads as internal
+//! inclusion, the paper's correspondence in Example 2).
+
+use crate::inclusion::InclusionKind;
+use dl::axiom::{Axiom, RoleExpr};
+use dl::datatype::DataValue;
+use dl::kb::{KnowledgeBase, Signature};
+use dl::name::{DataRoleName, IndividualName, RoleName};
+use dl::Concept;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A SHOIN(D)4 axiom.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Axiom4 {
+    /// Concept inclusion `C₁ ↦/⊏/→ C₂`.
+    ConceptInclusion(InclusionKind, Concept, Concept),
+    /// Object role inclusion `R₁ ↦/⊏/→ R₂`.
+    RoleInclusion(InclusionKind, RoleExpr, RoleExpr),
+    /// Datatype role inclusion `U₁ ↦/⊏/→ U₂`.
+    DataRoleInclusion(InclusionKind, DataRoleName, DataRoleName),
+    /// Object role transitivity `Trans(R)`.
+    Transitive(RoleName),
+    /// Individual inclusion `a : C` (asserts membership *information*:
+    /// `a ∈ proj⁺(C)`).
+    ConceptAssertion(IndividualName, Concept),
+    /// Role assertion `R(a, b)` (`(a,b) ∈ proj⁺(R)`).
+    RoleAssertion(RoleName, IndividualName, IndividualName),
+    /// Negative role assertion `¬R(a, b)` (`(a,b) ∈ proj⁻(R)`) — the
+    /// four-valued setting makes negative role information first-class.
+    NegativeRoleAssertion(RoleName, IndividualName, IndividualName),
+    /// Datatype role assertion `U(a, v)`.
+    DataAssertion(DataRoleName, IndividualName, DataValue),
+    /// Individual equality `a = b`.
+    SameIndividual(IndividualName, IndividualName),
+    /// Individual inequality `a ≠ b`.
+    DifferentIndividuals(IndividualName, IndividualName),
+}
+
+impl Axiom4 {
+    /// Is this a terminological axiom?
+    pub fn is_tbox(&self) -> bool {
+        matches!(
+            self,
+            Axiom4::ConceptInclusion(..)
+                | Axiom4::RoleInclusion(..)
+                | Axiom4::DataRoleInclusion(..)
+                | Axiom4::Transitive(..)
+        )
+    }
+
+    /// Is this an assertional axiom?
+    pub fn is_abox(&self) -> bool {
+        !self.is_tbox()
+    }
+
+    /// Structural size (for the polynomial-transformation measurements).
+    pub fn size(&self) -> usize {
+        match self {
+            Axiom4::ConceptInclusion(_, c, d) => 1 + c.size() + d.size(),
+            Axiom4::ConceptAssertion(_, c) => 1 + c.size(),
+            _ => 1,
+        }
+    }
+
+    /// Lift a classical axiom, reading `⊑` as the given inclusion kind.
+    pub fn from_classical(ax: &Axiom, kind: InclusionKind) -> Axiom4 {
+        match ax {
+            Axiom::ConceptInclusion(c, d) => {
+                Axiom4::ConceptInclusion(kind, c.clone(), d.clone())
+            }
+            Axiom::RoleInclusion(r, s) => {
+                Axiom4::RoleInclusion(kind, r.clone(), s.clone())
+            }
+            Axiom::DataRoleInclusion(u, v) => {
+                Axiom4::DataRoleInclusion(kind, u.clone(), v.clone())
+            }
+            Axiom::Transitive(r) => Axiom4::Transitive(r.clone()),
+            Axiom::ConceptAssertion(a, c) => {
+                Axiom4::ConceptAssertion(a.clone(), c.clone())
+            }
+            Axiom::RoleAssertion(r, a, b) => {
+                Axiom4::RoleAssertion(r.clone(), a.clone(), b.clone())
+            }
+            Axiom::DataAssertion(u, a, v) => {
+                Axiom4::DataAssertion(u.clone(), a.clone(), v.clone())
+            }
+            Axiom::SameIndividual(a, b) => Axiom4::SameIndividual(a.clone(), b.clone()),
+            Axiom::DifferentIndividuals(a, b) => {
+                Axiom4::DifferentIndividuals(a.clone(), b.clone())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Axiom4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axiom4::ConceptInclusion(k, c, d) => write!(f, "{c} {k} {d}"),
+            Axiom4::RoleInclusion(k, r, s) => write!(f, "{r} {k} {s}"),
+            Axiom4::DataRoleInclusion(k, u, v) => write!(f, "{u} {k} {v}"),
+            Axiom4::Transitive(r) => write!(f, "Trans({r})"),
+            Axiom4::ConceptAssertion(a, c) => write!(f, "{a} : {c}"),
+            Axiom4::RoleAssertion(r, a, b) => write!(f, "{r}({a}, {b})"),
+            Axiom4::NegativeRoleAssertion(r, a, b) => write!(f, "¬{r}({a}, {b})"),
+            Axiom4::DataAssertion(u, a, v) => write!(f, "{u}({a}, {v})"),
+            Axiom4::SameIndividual(a, b) => write!(f, "{a} = {b}"),
+            Axiom4::DifferentIndividuals(a, b) => write!(f, "{a} ≠ {b}"),
+        }
+    }
+}
+
+/// A SHOIN(D)4 knowledge base.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnowledgeBase4 {
+    axioms: Vec<Axiom4>,
+}
+
+impl KnowledgeBase4 {
+    /// An empty KB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from axioms.
+    pub fn from_axioms(axioms: impl IntoIterator<Item = Axiom4>) -> Self {
+        KnowledgeBase4 {
+            axioms: axioms.into_iter().collect(),
+        }
+    }
+
+    /// Embed a classical KB, reading every inclusion as `kind`.
+    pub fn from_classical(kb: &KnowledgeBase, kind: InclusionKind) -> Self {
+        KnowledgeBase4 {
+            axioms: kb
+                .axioms()
+                .iter()
+                .map(|ax| Axiom4::from_classical(ax, kind))
+                .collect(),
+        }
+    }
+
+    /// Add one axiom.
+    pub fn add(&mut self, axiom: Axiom4) {
+        self.axioms.push(axiom);
+    }
+
+    /// All axioms in insertion order.
+    pub fn axioms(&self) -> &[Axiom4] {
+        &self.axioms
+    }
+
+    /// Number of axioms.
+    pub fn len(&self) -> usize {
+        self.axioms.len()
+    }
+
+    /// Is the KB empty?
+    pub fn is_empty(&self) -> bool {
+        self.axioms.is_empty()
+    }
+
+    /// Terminological axioms.
+    pub fn tbox(&self) -> impl Iterator<Item = &Axiom4> {
+        self.axioms.iter().filter(|a| a.is_tbox())
+    }
+
+    /// Assertional axioms.
+    pub fn abox(&self) -> impl Iterator<Item = &Axiom4> {
+        self.axioms.iter().filter(|a| a.is_abox())
+    }
+
+    /// Total structural size.
+    pub fn size(&self) -> usize {
+        self.axioms.iter().map(Axiom4::size).sum()
+    }
+
+    /// The names mentioned, by kind.
+    pub fn signature(&self) -> Signature {
+        let mut sig = Signature::default();
+        for ax in &self.axioms {
+            match ax {
+                Axiom4::ConceptInclusion(_, c, d) => {
+                    sig.extend_from_concept(c);
+                    sig.extend_from_concept(d);
+                }
+                Axiom4::RoleInclusion(_, r, s) => {
+                    sig.roles.insert(r.name().clone());
+                    sig.roles.insert(s.name().clone());
+                }
+                Axiom4::DataRoleInclusion(_, u, v) => {
+                    sig.data_roles.insert(u.clone());
+                    sig.data_roles.insert(v.clone());
+                }
+                Axiom4::Transitive(r) => {
+                    sig.roles.insert(r.clone());
+                }
+                Axiom4::ConceptAssertion(a, c) => {
+                    sig.individuals.insert(a.clone());
+                    sig.extend_from_concept(c);
+                }
+                Axiom4::RoleAssertion(r, a, b)
+                | Axiom4::NegativeRoleAssertion(r, a, b) => {
+                    sig.roles.insert(r.clone());
+                    sig.individuals.insert(a.clone());
+                    sig.individuals.insert(b.clone());
+                }
+                Axiom4::DataAssertion(u, a, _) => {
+                    sig.data_roles.insert(u.clone());
+                    sig.individuals.insert(a.clone());
+                }
+                Axiom4::SameIndividual(a, b) | Axiom4::DifferentIndividuals(a, b) => {
+                    sig.individuals.insert(a.clone());
+                    sig.individuals.insert(b.clone());
+                }
+            }
+        }
+        sig
+    }
+}
+
+impl FromIterator<Axiom4> for KnowledgeBase4 {
+    fn from_iter<I: IntoIterator<Item = Axiom4>>(iter: I) -> Self {
+        KnowledgeBase4::from_axioms(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl::parser::parse_kb;
+
+    #[test]
+    fn classical_embedding_maps_subclass_to_internal() {
+        let kb = parse_kb("A SubClassOf B\na : A").unwrap();
+        let kb4 = KnowledgeBase4::from_classical(&kb, InclusionKind::Internal);
+        assert_eq!(kb4.len(), 2);
+        assert!(matches!(
+            &kb4.axioms()[0],
+            Axiom4::ConceptInclusion(InclusionKind::Internal, ..)
+        ));
+        assert!(matches!(&kb4.axioms()[1], Axiom4::ConceptAssertion(..)));
+    }
+
+    #[test]
+    fn tbox_abox_partition() {
+        let kb4 = KnowledgeBase4::from_axioms([
+            Axiom4::ConceptInclusion(
+                InclusionKind::Material,
+                Concept::atomic("Bird"),
+                Concept::atomic("Fly"),
+            ),
+            Axiom4::Transitive(RoleName::new("anc")),
+            Axiom4::ConceptAssertion(IndividualName::new("t"), Concept::atomic("Bird")),
+            Axiom4::NegativeRoleAssertion(
+                RoleName::new("r"),
+                IndividualName::new("a"),
+                IndividualName::new("b"),
+            ),
+        ]);
+        assert_eq!(kb4.tbox().count(), 2);
+        assert_eq!(kb4.abox().count(), 2);
+    }
+
+    #[test]
+    fn signature_includes_negative_assertions() {
+        let kb4 = KnowledgeBase4::from_axioms([Axiom4::NegativeRoleAssertion(
+            RoleName::new("r"),
+            IndividualName::new("a"),
+            IndividualName::new("b"),
+        )]);
+        let sig = kb4.signature();
+        assert!(sig.roles.contains(&RoleName::new("r")));
+        assert_eq!(sig.individuals.len(), 2);
+    }
+
+    #[test]
+    fn display_uses_paper_symbols() {
+        let ax = Axiom4::ConceptInclusion(
+            InclusionKind::Material,
+            Concept::atomic("Bird"),
+            Concept::atomic("Fly"),
+        );
+        assert_eq!(ax.to_string(), "Bird ↦ Fly");
+        let ax = Axiom4::NegativeRoleAssertion(
+            RoleName::new("r"),
+            IndividualName::new("a"),
+            IndividualName::new("b"),
+        );
+        assert_eq!(ax.to_string(), "¬r(a, b)");
+    }
+
+    #[test]
+    fn size_counts_concepts() {
+        let ax = Axiom4::ConceptInclusion(
+            InclusionKind::Strong,
+            Concept::atomic("A").and(Concept::atomic("B")),
+            Concept::atomic("C"),
+        );
+        assert_eq!(ax.size(), 5);
+    }
+}

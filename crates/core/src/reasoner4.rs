@@ -1,0 +1,484 @@
+//! Paraconsistent reasoning services for SHOIN(D)4, executed by the
+//! classical tableau on the induced KB `K̄` (Theorem 6 / Corollary 7).
+//!
+//! The query vocabulary deliberately mirrors the paper's phrasing:
+//! "is there any information indicating …?" A four-valued KB answers a
+//! membership question with one of the four truth values:
+//!
+//! * `t` — positive information only;
+//! * `f` — negative information only;
+//! * `⊤` — both (the KB is contradictory *about this particular fact*);
+//! * `⊥` — no information either way.
+
+use crate::inclusion::InclusionKind;
+use crate::kb4::{Axiom4, KnowledgeBase4};
+use crate::transform::{self, Transformer};
+use dl::axiom::{Axiom, RoleExpr};
+use dl::kb::KnowledgeBase;
+use dl::name::{IndividualName, RoleName};
+use dl::Concept;
+use fourval::TruthValue;
+use tableau::{Config, Reasoner, ReasonerError, Stats};
+
+/// A reasoner over a SHOIN(D)4 knowledge base.
+///
+/// Construction transforms the KB once (Definitions 5–7) and hands the
+/// classical induced KB to the [`tableau::Reasoner`].
+pub struct Reasoner4 {
+    induced: KnowledgeBase,
+    classical: Reasoner,
+}
+
+impl Reasoner4 {
+    /// Build with the default tableau configuration.
+    pub fn new(kb4: &KnowledgeBase4) -> Self {
+        Self::with_config(kb4, Config::default())
+    }
+
+    /// Build with an explicit tableau configuration.
+    pub fn with_config(kb4: &KnowledgeBase4, config: Config) -> Self {
+        let induced = transform::transform_kb(kb4);
+        let classical = Reasoner::with_config(&induced, config);
+        Reasoner4 { induced, classical }
+    }
+
+    /// The classical induced KB `K̄` (useful for inspection and for
+    /// feeding other OWL DL reasoners).
+    pub fn induced_kb(&self) -> &KnowledgeBase {
+        &self.induced
+    }
+
+    /// Accumulated tableau statistics.
+    pub fn stats(&self) -> Stats {
+        self.classical.stats()
+    }
+
+    /// Is the four-valued KB satisfiable? (Theorem 6: iff `K̄` is.)
+    ///
+    /// Unlike the classical case this is rarely `false`: only constructs
+    /// with classical behaviour (nominals, number restrictions, `⊥`,
+    /// distinctness) can make a SHOIN(D)4 KB unsatisfiable.
+    pub fn is_satisfiable(&mut self) -> Result<bool, ReasonerError> {
+        self.classical.is_consistent()
+    }
+
+    /// Is there information supporting `a : C`? (`K̄ ⊨ ā : C̄`.)
+    pub fn has_positive_info(
+        &mut self,
+        a: &IndividualName,
+        c: &Concept,
+    ) -> Result<bool, ReasonerError> {
+        let tc = transform::transform_concept(c);
+        self.classical.is_instance_of(a, &tc)
+    }
+
+    /// Is there information *against* `a : C`? (`K̄ ⊨ ā : ¬C̄`, i.e. the
+    /// transformed negation.)
+    pub fn has_negative_info(
+        &mut self,
+        a: &IndividualName,
+        c: &Concept,
+    ) -> Result<bool, ReasonerError> {
+        let tc = transform::transform_neg_concept(c);
+        self.classical.is_instance_of(a, &tc)
+    }
+
+    /// The four-valued answer to "what does the KB know about `a : C`?",
+    /// combining the two entailment queries.
+    pub fn query(
+        &mut self,
+        a: &IndividualName,
+        c: &Concept,
+    ) -> Result<TruthValue, ReasonerError> {
+        Ok(TruthValue::from_bits(
+            self.has_positive_info(a, c)?,
+            self.has_negative_info(a, c)?,
+        ))
+    }
+
+    /// Is there information supporting `R(a, b)`? (`K̄ ⊨ R⁺(a,b)`.)
+    pub fn has_positive_role_info(
+        &mut self,
+        r: &RoleName,
+        a: &IndividualName,
+        b: &IndividualName,
+    ) -> Result<bool, ReasonerError> {
+        self.classical.entails(&Axiom::RoleAssertion(
+            r.with_suffix(transform::POS_SUFFIX),
+            a.clone(),
+            b.clone(),
+        ))
+    }
+
+    /// Is there information against `R(a, b)`?
+    /// (`K̄ ⊨ a : ∀R⁼.¬{b}`, i.e. `(a,b) ∉ R⁼ = proj⁻(R)`.)
+    pub fn has_negative_role_info(
+        &mut self,
+        r: &RoleName,
+        a: &IndividualName,
+        b: &IndividualName,
+    ) -> Result<bool, ReasonerError> {
+        self.classical.entails(&Axiom::ConceptAssertion(
+            a.clone(),
+            Concept::all(
+                RoleExpr::named(r.with_suffix(transform::EQ_SUFFIX)),
+                Concept::one_of([b.clone()]).not(),
+            ),
+        ))
+    }
+
+    /// The four-valued answer about a role membership.
+    pub fn query_role(
+        &mut self,
+        r: &RoleName,
+        a: &IndividualName,
+        b: &IndividualName,
+    ) -> Result<TruthValue, ReasonerError> {
+        Ok(TruthValue::from_bits(
+            self.has_positive_role_info(r, a, b)?,
+            self.has_negative_role_info(r, a, b)?,
+        ))
+    }
+
+    /// Does the KB four-valued-entail the axiom? Inclusion axioms go
+    /// through Corollary 7; everything else reduces to entailment over
+    /// `K̄`.
+    pub fn entails(&mut self, ax: &Axiom4) -> Result<bool, ReasonerError> {
+        let mut tr = Transformer::memoized();
+        match ax {
+            Axiom4::ConceptInclusion(kind, c, d) => {
+                let cbar = tr.concept(c);
+                let neg_cbar = tr.neg_concept(c);
+                let dbar = tr.concept(d);
+                let neg_dbar = tr.neg_concept(d);
+                match kind {
+                    // C ↦ D iff ¬(¬C̄) ⊓ ¬D̄ unsatisfiable in K̄.
+                    InclusionKind::Material => {
+                        let test = neg_cbar.not().and(dbar.not());
+                        Ok(!self.classical.is_concept_satisfiable(&test)?)
+                    }
+                    // C ⊏ D iff C̄ ⊓ ¬D̄ unsatisfiable.
+                    InclusionKind::Internal => {
+                        let test = cbar.and(dbar.not());
+                        Ok(!self.classical.is_concept_satisfiable(&test)?)
+                    }
+                    // C → D iff additionally ¬D̄ ⊓ ¬(¬C̄) unsatisfiable —
+                    // i.e. ¬D̄ ⊑ ¬C̄ also holds.
+                    InclusionKind::Strong => {
+                        let fwd = cbar.and(dbar.not());
+                        let bwd = neg_dbar.and(neg_cbar.not());
+                        Ok(!self.classical.is_concept_satisfiable(&fwd)?
+                            && !self.classical.is_concept_satisfiable(&bwd)?)
+                    }
+                }
+            }
+            other => {
+                // Every transformed image must be classically entailed.
+                for classical_ax in tr.axiom(other) {
+                    if !self.classical.entails(&classical_ax)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_kb4;
+
+    fn r4(src: &str) -> Reasoner4 {
+        Reasoner4::new(&parse_kb4(src).unwrap())
+    }
+
+    fn ind(s: &str) -> IndividualName {
+        IndividualName::new(s)
+    }
+
+    #[test]
+    fn example1_paraconsistent_instance_query() {
+        let mut r = r4(
+            "hasPatient some Patient SubClassOf Doctor
+             john : Doctor
+             john : not Doctor
+             mary : Patient
+             hasPatient(bill, mary)",
+        );
+        assert!(r.is_satisfiable().unwrap());
+        let doctor = Concept::atomic("Doctor");
+        // Positive info that bill is a doctor, no negative info.
+        assert_eq!(r.query(&ind("bill"), &doctor).unwrap(), TruthValue::True);
+        // John is the contradiction.
+        assert_eq!(r.query(&ind("john"), &doctor).unwrap(), TruthValue::Both);
+        // Mary: nothing either way.
+        assert_eq!(r.query(&ind("mary"), &doctor).unwrap(), TruthValue::Neither);
+    }
+
+    #[test]
+    fn example2_access_control() {
+        let mut r = r4(
+            "SurgicalTeam SubClassOf not ReadPatientRecordTeam
+             UrgencyTeam SubClassOf ReadPatientRecordTeam
+             john : SurgicalTeam
+             john : UrgencyTeam",
+        );
+        assert!(r.is_satisfiable().unwrap());
+        let read = Concept::atomic("ReadPatientRecordTeam");
+        assert_eq!(r.query(&ind("john"), &read).unwrap(), TruthValue::Both);
+        // Irrelevant facts stay unknown — no explosion.
+        assert_eq!(
+            r.query(&ind("john"), &Concept::atomic("Patient")).unwrap(),
+            TruthValue::Neither
+        );
+    }
+
+    #[test]
+    fn example3_and_5_penguin() {
+        let mut r = r4(
+            "Bird and (hasWing some Wing) MaterialSubClassOf Fly
+             Penguin SubClassOf Bird
+             Penguin SubClassOf hasWing some Wing
+             Penguin SubClassOf not Fly
+             tweety : Bird
+             tweety : Penguin
+             w : Wing
+             hasWing(tweety, w)",
+        );
+        assert!(r.is_satisfiable().unwrap());
+        let fly = Concept::atomic("Fly");
+        // Example 5: Fly⁻(tweety) holds, Fly⁺(tweety) does not.
+        assert!(r.has_negative_info(&ind("tweety"), &fly).unwrap());
+        assert!(!r.has_positive_info(&ind("tweety"), &fly).unwrap());
+        assert_eq!(r.query(&ind("tweety"), &fly).unwrap(), TruthValue::False);
+    }
+
+    #[test]
+    fn example4_adoption() {
+        let mut r = r4(
+            "hasChild min 1 SubClassOf Parent
+             Parent MaterialSubClassOf Married
+             hasChild(smith, kate)
+             smith : not Married",
+        );
+        assert!(r.is_satisfiable().unwrap());
+        // Negative info about marriage survives.
+        assert!(r
+            .has_negative_info(&ind("smith"), &Concept::atomic("Married"))
+            .unwrap());
+        // Positive info that smith is a parent.
+        assert!(r
+            .has_positive_info(&ind("smith"), &Concept::atomic("Parent"))
+            .unwrap());
+    }
+
+    #[test]
+    fn internal_inclusion_does_not_contrapose() {
+        // Bird ⊏ Fly plus ¬Fly(x) must NOT give ¬Bird(x).
+        let mut r = r4(
+            "Bird SubClassOf Fly
+             x : not Fly",
+        );
+        assert!(!r
+            .has_negative_info(&ind("x"), &Concept::atomic("Bird"))
+            .unwrap());
+        assert_eq!(
+            r.query(&ind("x"), &Concept::atomic("Bird")).unwrap(),
+            TruthValue::Neither
+        );
+    }
+
+    #[test]
+    fn strong_inclusion_contraposes() {
+        let mut r = r4(
+            "Bird StrongSubClassOf Fly
+             x : not Fly",
+        );
+        assert!(r
+            .has_negative_info(&ind("x"), &Concept::atomic("Bird"))
+            .unwrap());
+        assert_eq!(
+            r.query(&ind("x"), &Concept::atomic("Bird")).unwrap(),
+            TruthValue::False
+        );
+    }
+
+    #[test]
+    fn material_inclusion_admits_exceptions() {
+        // Bird ↦ Fly with a contradicted bird: tweety escapes the rule.
+        let mut r = r4(
+            "Bird MaterialSubClassOf Fly
+             tweety : Bird
+             tweety : not Bird",
+        );
+        assert!(!r
+            .has_positive_info(&ind("tweety"), &Concept::atomic("Fly"))
+            .unwrap());
+        // An uncontradicted bird does fly.
+        let mut r = r4(
+            "Bird MaterialSubClassOf Fly
+             robin : Bird",
+        );
+        // Material: everything not provably ¬Bird is Fly — robin is not
+        // provably ¬Bird... note ↦ quantifies over Δ∖proj⁻(Bird), and in
+        // some models robin ∈ proj⁻(Bird), so positive info is NOT
+        // entailed for the material reading alone. The paper's Example 3
+        // pairs ↦ with explicit positive premises; what IS entailed is
+        // the global reading:
+        assert!(r
+            .entails(&Axiom4::ConceptInclusion(
+                InclusionKind::Material,
+                Concept::atomic("Bird"),
+                Concept::atomic("Fly"),
+            ))
+            .unwrap());
+    }
+
+    #[test]
+    fn corollary7_inclusion_entailment() {
+        let mut r = r4(
+            "A SubClassOf B
+             B SubClassOf C",
+        );
+        // Internal inclusions compose.
+        assert!(r
+            .entails(&Axiom4::ConceptInclusion(
+                InclusionKind::Internal,
+                Concept::atomic("A"),
+                Concept::atomic("C"),
+            ))
+            .unwrap());
+        assert!(!r
+            .entails(&Axiom4::ConceptInclusion(
+                InclusionKind::Internal,
+                Concept::atomic("C"),
+                Concept::atomic("A"),
+            ))
+            .unwrap());
+        // Strong is NOT entailed by internal premises (no contraposition
+        // information).
+        assert!(!r
+            .entails(&Axiom4::ConceptInclusion(
+                InclusionKind::Strong,
+                Concept::atomic("A"),
+                Concept::atomic("C"),
+            ))
+            .unwrap());
+    }
+
+    #[test]
+    fn strong_premises_entail_strong_conclusions() {
+        let mut r = r4(
+            "A StrongSubClassOf B
+             B StrongSubClassOf C",
+        );
+        assert!(r
+            .entails(&Axiom4::ConceptInclusion(
+                InclusionKind::Strong,
+                Concept::atomic("A"),
+                Concept::atomic("C"),
+            ))
+            .unwrap());
+        // Strong implies internal.
+        assert!(r
+            .entails(&Axiom4::ConceptInclusion(
+                InclusionKind::Internal,
+                Concept::atomic("A"),
+                Concept::atomic("C"),
+            ))
+            .unwrap());
+    }
+
+    #[test]
+    fn role_queries_four_valued() {
+        let mut r = r4(
+            "r(a, b)
+             not r(c, d)",
+        );
+        let role = RoleName::new("r");
+        assert_eq!(
+            r.query_role(&role, &ind("a"), &ind("b")).unwrap(),
+            TruthValue::True
+        );
+        assert_eq!(
+            r.query_role(&role, &ind("c"), &ind("d")).unwrap(),
+            TruthValue::False
+        );
+        assert_eq!(
+            r.query_role(&role, &ind("a"), &ind("d")).unwrap(),
+            TruthValue::Neither
+        );
+        // Contradictory role information.
+        let mut r = r4(
+            "r(a, b)
+             not r(a, b)",
+        );
+        assert!(r.is_satisfiable().unwrap());
+        assert_eq!(
+            r.query_role(&RoleName::new("r"), &ind("a"), &ind("b")).unwrap(),
+            TruthValue::Both
+        );
+    }
+
+    #[test]
+    fn classical_contradiction_keeps_other_inferences() {
+        // The headline robustness claim, end to end through the tableau.
+        let mut r = r4(
+            "A SubClassOf B
+             x : A
+             x : not A
+             y : A",
+        );
+        assert!(r.is_satisfiable().unwrap());
+        assert_eq!(
+            r.query(&ind("y"), &Concept::atomic("B")).unwrap(),
+            TruthValue::True
+        );
+        assert_eq!(
+            r.query(&ind("x"), &Concept::atomic("A")).unwrap(),
+            TruthValue::Both
+        );
+        // x : B still follows (internal inclusion fires on proj⁺).
+        assert!(r
+            .has_positive_info(&ind("x"), &Concept::atomic("B"))
+            .unwrap());
+    }
+
+    #[test]
+    fn role_inclusion_entailment_via_transformation() {
+        let mut r = r4("r SubRoleOf s");
+        assert!(r
+            .entails(&Axiom4::RoleInclusion(
+                InclusionKind::Internal,
+                RoleExpr::named("r"),
+                RoleExpr::named("s"),
+            ))
+            .unwrap());
+        assert!(!r
+            .entails(&Axiom4::RoleInclusion(
+                InclusionKind::Internal,
+                RoleExpr::named("s"),
+                RoleExpr::named("r"),
+            ))
+            .unwrap());
+    }
+
+    #[test]
+    fn unsatisfiable_four_valued_kb_exists() {
+        // Nominal machinery keeps its classical bite: a : {b}, a ≠ b.
+        let mut r = r4(
+            "a : {b}
+             a != b",
+        );
+        assert!(!r.is_satisfiable().unwrap());
+    }
+
+    #[test]
+    fn induced_kb_is_inspectable() {
+        let r = r4("A SubClassOf B");
+        let printed = dl::printer::print_kb(r.induced_kb());
+        assert!(printed.contains("A+ SubClassOf B+"));
+    }
+}

@@ -1,0 +1,541 @@
+//! The SHOIN(D)4 → SHOIN(D) transformation (Definitions 5–7) — the
+//! paper's central device. Every four-valued name is split in two:
+//!
+//! * an atomic concept `A` becomes `A⁺` (spelled `A+`) carrying the
+//!   positive information and `A⁻` (`A-`) carrying the negative;
+//! * a role `R` becomes `R⁺` (`R+`, the positive pairs) and `R⁼` (`R=`,
+//!   the *complement of the negative* pairs);
+//! * datatype roles split the same way.
+//!
+//! [`transform_concept`] computes `C̄` and [`transform_neg_concept`]
+//! computes `¬C̄` — mutually recursive exactly as the 19 cases of
+//! Definition 5. [`Transformer::axiom`] and [`transform_kb`] implement
+//! Definitions 6–7, producing the *classical induced KB* `K̄` on which any
+//! classical SHOIN(D) reasoner executes the paraconsistent semantics.
+//!
+//! The transformation is linear in the input (each AST node is visited
+//! once per polarity); [`Transformer`] adds optional subterm memoization —
+//! the ablation knob measured by `bench_ablation_transform_memo`.
+//!
+//! ## Notes on fidelity
+//!
+//! * Definition 6's strong role inclusion prints `R₁⁻ ⊑ R₂⁻`; the
+//!   semantics `proj⁻(R₂) ⊆ proj⁻(R₁)` under the `R⁼`-encoding (complement
+//!   of `proj⁻`) is `R₁⁼ ⊑ R₂⁼`, which is what we emit.
+//! * Negative role assertions `¬R(a,b)` (ABox-level negative information,
+//!   first-class in the four-valued setting) transform to
+//!   `a : ∀R⁼.¬{b}` — "the pair (a,b) is not in `R⁼`", i.e. it is in
+//!   `proj⁻(R)`.
+//! * Definition 5 omits `¬{o…}` and the negated datatype restrictions; we
+//!   extend it in the only semantics-preserving way (nominals are
+//!   classical; datatype fillers complement, mirroring cases 14–17).
+
+use crate::inclusion::InclusionKind;
+use crate::kb4::{Axiom4, KnowledgeBase4};
+use dl::axiom::{Axiom, RoleExpr};
+use dl::kb::KnowledgeBase;
+use dl::name::{ConceptName, DataRoleName};
+use dl::Concept;
+use std::collections::HashMap;
+
+/// Suffix minting the positive companion of a name.
+pub const POS_SUFFIX: &str = "+";
+/// Suffix minting the negative companion of an atomic concept.
+pub const NEG_SUFFIX: &str = "-";
+/// Suffix minting the `R⁼` companion of a role.
+pub const EQ_SUFFIX: &str = "=";
+
+/// `A⁺` for an atomic concept name.
+pub fn pos_concept_name(a: &ConceptName) -> ConceptName {
+    a.with_suffix(POS_SUFFIX)
+}
+
+/// `A⁻` for an atomic concept name.
+pub fn neg_concept_name(a: &ConceptName) -> ConceptName {
+    a.with_suffix(NEG_SUFFIX)
+}
+
+/// `R⁺` as a role expression; inversion carries over (`(R⁻)⁺ = (R⁺)⁻`,
+/// Definition 5 case 19).
+pub fn plus_role(r: &RoleExpr) -> RoleExpr {
+    let named = RoleExpr::named(r.name().with_suffix(POS_SUFFIX));
+    if r.is_inverse() {
+        named.inverse()
+    } else {
+        named
+    }
+}
+
+/// `R⁼` as a role expression; inversion carries over.
+pub fn eq_role(r: &RoleExpr) -> RoleExpr {
+    let named = RoleExpr::named(r.name().with_suffix(EQ_SUFFIX));
+    if r.is_inverse() {
+        named.inverse()
+    } else {
+        named
+    }
+}
+
+/// `U⁺` for a datatype role.
+pub fn plus_data_role(u: &DataRoleName) -> DataRoleName {
+    u.with_suffix(POS_SUFFIX)
+}
+
+/// `U⁼` for a datatype role.
+pub fn eq_data_role(u: &DataRoleName) -> DataRoleName {
+    u.with_suffix(EQ_SUFFIX)
+}
+
+/// A transformer with optional structure-sharing memoization.
+#[derive(Debug, Default)]
+pub struct Transformer {
+    memo_pos: Option<HashMap<Concept, Concept>>,
+    memo_neg: Option<HashMap<Concept, Concept>>,
+}
+
+impl Transformer {
+    /// A plain (unmemoized) transformer — faithful to the naive recursion
+    /// of Definition 5.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A transformer that caches subterm transformations. Worth it when
+    /// the same complex concept occurs in many axioms.
+    pub fn memoized() -> Self {
+        Transformer {
+            memo_pos: Some(HashMap::new()),
+            memo_neg: Some(HashMap::new()),
+        }
+    }
+
+    /// `C̄` — the concept transformation (Definition 5).
+    pub fn concept(&mut self, c: &Concept) -> Concept {
+        if let Some(memo) = &self.memo_pos {
+            if let Some(hit) = memo.get(c) {
+                return hit.clone();
+            }
+        }
+        let out = match c {
+            Concept::Top => Concept::Top,
+            Concept::Bottom => Concept::Bottom,
+            Concept::Atomic(a) => Concept::Atomic(pos_concept_name(a)),
+            Concept::Not(inner) => self.neg_concept(inner),
+            Concept::And(l, r) => self.concept(l).and(self.concept(r)),
+            Concept::Or(l, r) => self.concept(l).or(self.concept(r)),
+            Concept::OneOf(os) => Concept::OneOf(os.clone()),
+            Concept::Some(role, f) => Concept::some(plus_role(role), self.concept(f)),
+            Concept::All(role, f) => Concept::all(plus_role(role), self.concept(f)),
+            Concept::AtLeast(n, role) => Concept::at_least(*n, plus_role(role)),
+            Concept::AtMost(n, role) => Concept::at_most(*n, eq_role(role)),
+            Concept::DataSome(u, d) => Concept::DataSome(plus_data_role(u), d.clone()),
+            Concept::DataAll(u, d) => Concept::DataAll(plus_data_role(u), d.clone()),
+            Concept::DataAtLeast(n, u) => Concept::DataAtLeast(*n, plus_data_role(u)),
+            Concept::DataAtMost(n, u) => Concept::DataAtMost(*n, eq_data_role(u)),
+        };
+        if let Some(memo) = &mut self.memo_pos {
+            memo.insert(c.clone(), out.clone());
+        }
+        out
+    }
+
+    /// `¬C̄` — the transformation of the negation (Definition 5, cases 2
+    /// and 11–17 plus the documented extensions).
+    pub fn neg_concept(&mut self, c: &Concept) -> Concept {
+        if let Some(memo) = &self.memo_neg {
+            if let Some(hit) = memo.get(c) {
+                return hit.clone();
+            }
+        }
+        let out = match c {
+            Concept::Top => Concept::Bottom,
+            Concept::Bottom => Concept::Top,
+            Concept::Atomic(a) => Concept::Atomic(neg_concept_name(a)),
+            // ¬¬D.
+            Concept::Not(inner) => self.concept(inner),
+            Concept::And(l, r) => self.neg_concept(l).or(self.neg_concept(r)),
+            Concept::Or(l, r) => self.neg_concept(l).and(self.neg_concept(r)),
+            // Nominals are classical: ¬{o…} stays a negated nominal.
+            Concept::OneOf(os) => Concept::OneOf(os.clone()).not(),
+            Concept::Some(role, f) => Concept::all(plus_role(role), self.neg_concept(f)),
+            Concept::All(role, f) => Concept::some(plus_role(role), self.neg_concept(f)),
+            Concept::AtLeast(n, role) => {
+                if *n == 0 {
+                    // ≥0.R is ⊤; its negation transforms to ⊥.
+                    Concept::Bottom
+                } else {
+                    Concept::at_most(n - 1, eq_role(role))
+                }
+            }
+            Concept::AtMost(n, role) => Concept::at_least(n + 1, plus_role(role)),
+            Concept::DataSome(u, d) => {
+                Concept::DataAll(plus_data_role(u), d.complement())
+            }
+            Concept::DataAll(u, d) => {
+                Concept::DataSome(plus_data_role(u), d.complement())
+            }
+            Concept::DataAtLeast(n, u) => {
+                if *n == 0 {
+                    Concept::Bottom
+                } else {
+                    Concept::DataAtMost(n - 1, eq_data_role(u))
+                }
+            }
+            Concept::DataAtMost(n, u) => Concept::DataAtLeast(n + 1, plus_data_role(u)),
+        };
+        if let Some(memo) = &mut self.memo_neg {
+            memo.insert(c.clone(), out.clone());
+        }
+        out
+    }
+
+    /// Transform one axiom into its classical image(s) (Definition 6).
+    pub fn axiom(&mut self, ax: &Axiom4) -> Vec<Axiom> {
+        match ax {
+            Axiom4::ConceptInclusion(kind, c, d) => match kind {
+                InclusionKind::Material => vec![Axiom::ConceptInclusion(
+                    self.neg_concept(c).not(),
+                    self.concept(d),
+                )],
+                InclusionKind::Internal => vec![Axiom::ConceptInclusion(
+                    self.concept(c),
+                    self.concept(d),
+                )],
+                InclusionKind::Strong => vec![
+                    Axiom::ConceptInclusion(self.concept(c), self.concept(d)),
+                    Axiom::ConceptInclusion(self.neg_concept(d), self.neg_concept(c)),
+                ],
+            },
+            Axiom4::RoleInclusion(kind, r, s) => match kind {
+                InclusionKind::Material => {
+                    vec![Axiom::RoleInclusion(eq_role(r), plus_role(s))]
+                }
+                InclusionKind::Internal => {
+                    vec![Axiom::RoleInclusion(plus_role(r), plus_role(s))]
+                }
+                InclusionKind::Strong => vec![
+                    Axiom::RoleInclusion(plus_role(r), plus_role(s)),
+                    Axiom::RoleInclusion(eq_role(r), eq_role(s)),
+                ],
+            },
+            Axiom4::DataRoleInclusion(kind, u, v) => match kind {
+                InclusionKind::Material => {
+                    vec![Axiom::DataRoleInclusion(eq_data_role(u), plus_data_role(v))]
+                }
+                InclusionKind::Internal => {
+                    vec![Axiom::DataRoleInclusion(
+                        plus_data_role(u),
+                        plus_data_role(v),
+                    )]
+                }
+                InclusionKind::Strong => vec![
+                    Axiom::DataRoleInclusion(plus_data_role(u), plus_data_role(v)),
+                    Axiom::DataRoleInclusion(eq_data_role(u), eq_data_role(v)),
+                ],
+            },
+            Axiom4::Transitive(r) => {
+                vec![Axiom::Transitive(r.with_suffix(POS_SUFFIX))]
+            }
+            Axiom4::ConceptAssertion(a, c) => {
+                vec![Axiom::ConceptAssertion(a.clone(), self.concept(c))]
+            }
+            Axiom4::RoleAssertion(r, a, b) => vec![Axiom::RoleAssertion(
+                r.with_suffix(POS_SUFFIX),
+                a.clone(),
+                b.clone(),
+            )],
+            Axiom4::NegativeRoleAssertion(r, a, b) => {
+                // (a,b) ∈ proj⁻(R) ⟺ (a,b) ∉ R⁼ ⟺ a : ∀R⁼.¬{b}.
+                vec![Axiom::ConceptAssertion(
+                    a.clone(),
+                    Concept::all(
+                        RoleExpr::named(r.with_suffix(EQ_SUFFIX)),
+                        Concept::one_of([b.clone()]).not(),
+                    ),
+                )]
+            }
+            Axiom4::DataAssertion(u, a, v) => vec![Axiom::DataAssertion(
+                plus_data_role(u),
+                a.clone(),
+                v.clone(),
+            )],
+            Axiom4::SameIndividual(a, b) => {
+                vec![Axiom::SameIndividual(a.clone(), b.clone())]
+            }
+            Axiom4::DifferentIndividuals(a, b) => {
+                vec![Axiom::DifferentIndividuals(a.clone(), b.clone())]
+            }
+        }
+    }
+
+    /// The classical induced KB `K̄` (Definition 7).
+    pub fn kb(&mut self, kb4: &KnowledgeBase4) -> KnowledgeBase {
+        KnowledgeBase::from_axioms(kb4.axioms().iter().flat_map(|ax| self.axiom(ax)))
+    }
+}
+
+/// `C̄` with a fresh unmemoized transformer.
+pub fn transform_concept(c: &Concept) -> Concept {
+    Transformer::new().concept(c)
+}
+
+/// `¬C̄` with a fresh unmemoized transformer.
+pub fn transform_neg_concept(c: &Concept) -> Concept {
+    Transformer::new().neg_concept(c)
+}
+
+/// The classical induced KB with a fresh memoized transformer.
+pub fn transform_kb(kb4: &KnowledgeBase4) -> KnowledgeBase {
+    Transformer::memoized().kb(kb4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl::parser::parse_concept;
+
+    fn t(src: &str) -> Concept {
+        transform_concept(&parse_concept(src).unwrap())
+    }
+    fn tn(src: &str) -> Concept {
+        transform_neg_concept(&parse_concept(src).unwrap())
+    }
+
+    #[test]
+    fn atomic_concepts_split() {
+        assert_eq!(t("A"), parse_concept("A+").unwrap());
+        assert_eq!(tn("A"), parse_concept("A-").unwrap());
+        assert_eq!(t("not A"), parse_concept("A-").unwrap());
+        assert_eq!(tn("not A"), parse_concept("A+").unwrap());
+    }
+
+    #[test]
+    fn double_negation_case_11() {
+        assert_eq!(t("not not A"), parse_concept("A+").unwrap());
+        assert_eq!(tn("not not A"), parse_concept("A-").unwrap());
+    }
+
+    #[test]
+    fn boolean_cases_5_6_12_13() {
+        assert_eq!(t("A and B"), parse_concept("A+ and B+").unwrap());
+        assert_eq!(t("A or B"), parse_concept("A+ or B+").unwrap());
+        assert_eq!(tn("A and B"), parse_concept("A- or B-").unwrap());
+        assert_eq!(tn("A or B"), parse_concept("A- and B-").unwrap());
+    }
+
+    #[test]
+    fn restriction_cases_7_8_14_15() {
+        assert_eq!(t("r some A"), parse_concept("r+ some A+").unwrap());
+        assert_eq!(t("r only A"), parse_concept("r+ only A+").unwrap());
+        assert_eq!(tn("r some A"), parse_concept("r+ only A-").unwrap());
+        assert_eq!(tn("r only A"), parse_concept("r+ some A-").unwrap());
+    }
+
+    #[test]
+    fn number_cases_9_10_16_17() {
+        assert_eq!(t("r min 3"), parse_concept("r+ min 3").unwrap());
+        assert_eq!(t("r max 3"), parse_concept("r= max 3").unwrap());
+        assert_eq!(tn("r min 3"), parse_concept("r= max 2").unwrap());
+        assert_eq!(tn("r max 3"), parse_concept("r+ min 4").unwrap());
+        assert_eq!(tn("r min 0"), Concept::Bottom);
+    }
+
+    #[test]
+    fn inverse_roles_case_19() {
+        let c = Concept::some(RoleExpr::named("r").inverse(), Concept::atomic("A"));
+        let tc = transform_concept(&c);
+        assert_eq!(
+            tc,
+            Concept::some(RoleExpr::named("r+").inverse(), Concept::atomic("A+"))
+        );
+        let c = Concept::at_most(1, RoleExpr::named("r").inverse());
+        assert_eq!(
+            transform_concept(&c),
+            Concept::at_most(1, RoleExpr::named("r=").inverse())
+        );
+    }
+
+    #[test]
+    fn nominals_case_18() {
+        assert_eq!(t("{a, b}"), parse_concept("{a, b}").unwrap());
+        assert_eq!(tn("{a}"), parse_concept("not {a}").unwrap());
+    }
+
+    #[test]
+    fn top_bottom_cases_3_4() {
+        assert_eq!(t("Thing"), Concept::Top);
+        assert_eq!(tn("Thing"), Concept::Bottom);
+        assert_eq!(t("Nothing"), Concept::Bottom);
+        assert_eq!(tn("Nothing"), Concept::Top);
+    }
+
+    #[test]
+    fn datatype_transformations() {
+        assert_eq!(
+            t("age some integer[0..5]"),
+            parse_concept("age+ some integer[0..5]").unwrap()
+        );
+        let n = tn("age some integer[0..5]");
+        match n {
+            Concept::DataAll(u, d) => {
+                assert_eq!(u.as_str(), "age+");
+                assert!(matches!(d, dl::datatype::DataRange::Not(_)));
+            }
+            other => panic!("expected DataAll, got {other}"),
+        }
+    }
+
+    #[test]
+    fn axiom_transformations_def_6() {
+        use dl::Concept as C;
+        let mut tr = Transformer::new();
+        let (a, b) = (C::atomic("A"), C::atomic("B"));
+        // Material: ¬(¬A)⁻ ⊑ B⁺, i.e. ¬A⁻ ⊑ B⁺.
+        let m = tr.axiom(&Axiom4::ConceptInclusion(
+            InclusionKind::Material,
+            a.clone(),
+            b.clone(),
+        ));
+        assert_eq!(
+            m,
+            vec![Axiom::ConceptInclusion(C::atomic("A-").not(), C::atomic("B+"))]
+        );
+        // Internal: A⁺ ⊑ B⁺.
+        let i = tr.axiom(&Axiom4::ConceptInclusion(
+            InclusionKind::Internal,
+            a.clone(),
+            b.clone(),
+        ));
+        assert_eq!(
+            i,
+            vec![Axiom::ConceptInclusion(C::atomic("A+"), C::atomic("B+"))]
+        );
+        // Strong: A⁺ ⊑ B⁺ and B⁻ ⊑ A⁻.
+        let s = tr.axiom(&Axiom4::ConceptInclusion(InclusionKind::Strong, a, b));
+        assert_eq!(
+            s,
+            vec![
+                Axiom::ConceptInclusion(C::atomic("A+"), C::atomic("B+")),
+                Axiom::ConceptInclusion(C::atomic("B-"), C::atomic("A-")),
+            ]
+        );
+    }
+
+    #[test]
+    fn role_axiom_transformations() {
+        let mut tr = Transformer::new();
+        let (r, s) = (RoleExpr::named("r"), RoleExpr::named("s"));
+        assert_eq!(
+            tr.axiom(&Axiom4::RoleInclusion(InclusionKind::Material, r.clone(), s.clone())),
+            vec![Axiom::RoleInclusion(
+                RoleExpr::named("r="),
+                RoleExpr::named("s+")
+            )]
+        );
+        assert_eq!(
+            tr.axiom(&Axiom4::RoleInclusion(InclusionKind::Strong, r, s)),
+            vec![
+                Axiom::RoleInclusion(RoleExpr::named("r+"), RoleExpr::named("s+")),
+                Axiom::RoleInclusion(RoleExpr::named("r="), RoleExpr::named("s=")),
+            ]
+        );
+        assert_eq!(
+            tr.axiom(&Axiom4::Transitive(dl::RoleName::new("anc"))),
+            vec![Axiom::Transitive(dl::RoleName::new("anc+"))]
+        );
+    }
+
+    #[test]
+    fn abox_transformations() {
+        let mut tr = Transformer::new();
+        let a = dl::IndividualName::new("a");
+        let b = dl::IndividualName::new("b");
+        assert_eq!(
+            tr.axiom(&Axiom4::RoleAssertion(dl::RoleName::new("r"), a.clone(), b.clone())),
+            vec![Axiom::RoleAssertion(dl::RoleName::new("r+"), a.clone(), b.clone())]
+        );
+        let neg = tr.axiom(&Axiom4::NegativeRoleAssertion(
+            dl::RoleName::new("r"),
+            a.clone(),
+            b.clone(),
+        ));
+        assert_eq!(
+            neg,
+            vec![Axiom::ConceptAssertion(
+                a,
+                Concept::all(
+                    RoleExpr::named("r="),
+                    Concept::one_of([b]).not()
+                )
+            )]
+        );
+    }
+
+    #[test]
+    fn transformation_is_linear_in_size() {
+        // |C̄| ≤ 2·|C| for a deeply nested concept (claim C1 in DESIGN.md).
+        let mut src = String::from("A");
+        for i in 0..30 {
+            src = format!("not (r{i} some ({src} and B{i}))");
+        }
+        let c = parse_concept(&src).unwrap();
+        let tc = transform_concept(&c);
+        assert!(tc.size() <= 2 * c.size());
+    }
+
+    #[test]
+    fn memoized_equals_unmemoized() {
+        let cases = [
+            "not (A and (r some (B or not C)))",
+            "r min 2 and (r max 4 or not (s only {a}))",
+            "not not (A or not A)",
+        ];
+        for src in cases {
+            let c = parse_concept(src).unwrap();
+            assert_eq!(
+                Transformer::new().concept(&c),
+                Transformer::memoized().concept(&c)
+            );
+            assert_eq!(
+                Transformer::new().neg_concept(&c),
+                Transformer::memoized().neg_concept(&c)
+            );
+        }
+    }
+
+    #[test]
+    fn example_5_transformed_tbox() {
+        // The paper's Example 5: transformation of the penguin TBox4.
+        let mut tr = Transformer::new();
+        let bird_wing = parse_concept("Bird and (hasWing some Wing)").unwrap();
+        let fly = Concept::atomic("Fly");
+        let material = tr.axiom(&Axiom4::ConceptInclusion(
+            InclusionKind::Material,
+            bird_wing,
+            fly.clone(),
+        ));
+        // ¬(Bird⁻ ⊔ ∀hasWing⁺.Wing⁻) ⊑ Fly⁺
+        let expected_lhs = Concept::atomic("Bird-")
+            .or(Concept::all(
+                RoleExpr::named("hasWing+"),
+                Concept::atomic("Wing-"),
+            ))
+            .not();
+        assert_eq!(
+            material,
+            vec![Axiom::ConceptInclusion(expected_lhs, Concept::atomic("Fly+"))]
+        );
+        let internal = tr.axiom(&Axiom4::ConceptInclusion(
+            InclusionKind::Internal,
+            Concept::atomic("Penguin"),
+            fly.not(),
+        ));
+        assert_eq!(
+            internal,
+            vec![Axiom::ConceptInclusion(
+                Concept::atomic("Penguin+"),
+                Concept::atomic("Fly-")
+            )]
+        );
+    }
+}

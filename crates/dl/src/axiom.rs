@@ -1,0 +1,217 @@
+//! SHOIN(D) axioms — the TBox, RBox and ABox forms of Table 1 — and role
+//! expressions (named roles and their inverses).
+
+use crate::concept::Concept;
+use crate::datatype::DataValue;
+use crate::name::{DataRoleName, IndividualName, RoleName};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An object role expression: a named role or the inverse of one.
+///
+/// SHOIN(D) allows inverse roles (`I`); `R⁻⁻` is normalized to `R` by
+/// construction, so every `RoleExpr` is either `R` or `R⁻` for named `R`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RoleExpr {
+    name: RoleName,
+    inverted: bool,
+}
+
+impl RoleExpr {
+    /// A named role `R`.
+    pub fn named(name: impl Into<RoleName>) -> Self {
+        RoleExpr {
+            name: name.into(),
+            inverted: false,
+        }
+    }
+
+    /// The inverse `self⁻`, with `R⁻⁻ = R`.
+    pub fn inverse(&self) -> Self {
+        RoleExpr {
+            name: self.name.clone(),
+            inverted: !self.inverted,
+        }
+    }
+
+    /// The underlying role name.
+    pub fn name(&self) -> &RoleName {
+        &self.name
+    }
+
+    /// Is this an inverse role?
+    pub fn is_inverse(&self) -> bool {
+        self.inverted
+    }
+
+    /// Apply this expression's direction to an edge `(a, b)`: a named role
+    /// relates `a → b`, an inverse role relates `b → a`.
+    pub fn orient<T>(&self, a: T, b: T) -> (T, T) {
+        if self.inverted {
+            (b, a)
+        } else {
+            (a, b)
+        }
+    }
+}
+
+impl fmt::Display for RoleExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.inverted {
+            write!(f, "inverse {}", self.name)
+        } else {
+            write!(f, "{}", self.name)
+        }
+    }
+}
+
+/// A SHOIN(D) axiom (Table 1, lower block).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Axiom {
+    /// Concept inclusion `C₁ ⊑ C₂`.
+    ConceptInclusion(Concept, Concept),
+    /// Object role inclusion `R₁ ⊑ R₂`.
+    RoleInclusion(RoleExpr, RoleExpr),
+    /// Object role transitivity `Trans(R)`.
+    Transitive(RoleName),
+    /// Datatype role inclusion `U₁ ⊑ U₂`.
+    DataRoleInclusion(DataRoleName, DataRoleName),
+    /// Individual (concept) assertion `a : C`.
+    ConceptAssertion(IndividualName, Concept),
+    /// Object role assertion `R(a, b)`.
+    RoleAssertion(RoleName, IndividualName, IndividualName),
+    /// Datatype role assertion `U(a, v)`.
+    DataAssertion(DataRoleName, IndividualName, DataValue),
+    /// Individual equality `a = b`.
+    SameIndividual(IndividualName, IndividualName),
+    /// Individual inequality `a ≠ b`.
+    DifferentIndividuals(IndividualName, IndividualName),
+}
+
+impl Axiom {
+    /// Is this a terminological (TBox/RBox) axiom?
+    pub fn is_tbox(&self) -> bool {
+        matches!(
+            self,
+            Axiom::ConceptInclusion(..)
+                | Axiom::RoleInclusion(..)
+                | Axiom::Transitive(..)
+                | Axiom::DataRoleInclusion(..)
+        )
+    }
+
+    /// Is this an assertional (ABox) axiom?
+    pub fn is_abox(&self) -> bool {
+        !self.is_tbox()
+    }
+
+    /// Structural size (AST nodes), for complexity measurements.
+    pub fn size(&self) -> usize {
+        match self {
+            Axiom::ConceptInclusion(c, d) => 1 + c.size() + d.size(),
+            Axiom::ConceptAssertion(_, c) => 1 + c.size(),
+            _ => 1,
+        }
+    }
+
+    /// Concept equivalence `C ≡ D` encoded as two inclusions.
+    pub fn equivalent(c: Concept, d: Concept) -> [Axiom; 2] {
+        [
+            Axiom::ConceptInclusion(c.clone(), d.clone()),
+            Axiom::ConceptInclusion(d, c),
+        ]
+    }
+
+    /// Concept disjointness `C ⊓ D ⊑ ⊥` as an inclusion.
+    pub fn disjoint(c: Concept, d: Concept) -> Axiom {
+        Axiom::ConceptInclusion(c.and(d), Concept::Bottom)
+    }
+
+    /// Domain restriction `∃R.⊤ ⊑ C`.
+    pub fn domain(role: RoleExpr, c: Concept) -> Axiom {
+        Axiom::ConceptInclusion(Concept::some(role, Concept::Top), c)
+    }
+
+    /// Range restriction `⊤ ⊑ ∀R.C`.
+    pub fn range(role: RoleExpr, c: Concept) -> Axiom {
+        Axiom::ConceptInclusion(Concept::Top, Concept::all(role, c))
+    }
+
+    /// Functionality `⊤ ⊑ ≤1.R`.
+    pub fn functional(role: RoleExpr) -> Axiom {
+        Axiom::ConceptInclusion(Concept::Top, Concept::at_most(1, role))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_normalizes_double_inversion() {
+        let r = RoleExpr::named("worksFor");
+        assert_eq!(r.inverse().inverse(), r);
+        assert!(r.inverse().is_inverse());
+        assert!(!r.is_inverse());
+    }
+
+    #[test]
+    fn orient_respects_direction() {
+        let r = RoleExpr::named("r");
+        assert_eq!(r.orient(1, 2), (1, 2));
+        assert_eq!(r.inverse().orient(1, 2), (2, 1));
+    }
+
+    #[test]
+    fn tbox_abox_partition() {
+        let all = [
+            Axiom::ConceptInclusion(Concept::Top, Concept::Top),
+            Axiom::RoleInclusion(RoleExpr::named("r"), RoleExpr::named("s")),
+            Axiom::Transitive(RoleName::new("r")),
+            Axiom::DataRoleInclusion(DataRoleName::new("u"), DataRoleName::new("v")),
+            Axiom::ConceptAssertion(IndividualName::new("a"), Concept::Top),
+            Axiom::RoleAssertion(
+                RoleName::new("r"),
+                IndividualName::new("a"),
+                IndividualName::new("b"),
+            ),
+            Axiom::DataAssertion(
+                DataRoleName::new("u"),
+                IndividualName::new("a"),
+                DataValue::Integer(1),
+            ),
+            Axiom::SameIndividual(IndividualName::new("a"), IndividualName::new("b")),
+            Axiom::DifferentIndividuals(IndividualName::new("a"), IndividualName::new("b")),
+        ];
+        let tbox_count = all.iter().filter(|a| a.is_tbox()).count();
+        assert_eq!(tbox_count, 4);
+        for a in &all {
+            assert_ne!(a.is_tbox(), a.is_abox());
+        }
+    }
+
+    #[test]
+    fn sugar_constructors() {
+        let [a, b] = Axiom::equivalent(Concept::atomic("A"), Concept::atomic("B"));
+        assert!(matches!(a, Axiom::ConceptInclusion(..)));
+        assert!(matches!(b, Axiom::ConceptInclusion(..)));
+        let d = Axiom::disjoint(Concept::atomic("A"), Concept::atomic("B"));
+        assert!(matches!(
+            d,
+            Axiom::ConceptInclusion(Concept::And(..), Concept::Bottom)
+        ));
+        assert!(matches!(
+            Axiom::functional(RoleExpr::named("r")),
+            Axiom::ConceptInclusion(Concept::Top, Concept::AtMost(1, _))
+        ));
+    }
+
+    #[test]
+    fn size_counts_concept_nodes() {
+        let ax = Axiom::ConceptInclusion(
+            Concept::atomic("A").and(Concept::atomic("B")),
+            Concept::atomic("C"),
+        );
+        assert_eq!(ax.size(), 1 + 3 + 1);
+    }
+}

@@ -1,0 +1,302 @@
+//! The SHOIN(D) concept language (Table 1 of the paper).
+//!
+//! Constructors: `⊤`, `⊥`, atomic concepts, full negation `¬C`,
+//! conjunction `C ⊓ D`, disjunction `C ⊔ D`, nominals `{o₁,…}`, exists /
+//! value restrictions `∃R.C` / `∀R.C`, unqualified number restrictions
+//! `≥n.R` / `≤n.R` (SHOIN has no qualified ones), and the datatype
+//! counterparts `∃U.D`, `∀U.D`, `≥n.U`, `≤n.U`.
+//!
+//! Concepts are immutable trees with `Arc` sharing, so cloning a complex
+//! concept is O(1) and the SHOIN(D)4 transformation can share subterms.
+
+use crate::axiom::RoleExpr;
+use crate::datatype::DataRange;
+use crate::name::{ConceptName, DataRoleName, IndividualName};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A (possibly complex) SHOIN(D) concept.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Concept {
+    /// The top concept `⊤` (the whole object domain).
+    Top,
+    /// The bottom concept `⊥` (the empty set).
+    Bottom,
+    /// An atomic concept name `A`.
+    Atomic(ConceptName),
+    /// Full negation `¬C`.
+    Not(Arc<Concept>),
+    /// Conjunction `C ⊓ D`.
+    And(Arc<Concept>, Arc<Concept>),
+    /// Disjunction `C ⊔ D`.
+    Or(Arc<Concept>, Arc<Concept>),
+    /// A nominal `{o₁, …, oₙ}`.
+    OneOf(BTreeSet<IndividualName>),
+    /// Exists restriction `∃R.C`.
+    Some(RoleExpr, Arc<Concept>),
+    /// Value restriction `∀R.C`.
+    All(RoleExpr, Arc<Concept>),
+    /// At-least restriction `≥ n.R` (unqualified).
+    AtLeast(u32, RoleExpr),
+    /// At-most restriction `≤ n.R` (unqualified).
+    AtMost(u32, RoleExpr),
+    /// Datatype exists restriction `∃U.D`.
+    DataSome(DataRoleName, DataRange),
+    /// Datatype value restriction `∀U.D`.
+    DataAll(DataRoleName, DataRange),
+    /// Datatype at-least restriction `≥ n.U`.
+    DataAtLeast(u32, DataRoleName),
+    /// Datatype at-most restriction `≤ n.U`.
+    DataAtMost(u32, DataRoleName),
+}
+
+impl Concept {
+    /// An atomic concept.
+    pub fn atomic(name: impl Into<ConceptName>) -> Concept {
+        Concept::Atomic(name.into())
+    }
+
+    /// `¬self`, with double negations collapsed structurally *not* here —
+    /// NNF handles that; this stays purely syntactic to honour the paper's
+    /// transformation cases (which treat `¬¬D` explicitly).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Concept {
+        Concept::Not(Arc::new(self))
+    }
+
+    /// `self ⊓ rhs`
+    pub fn and(self, rhs: Concept) -> Concept {
+        Concept::And(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// `self ⊔ rhs`
+    pub fn or(self, rhs: Concept) -> Concept {
+        Concept::Or(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// Fold a non-empty sequence of concepts into a left-nested `⊓`.
+    /// Returns `⊤` for an empty sequence.
+    pub fn and_all(cs: impl IntoIterator<Item = Concept>) -> Concept {
+        cs.into_iter()
+            .reduce(|a, b| a.and(b))
+            .unwrap_or(Concept::Top)
+    }
+
+    /// Fold a non-empty sequence of concepts into a left-nested `⊔`.
+    /// Returns `⊥` for an empty sequence.
+    pub fn or_all(cs: impl IntoIterator<Item = Concept>) -> Concept {
+        cs.into_iter()
+            .reduce(|a, b| a.or(b))
+            .unwrap_or(Concept::Bottom)
+    }
+
+    /// `∃R.self` reads better flipped: `Concept::some(r, c)`.
+    pub fn some(role: RoleExpr, filler: Concept) -> Concept {
+        Concept::Some(role, Arc::new(filler))
+    }
+
+    /// `∀R.C`
+    pub fn all(role: RoleExpr, filler: Concept) -> Concept {
+        Concept::All(role, Arc::new(filler))
+    }
+
+    /// `≥ n.R`
+    pub fn at_least(n: u32, role: RoleExpr) -> Concept {
+        Concept::AtLeast(n, role)
+    }
+
+    /// `≤ n.R`
+    pub fn at_most(n: u32, role: RoleExpr) -> Concept {
+        Concept::AtMost(n, role)
+    }
+
+    /// `{o₁, …}`
+    pub fn one_of(individuals: impl IntoIterator<Item = IndividualName>) -> Concept {
+        Concept::OneOf(individuals.into_iter().collect())
+    }
+
+    /// Is this a literal — an atomic concept or its negation?
+    pub fn is_literal(&self) -> bool {
+        match self {
+            Concept::Atomic(_) => true,
+            Concept::Not(inner) => matches!(**inner, Concept::Atomic(_)),
+            _ => false,
+        }
+    }
+
+    /// Structural size (number of AST nodes) — the measure for the
+    /// "polynomial-time transformation" claim.
+    pub fn size(&self) -> usize {
+        match self {
+            Concept::Top
+            | Concept::Bottom
+            | Concept::Atomic(_)
+            | Concept::OneOf(_)
+            | Concept::AtLeast(..)
+            | Concept::AtMost(..)
+            | Concept::DataSome(..)
+            | Concept::DataAll(..)
+            | Concept::DataAtLeast(..)
+            | Concept::DataAtMost(..) => 1,
+            Concept::Not(c) => 1 + c.size(),
+            Concept::And(l, r) | Concept::Or(l, r) => 1 + l.size() + r.size(),
+            Concept::Some(_, c) | Concept::All(_, c) => 1 + c.size(),
+        }
+    }
+
+    /// Maximal nesting depth of role restrictions — the "modal depth" knob
+    /// used by workload generators.
+    pub fn modal_depth(&self) -> usize {
+        match self {
+            Concept::Some(_, c) | Concept::All(_, c) => 1 + c.modal_depth(),
+            Concept::Not(c) => c.modal_depth(),
+            Concept::And(l, r) | Concept::Or(l, r) => l.modal_depth().max(r.modal_depth()),
+            _ => 0,
+        }
+    }
+
+    /// Visit every subconcept (including `self`), outer first.
+    pub fn for_each_subconcept<'a>(&'a self, f: &mut impl FnMut(&'a Concept)) {
+        f(self);
+        match self {
+            Concept::Not(c) | Concept::Some(_, c) | Concept::All(_, c) => {
+                c.for_each_subconcept(f)
+            }
+            Concept::And(l, r) | Concept::Or(l, r) => {
+                l.for_each_subconcept(f);
+                r.for_each_subconcept(f);
+            }
+            _ => {}
+        }
+    }
+
+    /// All atomic concept names occurring in the concept.
+    pub fn concept_names(&self) -> BTreeSet<ConceptName> {
+        let mut out = BTreeSet::new();
+        self.for_each_subconcept(&mut |c| {
+            if let Concept::Atomic(a) = c {
+                out.insert(a.clone());
+            }
+        });
+        out
+    }
+
+    /// All object role names (through inverses) occurring in the concept.
+    pub fn role_names(&self) -> BTreeSet<crate::name::RoleName> {
+        let mut out = BTreeSet::new();
+        self.for_each_subconcept(&mut |c| match c {
+            Concept::Some(r, _) | Concept::All(r, _) => {
+                out.insert(r.name().clone());
+            }
+            Concept::AtLeast(_, r) | Concept::AtMost(_, r) => {
+                out.insert(r.name().clone());
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// All data role names occurring in the concept.
+    pub fn data_role_names(&self) -> BTreeSet<DataRoleName> {
+        let mut out = BTreeSet::new();
+        self.for_each_subconcept(&mut |c| match c {
+            Concept::DataSome(u, _)
+            | Concept::DataAll(u, _)
+            | Concept::DataAtLeast(_, u)
+            | Concept::DataAtMost(_, u) => {
+                out.insert(u.clone());
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// All individual names in nominals.
+    pub fn individual_names(&self) -> BTreeSet<IndividualName> {
+        let mut out = BTreeSet::new();
+        self.for_each_subconcept(&mut |c| {
+            if let Concept::OneOf(os) = c {
+                out.extend(os.iter().cloned());
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axiom::RoleExpr;
+
+    fn r(s: &str) -> RoleExpr {
+        RoleExpr::named(s)
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = Concept::atomic("Bird")
+            .and(Concept::some(r("hasWing"), Concept::atomic("Wing")));
+        assert_eq!(c.size(), 4);
+        assert_eq!(c.modal_depth(), 1);
+    }
+
+    #[test]
+    fn and_all_or_all_handle_edges() {
+        assert_eq!(Concept::and_all([]), Concept::Top);
+        assert_eq!(Concept::or_all([]), Concept::Bottom);
+        let a = Concept::atomic("A");
+        assert_eq!(Concept::and_all([a.clone()]), a);
+    }
+
+    #[test]
+    fn literal_recognition() {
+        assert!(Concept::atomic("A").is_literal());
+        assert!(Concept::atomic("A").not().is_literal());
+        assert!(!Concept::atomic("A").not().not().is_literal());
+        assert!(!Concept::Top.is_literal());
+    }
+
+    #[test]
+    fn signature_extraction() {
+        let c = Concept::some(
+            r("hasChild"),
+            Concept::atomic("Parent").or(Concept::one_of([IndividualName::new("kate")])),
+        )
+        .and(Concept::DataSome(
+            DataRoleName::new("hasAge"),
+            DataRange::IntRange {
+                min: Some(0),
+                max: None,
+            },
+        ));
+        assert!(c.concept_names().contains(&ConceptName::new("Parent")));
+        assert!(c.role_names().contains(&crate::name::RoleName::new("hasChild")));
+        assert!(c.data_role_names().contains(&DataRoleName::new("hasAge")));
+        assert!(c.individual_names().contains(&IndividualName::new("kate")));
+    }
+
+    #[test]
+    fn inverse_roles_contribute_their_name() {
+        let c = Concept::some(r("worksFor").inverse(), Concept::Top);
+        assert!(c.role_names().contains(&crate::name::RoleName::new("worksFor")));
+    }
+
+    #[test]
+    fn modal_depth_nests() {
+        let c = Concept::some(r("r"), Concept::all(r("s"), Concept::atomic("A")));
+        assert_eq!(c.modal_depth(), 2);
+    }
+
+    #[test]
+    fn sharing_makes_clone_cheap() {
+        // Clones share subterm allocations (pointer equality on the Arc).
+        let base = Concept::atomic("A").and(Concept::atomic("B"));
+        let c1 = base.clone();
+        if let (Concept::And(l1, _), Concept::And(l2, _)) = (&base, &c1) {
+            assert!(Arc::ptr_eq(l1, l2));
+        } else {
+            panic!("expected And");
+        }
+    }
+}

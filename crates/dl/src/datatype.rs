@@ -1,0 +1,394 @@
+//! The concrete domain `D` of SHOIN(D): data values and data ranges.
+//!
+//! The paper leaves the datatype domain abstract ("disjoint from the
+//! datatype domain Δ_D"); we supply the standard OWL DL core — integers,
+//! booleans and strings — with `oneOf` enumerations, complements, and
+//! min/max facets on integers. This is enough to exercise every
+//! `U`-constructor row of Tables 1 and 2, and it admits a complete,
+//! self-contained satisfiability oracle (used by the tableau).
+
+use crate::name::DatatypeName;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A concrete data value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataValue {
+    /// An integer literal such as `42`.
+    Integer(i64),
+    /// A boolean literal.
+    Boolean(bool),
+    /// A string literal such as `"abc"`.
+    Str(String),
+}
+
+impl DataValue {
+    /// The built-in datatype this value belongs to.
+    pub fn datatype(&self) -> BuiltinDatatype {
+        match self {
+            DataValue::Integer(_) => BuiltinDatatype::Integer,
+            DataValue::Boolean(_) => BuiltinDatatype::Boolean,
+            DataValue::Str(_) => BuiltinDatatype::Str,
+        }
+    }
+}
+
+impl fmt::Display for DataValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataValue::Integer(i) => write!(f, "{i}"),
+            DataValue::Boolean(b) => write!(f, "{b}"),
+            DataValue::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// The built-in datatypes of the concrete domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BuiltinDatatype {
+    /// 64-bit integers.
+    Integer,
+    /// Booleans.
+    Boolean,
+    /// Unicode strings.
+    Str,
+}
+
+impl BuiltinDatatype {
+    /// Resolve a datatype name (`integer`, `boolean`, `string`).
+    pub fn from_name(name: &DatatypeName) -> Option<Self> {
+        match name.as_str() {
+            "integer" | "int" | "xsd:integer" => Some(BuiltinDatatype::Integer),
+            "boolean" | "bool" | "xsd:boolean" => Some(BuiltinDatatype::Boolean),
+            "string" | "xsd:string" => Some(BuiltinDatatype::Str),
+            _ => None,
+        }
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> DatatypeName {
+        match self {
+            BuiltinDatatype::Integer => DatatypeName::new("integer"),
+            BuiltinDatatype::Boolean => DatatypeName::new("boolean"),
+            BuiltinDatatype::Str => DatatypeName::new("string"),
+        }
+    }
+
+    /// Is this datatype's value space finite?
+    pub fn is_finite(self) -> bool {
+        matches!(self, BuiltinDatatype::Boolean)
+    }
+}
+
+impl fmt::Display for BuiltinDatatype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A data range (the `D` in `∃U.D` / `∀U.D`): datatype names, enumerations
+/// of values, integer facets, and complements.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataRange {
+    /// A built-in datatype, e.g. `integer`.
+    Datatype(BuiltinDatatype),
+    /// An enumeration `{v1, …, vn}` (datatype oneOf, Table 1).
+    OneOf(BTreeSet<DataValue>),
+    /// Integers restricted to `[min, max]` (either bound optional).
+    IntRange {
+        /// Inclusive lower bound.
+        min: Option<i64>,
+        /// Inclusive upper bound.
+        max: Option<i64>,
+    },
+    /// Complement of a range (relative to the whole concrete domain).
+    Not(Box<DataRange>),
+}
+
+impl DataRange {
+    /// An enumeration range.
+    pub fn one_of(values: impl IntoIterator<Item = DataValue>) -> Self {
+        DataRange::OneOf(values.into_iter().collect())
+    }
+
+    /// Does a value fall inside this range?
+    pub fn contains(&self, v: &DataValue) -> bool {
+        match self {
+            DataRange::Datatype(dt) => v.datatype() == *dt,
+            DataRange::OneOf(set) => set.contains(v),
+            DataRange::IntRange { min, max } => match v {
+                DataValue::Integer(i) => {
+                    min.is_none_or(|m| *i >= m) && max.is_none_or(|m| *i <= m)
+                }
+                _ => false,
+            },
+            DataRange::Not(inner) => !inner.contains(v),
+        }
+    }
+
+    /// The complement of this range.
+    pub fn complement(&self) -> DataRange {
+        match self {
+            DataRange::Not(inner) => (**inner).clone(),
+            other => DataRange::Not(Box::new(other.clone())),
+        }
+    }
+
+    /// Is the *conjunction* of the given ranges satisfiable, i.e. is there
+    /// a data value in all of them? Complete for this concrete domain.
+    ///
+    /// Strategy: candidate values come from (a) the enumerations mentioned,
+    /// (b) integer-facet boundary points and points just outside them,
+    /// (c) the booleans, and (d) a fresh string plus a fresh integer (the
+    /// value spaces of `string` and `integer` are infinite, so a conjunction
+    /// that only *excludes* finitely many values is satisfied by a fresh
+    /// one).
+    pub fn conjunction_satisfiable(ranges: &[DataRange]) -> bool {
+        Self::witness(ranges).is_some()
+    }
+
+    /// A value satisfying all the ranges, if one exists.
+    pub fn witness(ranges: &[DataRange]) -> Option<DataValue> {
+        Self::witnesses(ranges, 1).into_iter().next()
+    }
+
+    /// Up to `k` *distinct* values satisfying all the ranges.
+    ///
+    /// Complete in the following sense: if the conjunction admits at least
+    /// `k` distinct values, `k` are returned; otherwise every admissible
+    /// value is returned. This powers the datatype cardinality oracle
+    /// (`≥n.U` needs `n` distinct witnesses).
+    pub fn witnesses(ranges: &[DataRange], k: usize) -> Vec<DataValue> {
+        Self::candidate_universe(ranges, k)
+            .into_iter()
+            .filter(|v| ranges.iter().all(|r| r.contains(v)))
+            .take(k)
+            .collect()
+    }
+
+    /// A finite candidate universe that is *complete* for conjunctions of
+    /// the given ranges: every satisfiable Boolean combination of the
+    /// ranges is satisfied by some candidate, and any combination
+    /// admitting ≥ `k` distinct values has ≥ `k` candidates. Built from
+    /// the enumerated values, integer facet boundary regions, the
+    /// booleans, and `k` fresh strings.
+    pub fn candidate_universe(ranges: &[DataRange], k: usize) -> Vec<DataValue> {
+        let mut candidates: BTreeSet<DataValue> = BTreeSet::new();
+        candidates.insert(DataValue::Boolean(true));
+        candidates.insert(DataValue::Boolean(false));
+        // Fresh strings not mentioned anywhere (prefix built by
+        // concatenating all mentioned strings plus a marker).
+        let mut fresh = String::from("_fresh");
+        let mut int_points: BTreeSet<i64> = BTreeSet::new();
+        int_points.insert(0);
+        fn visit(
+            r: &DataRange,
+            candidates: &mut BTreeSet<DataValue>,
+            fresh: &mut String,
+            int_points: &mut BTreeSet<i64>,
+        ) {
+            match r {
+                DataRange::Datatype(_) => {}
+                DataRange::OneOf(set) => {
+                    for v in set {
+                        candidates.insert(v.clone());
+                        if let DataValue::Str(s) = v {
+                            fresh.push_str(s);
+                        }
+                        if let DataValue::Integer(i) = v {
+                            int_points.extend([*i, i.saturating_add(1), i.saturating_sub(1)]);
+                        }
+                    }
+                }
+                DataRange::IntRange { min, max } => {
+                    for b in [min, max].into_iter().flatten() {
+                        int_points.extend([*b, b.saturating_add(1), b.saturating_sub(1)]);
+                    }
+                }
+                DataRange::Not(inner) => visit(inner, candidates, fresh, int_points),
+            }
+        }
+        for r in ranges {
+            visit(r, &mut candidates, &mut fresh, &mut int_points);
+        }
+        // The mentioned integer points partition ℤ into finitely many
+        // intervals on which every range is constant. Cover each interval:
+        // the points themselves, plus runs of k values beyond the extremes
+        // and after each point (for gaps wider than 1, a run of k starting
+        // just above a boundary covers "k distinct values in this gap").
+        let extra: Vec<i64> = int_points
+            .iter()
+            .flat_map(|p| (0..=k as i64).map(move |d| p.saturating_add(d)))
+            .chain(int_points.iter().map(|p| p.saturating_sub(1)))
+            .chain({
+                let lo = int_points.iter().next().copied().unwrap_or(0);
+                let hi = int_points.iter().next_back().copied().unwrap_or(0);
+                (1..=k as i64)
+                    .flat_map(move |d| [lo.saturating_sub(d), hi.saturating_add(d)])
+            })
+            .collect();
+        int_points.extend(extra);
+        candidates.extend(int_points.into_iter().map(DataValue::Integer));
+        for i in 0..k {
+            candidates.insert(DataValue::Str(format!("{fresh}{i}")));
+        }
+        candidates.into_iter().collect()
+    }
+}
+
+impl fmt::Display for DataRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataRange::Datatype(dt) => write!(f, "{dt}"),
+            DataRange::OneOf(set) => {
+                write!(f, "{{")?;
+                for (i, v) in set.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            DataRange::IntRange { min, max } => match (min, max) {
+                (Some(a), Some(b)) => write!(f, "integer[{a}..{b}]"),
+                (Some(a), None) => write!(f, "integer[{a}..]"),
+                (None, Some(b)) => write!(f, "integer[..{b}]"),
+                (None, None) => write!(f, "integer"),
+            },
+            DataRange::Not(inner) => write!(f, "not({inner})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_by_datatype() {
+        let ints = DataRange::Datatype(BuiltinDatatype::Integer);
+        assert!(ints.contains(&DataValue::Integer(5)));
+        assert!(!ints.contains(&DataValue::Boolean(true)));
+        assert!(!ints.contains(&DataValue::Str("5".into())));
+    }
+
+    #[test]
+    fn one_of_membership() {
+        let r = DataRange::one_of([DataValue::Integer(1), DataValue::Str("a".into())]);
+        assert!(r.contains(&DataValue::Integer(1)));
+        assert!(r.contains(&DataValue::Str("a".into())));
+        assert!(!r.contains(&DataValue::Integer(2)));
+    }
+
+    #[test]
+    fn int_range_facets() {
+        let r = DataRange::IntRange {
+            min: Some(3),
+            max: Some(5),
+        };
+        assert!(!r.contains(&DataValue::Integer(2)));
+        assert!(r.contains(&DataValue::Integer(3)));
+        assert!(r.contains(&DataValue::Integer(5)));
+        assert!(!r.contains(&DataValue::Integer(6)));
+        assert!(!r.contains(&DataValue::Boolean(true)));
+    }
+
+    #[test]
+    fn complement_involutes() {
+        let r = DataRange::Datatype(BuiltinDatatype::Boolean);
+        assert_eq!(r.complement().complement(), r);
+        assert!(r.complement().contains(&DataValue::Integer(0)));
+        assert!(!r.complement().contains(&DataValue::Boolean(true)));
+    }
+
+    #[test]
+    fn conjunction_of_overlapping_ranges_is_sat() {
+        let a = DataRange::IntRange {
+            min: Some(0),
+            max: Some(10),
+        };
+        let b = DataRange::IntRange {
+            min: Some(5),
+            max: None,
+        };
+        let w = DataRange::witness(&[a, b]).expect("sat");
+        assert!(matches!(w, DataValue::Integer(i) if (5..=10).contains(&i)));
+    }
+
+    #[test]
+    fn conjunction_of_disjoint_ranges_is_unsat() {
+        let a = DataRange::IntRange {
+            min: None,
+            max: Some(2),
+        };
+        let b = DataRange::IntRange {
+            min: Some(3),
+            max: None,
+        };
+        assert!(!DataRange::conjunction_satisfiable(&[a, b]));
+    }
+
+    #[test]
+    fn negated_enumeration_still_satisfiable_via_fresh_value() {
+        // ¬{ all booleans } ∧ ¬{"x"} is satisfied by a fresh string or int.
+        let no_bools = DataRange::one_of([
+            DataValue::Boolean(true),
+            DataValue::Boolean(false),
+        ])
+        .complement();
+        let not_x = DataRange::one_of([DataValue::Str("x".into())]).complement();
+        assert!(DataRange::conjunction_satisfiable(&[no_bools, not_x]));
+    }
+
+    #[test]
+    fn boolean_exhaustion_is_detected() {
+        // boolean ∧ ¬{true} ∧ ¬{false} is unsatisfiable.
+        let ranges = vec![
+            DataRange::Datatype(BuiltinDatatype::Boolean),
+            DataRange::one_of([DataValue::Boolean(true)]).complement(),
+            DataRange::one_of([DataValue::Boolean(false)]).complement(),
+        ];
+        assert!(!DataRange::conjunction_satisfiable(&ranges));
+    }
+
+    #[test]
+    fn datatype_vs_facet_interaction() {
+        // string ∧ integer[0..] is unsatisfiable (disjoint value spaces).
+        let ranges = vec![
+            DataRange::Datatype(BuiltinDatatype::Str),
+            DataRange::IntRange {
+                min: Some(0),
+                max: None,
+            },
+        ];
+        assert!(!DataRange::conjunction_satisfiable(&ranges));
+    }
+
+    #[test]
+    fn builtin_resolution() {
+        assert_eq!(
+            BuiltinDatatype::from_name(&DatatypeName::new("integer")),
+            Some(BuiltinDatatype::Integer)
+        );
+        assert_eq!(
+            BuiltinDatatype::from_name(&DatatypeName::new("xsd:boolean")),
+            Some(BuiltinDatatype::Boolean)
+        );
+        assert_eq!(BuiltinDatatype::from_name(&DatatypeName::new("weird")), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            DataRange::IntRange {
+                min: Some(1),
+                max: Some(2)
+            }
+            .to_string(),
+            "integer[1..2]"
+        );
+        assert_eq!(DataValue::Str("a".into()).to_string(), "\"a\"");
+    }
+}

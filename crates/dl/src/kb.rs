@@ -1,0 +1,411 @@
+//! Knowledge bases: ordered collections of axioms with TBox/ABox views,
+//! signatures, and role-hierarchy utilities used by the reasoners.
+
+use crate::axiom::{Axiom, RoleExpr};
+use crate::concept::Concept;
+use crate::name::{ConceptName, DataRoleName, DatatypeName, IndividualName, RoleName};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The signature of a knowledge base: every name it mentions, by kind.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    /// Atomic concept names.
+    pub concepts: BTreeSet<ConceptName>,
+    /// Object role names.
+    pub roles: BTreeSet<RoleName>,
+    /// Datatype role names.
+    pub data_roles: BTreeSet<DataRoleName>,
+    /// Individual names.
+    pub individuals: BTreeSet<IndividualName>,
+    /// Datatype names (currently only built-ins occur).
+    pub datatypes: BTreeSet<DatatypeName>,
+}
+
+impl Signature {
+    /// Number of names across all kinds.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+            + self.roles.len()
+            + self.data_roles.len()
+            + self.individuals.len()
+            + self.datatypes.len()
+    }
+
+    /// Is the signature empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Accumulate the names of one concept.
+    pub fn extend_from_concept(&mut self, c: &Concept) {
+        self.concepts.extend(c.concept_names());
+        self.roles.extend(c.role_names());
+        self.data_roles.extend(c.data_role_names());
+        self.individuals.extend(c.individual_names());
+    }
+
+    /// Accumulate the names of one axiom.
+    pub fn extend_from_axiom(&mut self, axiom: &Axiom) {
+        match axiom {
+            Axiom::ConceptInclusion(c, d) => {
+                self.extend_from_concept(c);
+                self.extend_from_concept(d);
+            }
+            Axiom::RoleInclusion(r, s) => {
+                self.roles.insert(r.name().clone());
+                self.roles.insert(s.name().clone());
+            }
+            Axiom::Transitive(r) => {
+                self.roles.insert(r.clone());
+            }
+            Axiom::DataRoleInclusion(u, v) => {
+                self.data_roles.insert(u.clone());
+                self.data_roles.insert(v.clone());
+            }
+            Axiom::ConceptAssertion(a, c) => {
+                self.individuals.insert(a.clone());
+                self.extend_from_concept(c);
+            }
+            Axiom::RoleAssertion(r, a, b) => {
+                self.roles.insert(r.clone());
+                self.individuals.insert(a.clone());
+                self.individuals.insert(b.clone());
+            }
+            Axiom::DataAssertion(u, a, _) => {
+                self.data_roles.insert(u.clone());
+                self.individuals.insert(a.clone());
+            }
+            Axiom::SameIndividual(a, b) | Axiom::DifferentIndividuals(a, b) => {
+                self.individuals.insert(a.clone());
+                self.individuals.insert(b.clone());
+            }
+        }
+    }
+}
+
+/// A SHOIN(D) knowledge base: a sequence of axioms (order preserved for
+/// reproducible processing and printing).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnowledgeBase {
+    axioms: Vec<Axiom>,
+}
+
+impl KnowledgeBase {
+    /// An empty KB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from axioms.
+    pub fn from_axioms(axioms: impl IntoIterator<Item = Axiom>) -> Self {
+        KnowledgeBase {
+            axioms: axioms.into_iter().collect(),
+        }
+    }
+
+    /// Add one axiom.
+    pub fn add(&mut self, axiom: Axiom) {
+        self.axioms.push(axiom);
+    }
+
+    /// Add many axioms.
+    pub fn extend(&mut self, axioms: impl IntoIterator<Item = Axiom>) {
+        self.axioms.extend(axioms);
+    }
+
+    /// All axioms, in insertion order.
+    pub fn axioms(&self) -> &[Axiom] {
+        &self.axioms
+    }
+
+    /// Number of axioms.
+    pub fn len(&self) -> usize {
+        self.axioms.len()
+    }
+
+    /// Is the KB empty?
+    pub fn is_empty(&self) -> bool {
+        self.axioms.is_empty()
+    }
+
+    /// Terminological axioms (TBox + RBox).
+    pub fn tbox(&self) -> impl Iterator<Item = &Axiom> {
+        self.axioms.iter().filter(|a| a.is_tbox())
+    }
+
+    /// Assertional axioms (ABox).
+    pub fn abox(&self) -> impl Iterator<Item = &Axiom> {
+        self.axioms.iter().filter(|a| a.is_abox())
+    }
+
+    /// Total structural size — the input measure for complexity claims.
+    pub fn size(&self) -> usize {
+        self.axioms.iter().map(Axiom::size).sum()
+    }
+
+    /// The KB's signature.
+    pub fn signature(&self) -> Signature {
+        let mut sig = Signature::default();
+        for ax in &self.axioms {
+            sig.extend_from_axiom(ax);
+        }
+        sig
+    }
+
+    /// Transitive role names declared by `Trans(·)` axioms.
+    pub fn transitive_roles(&self) -> BTreeSet<RoleName> {
+        self.axioms
+            .iter()
+            .filter_map(|a| match a {
+                Axiom::Transitive(r) => Some(r.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The reflexive-transitive closure of the role hierarchy `⊑*`,
+    /// closed under inverses: if `R ⊑ S` then `R⁻ ⊑ S⁻`.
+    ///
+    /// Returns, for each role expression appearing in the hierarchy, the
+    /// set of its super-role expressions (including itself). Role
+    /// expressions not mentioned in any role-inclusion axiom map to just
+    /// themselves on lookup via [`RoleHierarchy::supers`].
+    pub fn role_hierarchy(&self) -> RoleHierarchy {
+        let mut direct: BTreeMap<RoleExpr, BTreeSet<RoleExpr>> = BTreeMap::new();
+        for ax in &self.axioms {
+            if let Axiom::RoleInclusion(r, s) = ax {
+                direct.entry(r.clone()).or_default().insert(s.clone());
+                direct
+                    .entry(r.inverse())
+                    .or_default()
+                    .insert(s.inverse());
+            }
+        }
+        // Floyd–Warshall-style closure over the (small) set of mentioned
+        // role expressions.
+        let nodes: BTreeSet<RoleExpr> = direct
+            .iter()
+            .flat_map(|(k, vs)| std::iter::once(k.clone()).chain(vs.iter().cloned()))
+            .collect();
+        let mut closed: BTreeMap<RoleExpr, BTreeSet<RoleExpr>> = nodes
+            .iter()
+            .map(|n| {
+                let mut s = BTreeSet::new();
+                s.insert(n.clone());
+                (n.clone(), s)
+            })
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for n in &nodes {
+                let mut additions: BTreeSet<RoleExpr> = BTreeSet::new();
+                for s in closed[n].clone() {
+                    if let Some(direct_supers) = direct.get(&s) {
+                        for sup in direct_supers {
+                            if !closed[n].contains(sup) {
+                                additions.insert(sup.clone());
+                            }
+                        }
+                    }
+                }
+                if !additions.is_empty() {
+                    closed.get_mut(n).expect("node present").extend(additions);
+                    changed = true;
+                }
+            }
+        }
+        RoleHierarchy {
+            supers: closed,
+            transitive: self.transitive_roles(),
+        }
+    }
+
+    /// Datatype role hierarchy closure (`U ⊑* V`), reflexive.
+    pub fn data_role_hierarchy(&self) -> BTreeMap<DataRoleName, BTreeSet<DataRoleName>> {
+        let mut direct: BTreeMap<DataRoleName, BTreeSet<DataRoleName>> = BTreeMap::new();
+        for ax in &self.axioms {
+            if let Axiom::DataRoleInclusion(u, v) = ax {
+                direct.entry(u.clone()).or_default().insert(v.clone());
+            }
+        }
+        let nodes: BTreeSet<DataRoleName> = direct
+            .iter()
+            .flat_map(|(k, vs)| std::iter::once(k.clone()).chain(vs.iter().cloned()))
+            .collect();
+        let mut closed: BTreeMap<DataRoleName, BTreeSet<DataRoleName>> = nodes
+            .iter()
+            .map(|n| (n.clone(), BTreeSet::from([n.clone()])))
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for n in &nodes {
+                let mut additions = BTreeSet::new();
+                for s in closed[n].clone() {
+                    if let Some(ds) = direct.get(&s) {
+                        for sup in ds {
+                            if !closed[n].contains(sup) {
+                                additions.insert(sup.clone());
+                            }
+                        }
+                    }
+                }
+                if !additions.is_empty() {
+                    closed.get_mut(n).expect("node present").extend(additions);
+                    changed = true;
+                }
+            }
+        }
+        closed
+    }
+}
+
+impl FromIterator<Axiom> for KnowledgeBase {
+    fn from_iter<I: IntoIterator<Item = Axiom>>(iter: I) -> Self {
+        KnowledgeBase::from_axioms(iter)
+    }
+}
+
+/// The closed role hierarchy of a KB, plus its transitive-role set.
+#[derive(Debug, Clone, Default)]
+pub struct RoleHierarchy {
+    supers: BTreeMap<RoleExpr, BTreeSet<RoleExpr>>,
+    transitive: BTreeSet<RoleName>,
+}
+
+impl RoleHierarchy {
+    /// All super-roles of `r` including `r` itself.
+    pub fn supers(&self, r: &RoleExpr) -> BTreeSet<RoleExpr> {
+        self.supers.get(r).cloned().unwrap_or_else(|| {
+            let mut s = BTreeSet::new();
+            s.insert(r.clone());
+            s
+        })
+    }
+
+    /// Is `r ⊑* s`?
+    pub fn is_subrole(&self, r: &RoleExpr, s: &RoleExpr) -> bool {
+        r == s || self.supers.get(r).is_some_and(|set| set.contains(s))
+    }
+
+    /// Is the role expression transitive? (`Trans(R)` declares both `R`
+    /// and `R⁻` transitive: `R = R⁺` iff `R⁻ = (R⁻)⁺`.)
+    pub fn is_transitive(&self, r: &RoleExpr) -> bool {
+        self.transitive.contains(r.name())
+    }
+
+    /// Sub-role expressions of `s` that are transitive — needed by the
+    /// tableau's ∀₊ propagation rule.
+    pub fn transitive_subroles(&self, s: &RoleExpr) -> Vec<RoleExpr> {
+        let mut out: Vec<RoleExpr> = self
+            .supers
+            .iter()
+            .filter(|(r, sups)| sups.contains(s) && self.is_transitive(r))
+            .map(|(r, _)| r.clone())
+            .collect();
+        if self.is_transitive(s) && !out.contains(s) {
+            out.push(s.clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Concept {
+        Concept::atomic(s)
+    }
+
+    #[test]
+    fn tbox_abox_views() {
+        let kb = KnowledgeBase::from_axioms([
+            Axiom::ConceptInclusion(c("A"), c("B")),
+            Axiom::ConceptAssertion(IndividualName::new("a"), c("A")),
+        ]);
+        assert_eq!(kb.tbox().count(), 1);
+        assert_eq!(kb.abox().count(), 1);
+        assert_eq!(kb.len(), 2);
+        assert_eq!(kb.size(), 3 + 2);
+    }
+
+    #[test]
+    fn signature_collects_all_kinds() {
+        let kb = KnowledgeBase::from_axioms([
+            Axiom::ConceptInclusion(
+                c("A"),
+                Concept::some(RoleExpr::named("r"), c("B")),
+            ),
+            Axiom::RoleAssertion(
+                RoleName::new("s"),
+                IndividualName::new("x"),
+                IndividualName::new("y"),
+            ),
+            Axiom::DataAssertion(
+                DataRoleName::new("age"),
+                IndividualName::new("x"),
+                crate::datatype::DataValue::Integer(3),
+            ),
+        ]);
+        let sig = kb.signature();
+        assert_eq!(sig.concepts.len(), 2);
+        assert_eq!(sig.roles.len(), 2);
+        assert_eq!(sig.data_roles.len(), 1);
+        assert_eq!(sig.individuals.len(), 2);
+        assert!(!sig.is_empty());
+    }
+
+    #[test]
+    fn role_hierarchy_closure_with_inverses() {
+        let kb = KnowledgeBase::from_axioms([
+            Axiom::RoleInclusion(RoleExpr::named("r"), RoleExpr::named("s")),
+            Axiom::RoleInclusion(RoleExpr::named("s"), RoleExpr::named("t")),
+        ]);
+        let h = kb.role_hierarchy();
+        let r = RoleExpr::named("r");
+        let t = RoleExpr::named("t");
+        assert!(h.is_subrole(&r, &t));
+        assert!(h.is_subrole(&r.inverse(), &t.inverse()));
+        assert!(!h.is_subrole(&t, &r));
+        // Unmentioned roles are their own supers.
+        let u = RoleExpr::named("unmentioned");
+        assert!(h.is_subrole(&u, &u));
+        assert_eq!(h.supers(&u).len(), 1);
+    }
+
+    #[test]
+    fn transitive_subroles_for_forall_plus() {
+        // Trans(r), r ⊑ s: pushing ∀s.C through an r-edge needs ∀r.C
+        // propagation; transitive_subroles(s) must contain r.
+        let kb = KnowledgeBase::from_axioms([
+            Axiom::Transitive(RoleName::new("r")),
+            Axiom::RoleInclusion(RoleExpr::named("r"), RoleExpr::named("s")),
+        ]);
+        let h = kb.role_hierarchy();
+        let subs = h.transitive_subroles(&RoleExpr::named("s"));
+        assert!(subs.contains(&RoleExpr::named("r")));
+        assert!(h.is_transitive(&RoleExpr::named("r")));
+        assert!(h.is_transitive(&RoleExpr::named("r").inverse()));
+        assert!(!h.is_transitive(&RoleExpr::named("s")));
+    }
+
+    #[test]
+    fn data_role_hierarchy_closure() {
+        let kb = KnowledgeBase::from_axioms([
+            Axiom::DataRoleInclusion(DataRoleName::new("u"), DataRoleName::new("v")),
+            Axiom::DataRoleInclusion(DataRoleName::new("v"), DataRoleName::new("w")),
+        ]);
+        let h = kb.data_role_hierarchy();
+        assert!(h[&DataRoleName::new("u")].contains(&DataRoleName::new("w")));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let kb: KnowledgeBase =
+            [Axiom::ConceptInclusion(c("A"), c("B"))].into_iter().collect();
+        assert_eq!(kb.len(), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Interned entity names.
+//!
+//! Every name kind is a distinct newtype over `Arc<str>` so the type system
+//! keeps concept, role, data-role, individual and datatype namespaces apart
+//! — a cheap static defence against the most common ontology-handling bug.
+//! Clones are pointer copies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+macro_rules! name_type {
+    ($(#[$doc:meta])* $ty:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $ty(Arc<str>);
+
+        impl $ty {
+            /// Create a name. No syntactic restrictions are imposed here;
+            /// the parser enforces identifier syntax for parseable KBs.
+            pub fn new(s: impl AsRef<str>) -> Self {
+                $ty(Arc::from(s.as_ref()))
+            }
+
+            /// The underlying string.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+
+            /// Derive a related name by appending a suffix — used by the
+            /// SHOIN(D)4 → SHOIN(D) transformation to mint `A⁺`, `A⁻`,
+            /// `R⁺`, `R⁼` companions.
+            pub fn with_suffix(&self, suffix: &str) -> Self {
+                $ty(Arc::from(format!("{}{}", self.0, suffix).as_str()))
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl From<&str> for $ty {
+            fn from(s: &str) -> Self {
+                $ty::new(s)
+            }
+        }
+
+        impl From<String> for $ty {
+            fn from(s: String) -> Self {
+                $ty::new(s)
+            }
+        }
+
+        impl AsRef<str> for $ty {
+            fn as_ref(&self) -> &str {
+                &self.0
+            }
+        }
+    };
+}
+
+name_type! {
+    /// An atomic concept (OWL class) name such as `Doctor`.
+    ConceptName
+}
+name_type! {
+    /// An abstract (object) role name such as `hasPatient`.
+    RoleName
+}
+name_type! {
+    /// A datatype (data property) role name such as `hasAge`.
+    DataRoleName
+}
+name_type! {
+    /// An individual name such as `john`.
+    IndividualName
+}
+name_type! {
+    /// A datatype name such as `integer`.
+    DatatypeName
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_namespaces_do_not_unify() {
+        // This is a compile-time property; at runtime we can only check
+        // values. Same spelling, different types.
+        let c = ConceptName::new("X");
+        let r = RoleName::new("X");
+        assert_eq!(c.as_str(), r.as_str());
+    }
+
+    #[test]
+    fn suffix_derivation() {
+        let a = ConceptName::new("Doctor");
+        assert_eq!(a.with_suffix("+").as_str(), "Doctor+");
+        assert_eq!(a.with_suffix("-").as_str(), "Doctor-");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = [ConceptName::new("b"), ConceptName::new("a")];
+        v.sort();
+        assert_eq!(v[0].as_str(), "a");
+    }
+
+    #[test]
+    fn display_and_from() {
+        let i: IndividualName = "tweety".into();
+        assert_eq!(i.to_string(), "tweety");
+        let d: DatatypeName = String::from("integer").into();
+        assert_eq!(d.as_ref(), "integer");
+    }
+}

@@ -1,0 +1,197 @@
+//! Negation normal form (NNF).
+//!
+//! Pushes `¬` inward until it applies only to atomic concepts and nominals,
+//! using exactly the dualities that Proposition 4 of the paper proves valid
+//! *also* under the four-valued semantics — which is what makes NNF safe to
+//! use on both sides of the reduction:
+//!
+//! ```text
+//! ¬¬C = C           ¬⊤ = ⊥           ¬⊥ = ⊤
+//! ¬(C⊓D) = ¬C⊔¬D    ¬(C⊔D) = ¬C⊓¬D
+//! ¬∃R.C = ∀R.¬C     ¬∀R.C = ∃R.¬C
+//! ¬(≥n.R) = ≤(n−1).R  (n ≥ 1; ¬(≥0.R) = ⊥)
+//! ¬(≤n.R) = ≥(n+1).R
+//! ```
+//! (and the same shapes for datatype restrictions, with data-range
+//! complement on fillers).
+
+use crate::concept::Concept;
+
+/// Convert a concept to negation normal form.
+pub fn nnf(c: &Concept) -> Concept {
+    match c {
+        Concept::Top
+        | Concept::Bottom
+        | Concept::Atomic(_)
+        | Concept::OneOf(_)
+        | Concept::AtLeast(..)
+        | Concept::AtMost(..)
+        | Concept::DataAtLeast(..)
+        | Concept::DataAtMost(..)
+        | Concept::DataSome(..)
+        | Concept::DataAll(..) => c.clone(),
+        Concept::And(l, r) => nnf(l).and(nnf(r)),
+        Concept::Or(l, r) => nnf(l).or(nnf(r)),
+        Concept::Some(role, f) => Concept::some(role.clone(), nnf(f)),
+        Concept::All(role, f) => Concept::all(role.clone(), nnf(f)),
+        Concept::Not(inner) => nnf_neg(inner),
+    }
+}
+
+/// NNF of `¬c`.
+fn nnf_neg(c: &Concept) -> Concept {
+    match c {
+        Concept::Top => Concept::Bottom,
+        Concept::Bottom => Concept::Top,
+        Concept::Atomic(_) => c.clone().not(),
+        // A negated nominal is a legal NNF literal (there is no dual
+        // constructor for it in SHOIN).
+        Concept::OneOf(_) => c.clone().not(),
+        Concept::Not(inner) => nnf(inner),
+        Concept::And(l, r) => nnf_neg(l).or(nnf_neg(r)),
+        Concept::Or(l, r) => nnf_neg(l).and(nnf_neg(r)),
+        Concept::Some(role, f) => Concept::all(role.clone(), nnf_neg(f)),
+        Concept::All(role, f) => Concept::some(role.clone(), nnf_neg(f)),
+        Concept::AtLeast(n, role) => {
+            if *n == 0 {
+                // ≥0.R is ⊤, so its negation is ⊥.
+                Concept::Bottom
+            } else {
+                Concept::at_most(n - 1, role.clone())
+            }
+        }
+        Concept::AtMost(n, role) => Concept::at_least(n + 1, role.clone()),
+        Concept::DataSome(u, d) => Concept::DataAll(u.clone(), d.complement()),
+        Concept::DataAll(u, d) => Concept::DataSome(u.clone(), d.complement()),
+        Concept::DataAtLeast(n, u) => {
+            if *n == 0 {
+                Concept::Bottom
+            } else {
+                Concept::DataAtMost(n - 1, u.clone())
+            }
+        }
+        Concept::DataAtMost(n, u) => Concept::DataAtLeast(n + 1, u.clone()),
+    }
+}
+
+/// Is a concept already in NNF (negation only on atoms/nominals)?
+pub fn is_nnf(c: &Concept) -> bool {
+    match c {
+        Concept::Not(inner) => {
+            matches!(**inner, Concept::Atomic(_) | Concept::OneOf(_))
+        }
+        Concept::And(l, r) | Concept::Or(l, r) => is_nnf(l) && is_nnf(r),
+        Concept::Some(_, f) | Concept::All(_, f) => is_nnf(f),
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axiom::RoleExpr;
+    use crate::datatype::{BuiltinDatatype, DataRange};
+    use crate::name::{DataRoleName, IndividualName};
+
+    fn a(s: &str) -> Concept {
+        Concept::atomic(s)
+    }
+    fn r(s: &str) -> RoleExpr {
+        RoleExpr::named(s)
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        assert_eq!(nnf(&a("A").not().not()), a("A"));
+        assert_eq!(nnf(&a("A").not().not().not()), a("A").not());
+    }
+
+    #[test]
+    fn de_morgan() {
+        assert_eq!(
+            nnf(&a("A").and(a("B")).not()),
+            a("A").not().or(a("B").not())
+        );
+        assert_eq!(
+            nnf(&a("A").or(a("B")).not()),
+            a("A").not().and(a("B").not())
+        );
+    }
+
+    #[test]
+    fn quantifier_duals() {
+        assert_eq!(
+            nnf(&Concept::some(r("r"), a("A")).not()),
+            Concept::all(r("r"), a("A").not())
+        );
+        assert_eq!(
+            nnf(&Concept::all(r("r"), a("A")).not()),
+            Concept::some(r("r"), a("A").not())
+        );
+    }
+
+    #[test]
+    fn number_restriction_duals() {
+        assert_eq!(
+            nnf(&Concept::at_least(3, r("r")).not()),
+            Concept::at_most(2, r("r"))
+        );
+        assert_eq!(
+            nnf(&Concept::at_most(3, r("r")).not()),
+            Concept::at_least(4, r("r"))
+        );
+        assert_eq!(nnf(&Concept::at_least(0, r("r")).not()), Concept::Bottom);
+    }
+
+    #[test]
+    fn top_bottom_duals() {
+        assert_eq!(nnf(&Concept::Top.not()), Concept::Bottom);
+        assert_eq!(nnf(&Concept::Bottom.not()), Concept::Top);
+    }
+
+    #[test]
+    fn negated_nominal_is_a_literal() {
+        let nom = Concept::one_of([IndividualName::new("a")]);
+        let n = nnf(&nom.clone().not());
+        assert_eq!(n, nom.not());
+        assert!(is_nnf(&n));
+    }
+
+    #[test]
+    fn datatype_duals() {
+        let u = DataRoleName::new("age");
+        let d = DataRange::Datatype(BuiltinDatatype::Integer);
+        assert_eq!(
+            nnf(&Concept::DataSome(u.clone(), d.clone()).not()),
+            Concept::DataAll(u.clone(), d.complement())
+        );
+        assert_eq!(
+            nnf(&Concept::DataAtMost(2, u.clone()).not()),
+            Concept::DataAtLeast(3, u.clone())
+        );
+        assert_eq!(nnf(&Concept::DataAtLeast(0, u).not()), Concept::Bottom);
+    }
+
+    #[test]
+    fn nnf_is_idempotent_and_detected() {
+        let c = Concept::some(r("r"), a("A").and(a("B")).not())
+            .not()
+            .or(a("C"));
+        let n = nnf(&c);
+        assert!(is_nnf(&n));
+        assert!(!is_nnf(&c));
+        assert_eq!(nnf(&n), n);
+    }
+
+    #[test]
+    fn nnf_preserves_size_polynomially() {
+        // NNF at most doubles the size (each node visited once, negation
+        // absorbed into atoms).
+        let mut c = a("A");
+        for i in 0..10 {
+            c = Concept::some(r(&format!("r{i}")), c.clone().and(a("B")).not());
+        }
+        let n = nnf(&c);
+        assert!(n.size() <= 2 * c.size());
+    }
+}

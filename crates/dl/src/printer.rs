@@ -1,0 +1,231 @@
+//! Pretty printer emitting the same Manchester-like syntax the parser
+//! reads, so `parse(print(kb)) == kb` (round-trip property-tested in the
+//! integration suite).
+
+use crate::axiom::Axiom;
+use crate::concept::Concept;
+use crate::kb::KnowledgeBase;
+use std::fmt;
+
+/// Operator precedence levels used to decide parenthesization.
+#[derive(PartialEq, PartialOrd, Clone, Copy)]
+enum Prec {
+    Or,
+    And,
+    Unary,
+}
+
+fn fmt_concept(c: &Concept, parent: Prec, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let mine = match c {
+        Concept::Or(..) => Prec::Or,
+        Concept::And(..) => Prec::And,
+        _ => Prec::Unary,
+    };
+    let needs_parens = (mine as u8) < (parent as u8);
+    if needs_parens {
+        write!(f, "(")?;
+    }
+    match c {
+        Concept::Top => write!(f, "Thing")?,
+        Concept::Bottom => write!(f, "Nothing")?,
+        Concept::Atomic(a) => write!(f, "{a}")?,
+        Concept::Not(inner) => {
+            write!(f, "not ")?;
+            fmt_concept(inner, Prec::Unary, f)?;
+        }
+        Concept::And(l, r) => {
+            // The parser is left-associative; parenthesize a right-nested
+            // `and` so the printed form reparses to the same tree.
+            fmt_concept(l, Prec::And, f)?;
+            write!(f, " and ")?;
+            let rp = if matches!(**r, Concept::And(..)) {
+                Prec::Unary
+            } else {
+                Prec::And
+            };
+            fmt_concept(r, rp, f)?;
+        }
+        Concept::Or(l, r) => {
+            fmt_concept(l, Prec::Or, f)?;
+            write!(f, " or ")?;
+            let rp = if matches!(**r, Concept::Or(..)) {
+                Prec::And
+            } else {
+                Prec::Or
+            };
+            fmt_concept(r, rp, f)?;
+        }
+        Concept::OneOf(os) => {
+            write!(f, "{{")?;
+            for (i, o) in os.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{o}")?;
+            }
+            write!(f, "}}")?;
+        }
+        Concept::Some(r, filler) => {
+            write!(f, "{r} some ")?;
+            fmt_filler(filler, f)?;
+        }
+        Concept::All(r, filler) => {
+            write!(f, "{r} only ")?;
+            fmt_filler(filler, f)?;
+        }
+        Concept::AtLeast(n, r) => write!(f, "{r} min {n}")?,
+        Concept::AtMost(n, r) => write!(f, "{r} max {n}")?,
+        Concept::DataSome(u, d) => write!(f, "{u} some {d}")?,
+        Concept::DataAll(u, d) => write!(f, "{u} only {d}")?,
+        Concept::DataAtLeast(n, u) => write!(f, "{u} min {n}")?,
+        Concept::DataAtMost(n, u) => write!(f, "{u} max {n}")?,
+    }
+    if needs_parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+/// Restriction fillers are unary in the grammar: parenthesize anything
+/// that is not already unary-tight.
+fn fmt_filler(c: &Concept, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match c {
+        Concept::And(..) | Concept::Or(..) => {
+            write!(f, "(")?;
+            fmt_concept(c, Prec::Or, f)?;
+            write!(f, ")")
+        }
+        // Nested restrictions parse greedily; parenthesize for clarity.
+        Concept::Some(..)
+        | Concept::All(..)
+        | Concept::AtLeast(..)
+        | Concept::AtMost(..)
+        | Concept::DataSome(..)
+        | Concept::DataAll(..)
+        | Concept::DataAtLeast(..)
+        | Concept::DataAtMost(..) => {
+            write!(f, "(")?;
+            fmt_concept(c, Prec::Or, f)?;
+            write!(f, ")")
+        }
+        _ => fmt_concept(c, Prec::Unary, f),
+    }
+}
+
+impl fmt::Display for Concept {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_concept(self, Prec::Or, f)
+    }
+}
+
+impl fmt::Display for Axiom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axiom::ConceptInclusion(c, d) => write!(f, "{c} SubClassOf {d}"),
+            Axiom::RoleInclusion(r, s) => write!(f, "{r} SubRoleOf {s}"),
+            Axiom::Transitive(r) => write!(f, "Transitive({r})"),
+            Axiom::DataRoleInclusion(u, v) => write!(f, "{u} SubDataRoleOf {v}"),
+            Axiom::ConceptAssertion(a, c) => write!(f, "{a} : {c}"),
+            Axiom::RoleAssertion(r, a, b) => write!(f, "{r}({a}, {b})"),
+            Axiom::DataAssertion(u, a, v) => write!(f, "{u}({a}, {v})"),
+            Axiom::SameIndividual(a, b) => write!(f, "{a} = {b}"),
+            Axiom::DifferentIndividuals(a, b) => write!(f, "{a} != {b}"),
+        }
+    }
+}
+
+/// Render a whole KB in parseable form, emitting a `DataRole:` declaration
+/// first when needed so data restrictions re-parse as data restrictions.
+pub fn print_kb(kb: &KnowledgeBase) -> String {
+    let mut out = String::new();
+    let sig = kb.signature();
+    if !sig.data_roles.is_empty() {
+        out.push_str("DataRole:");
+        for u in &sig.data_roles {
+            out.push(' ');
+            out.push_str(u.as_str());
+        }
+        out.push('\n');
+    }
+    for ax in kb.axioms() {
+        out.push_str(&ax.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axiom::RoleExpr;
+    use crate::parser::{parse_concept, parse_kb};
+
+    fn a(s: &str) -> Concept {
+        Concept::atomic(s)
+    }
+
+    #[test]
+    fn precedence_aware_printing() {
+        let c = a("A").and(a("B").or(a("C")));
+        assert_eq!(c.to_string(), "A and (B or C)");
+        let c = a("A").and(a("B")).or(a("C"));
+        assert_eq!(c.to_string(), "A and B or C");
+        let c = a("A").or(a("B")).not();
+        assert_eq!(c.to_string(), "not (A or B)");
+    }
+
+    #[test]
+    fn restriction_fillers_parenthesized() {
+        let c = Concept::some(RoleExpr::named("r"), a("A").and(a("B")));
+        assert_eq!(c.to_string(), "r some (A and B)");
+        let c = Concept::all(
+            RoleExpr::named("r"),
+            Concept::some(RoleExpr::named("s"), a("A")),
+        );
+        assert_eq!(c.to_string(), "r only (s some A)");
+    }
+
+    #[test]
+    fn concept_round_trip() {
+        let cases = [
+            "A and B or not C",
+            "r some (A and (s only B))",
+            "inverse r some {a, b}",
+            "r min 3 and r max 5",
+            "hasAge some integer[0..150]",
+            "u only {1, 2}",
+            "Thing and not Nothing",
+        ];
+        for src in cases {
+            let c = parse_concept(src).unwrap();
+            let printed = c.to_string();
+            let reparsed = parse_concept(&printed)
+                .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+            assert_eq!(reparsed, c, "round trip failed for `{src}` → `{printed}`");
+        }
+    }
+
+    #[test]
+    fn kb_round_trip_with_data_roles() {
+        let src = "DataRole: hasAge
+Adult SubClassOf Person and hasAge some integer[18..]
+Transitive(partOf)
+hasParent SubRoleOf hasAncestor
+john : Adult
+hasAge(john, 42)
+hasFriend(john, mary)
+john != mary";
+        let kb = parse_kb(src).unwrap();
+        let printed = print_kb(&kb);
+        let reparsed = parse_kb(&printed).unwrap();
+        assert_eq!(reparsed, kb, "printed form:\n{printed}");
+    }
+
+    #[test]
+    fn data_min_max_reparse_via_declaration() {
+        let kb = parse_kb("DataRole: u\nC SubClassOf u min 2").unwrap();
+        let printed = print_kb(&kb);
+        assert!(printed.starts_with("DataRole: u\n"), "{printed}");
+        assert_eq!(parse_kb(&printed).unwrap(), kb);
+    }
+}

@@ -1,0 +1,408 @@
+//! Exhaustive enumeration of four-valued (and classical) interpretations
+//! over a fixed finite domain.
+//!
+//! The enumeration space is a mixed-radix counter over *atoms*: one atom
+//! per `(concept, element)`, `(role, element, element)` and
+//! `(data role, element, value)` triple, each taking its `<pos, neg>`
+//! bits through the four values — or just two values in classical mode.
+//!
+//! Individuals are pinned to the first domain elements in sorted-name
+//! order (a unique-name convention — `SameIndividual` axioms are
+//! therefore satisfiable only reflexively under this oracle; the test
+//! generators avoid them).
+
+use dl::datatype::DataValue;
+use dl::name::{ConceptName, DataRoleName, RoleName};
+use fourval::SetPair;
+use shoin4::interp4::{DataRolePair, Elem, Interp4, RolePair};
+use shoin4::KnowledgeBase4;
+use std::collections::BTreeSet;
+
+/// Configuration of the enumeration space.
+#[derive(Debug, Clone)]
+pub struct EnumConfig {
+    /// Domain size; must be at least the number of individuals.
+    pub domain_size: u32,
+    /// Roles barred from *positive* reflexive pairs (`(x,x) ∉ proj⁺(R)`) —
+    /// the paper's "non-reflexive role" note under Table 4.
+    pub nonreflexive_roles: BTreeSet<RoleName>,
+    /// The active data domain for datatype-role atoms.
+    pub data_values: Vec<DataValue>,
+    /// Restrict to classical interpretations (two-valued mode).
+    pub classical_only: bool,
+    /// Abort if the space exceeds this many interpretations.
+    pub max_interpretations: u128,
+}
+
+impl EnumConfig {
+    /// A config sized to the KB: domain = its individuals (at least one
+    /// element), data values = those mentioned in assertions.
+    pub fn for_kb(kb: &KnowledgeBase4) -> Self {
+        let sig = kb.signature();
+        let data_values: Vec<DataValue> = kb
+            .axioms()
+            .iter()
+            .filter_map(|ax| match ax {
+                shoin4::Axiom4::DataAssertion(_, _, v) => Some(v.clone()),
+                _ => None,
+            })
+            .collect();
+        EnumConfig {
+            domain_size: (sig.individuals.len() as u32).max(1),
+            nonreflexive_roles: BTreeSet::new(),
+            data_values,
+            classical_only: false,
+            max_interpretations: 50_000_000,
+        }
+    }
+
+    /// Same, in classical (two-valued) mode.
+    pub fn classical_for_kb(kb: &KnowledgeBase4) -> Self {
+        EnumConfig {
+            classical_only: true,
+            ..Self::for_kb(kb)
+        }
+    }
+}
+
+/// One assignable atom of the interpretation.
+#[derive(Debug, Clone)]
+enum Atom {
+    Concept(ConceptName, Elem),
+    Role(RoleName, Elem, Elem),
+    DataRole(DataRoleName, Elem, DataValue),
+}
+
+/// The `(pos, neg)` choices an atom ranges over.
+fn choices(atom: &Atom, cfg: &EnumConfig) -> Vec<(bool, bool)> {
+    let four = [(false, false), (true, false), (false, true), (true, true)];
+    let classical = [(true, false), (false, true)];
+    let restricted_pos = match atom {
+        Atom::Role(r, x, y) => x == y && cfg.nonreflexive_roles.contains(r),
+        _ => false,
+    };
+    let base: &[(bool, bool)] = if cfg.classical_only {
+        &classical
+    } else {
+        &four
+    };
+    base.iter()
+        .copied()
+        .filter(|(p, _)| !(restricted_pos && *p))
+        .collect()
+}
+
+/// Lazy iterator over all interpretations of a KB's signature.
+pub struct ModelIter {
+    atoms: Vec<Atom>,
+    choice_sets: Vec<Vec<(bool, bool)>>,
+    counter: Option<Vec<usize>>,
+    template: Interp4,
+    signature_concepts: Vec<ConceptName>,
+    signature_roles: Vec<RoleName>,
+    signature_data_roles: Vec<DataRoleName>,
+}
+
+impl ModelIter {
+    /// Build the enumeration space for `kb` under `cfg`.
+    ///
+    /// # Panics
+    /// If the domain cannot hold the individuals or the space exceeds
+    /// `cfg.max_interpretations`.
+    pub fn new(kb: &KnowledgeBase4, cfg: &EnumConfig) -> Self {
+        let sig = kb.signature();
+        assert!(
+            (sig.individuals.len() as u32) <= cfg.domain_size,
+            "domain of size {} cannot hold {} individuals",
+            cfg.domain_size,
+            sig.individuals.len()
+        );
+        let mut template = Interp4::with_domain_size(cfg.domain_size);
+        for (i, o) in sig.individuals.iter().enumerate() {
+            template.set_individual(o.clone(), i as Elem);
+        }
+        for v in &cfg.data_values {
+            template.add_data_value(v.clone());
+        }
+        let elems: Vec<Elem> = (0..cfg.domain_size).collect();
+        let mut atoms = Vec::new();
+        for a in &sig.concepts {
+            for &x in &elems {
+                atoms.push(Atom::Concept(a.clone(), x));
+            }
+        }
+        for r in &sig.roles {
+            for &x in &elems {
+                for &y in &elems {
+                    atoms.push(Atom::Role(r.clone(), x, y));
+                }
+            }
+        }
+        for u in &sig.data_roles {
+            for &x in &elems {
+                for v in &cfg.data_values {
+                    atoms.push(Atom::DataRole(u.clone(), x, v.clone()));
+                }
+            }
+        }
+        let choice_sets: Vec<Vec<(bool, bool)>> =
+            atoms.iter().map(|a| choices(a, cfg)).collect();
+        let total: u128 = choice_sets
+            .iter()
+            .map(|c| c.len() as u128)
+            .try_fold(1u128, |acc, n| acc.checked_mul(n))
+            .expect("enumeration space overflows u128");
+        assert!(
+            total <= cfg.max_interpretations,
+            "enumeration space of {total} interpretations exceeds the cap of {}",
+            cfg.max_interpretations
+        );
+        ModelIter {
+            counter: Some(vec![0; atoms.len()]),
+            atoms,
+            choice_sets,
+            template,
+            signature_concepts: sig.concepts.into_iter().collect(),
+            signature_roles: sig.roles.into_iter().collect(),
+            signature_data_roles: sig.data_roles.into_iter().collect(),
+        }
+    }
+
+    /// The number of interpretations in the space.
+    pub fn total(&self) -> u128 {
+        self.choice_sets
+            .iter()
+            .map(|c| c.len() as u128)
+            .product()
+    }
+
+    fn materialize(&self, counter: &[usize]) -> Interp4 {
+        let mut i = self.template.clone();
+        // Start all signature names at empty pairs so the interpretation
+        // is total on the signature.
+        for a in &self.signature_concepts {
+            i.set_concept(a.clone(), SetPair::empty());
+        }
+        for r in &self.signature_roles {
+            i.set_role(r.clone(), RolePair::default());
+        }
+        for u in &self.signature_data_roles {
+            i.set_data_role(u.clone(), DataRolePair::default());
+        }
+        let mut concepts: std::collections::BTreeMap<ConceptName, SetPair<Elem>> =
+            Default::default();
+        let mut roles: std::collections::BTreeMap<RoleName, RolePair> = Default::default();
+        let mut data_roles: std::collections::BTreeMap<DataRoleName, DataRolePair> =
+            Default::default();
+        for (idx, (atom, &choice)) in self.atoms.iter().zip(counter).enumerate() {
+            let (pos, neg) = self.choice_sets[idx][choice];
+            match atom {
+                Atom::Concept(a, x) => {
+                    let entry = concepts.entry(a.clone()).or_default();
+                    if pos {
+                        entry.pos.insert(*x);
+                    }
+                    if neg {
+                        entry.neg.insert(*x);
+                    }
+                }
+                Atom::Role(r, x, y) => {
+                    let entry = roles.entry(r.clone()).or_default();
+                    if pos {
+                        entry.pos.insert((*x, *y));
+                    }
+                    if neg {
+                        entry.neg.insert((*x, *y));
+                    }
+                }
+                Atom::DataRole(u, x, v) => {
+                    let entry = data_roles.entry(u.clone()).or_default();
+                    if pos {
+                        entry.pos.insert((*x, v.clone()));
+                    }
+                    if neg {
+                        entry.neg.insert((*x, v.clone()));
+                    }
+                }
+            }
+        }
+        for (a, p) in concepts {
+            i.set_concept(a, p);
+        }
+        for (r, p) in roles {
+            i.set_role(r, p);
+        }
+        for (u, p) in data_roles {
+            i.set_data_role(u, p);
+        }
+        i
+    }
+}
+
+impl Iterator for ModelIter {
+    type Item = Interp4;
+
+    fn next(&mut self) -> Option<Interp4> {
+        let counter = self.counter.as_mut()?;
+        let snapshot = counter.clone();
+        // Advance the mixed-radix counter.
+        let mut i = 0;
+        loop {
+            if i == counter.len() {
+                self.counter = None;
+                break;
+            }
+            counter[i] += 1;
+            if counter[i] < self.choice_sets[i].len() {
+                break;
+            }
+            counter[i] = 0;
+            i += 1;
+        }
+        Some(self.materialize(&snapshot))
+    }
+}
+
+/// Count the models of `kb` (interpretations satisfying every axiom),
+/// splitting the space across worker threads with crossbeam.
+pub fn count_models_parallel(kb: &KnowledgeBase4, cfg: &EnumConfig, workers: usize) -> u64 {
+    let workers = workers.max(1);
+    let iter = ModelIter::new(kb, cfg);
+    let total = iter.total();
+    if total == 0 {
+        return 0;
+    }
+    // Partition by stripes: worker w takes interpretations w, w+k, w+2k…
+    // Each worker re-creates the iterator and skips; for the sizes this
+    // oracle is used at, re-enumeration dominated by satisfaction checks.
+    crossbeam::scope(|s| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let kb = kb.clone();
+            let cfg = cfg.clone();
+            handles.push(s.spawn(move |_| {
+                ModelIter::new(&kb, &cfg)
+                    .enumerate()
+                    .filter(|(idx, _)| idx % workers == w)
+                    .filter(|(_, m)| m.satisfies(&kb))
+                    .count() as u64
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+    })
+    .expect("crossbeam scope")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shoin4::parse_kb4;
+
+    #[test]
+    fn space_size_is_product_of_choices() {
+        let kb = parse_kb4("x : A").unwrap();
+        // One concept, one individual, domain 1 → 4 interpretations.
+        let cfg = EnumConfig::for_kb(&kb);
+        let iter = ModelIter::new(&kb, &cfg);
+        assert_eq!(iter.total(), 4);
+        assert_eq!(iter.count(), 4);
+    }
+
+    #[test]
+    fn classical_mode_halves_choices() {
+        let kb = parse_kb4("x : A").unwrap();
+        let cfg = EnumConfig::classical_for_kb(&kb);
+        assert_eq!(ModelIter::new(&kb, &cfg).total(), 2);
+    }
+
+    #[test]
+    fn roles_enumerate_over_pairs() {
+        let kb = parse_kb4("r(a, b)").unwrap();
+        // Domain 2, one role → 4 pairs × 4 values = 256.
+        let cfg = EnumConfig::for_kb(&kb);
+        assert_eq!(ModelIter::new(&kb, &cfg).total(), 256);
+    }
+
+    #[test]
+    fn nonreflexive_restriction_shrinks_space() {
+        let kb = parse_kb4("r(a, b)").unwrap();
+        let mut cfg = EnumConfig::for_kb(&kb);
+        cfg.nonreflexive_roles.insert(dl::RoleName::new("r"));
+        // Pairs (a,a),(b,b) have 2 choices, (a,b),(b,a) have 4 → 2·2·4·4.
+        assert_eq!(ModelIter::new(&kb, &cfg).total(), 64);
+    }
+
+    #[test]
+    fn every_model_satisfies_or_not_consistently() {
+        let kb = parse_kb4("x : A\nA SubClassOf B").unwrap();
+        let cfg = EnumConfig::for_kb(&kb);
+        let models: Vec<Interp4> =
+            ModelIter::new(&kb, &cfg).filter(|m| m.satisfies(&kb)).collect();
+        assert!(!models.is_empty());
+        for m in &models {
+            // x ∈ pos(A) and pos(A) ⊆ pos(B).
+            let x = m.individual(&dl::IndividualName::new("x")).unwrap();
+            assert!(m.eval(&dl::Concept::atomic("A")).pos.contains(&x));
+            assert!(m.eval(&dl::Concept::atomic("B")).pos.contains(&x));
+        }
+    }
+
+    #[test]
+    fn contradiction_has_models_four_valued_but_not_classical() {
+        let kb = parse_kb4("x : A\nx : not A").unwrap();
+        let four = ModelIter::new(&kb, &EnumConfig::for_kb(&kb))
+            .filter(|m| m.satisfies(&kb))
+            .count();
+        assert!(four > 0);
+        let classical = ModelIter::new(&kb, &EnumConfig::classical_for_kb(&kb))
+            .filter(|m| m.satisfies(&kb))
+            .count();
+        assert_eq!(classical, 0);
+    }
+
+    #[test]
+    fn parallel_count_matches_sequential() {
+        let kb = parse_kb4("r(a, b)\na : A").unwrap();
+        let cfg = EnumConfig::for_kb(&kb);
+        let sequential = ModelIter::new(&kb, &cfg)
+            .filter(|m| m.satisfies(&kb))
+            .count() as u64;
+        assert_eq!(count_models_parallel(&kb, &cfg, 4), sequential);
+    }
+
+    #[test]
+    fn anonymous_domain_elements_matter() {
+        // x : ∃r.A with a one-element domain has no four-valued model in
+        // which the successor differs from x AND x ∉ proj⁺(r)(x,x)…
+        // concretely: over domain {x} the KB is satisfiable only with a
+        // reflexive positive r-pair; barring it kills all models, while
+        // an extra anonymous element restores satisfiability.
+        let kb = parse_kb4("x : r some A").unwrap();
+        let mut cfg = EnumConfig::for_kb(&kb);
+        cfg.nonreflexive_roles.insert(dl::RoleName::new("r"));
+        assert_eq!(cfg.domain_size, 1);
+        let none = ModelIter::new(&kb, &cfg).filter(|m| m.satisfies(&kb)).count();
+        assert_eq!(none, 0);
+        cfg.domain_size = 2;
+        let some = ModelIter::new(&kb, &cfg).filter(|m| m.satisfies(&kb)).count();
+        assert!(some > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn domain_must_fit_individuals() {
+        let kb = parse_kb4("r(a, b)\nc : A").unwrap();
+        let mut cfg = EnumConfig::for_kb(&kb);
+        cfg.domain_size = 2; // three individuals
+        let _ = ModelIter::new(&kb, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the cap")]
+    fn space_cap_is_enforced() {
+        let kb = parse_kb4("r(a, b)\ns(b, c)\nt(a, c)").unwrap();
+        let mut cfg = EnumConfig::for_kb(&kb);
+        cfg.max_interpretations = 10;
+        let _ = ModelIter::new(&kb, &cfg);
+    }
+}

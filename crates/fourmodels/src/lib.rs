@@ -1,0 +1,30 @@
+//! Finite-model machinery for SHOIN(D)4 and classical SHOIN(D).
+//!
+//! Tableau algorithms are fast but intricate; this crate is the slow,
+//! obviously-correct counterpart: it **enumerates every interpretation**
+//! over a small finite domain and checks satisfaction directly against the
+//! Table 2/3 semantics in [`shoin4::interp4`]. The test suite uses it as
+//! the specification oracle for
+//!
+//! * the classical tableau (`tableau` must agree with two-valued
+//!   enumeration on small KBs),
+//! * the SHOIN(D)4 reduction (Lemma 5 / Theorem 6 property tests), and
+//! * the paper's Table 4, regenerated exactly by [`table4`].
+//!
+//! ```
+//! use fourmodels::{enumerate::EnumConfig, check};
+//! use shoin4::parse_kb4;
+//!
+//! let kb = parse_kb4("x : A\nx : not A").unwrap();
+//! // Paraconsistency, by brute force: the KB has four-valued models...
+//! assert!(check::satisfiable_by_enumeration(&kb, &EnumConfig::for_kb(&kb)));
+//! ```
+
+pub mod check;
+pub mod enumerate;
+pub mod table4;
+pub mod verify;
+
+pub use check::{entailed_positive_info, satisfiable_by_enumeration};
+pub use enumerate::{EnumConfig, ModelIter};
+pub use table4::{table4_rows, Table4Row};

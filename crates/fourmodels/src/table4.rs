@@ -1,0 +1,252 @@
+//! Reproduction of **Table 4** of the paper: the four-valued models of
+//! Example 4 ("single Smith adopts a child Kate").
+//!
+//! The knowledge base is
+//!
+//! ```text
+//! ≥1.hasChild ⊏ Parent
+//! Parent ↦ Married
+//! hasChild(smith, kate)
+//! ¬Married(smith)
+//! ```
+//!
+//! over the domain `{smith, kate}`, with `hasChild` declared
+//! non-reflexive (the paper's closing note under Table 4: the semantics
+//! "had better not refer to unreasonable interpretations like
+//! hasChild(smith, smith)" — we bar reflexive pairs from `proj⁺`).
+//!
+//! The paper lists nine models M1–M9 by the truth values of four
+//! observables. [`table4_rows`] enumerates *all* models, projects them
+//! onto those observables and deduplicates — recovering exactly the nine
+//! rows, grouped into the paper's four display lines by
+//! [`table4_grouped`].
+
+use crate::enumerate::{EnumConfig, ModelIter};
+use dl::name::{IndividualName, RoleName};
+use dl::{Concept, RoleExpr};
+use fourval::TruthValue;
+use shoin4::{parse_kb4, KnowledgeBase4};
+use std::collections::BTreeSet;
+
+/// The Example 4 knowledge base.
+pub fn example4_kb() -> KnowledgeBase4 {
+    parse_kb4(
+        "hasChild min 1 SubClassOf Parent
+         Parent MaterialSubClassOf Married
+         hasChild(smith, kate)
+         smith : not Married",
+    )
+    .expect("example 4 parses")
+}
+
+/// The enumeration configuration of Table 4: domain `{smith, kate}`,
+/// non-reflexive `hasChild`.
+pub fn example4_config() -> EnumConfig {
+    let kb = example4_kb();
+    let mut cfg = EnumConfig::for_kb(&kb);
+    cfg.nonreflexive_roles.insert(RoleName::new("hasChild"));
+    cfg
+}
+
+/// One projected row: the truth values of the four observables the paper
+/// tabulates for Smith.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Table4Row {
+    /// `hasChild(smith, kate)`
+    pub has_child: TruthValue,
+    /// `≥1.hasChild (smith)`
+    pub at_least_one_child: TruthValue,
+    /// `Parent(smith)`
+    pub parent: TruthValue,
+    /// `Married(smith)`
+    pub married: TruthValue,
+}
+
+/// Enumerate all models of Example 4 and project them to the distinct
+/// Table 4 rows (sorted).
+pub fn table4_rows() -> Vec<Table4Row> {
+    let kb = example4_kb();
+    let cfg = example4_config();
+    let smith = IndividualName::new("smith");
+    let kate = IndividualName::new("kate");
+    let at_least = Concept::at_least(1, RoleExpr::named("hasChild"));
+    let parent = Concept::atomic("Parent");
+    let married = Concept::atomic("Married");
+    let mut rows: BTreeSet<Table4Row> = BTreeSet::new();
+    for m in ModelIter::new(&kb, &cfg).filter(|m| m.satisfies(&kb)) {
+        let s = m.individual(&smith).expect("smith in domain");
+        let k = m.individual(&kate).expect("kate in domain");
+        let r = m.role(&RoleName::new("hasChild"));
+        let has_child =
+            TruthValue::from_bits(r.pos.contains(&(s, k)), r.neg.contains(&(s, k)));
+        rows.insert(Table4Row {
+            has_child,
+            at_least_one_child: m.eval(&at_least).status(&s),
+            parent: m.eval(&parent).status(&s),
+            married: m.eval(&married).status(&s),
+        });
+    }
+    rows.into_iter().collect()
+}
+
+/// The paper's presentation: four display lines, each a set of values per
+/// column (a cell like `t/⊤` means both occur).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table4Group {
+    /// Label, e.g. `"M1-M4"`.
+    pub label: &'static str,
+    /// Cell value sets in column order (hasChild, ≥1.hasChild, Parent,
+    /// Married).
+    pub cells: [Vec<TruthValue>; 4],
+    /// How many concrete rows the line covers.
+    pub row_count: usize,
+}
+
+/// Group the concrete rows into the paper's four lines.
+///
+/// The grouping keys are the columns the paper holds constant per line:
+/// `≥1.hasChild` and `Married` (observe Table 4: within each line only
+/// `hasChild` and `Parent` vary over `t/⊤`).
+pub fn table4_grouped() -> Vec<Table4Group> {
+    use TruthValue::{Both, True};
+    let rows = table4_rows();
+    let group = |al: TruthValue, married: TruthValue| -> Vec<Table4Row> {
+        rows.iter()
+            .copied()
+            .filter(|r| r.at_least_one_child == al && r.married == married)
+            .collect()
+    };
+    let collect = |label: &'static str, members: Vec<Table4Row>| -> Table4Group {
+        let mut cells: [BTreeSet<TruthValue>; 4] = Default::default();
+        for r in &members {
+            cells[0].insert(r.has_child);
+            cells[1].insert(r.at_least_one_child);
+            cells[2].insert(r.parent);
+            cells[3].insert(r.married);
+        }
+        Table4Group {
+            label,
+            cells: cells.map(|s| s.into_iter().collect()),
+            row_count: members.len(),
+        }
+    };
+    vec![
+        collect("M1-M4", group(True, Both)),
+        collect("M5-M6", group(True, TruthValue::False)),
+        collect("M7-M8", group(Both, Both)),
+        collect("M9", group(Both, TruthValue::False)),
+    ]
+}
+
+/// Render the grouped table in the paper's layout.
+pub fn render_table4() -> String {
+    fn cell(vals: &[TruthValue]) -> String {
+        vals.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("/")
+    }
+    let mut out = String::from(
+        "      | hasChild(s,k) | >=1.hasChild(s) | Parent(s) | Married(s)\n",
+    );
+    for g in table4_grouped() {
+        out.push_str(&format!(
+            "{:<5} | {:^13} | {:^15} | {:^9} | {:^10}\n",
+            g.label,
+            cell(&g.cells[0]),
+            cell(&g.cells[1]),
+            cell(&g.cells[2]),
+            cell(&g.cells[3]),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TruthValue::{Both, False, True};
+
+    #[test]
+    fn exactly_nine_distinct_rows() {
+        let rows = table4_rows();
+        assert_eq!(rows.len(), 9, "Table 4 lists nine models M1–M9");
+    }
+
+    #[test]
+    fn rows_match_the_paper() {
+        let rows: BTreeSet<Table4Row> = table4_rows().into_iter().collect();
+        let expected = [
+            // M1-M4: hasChild t/⊤, ≥1 t, Parent t/⊤, Married ⊤.
+            (True, True, True, Both),
+            (True, True, Both, Both),
+            (Both, True, True, Both),
+            (Both, True, Both, Both),
+            // M5-M6: hasChild t/⊤, ≥1 t, Parent ⊤, Married f.
+            (True, True, Both, False),
+            (Both, True, Both, False),
+            // M7-M8: hasChild ⊤, ≥1 ⊤, Parent t/⊤, Married ⊤.
+            (Both, Both, True, Both),
+            (Both, Both, Both, Both),
+            // M9: hasChild ⊤, ≥1 ⊤, Parent ⊤, Married f.
+            (Both, Both, Both, False),
+        ];
+        let expected: BTreeSet<Table4Row> = expected
+            .into_iter()
+            .map(|(has_child, at_least_one_child, parent, married)| Table4Row {
+                has_child,
+                at_least_one_child,
+                parent,
+                married,
+            })
+            .collect();
+        assert_eq!(rows, expected);
+    }
+
+    #[test]
+    fn grouping_covers_all_nine() {
+        let groups = table4_grouped();
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups.iter().map(|g| g.row_count).sum::<usize>(), 9);
+        assert_eq!(groups[0].row_count, 4); // M1-M4
+        assert_eq!(groups[1].row_count, 2); // M5-M6
+        assert_eq!(groups[2].row_count, 2); // M7-M8
+        assert_eq!(groups[3].row_count, 1); // M9
+    }
+
+    #[test]
+    fn grouped_cells_match_paper_presentation() {
+        let groups = table4_grouped();
+        // M1-M4: t/⊤ | t | t/⊤ | ⊤
+        assert_eq!(groups[0].cells[0], vec![Both, True]);
+        assert_eq!(groups[0].cells[1], vec![True]);
+        assert_eq!(groups[0].cells[2], vec![Both, True]);
+        assert_eq!(groups[0].cells[3], vec![Both]);
+        // M9: ⊤ | ⊤ | ⊤ | f
+        assert_eq!(groups[3].cells[0], vec![Both]);
+        assert_eq!(groups[3].cells[1], vec![Both]);
+        assert_eq!(groups[3].cells[2], vec![Both]);
+        assert_eq!(groups[3].cells[3], vec![False]);
+    }
+
+    #[test]
+    fn render_contains_all_labels() {
+        let s = render_table4();
+        for label in ["M1-M4", "M5-M6", "M7-M8", "M9"] {
+            assert!(s.contains(label), "{s}");
+        }
+    }
+
+    #[test]
+    fn without_nonreflexivity_more_rows_appear() {
+        // Dropping the non-reflexive restriction admits models with
+        // hasChild(smith, smith) positively, which Table 4 excludes.
+        let kb = example4_kb();
+        let cfg = EnumConfig::for_kb(&kb); // no restriction
+        let count = ModelIter::new(&kb, &cfg).filter(|m| m.satisfies(&kb)).count();
+        let restricted = ModelIter::new(&kb, &example4_config())
+            .filter(|m| m.satisfies(&kb))
+            .count();
+        assert!(count > restricted);
+    }
+}

@@ -1,0 +1,284 @@
+//! The `<P, N>` bilattice over a finite domain (Fitting, §2.2 of the paper).
+//!
+//! For a given domain, the elements are pairs `<P, N>` of subsets of the
+//! domain: `P` is the set of individuals *supporting truth* and `N` the set
+//! *supporting falsity*. Neither disjointness (`P ∩ N = ∅`) nor coverage
+//! (`P ∪ N = Δ`) is required — dropping those two classical requirements is
+//! precisely what makes the semantics paraconsistent.
+//!
+//! SHOIN(D)4 interprets every concept as such a pair; the operations here
+//! are the `≤t`-direction meet, join and negation used in Table 2 of the
+//! paper.
+
+use crate::truth::TruthValue;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An element `<P, N>` of the bilattice over domain elements of type `T`.
+///
+/// `T` is ordered so the sets have a canonical form (useful for hashing,
+/// model dedup and stable printing).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SetPair<T: Ord> {
+    /// `proj⁺`: elements with information supporting membership.
+    pub pos: BTreeSet<T>,
+    /// `proj⁻`: elements with information supporting non-membership.
+    pub neg: BTreeSet<T>,
+}
+
+impl<T: Ord> Default for SetPair<T> {
+    fn default() -> Self {
+        SetPair {
+            pos: BTreeSet::new(),
+            neg: BTreeSet::new(),
+        }
+    }
+}
+
+impl<T: Ord + Clone> SetPair<T> {
+    /// The empty pair `<∅, ∅>` (everything unknown).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Construct from positive and negative extensions.
+    pub fn new(
+        pos: impl IntoIterator<Item = T>,
+        neg: impl IntoIterator<Item = T>,
+    ) -> Self {
+        SetPair {
+            pos: pos.into_iter().collect(),
+            neg: neg.into_iter().collect(),
+        }
+    }
+
+    /// The interpretation of `⊤`: `<Δ, ∅>`.
+    pub fn top(domain: impl IntoIterator<Item = T>) -> Self {
+        SetPair {
+            pos: domain.into_iter().collect(),
+            neg: BTreeSet::new(),
+        }
+    }
+
+    /// The interpretation of `⊥`: `<∅, Δ>`.
+    pub fn bottom(domain: impl IntoIterator<Item = T>) -> Self {
+        SetPair {
+            pos: BTreeSet::new(),
+            neg: domain.into_iter().collect(),
+        }
+    }
+
+    /// Positive projection `proj⁺(<P,N>) = P` (Definition 1).
+    pub fn proj_pos(&self) -> &BTreeSet<T> {
+        &self.pos
+    }
+
+    /// Negative projection `proj⁻(<P,N>) = N` (Definition 1).
+    pub fn proj_neg(&self) -> &BTreeSet<T> {
+        &self.neg
+    }
+
+    /// Negation on the truth direction: `¬<P,N> = <N,P>`.
+    pub fn neg(&self) -> Self {
+        SetPair {
+            pos: self.neg.clone(),
+            neg: self.pos.clone(),
+        }
+    }
+
+    /// Truth-order meet: `<P1,N1> ∧ <P2,N2> = <P1∩P2, N1∪N2>`.
+    pub fn and(&self, other: &Self) -> Self {
+        SetPair {
+            pos: self.pos.intersection(&other.pos).cloned().collect(),
+            neg: self.neg.union(&other.neg).cloned().collect(),
+        }
+    }
+
+    /// Truth-order join: `<P1,N1> ∨ <P2,N2> = <P1∪P2, N1∩N2>`.
+    pub fn or(&self, other: &Self) -> Self {
+        SetPair {
+            pos: self.pos.union(&other.pos).cloned().collect(),
+            neg: self.neg.intersection(&other.neg).cloned().collect(),
+        }
+    }
+
+    /// Knowledge-order meet (consensus): `<P1∩P2, N1∩N2>`.
+    pub fn consensus(&self, other: &Self) -> Self {
+        SetPair {
+            pos: self.pos.intersection(&other.pos).cloned().collect(),
+            neg: self.neg.intersection(&other.neg).cloned().collect(),
+        }
+    }
+
+    /// Knowledge-order join (gullibility): `<P1∪P2, N1∪N2>`.
+    pub fn accept_all(&self, other: &Self) -> Self {
+        SetPair {
+            pos: self.pos.union(&other.pos).cloned().collect(),
+            neg: self.neg.union(&other.neg).cloned().collect(),
+        }
+    }
+
+    /// Truth order `≤t`: `P1 ⊆ P2` and `N2 ⊆ N1`.
+    pub fn le_t(&self, other: &Self) -> bool {
+        self.pos.is_subset(&other.pos) && other.neg.is_subset(&self.neg)
+    }
+
+    /// Knowledge order `≤k`: `P1 ⊆ P2` and `N1 ⊆ N2`.
+    pub fn le_k(&self, other: &Self) -> bool {
+        self.pos.is_subset(&other.pos) && self.neg.is_subset(&other.neg)
+    }
+
+    /// The four-valued membership status of one element (Definition 3).
+    pub fn status(&self, x: &T) -> TruthValue {
+        TruthValue::from_bits(self.pos.contains(x), self.neg.contains(x))
+    }
+
+    /// Is this pair classical w.r.t. the given domain, i.e. `P ∩ N = ∅`
+    /// and `P ∪ N = Δ`? Classical pairs are exactly the two-valued
+    /// interpretations embedded in the bilattice.
+    pub fn is_classical(&self, domain: &BTreeSet<T>) -> bool {
+        self.pos.is_disjoint(&self.neg)
+            && self.pos.union(&self.neg).cloned().collect::<BTreeSet<_>>() == *domain
+    }
+
+    /// Elements assigned `⊤` — the *localized* contradictions.
+    pub fn contradictory_elements(&self) -> impl Iterator<Item = &T> {
+        self.pos.intersection(&self.neg)
+    }
+
+    /// Elements assigned `⊥` w.r.t. a domain — information gaps.
+    pub fn unknown_elements<'a>(
+        &'a self,
+        domain: &'a BTreeSet<T>,
+    ) -> impl Iterator<Item = &'a T> {
+        domain
+            .iter()
+            .filter(move |x| !self.pos.contains(x) && !self.neg.contains(x))
+    }
+}
+
+impl<T: Ord + fmt::Display> fmt::Display for SetPair<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn set<T: fmt::Display>(
+            f: &mut fmt::Formatter<'_>,
+            s: &BTreeSet<T>,
+        ) -> fmt::Result {
+            write!(f, "{{")?;
+            for (i, x) in s.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{x}")?;
+            }
+            write!(f, "}}")
+        }
+        write!(f, "<")?;
+        set(f, &self.pos)?;
+        write!(f, ", ")?;
+        set(f, &self.neg)?;
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom() -> BTreeSet<u32> {
+        [0, 1, 2, 3].into_iter().collect()
+    }
+
+    fn p(pos: &[u32], neg: &[u32]) -> SetPair<u32> {
+        SetPair::new(pos.iter().copied(), neg.iter().copied())
+    }
+
+    #[test]
+    fn projections_follow_definition_1() {
+        let sp = p(&[1, 2], &[2, 3]);
+        assert_eq!(sp.proj_pos().iter().copied().collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(sp.proj_neg().iter().copied().collect::<Vec<_>>(), [2, 3]);
+    }
+
+    #[test]
+    fn negation_swaps_components() {
+        let sp = p(&[1], &[2]);
+        assert_eq!(sp.neg(), p(&[2], &[1]));
+        assert_eq!(sp.neg().neg(), sp);
+    }
+
+    #[test]
+    fn and_or_follow_bilattice_definitions() {
+        let a = p(&[0, 1], &[2]);
+        let b = p(&[1, 2], &[3]);
+        assert_eq!(a.and(&b), p(&[1], &[2, 3]));
+        assert_eq!(a.or(&b), p(&[0, 1, 2], &[]));
+    }
+
+    #[test]
+    fn top_bottom_identities_prop3() {
+        // Proposition 3: C⊓⊤ = C, C⊔⊤ = ⊤, C⊓⊥ = ⊥, C⊔⊥ = C.
+        let c = p(&[0, 1], &[2, 3]);
+        let top = SetPair::top(dom());
+        let bot = SetPair::bottom(dom());
+        assert_eq!(c.and(&top), c);
+        assert_eq!(c.or(&top), top);
+        assert_eq!(c.and(&bot), bot);
+        assert_eq!(c.or(&bot), c);
+    }
+
+    #[test]
+    fn de_morgan_prop4() {
+        let a = p(&[0, 1], &[2]);
+        let b = p(&[1, 3], &[0]);
+        assert_eq!(a.or(&b).neg(), a.neg().and(&b.neg()));
+        assert_eq!(a.and(&b).neg(), a.neg().or(&b.neg()));
+        assert_eq!(SetPair::<u32>::top(dom()).neg(), SetPair::bottom(dom()));
+    }
+
+    #[test]
+    fn status_matches_definition_3() {
+        let sp = p(&[0, 1], &[1, 2]);
+        assert_eq!(sp.status(&0), TruthValue::True);
+        assert_eq!(sp.status(&1), TruthValue::Both);
+        assert_eq!(sp.status(&2), TruthValue::False);
+        assert_eq!(sp.status(&3), TruthValue::Neither);
+    }
+
+    #[test]
+    fn classicality_check() {
+        assert!(p(&[0, 1], &[2, 3]).is_classical(&dom()));
+        assert!(!p(&[0, 1], &[1, 2, 3]).is_classical(&dom())); // overlap
+        assert!(!p(&[0], &[2, 3]).is_classical(&dom())); // gap at 1
+    }
+
+    #[test]
+    fn orders_are_consistent_with_pointwise_status() {
+        let a = p(&[0], &[1, 2]);
+        let b = p(&[0, 3], &[1]);
+        assert!(a.le_t(&b));
+        for x in dom() {
+            assert!(a.status(&x).le_t(b.status(&x)), "at {x}");
+        }
+        let c = p(&[0], &[1]);
+        let d = p(&[0, 2], &[1, 3]);
+        assert!(c.le_k(&d));
+        for x in dom() {
+            assert!(c.status(&x).le_k(d.status(&x)), "at {x}");
+        }
+    }
+
+    #[test]
+    fn contradiction_and_gap_reporting() {
+        let sp = p(&[0, 1], &[1, 2]);
+        assert_eq!(sp.contradictory_elements().copied().collect::<Vec<_>>(), [1]);
+        let d = dom();
+        assert_eq!(sp.unknown_elements(&d).copied().collect::<Vec<_>>(), [3]);
+    }
+
+    #[test]
+    fn display_renders_pairs() {
+        assert_eq!(p(&[1], &[2]).to_string(), "<{1}, {2}>");
+        assert_eq!(SetPair::<u32>::empty().to_string(), "<{}, {}>");
+    }
+}

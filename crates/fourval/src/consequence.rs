@@ -1,0 +1,235 @@
+//! The four-valued consequence relation `⊨4` by exhaustive model search.
+//!
+//! `Γ ⊨4 φ` holds iff every four-valued valuation that designates all of `Γ`
+//! also designates `φ`. This is the relation against which Proposition 1
+//! (the deduction theorem for internal implication) and its counterexamples
+//! for material and strong implication are stated.
+//!
+//! Enumeration costs `4^n` in the number of atoms, so this module is a
+//! *specification oracle*: the DL layer never calls it on large inputs, but
+//! the test suite uses it heavily to cross-check the reduction machinery.
+
+use crate::prop::{Atom, Formula};
+use crate::valuation::AllValuations;
+use std::collections::BTreeSet;
+
+/// Upper bound on distinct atoms accepted by the exhaustive checker.
+/// `4^12 ≈ 16.7M` valuations is the most we allow a single query to scan.
+pub const MAX_ATOMS: usize = 12;
+
+fn combined_atoms(premises: &[Formula], conclusion: &Formula) -> BTreeSet<Atom> {
+    let mut atoms = conclusion.atoms();
+    for p in premises {
+        atoms.extend(p.atoms());
+    }
+    atoms
+}
+
+/// Does `Γ ⊨4 φ` hold? Panics if the combined atom count exceeds
+/// [`MAX_ATOMS`] — callers control their inputs, and silently wrong answers
+/// would be worse than a loud failure.
+pub fn entails4(premises: &[Formula], conclusion: &Formula) -> bool {
+    let atoms = combined_atoms(premises, conclusion);
+    assert!(
+        atoms.len() <= MAX_ATOMS,
+        "entails4: {} atoms exceeds the exhaustive-checker limit of {MAX_ATOMS}",
+        atoms.len()
+    );
+    AllValuations::new(atoms).all(|v| {
+        premises.iter().any(|p| !p.eval(&v).is_designated())
+            || conclusion.eval(&v).is_designated()
+    })
+}
+
+/// `Γ ⊨4 φᵢ` for every conclusion.
+pub fn entails4_all(premises: &[Formula], conclusions: &[Formula]) -> bool {
+    conclusions.iter().all(|c| entails4(premises, c))
+}
+
+/// Four-valued logical equivalence: same truth value under *every*
+/// valuation (stronger than mutual entailment).
+pub fn equivalent4(a: &Formula, b: &Formula) -> bool {
+    let atoms = combined_atoms(std::slice::from_ref(a), b);
+    assert!(
+        atoms.len() <= MAX_ATOMS,
+        "equivalent4: {} atoms exceeds the exhaustive-checker limit of {MAX_ATOMS}",
+        atoms.len()
+    );
+    AllValuations::new(atoms).all(|v| a.eval(&v) == b.eval(&v))
+}
+
+/// Is `φ` a four-valued tautology (designated in every valuation)?
+pub fn tautology4(f: &Formula) -> bool {
+    entails4(&[], f)
+}
+
+/// Find one valuation designating all of `Γ` but not `φ`, if any — the
+/// witness used by tests and error messages.
+pub fn countermodel(
+    premises: &[Formula],
+    conclusion: &Formula,
+) -> Option<crate::valuation::Valuation> {
+    let atoms = combined_atoms(premises, conclusion);
+    assert!(atoms.len() <= MAX_ATOMS);
+    AllValuations::new(atoms).find(|v| {
+        premises.iter().all(|p| p.eval(v).is_designated())
+            && !conclusion.eval(v).is_designated()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(s: &str) -> Formula {
+        Formula::atom(s)
+    }
+
+    #[test]
+    fn no_explosion_from_contradiction() {
+        // The headline paraconsistency property: {p, ¬p} ⊭4 q.
+        let p = atom("p");
+        let q = atom("q");
+        assert!(!entails4(&[p.clone(), p.clone().not()], &q));
+        assert!(entails4(&[p.clone(), p.clone().not()], &p));
+    }
+
+    #[test]
+    fn conjunction_elimination_and_introduction() {
+        let (p, q) = (atom("p"), atom("q"));
+        let conj = p.clone().and(q.clone());
+        assert!(entails4(std::slice::from_ref(&conj), &p));
+        assert!(entails4(std::slice::from_ref(&conj), &q));
+        assert!(entails4(&[p, q], &conj));
+    }
+
+    #[test]
+    fn disjunction_introduction() {
+        let (p, q) = (atom("p"), atom("q"));
+        assert!(entails4(std::slice::from_ref(&p), &p.clone().or(q)));
+    }
+
+    #[test]
+    fn disjunctive_syllogism_fails_in_four() {
+        // A classical law famously invalid in Belnap logic: {p∨q, ¬p} ⊭4 q.
+        let (p, q) = (atom("p"), atom("q"));
+        assert!(!entails4(&[p.clone().or(q.clone()), p.not()], &q));
+    }
+
+    #[test]
+    fn proposition_1_deduction_theorem_for_internal_imp() {
+        // Γ,ψ ⊨4 φ iff Γ ⊨4 ψ ⊃ φ — spot-check on several (Γ, ψ, φ).
+        let cases: Vec<(Vec<Formula>, Formula, Formula)> = vec![
+            (vec![], atom("p"), atom("p")),
+            (vec![atom("r")], atom("p"), atom("p").or(atom("r"))),
+            (vec![atom("p")], atom("q"), atom("p").and(atom("q"))),
+            (vec![atom("p").not()], atom("p"), atom("q")),
+        ];
+        for (gamma, psi, phi) in cases {
+            let mut with_psi = gamma.clone();
+            with_psi.push(psi.clone());
+            let lhs = entails4(&with_psi, &phi);
+            let rhs = entails4(&gamma, &psi.internal_imp(phi.clone()));
+            assert_eq!(lhs, rhs, "deduction theorem failed for φ={phi}");
+        }
+    }
+
+    #[test]
+    fn proposition_1_modus_ponens_for_internal_imp() {
+        // If Γ ⊨4 ψ and Γ ⊨4 ψ⊃φ then Γ ⊨4 φ — verified semantically:
+        // whenever ψ and ψ⊃φ are designated, φ is designated.
+        let (psi, phi) = (atom("p"), atom("q"));
+        let imp = psi.clone().internal_imp(phi.clone());
+        assert!(entails4(&[psi, imp], &phi));
+    }
+
+    #[test]
+    fn proposition_1_counterexample_material() {
+        // {ψ, ¬ψ, ¬φ} ⊨4 ψ↦φ but {ψ, ¬ψ, ¬φ} ⊭4 φ.
+        let (psi, phi) = (atom("p"), atom("q"));
+        let gamma = vec![psi.clone(), psi.clone().not(), phi.clone().not()];
+        assert!(entails4(&gamma, &psi.material_imp(phi.clone())));
+        assert!(!entails4(&gamma, &phi));
+    }
+
+    #[test]
+    fn proposition_1_counterexample_strong() {
+        // {ψ, φ, ¬φ} ⊨4 φ, but {φ, ¬φ} ⊭4 ψ→φ.
+        let (psi, phi) = (atom("p"), atom("q"));
+        assert!(entails4(
+            &[psi.clone(), phi.clone(), phi.clone().not()],
+            &phi
+        ));
+        assert!(!entails4(
+            &[phi.clone(), phi.clone().not()],
+            &psi.strong_imp(phi)
+        ));
+    }
+
+    #[test]
+    fn proposition_2_congruence_of_strong_iff() {
+        // ψ↔φ ⊨4 Θ(ψ)↔Θ(φ) for sample schemata Θ.
+        let (psi, phi) = (atom("p"), atom("q"));
+        let iff = psi.clone().strong_iff(phi.clone());
+        let schemata: Vec<Box<dyn Fn(Formula) -> Formula>> = vec![
+            Box::new(|x: Formula| x.not()),
+            Box::new(|x: Formula| x.and(Formula::atom("r"))),
+            Box::new(|x: Formula| Formula::atom("r").or(x)),
+            Box::new(|x: Formula| x.clone().internal_imp(x)),
+            Box::new(|x: Formula| Formula::atom("r").strong_imp(x)),
+        ];
+        for theta in &schemata {
+            let lhs = theta(psi.clone());
+            let rhs = theta(phi.clone());
+            assert!(
+                entails4(std::slice::from_ref(&iff), &lhs.strong_iff(rhs)),
+                "congruence failed"
+            );
+        }
+    }
+
+    #[test]
+    fn countermodel_reports_witness() {
+        let (p, q) = (atom("p"), atom("q"));
+        let cm = countermodel(&[p.clone(), p.not()], &q).expect("countermodel exists");
+        assert_eq!(cm.get("p"), crate::truth::TruthValue::Both);
+        assert!(!cm.get("q").is_designated());
+    }
+
+    #[test]
+    fn tautologies() {
+        let p = atom("p");
+        // p ⊃ p is a tautology; p ∨ ¬p is NOT (⊥ defeats it).
+        assert!(tautology4(&p.clone().internal_imp(p.clone())));
+        assert!(!tautology4(&p.clone().or(p.clone().not())));
+        // Neither is p ↦ p, for the same reason.
+        assert!(!tautology4(&p.clone().material_imp(p.clone())));
+        // But p → p is: strong implication of a formula by itself.
+        assert!(tautology4(&p.clone().strong_imp(p)));
+    }
+
+    #[test]
+    fn equivalence_checks_de_morgan() {
+        let (p, q) = (atom("p"), atom("q"));
+        assert!(equivalent4(
+            &p.clone().and(q.clone()).not(),
+            &p.clone().not().or(q.clone().not())
+        ));
+        assert!(equivalent4(
+            &p.clone().or(q.clone()).not(),
+            &p.clone().not().and(q.not())
+        ));
+        assert!(!equivalent4(&p.clone(), &p.not()));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the exhaustive-checker limit")]
+    fn atom_limit_is_enforced() {
+        let big: Vec<Formula> = (0..13).map(|i| atom(&format!("x{i}"))).collect();
+        let conj = big
+            .into_iter()
+            .reduce(|a, b| a.and(b))
+            .unwrap();
+        let _ = entails4(&[], &conj);
+    }
+}

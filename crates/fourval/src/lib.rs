@@ -1,0 +1,43 @@
+//! Belnap's four-valued logic `FOUR` and the bilattice machinery underlying
+//! the paraconsistent description logic SHOIN(D)4.
+//!
+//! This crate is the semantic foundation of the workspace. It provides:
+//!
+//! * [`TruthValue`] — the four truth values `t`, `f`, `⊤` (Both) and `⊥`
+//!   (Neither), with the truth-order (`≤t`) and knowledge-order (`≤k`)
+//!   lattice operations, negation, and the three implications of the paper
+//!   (material `↦`, internal `⊃`, strong `→`).
+//! * [`bilattice::SetPair`] — the `<P, N>` bilattice over an arbitrary
+//!   finite domain, in which SHOIN(D)4 interprets concepts and roles.
+//! * [`prop`] — a propositional four-valued language with all three
+//!   implications, used to verify Propositions 1 and 2 of the paper.
+//! * [`valuation`] / [`consequence`] — exhaustive model enumeration and the
+//!   four-valued consequence relation `⊨4`.
+//!
+//! # Quick example
+//!
+//! ```
+//! use fourval::{TruthValue, prop::Formula, consequence::entails4};
+//!
+//! // A contradiction does not explode: {p, ¬p} ⊭4 q.
+//! let p = Formula::atom("p");
+//! let q = Formula::atom("q");
+//! let premises = vec![p.clone(), p.clone().not()];
+//! assert!(!entails4(&premises, &q));
+//! // But it still entails p itself.
+//! assert!(entails4(&premises, &p));
+//! assert_eq!(TruthValue::Both.neg(), TruthValue::Both);
+//! ```
+
+pub mod bilattice;
+pub mod consequence;
+pub mod prop;
+pub mod signed;
+pub mod truth;
+pub mod valuation;
+
+pub use bilattice::SetPair;
+pub use consequence::{entails4, entails4_all, equivalent4};
+pub use prop::Formula;
+pub use truth::TruthValue;
+pub use valuation::Valuation;

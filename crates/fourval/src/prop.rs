@@ -1,0 +1,379 @@
+//! A propositional four-valued language with the three implications.
+//!
+//! This mirrors §2.2 of the paper at the propositional level: the
+//! connectives `¬`, `∧`, `∨` plus material (`↦`), internal (`⊃`) and strong
+//! (`→`) implication and strong bi-implication (`↔`). It exists to verify
+//! Propositions 1 and 2 mechanically (see `consequence`), and to serve as a
+//! minimal reference implementation of Belnap semantics that the DL layer's
+//! behaviour can be cross-checked against.
+
+use crate::truth::TruthValue;
+use crate::valuation::Valuation;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Interned atom name. `Arc<str>` keeps clones of large formulas cheap.
+pub type Atom = Arc<str>;
+
+/// A propositional formula over `FOUR`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Formula {
+    /// A propositional variable.
+    Atom(Atom),
+    /// A truth-value constant (`t`, `f`, `⊤`, `⊥` are all expressible).
+    Const(TruthValue),
+    /// Negation `¬φ`.
+    Not(Arc<Formula>),
+    /// Conjunction `φ ∧ ψ`.
+    And(Arc<Formula>, Arc<Formula>),
+    /// Disjunction `φ ∨ ψ`.
+    Or(Arc<Formula>, Arc<Formula>),
+    /// Material implication `φ ↦ ψ ≝ ¬φ ∨ ψ`.
+    MaterialImp(Arc<Formula>, Arc<Formula>),
+    /// Internal implication `φ ⊃ ψ`.
+    InternalImp(Arc<Formula>, Arc<Formula>),
+    /// Strong implication `φ → ψ`.
+    StrongImp(Arc<Formula>, Arc<Formula>),
+    /// Strong bi-implication `φ ↔ ψ`.
+    StrongIff(Arc<Formula>, Arc<Formula>),
+    /// Knowledge-order meet `φ ⊗ ψ` (Fitting's *consensus*): keeps only
+    /// information both operands agree on.
+    Consensus(Arc<Formula>, Arc<Formula>),
+    /// Knowledge-order join `φ ⊕ ψ` (Fitting's *gullibility*): accepts
+    /// information from either operand.
+    Gullibility(Arc<Formula>, Arc<Formula>),
+}
+
+impl Formula {
+    /// A propositional atom.
+    pub fn atom(name: impl Into<Arc<str>>) -> Formula {
+        Formula::Atom(name.into())
+    }
+
+    /// A constant formula.
+    pub fn constant(v: TruthValue) -> Formula {
+        Formula::Const(v)
+    }
+
+    /// `¬self`
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Arc::new(self))
+    }
+
+    /// `self ∧ rhs`
+    pub fn and(self, rhs: Formula) -> Formula {
+        Formula::And(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// `self ∨ rhs`
+    pub fn or(self, rhs: Formula) -> Formula {
+        Formula::Or(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// `self ↦ rhs` (material implication)
+    pub fn material_imp(self, rhs: Formula) -> Formula {
+        Formula::MaterialImp(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// `self ⊃ rhs` (internal implication)
+    pub fn internal_imp(self, rhs: Formula) -> Formula {
+        Formula::InternalImp(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// `self → rhs` (strong implication)
+    pub fn strong_imp(self, rhs: Formula) -> Formula {
+        Formula::StrongImp(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// `self ↔ rhs` (strong bi-implication)
+    pub fn strong_iff(self, rhs: Formula) -> Formula {
+        Formula::StrongIff(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// `self ⊗ rhs` (knowledge-order meet / consensus)
+    pub fn consensus(self, rhs: Formula) -> Formula {
+        Formula::Consensus(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// `self ⊕ rhs` (knowledge-order join / gullibility)
+    pub fn gullibility(self, rhs: Formula) -> Formula {
+        Formula::Gullibility(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// Evaluate under a four-valued valuation.
+    pub fn eval(&self, v: &Valuation) -> TruthValue {
+        match self {
+            Formula::Atom(a) => v.get(a),
+            Formula::Const(c) => *c,
+            Formula::Not(f) => f.eval(v).neg(),
+            Formula::And(l, r) => l.eval(v).and(r.eval(v)),
+            Formula::Or(l, r) => l.eval(v).or(r.eval(v)),
+            Formula::MaterialImp(l, r) => l.eval(v).material_imp(r.eval(v)),
+            Formula::InternalImp(l, r) => l.eval(v).internal_imp(r.eval(v)),
+            Formula::StrongImp(l, r) => l.eval(v).strong_imp(r.eval(v)),
+            Formula::StrongIff(l, r) => l.eval(v).strong_iff(r.eval(v)),
+            Formula::Consensus(l, r) => l.eval(v).consensus(r.eval(v)),
+            Formula::Gullibility(l, r) => l.eval(v).accept_all(r.eval(v)),
+        }
+    }
+
+    /// Collect the atoms occurring in the formula.
+    pub fn atoms(&self) -> BTreeSet<Atom> {
+        let mut out = BTreeSet::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut BTreeSet<Atom>) {
+        match self {
+            Formula::Atom(a) => {
+                out.insert(a.clone());
+            }
+            Formula::Const(_) => {}
+            Formula::Not(f) => f.collect_atoms(out),
+            Formula::And(l, r)
+            | Formula::Or(l, r)
+            | Formula::MaterialImp(l, r)
+            | Formula::InternalImp(l, r)
+            | Formula::StrongImp(l, r)
+            | Formula::StrongIff(l, r)
+            | Formula::Consensus(l, r)
+            | Formula::Gullibility(l, r) => {
+                l.collect_atoms(out);
+                r.collect_atoms(out);
+            }
+        }
+    }
+
+    /// Substitute `replacement` for every occurrence of atom `target`.
+    ///
+    /// This is the "schemata" operation `Θ(ψ)` used by Proposition 2.
+    pub fn substitute(&self, target: &str, replacement: &Formula) -> Formula {
+        match self {
+            Formula::Atom(a) if a.as_ref() == target => replacement.clone(),
+            Formula::Atom(_) | Formula::Const(_) => self.clone(),
+            Formula::Not(f) => f.substitute(target, replacement).not(),
+            Formula::And(l, r) => l
+                .substitute(target, replacement)
+                .and(r.substitute(target, replacement)),
+            Formula::Or(l, r) => l
+                .substitute(target, replacement)
+                .or(r.substitute(target, replacement)),
+            Formula::MaterialImp(l, r) => l
+                .substitute(target, replacement)
+                .material_imp(r.substitute(target, replacement)),
+            Formula::InternalImp(l, r) => l
+                .substitute(target, replacement)
+                .internal_imp(r.substitute(target, replacement)),
+            Formula::StrongImp(l, r) => l
+                .substitute(target, replacement)
+                .strong_imp(r.substitute(target, replacement)),
+            Formula::StrongIff(l, r) => l
+                .substitute(target, replacement)
+                .strong_iff(r.substitute(target, replacement)),
+            Formula::Consensus(l, r) => l
+                .substitute(target, replacement)
+                .consensus(r.substitute(target, replacement)),
+            Formula::Gullibility(l, r) => l
+                .substitute(target, replacement)
+                .gullibility(r.substitute(target, replacement)),
+        }
+    }
+
+    /// Structural size (number of connectives + atoms), used by generators
+    /// and complexity assertions in tests.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::Atom(_) | Formula::Const(_) => 1,
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(l, r)
+            | Formula::Or(l, r)
+            | Formula::MaterialImp(l, r)
+            | Formula::InternalImp(l, r)
+            | Formula::StrongImp(l, r)
+            | Formula::StrongIff(l, r)
+            | Formula::Consensus(l, r)
+            | Formula::Gullibility(l, r) => 1 + l.size() + r.size(),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::Const(c) => write!(f, "{c}"),
+            Formula::Not(x) => write!(f, "¬{x}"),
+            Formula::And(l, r) => write!(f, "({l} ∧ {r})"),
+            Formula::Or(l, r) => write!(f, "({l} ∨ {r})"),
+            Formula::MaterialImp(l, r) => write!(f, "({l} ↦ {r})"),
+            Formula::InternalImp(l, r) => write!(f, "({l} ⊃ {r})"),
+            Formula::StrongImp(l, r) => write!(f, "({l} → {r})"),
+            Formula::StrongIff(l, r) => write!(f, "({l} ↔ {r})"),
+            Formula::Consensus(l, r) => write!(f, "({l} ⊗ {r})"),
+            Formula::Gullibility(l, r) => write!(f, "({l} ⊕ {r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::TruthValue::*;
+
+    fn v(pairs: &[(&str, TruthValue)]) -> Valuation {
+        Valuation::from_pairs(pairs.iter().map(|(a, t)| (Atom::from(*a), *t)))
+    }
+
+    #[test]
+    fn atom_evaluation_defaults_to_neither() {
+        let f = Formula::atom("p");
+        assert_eq!(f.eval(&v(&[])), Neither);
+        assert_eq!(f.eval(&v(&[("p", Both)])), Both);
+    }
+
+    #[test]
+    fn connectives_delegate_to_truth_ops() {
+        let val = v(&[("p", Both), ("q", False)]);
+        let p = Formula::atom("p");
+        let q = Formula::atom("q");
+        assert_eq!(p.clone().and(q.clone()).eval(&val), Both.and(False));
+        assert_eq!(p.clone().or(q.clone()).eval(&val), Both.or(False));
+        assert_eq!(p.clone().not().eval(&val), Both);
+        assert_eq!(
+            p.clone().material_imp(q.clone()).eval(&val),
+            Both.material_imp(False)
+        );
+        assert_eq!(
+            p.clone().internal_imp(q.clone()).eval(&val),
+            Both.internal_imp(False)
+        );
+        assert_eq!(
+            p.clone().strong_imp(q.clone()).eval(&val),
+            Both.strong_imp(False)
+        );
+        assert_eq!(p.strong_iff(q).eval(&val), Both.strong_iff(False));
+    }
+
+    #[test]
+    fn material_imp_equals_not_or() {
+        // ↦ is definable; check on every pair of values via constants.
+        for a in TruthValue::ALL {
+            for b in TruthValue::ALL {
+                let lhs = Formula::constant(a).material_imp(Formula::constant(b));
+                let rhs = Formula::constant(a).not().or(Formula::constant(b));
+                let empty = v(&[]);
+                assert_eq!(lhs.eval(&empty), rhs.eval(&empty));
+            }
+        }
+    }
+
+    #[test]
+    fn atoms_are_collected_once() {
+        let f = Formula::atom("p")
+            .and(Formula::atom("q"))
+            .or(Formula::atom("p").not());
+        let atoms: Vec<_> = f.atoms().into_iter().collect();
+        assert_eq!(atoms.len(), 2);
+    }
+
+    #[test]
+    fn substitution_replaces_all_occurrences() {
+        let f = Formula::atom("p").and(Formula::atom("p").not());
+        let g = f.substitute("p", &Formula::atom("q").or(Formula::atom("r")));
+        assert!(g.atoms().iter().all(|a| a.as_ref() != "p"));
+        assert_eq!(g.atoms().len(), 2);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let f = Formula::atom("p").and(Formula::atom("q")).not();
+        assert_eq!(f.size(), 4);
+    }
+
+    #[test]
+    fn display_round_trips_symbols() {
+        let f = Formula::atom("p").strong_imp(Formula::atom("q"));
+        assert_eq!(f.to_string(), "(p → q)");
+    }
+}
+
+#[cfg(test)]
+mod bilattice_connective_tests {
+    use super::*;
+    use crate::truth::TruthValue::{self, *};
+
+    fn v(pairs: &[(&str, TruthValue)]) -> Valuation {
+        Valuation::from_pairs(pairs.iter().map(|(a, t)| (Atom::from(*a), *t)))
+    }
+
+    #[test]
+    fn consensus_and_gullibility_eval() {
+        let val = v(&[("p", True), ("q", False)]);
+        let p = Formula::atom("p");
+        let q = Formula::atom("q");
+        // t ⊗ f = ⊥ (no agreement), t ⊕ f = ⊤ (accept everything).
+        assert_eq!(p.clone().consensus(q.clone()).eval(&val), Neither);
+        assert_eq!(p.clone().gullibility(q.clone()).eval(&val), Both);
+    }
+
+    #[test]
+    fn knowledge_lattice_laws_on_formulas() {
+        for a in TruthValue::ALL {
+            for b in TruthValue::ALL {
+                let val = v(&[("p", a), ("q", b)]);
+                let p = Formula::atom("p");
+                let q = Formula::atom("q");
+                // Commutativity.
+                assert_eq!(
+                    p.clone().consensus(q.clone()).eval(&val),
+                    q.clone().consensus(p.clone()).eval(&val)
+                );
+                assert_eq!(
+                    p.clone().gullibility(q.clone()).eval(&val),
+                    q.clone().gullibility(p.clone()).eval(&val)
+                );
+                // Absorption: a ⊗ (a ⊕ b) = a.
+                assert_eq!(
+                    p.clone()
+                        .consensus(p.clone().gullibility(q.clone()))
+                        .eval(&val),
+                    a
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn connectives_flow_through_substitution_and_atoms() {
+        let f = Formula::atom("p").consensus(Formula::atom("q").gullibility(Formula::atom("p")));
+        assert_eq!(f.atoms().len(), 2);
+        assert_eq!(f.size(), 5);
+        let g = f.substitute("p", &Formula::atom("r"));
+        assert!(g.atoms().iter().all(|a| a.as_ref() != "p"));
+        assert_eq!(f.to_string(), "(p ⊗ (q ⊕ p))");
+    }
+
+    #[test]
+    fn signed_reduction_covers_bilattice_connectives() {
+        use crate::signed::{negative, positive};
+        use crate::valuation::AllValuations;
+        use std::collections::BTreeMap;
+        let f = Formula::atom("p").consensus(Formula::atom("q"));
+        let g = Formula::atom("p").gullibility(Formula::atom("q"));
+        for val in AllValuations::new([Atom::from("p"), Atom::from("q")]) {
+            let mut signed = BTreeMap::new();
+            for (a, tv) in val.iter() {
+                signed.insert(format!("{a}+"), tv.has_true_info());
+                signed.insert(format!("{a}-"), tv.has_false_info());
+            }
+            for h in [&f, &g] {
+                assert_eq!(positive(h).eval(&signed), h.eval(&val).has_true_info());
+                assert_eq!(negative(h).eval(&signed), h.eval(&val).has_false_info());
+            }
+        }
+    }
+}

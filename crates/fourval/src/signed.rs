@@ -1,0 +1,494 @@
+//! The *signed transformation*: reducing four-valued propositional
+//! reasoning to classical propositional reasoning — the propositional
+//! ancestor (Arieli & Denecker; Yue, Ma & Lin — the paper's refs
+//! [15–17]) of the SHOIN(D)4 → SHOIN(D) reduction.
+//!
+//! Each atom `p` splits into two classical atoms `p⁺` ("there is
+//! information that p") and `p⁻` ("…that ¬p"). A four-valued formula `φ`
+//! maps to a classical formula `pos(φ)` that holds exactly when `φ` is
+//! *designated*, and `neg(φ)` that holds exactly when `φ` carries
+//! false-information:
+//!
+//! ```text
+//! pos(p) = p⁺              neg(p) = p⁻
+//! pos(¬φ) = neg(φ)         neg(¬φ) = pos(φ)
+//! pos(φ∧ψ) = pos φ ∧ pos ψ neg(φ∧ψ) = neg φ ∨ neg ψ
+//! pos(φ∨ψ) = pos φ ∨ pos ψ neg(φ∨ψ) = neg φ ∧ neg ψ
+//! pos(φ↦ψ) = neg φ ∨ pos ψ neg(φ↦ψ) = pos φ ∧ neg ψ
+//! pos(φ⊃ψ) = ¬pos φ ∨ pos ψ  neg(φ⊃ψ) = pos φ ∧ neg ψ
+//! φ→ψ and φ↔ψ expand by definition.
+//! ```
+//!
+//! Then `Γ ⊨4 φ` iff `{pos(γ)}_γ ∪ {¬pos(φ)}` is classically
+//! **unsatisfiable** — decided here by [`sat::Solver`], a small DPLL
+//! solver with unit propagation and pure-literal elimination over a
+//! Tseitin-style clausification.
+
+use crate::prop::{Atom, Formula};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A classical propositional formula over signed atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CFormula {
+    /// A (signed) atom such as `p⁺`.
+    Atom(String),
+    /// Constant truth value.
+    Const(bool),
+    /// Classical negation.
+    Not(Box<CFormula>),
+    /// Classical conjunction.
+    And(Box<CFormula>, Box<CFormula>),
+    /// Classical disjunction.
+    Or(Box<CFormula>, Box<CFormula>),
+}
+
+impl CFormula {
+    /// An atom.
+    pub fn atom(s: impl Into<String>) -> Self {
+        CFormula::Atom(s.into())
+    }
+
+    /// `¬self`
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        CFormula::Not(Box::new(self))
+    }
+
+    /// `self ∧ rhs`
+    pub fn and(self, rhs: CFormula) -> Self {
+        CFormula::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self ∨ rhs`
+    pub fn or(self, rhs: CFormula) -> Self {
+        CFormula::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Evaluate under a (total) classical assignment; missing atoms read
+    /// as `false`.
+    pub fn eval(&self, assignment: &BTreeMap<String, bool>) -> bool {
+        match self {
+            CFormula::Atom(a) => assignment.get(a).copied().unwrap_or(false),
+            CFormula::Const(b) => *b,
+            CFormula::Not(f) => !f.eval(assignment),
+            CFormula::And(l, r) => l.eval(assignment) && r.eval(assignment),
+            CFormula::Or(l, r) => l.eval(assignment) || r.eval(assignment),
+        }
+    }
+}
+
+impl fmt::Display for CFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CFormula::Atom(a) => write!(f, "{a}"),
+            CFormula::Const(b) => write!(f, "{b}"),
+            CFormula::Not(x) => write!(f, "¬{x}"),
+            CFormula::And(l, r) => write!(f, "({l} ∧ {r})"),
+            CFormula::Or(l, r) => write!(f, "({l} ∨ {r})"),
+        }
+    }
+}
+
+fn pos_name(a: &Atom) -> String {
+    format!("{a}+")
+}
+fn neg_name(a: &Atom) -> String {
+    format!("{a}-")
+}
+
+/// `pos(φ)` — classically true iff `φ` is designated.
+pub fn positive(f: &Formula) -> CFormula {
+    match f {
+        Formula::Atom(a) => CFormula::atom(pos_name(a)),
+        Formula::Const(v) => CFormula::Const(v.has_true_info()),
+        Formula::Not(g) => negative(g),
+        Formula::And(l, r) => positive(l).and(positive(r)),
+        Formula::Or(l, r) => positive(l).or(positive(r)),
+        Formula::MaterialImp(l, r) => negative(l).or(positive(r)),
+        Formula::InternalImp(l, r) => positive(l).not().or(positive(r)),
+        // φ→ψ ≝ (φ⊃ψ)∧(¬ψ⊃¬φ)
+        Formula::StrongImp(l, r) => positive(l)
+            .not()
+            .or(positive(r))
+            .and(negative(r).not().or(negative(l))),
+        Formula::StrongIff(l, r) => {
+            let fwd = Formula::StrongImp(l.clone(), r.clone());
+            let bwd = Formula::StrongImp(r.clone(), l.clone());
+            positive(&fwd).and(positive(&bwd))
+        }
+        // ⊗/⊕ act bitwise on the information pairs.
+        Formula::Consensus(l, r) => positive(l).and(positive(r)),
+        Formula::Gullibility(l, r) => positive(l).or(positive(r)),
+    }
+}
+
+/// `neg(φ)` — classically true iff `φ` carries false-information.
+pub fn negative(f: &Formula) -> CFormula {
+    match f {
+        Formula::Atom(a) => CFormula::atom(neg_name(a)),
+        Formula::Const(v) => CFormula::Const(v.has_false_info()),
+        Formula::Not(g) => positive(g),
+        Formula::And(l, r) => negative(l).or(negative(r)),
+        Formula::Or(l, r) => negative(l).and(negative(r)),
+        Formula::MaterialImp(l, r) => positive(l).and(negative(r)),
+        // v(φ⊃ψ) = ψ if φ designated else t: false-info iff des(φ) ∧ neg(ψ).
+        Formula::InternalImp(l, r) => positive(l).and(negative(r)),
+        // v(φ→ψ) = (φ⊃ψ) ∧ (¬ψ⊃¬φ): false-info iff either conjunct has
+        // it. neg(φ⊃ψ) = pos(φ)∧neg(ψ); neg(¬ψ⊃¬φ) = pos(¬ψ)∧neg(¬φ)
+        // = neg(ψ)∧pos(φ) — the same condition, so one conjunct suffices.
+        Formula::StrongImp(l, r) => positive(l).and(negative(r)),
+        Formula::StrongIff(l, r) => {
+            let fwd = Formula::StrongImp(l.clone(), r.clone());
+            let bwd = Formula::StrongImp(r.clone(), l.clone());
+            negative(&fwd).or(negative(&bwd))
+        }
+        Formula::Consensus(l, r) => negative(l).and(negative(r)),
+        Formula::Gullibility(l, r) => negative(l).or(negative(r)),
+    }
+}
+
+/// `Γ ⊨4 φ` via the signed reduction + DPLL: the premises' positive
+/// images plus the negated positive image of the conclusion must be
+/// unsatisfiable.
+pub fn entails4_signed(premises: &[Formula], conclusion: &Formula) -> bool {
+    let mut clauses = sat::Clausifier::new();
+    for p in premises {
+        clauses.assert_true(&positive(p));
+    }
+    clauses.assert_true(&positive(conclusion).not());
+    !sat::Solver::new(clauses.into_clauses()).satisfiable()
+}
+
+/// A minimal CNF + DPLL SAT layer.
+pub mod sat {
+    use super::CFormula;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// A literal: variable index with sign.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    pub struct Lit {
+        /// Variable index.
+        pub var: u32,
+        /// `true` = positive occurrence.
+        pub positive: bool,
+    }
+
+    impl Lit {
+        /// The complementary literal.
+        pub fn negated(self) -> Lit {
+            Lit {
+                var: self.var,
+                positive: !self.positive,
+            }
+        }
+    }
+
+    /// Tseitin-style clausifier: converts [`CFormula`]s to CNF with one
+    /// auxiliary variable per compound subformula.
+    #[derive(Debug, Default)]
+    pub struct Clausifier {
+        vars: BTreeMap<String, u32>,
+        next: u32,
+        clauses: Vec<Vec<Lit>>,
+    }
+
+    impl Clausifier {
+        /// Fresh clausifier.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        fn var_for(&mut self, name: &str) -> u32 {
+            if let Some(&v) = self.vars.get(name) {
+                return v;
+            }
+            let v = self.next;
+            self.next += 1;
+            self.vars.insert(name.to_string(), v);
+            v
+        }
+
+        fn fresh(&mut self) -> u32 {
+            let v = self.next;
+            self.next += 1;
+            v
+        }
+
+        /// Add clauses asserting the formula true.
+        pub fn assert_true(&mut self, f: &CFormula) {
+            let lit = self.encode(f);
+            self.clauses.push(vec![lit]);
+        }
+
+        /// Encode a formula, returning a literal equisatisfiably
+        /// representing it.
+        fn encode(&mut self, f: &CFormula) -> Lit {
+            match f {
+                CFormula::Atom(a) => Lit {
+                    var: self.var_for(a),
+                    positive: true,
+                },
+                CFormula::Const(true) => {
+                    // A fresh always-true variable.
+                    let v = self.fresh();
+                    self.clauses.push(vec![Lit {
+                        var: v,
+                        positive: true,
+                    }]);
+                    Lit {
+                        var: v,
+                        positive: true,
+                    }
+                }
+                CFormula::Const(false) => {
+                    let v = self.fresh();
+                    self.clauses.push(vec![Lit {
+                        var: v,
+                        positive: false,
+                    }]);
+                    Lit {
+                        var: v,
+                        positive: true,
+                    }
+                }
+                CFormula::Not(g) => self.encode(g).negated(),
+                CFormula::And(l, r) => {
+                    let (a, b) = (self.encode(l), self.encode(r));
+                    let v = self.fresh();
+                    let out = Lit {
+                        var: v,
+                        positive: true,
+                    };
+                    // v ↔ a∧b
+                    self.clauses.push(vec![out.negated(), a]);
+                    self.clauses.push(vec![out.negated(), b]);
+                    self.clauses.push(vec![a.negated(), b.negated(), out]);
+                    out
+                }
+                CFormula::Or(l, r) => {
+                    let (a, b) = (self.encode(l), self.encode(r));
+                    let v = self.fresh();
+                    let out = Lit {
+                        var: v,
+                        positive: true,
+                    };
+                    // v ↔ a∨b
+                    self.clauses.push(vec![out.negated(), a, b]);
+                    self.clauses.push(vec![a.negated(), out]);
+                    self.clauses.push(vec![b.negated(), out]);
+                    out
+                }
+            }
+        }
+
+        /// Finish, yielding the clause set.
+        pub fn into_clauses(self) -> Vec<Vec<Lit>> {
+            self.clauses
+        }
+    }
+
+    /// DPLL with unit propagation and pure-literal elimination.
+    #[derive(Debug)]
+    pub struct Solver {
+        clauses: Vec<Vec<Lit>>,
+    }
+
+    impl Solver {
+        /// Wrap a clause set.
+        pub fn new(clauses: Vec<Vec<Lit>>) -> Self {
+            Solver { clauses }
+        }
+
+        /// Is the clause set satisfiable?
+        pub fn satisfiable(&self) -> bool {
+            Self::dpll(self.clauses.clone())
+        }
+
+        fn dpll(mut clauses: Vec<Vec<Lit>>) -> bool {
+            loop {
+                // Unit propagation.
+                let unit = clauses.iter().find(|c| c.len() == 1).map(|c| c[0]);
+                if let Some(lit) = unit {
+                    if !Self::assign(&mut clauses, lit) {
+                        return false;
+                    }
+                    continue;
+                }
+                // Pure literals.
+                let mut polarity: BTreeMap<u32, BTreeSet<bool>> = BTreeMap::new();
+                for c in &clauses {
+                    for l in c {
+                        polarity.entry(l.var).or_default().insert(l.positive);
+                    }
+                }
+                let pure = polarity
+                    .iter()
+                    .find(|(_, pols)| pols.len() == 1)
+                    .map(|(&var, pols)| Lit {
+                        var,
+                        positive: *pols.iter().next().expect("non-empty"),
+                    });
+                if let Some(lit) = pure {
+                    if !Self::assign(&mut clauses, lit) {
+                        return false;
+                    }
+                    continue;
+                }
+                break;
+            }
+            if clauses.is_empty() {
+                return true;
+            }
+            if clauses.iter().any(Vec::is_empty) {
+                return false;
+            }
+            // Branch on the first literal of the shortest clause.
+            let lit = *clauses
+                .iter()
+                .min_by_key(|c| c.len())
+                .and_then(|c| c.first())
+                .expect("non-empty clause set");
+            for choice in [lit, lit.negated()] {
+                let mut branch = clauses.clone();
+                if Self::assign(&mut branch, choice) && Self::dpll(branch) {
+                    return true;
+                }
+            }
+            false
+        }
+
+        /// Apply an assignment; returns false on an immediate empty
+        /// clause.
+        fn assign(clauses: &mut Vec<Vec<Lit>>, lit: Lit) -> bool {
+            clauses.retain(|c| !c.contains(&lit));
+            for c in clauses.iter_mut() {
+                c.retain(|l| *l != lit.negated());
+            }
+            !clauses.iter().any(Vec::is_empty)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consequence::entails4;
+    use crate::TruthValue;
+
+    fn atom(s: &str) -> Formula {
+        Formula::atom(s)
+    }
+
+    #[test]
+    fn signed_images_of_atoms() {
+        let p = atom("p");
+        assert_eq!(positive(&p), CFormula::atom("p+"));
+        assert_eq!(negative(&p), CFormula::atom("p-"));
+        assert_eq!(positive(&p.clone().not()), CFormula::atom("p-"));
+        assert_eq!(negative(&p.not()), CFormula::atom("p+"));
+    }
+
+    #[test]
+    fn signed_semantics_match_fourval_semantics() {
+        // For every valuation v of {p, q}, pos(φ) under the induced
+        // signed assignment equals "φ designated under v" — exhaustive.
+        use crate::valuation::AllValuations;
+        let formulas = [
+            atom("p").and(atom("q")),
+            atom("p").or(atom("q").not()),
+            atom("p").material_imp(atom("q")),
+            atom("p").internal_imp(atom("q")),
+            atom("p").strong_imp(atom("q")),
+            atom("p").strong_iff(atom("q")),
+            atom("p").not().not().and(atom("p")),
+        ];
+        let atoms = [Atom::from("p"), Atom::from("q")];
+        for v in AllValuations::new(atoms) {
+            let mut signed = BTreeMap::new();
+            for (a, tv) in v.iter() {
+                signed.insert(format!("{a}+"), tv.has_true_info());
+                signed.insert(format!("{a}-"), tv.has_false_info());
+            }
+            for f in &formulas {
+                let tv = f.eval(&v);
+                assert_eq!(
+                    positive(f).eval(&signed),
+                    tv.is_designated(),
+                    "pos({f}) wrong under {v}"
+                );
+                assert_eq!(
+                    negative(f).eval(&signed),
+                    tv.has_false_info(),
+                    "neg({f}) wrong under {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signed_entailment_matches_enumeration() {
+        let cases: Vec<(Vec<Formula>, Formula)> = vec![
+            (vec![atom("p"), atom("p").not()], atom("q")),
+            (vec![atom("p"), atom("p").not()], atom("p")),
+            (vec![atom("p").and(atom("q"))], atom("q")),
+            (vec![atom("p")], atom("p").or(atom("q"))),
+            (vec![atom("p").or(atom("q")), atom("p").not()], atom("q")),
+            (
+                vec![atom("p"), atom("p").internal_imp(atom("q"))],
+                atom("q"),
+            ),
+            (
+                vec![atom("p"), atom("p").material_imp(atom("q"))],
+                atom("q"),
+            ),
+            (vec![], atom("p").internal_imp(atom("p"))),
+            (vec![], atom("p").or(atom("p").not())),
+            (
+                vec![atom("p").strong_imp(atom("q")), atom("q").not()],
+                atom("p").not(),
+            ),
+        ];
+        for (premises, conclusion) in cases {
+            assert_eq!(
+                entails4_signed(&premises, &conclusion),
+                entails4(&premises, &conclusion),
+                "mismatch on Γ={premises:?} φ={conclusion}"
+            );
+        }
+    }
+
+    #[test]
+    fn dpll_basics() {
+        use sat::{Clausifier, Solver};
+        // p ∧ ¬p unsat; p ∨ q sat.
+        let mut c = Clausifier::new();
+        c.assert_true(&CFormula::atom("p"));
+        c.assert_true(&CFormula::atom("p").not());
+        assert!(!Solver::new(c.into_clauses()).satisfiable());
+        let mut c = Clausifier::new();
+        c.assert_true(&CFormula::atom("p").or(CFormula::atom("q")));
+        assert!(Solver::new(c.into_clauses()).satisfiable());
+    }
+
+    #[test]
+    fn dpll_pigeonhole_2_into_1() {
+        use sat::{Clausifier, Solver};
+        // Two pigeons, one hole: x1 ∧ x2 ∧ ¬(x1∧x2) — unsat.
+        let mut c = Clausifier::new();
+        c.assert_true(&CFormula::atom("x1"));
+        c.assert_true(&CFormula::atom("x2"));
+        c.assert_true(&CFormula::atom("x1").and(CFormula::atom("x2")).not());
+        assert!(!Solver::new(c.into_clauses()).satisfiable());
+    }
+
+    #[test]
+    fn constants_encode_correctly() {
+        let t = Formula::constant(TruthValue::Both);
+        assert_eq!(positive(&t), CFormula::Const(true));
+        assert_eq!(negative(&t), CFormula::Const(true));
+        let n = Formula::constant(TruthValue::Neither);
+        assert_eq!(positive(&n), CFormula::Const(false));
+        assert_eq!(negative(&n), CFormula::Const(false));
+    }
+}

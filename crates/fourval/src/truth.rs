@@ -1,0 +1,470 @@
+//! The four truth values of Belnap's logic `FOUR` and their operations.
+//!
+//! `FOUR = {t, f, ⊤, ⊥}` is the smallest non-trivial bilattice. Each value
+//! is equivalently a pair of independent bits: *does the agent have
+//! information that the statement is true?* and *…that it is false?*
+//!
+//! | value | written | true-info | false-info |
+//! |-------|---------|-----------|------------|
+//! | `True`    | `t` / `{t}`    | yes | no  |
+//! | `False`   | `f` / `{f}`    | no  | yes |
+//! | `Both`    | `⊤` / `{t,f}`  | yes | yes |
+//! | `Neither` | `⊥` / `∅`      | no  | no  |
+//!
+//! Two partial orders structure `FOUR`:
+//!
+//! * the **truth order** `≤t`: `f ≤t ⊥ ≤t t` and `f ≤t ⊤ ≤t t`
+//!   (⊥ and ⊤ are incomparable), whose meet/join are [`TruthValue::and`]
+//!   and [`TruthValue::or`];
+//! * the **knowledge order** `≤k`: `⊥ ≤k t ≤k ⊤` and `⊥ ≤k f ≤k ⊤`
+//!   (t and f are incomparable), whose meet/join are
+//!   [`TruthValue::consensus`] and [`TruthValue::accept_all`].
+//!
+//! The *designated* values — those counted as "the agent asserts it" for
+//! the consequence relation `⊨4` — are `t` and `⊤`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the four truth values of Belnap's logic.
+///
+/// The discriminants encode the `(true-info, false-info)` bit pair, which
+/// makes the lattice operations cheap bit fiddling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TruthValue {
+    /// `f`: information that the statement is false, none that it is true.
+    False,
+    /// `⊥` (Neither / Unknown): no information either way.
+    Neither,
+    /// `⊤` (Both / Contradiction): information both ways.
+    Both,
+    /// `t`: information that the statement is true, none that it is false.
+    True,
+}
+
+impl TruthValue {
+    /// All four values, in a fixed order convenient for exhaustive loops.
+    pub const ALL: [TruthValue; 4] = [
+        TruthValue::True,
+        TruthValue::False,
+        TruthValue::Both,
+        TruthValue::Neither,
+    ];
+
+    /// Build a value from its `(true-info, false-info)` bit pair.
+    #[inline]
+    pub const fn from_bits(true_info: bool, false_info: bool) -> Self {
+        match (true_info, false_info) {
+            (true, false) => TruthValue::True,
+            (false, true) => TruthValue::False,
+            (true, true) => TruthValue::Both,
+            (false, false) => TruthValue::Neither,
+        }
+    }
+
+    /// Does the agent hold information supporting truth? (`t` or `⊤`)
+    #[inline]
+    pub const fn has_true_info(self) -> bool {
+        matches!(self, TruthValue::True | TruthValue::Both)
+    }
+
+    /// Does the agent hold information supporting falsity? (`f` or `⊤`)
+    #[inline]
+    pub const fn has_false_info(self) -> bool {
+        matches!(self, TruthValue::False | TruthValue::Both)
+    }
+
+    /// Membership in the designated set `{t, ⊤}` of `FOUR`.
+    ///
+    /// A formula *holds* in a four-valued model iff its value is designated.
+    #[inline]
+    pub const fn is_designated(self) -> bool {
+        self.has_true_info()
+    }
+
+    /// Is this one of the two classical values `t`, `f`?
+    #[inline]
+    pub const fn is_classical(self) -> bool {
+        matches!(self, TruthValue::True | TruthValue::False)
+    }
+
+    /// Negation on the truth direction: swaps the two information bits,
+    /// so `¬⊤ = ⊤` and `¬⊥ = ⊥`.
+    #[inline]
+    pub const fn neg(self) -> Self {
+        Self::from_bits(self.has_false_info(), self.has_true_info())
+    }
+
+    /// Meet in the truth order `≤t` (conjunction):
+    /// `<P1,N1> ∧ <P2,N2> = <P1∩P2, N1∪N2>` at the bit level.
+    #[inline]
+    pub const fn and(self, other: Self) -> Self {
+        Self::from_bits(
+            self.has_true_info() && other.has_true_info(),
+            self.has_false_info() || other.has_false_info(),
+        )
+    }
+
+    /// Join in the truth order `≤t` (disjunction):
+    /// `<P1,N1> ∨ <P2,N2> = <P1∪P2, N1∩N2>` at the bit level.
+    #[inline]
+    pub const fn or(self, other: Self) -> Self {
+        Self::from_bits(
+            self.has_true_info() || other.has_true_info(),
+            self.has_false_info() && other.has_false_info(),
+        )
+    }
+
+    /// Meet in the knowledge order `≤k` (the *consensus* operator `⊗`):
+    /// keeps only information both sources agree on.
+    #[inline]
+    pub const fn consensus(self, other: Self) -> Self {
+        Self::from_bits(
+            self.has_true_info() && other.has_true_info(),
+            self.has_false_info() && other.has_false_info(),
+        )
+    }
+
+    /// Join in the knowledge order `≤k` (the *gullibility* operator `⊕`):
+    /// accepts information from either source.
+    #[inline]
+    pub const fn accept_all(self, other: Self) -> Self {
+        Self::from_bits(
+            self.has_true_info() || other.has_true_info(),
+            self.has_false_info() || other.has_false_info(),
+        )
+    }
+
+    /// The truth partial order `≤t`: more false-info below, more
+    /// true-info above. `a ≤t b` iff `P_a ⊆ P_b` and `N_b ⊆ N_a`.
+    #[inline]
+    pub const fn le_t(self, other: Self) -> bool {
+        (!self.has_true_info() || other.has_true_info())
+            && (!other.has_false_info() || self.has_false_info())
+    }
+
+    /// The knowledge partial order `≤k`: `a ≤k b` iff `b` carries at least
+    /// the information of `a` in both directions.
+    #[inline]
+    pub const fn le_k(self, other: Self) -> bool {
+        (!self.has_true_info() || other.has_true_info())
+            && (!self.has_false_info() || other.has_false_info())
+    }
+
+    /// Material implication `φ ↦ ψ  ≝  ¬φ ∨ ψ`.
+    ///
+    /// Tolerates exceptions: `⊤ ↦ f = ⊤`, which is designated even though
+    /// the conclusion is not true.
+    #[inline]
+    pub const fn material_imp(self, other: Self) -> Self {
+        self.neg().or(other)
+    }
+
+    /// Internal implication `⊃` — the residuum of `∧` w.r.t. the designated
+    /// set; the implication for which the four-valued deduction theorem
+    /// (Proposition 1 of the paper) holds:
+    ///
+    /// `φ ⊃ ψ = ψ` if `φ ∈ {t,⊤}`, else `t`.
+    #[inline]
+    pub const fn internal_imp(self, other: Self) -> Self {
+        if self.is_designated() {
+            other
+        } else {
+            TruthValue::True
+        }
+    }
+
+    /// Strong implication `φ → ψ ≝ (φ ⊃ ψ) ∧ (¬ψ ⊃ ¬φ)`: contraposable and
+    /// exception-free.
+    #[inline]
+    pub const fn strong_imp(self, other: Self) -> Self {
+        self.internal_imp(other)
+            .and(other.neg().internal_imp(self.neg()))
+    }
+
+    /// Strong equivalence `φ ↔ ψ ≝ (φ → ψ) ∧ (ψ → φ)` — the congruence
+    /// relation of Proposition 2.
+    #[inline]
+    pub const fn strong_iff(self, other: Self) -> Self {
+        self.strong_imp(other).and(other.strong_imp(self))
+    }
+
+    /// Collapse to a classical Boolean by designation (`t`,`⊤` ↦ true).
+    #[inline]
+    pub const fn to_classical(self) -> bool {
+        self.is_designated()
+    }
+
+    /// Lift a classical Boolean into `FOUR`.
+    #[inline]
+    pub const fn from_classical(b: bool) -> Self {
+        if b {
+            TruthValue::True
+        } else {
+            TruthValue::False
+        }
+    }
+}
+
+impl fmt::Display for TruthValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TruthValue::True => "t",
+            TruthValue::False => "f",
+            TruthValue::Both => "⊤",
+            TruthValue::Neither => "⊥",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::ops::Not for TruthValue {
+    type Output = TruthValue;
+    fn not(self) -> TruthValue {
+        self.neg()
+    }
+}
+
+impl std::ops::BitAnd for TruthValue {
+    type Output = TruthValue;
+    fn bitand(self, rhs: TruthValue) -> TruthValue {
+        self.and(rhs)
+    }
+}
+
+impl std::ops::BitOr for TruthValue {
+    type Output = TruthValue;
+    fn bitor(self, rhs: TruthValue) -> TruthValue {
+        self.or(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TruthValue::{self, *};
+
+    #[test]
+    fn bit_roundtrip() {
+        for v in TruthValue::ALL {
+            assert_eq!(
+                TruthValue::from_bits(v.has_true_info(), v.has_false_info()),
+                v
+            );
+        }
+    }
+
+    #[test]
+    fn negation_table() {
+        assert_eq!(True.neg(), False);
+        assert_eq!(False.neg(), True);
+        assert_eq!(Both.neg(), Both);
+        assert_eq!(Neither.neg(), Neither);
+    }
+
+    #[test]
+    fn negation_is_involution() {
+        for v in TruthValue::ALL {
+            assert_eq!(v.neg().neg(), v);
+        }
+    }
+
+    #[test]
+    fn conjunction_table_classical_fragment() {
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(False), False);
+        assert_eq!(False.and(False), False);
+    }
+
+    #[test]
+    fn conjunction_with_both_and_neither() {
+        assert_eq!(Both.and(True), Both);
+        assert_eq!(Both.and(False), False);
+        assert_eq!(Both.and(Neither), False);
+        assert_eq!(Neither.and(True), Neither);
+        assert_eq!(Neither.and(False), False);
+        assert_eq!(Both.and(Both), Both);
+        assert_eq!(Neither.and(Neither), Neither);
+    }
+
+    #[test]
+    fn disjunction_dual_of_conjunction() {
+        for a in TruthValue::ALL {
+            for b in TruthValue::ALL {
+                assert_eq!(a.or(b), a.neg().and(b.neg()).neg(), "{a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn truth_order_hasse_diagram() {
+        assert!(False.le_t(Neither) && Neither.le_t(True));
+        assert!(False.le_t(Both) && Both.le_t(True));
+        assert!(!Neither.le_t(Both) && !Both.le_t(Neither));
+        for v in TruthValue::ALL {
+            assert!(v.le_t(v));
+            assert!(False.le_t(v) && v.le_t(True));
+        }
+    }
+
+    #[test]
+    fn knowledge_order_hasse_diagram() {
+        assert!(Neither.le_k(True) && True.le_k(Both));
+        assert!(Neither.le_k(False) && False.le_k(Both));
+        assert!(!True.le_k(False) && !False.le_k(True));
+        for v in TruthValue::ALL {
+            assert!(v.le_k(v));
+            assert!(Neither.le_k(v) && v.le_k(Both));
+        }
+    }
+
+    #[test]
+    fn and_is_truth_meet_or_is_truth_join() {
+        // Meet/join characterization: a∧b is the greatest lower bound in ≤t.
+        for a in TruthValue::ALL {
+            for b in TruthValue::ALL {
+                let m = a.and(b);
+                assert!(m.le_t(a) && m.le_t(b));
+                for c in TruthValue::ALL {
+                    if c.le_t(a) && c.le_t(b) {
+                        assert!(c.le_t(m));
+                    }
+                }
+                let j = a.or(b);
+                assert!(a.le_t(j) && b.le_t(j));
+                for c in TruthValue::ALL {
+                    if a.le_t(c) && b.le_t(c) {
+                        assert!(j.le_t(c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn consensus_and_gullibility_are_knowledge_meet_join() {
+        for a in TruthValue::ALL {
+            for b in TruthValue::ALL {
+                let m = a.consensus(b);
+                assert!(m.le_k(a) && m.le_k(b));
+                let j = a.accept_all(b);
+                assert!(a.le_k(j) && b.le_k(j));
+            }
+        }
+    }
+
+    #[test]
+    fn negation_monotone_in_knowledge_antitone_in_truth() {
+        for a in TruthValue::ALL {
+            for b in TruthValue::ALL {
+                if a.le_k(b) {
+                    assert!(a.neg().le_k(b.neg()));
+                }
+                if a.le_t(b) {
+                    assert!(b.neg().le_t(a.neg()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn material_implication_tolerates_exceptions() {
+        // ⊤ ↦ f is designated: the contradiction in the premise excuses a
+        // false conclusion (the paper's "exception" reading).
+        assert!(Both.material_imp(False).is_designated());
+        assert!(Both.material_imp(Neither).is_designated());
+    }
+
+    #[test]
+    fn internal_implication_truth_table() {
+        for b in TruthValue::ALL {
+            assert_eq!(True.internal_imp(b), b);
+            assert_eq!(Both.internal_imp(b), b);
+            assert_eq!(False.internal_imp(b), True);
+            assert_eq!(Neither.internal_imp(b), True);
+        }
+    }
+
+    #[test]
+    fn internal_implication_never_excuses_untruth() {
+        // If the premise is designated and φ⊃ψ is designated, ψ is designated.
+        for a in TruthValue::ALL {
+            for b in TruthValue::ALL {
+                if a.is_designated() && a.internal_imp(b).is_designated() {
+                    assert!(b.is_designated());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strong_implication_contraposes() {
+        for a in TruthValue::ALL {
+            for b in TruthValue::ALL {
+                assert_eq!(a.strong_imp(b), b.neg().strong_imp(a.neg()));
+            }
+        }
+    }
+
+    #[test]
+    fn strong_implies_internal() {
+        for a in TruthValue::ALL {
+            for b in TruthValue::ALL {
+                if a.strong_imp(b).is_designated() {
+                    assert!(a.internal_imp(b).is_designated());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strong_iff_designated_means_same_projections() {
+        for a in TruthValue::ALL {
+            for b in TruthValue::ALL {
+                // φ↔ψ designated iff same true-info and same false-info,
+                // except it also tolerates ⊥/⊥ and ⊤/⊤ trivially — verify
+                // directly against the definition.
+                let direct = a
+                    .strong_imp(b)
+                    .and(b.strong_imp(a));
+                assert_eq!(a.strong_iff(b), direct);
+            }
+        }
+    }
+
+    #[test]
+    fn classical_embedding_is_faithful() {
+        for x in [true, false] {
+            assert_eq!(TruthValue::from_classical(x).to_classical(), x);
+        }
+        for x in [true, false] {
+            for y in [true, false] {
+                let (a, b) = (
+                    TruthValue::from_classical(x),
+                    TruthValue::from_classical(y),
+                );
+                assert_eq!(a.and(b).to_classical(), x && y);
+                assert_eq!(a.or(b).to_classical(), x || y);
+                assert_eq!(a.neg().to_classical(), !x);
+            }
+        }
+    }
+
+    #[test]
+    fn operator_overloads_match_methods() {
+        for a in TruthValue::ALL {
+            assert_eq!(!a, a.neg());
+            for b in TruthValue::ALL {
+                assert_eq!(a & b, a.and(b));
+                assert_eq!(a | b, a.or(b));
+            }
+        }
+    }
+
+    #[test]
+    fn display_uses_paper_symbols() {
+        assert_eq!(True.to_string(), "t");
+        assert_eq!(False.to_string(), "f");
+        assert_eq!(Both.to_string(), "⊤");
+        assert_eq!(Neither.to_string(), "⊥");
+    }
+}

@@ -1,0 +1,178 @@
+//! Four-valued valuations and exhaustive enumeration over finite atom sets.
+
+use crate::prop::Atom;
+use crate::truth::TruthValue;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A four-valued valuation: a total map from atoms to `FOUR`, with `⊥`
+/// (Neither) as the default for unmentioned atoms — "no information" is the
+/// natural default in Belnap's reading.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Valuation {
+    map: BTreeMap<Atom, TruthValue>,
+}
+
+impl Valuation {
+    /// The everywhere-`⊥` valuation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from `(atom, value)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Atom, TruthValue)>) -> Self {
+        Valuation {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Look up an atom; unmentioned atoms evaluate to `⊥`.
+    pub fn get(&self, atom: &str) -> TruthValue {
+        self.map
+            .get(atom)
+            .copied()
+            .unwrap_or(TruthValue::Neither)
+    }
+
+    /// Assign a value to an atom.
+    pub fn set(&mut self, atom: Atom, value: TruthValue) {
+        self.map.insert(atom, value);
+    }
+
+    /// Iterate over the explicit assignments.
+    pub fn iter(&self) -> impl Iterator<Item = (&Atom, TruthValue)> {
+        self.map.iter().map(|(a, v)| (a, *v))
+    }
+
+    /// Number of explicitly assigned atoms.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no atom is explicitly assigned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl fmt::Display for Valuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (a, v)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over all `4^n` valuations of a finite atom set, in a stable
+/// order. `n` is capped in practice by the consequence checker (callers
+/// should keep atom sets small — this is a spec-level oracle, not a solver).
+pub struct AllValuations {
+    atoms: Vec<Atom>,
+    /// Current assignment encoded base-4; `None` once exhausted.
+    counter: Option<Vec<u8>>,
+}
+
+impl AllValuations {
+    /// Enumerate every valuation of the given atoms.
+    pub fn new(atoms: impl IntoIterator<Item = Atom>) -> Self {
+        let atoms: Vec<Atom> = {
+            let set: BTreeSet<Atom> = atoms.into_iter().collect();
+            set.into_iter().collect()
+        };
+        let counter = Some(vec![0u8; atoms.len()]);
+        AllValuations { atoms, counter }
+    }
+
+    /// Total number of valuations (`4^n`), saturating.
+    pub fn count_total(&self) -> u128 {
+        4u128.saturating_pow(self.atoms.len() as u32)
+    }
+}
+
+impl Iterator for AllValuations {
+    type Item = Valuation;
+
+    fn next(&mut self) -> Option<Valuation> {
+        let counter = self.counter.as_mut()?;
+        let val = Valuation::from_pairs(
+            self.atoms
+                .iter()
+                .zip(counter.iter())
+                .map(|(a, d)| (a.clone(), TruthValue::ALL[*d as usize])),
+        );
+        // Increment the base-4 counter; drop to None on overflow.
+        let mut i = 0;
+        loop {
+            if i == counter.len() {
+                self.counter = None;
+                break;
+            }
+            counter[i] += 1;
+            if counter[i] < 4 {
+                break;
+            }
+            counter[i] = 0;
+            i += 1;
+        }
+        Some(val)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::Formula;
+
+    #[test]
+    fn default_is_neither() {
+        let v = Valuation::new();
+        assert_eq!(v.get("anything"), TruthValue::Neither);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn set_then_get() {
+        let mut v = Valuation::new();
+        v.set(Atom::from("p"), TruthValue::Both);
+        assert_eq!(v.get("p"), TruthValue::Both);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn enumeration_counts_4_pow_n() {
+        for n in 0..4usize {
+            let atoms: Vec<Atom> =
+                (0..n).map(|i| Atom::from(format!("a{i}").as_str())).collect();
+            let all: Vec<_> = AllValuations::new(atoms).collect();
+            assert_eq!(all.len(), 4usize.pow(n as u32));
+            // All distinct.
+            let set: std::collections::BTreeSet<String> =
+                all.iter().map(|v| v.to_string()).collect();
+            assert_eq!(set.len(), all.len());
+        }
+    }
+
+    #[test]
+    fn enumeration_deduplicates_atoms() {
+        let a = Atom::from("p");
+        let all: Vec<_> = AllValuations::new([a.clone(), a]).collect();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn every_formula_value_is_realized() {
+        // Over one atom, p takes each of the four values exactly once.
+        let f = Formula::atom("p");
+        let mut seen = std::collections::BTreeSet::new();
+        for v in AllValuations::new([Atom::from("p")]) {
+            seen.insert(f.eval(&v));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+}

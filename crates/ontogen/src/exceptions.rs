@@ -1,0 +1,161 @@
+//! Exception-taxonomy workloads: penguin-style ontologies at scale.
+//!
+//! The paper's Example 3 in the large: a base taxonomy of kinds, a
+//! default property attached *materially* at the root ("birds generally
+//! fly"), and a configurable number of exceptional kinds that deny the
+//! property. Classically such ontologies are inconsistent as soon as an
+//! exceptional kind has an instance; in SHOIN(D)4 every exception is just
+//! a `⊤`-free, `f`-valued fact.
+
+use dl::name::{ConceptName, IndividualName};
+use dl::Concept;
+use shoin4::{Axiom4, InclusionKind, KnowledgeBase4};
+
+/// Parameters of the exception-taxonomy generator.
+#[derive(Debug, Clone)]
+pub struct ExceptionParams {
+    /// Number of kinds (subclasses of the root kind).
+    pub n_kinds: usize,
+    /// Every `exception_every`-th kind denies the default property.
+    pub exception_every: usize,
+    /// Individuals per kind.
+    pub individuals_per_kind: usize,
+    /// Read the default-property axiom materially (`↦`, the paper's
+    /// recommendation) or internally (`⊏`, which contaminates instead of
+    /// excusing).
+    pub material_default: bool,
+}
+
+impl Default for ExceptionParams {
+    fn default() -> Self {
+        ExceptionParams {
+            n_kinds: 8,
+            exception_every: 4,
+            individuals_per_kind: 2,
+            material_default: true,
+        }
+    }
+}
+
+/// The root kind (`Bird` in the paper's example).
+pub fn root_kind() -> ConceptName {
+    ConceptName::new("Kind")
+}
+
+/// The default property (`Fly`).
+pub fn default_property() -> ConceptName {
+    ConceptName::new("HasDefault")
+}
+
+/// Kind `i`'s class name.
+pub fn kind_name(i: usize) -> ConceptName {
+    ConceptName::new(format!("Kind{i}"))
+}
+
+/// The `k`-th individual of kind `i`.
+pub fn member_name(i: usize, k: usize) -> IndividualName {
+    IndividualName::new(format!("member_{i}_{k}"))
+}
+
+/// Is kind `i` exceptional under these parameters?
+pub fn is_exception(p: &ExceptionParams, i: usize) -> bool {
+    p.exception_every != 0 && i % p.exception_every == p.exception_every - 1
+}
+
+/// Generate the workload.
+pub fn exception_kb(p: &ExceptionParams) -> KnowledgeBase4 {
+    let mut kb = KnowledgeBase4::new();
+    let root = Concept::atomic(root_kind());
+    let default = Concept::atomic(default_property());
+    // The default rule.
+    kb.add(Axiom4::ConceptInclusion(
+        if p.material_default {
+            InclusionKind::Material
+        } else {
+            InclusionKind::Internal
+        },
+        root.clone(),
+        default.clone(),
+    ));
+    for i in 0..p.n_kinds {
+        let kind = Concept::atomic(kind_name(i));
+        kb.add(Axiom4::ConceptInclusion(
+            InclusionKind::Internal,
+            kind.clone(),
+            root.clone(),
+        ));
+        if is_exception(p, i) {
+            kb.add(Axiom4::ConceptInclusion(
+                InclusionKind::Internal,
+                kind.clone(),
+                default.clone().not(),
+            ));
+        }
+        for k in 0..p.individuals_per_kind {
+            kb.add(Axiom4::ConceptAssertion(member_name(i, k), kind.clone()));
+        }
+    }
+    kb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shoin4::Reasoner4;
+
+    #[test]
+    fn material_reading_is_satisfiable_with_exceptions() {
+        let p = ExceptionParams::default();
+        let kb = exception_kb(&p);
+        let mut r = Reasoner4::new(&kb);
+        assert!(r.is_satisfiable().unwrap());
+        // An exceptional member has negative default-property info and no
+        // positive info (the material rule excuses it).
+        let exceptional = (0..p.n_kinds).find(|&i| is_exception(&p, i)).unwrap();
+        let m = member_name(exceptional, 0);
+        let d = Concept::atomic(default_property());
+        assert!(r.has_negative_info(&m, &d).unwrap());
+        assert!(!r.has_positive_info(&m, &d).unwrap());
+        // A regular member: the material rule does NOT entail positive
+        // info (some models put it in proj⁻(Kind)), matching the paper's
+        // cautious semantics of ↦.
+        let regular = (0..p.n_kinds).find(|&i| !is_exception(&p, i)).unwrap();
+        let m = member_name(regular, 0);
+        assert!(!r.has_negative_info(&m, &d).unwrap());
+    }
+
+    #[test]
+    fn internal_reading_contaminates_exceptional_members() {
+        let p = ExceptionParams {
+            material_default: false,
+            ..Default::default()
+        };
+        let kb = exception_kb(&p);
+        let mut r = Reasoner4::new(&kb);
+        // Still satisfiable (paraconsistency)…
+        assert!(r.is_satisfiable().unwrap());
+        // …but exceptional members now have ⊤ on the default property:
+        // the internal rule forces positive info, their kind forces
+        // negative.
+        let exceptional = (0..p.n_kinds).find(|&i| is_exception(&p, i)).unwrap();
+        let m = member_name(exceptional, 0);
+        let d = Concept::atomic(default_property());
+        assert_eq!(r.query(&m, &d).unwrap(), fourval::TruthValue::Both);
+    }
+
+    #[test]
+    fn generator_shape() {
+        let p = ExceptionParams {
+            n_kinds: 6,
+            exception_every: 3,
+            individuals_per_kind: 1,
+            material_default: true,
+        };
+        let kb = exception_kb(&p);
+        // 1 default rule + 6 kind inclusions + 2 exception axioms + 6
+        // members.
+        assert_eq!(kb.len(), 1 + 6 + 2 + 6);
+        assert!(is_exception(&p, 2) && is_exception(&p, 5));
+        assert!(!is_exception(&p, 0));
+    }
+}

@@ -1,0 +1,31 @@
+//! Synthetic ontology and workload generation.
+//!
+//! The paper evaluates SHOIN(D)4 only on worked examples; a credible
+//! systems artifact needs workloads. This crate generates them,
+//! deterministically from a seed:
+//!
+//! * [`random`] — random SHOIN concepts, TBoxes and ABoxes with tunable
+//!   constructor mix, depth and size;
+//! * [`taxonomy`] — tree-shaped subsumption hierarchies with sibling
+//!   disjointness (the classic "ontology-shaped" workload);
+//! * [`medical`] — the access-control scenario of the paper's
+//!   introduction and Example 2, scaled: teams with conflicting
+//!   permissions and staff with overlapping memberships;
+//! * [`inject`] — controlled contradiction injection into any KB, with a
+//!   record of what was injected (so experiments can distinguish poisoned
+//!   from clean queries);
+//! * [`queries`] — instance-query workloads over a KB's signature.
+
+pub mod exceptions;
+pub mod inject;
+pub mod medical;
+pub mod queries;
+pub mod random;
+pub mod taxonomy;
+pub mod university;
+
+pub use inject::{inject_contradictions, Injection};
+pub use medical::{medical_kb, MedicalParams};
+pub use queries::instance_queries;
+pub use random::{random_kb, random_kb4, RandomParams};
+pub use taxonomy::{taxonomy_kb, TaxonomyParams};

@@ -1,0 +1,51 @@
+//! Instance-query workload generation.
+
+use dl::axiom::Axiom;
+use dl::kb::KnowledgeBase;
+use dl::Concept;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Generate `n` instance queries `a : C` drawn uniformly from the KB's
+/// signature (individual × atomic concept).
+pub fn instance_queries(kb: &KnowledgeBase, n: usize, seed: u64) -> Vec<Axiom> {
+    let sig = kb.signature();
+    let individuals: Vec<_> = sig.individuals.into_iter().collect();
+    let concepts: Vec<_> = sig.concepts.into_iter().collect();
+    assert!(
+        !individuals.is_empty() && !concepts.is_empty(),
+        "query generation needs individuals and concepts in the signature"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let a = individuals.choose(&mut rng).expect("non-empty").clone();
+            let c = concepts.choose(&mut rng).expect("non-empty").clone();
+            Axiom::ConceptAssertion(a, Concept::atomic(c))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl::parser::parse_kb;
+
+    #[test]
+    fn queries_are_deterministic_and_in_signature() {
+        let kb = parse_kb("A SubClassOf B\nx : A\ny : B").unwrap();
+        let q1 = instance_queries(&kb, 10, 3);
+        let q2 = instance_queries(&kb, 10, 3);
+        assert_eq!(q1, q2);
+        assert_eq!(q1.len(), 10);
+        let sig = kb.signature();
+        for q in &q1 {
+            let Axiom::ConceptAssertion(a, Concept::Atomic(c)) = q else {
+                panic!("unexpected query shape");
+            };
+            assert!(sig.individuals.contains(a));
+            assert!(sig.concepts.contains(c));
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Seeded random knowledge-base generation.
+
+use dl::axiom::{Axiom, RoleExpr};
+use dl::kb::KnowledgeBase;
+use dl::name::{ConceptName, IndividualName, RoleName};
+use dl::Concept;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use shoin4::{InclusionKind, KnowledgeBase4};
+
+/// Parameters of the random generator.
+#[derive(Debug, Clone)]
+pub struct RandomParams {
+    /// Number of atomic concept names (`C0…`).
+    pub n_concepts: usize,
+    /// Number of role names (`r0…`).
+    pub n_roles: usize,
+    /// Number of individuals (`i0…`).
+    pub n_individuals: usize,
+    /// Number of TBox inclusions.
+    pub n_tbox: usize,
+    /// Number of ABox assertions (mix of concept and role assertions).
+    pub n_abox: usize,
+    /// Maximum concept nesting depth.
+    pub max_depth: usize,
+    /// Allow `≥n`/`≤n` restrictions.
+    pub number_restrictions: bool,
+    /// Allow inverse roles inside restrictions.
+    pub inverse_roles: bool,
+    /// RNG seed — equal seeds give equal KBs.
+    pub seed: u64,
+}
+
+impl Default for RandomParams {
+    fn default() -> Self {
+        RandomParams {
+            n_concepts: 8,
+            n_roles: 3,
+            n_individuals: 6,
+            n_tbox: 10,
+            n_abox: 12,
+            max_depth: 2,
+            number_restrictions: true,
+            inverse_roles: true,
+            seed: 0,
+        }
+    }
+}
+
+fn concept_name(i: usize) -> ConceptName {
+    ConceptName::new(format!("C{i}"))
+}
+fn role_name(i: usize) -> RoleName {
+    RoleName::new(format!("r{i}"))
+}
+fn individual_name(i: usize) -> IndividualName {
+    IndividualName::new(format!("i{i}"))
+}
+
+fn random_role(rng: &mut StdRng, p: &RandomParams) -> RoleExpr {
+    let r = RoleExpr::named(role_name(rng.gen_range(0..p.n_roles)));
+    if p.inverse_roles && rng.gen_bool(0.2) {
+        r.inverse()
+    } else {
+        r
+    }
+}
+
+/// A random concept of at most the given depth.
+pub fn random_concept(rng: &mut StdRng, p: &RandomParams, depth: usize) -> Concept {
+    if depth == 0 {
+        let atom = Concept::atomic(concept_name(rng.gen_range(0..p.n_concepts)));
+        return if rng.gen_bool(0.25) { atom.not() } else { atom };
+    }
+    match rng.gen_range(0..if p.number_restrictions { 6 } else { 5 }) {
+        0 => random_concept(rng, p, depth - 1).and(random_concept(rng, p, depth - 1)),
+        1 => random_concept(rng, p, depth - 1).or(random_concept(rng, p, depth - 1)),
+        2 => random_concept(rng, p, depth - 1).not(),
+        3 => Concept::some(random_role(rng, p), random_concept(rng, p, depth - 1)),
+        4 => Concept::all(random_role(rng, p), random_concept(rng, p, depth - 1)),
+        _ => {
+            let n = rng.gen_range(0..3u32);
+            if rng.gen_bool(0.5) {
+                Concept::at_least(n.max(1), random_role(rng, p))
+            } else {
+                Concept::at_most(n, random_role(rng, p))
+            }
+        }
+    }
+}
+
+/// A random classical KB.
+pub fn random_kb(p: &RandomParams) -> KnowledgeBase {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut kb = KnowledgeBase::new();
+    for _ in 0..p.n_tbox {
+        // Left side shallow (atomic-biased, like real ontologies), right
+        // side up to max depth.
+        let lhs = if rng.gen_bool(0.7) {
+            Concept::atomic(concept_name(rng.gen_range(0..p.n_concepts)))
+        } else {
+            random_concept(&mut rng, p, 1)
+        };
+        let rhs = random_concept(&mut rng, p, p.max_depth);
+        kb.add(Axiom::ConceptInclusion(lhs, rhs));
+    }
+    for _ in 0..p.n_abox {
+        if rng.gen_bool(0.55) {
+            let a = individual_name(rng.gen_range(0..p.n_individuals));
+            let c = random_concept(&mut rng, p, 1);
+            kb.add(Axiom::ConceptAssertion(a, c));
+        } else {
+            let r = role_name(rng.gen_range(0..p.n_roles));
+            let a = individual_name(rng.gen_range(0..p.n_individuals));
+            let b = individual_name(rng.gen_range(0..p.n_individuals));
+            kb.add(Axiom::RoleAssertion(r, a, b));
+        }
+    }
+    kb
+}
+
+/// A random SHOIN(D)4 KB: the classical generation with each inclusion
+/// assigned an inclusion kind by the given weights
+/// `(material, internal, strong)`.
+pub fn random_kb4(p: &RandomParams, kind_weights: (f64, f64, f64)) -> KnowledgeBase4 {
+    let kb = random_kb(p);
+    let mut rng = StdRng::seed_from_u64(p.seed.wrapping_add(0x5EED));
+    let kinds = [
+        (InclusionKind::Material, kind_weights.0),
+        (InclusionKind::Internal, kind_weights.1),
+        (InclusionKind::Strong, kind_weights.2),
+    ];
+    KnowledgeBase4::from_axioms(kb.axioms().iter().map(|ax| {
+        let kind = kinds
+            .choose_weighted(&mut rng, |(_, w)| *w)
+            .expect("non-empty weights")
+            .0;
+        shoin4::Axiom4::from_classical(ax, kind)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = RandomParams::default();
+        assert_eq!(random_kb(&p), random_kb(&p));
+        let p2 = RandomParams {
+            seed: 1,
+            ..RandomParams::default()
+        };
+        assert_ne!(random_kb(&p), random_kb(&p2));
+    }
+
+    #[test]
+    fn sizes_match_parameters() {
+        let p = RandomParams {
+            n_tbox: 7,
+            n_abox: 5,
+            ..RandomParams::default()
+        };
+        let kb = random_kb(&p);
+        assert_eq!(kb.tbox().count(), 7);
+        assert_eq!(kb.abox().count(), 5);
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let p = RandomParams {
+            max_depth: 3,
+            n_tbox: 30,
+            ..RandomParams::default()
+        };
+        let kb = random_kb(&p);
+        for ax in kb.tbox() {
+            if let Axiom::ConceptInclusion(_, rhs) = ax {
+                assert!(rhs.modal_depth() <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn kind_weights_respected_in_expectation() {
+        let p = RandomParams {
+            n_tbox: 60,
+            n_abox: 0,
+            ..RandomParams::default()
+        };
+        let kb4 = random_kb4(&p, (1.0, 0.0, 0.0));
+        assert!(kb4.axioms().iter().all(|ax| matches!(
+            ax,
+            shoin4::Axiom4::ConceptInclusion(InclusionKind::Material, ..)
+        )));
+        let kb4 = random_kb4(&p, (0.0, 0.0, 1.0));
+        assert!(kb4.axioms().iter().all(|ax| matches!(
+            ax,
+            shoin4::Axiom4::ConceptInclusion(InclusionKind::Strong, ..)
+        )));
+    }
+
+    #[test]
+    fn no_number_restrictions_when_disabled() {
+        let p = RandomParams {
+            number_restrictions: false,
+            n_tbox: 40,
+            max_depth: 3,
+            ..RandomParams::default()
+        };
+        let kb = random_kb(&p);
+        fn has_num(c: &Concept) -> bool {
+            let mut found = false;
+            c.for_each_subconcept(&mut |sc| {
+                if matches!(sc, Concept::AtLeast(..) | Concept::AtMost(..)) {
+                    found = true;
+                }
+            });
+            found
+        }
+        for ax in kb.axioms() {
+            match ax {
+                Axiom::ConceptInclusion(l, r) => {
+                    assert!(!has_num(l) && !has_num(r));
+                }
+                Axiom::ConceptAssertion(_, c) => assert!(!has_num(c)),
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Clash detection — the conditions under which a completion graph is
+//! contradictory.
+
+use crate::node::NodeId;
+use dl::{Concept, ConceptName, IndividualName};
+use std::fmt;
+
+/// Why a branch of the tableau closed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Clash {
+    /// `⊥` appeared in a node label.
+    Bottom(NodeId),
+    /// `A` and `¬A` both in one label.
+    Complementary(NodeId, ConceptName),
+    /// `≤ n.R` violated by more than `n` pairwise-distinct neighbours.
+    CardinalityExceeded(NodeId, Concept),
+    /// A node was asserted both to be and not to be a nominal `{o}`.
+    NominalContradiction(NodeId, IndividualName),
+    /// Two nodes required to be distinct were merged.
+    MergedDistinct(NodeId, NodeId),
+    /// A node's concrete-domain constraints are jointly unsatisfiable.
+    DatatypeUnsatisfiable(NodeId),
+}
+
+impl fmt::Display for Clash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Clash::Bottom(n) => write!(f, "node {n}: ⊥ in label"),
+            Clash::Complementary(n, a) => write!(f, "node {n}: both {a} and ¬{a}"),
+            Clash::CardinalityExceeded(n, c) => {
+                write!(f, "node {n}: at-most restriction {c} violated")
+            }
+            Clash::NominalContradiction(n, o) => {
+                write!(f, "node {n}: both {{{o}}} and ¬{{{o}}}")
+            }
+            Clash::MergedDistinct(a, b) => {
+                write!(f, "nodes {a} and {b}: merged but asserted distinct")
+            }
+            Clash::DatatypeUnsatisfiable(n) => {
+                write!(f, "node {n}: datatype constraints unsatisfiable")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_node() {
+        let c = Clash::Bottom(NodeId(3));
+        assert!(c.to_string().contains("node n3"));
+        let c = Clash::Complementary(NodeId(1), ConceptName::new("A"));
+        assert!(c.to_string().contains('A'));
+    }
+}

@@ -1,0 +1,93 @@
+//! Reasoner configuration and resource-limit errors.
+
+use std::fmt;
+
+/// Blocking strategies (an ablation axis — see DESIGN.md §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockingStrategy {
+    /// Pairwise (dynamic double) blocking — sound and complete for SHOIN
+    /// with inverse roles. The default.
+    Pairwise,
+    /// Subset blocking — cheaper but incomplete in the presence of inverse
+    /// roles / number restrictions; exposed only for the ablation bench.
+    Subset,
+    /// Equality blocking — label equality on the node alone; complete for
+    /// SHN without inverses, used by the ablation bench.
+    Equality,
+}
+
+/// Tunable parameters of the tableau search.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Hard cap on completion-graph nodes before giving up.
+    pub max_nodes: usize,
+    /// Hard cap on rule applications (across branches) before giving up.
+    pub max_rule_applications: u64,
+    /// Blocking strategy (ablation knob; keep `Pairwise` for correctness).
+    pub blocking: BlockingStrategy,
+    /// Semantic branching: on the `⊔`-rule's second branch, also assert
+    /// the NNF complement of the first disjunct (ablation knob).
+    pub semantic_branching: bool,
+    /// Absorption / lazy unfolding of `A ⊑ C` axioms with atomic left-hand
+    /// sides (ablation knob; `true` is the optimized default).
+    pub absorption: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_nodes: 100_000,
+            max_rule_applications: 5_000_000,
+            blocking: BlockingStrategy::Pairwise,
+            semantic_branching: false,
+            absorption: true,
+        }
+    }
+}
+
+/// Failure modes of the reasoner that are *not* answers: the search was cut
+/// short, so neither "satisfiable" nor "unsatisfiable" may be concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReasonerError {
+    /// The node cap was exceeded.
+    NodeLimit(usize),
+    /// The rule-application cap was exceeded.
+    RuleLimit(u64),
+}
+
+impl fmt::Display for ReasonerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReasonerError::NodeLimit(n) => {
+                write!(f, "tableau exceeded the node limit of {n}")
+            }
+            ReasonerError::RuleLimit(n) => {
+                write!(f, "tableau exceeded the rule-application limit of {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReasonerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_safe() {
+        let c = Config::default();
+        assert_eq!(c.blocking, BlockingStrategy::Pairwise);
+        assert!(c.absorption);
+        assert!(!c.semantic_branching);
+        assert!(c.max_nodes > 0);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(ReasonerError::NodeLimit(5).to_string().contains("node limit"));
+        assert!(ReasonerError::RuleLimit(7)
+            .to_string()
+            .contains("rule-application limit"));
+    }
+}

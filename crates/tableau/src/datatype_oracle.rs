@@ -1,0 +1,347 @@
+//! The concrete-domain oracle: decides whether the datatype constraints a
+//! node's label imposes are jointly satisfiable.
+//!
+//! Datatype reasoning in SHOIN(D) is local to a node — data roles have no
+//! inverses and data values no successors — so instead of materializing
+//! data successors in the completion graph, the oracle solves each node's
+//! constraint system directly:
+//!
+//! * every `∃U.D` needs a `U`-successor value in `D`;
+//! * every `U(a,v)` ABox assertion is encoded upstream as `∃U.{v}`;
+//! * every `≥n.U` needs `n` pairwise-distinct `U`-successor values;
+//! * every `∀W.D'` constrains successors of every `U ⊑* W`;
+//! * every `≤n.W` caps the number of distinct values across all `U ⊑* W`.
+//!
+//! The search assigns values to required successors from candidate pools
+//! produced by [`DataRange::witnesses`], allowing successors to share a
+//! value (sharing is what makes `≤` satisfiable); it is exhaustive over a
+//! candidate universe large enough to be complete for the built-in
+//! datatypes (see `dl::datatype`).
+
+use dl::datatype::DataRange;
+use dl::name::DataRoleName;
+use dl::{Concept, DataValue};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One required data successor: the role edge it hangs off and the
+/// conjunction of ranges its value must satisfy.
+#[derive(Debug, Clone)]
+struct Requirement {
+    role: DataRoleName,
+    ranges: Vec<DataRange>,
+    /// Successors from one `≥n.U` group must be pairwise distinct;
+    /// `group` links them. `None` for `∃U.D` successors.
+    group: Option<usize>,
+}
+
+/// An at-most cap: at most `n` distinct values across the given roles.
+#[derive(Debug, Clone)]
+struct Cap {
+    roles: BTreeSet<DataRoleName>,
+    n: u32,
+}
+
+/// Decide satisfiability of the data part of one node label.
+///
+/// `data_hierarchy` maps each data role to its super-roles (reflexive,
+/// transitively closed); roles missing from the map have no declared
+/// super-roles.
+pub fn data_satisfiable(
+    label: &BTreeSet<Concept>,
+    data_hierarchy: &BTreeMap<DataRoleName, BTreeSet<DataRoleName>>,
+) -> bool {
+    let supers = |u: &DataRoleName| -> BTreeSet<DataRoleName> {
+        data_hierarchy
+            .get(u)
+            .cloned()
+            .unwrap_or_else(|| BTreeSet::from([u.clone()]))
+    };
+
+    // Collect universal constraints per "applies-to" role: ∀W.D applies to
+    // any successor whose edge role U has W ∈ supers(U).
+    let alls: Vec<(&DataRoleName, &DataRange)> = label
+        .iter()
+        .filter_map(|c| match c {
+            Concept::DataAll(w, d) => Some((w, d)),
+            _ => None,
+        })
+        .collect();
+    let ranges_for = |u: &DataRoleName, base: Option<&DataRange>| -> Vec<DataRange> {
+        let sup = supers(u);
+        let mut v: Vec<DataRange> = base.into_iter().cloned().collect();
+        for (w, d) in &alls {
+            if sup.contains(w) {
+                v.push((*d).clone());
+            }
+        }
+        v
+    };
+
+    let mut requirements: Vec<Requirement> = Vec::new();
+    let mut caps: Vec<Cap> = Vec::new();
+    let mut group_counter = 0usize;
+    for c in label {
+        match c {
+            Concept::DataSome(u, d) => requirements.push(Requirement {
+                role: u.clone(),
+                ranges: ranges_for(u, Some(d)),
+                group: None,
+            }),
+            Concept::DataAtLeast(n, u) => {
+                let g = group_counter;
+                group_counter += 1;
+                for _ in 0..*n {
+                    requirements.push(Requirement {
+                        role: u.clone(),
+                        ranges: ranges_for(u, None),
+                        group: Some(g),
+                    });
+                }
+            }
+            Concept::DataAtMost(n, w) => {
+                // Cap applies to successors via any U with W ∈ supers(U).
+                // We collect the affected roles lazily below; record W.
+                caps.push(Cap {
+                    roles: BTreeSet::from([w.clone()]),
+                    n: *n,
+                });
+            }
+            _ => {}
+        }
+    }
+    // Expand each cap's role set to all roles U whose supers include the
+    // capped role.
+    let mentioned_roles: BTreeSet<DataRoleName> =
+        requirements.iter().map(|r| r.role.clone()).collect();
+    for cap in &mut caps {
+        let w = cap.roles.iter().next().cloned().expect("one role");
+        let mut affected = BTreeSet::new();
+        for u in &mentioned_roles {
+            if supers(u).contains(&w) {
+                affected.insert(u.clone());
+            }
+        }
+        cap.roles = affected;
+    }
+
+    if requirements.is_empty() {
+        // Only caps and ∀-constraints: trivially satisfiable with zero
+        // successors (caps are ≥ 0 by construction).
+        return true;
+    }
+
+    // Candidate pools are drawn from a *node-wide* universe so that two
+    // requirements with overlapping ranges can share a value (sharing is
+    // what satisfies `≤` caps); per-requirement witness generation would
+    // pick different representatives from the overlap.
+    let k = requirements.len();
+    let all_ranges: Vec<DataRange> = requirements
+        .iter()
+        .flat_map(|r| r.ranges.iter().cloned())
+        .collect();
+    let universe = DataRange::candidate_universe(&all_ranges, k);
+    let pools: Vec<Vec<DataValue>> = requirements
+        .iter()
+        .map(|r| {
+            universe
+                .iter()
+                .filter(|v| r.ranges.iter().all(|rng| rng.contains(v)))
+                .cloned()
+                .collect()
+        })
+        .collect();
+    if pools.iter().any(|p| p.is_empty()) {
+        return false;
+    }
+
+    // Backtracking assignment.
+    fn ok_so_far(
+        assigned: &[(usize, DataValue)],
+        reqs: &[Requirement],
+        caps: &[Cap],
+    ) -> bool {
+        // Group distinctness.
+        for (i, (ri, vi)) in assigned.iter().enumerate() {
+            for (rj, vj) in assigned.iter().skip(i + 1) {
+                let (a, b) = (&reqs[*ri], &reqs[*rj]);
+                if a.group.is_some() && a.group == b.group && a.role == b.role && vi == vj
+                {
+                    return false;
+                }
+            }
+        }
+        // Caps: distinct values over affected roles.
+        for cap in caps {
+            let distinct: BTreeSet<&DataValue> = assigned
+                .iter()
+                .filter(|(ri, _)| cap.roles.contains(&reqs[*ri].role))
+                .map(|(_, v)| v)
+                .collect();
+            if distinct.len() > cap.n as usize {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn assign(
+        idx: usize,
+        assigned: &mut Vec<(usize, DataValue)>,
+        reqs: &[Requirement],
+        pools: &[Vec<DataValue>],
+        caps: &[Cap],
+    ) -> bool {
+        if idx == reqs.len() {
+            return true;
+        }
+        for v in &pools[idx] {
+            assigned.push((idx, v.clone()));
+            if ok_so_far(assigned, reqs, caps)
+                && assign(idx + 1, assigned, reqs, pools, caps)
+            {
+                return true;
+            }
+            assigned.pop();
+        }
+        false
+    }
+
+    let mut assigned = Vec::new();
+    assign(0, &mut assigned, &requirements, &pools, &caps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl::datatype::BuiltinDatatype;
+
+    fn u(s: &str) -> DataRoleName {
+        DataRoleName::new(s)
+    }
+    fn int_range(min: Option<i64>, max: Option<i64>) -> DataRange {
+        DataRange::IntRange { min, max }
+    }
+    fn no_hierarchy() -> BTreeMap<DataRoleName, BTreeSet<DataRoleName>> {
+        BTreeMap::new()
+    }
+
+    fn sat(label: &[Concept]) -> bool {
+        data_satisfiable(&label.iter().cloned().collect(), &no_hierarchy())
+    }
+
+    #[test]
+    fn empty_label_is_satisfiable() {
+        assert!(sat(&[]));
+    }
+
+    #[test]
+    fn simple_exists_is_satisfiable() {
+        assert!(sat(&[Concept::DataSome(u("age"), int_range(Some(0), None))]));
+    }
+
+    #[test]
+    fn exists_vs_forall_conflict() {
+        assert!(!sat(&[
+            Concept::DataSome(u("age"), int_range(Some(10), None)),
+            Concept::DataAll(u("age"), int_range(None, Some(5))),
+        ]));
+        assert!(sat(&[
+            Concept::DataSome(u("age"), int_range(Some(3), None)),
+            Concept::DataAll(u("age"), int_range(None, Some(5))),
+        ]));
+    }
+
+    #[test]
+    fn at_least_needs_enough_distinct_values() {
+        // ≥3 successors but ∀ restricts to a 2-element range: unsat.
+        assert!(!sat(&[
+            Concept::DataAtLeast(3, u("score")),
+            Concept::DataAll(u("score"), int_range(Some(1), Some(2))),
+        ]));
+        assert!(sat(&[
+            Concept::DataAtLeast(3, u("score")),
+            Concept::DataAll(u("score"), int_range(Some(1), Some(3))),
+        ]));
+    }
+
+    #[test]
+    fn at_most_allows_sharing() {
+        // Two ∃ with overlapping ranges can share one value under ≤1.
+        assert!(sat(&[
+            Concept::DataSome(u("v"), int_range(Some(0), Some(10))),
+            Concept::DataSome(u("v"), int_range(Some(5), Some(15))),
+            Concept::DataAtMost(1, u("v")),
+        ]));
+        // Disjoint ranges cannot share: unsat under ≤1.
+        assert!(!sat(&[
+            Concept::DataSome(u("v"), int_range(Some(0), Some(4))),
+            Concept::DataSome(u("v"), int_range(Some(5), Some(9))),
+            Concept::DataAtMost(1, u("v")),
+        ]));
+    }
+
+    #[test]
+    fn at_least_conflicts_with_at_most() {
+        assert!(!sat(&[
+            Concept::DataAtLeast(3, u("v")),
+            Concept::DataAtMost(2, u("v")),
+        ]));
+        assert!(sat(&[
+            Concept::DataAtLeast(2, u("v")),
+            Concept::DataAtMost(2, u("v")),
+        ]));
+    }
+
+    #[test]
+    fn caps_respect_role_hierarchy() {
+        // u ⊑ w; ≤1.w caps u-successors too.
+        let mut h = BTreeMap::new();
+        h.insert(u("u"), BTreeSet::from([u("u"), u("w")]));
+        let label: BTreeSet<Concept> = [
+            Concept::DataSome(u("u"), int_range(Some(0), Some(0))),
+            Concept::DataSome(u("u"), int_range(Some(1), Some(1))),
+            Concept::DataAtMost(1, u("w")),
+        ]
+        .into_iter()
+        .collect();
+        assert!(!data_satisfiable(&label, &h));
+        // Without the hierarchy the cap on w does not touch u.
+        assert!(sat(&[
+            Concept::DataSome(u("u"), int_range(Some(0), Some(0))),
+            Concept::DataSome(u("u"), int_range(Some(1), Some(1))),
+            Concept::DataAtMost(1, u("w")),
+        ]));
+    }
+
+    #[test]
+    fn forall_respects_role_hierarchy() {
+        // u ⊑ w; ∀w.D constrains ∃u successors.
+        let mut h = BTreeMap::new();
+        h.insert(u("u"), BTreeSet::from([u("u"), u("w")]));
+        let label: BTreeSet<Concept> = [
+            Concept::DataSome(u("u"), int_range(Some(10), None)),
+            Concept::DataAll(u("w"), int_range(None, Some(5))),
+        ]
+        .into_iter()
+        .collect();
+        assert!(!data_satisfiable(&label, &h));
+    }
+
+    #[test]
+    fn boolean_exhaustion() {
+        // ≥3 boolean successors: impossible.
+        assert!(!sat(&[
+            Concept::DataAtLeast(3, u("flag")),
+            Concept::DataAll(u("flag"), DataRange::Datatype(BuiltinDatatype::Boolean)),
+        ]));
+    }
+
+    #[test]
+    fn singleton_assertion_encoding() {
+        // U(a, 4) encoded as ∃U.{4}; with ∀U.[0..3] it must clash.
+        assert!(!sat(&[
+            Concept::DataSome(u("v"), DataRange::one_of([DataValue::Integer(4)])),
+            Concept::DataAll(u("v"), int_range(Some(0), Some(3))),
+        ]));
+    }
+}

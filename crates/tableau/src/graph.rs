@@ -1,0 +1,456 @@
+//! The completion graph: nodes, role edges, the inequality relation, and
+//! the merge/prune machinery shared by the `o`-, `≤`- and `NN`-rules.
+//!
+//! Edges are stored in the *named* direction: inserting an edge for an
+//! inverse role `R⁻` from `x` to `y` stores `(y, x, R)`. Neighbour queries
+//! consult the role hierarchy (closed under inverses) in both directions.
+
+use crate::clash::Clash;
+use crate::node::{Node, NodeId};
+use dl::axiom::RoleExpr;
+use dl::kb::RoleHierarchy;
+use dl::{Concept, IndividualName};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A completion graph. Cloning a graph is the branching mechanism of the
+/// tableau search: cheap enough for our workloads and immune to
+/// undo-trail bugs.
+#[derive(Debug, Clone, Default)]
+pub struct CompletionGraph {
+    nodes: Vec<Option<Node>>,
+    /// Directed edges in named-role direction, with their role-name label
+    /// sets (a set because several assertions may label one edge).
+    edges: BTreeMap<(NodeId, NodeId), BTreeSet<RoleExpr>>,
+    /// The `≠` relation, stored as normalized `(min, max)` pairs.
+    distinct: BTreeSet<(NodeId, NodeId)>,
+    /// Redirections left behind by merges: `merged_into[y] = x`.
+    merged_into: BTreeMap<NodeId, NodeId>,
+    /// The root node standing for each individual.
+    nominal_nodes: BTreeMap<IndividualName, NodeId>,
+}
+
+impl CompletionGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a root (nominal/ABox) node.
+    pub fn new_root(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(Node::root(id)));
+        id
+    }
+
+    /// Create a blockable tree node under `parent`.
+    pub fn new_blockable(&mut self, parent: NodeId) -> NodeId {
+        let parent = self.resolve(parent);
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(Node::blockable(id, parent)));
+        id
+    }
+
+    /// Number of live nodes.
+    pub fn live_node_count(&self) -> usize {
+        self.nodes.iter().flatten().count()
+    }
+
+    /// Total ids ever allocated (live + merged/pruned).
+    pub fn allocated_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Follow merge redirections to the surviving node.
+    pub fn resolve(&self, mut id: NodeId) -> NodeId {
+        while let Some(&next) = self.merged_into.get(&id) {
+            id = next;
+        }
+        id
+    }
+
+    /// Borrow a live node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        let id = self.resolve(id);
+        self.nodes[id.0 as usize]
+            .as_ref()
+            .expect("resolved node must be live")
+    }
+
+    /// Is this id (after resolution) still part of the graph? Pruned
+    /// subtrees disappear without a redirect.
+    pub fn is_live(&self, id: NodeId) -> bool {
+        let id = self.resolve(id);
+        self.nodes[id.0 as usize].is_some()
+    }
+
+    /// Iterate over live node ids.
+    pub fn live_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().flatten().map(|n| n.id)
+    }
+
+    /// Add a concept to a node's label. Returns `true` if the label grew.
+    pub fn add_concept(&mut self, id: NodeId, c: Concept) -> bool {
+        let id = self.resolve(id);
+        self.nodes[id.0 as usize]
+            .as_mut()
+            .expect("resolved node must be live")
+            .label
+            .insert(c)
+    }
+
+    /// Does the node's label contain the concept?
+    pub fn has_concept(&self, id: NodeId, c: &Concept) -> bool {
+        self.node(id).label.contains(c)
+    }
+
+    /// Register `node` as the root standing for individual `o`.
+    pub fn set_nominal_node(&mut self, o: IndividualName, node: NodeId) {
+        let node = self.resolve(node);
+        self.nodes[node.0 as usize]
+            .as_mut()
+            .expect("live")
+            .nominals
+            .insert(o.clone());
+        self.nominal_nodes.insert(o, node);
+    }
+
+    /// The root node for an individual, if registered.
+    pub fn nominal_node(&self, o: &IndividualName) -> Option<NodeId> {
+        self.nominal_nodes.get(o).map(|&id| self.resolve(id))
+    }
+
+    /// Add an edge `x --role--> y`, canonicalized to the named direction.
+    pub fn add_edge(&mut self, x: NodeId, y: NodeId, role: &RoleExpr) {
+        let (x, y) = (self.resolve(x), self.resolve(y));
+        let (from, to) = role.orient(x, y);
+        self.edges
+            .entry((from, to))
+            .or_default()
+            .insert(RoleExpr::named(role.name().clone()));
+    }
+
+    /// Mark two nodes as distinct. Returns a clash if they are (or have
+    /// been merged into) the same node.
+    pub fn set_distinct(&mut self, a: NodeId, b: NodeId) -> Option<Clash> {
+        let (a, b) = (self.resolve(a), self.resolve(b));
+        if a == b {
+            return Some(Clash::MergedDistinct(a, b));
+        }
+        let pair = if a < b { (a, b) } else { (b, a) };
+        self.distinct.insert(pair);
+        None
+    }
+
+    /// Are two nodes known to be distinct?
+    pub fn are_distinct(&self, a: NodeId, b: NodeId) -> bool {
+        let (a, b) = (self.resolve(a), self.resolve(b));
+        let pair = if a < b { (a, b) } else { (b, a) };
+        a != b && self.distinct.contains(&pair)
+    }
+
+    /// All `R`-neighbours of `x` under the given role hierarchy: nodes `y`
+    /// with an edge whose label implies `R` in the right direction.
+    pub fn neighbours(
+        &self,
+        x: NodeId,
+        role: &RoleExpr,
+        hierarchy: &RoleHierarchy,
+    ) -> Vec<NodeId> {
+        let x = self.resolve(x);
+        let mut out = BTreeSet::new();
+        for (&(from, to), labels) in &self.edges {
+            if from == x {
+                // Stored S: `to` is an S-neighbour; need S ⊑* R.
+                if labels.iter().any(|s| hierarchy.is_subrole(s, role)) {
+                    out.insert(to);
+                }
+            }
+            if to == x {
+                // Stored S from `from` to x: `from` is an S⁻-neighbour of
+                // x; need S⁻ ⊑* R.
+                if labels
+                    .iter()
+                    .any(|s| hierarchy.is_subrole(&s.inverse(), role))
+                {
+                    out.insert(from);
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// The connecting role label between a tree parent and its child, as
+    /// role expressions in parent→child direction (used by pairwise
+    /// blocking).
+    pub fn connecting_label(&self, parent: NodeId, child: NodeId) -> BTreeSet<RoleExpr> {
+        let (parent, child) = (self.resolve(parent), self.resolve(child));
+        let mut out = BTreeSet::new();
+        if let Some(labels) = self.edges.get(&(parent, child)) {
+            out.extend(labels.iter().cloned());
+        }
+        if let Some(labels) = self.edges.get(&(child, parent)) {
+            out.extend(labels.iter().map(|r| r.inverse()));
+        }
+        out
+    }
+
+    /// Merge node `y` into node `x` (SHOIQ `Merge`): union the labels and
+    /// nominals, reroute `y`'s edges to `x`, transfer `≠` pairs, then
+    /// prune `y`'s blockable subtree. Returns a clash if `x ≠ y` was
+    /// asserted.
+    pub fn merge(&mut self, y: NodeId, x: NodeId) -> Option<Clash> {
+        let (y, x) = (self.resolve(y), self.resolve(x));
+        if y == x {
+            return None;
+        }
+        if self.are_distinct(x, y) {
+            return Some(Clash::MergedDistinct(x, y));
+        }
+        // Union label and nominals.
+        let y_node = self.nodes[y.0 as usize].take().expect("live");
+        {
+            let x_node = self.nodes[x.0 as usize].as_mut().expect("live");
+            x_node.label.extend(y_node.label.iter().cloned());
+            x_node.nominals.extend(y_node.nominals.iter().cloned());
+        }
+        for o in &y_node.nominals {
+            self.nominal_nodes.insert(o.clone(), x);
+        }
+        // Reroute edges touching y. Collect first to appease the borrow
+        // checker; edge maps are small.
+        let touching: Vec<((NodeId, NodeId), BTreeSet<RoleExpr>)> = self
+            .edges
+            .iter()
+            .filter(|(&(f, t), _)| f == y || t == y)
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        for ((f, t), labels) in touching {
+            self.edges.remove(&(f, t));
+            let nf = if f == y { x } else { f };
+            let nt = if t == y { x } else { t };
+            if nf == nt {
+                // A y–y self-loop (or y–x edge collapsing): keep as a
+                // self-loop on x; neighbour queries handle it uniformly.
+                self.edges.entry((nf, nt)).or_default().extend(labels);
+            } else {
+                self.edges.entry((nf, nt)).or_default().extend(labels);
+            }
+        }
+        // Transfer ≠ pairs.
+        let pairs: Vec<(NodeId, NodeId)> = self
+            .distinct
+            .iter()
+            .filter(|&&(a, b)| a == y || b == y)
+            .copied()
+            .collect();
+        for (a, b) in pairs {
+            self.distinct.remove(&(a, b));
+            let na = if a == y { x } else { a };
+            let nb = if b == y { x } else { b };
+            if na == nb {
+                // x was in the transferred pair: x ≠ x.
+                self.merged_into.insert(y, x);
+                return Some(Clash::MergedDistinct(x, x));
+            }
+            let pair = if na < nb { (na, nb) } else { (nb, na) };
+            self.distinct.insert(pair);
+        }
+        self.merged_into.insert(y, x);
+        // Prune y's blockable subtree: children of y that were blockable
+        // tree successors vanish.
+        self.prune_children_of(y);
+        None
+    }
+
+    /// Remove blockable nodes whose tree parent is `dead` (recursively),
+    /// along with their edges.
+    fn prune_children_of(&mut self, dead: NodeId) {
+        let children: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .flatten()
+            .filter(|n| n.is_blockable() && n.parent == Some(dead))
+            .map(|n| n.id)
+            .collect();
+        for c in children {
+            self.nodes[c.0 as usize] = None;
+            let touching: Vec<(NodeId, NodeId)> = self
+                .edges
+                .keys()
+                .filter(|&&(f, t)| f == c || t == c)
+                .copied()
+                .collect();
+            for k in touching {
+                self.edges.remove(&k);
+            }
+            let pairs: Vec<(NodeId, NodeId)> = self
+                .distinct
+                .iter()
+                .filter(|&&(a, b)| a == c || b == c)
+                .copied()
+                .collect();
+            for p in pairs {
+                self.distinct.remove(&p);
+            }
+            self.prune_children_of(c);
+        }
+    }
+
+    /// The tree ancestors of a node (parent first), stopping at a root.
+    pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.resolve(id);
+        while let Some(p) = self.node(cur).parent {
+            if !self.is_live(p) {
+                break;
+            }
+            let p = self.resolve(p);
+            out.push(p);
+            cur = p;
+            if self.node(cur).is_root {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl::kb::KnowledgeBase;
+    use dl::Axiom;
+
+    fn hierarchy() -> RoleHierarchy {
+        KnowledgeBase::new().role_hierarchy()
+    }
+
+    fn r(s: &str) -> RoleExpr {
+        RoleExpr::named(s)
+    }
+
+    #[test]
+    fn edges_canonicalize_inverse_direction() {
+        let mut g = CompletionGraph::new();
+        let a = g.new_root();
+        let b = g.new_root();
+        g.add_edge(a, b, &r("p").inverse());
+        // Stored as b --p--> a, so a is a p⁻-neighbour of b? No: b is the
+        // p-source. a's p⁻-neighbours = {b}? Check both views:
+        let h = hierarchy();
+        assert_eq!(g.neighbours(b, &r("p"), &h), vec![a]);
+        assert_eq!(g.neighbours(a, &r("p").inverse(), &h), vec![b]);
+        assert!(g.neighbours(a, &r("p"), &h).is_empty());
+    }
+
+    #[test]
+    fn neighbours_respect_hierarchy() {
+        let kb = KnowledgeBase::from_axioms([Axiom::RoleInclusion(r("p"), r("q"))]);
+        let h = kb.role_hierarchy();
+        let mut g = CompletionGraph::new();
+        let a = g.new_root();
+        let b = g.new_root();
+        g.add_edge(a, b, &r("p"));
+        assert_eq!(g.neighbours(a, &r("q"), &h), vec![b]);
+        assert_eq!(g.neighbours(b, &r("q").inverse(), &h), vec![a]);
+        assert!(g.neighbours(a, &r("q").inverse(), &h).is_empty());
+    }
+
+    #[test]
+    fn merge_unions_labels_and_reroutes_edges() {
+        let mut g = CompletionGraph::new();
+        let a = g.new_root();
+        let b = g.new_root();
+        let c = g.new_root();
+        g.add_edge(b, c, &r("p"));
+        g.add_concept(b, Concept::atomic("B"));
+        g.add_concept(a, Concept::atomic("A"));
+        assert!(g.merge(b, a).is_none());
+        assert_eq!(g.resolve(b), a);
+        assert!(g.has_concept(a, &Concept::atomic("A")));
+        assert!(g.has_concept(a, &Concept::atomic("B")));
+        let h = hierarchy();
+        assert_eq!(g.neighbours(a, &r("p"), &h), vec![c]);
+        assert_eq!(g.live_node_count(), 2);
+    }
+
+    #[test]
+    fn merge_of_distinct_nodes_clashes() {
+        let mut g = CompletionGraph::new();
+        let a = g.new_root();
+        let b = g.new_root();
+        assert!(g.set_distinct(a, b).is_none());
+        assert!(matches!(g.merge(b, a), Some(Clash::MergedDistinct(..))));
+    }
+
+    #[test]
+    fn distinctness_transfers_through_merge() {
+        let mut g = CompletionGraph::new();
+        let a = g.new_root();
+        let b = g.new_root();
+        let c = g.new_root();
+        g.set_distinct(b, c);
+        assert!(g.merge(b, a).is_none());
+        assert!(g.are_distinct(a, c));
+        // Now merging c into a must clash.
+        assert!(g.merge(c, a).is_some());
+    }
+
+    #[test]
+    fn merge_prunes_blockable_subtree() {
+        let mut g = CompletionGraph::new();
+        let a = g.new_root();
+        let b = g.new_root();
+        let t1 = g.new_blockable(b);
+        let t2 = g.new_blockable(t1);
+        g.add_edge(b, t1, &r("p"));
+        g.add_edge(t1, t2, &r("p"));
+        assert_eq!(g.live_node_count(), 4);
+        g.merge(b, a).unwrap_none_or_panic();
+        assert_eq!(g.live_node_count(), 1);
+        assert!(!g.is_live(t1));
+    }
+
+    // Small helper so the intent reads clearly in tests.
+    trait UnwrapNone {
+        fn unwrap_none_or_panic(self);
+    }
+    impl UnwrapNone for Option<Clash> {
+        fn unwrap_none_or_panic(self) {
+            assert!(self.is_none(), "unexpected clash: {:?}", self);
+        }
+    }
+
+    #[test]
+    fn nominal_registration_follows_merges() {
+        let mut g = CompletionGraph::new();
+        let a = g.new_root();
+        let b = g.new_root();
+        g.set_nominal_node(IndividualName::new("o"), b);
+        g.merge(b, a);
+        assert_eq!(g.nominal_node(&IndividualName::new("o")), Some(a));
+        assert!(g.node(a).nominals.contains(&IndividualName::new("o")));
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let mut g = CompletionGraph::new();
+        let root = g.new_root();
+        let t1 = g.new_blockable(root);
+        let t2 = g.new_blockable(t1);
+        assert_eq!(g.ancestors(t2), vec![t1, root]);
+        assert!(g.ancestors(root).is_empty());
+    }
+
+    #[test]
+    fn connecting_label_merges_both_directions() {
+        let mut g = CompletionGraph::new();
+        let a = g.new_root();
+        let b = g.new_blockable(a);
+        g.add_edge(a, b, &r("p"));
+        g.add_edge(b, a, &r("q")); // i.e. a --q⁻--> b
+        let lbl = g.connecting_label(a, b);
+        assert!(lbl.contains(&r("p")));
+        assert!(lbl.contains(&r("q").inverse()));
+    }
+}

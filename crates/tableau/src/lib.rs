@@ -1,0 +1,50 @@
+//! A classical tableau reasoner for SHOIN(D) — the two-valued execution
+//! engine that the SHOIN(D)4 reduction of the paper targets.
+//!
+//! The calculus is the standard completion-graph tableau for
+//! `SHOIN(D)`: NNF preprocessing, TBox internalization with optional
+//! absorption (lazy unfolding), role hierarchies closed under inverses,
+//! transitive-role `∀₊` propagation, unqualified number restrictions with
+//! merge branching, nominal merging (`o`-rule) with an `NN`-rule for the
+//! nominal/inverse/number interaction, pairwise blocking, and a complete
+//! concrete-domain oracle for the built-in datatypes.
+//!
+//! # Entry points
+//!
+//! [`Reasoner`] answers the four standard questions, all reduced to KB
+//! satisfiability in the usual way:
+//!
+//! * [`Reasoner::is_consistent`] — KB satisfiability;
+//! * [`Reasoner::is_concept_satisfiable`] — `C` satisfiable w.r.t. the KB;
+//! * [`Reasoner::is_subsumed_by`] — `KB ⊨ C ⊑ D` iff `C ⊓ ¬D` unsatisfiable;
+//! * [`Reasoner::is_instance_of`] — `KB ⊨ a:C` iff `KB ∪ {a:¬C}` inconsistent.
+//!
+//! ```
+//! use dl::parser::parse_kb;
+//! use tableau::Reasoner;
+//!
+//! let kb = parse_kb(
+//!     "Penguin SubClassOf Bird
+//!      Penguin SubClassOf not Fly
+//!      Bird SubClassOf Fly
+//!      tweety : Penguin",
+//! ).unwrap();
+//! let mut r = Reasoner::new(&kb);
+//! assert!(!r.is_consistent().unwrap()); // classic contradiction
+//! ```
+
+pub mod blocking;
+pub mod clash;
+pub mod config;
+pub mod datatype_oracle;
+pub mod graph;
+pub mod model;
+pub mod node;
+pub mod reasoner;
+pub mod rules;
+pub mod stats;
+
+pub use clash::Clash;
+pub use config::{Config, ReasonerError};
+pub use reasoner::Reasoner;
+pub use stats::Stats;

@@ -1,0 +1,195 @@
+//! Model extraction: turn a complete, clash-free completion graph into an
+//! explicit finite structure.
+//!
+//! When the tableau stops with no clash and no blocking was needed, the
+//! graph *is* a model (after closing role extensions under the role
+//! hierarchy and transitivity). When blocking fired, the graph is a
+//! finite *representation* of a possibly-infinite model — the extracted
+//! structure then records `blocked_nodes > 0` and is not guaranteed to
+//! satisfy the KB as a finite structure; callers (tests, debuggers) must
+//! check that flag before treating it as a countermodel/witness.
+
+use crate::blocking::is_directly_blocked;
+use crate::config::BlockingStrategy;
+use crate::graph::CompletionGraph;
+use crate::node::NodeId;
+use dl::kb::RoleHierarchy;
+use dl::name::{ConceptName, IndividualName, RoleName};
+use dl::Concept;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An explicit structure extracted from a completion graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExtractedModel {
+    /// Domain elements (live node ids).
+    pub elements: BTreeSet<NodeId>,
+    /// Atomic concept extensions (from node labels).
+    pub concepts: BTreeMap<ConceptName, BTreeSet<NodeId>>,
+    /// Role extensions, closed under the role hierarchy and declared
+    /// transitivity.
+    pub roles: BTreeMap<RoleName, BTreeSet<(NodeId, NodeId)>>,
+    /// Where each ABox individual landed.
+    pub individuals: BTreeMap<IndividualName, NodeId>,
+    /// Number of directly blocked nodes in the source graph; `0` means
+    /// the structure is a genuine finite model of the expanded KB.
+    pub blocked_nodes: usize,
+}
+
+impl ExtractedModel {
+    /// Is the extension of `A` non-empty?
+    pub fn concept_nonempty(&self, a: &ConceptName) -> bool {
+        self.concepts.get(a).is_some_and(|s| !s.is_empty())
+    }
+
+    /// The element an individual denotes, if present.
+    pub fn individual(&self, o: &IndividualName) -> Option<NodeId> {
+        self.individuals.get(o).copied()
+    }
+}
+
+/// Extract the structure from a (complete, clash-free) graph.
+pub fn extract(
+    g: &CompletionGraph,
+    hierarchy: &RoleHierarchy,
+    strategy: BlockingStrategy,
+) -> ExtractedModel {
+    let mut model = ExtractedModel::default();
+    for x in g.live_nodes() {
+        model.elements.insert(x);
+        let node = g.node(x);
+        for c in &node.label {
+            if let Concept::Atomic(a) = c {
+                model.concepts.entry(a.clone()).or_default().insert(x);
+            }
+        }
+        for o in &node.nominals {
+            model.individuals.insert(o.clone(), x);
+        }
+        if node.is_blockable() && is_directly_blocked(g, x, strategy) {
+            model.blocked_nodes += 1;
+        }
+    }
+    // Role extensions: each stored edge contributes to every (named)
+    // super-role; inverse super-roles contribute the swapped pair.
+    for x in g.live_nodes() {
+        for role_name in collect_role_names(g) {
+            let expr = dl::RoleExpr::named(role_name.clone());
+            for y in g.neighbours(x, &expr, hierarchy) {
+                model
+                    .roles
+                    .entry(role_name.clone())
+                    .or_default()
+                    .insert((x, y));
+            }
+        }
+    }
+    // Close transitive roles.
+    let names: Vec<RoleName> = model.roles.keys().cloned().collect();
+    for r in names {
+        if hierarchy.is_transitive(&dl::RoleExpr::named(r.clone())) {
+            let ext = model.roles.get_mut(&r).expect("present");
+            transitive_close(ext);
+        }
+    }
+    model
+}
+
+/// All role names mentioned on edges of the graph, via the neighbour API:
+/// we reconstruct from the super-closure of edge labels, which the graph
+/// does not expose directly — so collect via a probe over known names.
+/// (The graph stores labels privately; we recover names through the
+/// hierarchy of every edge endpoint pair by probing its `connecting`
+/// labels.)
+fn collect_role_names(g: &CompletionGraph) -> BTreeSet<RoleName> {
+    let mut names = BTreeSet::new();
+    let nodes: Vec<NodeId> = g.live_nodes().collect();
+    for &x in &nodes {
+        for &y in &nodes {
+            for expr in g.connecting_label(x, y) {
+                names.insert(expr.name().clone());
+            }
+        }
+    }
+    names
+}
+
+fn transitive_close(ext: &mut BTreeSet<(NodeId, NodeId)>) {
+    loop {
+        let mut additions = Vec::new();
+        for &(x, y) in ext.iter() {
+            for &(y2, z) in ext.iter() {
+                if y == y2 && !ext.contains(&(x, z)) {
+                    additions.push((x, z));
+                }
+            }
+        }
+        if additions.is_empty() {
+            break;
+        }
+        ext.extend(additions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl::kb::KnowledgeBase;
+    use dl::{Axiom, RoleExpr};
+
+    #[test]
+    fn extraction_collects_labels_edges_and_individuals() {
+        let kb = KnowledgeBase::from_axioms([
+            Axiom::RoleInclusion(RoleExpr::named("p"), RoleExpr::named("q")),
+            Axiom::Transitive(RoleName::new("q")),
+        ]);
+        let h = kb.role_hierarchy();
+        let mut g = CompletionGraph::new();
+        let a = g.new_root();
+        let b = g.new_root();
+        let c = g.new_root();
+        g.set_nominal_node(IndividualName::new("a"), a);
+        g.add_concept(a, Concept::atomic("A"));
+        g.add_edge(a, b, &RoleExpr::named("p"));
+        g.add_edge(b, c, &RoleExpr::named("q"));
+        let m = extract(&g, &h, BlockingStrategy::Pairwise);
+        assert_eq!(m.elements.len(), 3);
+        assert!(m.concepts[&ConceptName::new("A")].contains(&a));
+        assert_eq!(m.individual(&IndividualName::new("a")), Some(a));
+        // p ⊑ q, Trans(q): q must contain (a,b),(b,c),(a,c).
+        let q = &m.roles[&RoleName::new("q")];
+        assert!(q.contains(&(a, b)) && q.contains(&(b, c)) && q.contains(&(a, c)));
+        // p itself only has (a,b).
+        assert_eq!(m.roles[&RoleName::new("p")].len(), 1);
+        assert_eq!(m.blocked_nodes, 0);
+    }
+
+    #[test]
+    fn blocked_nodes_are_counted() {
+        let kb = KnowledgeBase::new();
+        let h = kb.role_hierarchy();
+        let mut g = CompletionGraph::new();
+        let root = g.new_root();
+        let t1 = g.new_blockable(root);
+        let t2 = g.new_blockable(t1);
+        let t3 = g.new_blockable(t2);
+        for (f, t) in [(root, t1), (t1, t2), (t2, t3)] {
+            g.add_edge(f, t, &RoleExpr::named("r"));
+        }
+        for n in [t1, t2, t3] {
+            g.add_concept(n, Concept::atomic("A"));
+        }
+        let m = extract(&g, &h, BlockingStrategy::Pairwise);
+        assert_eq!(m.blocked_nodes, 1); // t3 directly blocked by t2
+    }
+
+    #[test]
+    fn transitive_closure_helper() {
+        let mut s: BTreeSet<(NodeId, NodeId)> =
+            [(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2)), (NodeId(2), NodeId(3))]
+                .into_iter()
+                .collect();
+        transitive_close(&mut s);
+        assert!(s.contains(&(NodeId(0), NodeId(3))));
+        assert_eq!(s.len(), 6);
+    }
+}

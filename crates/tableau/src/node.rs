@@ -1,0 +1,85 @@
+//! Completion-graph nodes.
+
+use dl::{Concept, IndividualName};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a completion-graph node. Stable for the lifetime of one
+/// graph (merged nodes keep their id but are redirected).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One node of a completion graph.
+///
+/// *Root* nodes represent ABox individuals and NN-rule nominals; they are
+/// never blocked and never pruned. *Blockable* nodes form trees hanging off
+/// root nodes, created by the `∃`/`≥` generating rules; `parent` is the
+/// tree predecessor.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// The concept label `L(x)` — concepts in NNF.
+    pub label: BTreeSet<Concept>,
+    /// Individuals this node stands for (non-empty exactly for root nodes
+    /// and nodes merged into them).
+    pub nominals: BTreeSet<IndividualName>,
+    /// Tree predecessor (`None` for root nodes).
+    pub parent: Option<NodeId>,
+    /// Is this a root (nominal/ABox) node?
+    pub is_root: bool,
+}
+
+impl Node {
+    /// A fresh root node.
+    pub fn root(id: NodeId) -> Self {
+        Node {
+            id,
+            label: BTreeSet::new(),
+            nominals: BTreeSet::new(),
+            parent: None,
+            is_root: true,
+        }
+    }
+
+    /// A fresh blockable tree node under `parent`.
+    pub fn blockable(id: NodeId, parent: NodeId) -> Self {
+        Node {
+            id,
+            label: BTreeSet::new(),
+            nominals: BTreeSet::new(),
+            parent: Some(parent),
+            is_root: false,
+        }
+    }
+
+    /// Can this node be blocked? (Only blockable tree nodes.)
+    pub fn is_blockable(&self) -> bool {
+        !self.is_root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_vs_blockable() {
+        let r = Node::root(NodeId(0));
+        assert!(r.is_root && !r.is_blockable() && r.parent.is_none());
+        let b = Node::blockable(NodeId(1), NodeId(0));
+        assert!(!b.is_root && b.is_blockable());
+        assert_eq!(b.parent, Some(NodeId(0)));
+    }
+
+    #[test]
+    fn node_id_displays() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+}

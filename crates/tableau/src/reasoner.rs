@@ -1,0 +1,813 @@
+//! The public reasoner API: preprocessing (NNF, absorption,
+//! internalization, ABox loading) and the standard reasoning services, all
+//! reduced to knowledge-base satisfiability.
+
+use crate::config::{Config, ReasonerError};
+use crate::graph::CompletionGraph;
+use crate::rules::{Context, Search};
+use crate::stats::Stats;
+use dl::axiom::{Axiom, RoleExpr};
+use dl::datatype::DataRange;
+use dl::kb::KnowledgeBase;
+use dl::name::{ConceptName, IndividualName};
+use dl::nnf::nnf;
+use dl::Concept;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A SHOIN(D) reasoner over a fixed knowledge base.
+///
+/// Construction preprocesses the KB once; every query then works on a
+/// clone of the initialized completion graph, so queries do not interfere.
+pub struct Reasoner {
+    ctx: Context,
+    base_graph: CompletionGraph,
+    /// A clash already during ABox loading (merge of asserted-distinct
+    /// individuals) — the KB is inconsistent regardless of the search.
+    setup_clash: bool,
+    consistency_cache: Option<bool>,
+    stats: Stats,
+    query_counter: u32,
+}
+
+impl Reasoner {
+    /// Preprocess `kb` with the default configuration.
+    pub fn new(kb: &KnowledgeBase) -> Self {
+        Self::with_config(kb, Config::default())
+    }
+
+    /// Preprocess `kb` with an explicit configuration.
+    pub fn with_config(kb: &KnowledgeBase, config: Config) -> Self {
+        let mut globals = Vec::new();
+        let mut unfoldings: BTreeMap<ConceptName, Vec<Concept>> = BTreeMap::new();
+        for ax in kb.tbox() {
+            if let Axiom::ConceptInclusion(c, d) = ax {
+                if config.absorption {
+                    match c {
+                        // A ⊑ D: unfold A lazily.
+                        Concept::Atomic(a) => {
+                            unfoldings.entry(a.clone()).or_default().push(nnf(d));
+                            continue;
+                        }
+                        // A ⊓ C ⊑ D (e.g. disjointness A ⊓ B ⊑ ⊥):
+                        // absorb into A → ¬C ⊔ D, keeping the constraint
+                        // local to nodes actually labelled A.
+                        Concept::And(l, r) => {
+                            if let Concept::Atomic(a) = &**l {
+                                unfoldings
+                                    .entry(a.clone())
+                                    .or_default()
+                                    .push(nnf(&(**r).clone().not().or(d.clone())));
+                                continue;
+                            }
+                            if let Concept::Atomic(a) = &**r {
+                                unfoldings
+                                    .entry(a.clone())
+                                    .or_default()
+                                    .push(nnf(&(**l).clone().not().or(d.clone())));
+                                continue;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                globals.push(nnf(&c.clone().not().or(d.clone())));
+            }
+        }
+        let ctx = Context {
+            hierarchy: kb.role_hierarchy(),
+            data_hierarchy: kb.data_role_hierarchy(),
+            globals,
+            unfoldings,
+            config,
+        };
+
+        // Load the ABox into the base completion graph.
+        let mut g = CompletionGraph::new();
+        let mut setup_clash = false;
+        let sig = kb.signature();
+        for o in &sig.individuals {
+            let n = g.new_root();
+            g.set_nominal_node(o.clone(), n);
+            g.add_concept(n, Concept::one_of([o.clone()]));
+        }
+        for ax in kb.abox() {
+            match ax {
+                Axiom::ConceptAssertion(a, c) => {
+                    let n = g.nominal_node(a).expect("signature individual");
+                    g.add_concept(n, nnf(c));
+                }
+                Axiom::RoleAssertion(r, a, b) => {
+                    let (na, nb) = (
+                        g.nominal_node(a).expect("signature individual"),
+                        g.nominal_node(b).expect("signature individual"),
+                    );
+                    g.add_edge(na, nb, &RoleExpr::named(r.clone()));
+                }
+                Axiom::DataAssertion(u, a, v) => {
+                    let n = g.nominal_node(a).expect("signature individual");
+                    g.add_concept(
+                        n,
+                        Concept::DataSome(u.clone(), DataRange::one_of([v.clone()])),
+                    );
+                }
+                Axiom::SameIndividual(a, b) => {
+                    let (na, nb) = (
+                        g.nominal_node(a).expect("signature individual"),
+                        g.nominal_node(b).expect("signature individual"),
+                    );
+                    if g.merge(na, nb).is_some() {
+                        setup_clash = true;
+                    }
+                }
+                Axiom::DifferentIndividuals(a, b) => {
+                    let (na, nb) = (
+                        g.nominal_node(a).expect("signature individual"),
+                        g.nominal_node(b).expect("signature individual"),
+                    );
+                    if g.set_distinct(na, nb).is_some() {
+                        setup_clash = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // A pure-TBox KB still requires a non-empty domain.
+        if sig.individuals.is_empty() {
+            g.new_root();
+        }
+
+        Reasoner {
+            ctx,
+            base_graph: g,
+            setup_clash,
+            consistency_cache: None,
+            stats: Stats::default(),
+            query_counter: 0,
+        }
+    }
+
+    /// Accumulated search statistics across all queries.
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Active configuration.
+    pub fn config(&self) -> &Config {
+        &self.ctx.config
+    }
+
+    fn run(&mut self, g: CompletionGraph) -> Result<bool, ReasonerError> {
+        if self.setup_clash {
+            return Ok(false);
+        }
+        let mut search = Search::new(&self.ctx);
+        let result = search.satisfiable(g);
+        self.stats.absorb(&search.stats);
+        result
+    }
+
+    /// Find a model of the KB, if one exists: run the tableau to
+    /// completion and extract the final structure. See
+    /// [`crate::model::ExtractedModel::blocked_nodes`] for the finiteness
+    /// caveat.
+    pub fn find_model(
+        &mut self,
+    ) -> Result<Option<crate::model::ExtractedModel>, ReasonerError> {
+        if self.setup_clash {
+            return Ok(None);
+        }
+        let g = self.base_graph.clone();
+        let mut search = Search::new(&self.ctx);
+        let done = search.complete(g);
+        self.stats.absorb(&search.stats);
+        Ok(done?.map(|g| {
+            crate::model::extract(&g, &self.ctx.hierarchy, self.ctx.config.blocking)
+        }))
+    }
+
+    /// Is the knowledge base satisfiable?
+    pub fn is_consistent(&mut self) -> Result<bool, ReasonerError> {
+        if let Some(cached) = self.consistency_cache {
+            return Ok(cached);
+        }
+        let g = self.base_graph.clone();
+        let result = self.run(g)?;
+        self.consistency_cache = Some(result);
+        Ok(result)
+    }
+
+    /// Is `c` satisfiable w.r.t. the KB (some model has a `c`-instance)?
+    pub fn is_concept_satisfiable(&mut self, c: &Concept) -> Result<bool, ReasonerError> {
+        let mut g = self.base_graph.clone();
+        let n = g.new_root();
+        g.add_concept(n, nnf(c));
+        self.run(g)
+    }
+
+    /// Does the KB entail `sub ⊑ sup`? (`sub ⊓ ¬sup` unsatisfiable.)
+    pub fn is_subsumed_by(
+        &mut self,
+        sub: &Concept,
+        sup: &Concept,
+    ) -> Result<bool, ReasonerError> {
+        let test = sub.clone().and(sup.clone().not());
+        Ok(!self.is_concept_satisfiable(&test)?)
+    }
+
+    /// Does the KB entail `a : c`? (`KB ∪ {a:¬c}` inconsistent.)
+    pub fn is_instance_of(
+        &mut self,
+        a: &IndividualName,
+        c: &Concept,
+    ) -> Result<bool, ReasonerError> {
+        let mut g = self.base_graph.clone();
+        let n = match g.nominal_node(a) {
+            Some(n) => n,
+            None => {
+                let n = g.new_root();
+                g.set_nominal_node(a.clone(), n);
+                g.add_concept(n, Concept::one_of([a.clone()]));
+                n
+            }
+        };
+        g.add_concept(n, nnf(&c.clone().not()));
+        Ok(!self.run(g)?)
+    }
+
+    fn fresh_individual(&mut self) -> IndividualName {
+        let name = IndividualName::new(format!("__q{}", self.query_counter));
+        self.query_counter += 1;
+        name
+    }
+
+    fn ensure_node(
+        g: &mut CompletionGraph,
+        o: &IndividualName,
+    ) -> crate::node::NodeId {
+        match g.nominal_node(o) {
+            Some(n) => n,
+            None => {
+                let n = g.new_root();
+                g.set_nominal_node(o.clone(), n);
+                g.add_concept(n, Concept::one_of([o.clone()]));
+                n
+            }
+        }
+    }
+
+    /// Does the KB entail the given axiom? Supports every axiom form via
+    /// the standard reductions to KB (un)satisfiability.
+    pub fn entails(&mut self, axiom: &Axiom) -> Result<bool, ReasonerError> {
+        // An inconsistent KB entails everything.
+        if !self.is_consistent()? {
+            return Ok(true);
+        }
+        match axiom {
+            Axiom::ConceptInclusion(c, d) => self.is_subsumed_by(c, d),
+            Axiom::ConceptAssertion(a, c) => self.is_instance_of(a, c),
+            Axiom::RoleAssertion(r, a, b) => {
+                // KB ⊨ R(a,b) iff KB ∪ {a : ∀R.¬{b}} is inconsistent.
+                let mut g = self.base_graph.clone();
+                let na = Self::ensure_node(&mut g, a);
+                Self::ensure_node(&mut g, b);
+                g.add_concept(
+                    na,
+                    Concept::all(
+                        RoleExpr::named(r.clone()),
+                        Concept::one_of([b.clone()]).not(),
+                    ),
+                );
+                Ok(!self.run(g)?)
+            }
+            Axiom::DataAssertion(u, a, v) => {
+                let mut g = self.base_graph.clone();
+                let na = Self::ensure_node(&mut g, a);
+                g.add_concept(
+                    na,
+                    Concept::DataAll(
+                        u.clone(),
+                        DataRange::one_of([v.clone()]).complement(),
+                    ),
+                );
+                Ok(!self.run(g)?)
+            }
+            Axiom::SameIndividual(a, b) => {
+                let mut g = self.base_graph.clone();
+                let na = Self::ensure_node(&mut g, a);
+                let nb = Self::ensure_node(&mut g, b);
+                if g.set_distinct(na, nb).is_some() {
+                    return Ok(true);
+                }
+                Ok(!self.run(g)?)
+            }
+            Axiom::DifferentIndividuals(a, b) => {
+                let mut g = self.base_graph.clone();
+                let na = Self::ensure_node(&mut g, a);
+                let nb = Self::ensure_node(&mut g, b);
+                if g.merge(na, nb).is_some() {
+                    return Ok(true);
+                }
+                Ok(!self.run(g)?)
+            }
+            Axiom::RoleInclusion(r, s) => {
+                // KB ⊨ R ⊑ S iff KB ∪ {R(a,b), a : ∀S.¬{b}} is
+                // inconsistent for fresh a, b.
+                let (a, b) = (self.fresh_individual(), self.fresh_individual());
+                let mut g = self.base_graph.clone();
+                let na = Self::ensure_node(&mut g, &a);
+                let nb = Self::ensure_node(&mut g, &b);
+                g.add_edge(na, nb, r);
+                g.add_concept(
+                    na,
+                    Concept::all(s.clone(), Concept::one_of([b.clone()]).not()),
+                );
+                Ok(!self.run(g)?)
+            }
+            Axiom::Transitive(r) => {
+                // KB ⊨ Trans(R) iff KB ∪ {R(a,b), R(b,c), a : ∀R.¬{c}} is
+                // inconsistent for fresh a, b, c.
+                let role = RoleExpr::named(r.clone());
+                let (a, b, c) = (
+                    self.fresh_individual(),
+                    self.fresh_individual(),
+                    self.fresh_individual(),
+                );
+                let mut g = self.base_graph.clone();
+                let na = Self::ensure_node(&mut g, &a);
+                let nb = Self::ensure_node(&mut g, &b);
+                let nc = Self::ensure_node(&mut g, &c);
+                g.add_edge(na, nb, &role);
+                g.add_edge(nb, nc, &role);
+                g.add_concept(
+                    na,
+                    Concept::all(role, Concept::one_of([c.clone()]).not()),
+                );
+                Ok(!self.run(g)?)
+            }
+            Axiom::DataRoleInclusion(u, v) => {
+                // KB ⊨ U ⊑ V iff KB ∪ {U(a, w), a : ∀V.¬{w}} is
+                // inconsistent for fresh a and a fresh value w.
+                let a = self.fresh_individual();
+                let w = dl::DataValue::Str(format!("__qv{}", self.query_counter));
+                let mut g = self.base_graph.clone();
+                let na = Self::ensure_node(&mut g, &a);
+                g.add_concept(
+                    na,
+                    Concept::DataSome(u.clone(), DataRange::one_of([w.clone()])),
+                );
+                g.add_concept(
+                    na,
+                    Concept::DataAll(v.clone(), DataRange::one_of([w]).complement()),
+                );
+                Ok(!self.run(g)?)
+            }
+        }
+    }
+
+    /// Compute, for every named concept in `sig_concepts`, the set of
+    /// named concepts subsuming it (including itself and implicitly `⊤`).
+    /// Brute-force n² classification with unsatisfiable-concept handling.
+    pub fn classify(
+        &mut self,
+        sig_concepts: &BTreeSet<ConceptName>,
+    ) -> Result<BTreeMap<ConceptName, BTreeSet<ConceptName>>, ReasonerError> {
+        let names: Vec<ConceptName> = sig_concepts.iter().cloned().collect();
+        let mut out: BTreeMap<ConceptName, BTreeSet<ConceptName>> = BTreeMap::new();
+        for a in &names {
+            let ca = Concept::Atomic(a.clone());
+            let mut supers = BTreeSet::new();
+            for b in &names {
+                let cb = Concept::Atomic(b.clone());
+                if self.is_subsumed_by(&ca, &cb)? {
+                    supers.insert(b.clone());
+                }
+            }
+            out.insert(a.clone(), supers);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl::parser::parse_kb;
+
+    fn reasoner(src: &str) -> Reasoner {
+        Reasoner::new(&parse_kb(src).unwrap())
+    }
+
+    #[test]
+    fn empty_kb_is_consistent() {
+        let mut r = reasoner("");
+        assert!(r.is_consistent().unwrap());
+    }
+
+    #[test]
+    fn simple_clash() {
+        let mut r = reasoner("a : A and not A");
+        assert!(!r.is_consistent().unwrap());
+    }
+
+    #[test]
+    fn tweety_kb_is_inconsistent() {
+        let mut r = reasoner(
+            "Bird and (hasWing some Wing) SubClassOf Fly
+             Penguin SubClassOf Bird
+             Penguin SubClassOf hasWing some Wing
+             Penguin SubClassOf not Fly
+             tweety : Bird
+             tweety : Penguin
+             w : Wing
+             hasWing(tweety, w)",
+        );
+        assert!(!r.is_consistent().unwrap());
+    }
+
+    #[test]
+    fn subsumption_via_tbox() {
+        let mut r = reasoner(
+            "Surgeon SubClassOf Doctor
+             Doctor SubClassOf Person",
+        );
+        assert!(r
+            .is_subsumed_by(&Concept::atomic("Surgeon"), &Concept::atomic("Person"))
+            .unwrap());
+        assert!(!r
+            .is_subsumed_by(&Concept::atomic("Person"), &Concept::atomic("Surgeon"))
+            .unwrap());
+    }
+
+    #[test]
+    fn instance_checking_through_exists() {
+        let mut r = reasoner(
+            "hasPatient some Patient SubClassOf Doctor
+             Patient(x, y) # dummy comment form not used
+             mary : Patient
+             hasPatient(bill, mary)",
+        );
+        assert!(r
+            .is_instance_of(&IndividualName::new("bill"), &Concept::atomic("Doctor"))
+            .unwrap());
+        assert!(!r
+            .is_instance_of(&IndividualName::new("mary"), &Concept::atomic("Doctor"))
+            .unwrap());
+    }
+
+    #[test]
+    fn existential_tbox_cycle_terminates_by_blocking() {
+        // Person ⊑ ∃hasParent.Person — infinite model, blocking must kick in.
+        let mut r = reasoner(
+            "Person SubClassOf hasParent some Person
+             p : Person",
+        );
+        assert!(r.is_consistent().unwrap());
+    }
+
+    #[test]
+    fn inverse_roles_propagate() {
+        // ∀hasChild⁻.Person at the child means every parent is a Person...
+        // direct check: hasChild(a, b), b : ∀(inverse hasChild).A ⟹ a : A.
+        let mut r = reasoner(
+            "hasChild(a, b)
+             b : inverse hasChild only A",
+        );
+        assert!(r
+            .is_instance_of(&IndividualName::new("a"), &Concept::atomic("A"))
+            .unwrap());
+    }
+
+    #[test]
+    fn transitivity_propagates_forall() {
+        let mut r = reasoner(
+            "Transitive(anc)
+             anc(a, b)
+             anc(b, c)
+             a : anc only X",
+        );
+        assert!(r
+            .is_instance_of(&IndividualName::new("c"), &Concept::atomic("X"))
+            .unwrap());
+    }
+
+    #[test]
+    fn role_hierarchy_in_queries() {
+        let mut r = reasoner(
+            "hasSon SubRoleOf hasChild
+             hasSon(a, b)
+             a : hasChild only Human",
+        );
+        assert!(r
+            .is_instance_of(&IndividualName::new("b"), &Concept::atomic("Human"))
+            .unwrap());
+        assert!(r
+            .entails(&Axiom::RoleInclusion(
+                RoleExpr::named("hasSon"),
+                RoleExpr::named("hasChild"),
+            ))
+            .unwrap());
+        assert!(!r
+            .entails(&Axiom::RoleInclusion(
+                RoleExpr::named("hasChild"),
+                RoleExpr::named("hasSon"),
+            ))
+            .unwrap());
+    }
+
+    #[test]
+    fn number_restrictions_merge_and_clash() {
+        // a has two children asserted distinct but ≤1 child: inconsistent.
+        let mut r = reasoner(
+            "hasChild(a, b)
+             hasChild(a, c)
+             b != c
+             a : hasChild max 1",
+        );
+        assert!(!r.is_consistent().unwrap());
+        // Without distinctness the children merge: consistent.
+        let mut r = reasoner(
+            "hasChild(a, b)
+             hasChild(a, c)
+             a : hasChild max 1",
+        );
+        assert!(r.is_consistent().unwrap());
+        // And the merge makes b = c entailed.
+        let mut r = reasoner(
+            "hasChild(a, b)
+             hasChild(a, c)
+             a : hasChild max 1",
+        );
+        assert!(r
+            .entails(&Axiom::SameIndividual(
+                IndividualName::new("b"),
+                IndividualName::new("c"),
+            ))
+            .unwrap());
+    }
+
+    #[test]
+    fn at_least_generates() {
+        let mut r = reasoner("a : hasChild min 3 and hasChild max 2");
+        assert!(!r.is_consistent().unwrap());
+        let mut r = reasoner("a : hasChild min 2 and hasChild max 2");
+        assert!(r.is_consistent().unwrap());
+    }
+
+    #[test]
+    fn nominals_merge() {
+        let mut r = reasoner(
+            "a : {b}
+             a : A",
+        );
+        assert!(r.is_consistent().unwrap());
+        assert!(r
+            .is_instance_of(&IndividualName::new("b"), &Concept::atomic("A"))
+            .unwrap());
+        // But a : {b} with a ≠ b clashes.
+        let mut r = reasoner(
+            "a : {b}
+             a != b",
+        );
+        assert!(!r.is_consistent().unwrap());
+    }
+
+    #[test]
+    fn multi_element_nominal_branches() {
+        let mut r = reasoner(
+            "x : {a, b}
+             a : A
+             b : B
+             x : not A",
+        );
+        // x must be b.
+        assert!(r.is_consistent().unwrap());
+        assert!(r
+            .entails(&Axiom::SameIndividual(
+                IndividualName::new("x"),
+                IndividualName::new("b"),
+            ))
+            .unwrap());
+    }
+
+    #[test]
+    fn same_and_different_individuals() {
+        let mut r = reasoner(
+            "a = b
+             b = c
+             a : A",
+        );
+        assert!(r
+            .is_instance_of(&IndividualName::new("c"), &Concept::atomic("A"))
+            .unwrap());
+        let mut r = reasoner(
+            "a = b
+             a != b",
+        );
+        assert!(!r.is_consistent().unwrap());
+    }
+
+    #[test]
+    fn datatype_reasoning_end_to_end() {
+        let mut r = reasoner(
+            "DataRole: hasAge
+             Minor EquivalentTo hasAge some integer[0..17]
+             hasAge(kid, 12)
+             kid : hasAge max 1",
+        );
+        assert!(r.is_consistent().unwrap());
+        assert!(r
+            .is_instance_of(&IndividualName::new("kid"), &Concept::atomic("Minor"))
+            .unwrap());
+        // Age both 12 and (via Minor-membership assertion of an adult
+        // range) impossible:
+        let mut r = reasoner(
+            "DataRole: hasAge
+             hasAge(kid, 12)
+             kid : hasAge max 1
+             kid : hasAge some integer[18..]",
+        );
+        assert!(!r.is_consistent().unwrap());
+    }
+
+    #[test]
+    fn entails_role_and_data_assertions() {
+        let mut r = reasoner("r(a, b)\nage(a, 4)");
+        assert!(r
+            .entails(&Axiom::RoleAssertion(
+                dl::RoleName::new("r"),
+                IndividualName::new("a"),
+                IndividualName::new("b"),
+            ))
+            .unwrap());
+        assert!(!r
+            .entails(&Axiom::RoleAssertion(
+                dl::RoleName::new("r"),
+                IndividualName::new("b"),
+                IndividualName::new("a"),
+            ))
+            .unwrap());
+        assert!(r
+            .entails(&Axiom::DataAssertion(
+                dl::DataRoleName::new("age"),
+                IndividualName::new("a"),
+                dl::DataValue::Integer(4),
+            ))
+            .unwrap());
+        assert!(!r
+            .entails(&Axiom::DataAssertion(
+                dl::DataRoleName::new("age"),
+                IndividualName::new("a"),
+                dl::DataValue::Integer(5),
+            ))
+            .unwrap());
+    }
+
+    #[test]
+    fn entails_transitivity_only_when_declared() {
+        let mut r = reasoner("Transitive(anc)");
+        assert!(r.entails(&Axiom::Transitive(dl::RoleName::new("anc"))).unwrap());
+        assert!(!r.entails(&Axiom::Transitive(dl::RoleName::new("other"))).unwrap());
+    }
+
+    #[test]
+    fn inconsistent_kb_entails_everything() {
+        let mut r = reasoner("a : A and not A");
+        assert!(r
+            .is_instance_of(&IndividualName::new("zzz"), &Concept::atomic("Q"))
+            .unwrap_or(true));
+        assert!(r
+            .entails(&Axiom::ConceptAssertion(
+                IndividualName::new("unrelated"),
+                Concept::atomic("Patient"),
+            ))
+            .unwrap());
+    }
+
+    #[test]
+    fn classification_orders_hierarchy() {
+        let mut r = reasoner(
+            "Surgeon SubClassOf Doctor
+             Doctor SubClassOf Person
+             Nurse SubClassOf Person",
+        );
+        let sig: BTreeSet<ConceptName> =
+            ["Surgeon", "Doctor", "Person", "Nurse"].iter().map(ConceptName::new).collect();
+        let taxonomy = r.classify(&sig).unwrap();
+        assert!(taxonomy[&ConceptName::new("Surgeon")].contains(&ConceptName::new("Person")));
+        assert!(taxonomy[&ConceptName::new("Surgeon")].contains(&ConceptName::new("Surgeon")));
+        assert!(!taxonomy[&ConceptName::new("Nurse")].contains(&ConceptName::new("Doctor")));
+    }
+
+    #[test]
+    fn concept_satisfiability_with_global_tbox() {
+        let mut r = reasoner("A SubClassOf not A");
+        // A ⊑ ¬A makes A unsatisfiable but the KB consistent.
+        assert!(r.is_consistent().unwrap());
+        assert!(!r.is_concept_satisfiable(&Concept::atomic("A")).unwrap());
+        assert!(r.is_concept_satisfiable(&Concept::atomic("B")).unwrap());
+    }
+
+    #[test]
+    fn absorption_off_gives_same_answers() {
+        let src = "Surgeon SubClassOf Doctor
+                   Doctor SubClassOf Person
+                   s : Surgeon";
+        let kb = parse_kb(src).unwrap();
+        let mut with = Reasoner::with_config(&kb, Config::default());
+        let mut without = Reasoner::with_config(
+            &kb,
+            Config {
+                absorption: false,
+                ..Config::default()
+            },
+        );
+        for (a, c) in [("s", "Person"), ("s", "Doctor"), ("s", "Nurse")] {
+            assert_eq!(
+                with.is_instance_of(&IndividualName::new(a), &Concept::atomic(c))
+                    .unwrap(),
+                without
+                    .is_instance_of(&IndividualName::new(a), &Concept::atomic(c))
+                    .unwrap(),
+                "disagreement on {a}:{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn semantic_branching_gives_same_answers() {
+        let src = "a : (A or B) and (A or not B) and (not A or B) and not B";
+        let kb = parse_kb(src).unwrap();
+        let mut plain = Reasoner::with_config(&kb, Config::default());
+        let mut semantic = Reasoner::with_config(
+            &kb,
+            Config {
+                semantic_branching: true,
+                ..Config::default()
+            },
+        );
+        assert_eq!(
+            plain.is_consistent().unwrap(),
+            semantic.is_consistent().unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_nominal_is_bottom() {
+        let kb = KnowledgeBase::from_axioms([Axiom::ConceptAssertion(
+            IndividualName::new("a"),
+            Concept::one_of([]),
+        )]);
+        let mut r = Reasoner::new(&kb);
+        assert!(!r.is_consistent().unwrap());
+    }
+
+    #[test]
+    fn negated_nominal_distinctness() {
+        // a : ¬{b} is exactly a ≠ b.
+        let mut r = reasoner("a : not {b}");
+        assert!(r.is_consistent().unwrap());
+        assert!(r
+            .entails(&Axiom::DifferentIndividuals(
+                IndividualName::new("a"),
+                IndividualName::new("b"),
+            ))
+            .unwrap());
+        let mut r = reasoner("a : not {b}\na = b");
+        assert!(!r.is_consistent().unwrap());
+    }
+
+    #[test]
+    fn find_model_none_on_inconsistent_kb() {
+        let mut r = reasoner("x : A and not A");
+        assert!(r.find_model().unwrap().is_none());
+    }
+
+    #[test]
+    fn find_model_extracts_individuals() {
+        let mut r = reasoner("r(a, b)\na : A");
+        let m = r.find_model().unwrap().expect("satisfiable");
+        assert_eq!(m.blocked_nodes, 0);
+        assert!(m.individual(&IndividualName::new("a")).is_some());
+        assert!(m.concept_nonempty(&ConceptName::new("A")));
+    }
+
+    #[test]
+    fn resource_limits_surface_as_errors() {
+        let kb = parse_kb(
+            "Person SubClassOf hasParent some Person
+             p : Person",
+        )
+        .unwrap();
+        let mut r = Reasoner::with_config(
+            &kb,
+            Config {
+                max_nodes: 2,
+                ..Config::default()
+            },
+        );
+        assert!(matches!(
+            r.is_consistent(),
+            Err(ReasonerError::NodeLimit(2))
+        ));
+    }
+}

@@ -1,0 +1,56 @@
+//! Search statistics, exposed for the benchmark harness and for debugging
+//! pathological inputs.
+
+use serde::Serialize;
+
+/// Counters accumulated over one reasoning call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct Stats {
+    /// Nodes allocated across all branches.
+    pub nodes_created: u64,
+    /// Rule applications across all branches.
+    pub rule_applications: u64,
+    /// Nondeterministic branch points explored.
+    pub branches: u64,
+    /// Branches closed by a clash.
+    pub clashes: u64,
+    /// Deepest completion graph (live nodes) seen.
+    pub peak_graph_size: u64,
+}
+
+impl Stats {
+    /// Fold another run's counters into this one.
+    pub fn absorb(&mut self, other: &Stats) {
+        self.nodes_created += other.nodes_created;
+        self.rule_applications += other.rule_applications;
+        self.branches += other.branches;
+        self.clashes += other.clashes;
+        self.peak_graph_size = self.peak_graph_size.max(other.peak_graph_size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_and_maxes() {
+        let mut a = Stats {
+            nodes_created: 1,
+            rule_applications: 2,
+            branches: 3,
+            clashes: 4,
+            peak_graph_size: 5,
+        };
+        let b = Stats {
+            nodes_created: 10,
+            rule_applications: 10,
+            branches: 10,
+            clashes: 10,
+            peak_graph_size: 2,
+        };
+        a.absorb(&b);
+        assert_eq!(a.nodes_created, 11);
+        assert_eq!(a.peak_graph_size, 5);
+    }
+}

@@ -1,0 +1,106 @@
+//! Inconsistency triage at scale: inject contradictions into a clean
+//! taxonomy and measure which approach still answers which queries —
+//! the interactive twin of benchmark X1.
+//!
+//! Run with `cargo run --example inconsistency_triage -- [n_injections]`.
+
+use baselines::classical::ClassicalBaseline;
+use baselines::mcs::RelevanceBaseline;
+use baselines::stratified::StratifiedBaseline;
+use baselines::{Answer, InconsistencyBaseline};
+use dl::{Axiom, Concept};
+use ontogen::inject::inject_contradictions;
+use ontogen::queries::instance_queries;
+use ontogen::taxonomy::{taxonomy_kb, TaxonomyParams};
+use shoin4::{InclusionKind, KnowledgeBase4, Reasoner4};
+
+fn main() {
+    let n_injections: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+
+    let params = TaxonomyParams {
+        depth: 3,
+        branching: 2,
+        sibling_disjointness: true,
+        individuals_per_leaf: 1,
+    };
+    let mut kb = taxonomy_kb(&params);
+    let clean_len = kb.len();
+    let injected = inject_contradictions(&mut kb, n_injections, 99);
+    println!(
+        "taxonomy: {clean_len} axioms; injected {} contradictions:",
+        injected.len()
+    );
+    for inj in &injected {
+        println!("  {} : {} and not {}", inj.individual, inj.concept, inj.concept);
+    }
+
+    let queries = instance_queries(&kb, 40, 7);
+
+    let mut classical = ClassicalBaseline::new(&kb);
+    let mut relevance = RelevanceBaseline::new(&kb);
+    let mut stratified = StratifiedBaseline::tbox_over_abox(&kb);
+    let kb4 = KnowledgeBase4::from_classical(&kb, InclusionKind::Internal);
+    let mut four = Reasoner4::new(&kb4);
+
+    let mut tally: Vec<(&str, usize, usize)> = Vec::new(); // (name, meaningful, yes)
+    for (name, baseline) in [
+        ("classical", &mut classical as &mut dyn InconsistencyBaseline),
+        ("syntactic-relevance", &mut relevance),
+        ("stratified", &mut stratified),
+    ] {
+        let mut meaningful = 0;
+        let mut yes = 0;
+        for q in &queries {
+            match baseline.entails(q) {
+                Ok(a) => {
+                    meaningful += usize::from(a.is_meaningful());
+                    yes += usize::from(a == Answer::Yes);
+                }
+                Err(e) => println!("  {name}: resource limit on a query: {e}"),
+            }
+        }
+        tally.push((name, meaningful, yes));
+    }
+
+    // SHOIN(D)4: every query gets a four-valued verdict; count the
+    // non-⊥ ones as informative and the positives for comparison.
+    let mut informative = 0;
+    let mut yes4 = 0;
+    for q in &queries {
+        let Axiom::ConceptAssertion(a, c) = q else { continue };
+        let v = four.query(a, c).unwrap();
+        informative += usize::from(v != fourval::TruthValue::Neither);
+        yes4 += usize::from(v.has_true_info());
+    }
+
+    println!("\n{:<22} {:>12} {:>8}", "method", "meaningful", "yes");
+    println!("{}", "-".repeat(44));
+    for (name, meaningful, yes) in &tally {
+        println!("{name:<22} {meaningful:>9}/{} {yes:>8}", queries.len());
+    }
+    println!(
+        "{:<22} {:>9}/{} {:>8}   (meaningful = every query; {} informative ≠ ⊥)",
+        "shoin4",
+        queries.len(),
+        queries.len(),
+        yes4,
+        informative
+    );
+
+    println!(
+        "\nClassical reasoning trivializes after the first contradiction; \
+         selection-based repairs answer only where their subset reaches; \
+         SHOIN(D)4 answers everything and flags the poisoned facts as ⊤."
+    );
+
+    // The poisoned facts really do come back as ⊤.
+    for inj in &injected {
+        let v = four
+            .query(&inj.individual, &Concept::atomic(inj.concept.as_str()))
+            .unwrap();
+        assert_eq!(v, fourval::TruthValue::Both);
+    }
+}

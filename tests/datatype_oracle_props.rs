@@ -1,0 +1,117 @@
+//! Property tests for the concrete-domain machinery: the candidate
+//! universe must be complete (if a conjunction of ranges is satisfiable
+//! at all, a candidate witnesses it; if it admits ≥ k values, k witnesses
+//! are found), validated against brute-force scans over a wide value
+//! window.
+
+use dl::datatype::{BuiltinDatatype, DataRange, DataValue};
+use proptest::prelude::*;
+
+fn value() -> impl Strategy<Value = DataValue> {
+    prop_oneof![
+        (-6i64..6).prop_map(DataValue::Integer),
+        any::<bool>().prop_map(DataValue::Boolean),
+        "[ab]{1,2}".prop_map(DataValue::Str),
+    ]
+}
+
+fn range() -> impl Strategy<Value = DataRange> {
+    let base = prop_oneof![
+        Just(DataRange::Datatype(BuiltinDatatype::Integer)),
+        Just(DataRange::Datatype(BuiltinDatatype::Boolean)),
+        Just(DataRange::Datatype(BuiltinDatatype::Str)),
+        proptest::collection::vec(value(), 0..4).prop_map(DataRange::one_of),
+        (-6i64..6, -6i64..6).prop_map(|(a, b)| DataRange::IntRange {
+            min: Some(a.min(b)),
+            max: Some(a.max(b)),
+        }),
+        (-6i64..6).prop_map(|a| DataRange::IntRange {
+            min: Some(a),
+            max: None,
+        }),
+        (-6i64..6).prop_map(|b| DataRange::IntRange {
+            min: None,
+            max: Some(b),
+        }),
+    ];
+    // One optional complement layer (complements collapse, so one is
+    // representative).
+    prop_oneof![base.clone(), base.prop_map(|r| r.complement())]
+}
+
+/// A wide brute-force window: all integers in [-20, 20], both booleans,
+/// the strings of length ≤ 2 over {a, b}, plus an exotic string.
+fn window() -> Vec<DataValue> {
+    let mut w: Vec<DataValue> = (-20i64..=20).map(DataValue::Integer).collect();
+    w.push(DataValue::Boolean(true));
+    w.push(DataValue::Boolean(false));
+    for s in ["a", "b", "aa", "ab", "ba", "bb", "zzz_exotic"] {
+        w.push(DataValue::Str(s.into()));
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Satisfiability of a conjunction agrees with the brute-force window
+    /// scan. (The window is finite, so it can only under-approximate
+    /// satisfiability; the oracle must find a witness whenever the window
+    /// does.)
+    #[test]
+    fn oracle_at_least_as_complete_as_window(
+        ranges in proptest::collection::vec(range(), 1..4)
+    ) {
+        let window_sat = window().iter().any(|v| ranges.iter().all(|r| r.contains(v)));
+        let oracle_sat = DataRange::conjunction_satisfiable(&ranges);
+        if window_sat {
+            prop_assert!(oracle_sat, "window found a witness, oracle did not: {ranges:?}");
+        }
+    }
+
+    /// Every witness returned actually satisfies the conjunction, and
+    /// witnesses are pairwise distinct.
+    #[test]
+    fn witnesses_are_sound_and_distinct(
+        ranges in proptest::collection::vec(range(), 1..4),
+        k in 1usize..5,
+    ) {
+        let ws = DataRange::witnesses(&ranges, k);
+        prop_assert!(ws.len() <= k);
+        for w in &ws {
+            for r in &ranges {
+                prop_assert!(r.contains(w), "witness {w} fails {r}");
+            }
+        }
+        let set: std::collections::BTreeSet<_> = ws.iter().collect();
+        prop_assert_eq!(set.len(), ws.len(), "duplicated witnesses");
+    }
+
+    /// k-witness completeness against the window: if the window contains
+    /// ≥ k admissible values, the oracle returns k witnesses.
+    #[test]
+    fn k_witness_completeness(
+        ranges in proptest::collection::vec(range(), 1..4),
+        k in 1usize..4,
+    ) {
+        let in_window = window()
+            .into_iter()
+            .filter(|v| ranges.iter().all(|r| r.contains(v)))
+            .count();
+        let ws = DataRange::witnesses(&ranges, k);
+        if in_window >= k {
+            prop_assert_eq!(
+                ws.len(), k,
+                "window admits {} values but only {} witnesses returned for {:?}",
+                in_window, ws.len(), ranges
+            );
+        }
+    }
+
+    /// Complement is an involution and flips membership pointwise.
+    #[test]
+    fn complement_involution(r in range(), v in value()) {
+        prop_assert_eq!(r.complement().complement(), r.clone());
+        prop_assert_eq!(r.complement().contains(&v), !r.contains(&v));
+    }
+}

@@ -1,0 +1,137 @@
+//! Experiments P1/P2: Propositions 1 and 2 of the paper at the
+//! propositional level, verified exhaustively and with randomized
+//! schemata.
+
+use fourval::consequence::{countermodel, entails4, tautology4};
+use fourval::prop::Formula;
+use fourval::TruthValue;
+use proptest::prelude::*;
+
+fn atom(s: &str) -> Formula {
+    Formula::atom(s)
+}
+
+/// Random formulas over three atoms with all connectives.
+fn formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(atom("p")),
+        Just(atom("q")),
+        Just(atom("r")),
+        Just(Formula::constant(TruthValue::True)),
+        Just(Formula::constant(TruthValue::Both)),
+    ];
+    leaf.prop_recursive(3, 20, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.material_imp(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.internal_imp(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.strong_imp(b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Proposition 1 (deduction theorem): Γ,ψ ⊨4 φ iff Γ ⊨4 ψ ⊃ φ, for
+    /// random Γ = {γ}, ψ, φ.
+    #[test]
+    fn proposition_1_deduction_theorem(
+        gamma in formula(),
+        psi in formula(),
+        phi in formula(),
+    ) {
+        let with_psi = vec![gamma.clone(), psi.clone()];
+        let lhs = entails4(&with_psi, &phi);
+        let rhs = entails4(
+            std::slice::from_ref(&gamma),
+            &psi.clone().internal_imp(phi.clone()),
+        );
+        prop_assert_eq!(lhs, rhs, "ψ={} φ={}", psi, phi);
+    }
+
+    /// Proposition 1 (modus ponens): {ψ, ψ⊃φ} ⊨4 φ.
+    #[test]
+    fn proposition_1_modus_ponens(psi in formula(), phi in formula()) {
+        let imp = psi.clone().internal_imp(phi.clone());
+        prop_assert!(entails4(&[psi, imp], &phi));
+    }
+
+    /// Proposition 2: ψ↔φ ⊨4 Θ(ψ)↔Θ(φ) for a random context Θ built by
+    /// substituting into a random formula.
+    #[test]
+    fn proposition_2_congruence(theta in formula(), psi in formula(), phi in formula()) {
+        let iff = psi.clone().strong_iff(phi.clone());
+        let lhs = theta.substitute("p", &psi);
+        let rhs = theta.substitute("p", &phi);
+        prop_assert!(
+            entails4(&[iff], &lhs.strong_iff(rhs)),
+            "congruence failed for Θ={} ψ={} φ={}", theta, psi, phi
+        );
+    }
+
+    /// Strong implication entails internal implication pointwise.
+    #[test]
+    fn strong_implies_internal(psi in formula(), phi in formula()) {
+        let strong = psi.clone().strong_imp(phi.clone());
+        let internal = psi.internal_imp(phi);
+        prop_assert!(entails4(&[strong], &internal));
+    }
+
+    /// The signed reduction (→ classical SAT via DPLL) agrees with
+    /// four-valued model enumeration on random consequence questions —
+    /// the propositional twin of Lemma 5 / Theorem 6.
+    #[test]
+    fn signed_reduction_matches_enumeration(
+        gamma in formula(),
+        delta in formula(),
+        phi in formula(),
+    ) {
+        let premises = vec![gamma, delta];
+        prop_assert_eq!(
+            fourval::signed::entails4_signed(&premises, &phi),
+            entails4(&premises, &phi),
+            "signed reduction disagrees on φ={}", phi
+        );
+    }
+}
+
+/// The paper's two explicit counterexamples, verbatim.
+#[test]
+fn proposition_1_counterexamples() {
+    let (psi, phi) = (atom("p"), atom("q"));
+    // {ψ, ¬ψ, ¬φ} ⊨4 ψ↦φ but ⊭4 φ.
+    let gamma = vec![psi.clone(), psi.clone().not(), phi.clone().not()];
+    assert!(entails4(&gamma, &psi.clone().material_imp(phi.clone())));
+    assert!(!entails4(&gamma, &phi));
+    let cm = countermodel(&gamma, &phi).expect("countermodel exists");
+    assert_eq!(cm.get("p"), TruthValue::Both);
+    // {ψ, φ, ¬φ} ⊨4 φ, but {φ, ¬φ} ⊭4 ψ→φ.
+    assert!(entails4(
+        &[psi.clone(), phi.clone(), phi.clone().not()],
+        &phi
+    ));
+    assert!(!entails4(
+        &[phi.clone(), phi.clone().not()],
+        &psi.strong_imp(phi)
+    ));
+}
+
+/// The designated-set discipline: no four-valued explosion, and the
+/// classical tautology landscape shifts exactly as Belnap predicts.
+#[test]
+fn designated_set_landscape() {
+    let p = atom("p");
+    let q = atom("q");
+    // Ex falso fails.
+    assert!(!entails4(&[p.clone(), p.clone().not()], &q));
+    // Excluded middle is not a tautology; ⊃-reflexivity is.
+    assert!(!tautology4(&p.clone().or(p.clone().not())));
+    assert!(tautology4(&p.clone().internal_imp(p.clone())));
+    // Weakening holds.
+    assert!(entails4(std::slice::from_ref(&p), &p.clone().or(q.clone())));
+    // Conjunction behaves classically on the designated set.
+    assert!(entails4(&[p.clone(), q.clone()], &p.and(q)));
+}

@@ -1,0 +1,115 @@
+//! Parser/printer round-trip properties: `parse(print(kb)) == kb` for
+//! generated knowledge bases, and `parse(print(c)) == c` for random
+//! concepts — the guarantee that the concrete syntax is a faithful
+//! serialization of the abstract syntax.
+
+use dl::parser::{parse_concept, parse_kb};
+use dl::printer::print_kb;
+use dl::{Concept, IndividualName, RoleExpr};
+use ontogen::random::{random_kb, RandomParams};
+use ontogen::taxonomy::{taxonomy_kb, TaxonomyParams};
+use proptest::prelude::*;
+
+#[test]
+fn random_kbs_round_trip() {
+    for seed in 0..25u64 {
+        let kb = random_kb(&RandomParams {
+            seed,
+            n_tbox: 15,
+            n_abox: 15,
+            max_depth: 3,
+            ..RandomParams::default()
+        });
+        let printed = print_kb(&kb);
+        let reparsed = parse_kb(&printed)
+            .unwrap_or_else(|e| panic!("seed {seed}: reparse failed: {e}\n{printed}"));
+        assert_eq!(reparsed, kb, "seed {seed} round trip failed:\n{printed}");
+    }
+}
+
+#[test]
+fn taxonomies_round_trip() {
+    let kb = taxonomy_kb(&TaxonomyParams::default());
+    let printed = print_kb(&kb);
+    assert_eq!(parse_kb(&printed).unwrap(), kb);
+}
+
+#[test]
+fn transformed_kbs_round_trip() {
+    // The induced KB mints `A+`/`A-`/`r=`-style names; those must stay
+    // parseable so K̄ can be exported to other tools.
+    let kb4 = shoin4::parse_kb4(
+        "Bird and (hasWing some Wing) MaterialSubClassOf Fly
+         Penguin StrongSubClassOf Bird
+         r SubRoleOf s
+         tweety : Penguin
+         hasWing(tweety, w)
+         not r(tweety, w)",
+    )
+    .unwrap();
+    let induced = shoin4::transform_kb(&kb4);
+    let printed = print_kb(&induced);
+    let reparsed = parse_kb(&printed)
+        .unwrap_or_else(|e| panic!("induced KB reparse failed: {e}\n{printed}"));
+    assert_eq!(reparsed, induced, "induced KB round trip:\n{printed}");
+}
+
+fn concept_strategy() -> impl Strategy<Value = Concept> {
+    let leaf = prop_oneof![
+        Just(Concept::atomic("Alpha")),
+        Just(Concept::atomic("Beta")),
+        Just(Concept::Top),
+        Just(Concept::Bottom),
+        Just(Concept::one_of([
+            IndividualName::new("a"),
+            IndividualName::new("b")
+        ])),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.and(r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.or(r)),
+            inner.clone().prop_map(|c| c.not()),
+            inner.clone().prop_map(|c| Concept::some(RoleExpr::named("rel"), c)),
+            inner
+                .clone()
+                .prop_map(|c| Concept::all(RoleExpr::named("rel").inverse(), c)),
+            (0u32..5).prop_map(|n| Concept::at_least(n, RoleExpr::named("rel"))),
+            (0u32..5).prop_map(|n| Concept::at_most(n, RoleExpr::named("rel"))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn concepts_round_trip(c in concept_strategy()) {
+        let printed = c.to_string();
+        let reparsed = parse_concept(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e} in `{printed}`")))?;
+        prop_assert_eq!(reparsed, c, "printed: {}", printed);
+    }
+
+    /// NNF also round-trips (it introduces negated nominals, number
+    /// duals, etc.).
+    #[test]
+    fn nnf_round_trips(c in concept_strategy()) {
+        let n = dl::nnf::nnf(&c);
+        let printed = n.to_string();
+        let reparsed = parse_concept(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e} in `{printed}`")))?;
+        prop_assert_eq!(reparsed, n);
+    }
+
+    /// The SHOIN(D)4 transformation's output round-trips too.
+    #[test]
+    fn transformed_concepts_round_trip(c in concept_strategy()) {
+        for t in [shoin4::transform_concept(&c), shoin4::transform_neg_concept(&c)] {
+            let printed = t.to_string();
+            let reparsed = parse_concept(&printed)
+                .map_err(|e| TestCaseError::fail(format!("{e} in `{printed}`")))?;
+            prop_assert_eq!(reparsed, t);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Experiment L5/T6/C7: mechanical verification of the paper's central
+//! theorems on randomly generated inputs.
+//!
+//! * **Lemma 5** (decomposability): for every four-valued interpretation
+//!   `I` and concept `C`, `eval_Ī(C̄) = proj⁺(C^I)` and
+//!   `eval_Ī(¬C̄) = proj⁻(C^I)` where `Ī` is the classical induced
+//!   interpretation of Definition 8.
+//! * **Theorem 6**: `I ⊨ K` iff `Ī ⊨ K̄` — and the reverse direction via
+//!   Definition 9.
+//! * **Corollary 7 / the reasoner**: `Reasoner4`'s answers agree with the
+//!   brute-force four-valued entailment oracle on random small KBs.
+
+use dl::{Concept, IndividualName, RoleExpr};
+use fourmodels::enumerate::{EnumConfig, ModelIter};
+use proptest::prelude::*;
+use shoin4::induced::{classical_induced, four_valued_induced};
+use shoin4::interp4::{Elem, Interp4, RolePair};
+use shoin4::{
+    parse_kb4, transform_concept, transform_kb, transform_neg_concept, Axiom4,
+    InclusionKind, KnowledgeBase4, Reasoner4,
+};
+use std::collections::BTreeSet;
+
+const N: u32 = 4;
+
+fn subset() -> impl Strategy<Value = BTreeSet<Elem>> {
+    proptest::collection::btree_set(0..N, 0..=N as usize)
+}
+
+fn interp() -> impl Strategy<Value = Interp4> {
+    let role_pairs = proptest::collection::btree_set((0..N, 0..N), 0..=10);
+    (subset(), subset(), subset(), subset(), role_pairs.clone(), role_pairs).prop_map(
+        |(ap, an, bp, bn, rp, rn)| {
+            let mut i = Interp4::with_domain_size(N);
+            i.set_individual("x", 0);
+            i.set_individual("y", 1);
+            i.set_concept("A", fourval::SetPair { pos: ap, neg: an });
+            i.set_concept("B", fourval::SetPair { pos: bp, neg: bn });
+            i.set_role("r", RolePair { pos: rp, neg: rn });
+            i
+        },
+    )
+}
+
+fn concept() -> impl Strategy<Value = Concept> {
+    let leaf = prop_oneof![
+        Just(Concept::atomic("A")),
+        Just(Concept::atomic("B")),
+        Just(Concept::Top),
+        Just(Concept::Bottom),
+        Just(Concept::one_of([IndividualName::new("x")])),
+    ];
+    leaf.prop_recursive(3, 20, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.and(r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.or(r)),
+            inner.clone().prop_map(|c| c.not()),
+            inner.clone().prop_map(|c| Concept::some(RoleExpr::named("r"), c)),
+            inner
+                .clone()
+                .prop_map(|c| Concept::all(RoleExpr::named("r").inverse(), c)),
+            (1u32..3).prop_map(|n| Concept::at_least(n, RoleExpr::named("r"))),
+            (0u32..3).prop_map(|n| Concept::at_most(n, RoleExpr::named("r"))),
+        ]
+    })
+}
+
+/// A KB mentioning the fixture signature (so Definition 8 knows which
+/// names to translate).
+fn fixture_kb() -> KnowledgeBase4 {
+    parse_kb4(
+        "A SubClassOf B
+         r(x, y)
+         x : A",
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Lemma 5, positive and negative projections, for arbitrary
+    /// concepts over arbitrary four-valued interpretations.
+    #[test]
+    fn lemma_5_decomposition(i in interp(), c in concept()) {
+        let ci = classical_induced(&i, &fixture_kb());
+        let four = i.eval(&c);
+        prop_assert_eq!(
+            ci.eval(&transform_concept(&c)).pos,
+            four.pos,
+            "positive projection mismatch for {}", c
+        );
+        prop_assert_eq!(
+            ci.eval(&transform_neg_concept(&c)).pos,
+            four.neg,
+            "negative projection mismatch for {}", c
+        );
+    }
+
+    /// Theorem 6 (necessity): I ⊨ K ⟹ Ī ⊨ K̄, and conversely on the
+    /// same interpretation pair (satisfaction is preserved in both
+    /// truth values, not just implication).
+    #[test]
+    fn theorem_6_transfer(i in interp(), kind_idx in 0usize..3, c in concept(), d in concept()) {
+        let kind = InclusionKind::ALL[kind_idx];
+        let kb = KnowledgeBase4::from_axioms([
+            Axiom4::ConceptInclusion(kind, c, d),
+            Axiom4::RoleAssertion(
+                dl::RoleName::new("r"),
+                IndividualName::new("x"),
+                IndividualName::new("y"),
+            ),
+            Axiom4::ConceptAssertion(IndividualName::new("x"), Concept::atomic("A")),
+        ]);
+        let induced = transform_kb(&kb);
+        let ci = classical_induced(&i, &kb);
+        let classical_view =
+            KnowledgeBase4::from_classical(&induced, InclusionKind::Internal);
+        prop_assert_eq!(i.satisfies(&kb), ci.satisfies(&classical_view));
+    }
+
+    /// Definition 8 → Definition 9 round trip is the identity on the
+    /// KB's signature.
+    #[test]
+    fn induced_round_trip(i in interp()) {
+        let kb = fixture_kb();
+        let back = four_valued_induced(&classical_induced(&i, &kb), &kb);
+        for a in kb.signature().concepts {
+            prop_assert_eq!(back.concept(&a), i.concept(&a));
+        }
+        for r in kb.signature().roles {
+            prop_assert_eq!(back.role(&r), i.role(&r));
+        }
+    }
+}
+
+/// Reasoner4 (through the transformation + tableau) agrees with the
+/// brute-force enumeration oracle on a battery of small KBs covering the
+/// axiom kinds. This is the end-to-end soundness & completeness check of
+/// the whole pipeline.
+#[test]
+fn reasoner_agrees_with_enumeration_oracle() {
+    let kbs = [
+        "A SubClassOf B\nx : A",
+        "A SubClassOf B\nx : A\nx : not A",
+        "A MaterialSubClassOf B\nx : A",
+        "A MaterialSubClassOf B\nx : A\nx : not A",
+        "A StrongSubClassOf B\nx : not B",
+        "x : A or B\nx : not A",
+        "x : A and not A\nA SubClassOf B",
+        "r(x, y)\ny : A\nx : r only B",
+        "not r(x, y)\nx : A",
+        "A SubClassOf not B\nx : A\nx : B",
+    ];
+    for src in kbs {
+        let kb = parse_kb4(src).unwrap();
+        let cfg = EnumConfig::for_kb(&kb);
+        let mut r = Reasoner4::new(&kb);
+        // Satisfiability must agree (over the small-domain oracle these
+        // KBs are domain-size-insensitive).
+        let brute_sat = ModelIter::new(&kb, &cfg).any(|m| m.satisfies(&kb));
+        assert_eq!(
+            brute_sat,
+            r.is_satisfiable().unwrap(),
+            "satisfiability mismatch on {src:?}"
+        );
+        if !brute_sat {
+            continue;
+        }
+        for who in ["x", "y"] {
+            if !kb.signature().individuals.contains(&IndividualName::new(who)) {
+                continue;
+            }
+            for concept in ["A", "B"] {
+                if !kb.signature().concepts.contains(&dl::ConceptName::new(concept)) {
+                    continue;
+                }
+                let c = Concept::atomic(concept);
+                let a = IndividualName::new(who);
+                let brute_pos = fourmodels::check::entailed_positive_info(&kb, &cfg, &a, &c);
+                let brute_neg = fourmodels::check::entailed_negative_info(&kb, &cfg, &a, &c);
+                assert_eq!(
+                    brute_pos,
+                    r.has_positive_info(&a, &c).unwrap(),
+                    "positive info mismatch on {src:?}, {who}:{concept}"
+                );
+                assert_eq!(
+                    brute_neg,
+                    r.has_negative_info(&a, &c).unwrap(),
+                    "negative info mismatch on {src:?}, {who}:{concept}"
+                );
+            }
+        }
+    }
+}
+
+/// The fundamental paraconsistency contract, randomized: injecting a
+/// contradiction about (x, A) never flips answers about an unrelated
+/// individual/concept pair.
+#[test]
+fn contradictions_stay_local() {
+    let clean = parse_kb4("C SubClassOf D\ny : C").unwrap();
+    let poisoned = parse_kb4(
+        "C SubClassOf D
+         y : C
+         x : A
+         x : not A",
+    )
+    .unwrap();
+    let mut r_clean = Reasoner4::new(&clean);
+    let mut r_poisoned = Reasoner4::new(&poisoned);
+    let y = IndividualName::new("y");
+    for concept in ["C", "D"] {
+        let c = Concept::atomic(concept);
+        assert_eq!(
+            r_clean.has_positive_info(&y, &c).unwrap(),
+            r_poisoned.has_positive_info(&y, &c).unwrap(),
+            "poisoning changed positive answer for y:{concept}"
+        );
+        assert_eq!(
+            r_clean.has_negative_info(&y, &c).unwrap(),
+            r_poisoned.has_negative_info(&y, &c).unwrap(),
+            "poisoning changed negative answer for y:{concept}"
+        );
+    }
+}

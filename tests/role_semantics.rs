@@ -1,0 +1,209 @@
+//! Role-level four-valued semantics, end to end: the three role-inclusion
+//! kinds (Table 3, middle block), negative role assertions, and inverse
+//! roles — validated both through the reasoner (transformation + tableau)
+//! and against the brute-force enumeration oracle.
+
+use dl::RoleExpr;
+use fourmodels::enumerate::{EnumConfig, ModelIter};
+use fourval::TruthValue;
+use shoin4::{parse_kb4, Axiom4, InclusionKind, KnowledgeBase4, Reasoner4};
+
+fn role(s: &str) -> RoleExpr {
+    RoleExpr::named(s)
+}
+
+/// Brute-force: does every model over the configured domain satisfy the
+/// axiom?
+fn oracle_entails(kb: &KnowledgeBase4, ax: &Axiom4) -> bool {
+    let mut cfg = EnumConfig::for_kb(kb);
+    cfg.max_interpretations = 40_000_000;
+    ModelIter::new(kb, &cfg)
+        .filter(|m| m.satisfies(kb))
+        .all(|m| m.satisfies_axiom(ax))
+}
+
+#[test]
+fn internal_role_inclusion_moves_positive_info_only() {
+    let kb = parse_kb4(
+        "r SubRoleOf s
+         r(a, b)
+         not r(a, c)",
+    )
+    .unwrap();
+    let mut reasoner = Reasoner4::new(&kb);
+    // Positive info flows r → s.
+    assert_eq!(
+        reasoner
+            .query_role(&dl::RoleName::new("s"), &"a".into(), &"b".into())
+            .unwrap(),
+        TruthValue::True
+    );
+    // Negative info about r does NOT flow to s under internal inclusion.
+    assert!(!reasoner
+        .has_negative_role_info(&dl::RoleName::new("s"), &"a".into(), &"c".into())
+        .unwrap());
+}
+
+#[test]
+fn strong_role_inclusion_contraposes_negative_info() {
+    let kb = parse_kb4(
+        "r StrongSubRoleOf s
+         not s(a, b)",
+    )
+    .unwrap();
+    let mut reasoner = Reasoner4::new(&kb);
+    // proj⁻(s) ⊆ proj⁻(r): negative info flows backwards.
+    assert!(reasoner
+        .has_negative_role_info(&dl::RoleName::new("r"), &"a".into(), &"b".into())
+        .unwrap());
+    // And not under mere internal inclusion.
+    let kb = parse_kb4(
+        "r SubRoleOf s
+         not s(a, b)",
+    )
+    .unwrap();
+    let mut reasoner = Reasoner4::new(&kb);
+    assert!(!reasoner
+        .has_negative_role_info(&dl::RoleName::new("r"), &"a".into(), &"b".into())
+        .unwrap());
+}
+
+#[test]
+fn role_inclusion_kind_entailments_match_oracle() {
+    // Premise: r ⊏ s (internal). Which inclusion kinds over (r, s) are
+    // then four-valued entailed? Check reasoner vs oracle for all kinds
+    // and both directions.
+    let kb = parse_kb4(
+        "r SubRoleOf s
+         r(a, b)",
+    )
+    .unwrap();
+    let mut reasoner = Reasoner4::new(&kb);
+    for kind in InclusionKind::ALL {
+        for (sub, sup) in [("r", "s"), ("s", "r")] {
+            let ax = Axiom4::RoleInclusion(kind, role(sub), role(sup));
+            let fast = reasoner.entails(&ax).unwrap();
+            let brute = oracle_entails(&kb, &ax);
+            assert_eq!(
+                fast, brute,
+                "mismatch for {sub} {kind} {sup} (reasoner={fast}, oracle={brute})"
+            );
+        }
+    }
+}
+
+#[test]
+fn strong_role_premises_entail_internal_conclusions() {
+    let kb = parse_kb4("r StrongSubRoleOf s").unwrap();
+    let mut reasoner = Reasoner4::new(&kb);
+    assert!(reasoner
+        .entails(&Axiom4::RoleInclusion(
+            InclusionKind::Internal,
+            role("r"),
+            role("s"),
+        ))
+        .unwrap());
+    assert!(reasoner
+        .entails(&Axiom4::RoleInclusion(
+            InclusionKind::Strong,
+            role("r"),
+            role("s"),
+        ))
+        .unwrap());
+    // Internal premises do not entail strong conclusions.
+    let kb = parse_kb4("r SubRoleOf s").unwrap();
+    let mut reasoner = Reasoner4::new(&kb);
+    assert!(!reasoner
+        .entails(&Axiom4::RoleInclusion(
+            InclusionKind::Strong,
+            role("r"),
+            role("s"),
+        ))
+        .unwrap());
+}
+
+#[test]
+fn negative_role_assertions_are_localized() {
+    // ¬r(a,b) coexists with r(a,b): role-level ⊤, nothing explodes.
+    let kb = parse_kb4(
+        "r(a, b)
+         not r(a, b)
+         r(c, d)",
+    )
+    .unwrap();
+    let mut reasoner = Reasoner4::new(&kb);
+    assert!(reasoner.is_satisfiable().unwrap());
+    assert_eq!(
+        reasoner
+            .query_role(&dl::RoleName::new("r"), &"a".into(), &"b".into())
+            .unwrap(),
+        TruthValue::Both
+    );
+    // The clean pair keeps its clean answer.
+    assert_eq!(
+        reasoner
+            .query_role(&dl::RoleName::new("r"), &"c".into(), &"d".into())
+            .unwrap(),
+        TruthValue::True
+    );
+}
+
+#[test]
+fn negative_role_info_blocks_exists_inference_only_partially() {
+    // ∃r.⊤ ⊏ HasSucc with both r(a,b) and ¬r(a,b): the positive half
+    // still drives the inclusion (a ∈ proj⁺(∃r.⊤)).
+    let kb = parse_kb4(
+        "r some Thing SubClassOf HasSucc
+         r(a, b)
+         not r(a, b)",
+    )
+    .unwrap();
+    let mut reasoner = Reasoner4::new(&kb);
+    assert!(reasoner
+        .has_positive_info(&"a".into(), &dl::Concept::atomic("HasSucc"))
+        .unwrap());
+}
+
+#[test]
+fn inverse_roles_in_negative_assertions() {
+    // ¬r(a,b) gives negative info for r⁻(b,a) semantically: check via
+    // the enumeration oracle on the satisfaction level.
+    let kb = parse_kb4("not r(a, b)").unwrap();
+    let cfg = EnumConfig::for_kb(&kb);
+    for m in ModelIter::new(&kb, &cfg).filter(|m| m.satisfies(&kb)) {
+        let a = m.individual(&dl::IndividualName::new("a")).unwrap();
+        let b = m.individual(&dl::IndividualName::new("b")).unwrap();
+        assert!(m.role_neg(&role("r")).contains(&(a, b)));
+        assert!(m.role_neg(&role("r").inverse()).contains(&(b, a)));
+    }
+}
+
+#[test]
+fn material_role_inclusion_semantics_on_models() {
+    // Material role inclusion r ↦ s: Δ×Δ ∖ proj⁻(r) ⊆ proj⁺(s). Verify
+    // the enumerator honours it: in every model, any pair without
+    // negative r-info has positive s-info.
+    let kb4 = KnowledgeBase4::from_axioms([
+        Axiom4::RoleInclusion(InclusionKind::Material, role("r"), role("s")),
+        Axiom4::RoleAssertion(
+            dl::RoleName::new("r"),
+            dl::IndividualName::new("a"),
+            dl::IndividualName::new("b"),
+        ),
+    ]);
+    let cfg = EnumConfig::for_kb(&kb4);
+    let mut count = 0;
+    for m in ModelIter::new(&kb4, &cfg).filter(|m| m.satisfies(&kb4)) {
+        count += 1;
+        let rn = m.role_neg(&role("r"));
+        let sp = m.role_pos(&role("s"));
+        for x in m.domain().iter().copied() {
+            for y in m.domain().iter().copied() {
+                if !rn.contains(&(x, y)) {
+                    assert!(sp.contains(&(x, y)));
+                }
+            }
+        }
+    }
+    assert!(count > 0, "material role inclusion must be satisfiable");
+}

@@ -1,0 +1,102 @@
+//! Serialization round-trips: binary snapshots (`dl::snapshot`) and
+//! serde/JSON for both classical and four-valued KBs, over generated
+//! inputs — a KB must survive every persistence path unchanged.
+
+use dl::snapshot::{decode, encode};
+use ontogen::random::{random_kb, random_kb4, RandomParams};
+use ontogen::taxonomy::{taxonomy_kb, TaxonomyParams};
+use ontogen::university::{university_kb, UniversityParams};
+use shoin4::KnowledgeBase4;
+
+#[test]
+fn snapshot_round_trips_random_kbs() {
+    for seed in 0..30u64 {
+        let kb = random_kb(&RandomParams {
+            seed,
+            n_tbox: 12,
+            n_abox: 12,
+            max_depth: 3,
+            ..RandomParams::default()
+        });
+        let bytes = encode(&kb);
+        let back = decode(&bytes).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(back, kb, "seed {seed}");
+    }
+}
+
+#[test]
+fn snapshot_round_trips_structured_workloads() {
+    let taxonomy = taxonomy_kb(&TaxonomyParams::default());
+    assert_eq!(decode(&encode(&taxonomy)).unwrap(), taxonomy);
+    let (university, _) = university_kb(&UniversityParams::default());
+    assert_eq!(decode(&encode(&university)).unwrap(), university);
+}
+
+#[test]
+fn snapshot_is_deterministic() {
+    let kb = taxonomy_kb(&TaxonomyParams::default());
+    assert_eq!(encode(&kb), encode(&kb));
+}
+
+#[test]
+fn json_round_trips_classical_kb() {
+    let kb = random_kb(&RandomParams {
+        seed: 9,
+        ..RandomParams::default()
+    });
+    let json = serde_json::to_string(&kb).expect("serializes");
+    let back: dl::kb::KnowledgeBase = serde_json::from_str(&json).expect("parses");
+    assert_eq!(back, kb);
+}
+
+#[test]
+fn json_round_trips_four_valued_kb() {
+    let kb4 = random_kb4(
+        &RandomParams {
+            seed: 11,
+            ..RandomParams::default()
+        },
+        (0.3, 0.4, 0.3),
+    );
+    let json = serde_json::to_string(&kb4).expect("serializes");
+    let back: KnowledgeBase4 = serde_json::from_str(&json).expect("parses");
+    assert_eq!(back, kb4);
+}
+
+#[test]
+fn json_round_trips_interpretations() {
+    use fourval::SetPair;
+    use shoin4::interp4::{Interp4, RolePair};
+    use std::collections::BTreeSet;
+    let mut i = Interp4::with_domain_size(3);
+    i.set_individual("a", 0);
+    i.set_concept("A", SetPair::new([0, 1], [2]));
+    i.set_role(
+        "r",
+        RolePair {
+            pos: BTreeSet::from([(0, 1)]),
+            neg: BTreeSet::from([(2, 2)]),
+        },
+    );
+    let json = serde_json::to_string(&i).expect("serializes");
+    let back: Interp4 = serde_json::from_str(&json).expect("parses");
+    assert_eq!(back, i);
+}
+
+#[test]
+fn all_persistence_paths_agree() {
+    // text → KB → snapshot → KB → text: both texts parse to the same KB.
+    let kb = taxonomy_kb(&TaxonomyParams {
+        depth: 2,
+        branching: 3,
+        sibling_disjointness: true,
+        individuals_per_leaf: 2,
+    });
+    let via_snapshot = decode(&encode(&kb)).unwrap();
+    let via_text = dl::parser::parse_kb(&dl::printer::print_kb(&kb)).unwrap();
+    let via_json: dl::kb::KnowledgeBase =
+        serde_json::from_str(&serde_json::to_string(&kb).unwrap()).unwrap();
+    assert_eq!(via_snapshot, kb);
+    assert_eq!(via_text, kb);
+    assert_eq!(via_json, kb);
+}

@@ -1,0 +1,95 @@
+//! Experiment T4: the Table 4 reproduction as an integration test — the
+//! enumerated models of Example 4 must match the paper's nine models
+//! M1–M9 row for row, and the reasoner's answers must be consistent with
+//! the model table.
+
+use dl::{Concept, IndividualName};
+use fourmodels::table4::{
+    example4_config, example4_kb, table4_grouped, table4_rows,
+};
+use fourval::TruthValue::{Both, False, Neither, True};
+use shoin4::Reasoner4;
+
+#[test]
+fn nine_models_exactly() {
+    assert_eq!(table4_rows().len(), 9);
+}
+
+#[test]
+fn paper_grouping_reproduced() {
+    let groups = table4_grouped();
+    let labels: Vec<&str> = groups.iter().map(|g| g.label).collect();
+    assert_eq!(labels, ["M1-M4", "M5-M6", "M7-M8", "M9"]);
+    let counts: Vec<usize> = groups.iter().map(|g| g.row_count).collect();
+    assert_eq!(counts, [4, 2, 2, 1]);
+}
+
+#[test]
+fn entailment_is_the_intersection_of_the_model_rows() {
+    // What all nine rows agree on is exactly what the reasoner entails.
+    let rows = table4_rows();
+    let mut r = Reasoner4::new(&example4_kb());
+    let smith = IndividualName::new("smith");
+
+    // Parent(smith): positive info in every row (values t or ⊤) but
+    // negative info NOT in every row.
+    assert!(rows.iter().all(|row| row.parent.has_true_info()));
+    assert!(!rows.iter().all(|row| row.parent.has_false_info()));
+    let parent = r.query(&smith, &Concept::atomic("Parent")).unwrap();
+    assert_eq!(parent, True);
+
+    // Married(smith): negative info in every row; positive only in some.
+    assert!(rows.iter().all(|row| row.married.has_false_info()));
+    assert!(!rows.iter().all(|row| row.married.has_true_info()));
+    let married = r.query(&smith, &Concept::atomic("Married")).unwrap();
+    assert_eq!(married, False);
+}
+
+#[test]
+fn kate_remains_unknown() {
+    // The table is about smith; kate carries no concept information.
+    let mut r = Reasoner4::new(&example4_kb());
+    let kate = IndividualName::new("kate");
+    for concept in ["Parent", "Married"] {
+        assert_eq!(
+            r.query(&kate, &Concept::atomic(concept)).unwrap(),
+            Neither,
+            "kate should be ⊥ on {concept}"
+        );
+    }
+}
+
+#[test]
+fn truth_value_inventory_matches_paper() {
+    // Across all nine rows, hasChild(s,k) takes only {t, ⊤}; Married(s)
+    // only {⊤, f}; ≥1.hasChild(s) only {t, ⊤}.
+    let rows = table4_rows();
+    for row in &rows {
+        assert!(matches!(row.has_child, True | Both), "{row:?}");
+        assert!(matches!(row.married, Both | False), "{row:?}");
+        assert!(matches!(row.at_least_one_child, True | Both), "{row:?}");
+        assert!(matches!(row.parent, True | Both), "{row:?}");
+    }
+    // The ⊤-heavy rows exist (M7–M9) and the clean rows exist (M1).
+    assert!(rows.iter().any(|r| r.at_least_one_child == Both));
+    assert!(rows
+        .iter()
+        .any(|r| r.has_child == True && r.parent == True));
+}
+
+#[test]
+fn nonreflexivity_note_is_honoured() {
+    // The enumeration bars hasChild(smith, smith) from proj⁺ — verify by
+    // checking every model.
+    use fourmodels::ModelIter;
+    let kb = example4_kb();
+    let cfg = example4_config();
+    let smith_elem = 1u32; // individuals pinned in sorted order: kate=0, smith=1
+    for m in ModelIter::new(&kb, &cfg).filter(|m| m.satisfies(&kb)) {
+        let r = m.role(&dl::RoleName::new("hasChild"));
+        assert!(
+            !r.pos.contains(&(smith_elem, smith_elem)),
+            "reflexive positive hasChild pair must be barred"
+        );
+    }
+}

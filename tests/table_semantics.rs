@@ -1,0 +1,224 @@
+//! Experiments T1–T3: the constructor and axiom semantics of Tables 1–3,
+//! validated constructor by constructor and property-tested (Propositions
+//! 3 and 4) over random four-valued interpretations.
+
+use dl::{Concept, IndividualName, RoleExpr};
+use fourval::SetPair;
+use proptest::prelude::*;
+use shoin4::interp4::{Elem, Interp4, RolePair};
+use shoin4::{Axiom4, InclusionKind};
+use std::collections::BTreeSet;
+
+const N: u32 = 5;
+
+fn subset_strategy() -> impl Strategy<Value = BTreeSet<Elem>> {
+    proptest::collection::btree_set(0..N, 0..=N as usize)
+}
+
+fn pair_strategy() -> impl Strategy<Value = SetPair<Elem>> {
+    (subset_strategy(), subset_strategy())
+        .prop_map(|(pos, neg)| SetPair { pos, neg })
+}
+
+fn role_strategy() -> impl Strategy<Value = RolePair> {
+    let pairs = proptest::collection::btree_set((0..N, 0..N), 0..=12);
+    (pairs.clone(), pairs).prop_map(|(pos, neg)| RolePair { pos, neg })
+}
+
+fn interp_strategy() -> impl Strategy<Value = Interp4> {
+    (
+        pair_strategy(),
+        pair_strategy(),
+        pair_strategy(),
+        role_strategy(),
+        role_strategy(),
+    )
+        .prop_map(|(a, b, c, r, s)| {
+            let mut i = Interp4::with_domain_size(N);
+            i.set_individual("o0", 0);
+            i.set_individual("o1", 1);
+            i.set_concept("A", a);
+            i.set_concept("B", b);
+            i.set_concept("C", c);
+            i.set_role("r", r);
+            i.set_role("s", s);
+            i
+        })
+}
+
+/// Random concepts over the fixture signature (depth-bounded).
+fn concept_strategy() -> impl Strategy<Value = Concept> {
+    let leaf = prop_oneof![
+        Just(Concept::atomic("A")),
+        Just(Concept::atomic("B")),
+        Just(Concept::atomic("C")),
+        Just(Concept::Top),
+        Just(Concept::Bottom),
+        Just(Concept::one_of([IndividualName::new("o0")])),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.and(r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.or(r)),
+            inner.clone().prop_map(|c| c.not()),
+            inner.clone().prop_map(|c| Concept::some(RoleExpr::named("r"), c)),
+            inner.clone().prop_map(|c| Concept::all(RoleExpr::named("s"), c)),
+            (0u32..3).prop_map(|n| Concept::at_least(n, RoleExpr::named("r"))),
+            (0u32..3).prop_map(|n| Concept::at_most(n, RoleExpr::named("r").inverse())),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Proposition 3: ⊤/⊥ are unit/absorbing for ⊓/⊔ under every
+    /// interpretation and every concept.
+    #[test]
+    fn proposition_3_units(i in interp_strategy(), c in concept_strategy()) {
+        prop_assert_eq!(i.eval(&c.clone().and(Concept::Top)), i.eval(&c));
+        prop_assert_eq!(i.eval(&c.clone().or(Concept::Top)), i.eval(&Concept::Top));
+        prop_assert_eq!(i.eval(&c.clone().and(Concept::Bottom)), i.eval(&Concept::Bottom));
+        prop_assert_eq!(i.eval(&c.clone().or(Concept::Bottom)), i.eval(&c));
+    }
+
+    /// Proposition 4: double negation, De Morgan, quantifier and
+    /// number-restriction dualities hold semantically.
+    #[test]
+    fn proposition_4_dualities(
+        i in interp_strategy(),
+        c in concept_strategy(),
+        d in concept_strategy(),
+        n in 0u32..3,
+    ) {
+        prop_assert_eq!(i.eval(&c.clone().not().not()), i.eval(&c));
+        prop_assert_eq!(
+            i.eval(&c.clone().or(d.clone()).not()),
+            i.eval(&c.clone().not().and(d.clone().not()))
+        );
+        prop_assert_eq!(
+            i.eval(&c.clone().and(d.clone()).not()),
+            i.eval(&c.clone().not().or(d.clone().not()))
+        );
+        let r = RoleExpr::named("r");
+        prop_assert_eq!(
+            i.eval(&Concept::all(r.clone(), c.clone()).not()),
+            i.eval(&Concept::some(r.clone(), c.clone().not()))
+        );
+        prop_assert_eq!(
+            i.eval(&Concept::some(r.clone(), c.clone()).not()),
+            i.eval(&Concept::all(r.clone(), c.clone().not()))
+        );
+        prop_assert_eq!(
+            i.eval(&Concept::at_least(n + 1, r.clone()).not()),
+            i.eval(&Concept::at_most(n, r.clone()))
+        );
+        prop_assert_eq!(
+            i.eval(&Concept::at_most(n, r.clone()).not()),
+            i.eval(&Concept::at_least(n + 1, r))
+        );
+    }
+
+    /// NNF is semantics-preserving under the FOUR-valued semantics
+    /// (the fact Proposition 4 exists to establish).
+    #[test]
+    fn nnf_preserves_four_valued_semantics(
+        i in interp_strategy(),
+        c in concept_strategy(),
+    ) {
+        prop_assert_eq!(i.eval(&dl::nnf::nnf(&c)), i.eval(&c));
+    }
+
+    /// Table 3 kind relationships: strong ⟹ internal on every
+    /// interpretation; and when the interpretation is classical on the
+    /// relevant names, all three coincide with classical ⊑.
+    #[test]
+    fn inclusion_kind_lattice(
+        i in interp_strategy(),
+        c in concept_strategy(),
+        d in concept_strategy(),
+    ) {
+        let strong = i.satisfies_axiom(&Axiom4::ConceptInclusion(
+            InclusionKind::Strong, c.clone(), d.clone()));
+        let internal = i.satisfies_axiom(&Axiom4::ConceptInclusion(
+            InclusionKind::Internal, c.clone(), d.clone()));
+        if strong {
+            prop_assert!(internal, "strong must imply internal for {c} vs {d}");
+        }
+    }
+
+    /// Definition 3: the status function tracks the projections.
+    #[test]
+    fn definition_3_status(i in interp_strategy(), c in concept_strategy()) {
+        let p = i.eval(&c);
+        for x in 0..N {
+            let tv = p.status(&x);
+            prop_assert_eq!(tv.has_true_info(), p.pos.contains(&x));
+            prop_assert_eq!(tv.has_false_info(), p.neg.contains(&x));
+        }
+    }
+}
+
+/// On classical interpretations the three inclusion kinds coincide
+/// (deterministic check on a classical fixture).
+#[test]
+fn kinds_coincide_on_classical_interpretations() {
+    let mut i = Interp4::with_domain_size(4);
+    i.set_concept("A", SetPair::new([0, 1], [2, 3]));
+    i.set_concept("B", SetPair::new([0, 1, 2], [3]));
+    assert!(i.is_classical());
+    let (a, b) = (Concept::atomic("A"), Concept::atomic("B"));
+    for kind in InclusionKind::ALL {
+        assert!(
+            i.satisfies_axiom(&Axiom4::ConceptInclusion(kind, a.clone(), b.clone())),
+            "{kind} should hold classically"
+        );
+        assert!(
+            !i.satisfies_axiom(&Axiom4::ConceptInclusion(kind, b.clone(), a.clone())),
+            "converse {kind} should fail classically"
+        );
+    }
+}
+
+/// Table 1 semantics via the classical fragment: the evaluator on a
+/// classical interpretation reproduces the textbook extensions.
+#[test]
+fn table1_rows_on_classical_fixture() {
+    let mut i = Interp4::with_domain_size(3);
+    i.set_individual("o0", 0);
+    i.set_concept("A", SetPair::new([0, 1], [2]));
+    i.set_role(
+        "r",
+        RolePair {
+            pos: BTreeSet::from([(0, 1), (1, 2)]),
+            neg: BTreeSet::from([(0, 0), (0, 2), (1, 0), (1, 1), (2, 0), (2, 1), (2, 2)]),
+        },
+    );
+    let r = RoleExpr::named("r");
+    // ∃r.A = {0} (0→1∈A); 1→2∉A.
+    assert_eq!(
+        i.eval(&Concept::some(r.clone(), Concept::atomic("A"))).pos,
+        BTreeSet::from([0])
+    );
+    // ∀r.A = {0, 2} (2 has no successor).
+    assert_eq!(
+        i.eval(&Concept::all(r.clone(), Concept::atomic("A"))).pos,
+        BTreeSet::from([0, 2])
+    );
+    // ≥1.r = {0,1}; ≤0.r = {2}.
+    assert_eq!(
+        i.eval(&Concept::at_least(1, r.clone())).pos,
+        BTreeSet::from([0, 1])
+    );
+    assert_eq!(i.eval(&Concept::at_most(0, r.clone())).pos, BTreeSet::from([2]));
+    // Inverse: ∃r⁻.⊤ = range(r) = {1,2}.
+    assert_eq!(
+        i.eval(&Concept::some(r.inverse(), Concept::Top)).pos,
+        BTreeSet::from([1, 2])
+    );
+    // Nominal: {o0} = {0}.
+    assert_eq!(
+        i.eval(&Concept::one_of([IndividualName::new("o0")])).pos,
+        BTreeSet::from([0])
+    );
+}
