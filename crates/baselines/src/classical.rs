@@ -76,10 +76,7 @@ mod tests {
     fn inconsistent_kb_trivializes() {
         let kb = parse_kb("x : A and not A").unwrap();
         let mut b = ClassicalBaseline::new(&kb);
-        let q = Axiom::ConceptAssertion(
-            IndividualName::new("unrelated"),
-            Concept::atomic("Q"),
-        );
+        let q = Axiom::ConceptAssertion(IndividualName::new("unrelated"), Concept::atomic("Q"));
         assert_eq!(b.entails(&q).unwrap(), Answer::Trivial);
         assert!(!b.entails(&q).unwrap().is_meaningful());
     }

@@ -53,9 +53,7 @@ impl McsBaseline {
     }
 
     fn is_consistent_subset(&self, indices: &[usize]) -> Result<bool, ReasonerError> {
-        let kb = KnowledgeBase::from_axioms(
-            indices.iter().map(|&i| self.axioms[i].clone()),
-        );
+        let kb = KnowledgeBase::from_axioms(indices.iter().map(|&i| self.axioms[i].clone()));
         Reasoner::with_config(&kb, self.config.clone()).is_consistent()
     }
 
@@ -110,8 +108,7 @@ impl InconsistencyBaseline for McsBaseline {
         let mut any = false;
         let mut all = true;
         for subset in &subsets {
-            let kb =
-                KnowledgeBase::from_axioms(subset.iter().map(|&i| axioms[i].clone()));
+            let kb = KnowledgeBase::from_axioms(subset.iter().map(|&i| axioms[i].clone()));
             let hit = Reasoner::with_config(&kb, config.clone()).entails(query)?;
             any |= hit;
             all &= hit;
@@ -155,8 +152,7 @@ impl RelevanceBaseline {
     /// `Σ₁` is the directly relevant axioms, `Σ_{k+1}` adds axioms
     /// sharing a symbol with `Σ_k`.
     pub fn neighborhoods(&self, query: &Axiom) -> Vec<Vec<usize>> {
-        let sigs: Vec<Signature> =
-            self.axioms.iter().map(Self::axiom_signature).collect();
+        let sigs: Vec<Signature> = self.axioms.iter().map(Self::axiom_signature).collect();
         let mut frontier_sig = Self::axiom_signature(query);
         let mut selected: Vec<usize> = Vec::new();
         let mut out = Vec::new();
@@ -179,7 +175,9 @@ impl RelevanceBaseline {
                 frontier_sig.concepts.extend(s.concepts.iter().cloned());
                 frontier_sig.roles.extend(s.roles.iter().cloned());
                 frontier_sig.data_roles.extend(s.data_roles.iter().cloned());
-                frontier_sig.individuals.extend(s.individuals.iter().cloned());
+                frontier_sig
+                    .individuals
+                    .extend(s.individuals.iter().cloned());
             }
         }
         out
@@ -196,9 +194,7 @@ impl InconsistencyBaseline for RelevanceBaseline {
         // Use the largest consistent neighborhood.
         let mut chosen: Option<Vec<usize>> = None;
         for hood in &hoods {
-            let kb = KnowledgeBase::from_axioms(
-                hood.iter().map(|&i| self.axioms[i].clone()),
-            );
+            let kb = KnowledgeBase::from_axioms(hood.iter().map(|&i| self.axioms[i].clone()));
             if Reasoner::with_config(&kb, self.config.clone()).is_consistent()? {
                 chosen = Some(hood.clone());
             } else {
@@ -210,8 +206,7 @@ impl InconsistencyBaseline for RelevanceBaseline {
             // selection strategy degenerates.
             return Ok(Answer::Trivial);
         };
-        let kb =
-            KnowledgeBase::from_axioms(indices.iter().map(|&i| self.axioms[i].clone()));
+        let kb = KnowledgeBase::from_axioms(indices.iter().map(|&i| self.axioms[i].clone()));
         Ok(
             if Reasoner::with_config(&kb, self.config.clone()).entails(query)? {
                 Answer::Yes

@@ -123,8 +123,7 @@ mod tests {
     fn top_stratum_inconsistency_degenerates() {
         let kb = parse_kb("A SubClassOf not A\nx : A").unwrap();
         // Put everything in one stratum: inconsistent at level 0.
-        let mut b =
-            StratifiedBaseline::new(vec![kb.axioms().to_vec()]);
+        let mut b = StratifiedBaseline::new(vec![kb.axioms().to_vec()]);
         assert_eq!(b.entails(&q("x", "A")).unwrap(), Answer::Trivial);
     }
 

@@ -33,13 +33,9 @@ fn bench_signed_reduction(c: &mut Criterion) {
             entails4_signed(&premises, &conclusion),
             entails4(&premises, &conclusion)
         );
-        group.bench_with_input(
-            BenchmarkId::new("enumeration_4_pow_n", n),
-            &n,
-            |b, _| {
-                b.iter(|| black_box(entails4(black_box(&premises), &conclusion)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("enumeration_4_pow_n", n), &n, |b, _| {
+            b.iter(|| black_box(entails4(black_box(&premises), &conclusion)))
+        });
         group.bench_with_input(BenchmarkId::new("signed_dpll", n), &n, |b, _| {
             b.iter(|| black_box(entails4_signed(black_box(&premises), &conclusion)))
         });

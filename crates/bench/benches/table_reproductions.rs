@@ -70,11 +70,17 @@ fn bench_table1_table2_eval(c: &mut Criterion) {
     let mut classical = Interp4::with_domain_size(24);
     classical.set_concept(
         "A",
-        fourval::SetPair::new((0..24).filter(|x| x % 2 == 0), (0..24).filter(|x| x % 2 != 0)),
+        fourval::SetPair::new(
+            (0..24).filter(|x| x % 2 == 0),
+            (0..24).filter(|x| x % 2 != 0),
+        ),
     );
     classical.set_concept(
         "B",
-        fourval::SetPair::new((0..24).filter(|x| x % 5 == 0), (0..24).filter(|x| x % 5 != 0)),
+        fourval::SetPair::new(
+            (0..24).filter(|x| x % 5 == 0),
+            (0..24).filter(|x| x % 5 != 0),
+        ),
     );
     group.bench_function("classical_eval_boolean_fragment", |b| {
         let concept = Concept::atomic("A")

@@ -133,10 +133,8 @@ fn bench_ablation_blocking(c: &mut Criterion) {
 fn bench_ablation_branching(c: &mut Criterion) {
     // Disjunction-heavy unsatisfiable pigeonhole-ish input where semantic
     // branching prunes repeated work.
-    let kb = parse_kb(
-        "x : (A or B) and (A or not B) and (not A or B) and (not A or not B)",
-    )
-    .expect("parses");
+    let kb = parse_kb("x : (A or B) and (A or not B) and (not A or B) and (not A or not B)")
+        .expect("parses");
     let mut group = c.benchmark_group("ablation_semantic_branching");
     group.sample_size(20);
     for (name, semantic) in [("syntactic", false), ("semantic", true)] {

@@ -33,10 +33,7 @@ fn poisoned_kb(n_injections: usize) -> KnowledgeBase {
     kb
 }
 
-fn meaningful_fraction(
-    method: &mut dyn InconsistencyBaseline,
-    queries: &[Axiom],
-) -> f64 {
+fn meaningful_fraction(method: &mut dyn InconsistencyBaseline, queries: &[Axiom]) -> f64 {
     let mut ok = 0usize;
     for q in queries {
         if let Ok(a) = method.entails(q) {
@@ -57,7 +54,11 @@ fn bench_tolerance(c: &mut Criterion) {
         let mut classical = ClassicalBaseline::new(&kb);
         let mut relevance = RelevanceBaseline::new(&kb);
         let mut stratified = StratifiedBaseline::tbox_over_abox(&kb);
-        rows.push(frac_row(inj, "classical", meaningful_fraction(&mut classical, &queries)));
+        rows.push(frac_row(
+            inj,
+            "classical",
+            meaningful_fraction(&mut classical, &queries),
+        ));
         rows.push(frac_row(
             inj,
             "syntactic-relevance",

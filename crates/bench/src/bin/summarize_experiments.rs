@@ -8,15 +8,6 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
-#[derive(serde::Deserialize)]
-struct Row {
-    experiment: String,
-    x: f64,
-    series: String,
-    value: f64,
-    unit: String,
-}
-
 fn main() -> std::io::Result<()> {
     let dir = Path::new("target").join("experiments");
     let mut latest: BTreeMap<(String, String, u64), (f64, String)> = BTreeMap::new();
@@ -30,10 +21,14 @@ fn main() -> std::io::Result<()> {
                 if line.trim().is_empty() {
                     continue;
                 }
-                let row: Row = match serde_json::from_str(line) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        eprintln!("skipping malformed row in {path:?}: {e}");
+                let row = match jsonio::Value::parse(line)
+                    .ok()
+                    .as_ref()
+                    .and_then(bench::ExperimentRow::from_json)
+                {
+                    Some(r) => r,
+                    None => {
+                        eprintln!("skipping malformed row in {path:?}");
                         continue;
                     }
                 };
@@ -51,15 +46,17 @@ fn main() -> std::io::Result<()> {
     // Group by experiment.
     let mut by_exp: BTreeMap<String, Vec<(String, f64, f64, String)>> = BTreeMap::new();
     for ((exp, series, xbits), (value, unit)) in latest {
-        by_exp.entry(exp).or_default().push((
-            series,
-            f64::from_bits(xbits),
-            value,
-            unit,
-        ));
+        by_exp
+            .entry(exp)
+            .or_default()
+            .push((series, f64::from_bits(xbits), value, unit));
     }
     for (exp, mut rows) in by_exp {
-        rows.sort_by(|a, b| (a.0.clone(), a.1.total_cmp(&b.1)).partial_cmp(&(b.0.clone(), b.1.total_cmp(&b.1))).unwrap_or(std::cmp::Ordering::Equal));
+        rows.sort_by(|a, b| {
+            (a.0.clone(), a.1.total_cmp(&b.1))
+                .partial_cmp(&(b.0.clone(), b.1.total_cmp(&b.1)))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         rows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
         println!("### Experiment {exp}\n");
         println!("| series | x | value | unit |");

@@ -5,12 +5,12 @@
 //! they share: experiment-row records serialized to JSON so EXPERIMENTS.md
 //! can cite machine-generated numbers.
 
-use serde::Serialize;
+use jsonio::Value;
 use std::io::Write;
 use std::path::Path;
 
 /// One measured row of an experiment, written to `target/experiments/`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentRow {
     /// Experiment id from DESIGN.md (e.g. "C1", "X1").
     pub experiment: String,
@@ -22,6 +22,30 @@ pub struct ExperimentRow {
     pub value: f64,
     /// Unit of `value`.
     pub unit: String,
+}
+
+impl ExperimentRow {
+    /// The row as a JSON object (one `jsonl` line).
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("experiment", Value::from(self.experiment.as_str())),
+            ("x", Value::from(self.x)),
+            ("series", Value::from(self.series.as_str())),
+            ("value", Value::from(self.value)),
+            ("unit", Value::from(self.unit.as_str())),
+        ])
+    }
+
+    /// Parse a row back from a JSON object.
+    pub fn from_json(v: &Value) -> Option<ExperimentRow> {
+        Some(ExperimentRow {
+            experiment: v.get("experiment")?.as_str()?.to_string(),
+            x: v.get("x")?.as_f64()?,
+            series: v.get("series")?.as_str()?.to_string(),
+            value: v.get("value")?.as_f64()?,
+            unit: v.get("unit")?.as_str()?.to_string(),
+        })
+    }
 }
 
 /// Append rows to `target/experiments/<name>.jsonl` (one JSON object per
@@ -36,8 +60,7 @@ pub fn write_rows(name: &str, rows: &[ExperimentRow]) -> std::io::Result<()> {
         .append(true)
         .open(path)?;
     for row in rows {
-        let line = serde_json::to_string(row).expect("rows serialize");
-        writeln!(f, "{line}")?;
+        writeln!(f, "{}", row.to_json())?;
     }
     Ok(())
 }
@@ -55,7 +78,10 @@ mod tests {
             value: 1.5,
             unit: "us".into(),
         };
-        let s = serde_json::to_string(&row).unwrap();
-        assert!(s.contains("\"experiment\":\"C1\""));
+        let s = row.to_json().to_string();
+        assert!(s.contains("\"experiment\":\"C1\""), "{s}");
+        let back = ExperimentRow::from_json(&jsonio::Value::parse(&s).unwrap()).unwrap();
+        assert_eq!(back.x, row.x);
+        assert_eq!(back.series, row.series);
     }
 }

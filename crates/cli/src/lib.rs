@@ -9,7 +9,7 @@
 
 use dl::IndividualName;
 use fourval::TruthValue;
-use shoin4::analysis::{classify4, contradiction_report};
+use shoin4::analysis::{classify4, contradiction_report_seeded};
 use shoin4::{parse_kb4, KnowledgeBase4, Reasoner4};
 use std::fmt;
 use std::fmt::Write as _;
@@ -55,6 +55,7 @@ USAGE:
     shoin4 check <ontology>                  satisfiability + statistics
     shoin4 query <ontology> <ind> <concept>  four-valued instance query
     shoin4 report <ontology>                 contradiction survey (⊤ map)
+    shoin4 lint <ontology> [--format json]   static analysis (no tableau)
     shoin4 classify <ontology>               internal-inclusion taxonomy
     shoin4 transform <ontology>              print the classical induced KB
     shoin4 convert <in> <out>                text ⇄ binary snapshot (.dlkb)
@@ -62,7 +63,10 @@ USAGE:
 
 Ontologies use the line-based Manchester-like syntax (see README).";
 
-fn load_kb4(path: &str, read: &dyn Fn(&str) -> std::io::Result<Vec<u8>>) -> Result<KnowledgeBase4, CliError> {
+fn load_kb4(
+    path: &str,
+    read: &dyn Fn(&str) -> std::io::Result<Vec<u8>>,
+) -> Result<KnowledgeBase4, CliError> {
     let bytes = read(path).map_err(|e| CliError::Io(path.to_string(), e))?;
     if Path::new(path).extension().is_some_and(|e| e == "dlkb") {
         let kb = dl::snapshot::decode(&bytes).map_err(CliError::Snapshot)?;
@@ -71,8 +75,8 @@ fn load_kb4(path: &str, read: &dyn Fn(&str) -> std::io::Result<Vec<u8>>) -> Resu
             shoin4::InclusionKind::Internal,
         ));
     }
-    let text = String::from_utf8(bytes)
-        .map_err(|_| CliError::Parse(format!("{path} is not UTF-8")))?;
+    let text =
+        String::from_utf8(bytes).map_err(|_| CliError::Parse(format!("{path} is not UTF-8")))?;
     parse_kb4(&text).map_err(|e| CliError::Parse(e.to_string()))
 }
 
@@ -111,16 +115,47 @@ pub fn run_with_fs(
         }
         [cmd, path, ind, concept] if cmd == "query" => {
             let kb = load_kb4(path, read)?;
-            let c = dl::parser::parse_concept(concept)
-                .map_err(|e| CliError::Parse(e.to_string()))?;
+            let c =
+                dl::parser::parse_concept(concept).map_err(|e| CliError::Parse(e.to_string()))?;
             let mut r = Reasoner4::new(&kb);
             let v = r.query(&IndividualName::new(ind.as_str()), &c)?;
             writeln!(out, "{ind} : {c} = {}", truth_gloss(v)).unwrap();
         }
+        [cmd, path, rest @ ..] if cmd == "lint" => {
+            let json = match rest {
+                [] => false,
+                [flag, fmt] if flag == "--format" && fmt == "json" => true,
+                _ => return Err(CliError::Usage(USAGE.to_string())),
+            };
+            let kb = load_kb4(path, read)?;
+            let diags = ontolint::lint_kb4(&kb);
+            if json {
+                out.push_str(&ontolint::diagnostics_to_json(&diags).to_string());
+                out.push('\n');
+            } else {
+                for d in &diags {
+                    writeln!(out, "{d}").unwrap();
+                }
+                let count =
+                    |s: ontolint::Severity| diags.iter().filter(|d| d.severity == s).count();
+                writeln!(
+                    out,
+                    "{} findings: {} errors, {} warnings, {} infos",
+                    diags.len(),
+                    count(ontolint::Severity::Error),
+                    count(ontolint::Severity::Warning),
+                    count(ontolint::Severity::Info),
+                )
+                .unwrap();
+            }
+        }
         [cmd, path] if cmd == "report" => {
             let kb = load_kb4(path, read)?;
+            // The linter's syntactically-certain ⊤ facts are seeded into
+            // the survey so the reasoner skips those queries (fast path).
+            let certain = ontolint::certain_contested_facts(&ontolint::lint_kb4(&kb));
             let mut r = Reasoner4::new(&kb);
-            let report = contradiction_report(&mut r, &kb)?;
+            let report = contradiction_report_seeded(&mut r, &kb, &certain)?;
             writeln!(
                 out,
                 "{} facts surveyed: {} contested, {} asserted, {} denied, {} unknown",
@@ -131,8 +166,7 @@ pub fn run_with_fs(
                 report.unknown
             )
             .unwrap();
-            writeln!(out, "contamination: {:.1}%", 100.0 * report.contamination())
-                .unwrap();
+            writeln!(out, "contamination: {:.1}%", 100.0 * report.contamination()).unwrap();
             for (who, what) in &report.contested {
                 writeln!(out, "  ⊤  {who} : {what}").unwrap();
             }
@@ -195,11 +229,9 @@ pub fn run_with_fs(
 
 /// Run against the real filesystem.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    run_with_fs(
-        args,
-        &|p| std::fs::read(p),
-        &mut |p, bytes| std::fs::write(p, bytes),
-    )
+    run_with_fs(args, &|p| std::fs::read(p), &mut |p, bytes| {
+        std::fs::write(p, bytes)
+    })
 }
 
 #[cfg(test)]
@@ -227,11 +259,12 @@ mod tests {
 
         fn run(&self, args: &[&str]) -> Result<String, CliError> {
             let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
-            let read = |p: &str| -> std::io::Result<Vec<u8>> {
-                self.files.borrow().get(p).cloned().ok_or_else(|| {
-                    std::io::Error::new(std::io::ErrorKind::NotFound, "not found")
-                })
-            };
+            let read =
+                |p: &str| -> std::io::Result<Vec<u8>> {
+                    self.files.borrow().get(p).cloned().ok_or_else(|| {
+                        std::io::Error::new(std::io::ErrorKind::NotFound, "not found")
+                    })
+                };
             let files = &self.files;
             let mut write = |p: &str, bytes: &[u8]| -> std::io::Result<()> {
                 files.borrow_mut().insert(p.to_string(), bytes.to_vec());
@@ -271,6 +304,40 @@ john : UrgencyTeam";
         let out = fs.run(&["report", "kb.dl4"]).unwrap();
         assert!(out.contains("⊤  john : ReadPatientRecordTeam"), "{out}");
         assert!(out.contains("contamination"), "{out}");
+    }
+
+    #[test]
+    fn lint_reports_findings_human_readably() {
+        let fs = MemFs::new(&[("kb.dl4", MEDICAL)]);
+        let out = fs.run(&["lint", "kb.dl4"]).unwrap();
+        // john is contested about ReadPatientRecordTeam through the told
+        // chain — an OL003 error — and the summary line counts it.
+        assert!(out.contains("error [OL003]"), "{out}");
+        assert!(out.contains("ReadPatientRecordTeam"), "{out}");
+        assert!(out.contains("1 errors"), "{out}");
+    }
+
+    #[test]
+    fn lint_emits_machine_readable_json() {
+        let fs = MemFs::new(&[("kb.dl4", MEDICAL)]);
+        let out = fs.run(&["lint", "kb.dl4", "--format", "json"]).unwrap();
+        let value = jsonio::Value::parse(&out).unwrap();
+        let arr = value.as_array().unwrap();
+        assert!(!arr.is_empty());
+        assert_eq!(arr[0].get("rule").unwrap().as_str(), Some("OL003"));
+        assert_eq!(
+            arr[0].get("claim").unwrap().get("kind").unwrap().as_str(),
+            Some("contested-concept")
+        );
+    }
+
+    #[test]
+    fn lint_rejects_unknown_format() {
+        let fs = MemFs::new(&[("kb.dl4", MEDICAL)]);
+        assert!(matches!(
+            fs.run(&["lint", "kb.dl4", "--format", "xml"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

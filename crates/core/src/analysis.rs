@@ -12,13 +12,12 @@ use crate::reasoner4::Reasoner4;
 use dl::name::{ConceptName, IndividualName};
 use dl::Concept;
 use fourval::TruthValue;
-use serde::Serialize;
 use std::collections::BTreeMap;
 use tableau::ReasonerError;
 
 /// A survey of the KB's atomic facts: every individual × atomic-concept
 /// pair in the signature, with its four-valued verdict.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ContradictionReport {
     /// Facts with contradictory information (`⊤`).
     pub contested: Vec<(IndividualName, ConceptName)>,
@@ -51,10 +50,34 @@ pub fn contradiction_report(
     reasoner: &mut Reasoner4,
     kb: &KnowledgeBase4,
 ) -> Result<ContradictionReport, ReasonerError> {
+    contradiction_report_seeded(reasoner, kb, &[])
+}
+
+/// [`contradiction_report`] with a fast path: `seeded` pairs are facts
+/// already *known* to be contested — typically the syntactically-certain
+/// findings of a static pass (`ontolint::certain_contested_facts`) — so
+/// the survey records them as `⊤` without running the two tableau
+/// entailment queries each would otherwise cost.
+///
+/// Seeded pairs outside the signature are ignored; the total therefore
+/// stays `|individuals| × |concepts|`. Soundness is the caller's promise:
+/// a pair that is not in fact contested in every model would corrupt the
+/// report (the linter's `Error` contract is exactly that promise).
+pub fn contradiction_report_seeded(
+    reasoner: &mut Reasoner4,
+    kb: &KnowledgeBase4,
+    seeded: &[(IndividualName, ConceptName)],
+) -> Result<ContradictionReport, ReasonerError> {
     let sig = kb.signature();
+    let seeded: std::collections::BTreeSet<(&IndividualName, &ConceptName)> =
+        seeded.iter().map(|(a, c)| (a, c)).collect();
     let mut report = ContradictionReport::default();
     for a in &sig.individuals {
         for c in &sig.concepts {
+            if seeded.contains(&(a, c)) {
+                report.contested.push((a.clone(), c.clone()));
+                continue;
+            }
             let v = reasoner.query(a, &Concept::atomic(c.as_str()))?;
             match v {
                 TruthValue::Both => report.contested.push((a.clone(), c.clone())),
@@ -152,8 +175,114 @@ mod tests {
         assert!(supers.contains(&ConceptName::new("Doctor")));
         assert!(supers.contains(&ConceptName::new("Person")));
         assert!(supers.contains(&ConceptName::new("Surgeon")));
-        assert!(!taxonomy[&ConceptName::new("Nurse")]
-            .contains(&ConceptName::new("Doctor")));
+        assert!(!taxonomy[&ConceptName::new("Nurse")].contains(&ConceptName::new("Doctor")));
+    }
+
+    #[test]
+    fn contamination_edge_cases() {
+        // Empty KB: nothing surveyed, contamination well-defined at 0.
+        let kb = KnowledgeBase4::new();
+        let mut r = Reasoner4::new(&kb);
+        let report = contradiction_report(&mut r, &kb).unwrap();
+        assert_eq!(report.total(), 0);
+        assert_eq!(report.contamination(), 0.0);
+
+        // Individuals but no concepts (role assertions only): still a
+        // zero-pair survey.
+        let kb = parse_kb4("r(a, b)").unwrap();
+        let mut r = Reasoner4::new(&kb);
+        let report = contradiction_report(&mut r, &kb).unwrap();
+        assert_eq!(report.total(), 0);
+        assert_eq!(report.contamination(), 0.0);
+
+        // Fully contested: every surveyed fact is ⊤ → contamination 1.
+        let kb = parse_kb4("x : A\nx : not A").unwrap();
+        let mut r = Reasoner4::new(&kb);
+        let report = contradiction_report(&mut r, &kb).unwrap();
+        assert_eq!(report.total(), 1);
+        assert_eq!(report.contamination(), 1.0);
+
+        // Manually assembled report: contamination is contested / total.
+        let report = ContradictionReport {
+            contested: vec![(IndividualName::new("a"), ConceptName::new("A"))],
+            asserted: vec![(IndividualName::new("b"), ConceptName::new("A"))],
+            denied: vec![],
+            unknown: 2,
+        };
+        assert_eq!(report.total(), 4);
+        assert_eq!(report.contamination(), 0.25);
+    }
+
+    #[test]
+    fn report_total_is_individuals_times_concepts() {
+        // Property: however the verdicts fall, the survey covers exactly
+        // the full individual × concept grid — over generated KBs of
+        // varying shape.
+        for seed in 0..8u64 {
+            let kb = ontogen_like_kb(seed);
+            let sig = kb.signature();
+            let mut r = Reasoner4::new(&kb);
+            let report = contradiction_report(&mut r, &kb).unwrap();
+            assert_eq!(
+                report.total(),
+                sig.individuals.len() * sig.concepts.len(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    /// A small deterministic KB family of varying shape (the `ontogen`
+    /// crate depends on this one, so the property test rolls its own).
+    fn ontogen_like_kb(seed: u64) -> KnowledgeBase4 {
+        let n_concepts = 1 + (seed as usize % 4);
+        let n_individuals = 1 + (seed as usize / 2 % 3);
+        let mut src = String::new();
+        for c in 0..n_concepts {
+            src.push_str(&format!("A{c} SubClassOf A{}\n", (c + 1) % n_concepts));
+        }
+        for i in 0..n_individuals {
+            src.push_str(&format!("x{i} : A{}\n", i % n_concepts));
+            if seed.is_multiple_of(2) {
+                src.push_str(&format!("x{i} : not A{}\n", (i + 1) % n_concepts));
+            }
+        }
+        parse_kb4(&src).unwrap()
+    }
+
+    #[test]
+    fn seeded_report_matches_unseeded() {
+        let kb = parse_kb4(
+            "A SubClassOf B
+             x : A
+             x : not A
+             y : B",
+        )
+        .unwrap();
+        let mut r = Reasoner4::new(&kb);
+        let full = contradiction_report(&mut r, &kb).unwrap();
+        // Seed exactly the fact the linter would certify: (x, A) is
+        // directly contested. (x, B) is merely asserted — the internal
+        // inclusion does not contrapose the negative half.
+        let seeds = vec![(IndividualName::new("x"), ConceptName::new("A"))];
+        let mut r2 = Reasoner4::new(&kb);
+        let seeded = contradiction_report_seeded(&mut r2, &kb, &seeds).unwrap();
+        assert_eq!(seeded.total(), full.total());
+        let sort = |mut v: Vec<(IndividualName, ConceptName)>| {
+            v.sort();
+            v
+        };
+        assert_eq!(sort(seeded.contested.clone()), sort(full.contested.clone()));
+        assert_eq!(sort(seeded.asserted), sort(full.asserted));
+    }
+
+    #[test]
+    fn seeded_pairs_outside_the_signature_are_ignored() {
+        let kb = parse_kb4("x : A").unwrap();
+        let mut r = Reasoner4::new(&kb);
+        let seeds = vec![(IndividualName::new("ghost"), ConceptName::new("A"))];
+        let report = contradiction_report_seeded(&mut r, &kb, &seeds).unwrap();
+        assert_eq!(report.total(), 1);
+        assert!(report.contested.is_empty());
     }
 
     #[test]
@@ -169,7 +298,6 @@ mod tests {
         let mut r = Reasoner4::new(&kb);
         assert!(r.is_satisfiable().unwrap());
         let taxonomy = classify4(&mut r, &kb).unwrap();
-        assert!(taxonomy[&ConceptName::new("Surgeon")]
-            .contains(&ConceptName::new("Person")));
+        assert!(taxonomy[&ConceptName::new("Surgeon")].contains(&ConceptName::new("Person")));
     }
 }

@@ -1,6 +1,5 @@
 //! The three inclusion kinds of SHOIN(D)4 (§3.1 of the paper).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which implication of `FOUR` an inclusion axiom corresponds to.
@@ -13,9 +12,7 @@ use std::fmt;
 ///   learning something cannot fly says nothing about its birdhood.
 /// * `Strong` (`C → D`): exception-free **and** contraposable — a
 ///   non-flyer is a non-bird.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum InclusionKind {
     /// `C ↦ D` — `¬C ⊔ D` reading; tolerates exceptions.
     Material,
@@ -55,8 +52,7 @@ impl InclusionKind {
     /// (Strong ⇒ Internal; Material is incomparable to both — it neither
     /// implies nor is implied by the exception-free kinds.)
     pub fn at_least_as_exact_as(self, other: InclusionKind) -> bool {
-        self == other
-            || (self == InclusionKind::Strong && other == InclusionKind::Internal)
+        self == other || (self == InclusionKind::Strong && other == InclusionKind::Internal)
     }
 }
 

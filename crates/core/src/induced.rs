@@ -53,10 +53,8 @@ pub fn classical_induced(i: &Interp4, kb: &KnowledgeBase4) -> Interp4 {
     let mut out = clone_domain(i);
     for a in &sig.concepts {
         let pair = i.concept(a);
-        let pos_comp: BTreeSet<Elem> =
-            i.domain().difference(&pair.pos).copied().collect();
-        let neg_comp: BTreeSet<Elem> =
-            i.domain().difference(&pair.neg).copied().collect();
+        let pos_comp: BTreeSet<Elem> = i.domain().difference(&pair.pos).copied().collect();
+        let neg_comp: BTreeSet<Elem> = i.domain().difference(&pair.neg).copied().collect();
         out.set_concept(
             pos_concept_name(a),
             SetPair {
@@ -96,8 +94,7 @@ pub fn classical_induced(i: &Interp4, kb: &KnowledgeBase4) -> Interp4 {
     for u in &sig.data_roles {
         let pair = i.data_role(u);
         let plus = pair.pos.clone();
-        let eq: BTreeSet<(Elem, DataValue)> =
-            data_full.difference(&pair.neg).cloned().collect();
+        let eq: BTreeSet<(Elem, DataValue)> = data_full.difference(&pair.neg).cloned().collect();
         out.set_data_role(
             plus_data_role(u),
             DataRolePair {

@@ -34,14 +34,13 @@ use dl::datatype::{DataRange, DataValue};
 use dl::name::{ConceptName, DataRoleName, IndividualName, RoleName};
 use dl::{Concept, RoleExpr};
 use fourval::{SetPair, TruthValue};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A domain element.
 pub type Elem = u32;
 
 /// A role denotation `<P, N>` with `P, N ⊆ Δ×Δ`.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RolePair {
     /// Pairs with positive information.
     pub pos: BTreeSet<(Elem, Elem)>,
@@ -50,7 +49,7 @@ pub struct RolePair {
 }
 
 /// A datatype-role denotation `<P, N>` with `P, N ⊆ Δ×Δ_D`.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DataRolePair {
     /// Pairs with positive information.
     pub pos: BTreeSet<(Elem, DataValue)>,
@@ -63,7 +62,7 @@ pub struct DataRolePair {
 /// The datatype side uses an explicit finite *active data domain* — the
 /// values quantified over when evaluating datatype restrictions and
 /// material datatype-role inclusions.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Interp4 {
     domain: BTreeSet<Elem>,
     data_domain: BTreeSet<DataValue>,
@@ -178,10 +177,8 @@ impl Interp4 {
             Concept::And(l, r) => self.eval(l).and(&self.eval(r)),
             Concept::Or(l, r) => self.eval(l).or(&self.eval(r)),
             Concept::OneOf(os) => {
-                let pos: BTreeSet<Elem> =
-                    os.iter().filter_map(|o| self.individual(o)).collect();
-                let neg: BTreeSet<Elem> =
-                    self.domain.difference(&pos).copied().collect();
+                let pos: BTreeSet<Elem> = os.iter().filter_map(|o| self.individual(o)).collect();
+                let neg: BTreeSet<Elem> = self.domain.difference(&pos).copied().collect();
                 SetPair { pos, neg }
             }
             Concept::Some(role, filler) => {
@@ -243,7 +240,11 @@ impl Interp4 {
                     .iter()
                     .copied()
                     .filter(|&x| {
-                        self.domain.iter().filter(|&&y| rp.contains(&(x, y))).count() >= n
+                        self.domain
+                            .iter()
+                            .filter(|&&y| rp.contains(&(x, y)))
+                            .count()
+                            >= n
                     })
                     .collect();
                 let neg = self
@@ -251,7 +252,11 @@ impl Interp4 {
                     .iter()
                     .copied()
                     .filter(|&x| {
-                        self.domain.iter().filter(|&&y| !rn.contains(&(x, y))).count() < n
+                        self.domain
+                            .iter()
+                            .filter(|&&y| !rn.contains(&(x, y)))
+                            .count()
+                            < n
                     })
                     .collect();
                 SetPair { pos, neg }
@@ -265,7 +270,11 @@ impl Interp4 {
                     .iter()
                     .copied()
                     .filter(|&x| {
-                        self.domain.iter().filter(|&&y| !rn.contains(&(x, y))).count() <= n
+                        self.domain
+                            .iter()
+                            .filter(|&&y| !rn.contains(&(x, y)))
+                            .count()
+                            <= n
                     })
                     .collect();
                 let neg = self
@@ -273,7 +282,11 @@ impl Interp4 {
                     .iter()
                     .copied()
                     .filter(|&x| {
-                        self.domain.iter().filter(|&&y| rp.contains(&(x, y))).count() > n
+                        self.domain
+                            .iter()
+                            .filter(|&&y| rp.contains(&(x, y)))
+                            .count()
+                            > n
                     })
                     .collect();
                 SetPair { pos, neg }
@@ -304,13 +317,29 @@ impl Interp4 {
         };
         let (pos, neg): (BTreeSet<Elem>, BTreeSet<Elem>) = if exists {
             (
-                self.domain.iter().copied().filter(|&x| some_in(x, true)).collect(),
-                self.domain.iter().copied().filter(|&x| all_in(x, false)).collect(),
+                self.domain
+                    .iter()
+                    .copied()
+                    .filter(|&x| some_in(x, true))
+                    .collect(),
+                self.domain
+                    .iter()
+                    .copied()
+                    .filter(|&x| all_in(x, false))
+                    .collect(),
             )
         } else {
             (
-                self.domain.iter().copied().filter(|&x| all_in(x, true)).collect(),
-                self.domain.iter().copied().filter(|&x| some_in(x, false)).collect(),
+                self.domain
+                    .iter()
+                    .copied()
+                    .filter(|&x| all_in(x, true))
+                    .collect(),
+                self.domain
+                    .iter()
+                    .copied()
+                    .filter(|&x| some_in(x, false))
+                    .collect(),
             )
         };
         SetPair { pos, neg }
@@ -333,7 +362,11 @@ impl Interp4 {
         };
         let (pos, neg): (BTreeSet<Elem>, BTreeSet<Elem>) = if at_least {
             (
-                self.domain.iter().copied().filter(|&x| count_pos(x) >= n).collect(),
+                self.domain
+                    .iter()
+                    .copied()
+                    .filter(|&x| count_pos(x) >= n)
+                    .collect(),
                 self.domain
                     .iter()
                     .copied()
@@ -347,7 +380,11 @@ impl Interp4 {
                     .copied()
                     .filter(|&x| count_not_neg(x) <= n)
                     .collect(),
-                self.domain.iter().copied().filter(|&x| count_pos(x) > n).collect(),
+                self.domain
+                    .iter()
+                    .copied()
+                    .filter(|&x| count_pos(x) > n)
+                    .collect(),
             )
         };
         SetPair { pos, neg }
@@ -372,9 +409,7 @@ impl Interp4 {
                         .iter()
                         .all(|x| cp.neg.contains(x) || dp.pos.contains(x)),
                     InclusionKind::Internal => cp.pos.is_subset(&dp.pos),
-                    InclusionKind::Strong => {
-                        cp.pos.is_subset(&dp.pos) && dp.neg.is_subset(&cp.neg)
-                    }
+                    InclusionKind::Strong => cp.pos.is_subset(&dp.pos) && dp.neg.is_subset(&cp.neg),
                 }
             }
             Axiom4::RoleInclusion(kind, r, s) => {
@@ -382,9 +417,9 @@ impl Interp4 {
                 let (sp, sn) = (self.role_pos(s), self.role_neg(s));
                 match kind {
                     InclusionKind::Material => self.domain.iter().all(|&x| {
-                        self.domain.iter().all(|&y| {
-                            rn.contains(&(x, y)) || sp.contains(&(x, y))
-                        })
+                        self.domain
+                            .iter()
+                            .all(|&y| rn.contains(&(x, y)) || sp.contains(&(x, y)))
                     }),
                     InclusionKind::Internal => rp.is_subset(&sp),
                     InclusionKind::Strong => rp.is_subset(&sp) && sn.is_subset(&rn),
@@ -395,9 +430,9 @@ impl Interp4 {
                 let (vp, vn) = (self.data_role(v).pos, self.data_role(v).neg);
                 match kind {
                     InclusionKind::Material => self.domain.iter().all(|&x| {
-                        self.data_domain.iter().all(|w| {
-                            un.contains(&(x, w.clone())) || vp.contains(&(x, w.clone()))
-                        })
+                        self.data_domain
+                            .iter()
+                            .all(|w| un.contains(&(x, w.clone())) || vp.contains(&(x, w.clone())))
                     }),
                     InclusionKind::Internal => up.is_subset(&vp),
                     InclusionKind::Strong => up.is_subset(&vp) && vn.is_subset(&un),
@@ -415,12 +450,10 @@ impl Interp4 {
                 Some(e) => self.eval(c).pos.contains(&e),
                 None => false,
             },
-            Axiom4::RoleAssertion(r, a, b) => {
-                match (self.individual(a), self.individual(b)) {
-                    (Some(x), Some(y)) => self.role(r).pos.contains(&(x, y)),
-                    _ => false,
-                }
-            }
+            Axiom4::RoleAssertion(r, a, b) => match (self.individual(a), self.individual(b)) {
+                (Some(x), Some(y)) => self.role(r).pos.contains(&(x, y)),
+                _ => false,
+            },
             Axiom4::NegativeRoleAssertion(r, a, b) => {
                 match (self.individual(a), self.individual(b)) {
                     (Some(x), Some(y)) => self.role(r).neg.contains(&(x, y)),
@@ -431,18 +464,14 @@ impl Interp4 {
                 Some(x) => self.data_role(u).pos.contains(&(x, v.clone())),
                 None => false,
             },
-            Axiom4::SameIndividual(a, b) => {
-                match (self.individual(a), self.individual(b)) {
-                    (Some(x), Some(y)) => x == y,
-                    _ => false,
-                }
-            }
-            Axiom4::DifferentIndividuals(a, b) => {
-                match (self.individual(a), self.individual(b)) {
-                    (Some(x), Some(y)) => x != y,
-                    _ => false,
-                }
-            }
+            Axiom4::SameIndividual(a, b) => match (self.individual(a), self.individual(b)) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+            Axiom4::DifferentIndividuals(a, b) => match (self.individual(a), self.individual(b)) {
+                (Some(x), Some(y)) => x != y,
+                _ => false,
+            },
         }
     }
 
@@ -464,6 +493,197 @@ impl Interp4 {
                 r.pos.is_disjoint(&r.neg)
                     && r.pos.union(&r.neg).copied().collect::<BTreeSet<_>>() == full
             })
+    }
+}
+
+// ——— JSON codec (companion to `crate::json`) ————————————————————————
+//
+// The codec lives here because it needs the private fields; `crate::json`
+// holds the shared `DataValue` encoding and the KB envelopes.
+
+impl Interp4 {
+    /// Serialize to a structured JSON value (domains, name maps, and the
+    /// `<P, N>` projections spelled out).
+    pub fn to_json(&self) -> jsonio::Value {
+        use jsonio::Value;
+        let elems = |s: &BTreeSet<Elem>| -> Value {
+            s.iter().map(|&e| Value::from(e)).collect::<Vec<_>>().into()
+        };
+        let pairs = |s: &BTreeSet<(Elem, Elem)>| -> Value {
+            s.iter()
+                .map(|&(a, b)| Value::from(vec![Value::from(a), Value::from(b)]))
+                .collect::<Vec<_>>()
+                .into()
+        };
+        let data_pairs = |s: &BTreeSet<(Elem, DataValue)>| -> Value {
+            s.iter()
+                .map(|(a, v)| {
+                    Value::from(vec![Value::from(*a), crate::json::data_value_to_json(v)])
+                })
+                .collect::<Vec<_>>()
+                .into()
+        };
+        Value::object([
+            ("domain", elems(&self.domain)),
+            (
+                "data_domain",
+                self.data_domain
+                    .iter()
+                    .map(crate::json::data_value_to_json)
+                    .collect::<Vec<_>>()
+                    .into(),
+            ),
+            (
+                "individuals",
+                Value::Object(
+                    self.individuals
+                        .iter()
+                        .map(|(n, &e)| (n.as_str().to_string(), Value::from(e)))
+                        .collect(),
+                ),
+            ),
+            (
+                "concepts",
+                Value::Object(
+                    self.concepts
+                        .iter()
+                        .map(|(n, p)| {
+                            (
+                                n.as_str().to_string(),
+                                Value::object([("pos", elems(&p.pos)), ("neg", elems(&p.neg))]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "roles",
+                Value::Object(
+                    self.roles
+                        .iter()
+                        .map(|(n, r)| {
+                            (
+                                n.as_str().to_string(),
+                                Value::object([("pos", pairs(&r.pos)), ("neg", pairs(&r.neg))]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "data_roles",
+                Value::Object(
+                    self.data_roles
+                        .iter()
+                        .map(|(n, r)| {
+                            (
+                                n.as_str().to_string(),
+                                Value::object([
+                                    ("pos", data_pairs(&r.pos)),
+                                    ("neg", data_pairs(&r.neg)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Deserialize from the structured JSON form produced by
+    /// [`Interp4::to_json`].
+    pub fn from_json(v: &jsonio::Value) -> Result<Self, String> {
+        use jsonio::Value;
+        fn elem(v: &Value) -> Result<Elem, String> {
+            v.as_i64()
+                .and_then(|i| u32::try_from(i).ok())
+                .ok_or_else(|| format!("not a domain element: {v}"))
+        }
+        fn elem_set(v: Option<&Value>, what: &str) -> Result<BTreeSet<Elem>, String> {
+            v.and_then(Value::as_array)
+                .ok_or_else(|| format!("missing `{what}` array"))?
+                .iter()
+                .map(elem)
+                .collect()
+        }
+        fn pair_set(v: Option<&Value>, what: &str) -> Result<BTreeSet<(Elem, Elem)>, String> {
+            v.and_then(Value::as_array)
+                .ok_or_else(|| format!("missing `{what}` array"))?
+                .iter()
+                .map(|p| match p.as_array() {
+                    Some([a, b]) => Ok((elem(a)?, elem(b)?)),
+                    _ => Err(format!("not a pair: {p}")),
+                })
+                .collect()
+        }
+        fn data_pair_set(
+            v: Option<&Value>,
+            what: &str,
+        ) -> Result<BTreeSet<(Elem, DataValue)>, String> {
+            v.and_then(Value::as_array)
+                .ok_or_else(|| format!("missing `{what}` array"))?
+                .iter()
+                .map(|p| match p.as_array() {
+                    Some([a, w]) => Ok((elem(a)?, crate::json::data_value_from_json(w)?)),
+                    _ => Err(format!("not a data pair: {p}")),
+                })
+                .collect()
+        }
+        let obj = v
+            .as_object()
+            .ok_or_else(|| "expected an interpretation object".to_string())?;
+        let mut out = Interp4 {
+            domain: elem_set(obj.get("domain"), "domain")?,
+            ..Default::default()
+        };
+        for w in obj
+            .get("data_domain")
+            .and_then(Value::as_array)
+            .ok_or_else(|| "missing `data_domain` array".to_string())?
+        {
+            out.data_domain
+                .insert(crate::json::data_value_from_json(w)?);
+        }
+        let named = |key: &str| -> Result<&BTreeMap<String, Value>, String> {
+            obj.get(key)
+                .and_then(Value::as_object)
+                .ok_or_else(|| format!("missing `{key}` map"))
+        };
+        for (n, e) in named("individuals")? {
+            let e = elem(e)?;
+            if !out.domain.contains(&e) {
+                return Err(format!("individual {n} maps outside the domain"));
+            }
+            out.individuals.insert(IndividualName::new(n), e);
+        }
+        for (n, p) in named("concepts")? {
+            out.concepts.insert(
+                ConceptName::new(n),
+                SetPair {
+                    pos: elem_set(p.get("pos"), "pos")?,
+                    neg: elem_set(p.get("neg"), "neg")?,
+                },
+            );
+        }
+        for (n, r) in named("roles")? {
+            out.roles.insert(
+                RoleName::new(n),
+                RolePair {
+                    pos: pair_set(r.get("pos"), "pos")?,
+                    neg: pair_set(r.get("neg"), "neg")?,
+                },
+            );
+        }
+        for (n, r) in named("data_roles")? {
+            out.data_roles.insert(
+                DataRoleName::new(n),
+                DataRolePair {
+                    pos: data_pair_set(r.get("pos"), "pos")?,
+                    neg: data_pair_set(r.get("neg"), "neg")?,
+                },
+            );
+        }
+        Ok(out)
     }
 }
 
@@ -521,10 +741,7 @@ mod tests {
                 Concept::atomic("Doctor"),
             ),
             Axiom4::ConceptAssertion(IndividualName::new("john"), Concept::atomic("Doctor")),
-            Axiom4::ConceptAssertion(
-                IndividualName::new("john"),
-                Concept::atomic("Doctor").not(),
-            ),
+            Axiom4::ConceptAssertion(IndividualName::new("john"), Concept::atomic("Doctor").not()),
             Axiom4::ConceptAssertion(IndividualName::new("mary"), Concept::atomic("Patient")),
             Axiom4::RoleAssertion(
                 RoleName::new("hasPatient"),
@@ -552,10 +769,7 @@ mod tests {
         let i = example1_model();
         let c = Concept::atomic("Doctor");
         assert_eq!(i.eval(&c.clone().and(Concept::Top)), i.eval(&c));
-        assert_eq!(
-            i.eval(&c.clone().or(Concept::Top)),
-            i.eval(&Concept::Top)
-        );
+        assert_eq!(i.eval(&c.clone().or(Concept::Top)), i.eval(&Concept::Top));
         assert_eq!(
             i.eval(&c.clone().and(Concept::Bottom)),
             i.eval(&Concept::Bottom)
@@ -612,11 +826,7 @@ mod tests {
             d.clone()
         )));
         // Strong: also violated.
-        assert!(!i.satisfies_axiom(&Axiom4::ConceptInclusion(
-            InclusionKind::Strong,
-            c,
-            d
-        )));
+        assert!(!i.satisfies_axiom(&Axiom4::ConceptInclusion(InclusionKind::Strong, c, d)));
     }
 
     #[test]
@@ -631,11 +841,7 @@ mod tests {
             c.clone(),
             d.clone()
         )));
-        assert!(!i.satisfies_axiom(&Axiom4::ConceptInclusion(
-            InclusionKind::Strong,
-            c,
-            d
-        )));
+        assert!(!i.satisfies_axiom(&Axiom4::ConceptInclusion(InclusionKind::Strong, c, d)));
     }
 
     #[test]
@@ -745,6 +951,34 @@ mod tests {
         assert!(i.is_classical());
         i.set_concept("B", pair(&[0], &[0, 1]));
         assert!(!i.is_classical());
+    }
+
+    #[test]
+    fn json_codec_round_trips() {
+        let mut i = example1_model();
+        i.set_data_role(
+            "age",
+            DataRolePair {
+                pos: BTreeSet::from([(0, DataValue::Integer(40))]),
+                neg: BTreeSet::from([(1, DataValue::Str("n/a".into()))]),
+            },
+        );
+        let json = i.to_json().to_string();
+        let back = Interp4::from_json(&jsonio::Value::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, i);
+    }
+
+    #[test]
+    fn json_codec_rejects_out_of_domain_individuals() {
+        let i = example1_model();
+        let mut v = i.to_json();
+        if let jsonio::Value::Object(obj) = &mut v {
+            obj.insert(
+                "individuals".to_string(),
+                jsonio::Value::object([("zed", 99u32.into())]),
+            );
+        }
+        assert!(Interp4::from_json(&v).is_err());
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! JSON persistence for the four-valued layer.
+//!
+//! * [`KnowledgeBase4`] serializes as its parseable text form (see
+//!   [`crate::printer4`]) wrapped in an envelope, mirroring the classical
+//!   codec in `dl::json`:
+//!
+//!   ```json
+//!   {"format":"shoin4-text/1","kb":"A MaterialSubClassOf B\n"}
+//!   ```
+//!
+//! * [`crate::Interp4`] gets a structured codec (domains, projections and
+//!   name maps spelled out) — there is no text syntax for interpretations.
+
+use crate::kb4::KnowledgeBase4;
+use crate::parser4::parse_kb4;
+use crate::printer4::print_kb4;
+use dl::datatype::DataValue;
+use jsonio::Value;
+
+/// The envelope format tag for four-valued KBs.
+pub const KB4_FORMAT: &str = "shoin4-text/1";
+
+/// Serialize a four-valued KB to a JSON value.
+pub fn kb4_to_json(kb: &KnowledgeBase4) -> Value {
+    Value::object([("format", KB4_FORMAT.into()), ("kb", print_kb4(kb).into())])
+}
+
+/// Deserialize a four-valued KB from a JSON value.
+pub fn kb4_from_json(v: &Value) -> Result<KnowledgeBase4, String> {
+    let format = v.get("format").and_then(Value::as_str);
+    if format != Some(KB4_FORMAT) {
+        return Err(format!(
+            "unsupported KB format {format:?} (expected {KB4_FORMAT:?})"
+        ));
+    }
+    let text = v
+        .get("kb")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing `kb` text field".to_string())?;
+    parse_kb4(text).map_err(|e| e.to_string())
+}
+
+/// A data value as a tagged object: `{"int":n}`, `{"bool":b}`, `{"str":s}`.
+pub fn data_value_to_json(v: &DataValue) -> Value {
+    match v {
+        DataValue::Integer(i) => Value::object([("int", (*i).into())]),
+        DataValue::Boolean(b) => Value::object([("bool", (*b).into())]),
+        DataValue::Str(s) => Value::object([("str", s.as_str().into())]),
+    }
+}
+
+/// Decode a tagged data value.
+pub fn data_value_from_json(v: &Value) -> Result<DataValue, String> {
+    if let Some(i) = v.get("int").and_then(Value::as_i64) {
+        return Ok(DataValue::Integer(i));
+    }
+    if let Some(b) = v.get("bool").and_then(Value::as_bool) {
+        return Ok(DataValue::Boolean(b));
+    }
+    if let Some(s) = v.get("str").and_then(Value::as_str) {
+        return Ok(DataValue::Str(s.to_string()));
+    }
+    Err(format!("not a tagged data value: {v}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kb4_round_trips_through_json_text() {
+        let kb = parse_kb4(
+            "DataRole: age
+             Bird MaterialSubClassOf Fly
+             Penguin StrongSubClassOf Bird
+             r MaterialSubRoleOf s
+             not r(a, b)
+             age(a, 7)",
+        )
+        .unwrap();
+        let json = kb4_to_json(&kb).to_string();
+        let back = kb4_from_json(&Value::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, kb);
+    }
+
+    #[test]
+    fn wrong_format_tag_is_rejected() {
+        let v = Value::object([("format", "dl-text/1".into()), ("kb", "".into())]);
+        assert!(kb4_from_json(&v).is_err());
+    }
+
+    #[test]
+    fn data_values_round_trip() {
+        for v in [
+            DataValue::Integer(-3),
+            DataValue::Boolean(true),
+            DataValue::Str("hi \"there\"".to_string()),
+        ] {
+            let json = data_value_to_json(&v).to_string();
+            let back = data_value_from_json(&Value::parse(&json).unwrap()).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+}

@@ -11,11 +11,10 @@ use dl::datatype::DataValue;
 use dl::kb::{KnowledgeBase, Signature};
 use dl::name::{DataRoleName, IndividualName, RoleName};
 use dl::Concept;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A SHOIN(D)4 axiom.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Axiom4 {
     /// Concept inclusion `C₁ ↦/⊏/→ C₂`.
     ConceptInclusion(InclusionKind, Concept, Concept),
@@ -70,29 +69,15 @@ impl Axiom4 {
     /// Lift a classical axiom, reading `⊑` as the given inclusion kind.
     pub fn from_classical(ax: &Axiom, kind: InclusionKind) -> Axiom4 {
         match ax {
-            Axiom::ConceptInclusion(c, d) => {
-                Axiom4::ConceptInclusion(kind, c.clone(), d.clone())
-            }
-            Axiom::RoleInclusion(r, s) => {
-                Axiom4::RoleInclusion(kind, r.clone(), s.clone())
-            }
-            Axiom::DataRoleInclusion(u, v) => {
-                Axiom4::DataRoleInclusion(kind, u.clone(), v.clone())
-            }
+            Axiom::ConceptInclusion(c, d) => Axiom4::ConceptInclusion(kind, c.clone(), d.clone()),
+            Axiom::RoleInclusion(r, s) => Axiom4::RoleInclusion(kind, r.clone(), s.clone()),
+            Axiom::DataRoleInclusion(u, v) => Axiom4::DataRoleInclusion(kind, u.clone(), v.clone()),
             Axiom::Transitive(r) => Axiom4::Transitive(r.clone()),
-            Axiom::ConceptAssertion(a, c) => {
-                Axiom4::ConceptAssertion(a.clone(), c.clone())
-            }
-            Axiom::RoleAssertion(r, a, b) => {
-                Axiom4::RoleAssertion(r.clone(), a.clone(), b.clone())
-            }
-            Axiom::DataAssertion(u, a, v) => {
-                Axiom4::DataAssertion(u.clone(), a.clone(), v.clone())
-            }
+            Axiom::ConceptAssertion(a, c) => Axiom4::ConceptAssertion(a.clone(), c.clone()),
+            Axiom::RoleAssertion(r, a, b) => Axiom4::RoleAssertion(r.clone(), a.clone(), b.clone()),
+            Axiom::DataAssertion(u, a, v) => Axiom4::DataAssertion(u.clone(), a.clone(), v.clone()),
             Axiom::SameIndividual(a, b) => Axiom4::SameIndividual(a.clone(), b.clone()),
-            Axiom::DifferentIndividuals(a, b) => {
-                Axiom4::DifferentIndividuals(a.clone(), b.clone())
-            }
+            Axiom::DifferentIndividuals(a, b) => Axiom4::DifferentIndividuals(a.clone(), b.clone()),
         }
     }
 }
@@ -115,7 +100,7 @@ impl fmt::Display for Axiom4 {
 }
 
 /// A SHOIN(D)4 knowledge base.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct KnowledgeBase4 {
     axioms: Vec<Axiom4>,
 }
@@ -203,8 +188,7 @@ impl KnowledgeBase4 {
                     sig.individuals.insert(a.clone());
                     sig.extend_from_concept(c);
                 }
-                Axiom4::RoleAssertion(r, a, b)
-                | Axiom4::NegativeRoleAssertion(r, a, b) => {
+                Axiom4::RoleAssertion(r, a, b) | Axiom4::NegativeRoleAssertion(r, a, b) => {
                     sig.roles.insert(r.clone());
                     sig.individuals.insert(a.clone());
                     sig.individuals.insert(b.clone());

@@ -53,8 +53,10 @@ pub mod analysis;
 pub mod inclusion;
 pub mod induced;
 pub mod interp4;
+pub mod json;
 pub mod kb4;
 pub mod parser4;
+pub mod printer4;
 pub mod reasoner4;
 pub mod transform;
 
@@ -62,5 +64,6 @@ pub use inclusion::InclusionKind;
 pub use interp4::Interp4;
 pub use kb4::{Axiom4, KnowledgeBase4};
 pub use parser4::parse_kb4;
+pub use printer4::print_kb4;
 pub use reasoner4::Reasoner4;
 pub use transform::{transform_concept, transform_kb, transform_neg_concept};

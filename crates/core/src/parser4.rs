@@ -124,8 +124,7 @@ pub fn parse_kb4(input: &str) -> Result<KnowledgeBase4, ParseError> {
             if let Some(pos) = find_keyword(line, kw) {
                 let u = line[..pos].trim();
                 let v = line[pos + kw.len()..].trim();
-                if u.split_whitespace().count() != 1 || v.split_whitespace().count() != 1
-                {
+                if u.split_whitespace().count() != 1 || v.split_whitespace().count() != 1 {
                     return Err(ParseError {
                         line: lineno,
                         message: format!("expected `U {kw} V` with simple names"),
@@ -154,8 +153,7 @@ pub fn parse_kb4(input: &str) -> Result<KnowledgeBase4, ParseError> {
                     if role.chars().all(|ch| ch.is_alphanumeric() || ch == '_')
                         && parts.len() == 2
                         && parts.iter().all(|p| {
-                            !p.is_empty()
-                                && p.chars().next().is_some_and(char::is_alphabetic)
+                            !p.is_empty() && p.chars().next().is_some_and(char::is_alphabetic)
                         })
                     {
                         axioms.push(Axiom4::NegativeRoleAssertion(
@@ -241,12 +239,8 @@ mod tests {
 
     #[test]
     fn complex_sides_parse() {
-        let kb = parse_kb4(
-            "Bird and (hasWing some Wing) MaterialSubClassOf Fly or Glide",
-        )
-        .unwrap();
-        let Axiom4::ConceptInclusion(InclusionKind::Material, lhs, rhs) = &kb.axioms()[0]
-        else {
+        let kb = parse_kb4("Bird and (hasWing some Wing) MaterialSubClassOf Fly or Glide").unwrap();
+        let Axiom4::ConceptInclusion(InclusionKind::Material, lhs, rhs) = &kb.axioms()[0] else {
             panic!()
         };
         assert_eq!(lhs.size(), 4);

@@ -85,11 +85,7 @@ impl Reasoner4 {
 
     /// The four-valued answer to "what does the KB know about `a : C`?",
     /// combining the two entailment queries.
-    pub fn query(
-        &mut self,
-        a: &IndividualName,
-        c: &Concept,
-    ) -> Result<TruthValue, ReasonerError> {
+    pub fn query(&mut self, a: &IndividualName, c: &Concept) -> Result<TruthValue, ReasonerError> {
         Ok(TruthValue::from_bits(
             self.has_positive_info(a, c)?,
             self.has_negative_info(a, c)?,
@@ -200,13 +196,11 @@ mod tests {
 
     #[test]
     fn example1_paraconsistent_instance_query() {
-        let mut r = r4(
-            "hasPatient some Patient SubClassOf Doctor
+        let mut r = r4("hasPatient some Patient SubClassOf Doctor
              john : Doctor
              john : not Doctor
              mary : Patient
-             hasPatient(bill, mary)",
-        );
+             hasPatient(bill, mary)");
         assert!(r.is_satisfiable().unwrap());
         let doctor = Concept::atomic("Doctor");
         // Positive info that bill is a doctor, no negative info.
@@ -219,12 +213,10 @@ mod tests {
 
     #[test]
     fn example2_access_control() {
-        let mut r = r4(
-            "SurgicalTeam SubClassOf not ReadPatientRecordTeam
+        let mut r = r4("SurgicalTeam SubClassOf not ReadPatientRecordTeam
              UrgencyTeam SubClassOf ReadPatientRecordTeam
              john : SurgicalTeam
-             john : UrgencyTeam",
-        );
+             john : UrgencyTeam");
         assert!(r.is_satisfiable().unwrap());
         let read = Concept::atomic("ReadPatientRecordTeam");
         assert_eq!(r.query(&ind("john"), &read).unwrap(), TruthValue::Both);
@@ -237,16 +229,14 @@ mod tests {
 
     #[test]
     fn example3_and_5_penguin() {
-        let mut r = r4(
-            "Bird and (hasWing some Wing) MaterialSubClassOf Fly
+        let mut r = r4("Bird and (hasWing some Wing) MaterialSubClassOf Fly
              Penguin SubClassOf Bird
              Penguin SubClassOf hasWing some Wing
              Penguin SubClassOf not Fly
              tweety : Bird
              tweety : Penguin
              w : Wing
-             hasWing(tweety, w)",
-        );
+             hasWing(tweety, w)");
         assert!(r.is_satisfiable().unwrap());
         let fly = Concept::atomic("Fly");
         // Example 5: Fly⁻(tweety) holds, Fly⁺(tweety) does not.
@@ -257,12 +247,10 @@ mod tests {
 
     #[test]
     fn example4_adoption() {
-        let mut r = r4(
-            "hasChild min 1 SubClassOf Parent
+        let mut r = r4("hasChild min 1 SubClassOf Parent
              Parent MaterialSubClassOf Married
              hasChild(smith, kate)
-             smith : not Married",
-        );
+             smith : not Married");
         assert!(r.is_satisfiable().unwrap());
         // Negative info about marriage survives.
         assert!(r
@@ -277,10 +265,8 @@ mod tests {
     #[test]
     fn internal_inclusion_does_not_contrapose() {
         // Bird ⊏ Fly plus ¬Fly(x) must NOT give ¬Bird(x).
-        let mut r = r4(
-            "Bird SubClassOf Fly
-             x : not Fly",
-        );
+        let mut r = r4("Bird SubClassOf Fly
+             x : not Fly");
         assert!(!r
             .has_negative_info(&ind("x"), &Concept::atomic("Bird"))
             .unwrap());
@@ -292,10 +278,8 @@ mod tests {
 
     #[test]
     fn strong_inclusion_contraposes() {
-        let mut r = r4(
-            "Bird StrongSubClassOf Fly
-             x : not Fly",
-        );
+        let mut r = r4("Bird StrongSubClassOf Fly
+             x : not Fly");
         assert!(r
             .has_negative_info(&ind("x"), &Concept::atomic("Bird"))
             .unwrap());
@@ -308,19 +292,15 @@ mod tests {
     #[test]
     fn material_inclusion_admits_exceptions() {
         // Bird ↦ Fly with a contradicted bird: tweety escapes the rule.
-        let mut r = r4(
-            "Bird MaterialSubClassOf Fly
+        let mut r = r4("Bird MaterialSubClassOf Fly
              tweety : Bird
-             tweety : not Bird",
-        );
+             tweety : not Bird");
         assert!(!r
             .has_positive_info(&ind("tweety"), &Concept::atomic("Fly"))
             .unwrap());
         // An uncontradicted bird does fly.
-        let mut r = r4(
-            "Bird MaterialSubClassOf Fly
-             robin : Bird",
-        );
+        let mut r = r4("Bird MaterialSubClassOf Fly
+             robin : Bird");
         // Material: everything not provably ¬Bird is Fly — robin is not
         // provably ¬Bird... note ↦ quantifies over Δ∖proj⁻(Bird), and in
         // some models robin ∈ proj⁻(Bird), so positive info is NOT
@@ -338,10 +318,8 @@ mod tests {
 
     #[test]
     fn corollary7_inclusion_entailment() {
-        let mut r = r4(
-            "A SubClassOf B
-             B SubClassOf C",
-        );
+        let mut r = r4("A SubClassOf B
+             B SubClassOf C");
         // Internal inclusions compose.
         assert!(r
             .entails(&Axiom4::ConceptInclusion(
@@ -370,10 +348,8 @@ mod tests {
 
     #[test]
     fn strong_premises_entail_strong_conclusions() {
-        let mut r = r4(
-            "A StrongSubClassOf B
-             B StrongSubClassOf C",
-        );
+        let mut r = r4("A StrongSubClassOf B
+             B StrongSubClassOf C");
         assert!(r
             .entails(&Axiom4::ConceptInclusion(
                 InclusionKind::Strong,
@@ -393,10 +369,8 @@ mod tests {
 
     #[test]
     fn role_queries_four_valued() {
-        let mut r = r4(
-            "r(a, b)
-             not r(c, d)",
-        );
+        let mut r = r4("r(a, b)
+             not r(c, d)");
         let role = RoleName::new("r");
         assert_eq!(
             r.query_role(&role, &ind("a"), &ind("b")).unwrap(),
@@ -411,13 +385,12 @@ mod tests {
             TruthValue::Neither
         );
         // Contradictory role information.
-        let mut r = r4(
-            "r(a, b)
-             not r(a, b)",
-        );
+        let mut r = r4("r(a, b)
+             not r(a, b)");
         assert!(r.is_satisfiable().unwrap());
         assert_eq!(
-            r.query_role(&RoleName::new("r"), &ind("a"), &ind("b")).unwrap(),
+            r.query_role(&RoleName::new("r"), &ind("a"), &ind("b"))
+                .unwrap(),
             TruthValue::Both
         );
     }
@@ -425,12 +398,10 @@ mod tests {
     #[test]
     fn classical_contradiction_keeps_other_inferences() {
         // The headline robustness claim, end to end through the tableau.
-        let mut r = r4(
-            "A SubClassOf B
+        let mut r = r4("A SubClassOf B
              x : A
              x : not A
-             y : A",
-        );
+             y : A");
         assert!(r.is_satisfiable().unwrap());
         assert_eq!(
             r.query(&ind("y"), &Concept::atomic("B")).unwrap(),
@@ -468,10 +439,8 @@ mod tests {
     #[test]
     fn unsatisfiable_four_valued_kb_exists() {
         // Nominal machinery keeps its classical bite: a : {b}, a ≠ b.
-        let mut r = r4(
-            "a : {b}
-             a != b",
-        );
+        let mut r = r4("a : {b}
+             a != b");
         assert!(!r.is_satisfiable().unwrap());
     }
 

@@ -168,12 +168,8 @@ impl Transformer {
                 }
             }
             Concept::AtMost(n, role) => Concept::at_least(n + 1, plus_role(role)),
-            Concept::DataSome(u, d) => {
-                Concept::DataAll(plus_data_role(u), d.complement())
-            }
-            Concept::DataAll(u, d) => {
-                Concept::DataSome(plus_data_role(u), d.complement())
-            }
+            Concept::DataSome(u, d) => Concept::DataAll(plus_data_role(u), d.complement()),
+            Concept::DataAll(u, d) => Concept::DataSome(plus_data_role(u), d.complement()),
             Concept::DataAtLeast(n, u) => {
                 if *n == 0 {
                     Concept::Bottom
@@ -197,10 +193,9 @@ impl Transformer {
                     self.neg_concept(c).not(),
                     self.concept(d),
                 )],
-                InclusionKind::Internal => vec![Axiom::ConceptInclusion(
-                    self.concept(c),
-                    self.concept(d),
-                )],
+                InclusionKind::Internal => {
+                    vec![Axiom::ConceptInclusion(self.concept(c), self.concept(d))]
+                }
                 InclusionKind::Strong => vec![
                     Axiom::ConceptInclusion(self.concept(c), self.concept(d)),
                     Axiom::ConceptInclusion(self.neg_concept(d), self.neg_concept(c)),
@@ -270,18 +265,95 @@ impl Transformer {
 
     /// The classical induced KB `K̄` (Definition 7).
     pub fn kb(&mut self, kb4: &KnowledgeBase4) -> KnowledgeBase {
+        debug_assert!(
+            invariants::signature_is_unsplit(kb4),
+            "input KB already uses split names (`…+`, `…-`, `…=`); \
+             the minted A+/A- companions would collide with them"
+        );
         KnowledgeBase::from_axioms(kb4.axioms().iter().flat_map(|ax| self.axiom(ax)))
+    }
+}
+
+/// Invariant checks behind `debug_assert!` — cheap structural facts that
+/// hold by construction and catch transformation bugs early under
+/// fuzz/proptest runs (compiled out of release builds at the call sites).
+mod invariants {
+    use super::*;
+
+    /// Every name in a transformed concept is a split companion: atomic
+    /// concepts end in `+`/`-`, object and datatype roles in `+`/`=`.
+    /// This is exactly the `A⁺/A⁻` signature-disjointness property —
+    /// split names cannot alias unsplit input names (see
+    /// [`signature_is_unsplit`]), and the `+`/`-` images are pairwise
+    /// distinct.
+    pub fn split_image(c: &Concept) -> bool {
+        let suffixed = |s: &str, a: &str, b: &str| s.ends_with(a) || s.ends_with(b);
+        let mut ok = true;
+        c.for_each_subconcept(&mut |sub| match sub {
+            Concept::Atomic(a) => {
+                ok &= suffixed(a.as_str(), POS_SUFFIX, NEG_SUFFIX);
+            }
+            Concept::Some(r, _)
+            | Concept::All(r, _)
+            | Concept::AtLeast(_, r)
+            | Concept::AtMost(_, r) => {
+                ok &= suffixed(r.name().as_str(), POS_SUFFIX, EQ_SUFFIX);
+            }
+            Concept::DataSome(u, _)
+            | Concept::DataAll(u, _)
+            | Concept::DataAtLeast(_, u)
+            | Concept::DataAtMost(_, u) => {
+                ok &= suffixed(u.as_str(), POS_SUFFIX, EQ_SUFFIX);
+            }
+            _ => {}
+        });
+        ok
+    }
+
+    /// Precondition of [`Transformer::kb`]: the four-valued input must not
+    /// already use names carrying the split suffixes — a pre-existing `A+`
+    /// would be indistinguishable from the positive companion minted for
+    /// `A`, silently conflating two unrelated four-valued names.
+    pub fn signature_is_unsplit(kb4: &KnowledgeBase4) -> bool {
+        let sig = kb4.signature();
+        sig.concepts
+            .iter()
+            .all(|a| !a.as_str().ends_with(POS_SUFFIX) && !a.as_str().ends_with(NEG_SUFFIX))
+            && sig
+                .roles
+                .iter()
+                .all(|r| !r.as_str().ends_with(POS_SUFFIX) && !r.as_str().ends_with(EQ_SUFFIX))
+            && sig
+                .data_roles
+                .iter()
+                .all(|u| !u.as_str().ends_with(POS_SUFFIX) && !u.as_str().ends_with(EQ_SUFFIX))
     }
 }
 
 /// `C̄` with a fresh unmemoized transformer.
 pub fn transform_concept(c: &Concept) -> Concept {
-    Transformer::new().concept(c)
+    let out = Transformer::new().concept(c);
+    debug_assert!(
+        invariants::split_image(&out),
+        "transformed image of `{c}` leaks an unsplit name: `{out}`"
+    );
+    debug_assert!(out.size() <= 2 * c.size(), "transformation not linear");
+    debug_assert!(
+        !dl::nnf::is_nnf(c) || dl::nnf::is_nnf(&out),
+        "transformation must preserve NNF: `{c}` → `{out}`"
+    );
+    out
 }
 
 /// `¬C̄` with a fresh unmemoized transformer.
 pub fn transform_neg_concept(c: &Concept) -> Concept {
-    Transformer::new().neg_concept(c)
+    let out = Transformer::new().neg_concept(c);
+    debug_assert!(
+        invariants::split_image(&out),
+        "transformed image of `¬({c})` leaks an unsplit name: `{out}`"
+    );
+    debug_assert!(out.size() <= 2 * c.size(), "transformation not linear");
+    out
 }
 
 /// The classical induced KB with a fresh memoized transformer.
@@ -398,7 +470,10 @@ mod tests {
         ));
         assert_eq!(
             m,
-            vec![Axiom::ConceptInclusion(C::atomic("A-").not(), C::atomic("B+"))]
+            vec![Axiom::ConceptInclusion(
+                C::atomic("A-").not(),
+                C::atomic("B+")
+            )]
         );
         // Internal: A⁺ ⊑ B⁺.
         let i = tr.axiom(&Axiom4::ConceptInclusion(
@@ -426,7 +501,11 @@ mod tests {
         let mut tr = Transformer::new();
         let (r, s) = (RoleExpr::named("r"), RoleExpr::named("s"));
         assert_eq!(
-            tr.axiom(&Axiom4::RoleInclusion(InclusionKind::Material, r.clone(), s.clone())),
+            tr.axiom(&Axiom4::RoleInclusion(
+                InclusionKind::Material,
+                r.clone(),
+                s.clone()
+            )),
             vec![Axiom::RoleInclusion(
                 RoleExpr::named("r="),
                 RoleExpr::named("s+")
@@ -451,8 +530,16 @@ mod tests {
         let a = dl::IndividualName::new("a");
         let b = dl::IndividualName::new("b");
         assert_eq!(
-            tr.axiom(&Axiom4::RoleAssertion(dl::RoleName::new("r"), a.clone(), b.clone())),
-            vec![Axiom::RoleAssertion(dl::RoleName::new("r+"), a.clone(), b.clone())]
+            tr.axiom(&Axiom4::RoleAssertion(
+                dl::RoleName::new("r"),
+                a.clone(),
+                b.clone()
+            )),
+            vec![Axiom::RoleAssertion(
+                dl::RoleName::new("r+"),
+                a.clone(),
+                b.clone()
+            )]
         );
         let neg = tr.axiom(&Axiom4::NegativeRoleAssertion(
             dl::RoleName::new("r"),
@@ -463,10 +550,7 @@ mod tests {
             neg,
             vec![Axiom::ConceptAssertion(
                 a,
-                Concept::all(
-                    RoleExpr::named("r="),
-                    Concept::one_of([b]).not()
-                )
+                Concept::all(RoleExpr::named("r="), Concept::one_of([b]).not())
             )]
         );
     }
@@ -504,6 +588,31 @@ mod tests {
     }
 
     #[test]
+    fn registry_every_concept_variant_transforms() {
+        // Exhaustiveness over dl's constructor registry: both polarities
+        // of Definition 5 handle every constructor, produce a pure split
+        // image, and stay within the 2× size bound. A new `Concept`
+        // variant reaches this test automatically (via
+        // `Concept::variant`'s wildcard-free match).
+        for v in dl::ConceptVariant::ALL {
+            let s = v.sample();
+            assert_eq!(s.variant(), v, "sample must use its own constructor");
+            let pos = transform_concept(&s);
+            let neg = transform_neg_concept(&s);
+            assert!(
+                super::invariants::split_image(&pos),
+                "{v:?}: `{s}` → `{pos}` leaks an unsplit name"
+            );
+            assert!(
+                super::invariants::split_image(&neg),
+                "{v:?}: `¬({s})` → `{neg}` leaks an unsplit name"
+            );
+            assert!(pos.size() <= 2 * s.size(), "{v:?}: positive blow-up");
+            assert!(neg.size() <= 2 * s.size(), "{v:?}: negative blow-up");
+        }
+    }
+
+    #[test]
     fn example_5_transformed_tbox() {
         // The paper's Example 5: transformation of the penguin TBox4.
         let mut tr = Transformer::new();
@@ -523,7 +632,10 @@ mod tests {
             .not();
         assert_eq!(
             material,
-            vec![Axiom::ConceptInclusion(expected_lhs, Concept::atomic("Fly+"))]
+            vec![Axiom::ConceptInclusion(
+                expected_lhs,
+                Concept::atomic("Fly+")
+            )]
         );
         let internal = tr.axiom(&Axiom4::ConceptInclusion(
             InclusionKind::Internal,

@@ -1,0 +1,198 @@
+//! A vendored, minimal stand-in for the `criterion` benchmark harness:
+//! the same API shape (`Criterion`, `benchmark_group`, `Bencher::iter`,
+//! `BenchmarkId`, `criterion_group!` / `criterion_main!`) with a simple
+//! fixed-budget timing loop and plain-text reporting.
+//!
+//! It exists so the benchmark suite builds and runs offline with no
+//! external dependencies; it makes no statistical claims beyond a mean
+//! over a short measured window.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing context passed to benchmark closures.
+pub struct Bencher {
+    samples: u64,
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, first warming up, then averaging over a bounded
+    /// number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        // Calibrate: aim for a measured window of ~50ms or `samples`
+        // iterations, whichever is smaller in wall time.
+        let budget = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.samples.max(1) && start.elapsed() < budget {
+            black_box(routine());
+            iters += 1;
+        }
+        let elapsed = start.elapsed();
+        self.last_mean_ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the iteration budget for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Run a benchmark by id.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_mean_ns: 0.0,
+        };
+        f(&mut b);
+        println!("bench {}/{}: {:.1} ns/iter", self.name, id, b.last_mean_ns);
+        self
+    }
+
+    /// Run a parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        println!("bench {}/{}: {:.1} ns/iter", self.name, id, b.last_mean_ns);
+        self
+    }
+
+    /// Finish the group (reporting is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Run an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(5);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 500u32), &500u32, |b, &n| {
+            b.iter(|| (0..u64::from(n)).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_and_reports() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("naive", 50).to_string(), "naive/50");
+    }
+}

@@ -4,14 +4,13 @@
 use crate::concept::Concept;
 use crate::datatype::DataValue;
 use crate::name::{DataRoleName, IndividualName, RoleName};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An object role expression: a named role or the inverse of one.
 ///
 /// SHOIN(D) allows inverse roles (`I`); `R⁻⁻` is normalized to `R` by
 /// construction, so every `RoleExpr` is either `R` or `R⁻` for named `R`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RoleExpr {
     name: RoleName,
     inverted: bool,
@@ -66,7 +65,7 @@ impl fmt::Display for RoleExpr {
 }
 
 /// A SHOIN(D) axiom (Table 1, lower block).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Axiom {
     /// Concept inclusion `C₁ ⊑ C₂`.
     ConceptInclusion(Concept, Concept),

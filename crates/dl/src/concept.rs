@@ -12,12 +12,11 @@
 use crate::axiom::RoleExpr;
 use crate::datatype::DataRange;
 use crate::name::{ConceptName, DataRoleName, IndividualName};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// A (possibly complex) SHOIN(D) concept.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Concept {
     /// The top concept `⊤` (the whole object domain).
     Top,
@@ -160,9 +159,7 @@ impl Concept {
     pub fn for_each_subconcept<'a>(&'a self, f: &mut impl FnMut(&'a Concept)) {
         f(self);
         match self {
-            Concept::Not(c) | Concept::Some(_, c) | Concept::All(_, c) => {
-                c.for_each_subconcept(f)
-            }
+            Concept::Not(c) | Concept::Some(_, c) | Concept::All(_, c) => c.for_each_subconcept(f),
             Concept::And(l, r) | Concept::Or(l, r) => {
                 l.for_each_subconcept(f);
                 r.for_each_subconcept(f);
@@ -224,6 +221,114 @@ impl Concept {
     }
 }
 
+/// One entry per [`Concept`] constructor — the exhaustiveness registry.
+///
+/// Passes like NNF, printing, and the Definition 5–7 transformation must
+/// handle *every* constructor. Each keeps a coverage test that walks
+/// [`ConceptVariant::ALL`] and feeds it [`ConceptVariant::sample`]; adding
+/// a constructor here without extending [`Concept::variant`] fails to
+/// compile (the match below is exhaustive with no wildcard), and adding it
+/// in both places makes every coverage test exercise the new case for
+/// free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ConceptVariant {
+    Top,
+    Bottom,
+    Atomic,
+    Not,
+    And,
+    Or,
+    OneOf,
+    Some,
+    All,
+    AtLeast,
+    AtMost,
+    DataSome,
+    DataAll,
+    DataAtLeast,
+    DataAtMost,
+}
+
+impl ConceptVariant {
+    /// Every constructor of the concept language, in declaration order.
+    pub const ALL: [ConceptVariant; 15] = [
+        ConceptVariant::Top,
+        ConceptVariant::Bottom,
+        ConceptVariant::Atomic,
+        ConceptVariant::Not,
+        ConceptVariant::And,
+        ConceptVariant::Or,
+        ConceptVariant::OneOf,
+        ConceptVariant::Some,
+        ConceptVariant::All,
+        ConceptVariant::AtLeast,
+        ConceptVariant::AtMost,
+        ConceptVariant::DataSome,
+        ConceptVariant::DataAll,
+        ConceptVariant::DataAtLeast,
+        ConceptVariant::DataAtMost,
+    ];
+
+    /// A small representative concept using this constructor at the root,
+    /// with non-trivial sub-structure where the constructor allows it.
+    pub fn sample(self) -> Concept {
+        let a = Concept::atomic("A");
+        let b = Concept::atomic("B");
+        let r = RoleExpr::named("r");
+        let u = DataRoleName::new("u");
+        let d = DataRange::IntRange {
+            min: Some(0),
+            max: Some(9),
+        };
+        match self {
+            ConceptVariant::Top => Concept::Top,
+            ConceptVariant::Bottom => Concept::Bottom,
+            ConceptVariant::Atomic => a,
+            ConceptVariant::Not => a.and(b).not(),
+            ConceptVariant::And => a.and(b.not()),
+            ConceptVariant::Or => a.or(b),
+            ConceptVariant::OneOf => {
+                Concept::one_of([IndividualName::new("o1"), IndividualName::new("o2")])
+            }
+            ConceptVariant::Some => Concept::some(r, a.not()),
+            ConceptVariant::All => Concept::all(r, a.or(b)),
+            ConceptVariant::AtLeast => Concept::at_least(2, r),
+            ConceptVariant::AtMost => Concept::at_most(1, r.inverse()),
+            ConceptVariant::DataSome => Concept::DataSome(u, d),
+            ConceptVariant::DataAll => Concept::DataAll(u, d),
+            ConceptVariant::DataAtLeast => Concept::DataAtLeast(2, u),
+            ConceptVariant::DataAtMost => Concept::DataAtMost(1, u),
+        }
+    }
+}
+
+impl Concept {
+    /// The constructor at the root of this concept.
+    ///
+    /// The match is deliberately wildcard-free: a new `Concept` variant
+    /// fails compilation here until [`ConceptVariant`] learns about it,
+    /// which in turn routes it into every registry-driven coverage test.
+    pub fn variant(&self) -> ConceptVariant {
+        match self {
+            Concept::Top => ConceptVariant::Top,
+            Concept::Bottom => ConceptVariant::Bottom,
+            Concept::Atomic(_) => ConceptVariant::Atomic,
+            Concept::Not(_) => ConceptVariant::Not,
+            Concept::And(..) => ConceptVariant::And,
+            Concept::Or(..) => ConceptVariant::Or,
+            Concept::OneOf(_) => ConceptVariant::OneOf,
+            Concept::Some(..) => ConceptVariant::Some,
+            Concept::All(..) => ConceptVariant::All,
+            Concept::AtLeast(..) => ConceptVariant::AtLeast,
+            Concept::AtMost(..) => ConceptVariant::AtMost,
+            Concept::DataSome(..) => ConceptVariant::DataSome,
+            Concept::DataAll(..) => ConceptVariant::DataAll,
+            Concept::DataAtLeast(..) => ConceptVariant::DataAtLeast,
+            Concept::DataAtMost(..) => ConceptVariant::DataAtMost,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,8 +340,7 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = Concept::atomic("Bird")
-            .and(Concept::some(r("hasWing"), Concept::atomic("Wing")));
+        let c = Concept::atomic("Bird").and(Concept::some(r("hasWing"), Concept::atomic("Wing")));
         assert_eq!(c.size(), 4);
         assert_eq!(c.modal_depth(), 1);
     }
@@ -271,7 +375,9 @@ mod tests {
             },
         ));
         assert!(c.concept_names().contains(&ConceptName::new("Parent")));
-        assert!(c.role_names().contains(&crate::name::RoleName::new("hasChild")));
+        assert!(c
+            .role_names()
+            .contains(&crate::name::RoleName::new("hasChild")));
         assert!(c.data_role_names().contains(&DataRoleName::new("hasAge")));
         assert!(c.individual_names().contains(&IndividualName::new("kate")));
     }
@@ -279,7 +385,9 @@ mod tests {
     #[test]
     fn inverse_roles_contribute_their_name() {
         let c = Concept::some(r("worksFor").inverse(), Concept::Top);
-        assert!(c.role_names().contains(&crate::name::RoleName::new("worksFor")));
+        assert!(c
+            .role_names()
+            .contains(&crate::name::RoleName::new("worksFor")));
     }
 
     #[test]

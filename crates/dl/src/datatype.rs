@@ -8,12 +8,11 @@
 //! self-contained satisfiability oracle (used by the tableau).
 
 use crate::name::DatatypeName;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// A concrete data value.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DataValue {
     /// An integer literal such as `42`.
     Integer(i64),
@@ -45,7 +44,7 @@ impl fmt::Display for DataValue {
 }
 
 /// The built-in datatypes of the concrete domain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BuiltinDatatype {
     /// 64-bit integers.
     Integer,
@@ -89,7 +88,7 @@ impl fmt::Display for BuiltinDatatype {
 
 /// A data range (the `D` in `∃U.D` / `∀U.D`): datatype names, enumerations
 /// of values, integer facets, and complements.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DataRange {
     /// A built-in datatype, e.g. `integer`.
     Datatype(BuiltinDatatype),
@@ -118,9 +117,7 @@ impl DataRange {
             DataRange::Datatype(dt) => v.datatype() == *dt,
             DataRange::OneOf(set) => set.contains(v),
             DataRange::IntRange { min, max } => match v {
-                DataValue::Integer(i) => {
-                    min.is_none_or(|m| *i >= m) && max.is_none_or(|m| *i <= m)
-                }
+                DataValue::Integer(i) => min.is_none_or(|m| *i >= m) && max.is_none_or(|m| *i <= m),
                 _ => false,
             },
             DataRange::Not(inner) => !inner.contains(v),
@@ -224,8 +221,7 @@ impl DataRange {
             .chain({
                 let lo = int_points.iter().next().copied().unwrap_or(0);
                 let hi = int_points.iter().next_back().copied().unwrap_or(0);
-                (1..=k as i64)
-                    .flat_map(move |d| [lo.saturating_sub(d), hi.saturating_add(d)])
+                (1..=k as i64).flat_map(move |d| [lo.saturating_sub(d), hi.saturating_add(d)])
             })
             .collect();
         int_points.extend(extra);
@@ -333,11 +329,8 @@ mod tests {
     #[test]
     fn negated_enumeration_still_satisfiable_via_fresh_value() {
         // ¬{ all booleans } ∧ ¬{"x"} is satisfied by a fresh string or int.
-        let no_bools = DataRange::one_of([
-            DataValue::Boolean(true),
-            DataValue::Boolean(false),
-        ])
-        .complement();
+        let no_bools =
+            DataRange::one_of([DataValue::Boolean(true), DataValue::Boolean(false)]).complement();
         let not_x = DataRange::one_of([DataValue::Str("x".into())]).complement();
         assert!(DataRange::conjunction_satisfiable(&[no_bools, not_x]));
     }
@@ -376,7 +369,10 @@ mod tests {
             BuiltinDatatype::from_name(&DatatypeName::new("xsd:boolean")),
             Some(BuiltinDatatype::Boolean)
         );
-        assert_eq!(BuiltinDatatype::from_name(&DatatypeName::new("weird")), None);
+        assert_eq!(
+            BuiltinDatatype::from_name(&DatatypeName::new("weird")),
+            None
+        );
     }
 
     #[test]

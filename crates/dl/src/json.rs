@@ -1,0 +1,63 @@
+//! JSON persistence for classical knowledge bases.
+//!
+//! A KB is serialized as its parseable text form (see [`crate::printer`])
+//! wrapped in a small JSON envelope, so the JSON path inherits the
+//! property-tested `parse(print(kb)) == kb` round trip:
+//!
+//! ```json
+//! {"format":"dl-text/1","kb":"A SubClassOf B\na : A\n"}
+//! ```
+
+use crate::kb::KnowledgeBase;
+use crate::parser::parse_kb;
+use crate::printer::print_kb;
+use jsonio::Value;
+
+/// The envelope format tag.
+pub const KB_FORMAT: &str = "dl-text/1";
+
+/// Serialize a KB to a JSON value.
+pub fn kb_to_json(kb: &KnowledgeBase) -> Value {
+    Value::object([("format", KB_FORMAT.into()), ("kb", print_kb(kb).into())])
+}
+
+/// Deserialize a KB from a JSON value.
+pub fn kb_from_json(v: &Value) -> Result<KnowledgeBase, String> {
+    let format = v.get("format").and_then(Value::as_str);
+    if format != Some(KB_FORMAT) {
+        return Err(format!(
+            "unsupported KB format {format:?} (expected {KB_FORMAT:?})"
+        ));
+    }
+    let text = v
+        .get("kb")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing `kb` text field".to_string())?;
+    parse_kb(text).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kb_round_trips_through_json_text() {
+        let kb = parse_kb(
+            "DataRole: age
+             Adult SubClassOf Person and age some integer[18..]
+             john : Adult
+             age(john, 42)",
+        )
+        .unwrap();
+        let json = kb_to_json(&kb).to_string();
+        let back = kb_from_json(&Value::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, kb);
+    }
+
+    #[test]
+    fn wrong_format_tag_is_rejected() {
+        let v = Value::object([("format", "csv".into()), ("kb", "".into())]);
+        assert!(kb_from_json(&v).is_err());
+        assert!(kb_from_json(&Value::Null).is_err());
+    }
+}

@@ -4,11 +4,10 @@
 use crate::axiom::{Axiom, RoleExpr};
 use crate::concept::Concept;
 use crate::name::{ConceptName, DataRoleName, DatatypeName, IndividualName, RoleName};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The signature of a knowledge base: every name it mentions, by kind.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Signature {
     /// Atomic concept names.
     pub concepts: BTreeSet<ConceptName>,
@@ -86,7 +85,7 @@ impl Signature {
 
 /// A SHOIN(D) knowledge base: a sequence of axioms (order preserved for
 /// reproducible processing and printing).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct KnowledgeBase {
     axioms: Vec<Axiom>,
 }
@@ -176,10 +175,7 @@ impl KnowledgeBase {
         for ax in &self.axioms {
             if let Axiom::RoleInclusion(r, s) = ax {
                 direct.entry(r.clone()).or_default().insert(s.clone());
-                direct
-                    .entry(r.inverse())
-                    .or_default()
-                    .insert(s.inverse());
+                direct.entry(r.inverse()).or_default().insert(s.inverse());
             }
         }
         // Floyd–Warshall-style closure over the (small) set of mentioned
@@ -335,10 +331,7 @@ mod tests {
     #[test]
     fn signature_collects_all_kinds() {
         let kb = KnowledgeBase::from_axioms([
-            Axiom::ConceptInclusion(
-                c("A"),
-                Concept::some(RoleExpr::named("r"), c("B")),
-            ),
+            Axiom::ConceptInclusion(c("A"), Concept::some(RoleExpr::named("r"), c("B"))),
             Axiom::RoleAssertion(
                 RoleName::new("s"),
                 IndividualName::new("x"),
@@ -404,8 +397,9 @@ mod tests {
 
     #[test]
     fn from_iterator() {
-        let kb: KnowledgeBase =
-            [Axiom::ConceptInclusion(c("A"), c("B"))].into_iter().collect();
+        let kb: KnowledgeBase = [Axiom::ConceptInclusion(c("A"), c("B"))]
+            .into_iter()
+            .collect();
         assert_eq!(kb.len(), 1);
     }
 }

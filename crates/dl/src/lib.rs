@@ -36,6 +36,7 @@
 pub mod axiom;
 pub mod concept;
 pub mod datatype;
+pub mod json;
 pub mod kb;
 pub mod name;
 pub mod nnf;
@@ -44,7 +45,7 @@ pub mod printer;
 pub mod snapshot;
 
 pub use axiom::{Axiom, RoleExpr};
-pub use concept::Concept;
+pub use concept::{Concept, ConceptVariant};
 pub use datatype::{DataRange, DataValue};
 pub use kb::{KnowledgeBase, Signature};
 pub use name::{ConceptName, DataRoleName, DatatypeName, IndividualName, RoleName};

@@ -5,7 +5,6 @@
 //! — a cheap static defence against the most common ontology-handling bug.
 //! Clones are pointer copies.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
@@ -13,9 +12,8 @@ macro_rules! name_type {
     ($(#[$doc:meta])* $ty:ident) => {
         $(#[$doc])*
         #[derive(
-            Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+            Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord,
         )]
-        #[serde(transparent)]
         pub struct $ty(Arc<str>);
 
         impl $ty {

@@ -184,6 +184,26 @@ mod tests {
     }
 
     #[test]
+    fn registry_every_concept_variant_normalizes() {
+        // Exhaustiveness over the constructor registry: `nnf` must push a
+        // negation through every constructor (and leave every positive
+        // occurrence in normal form), idempotently.
+        for v in crate::concept::ConceptVariant::ALL {
+            let s = v.sample();
+            assert_eq!(s.variant(), v, "sample must use its own constructor");
+            let n = nnf(&s);
+            assert!(is_nnf(&n), "{v:?}: nnf(`{s}`) = `{n}` is not in NNF");
+            assert_eq!(nnf(&n), n, "{v:?}: nnf is not idempotent");
+            let neg = nnf(&s.clone().not());
+            assert!(
+                is_nnf(&neg),
+                "{v:?}: nnf(`not ({s})`) = `{neg}` is not in NNF"
+            );
+            assert_eq!(nnf(&neg), neg, "{v:?}: nnf is not idempotent on negations");
+        }
+    }
+
+    #[test]
     fn nnf_preserves_size_polynomially() {
         // NNF at most doubles the size (each node visited once, negation
         // absorbed into atoms).

@@ -209,9 +209,10 @@ fn tokenize(line: &str, lineno: usize) -> Result<Vec<Tok>> {
                 if text == "-" {
                     return Err(err("stray `-`".into()));
                 }
-                toks.push(Tok::Int(text.parse().map_err(|_| {
-                    err(format!("integer out of range: {text}"))
-                })?));
+                toks.push(Tok::Int(
+                    text.parse()
+                        .map_err(|_| err(format!("integer out of range: {text}")))?,
+                ));
             }
             _ if c.is_alphabetic() || c == '_' => {
                 // `+`, `-` and `=` are allowed inside names so the
@@ -304,10 +305,7 @@ impl<'a> Cursor<'a> {
         if self.at_end() {
             Ok(())
         } else {
-            self.err(format!(
-                "unexpected trailing {}",
-                self.toks[self.pos]
-            ))
+            self.err(format!("unexpected trailing {}", self.toks[self.pos]))
         }
     }
 }
@@ -368,89 +366,88 @@ impl Parser {
         // Simple-name-headed ABox forms: `a : C`, `r(a,b)`, `u(a,v)`,
         // `a = b`, `a != b`. Reserved words head concept expressions
         // (`not (A or B) SubClassOf …`), never ABox statements.
-        const RESERVED: [&str; 8] =
-            ["not", "inverse", "and", "or", "some", "only", "min", "max"];
+        const RESERVED: [&str; 8] = ["not", "inverse", "and", "or", "some", "only", "min", "max"];
         if let Some(Tok::Ident(name)) = cur.peek() {
             if RESERVED.contains(&name.as_str()) {
                 // fall through to the TBox concept parse below
             } else {
-            match cur.peek2() {
-                Some(Tok::Colon) => {
-                    let subject = name.clone();
-                    cur.next();
-                    cur.next();
-                    let c = self.parse_concept_expr(cur)?;
-                    cur.done()?;
-                    out.push(Axiom::ConceptAssertion(IndividualName::new(subject), c));
-                    return Ok(());
-                }
-                Some(Tok::Eq) => {
-                    let a = name.clone();
-                    cur.next();
-                    cur.next();
-                    let b = cur.expect_ident()?.to_string();
-                    cur.done()?;
-                    out.push(Axiom::SameIndividual(
-                        IndividualName::new(a),
-                        IndividualName::new(b),
-                    ));
-                    return Ok(());
-                }
-                Some(Tok::Neq) => {
-                    let a = name.clone();
-                    cur.next();
-                    cur.next();
-                    let b = cur.expect_ident()?.to_string();
-                    cur.done()?;
-                    out.push(Axiom::DifferentIndividuals(
-                        IndividualName::new(a),
-                        IndividualName::new(b),
-                    ));
-                    return Ok(());
-                }
-                Some(Tok::LParen) => {
-                    let role = name.clone();
-                    cur.next();
-                    cur.next();
-                    let a = cur.expect_ident()?.to_string();
-                    cur.expect(&Tok::Comma)?;
-                    let axiom = match cur.next() {
-                        Some(Tok::Ident(b)) if b == "true" || b == "false" => {
-                            Axiom::DataAssertion(
+                match cur.peek2() {
+                    Some(Tok::Colon) => {
+                        let subject = name.clone();
+                        cur.next();
+                        cur.next();
+                        let c = self.parse_concept_expr(cur)?;
+                        cur.done()?;
+                        out.push(Axiom::ConceptAssertion(IndividualName::new(subject), c));
+                        return Ok(());
+                    }
+                    Some(Tok::Eq) => {
+                        let a = name.clone();
+                        cur.next();
+                        cur.next();
+                        let b = cur.expect_ident()?.to_string();
+                        cur.done()?;
+                        out.push(Axiom::SameIndividual(
+                            IndividualName::new(a),
+                            IndividualName::new(b),
+                        ));
+                        return Ok(());
+                    }
+                    Some(Tok::Neq) => {
+                        let a = name.clone();
+                        cur.next();
+                        cur.next();
+                        let b = cur.expect_ident()?.to_string();
+                        cur.done()?;
+                        out.push(Axiom::DifferentIndividuals(
+                            IndividualName::new(a),
+                            IndividualName::new(b),
+                        ));
+                        return Ok(());
+                    }
+                    Some(Tok::LParen) => {
+                        let role = name.clone();
+                        cur.next();
+                        cur.next();
+                        let a = cur.expect_ident()?.to_string();
+                        cur.expect(&Tok::Comma)?;
+                        let axiom = match cur.next() {
+                            Some(Tok::Ident(b)) if b == "true" || b == "false" => {
+                                Axiom::DataAssertion(
+                                    DataRoleName::new(role),
+                                    IndividualName::new(a),
+                                    DataValue::Boolean(b == "true"),
+                                )
+                            }
+                            Some(Tok::Ident(b)) => Axiom::RoleAssertion(
+                                RoleName::new(role),
+                                IndividualName::new(a),
+                                IndividualName::new(b.clone()),
+                            ),
+                            Some(Tok::Int(i)) => Axiom::DataAssertion(
                                 DataRoleName::new(role),
                                 IndividualName::new(a),
-                                DataValue::Boolean(b == "true"),
-                            )
-                        }
-                        Some(Tok::Ident(b)) => Axiom::RoleAssertion(
-                            RoleName::new(role),
-                            IndividualName::new(a),
-                            IndividualName::new(b.clone()),
-                        ),
-                        Some(Tok::Int(i)) => Axiom::DataAssertion(
-                            DataRoleName::new(role),
-                            IndividualName::new(a),
-                            DataValue::Integer(*i),
-                        ),
-                        Some(Tok::Str(s)) => Axiom::DataAssertion(
-                            DataRoleName::new(role),
-                            IndividualName::new(a),
-                            DataValue::Str(s.clone()),
-                        ),
-                        other => {
-                            return cur.err(format!(
-                                "expected individual or literal, found {}",
-                                other.map_or("end of line".to_string(), |t| t.to_string())
-                            ))
-                        }
-                    };
-                    cur.expect(&Tok::RParen)?;
-                    cur.done()?;
-                    out.push(axiom);
-                    return Ok(());
+                                DataValue::Integer(*i),
+                            ),
+                            Some(Tok::Str(s)) => Axiom::DataAssertion(
+                                DataRoleName::new(role),
+                                IndividualName::new(a),
+                                DataValue::Str(s.clone()),
+                            ),
+                            other => {
+                                return cur.err(format!(
+                                    "expected individual or literal, found {}",
+                                    other.map_or("end of line".to_string(), |t| t.to_string())
+                                ))
+                            }
+                        };
+                        cur.expect(&Tok::RParen)?;
+                        cur.done()?;
+                        out.push(axiom);
+                        return Ok(());
+                    }
+                    _ => {}
                 }
-                _ => {}
-            }
             }
         }
 
@@ -458,7 +455,11 @@ impl Parser {
         let lhs = self.parse_concept_expr(cur)?;
         let keyword = match cur.next() {
             Some(Tok::Ident(k)) => k.as_str(),
-            Some(t) => return cur.err(format!("expected SubClassOf/EquivalentTo/DisjointWith, found {t}")),
+            Some(t) => {
+                return cur.err(format!(
+                    "expected SubClassOf/EquivalentTo/DisjointWith, found {t}"
+                ))
+            }
             None => return cur.err("expected SubClassOf/EquivalentTo/DisjointWith"),
         };
         let rhs = self.parse_concept_expr(cur)?;
@@ -469,8 +470,8 @@ impl Parser {
             "DisjointWith" => out.push(Axiom::disjoint(lhs, rhs)),
             other => {
                 return cur.err(format!(
-                    "unknown axiom keyword `{other}` (expected SubClassOf/EquivalentTo/DisjointWith)"
-                ))
+                "unknown axiom keyword `{other}` (expected SubClassOf/EquivalentTo/DisjointWith)"
+            ))
             }
         }
         Ok(())
@@ -599,9 +600,8 @@ impl Parser {
                     match cur.next() {
                         Some(Tok::Ident(n)) => names.push(IndividualName::new(n.as_str())),
                         Some(t) => {
-                            return cur.err(format!(
-                                "expected individual name in nominal, found {t}"
-                            ))
+                            return cur
+                                .err(format!("expected individual name in nominal, found {t}"))
                         }
                         None => return cur.err("unterminated nominal"),
                     }
@@ -619,11 +619,7 @@ impl Parser {
         }
     }
 
-    fn parse_restriction_tail(
-        &self,
-        cur: &mut Cursor<'_>,
-        role: RoleOrData,
-    ) -> Result<Concept> {
+    fn parse_restriction_tail(&self, cur: &mut Cursor<'_>, role: RoleOrData) -> Result<Concept> {
         let Some(Tok::Ident(kw)) = cur.next() else {
             return cur.err("expected restriction keyword");
         };
@@ -687,20 +683,20 @@ impl Parser {
                     && match cur.peek3() {
                         Some(Tok::Ident(k2)) => DATATYPE_NAMES.contains(&k2.as_str()),
                         // `not({…})`: literal set = data, nominal = concept.
-                        Some(Tok::LBrace) => matches!(
-                            cur.peek_n(3),
-                            Some(Tok::Int(_)) | Some(Tok::Str(_))
-                        ) || matches!(
-                            cur.peek_n(3),
-                            Some(Tok::Ident(b)) if b == "true" || b == "false"
-                        ),
+                        Some(Tok::LBrace) => {
+                            matches!(cur.peek_n(3), Some(Tok::Int(_)) | Some(Tok::Str(_)))
+                                || matches!(
+                                    cur.peek_n(3),
+                                    Some(Tok::Ident(b)) if b == "true" || b == "false"
+                                )
+                        }
                         _ => false,
                     }
             }
-            Some(Tok::LBrace) => matches!(
-                cur.peek2(),
-                Some(Tok::Int(_)) | Some(Tok::Str(_))
-            ) || matches!(cur.peek2(), Some(Tok::Ident(b)) if b == "true" || b == "false"),
+            Some(Tok::LBrace) => {
+                matches!(cur.peek2(), Some(Tok::Int(_)) | Some(Tok::Str(_)))
+                    || matches!(cur.peek2(), Some(Tok::Ident(b)) if b == "true" || b == "false")
+            }
             _ => false,
         }
     }
@@ -742,9 +738,7 @@ impl Parser {
             Some(Tok::Ident(k)) if k == "boolean" || k == "bool" => {
                 Ok(DataRange::Datatype(BuiltinDatatype::Boolean))
             }
-            Some(Tok::Ident(k)) if k == "string" => {
-                Ok(DataRange::Datatype(BuiltinDatatype::Str))
-            }
+            Some(Tok::Ident(k)) if k == "string" => Ok(DataRange::Datatype(BuiltinDatatype::Str)),
             Some(Tok::LBrace) => {
                 let mut values = Vec::new();
                 loop {
@@ -754,9 +748,7 @@ impl Parser {
                         Some(Tok::Ident(b)) if b == "true" || b == "false" => {
                             values.push(DataValue::Boolean(b == "true"))
                         }
-                        Some(t) => {
-                            return cur.err(format!("expected literal, found {t}"))
-                        }
+                        Some(t) => return cur.err(format!("expected literal, found {t}")),
                         None => return cur.err("unterminated literal set"),
                     }
                     match cur.next() {
@@ -853,10 +845,7 @@ mod tests {
     #[test]
     fn parse_simple_inclusion() {
         let kb = parse_kb("A SubClassOf B").unwrap();
-        assert_eq!(
-            kb.axioms(),
-            &[Axiom::ConceptInclusion(a("A"), a("B"))]
-        );
+        assert_eq!(kb.axioms(), &[Axiom::ConceptInclusion(a("A"), a("B"))]);
     }
 
     #[test]
@@ -937,10 +926,8 @@ mod tests {
 
     #[test]
     fn parse_abox_forms() {
-        let kb = parse_kb(
-            "john : Doctor\nhasPatient(bill, mary)\njohn = johnny\nbill != mary",
-        )
-        .unwrap();
+        let kb =
+            parse_kb("john : Doctor\nhasPatient(bill, mary)\njohn = johnny\nbill != mary").unwrap();
         assert_eq!(kb.len(), 4);
         assert!(matches!(kb.axioms()[0], Axiom::ConceptAssertion(..)));
         assert!(matches!(kb.axioms()[1], Axiom::RoleAssertion(..)));
@@ -983,10 +970,9 @@ mod tests {
 
     #[test]
     fn parse_data_role_declaration_disambiguates() {
-        let kb = parse_kb(
-            "DataRole: hasAge\nAdult EquivalentTo Person and hasAge some integer[18..]",
-        )
-        .unwrap();
+        let kb =
+            parse_kb("DataRole: hasAge\nAdult EquivalentTo Person and hasAge some integer[18..]")
+                .unwrap();
         assert_eq!(kb.len(), 2); // EquivalentTo expands to two inclusions
         let Axiom::ConceptInclusion(_, rhs) = &kb.axioms()[0] else {
             panic!()
@@ -1013,8 +999,7 @@ mod tests {
 
     #[test]
     fn declared_data_role_min_max() {
-        let kb =
-            parse_kb("DataRole: u\nC SubClassOf u min 2\nD SubClassOf u max 0").unwrap();
+        let kb = parse_kb("DataRole: u\nC SubClassOf u min 2\nD SubClassOf u max 0").unwrap();
         let Axiom::ConceptInclusion(_, rhs) = &kb.axioms()[0] else {
             panic!()
         };

@@ -222,6 +222,26 @@ john != mary";
     }
 
     #[test]
+    fn registry_every_concept_variant_round_trips() {
+        // Exhaustiveness over the constructor registry: the printer must
+        // emit a reparseable form for every constructor. Embedding the
+        // sample in a KB lets `print_kb` declare data roles, so datatype
+        // restrictions re-parse as datatype restrictions.
+        for v in crate::concept::ConceptVariant::ALL {
+            let sample = v.sample();
+            assert_eq!(sample.variant(), v, "sample must use its own constructor");
+            let kb = crate::kb::KnowledgeBase::from_axioms([Axiom::ConceptInclusion(
+                Concept::atomic("C"),
+                sample,
+            )]);
+            let printed = print_kb(&kb);
+            let reparsed = parse_kb(&printed)
+                .unwrap_or_else(|e| panic!("{v:?}: reparse of `{printed}` failed: {e}"));
+            assert_eq!(reparsed, kb, "{v:?}: round trip via `{printed}`");
+        }
+    }
+
+    #[test]
     fn data_min_max_reparse_via_declaration() {
         let kb = parse_kb("DataRole: u\nC SubClassOf u min 2").unwrap();
         let printed = print_kb(&kb);

@@ -17,7 +17,6 @@ use crate::concept::Concept;
 use crate::datatype::{BuiltinDatatype, DataRange, DataValue};
 use crate::kb::KnowledgeBase;
 use crate::name::{ConceptName, DataRoleName, IndividualName, RoleName};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"DLKB";
@@ -55,25 +54,25 @@ impl std::error::Error for SnapshotError {}
 type Result<T> = std::result::Result<T, SnapshotError>;
 
 /// Serialize a KB to bytes.
-pub fn encode(kb: &KnowledgeBase) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + kb.size() * 8);
-    buf.put_slice(MAGIC);
-    buf.put_u8(VERSION);
-    buf.put_u32_le(kb.len() as u32);
+pub fn encode(kb: &KnowledgeBase) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + kb.size() * 8);
+    buf.extend_from_slice(MAGIC);
+    buf.push(VERSION);
+    put_u32(&mut buf, kb.len() as u32);
     for ax in kb.axioms() {
         put_axiom(&mut buf, ax);
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserialize a KB from bytes.
 pub fn decode(mut buf: &[u8]) -> Result<KnowledgeBase> {
-    let mut magic = [0u8; 4];
-    if buf.remaining() < 4 {
+    if buf.len() < 4 {
         return Err(SnapshotError::UnexpectedEof);
     }
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let (magic, rest) = buf.split_at(4);
+    buf = rest;
+    if magic != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
     let version = get_u8(&mut buf)?;
@@ -88,44 +87,55 @@ pub fn decode(mut buf: &[u8]) -> Result<KnowledgeBase> {
     Ok(KnowledgeBase::from_axioms(axioms))
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
-    buf.put_slice(s.as_bytes());
+fn put_u32(buf: &mut Vec<u8>, n: u32) {
+    buf.extend_from_slice(&n.to_le_bytes());
+}
+
+fn put_i64(buf: &mut Vec<u8>, n: i64) {
+    buf.extend_from_slice(&n.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
 }
 
 fn get_u8(buf: &mut &[u8]) -> Result<u8> {
-    if buf.remaining() < 1 {
-        return Err(SnapshotError::UnexpectedEof);
-    }
-    Ok(buf.get_u8())
+    let (&b, rest) = buf.split_first().ok_or(SnapshotError::UnexpectedEof)?;
+    *buf = rest;
+    Ok(b)
 }
 
 fn get_u32(buf: &mut &[u8]) -> Result<u32> {
-    if buf.remaining() < 4 {
+    if buf.len() < 4 {
         return Err(SnapshotError::UnexpectedEof);
     }
-    Ok(buf.get_u32_le())
+    let (head, rest) = buf.split_at(4);
+    *buf = rest;
+    Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
 }
 
 fn get_i64(buf: &mut &[u8]) -> Result<i64> {
-    if buf.remaining() < 8 {
+    if buf.len() < 8 {
         return Err(SnapshotError::UnexpectedEof);
     }
-    Ok(buf.get_i64_le())
+    let (head, rest) = buf.split_at(8);
+    *buf = rest;
+    Ok(i64::from_le_bytes(head.try_into().expect("8 bytes")))
 }
 
 fn get_str(buf: &mut &[u8]) -> Result<String> {
     let len = get_u32(buf)? as usize;
-    if buf.remaining() < len {
+    if buf.len() < len {
         return Err(SnapshotError::UnexpectedEof);
     }
-    let bytes = buf[..len].to_vec();
-    buf.advance(len);
-    String::from_utf8(bytes).map_err(|_| SnapshotError::BadUtf8)
+    let (head, rest) = buf.split_at(len);
+    *buf = rest;
+    String::from_utf8(head.to_vec()).map_err(|_| SnapshotError::BadUtf8)
 }
 
-fn put_role(buf: &mut BytesMut, r: &RoleExpr) {
-    buf.put_u8(u8::from(r.is_inverse()));
+fn put_role(buf: &mut Vec<u8>, r: &RoleExpr) {
+    buf.push(u8::from(r.is_inverse()));
     put_str(buf, r.name().as_str());
 }
 
@@ -136,18 +146,18 @@ fn get_role(buf: &mut &[u8]) -> Result<RoleExpr> {
     Ok(if inv { r.inverse() } else { r })
 }
 
-fn put_value(buf: &mut BytesMut, v: &DataValue) {
+fn put_value(buf: &mut Vec<u8>, v: &DataValue) {
     match v {
         DataValue::Integer(i) => {
-            buf.put_u8(0);
-            buf.put_i64_le(*i);
+            buf.push(0);
+            put_i64(buf, *i);
         }
         DataValue::Boolean(b) => {
-            buf.put_u8(1);
-            buf.put_u8(u8::from(*b));
+            buf.push(1);
+            buf.push(u8::from(*b));
         }
         DataValue::Str(s) => {
-            buf.put_u8(2);
+            buf.push(2);
             put_str(buf, s);
         }
     }
@@ -162,36 +172,36 @@ fn get_value(buf: &mut &[u8]) -> Result<DataValue> {
     }
 }
 
-fn put_range(buf: &mut BytesMut, d: &DataRange) {
+fn put_range(buf: &mut Vec<u8>, d: &DataRange) {
     match d {
         DataRange::Datatype(dt) => {
-            buf.put_u8(0);
-            buf.put_u8(match dt {
+            buf.push(0);
+            buf.push(match dt {
                 BuiltinDatatype::Integer => 0,
                 BuiltinDatatype::Boolean => 1,
                 BuiltinDatatype::Str => 2,
             });
         }
         DataRange::OneOf(vs) => {
-            buf.put_u8(1);
-            buf.put_u32_le(vs.len() as u32);
+            buf.push(1);
+            put_u32(buf, vs.len() as u32);
             for v in vs {
                 put_value(buf, v);
             }
         }
         DataRange::IntRange { min, max } => {
-            buf.put_u8(2);
-            buf.put_u8(u8::from(min.is_some()));
+            buf.push(2);
+            buf.push(u8::from(min.is_some()));
             if let Some(m) = min {
-                buf.put_i64_le(*m);
+                put_i64(buf, *m);
             }
-            buf.put_u8(u8::from(max.is_some()));
+            buf.push(u8::from(max.is_some()));
             if let Some(m) = max {
-                buf.put_i64_le(*m);
+                put_i64(buf, *m);
             }
         }
         DataRange::Not(inner) => {
-            buf.put_u8(3);
+            buf.push(3);
             put_range(buf, inner);
         }
     }
@@ -231,73 +241,73 @@ fn get_range(buf: &mut &[u8]) -> Result<DataRange> {
     }
 }
 
-fn put_concept(buf: &mut BytesMut, c: &Concept) {
+fn put_concept(buf: &mut Vec<u8>, c: &Concept) {
     match c {
-        Concept::Top => buf.put_u8(0),
-        Concept::Bottom => buf.put_u8(1),
+        Concept::Top => buf.push(0),
+        Concept::Bottom => buf.push(1),
         Concept::Atomic(a) => {
-            buf.put_u8(2);
+            buf.push(2);
             put_str(buf, a.as_str());
         }
         Concept::Not(inner) => {
-            buf.put_u8(3);
+            buf.push(3);
             put_concept(buf, inner);
         }
         Concept::And(l, r) => {
-            buf.put_u8(4);
+            buf.push(4);
             put_concept(buf, l);
             put_concept(buf, r);
         }
         Concept::Or(l, r) => {
-            buf.put_u8(5);
+            buf.push(5);
             put_concept(buf, l);
             put_concept(buf, r);
         }
         Concept::OneOf(os) => {
-            buf.put_u8(6);
-            buf.put_u32_le(os.len() as u32);
+            buf.push(6);
+            put_u32(buf, os.len() as u32);
             for o in os {
                 put_str(buf, o.as_str());
             }
         }
         Concept::Some(r, f) => {
-            buf.put_u8(7);
+            buf.push(7);
             put_role(buf, r);
             put_concept(buf, f);
         }
         Concept::All(r, f) => {
-            buf.put_u8(8);
+            buf.push(8);
             put_role(buf, r);
             put_concept(buf, f);
         }
         Concept::AtLeast(n, r) => {
-            buf.put_u8(9);
-            buf.put_u32_le(*n);
+            buf.push(9);
+            put_u32(buf, *n);
             put_role(buf, r);
         }
         Concept::AtMost(n, r) => {
-            buf.put_u8(10);
-            buf.put_u32_le(*n);
+            buf.push(10);
+            put_u32(buf, *n);
             put_role(buf, r);
         }
         Concept::DataSome(u, d) => {
-            buf.put_u8(11);
+            buf.push(11);
             put_str(buf, u.as_str());
             put_range(buf, d);
         }
         Concept::DataAll(u, d) => {
-            buf.put_u8(12);
+            buf.push(12);
             put_str(buf, u.as_str());
             put_range(buf, d);
         }
         Concept::DataAtLeast(n, u) => {
-            buf.put_u8(13);
-            buf.put_u32_le(*n);
+            buf.push(13);
+            put_u32(buf, *n);
             put_str(buf, u.as_str());
         }
         Concept::DataAtMost(n, u) => {
-            buf.put_u8(14);
-            buf.put_u32_le(*n);
+            buf.push(14);
+            put_u32(buf, *n);
             put_str(buf, u.as_str());
         }
     }
@@ -363,51 +373,51 @@ fn get_concept(buf: &mut &[u8]) -> Result<Concept> {
     })
 }
 
-fn put_axiom(buf: &mut BytesMut, ax: &Axiom) {
+fn put_axiom(buf: &mut Vec<u8>, ax: &Axiom) {
     match ax {
         Axiom::ConceptInclusion(c, d) => {
-            buf.put_u8(0);
+            buf.push(0);
             put_concept(buf, c);
             put_concept(buf, d);
         }
         Axiom::RoleInclusion(r, s) => {
-            buf.put_u8(1);
+            buf.push(1);
             put_role(buf, r);
             put_role(buf, s);
         }
         Axiom::Transitive(r) => {
-            buf.put_u8(2);
+            buf.push(2);
             put_str(buf, r.as_str());
         }
         Axiom::DataRoleInclusion(u, v) => {
-            buf.put_u8(3);
+            buf.push(3);
             put_str(buf, u.as_str());
             put_str(buf, v.as_str());
         }
         Axiom::ConceptAssertion(a, c) => {
-            buf.put_u8(4);
+            buf.push(4);
             put_str(buf, a.as_str());
             put_concept(buf, c);
         }
         Axiom::RoleAssertion(r, a, b) => {
-            buf.put_u8(5);
+            buf.push(5);
             put_str(buf, r.as_str());
             put_str(buf, a.as_str());
             put_str(buf, b.as_str());
         }
         Axiom::DataAssertion(u, a, v) => {
-            buf.put_u8(6);
+            buf.push(6);
             put_str(buf, u.as_str());
             put_str(buf, a.as_str());
             put_value(buf, v);
         }
         Axiom::SameIndividual(a, b) => {
-            buf.put_u8(7);
+            buf.push(7);
             put_str(buf, a.as_str());
             put_str(buf, b.as_str());
         }
         Axiom::DifferentIndividuals(a, b) => {
-            buf.put_u8(8);
+            buf.push(8);
             put_str(buf, a.as_str());
             put_str(buf, b.as_str());
         }
@@ -556,6 +566,11 @@ mod tests {
         let text = crate::printer::print_kb(&kb);
         // Not a strong guarantee, just a sanity bound: the binary form
         // should not balloon past ~3x the text form.
-        assert!(bytes.len() < text.len() * 3, "{} vs {}", bytes.len(), text.len());
+        assert!(
+            bytes.len() < text.len() * 3,
+            "{} vs {}",
+            bytes.len(),
+            text.len()
+        );
     }
 }

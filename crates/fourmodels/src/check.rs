@@ -67,11 +67,7 @@ pub fn query_by_enumeration(
 }
 
 /// Is the axiom satisfied in every model over the configured domain?
-pub fn entailed_axiom_by_enumeration(
-    kb: &KnowledgeBase4,
-    cfg: &EnumConfig,
-    ax: &Axiom4,
-) -> bool {
+pub fn entailed_axiom_by_enumeration(kb: &KnowledgeBase4, cfg: &EnumConfig, ax: &Axiom4) -> bool {
     ModelIter::new(kb, cfg)
         .filter(|m| m.satisfies(kb))
         .all(|m| m.satisfies_axiom(ax))
@@ -152,11 +148,7 @@ mod tests {
         let mut r = shoin4::Reasoner4::new(&kb);
         for (sub, sup) in [("A", "C"), ("C", "A"), ("A", "B"), ("B", "A")] {
             for kind in InclusionKind::ALL {
-                let ax = Axiom4::ConceptInclusion(
-                    kind,
-                    Concept::atomic(sub),
-                    Concept::atomic(sup),
-                );
+                let ax = Axiom4::ConceptInclusion(kind, Concept::atomic(sub), Concept::atomic(sup));
                 assert_eq!(
                     entailed_axiom_by_enumeration(&kb, &cfg, &ax),
                     r.entails(&ax).unwrap(),

@@ -145,8 +145,7 @@ impl ModelIter {
                 }
             }
         }
-        let choice_sets: Vec<Vec<(bool, bool)>> =
-            atoms.iter().map(|a| choices(a, cfg)).collect();
+        let choice_sets: Vec<Vec<(bool, bool)>> = atoms.iter().map(|a| choices(a, cfg)).collect();
         let total: u128 = choice_sets
             .iter()
             .map(|c| c.len() as u128)
@@ -170,10 +169,7 @@ impl ModelIter {
 
     /// The number of interpretations in the space.
     pub fn total(&self) -> u128 {
-        self.choice_sets
-            .iter()
-            .map(|c| c.len() as u128)
-            .product()
+        self.choice_sets.iter().map(|c| c.len() as u128).product()
     }
 
     fn materialize(&self, counter: &[usize]) -> Interp4 {
@@ -264,7 +260,7 @@ impl Iterator for ModelIter {
 }
 
 /// Count the models of `kb` (interpretations satisfying every axiom),
-/// splitting the space across worker threads with crossbeam.
+/// splitting the space across scoped worker threads.
 pub fn count_models_parallel(kb: &KnowledgeBase4, cfg: &EnumConfig, workers: usize) -> u64 {
     let workers = workers.max(1);
     let iter = ModelIter::new(kb, cfg);
@@ -275,22 +271,22 @@ pub fn count_models_parallel(kb: &KnowledgeBase4, cfg: &EnumConfig, workers: usi
     // Partition by stripes: worker w takes interpretations w, w+k, w+2k…
     // Each worker re-creates the iterator and skips; for the sizes this
     // oracle is used at, re-enumeration dominated by satisfaction checks.
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for w in 0..workers {
-            let kb = kb.clone();
-            let cfg = cfg.clone();
-            handles.push(s.spawn(move |_| {
-                ModelIter::new(&kb, &cfg)
+            handles.push(s.spawn(move || {
+                ModelIter::new(kb, cfg)
                     .enumerate()
                     .filter(|(idx, _)| idx % workers == w)
-                    .filter(|(_, m)| m.satisfies(&kb))
+                    .filter(|(_, m)| m.satisfies(kb))
                     .count() as u64
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .sum()
     })
-    .expect("crossbeam scope")
 }
 
 #[cfg(test)]
@@ -336,8 +332,9 @@ mod tests {
     fn every_model_satisfies_or_not_consistently() {
         let kb = parse_kb4("x : A\nA SubClassOf B").unwrap();
         let cfg = EnumConfig::for_kb(&kb);
-        let models: Vec<Interp4> =
-            ModelIter::new(&kb, &cfg).filter(|m| m.satisfies(&kb)).collect();
+        let models: Vec<Interp4> = ModelIter::new(&kb, &cfg)
+            .filter(|m| m.satisfies(&kb))
+            .collect();
         assert!(!models.is_empty());
         for m in &models {
             // x ∈ pos(A) and pos(A) ⊆ pos(B).
@@ -381,10 +378,14 @@ mod tests {
         let mut cfg = EnumConfig::for_kb(&kb);
         cfg.nonreflexive_roles.insert(dl::RoleName::new("r"));
         assert_eq!(cfg.domain_size, 1);
-        let none = ModelIter::new(&kb, &cfg).filter(|m| m.satisfies(&kb)).count();
+        let none = ModelIter::new(&kb, &cfg)
+            .filter(|m| m.satisfies(&kb))
+            .count();
         assert_eq!(none, 0);
         cfg.domain_size = 2;
-        let some = ModelIter::new(&kb, &cfg).filter(|m| m.satisfies(&kb)).count();
+        let some = ModelIter::new(&kb, &cfg)
+            .filter(|m| m.satisfies(&kb))
+            .count();
         assert!(some > 0);
     }
 

@@ -77,8 +77,7 @@ pub fn table4_rows() -> Vec<Table4Row> {
         let s = m.individual(&smith).expect("smith in domain");
         let k = m.individual(&kate).expect("kate in domain");
         let r = m.role(&RoleName::new("hasChild"));
-        let has_child =
-            TruthValue::from_bits(r.pos.contains(&(s, k)), r.neg.contains(&(s, k)));
+        let has_child = TruthValue::from_bits(r.pos.contains(&(s, k)), r.neg.contains(&(s, k)));
         rows.insert(Table4Row {
             has_child,
             at_least_one_child: m.eval(&at_least).status(&s),
@@ -146,9 +145,8 @@ pub fn render_table4() -> String {
             .collect::<Vec<_>>()
             .join("/")
     }
-    let mut out = String::from(
-        "      | hasChild(s,k) | >=1.hasChild(s) | Parent(s) | Married(s)\n",
-    );
+    let mut out =
+        String::from("      | hasChild(s,k) | >=1.hasChild(s) | Parent(s) | Married(s)\n");
     for g in table4_grouped() {
         out.push_str(&format!(
             "{:<5} | {:^13} | {:^15} | {:^9} | {:^10}\n",
@@ -193,12 +191,14 @@ mod tests {
         ];
         let expected: BTreeSet<Table4Row> = expected
             .into_iter()
-            .map(|(has_child, at_least_one_child, parent, married)| Table4Row {
-                has_child,
-                at_least_one_child,
-                parent,
-                married,
-            })
+            .map(
+                |(has_child, at_least_one_child, parent, married)| Table4Row {
+                    has_child,
+                    at_least_one_child,
+                    parent,
+                    married,
+                },
+            )
             .collect();
         assert_eq!(rows, expected);
     }
@@ -243,7 +243,9 @@ mod tests {
         // hasChild(smith, smith) positively, which Table 4 excludes.
         let kb = example4_kb();
         let cfg = EnumConfig::for_kb(&kb); // no restriction
-        let count = ModelIter::new(&kb, &cfg).filter(|m| m.satisfies(&kb)).count();
+        let count = ModelIter::new(&kb, &cfg)
+            .filter(|m| m.satisfies(&kb))
+            .count();
         let restricted = ModelIter::new(&kb, &example4_config())
             .filter(|m| m.satisfies(&kb))
             .count();

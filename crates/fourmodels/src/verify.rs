@@ -177,7 +177,13 @@ mod tests {
                 inverse_roles: true,
                 seed,
             });
-            let mut r = Reasoner::new(&kb);
+            // A small wall-clock budget: seeds whose search diverges
+            // (NN-rule with inverse roles) are skipped, not waited out.
+            let cfg = tableau::Config {
+                time_budget: Some(std::time::Duration::from_millis(500)),
+                ..Default::default()
+            };
+            let mut r = Reasoner::with_config(&kb, cfg);
             let Ok(Some(m)) = r.find_model() else {
                 continue;
             };
@@ -193,6 +199,9 @@ mod tests {
                 None => continue,
             }
         }
-        assert!(verified >= 10, "only {verified}/40 seeds produced verifiable models");
+        assert!(
+            verified >= 10,
+            "only {verified}/40 seeds produced verifiable models"
+        );
     }
 }

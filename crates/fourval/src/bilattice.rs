@@ -11,7 +11,6 @@
 //! paper.
 
 use crate::truth::TruthValue;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -19,7 +18,7 @@ use std::fmt;
 ///
 /// `T` is ordered so the sets have a canonical form (useful for hashing,
 /// model dedup and stable printing).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SetPair<T: Ord> {
     /// `proj⁺`: elements with information supporting membership.
     pub pos: BTreeSet<T>,
@@ -43,10 +42,7 @@ impl<T: Ord + Clone> SetPair<T> {
     }
 
     /// Construct from positive and negative extensions.
-    pub fn new(
-        pos: impl IntoIterator<Item = T>,
-        neg: impl IntoIterator<Item = T>,
-    ) -> Self {
+    pub fn new(pos: impl IntoIterator<Item = T>, neg: impl IntoIterator<Item = T>) -> Self {
         SetPair {
             pos: pos.into_iter().collect(),
             neg: neg.into_iter().collect(),
@@ -148,10 +144,7 @@ impl<T: Ord + Clone> SetPair<T> {
     }
 
     /// Elements assigned `⊥` w.r.t. a domain — information gaps.
-    pub fn unknown_elements<'a>(
-        &'a self,
-        domain: &'a BTreeSet<T>,
-    ) -> impl Iterator<Item = &'a T> {
+    pub fn unknown_elements<'a>(&'a self, domain: &'a BTreeSet<T>) -> impl Iterator<Item = &'a T> {
         domain
             .iter()
             .filter(move |x| !self.pos.contains(x) && !self.neg.contains(x))
@@ -160,10 +153,7 @@ impl<T: Ord + Clone> SetPair<T> {
 
 impl<T: Ord + fmt::Display> fmt::Display for SetPair<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn set<T: fmt::Display>(
-            f: &mut fmt::Formatter<'_>,
-            s: &BTreeSet<T>,
-        ) -> fmt::Result {
+        fn set<T: fmt::Display>(f: &mut fmt::Formatter<'_>, s: &BTreeSet<T>) -> fmt::Result {
             write!(f, "{{")?;
             for (i, x) in s.iter().enumerate() {
                 if i > 0 {
@@ -271,7 +261,10 @@ mod tests {
     #[test]
     fn contradiction_and_gap_reporting() {
         let sp = p(&[0, 1], &[1, 2]);
-        assert_eq!(sp.contradictory_elements().copied().collect::<Vec<_>>(), [1]);
+        assert_eq!(
+            sp.contradictory_elements().copied().collect::<Vec<_>>(),
+            [1]
+        );
         let d = dom();
         assert_eq!(sp.unknown_elements(&d).copied().collect::<Vec<_>>(), [3]);
     }

@@ -36,8 +36,7 @@ pub fn entails4(premises: &[Formula], conclusion: &Formula) -> bool {
         atoms.len()
     );
     AllValuations::new(atoms).all(|v| {
-        premises.iter().any(|p| !p.eval(&v).is_designated())
-            || conclusion.eval(&v).is_designated()
+        premises.iter().any(|p| !p.eval(&v).is_designated()) || conclusion.eval(&v).is_designated()
     })
 }
 
@@ -72,8 +71,7 @@ pub fn countermodel(
     let atoms = combined_atoms(premises, conclusion);
     assert!(atoms.len() <= MAX_ATOMS);
     AllValuations::new(atoms).find(|v| {
-        premises.iter().all(|p| p.eval(v).is_designated())
-            && !conclusion.eval(v).is_designated()
+        premises.iter().all(|p| p.eval(v).is_designated()) && !conclusion.eval(v).is_designated()
     })
 }
 
@@ -226,10 +224,7 @@ mod tests {
     #[should_panic(expected = "exceeds the exhaustive-checker limit")]
     fn atom_limit_is_enforced() {
         let big: Vec<Formula> = (0..13).map(|i| atom(&format!("x{i}"))).collect();
-        let conj = big
-            .into_iter()
-            .reduce(|a, b| a.and(b))
-            .unwrap();
+        let conj = big.into_iter().reduce(|a, b| a.and(b)).unwrap();
         let _ = entails4(&[], &conj);
     }
 }

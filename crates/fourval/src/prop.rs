@@ -9,7 +9,6 @@
 
 use crate::truth::TruthValue;
 use crate::valuation::Valuation;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
@@ -18,7 +17,7 @@ use std::sync::Arc;
 pub type Atom = Arc<str>;
 
 /// A propositional formula over `FOUR`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Formula {
     /// A propositional variable.
     Atom(Atom),

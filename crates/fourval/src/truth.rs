@@ -23,14 +23,13 @@
 //! The *designated* values — those counted as "the agent asserts it" for
 //! the consequence relation `⊨4` — are `t` and `⊤`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One of the four truth values of Belnap's logic.
 ///
 /// The discriminants encode the `(true-info, false-info)` bit pair, which
 /// makes the lattice operations cheap bit fiddling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TruthValue {
     /// `f`: information that the statement is false, none that it is true.
     False,
@@ -423,9 +422,7 @@ mod tests {
                 // φ↔ψ designated iff same true-info and same false-info,
                 // except it also tolerates ⊥/⊥ and ⊤/⊤ trivially — verify
                 // directly against the definition.
-                let direct = a
-                    .strong_imp(b)
-                    .and(b.strong_imp(a));
+                let direct = a.strong_imp(b).and(b.strong_imp(a));
                 assert_eq!(a.strong_iff(b), direct);
             }
         }
@@ -438,10 +435,7 @@ mod tests {
         }
         for x in [true, false] {
             for y in [true, false] {
-                let (a, b) = (
-                    TruthValue::from_classical(x),
-                    TruthValue::from_classical(y),
-                );
+                let (a, b) = (TruthValue::from_classical(x), TruthValue::from_classical(y));
                 assert_eq!(a.and(b).to_classical(), x && y);
                 assert_eq!(a.or(b).to_classical(), x || y);
                 assert_eq!(a.neg().to_classical(), !x);

@@ -29,10 +29,7 @@ impl Valuation {
 
     /// Look up an atom; unmentioned atoms evaluate to `⊥`.
     pub fn get(&self, atom: &str) -> TruthValue {
-        self.map
-            .get(atom)
-            .copied()
-            .unwrap_or(TruthValue::Neither)
+        self.map.get(atom).copied().unwrap_or(TruthValue::Neither)
     }
 
     /// Assign a value to an atom.
@@ -147,8 +144,9 @@ mod tests {
     #[test]
     fn enumeration_counts_4_pow_n() {
         for n in 0..4usize {
-            let atoms: Vec<Atom> =
-                (0..n).map(|i| Atom::from(format!("a{i}").as_str())).collect();
+            let atoms: Vec<Atom> = (0..n)
+                .map(|i| Atom::from(format!("a{i}").as_str()))
+                .collect();
             let all: Vec<_> = AllValuations::new(atoms).collect();
             assert_eq!(all.len(), 4usize.pow(n as u32));
             // All distinct.

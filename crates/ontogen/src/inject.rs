@@ -25,11 +25,7 @@ pub struct Injection {
 /// Add `n` contradictions to the KB (each one `a : C` plus `a : ¬C` over
 /// the existing signature). Returns the injected pairs; distinct pairs
 /// are chosen while possible.
-pub fn inject_contradictions(
-    kb: &mut KnowledgeBase,
-    n: usize,
-    seed: u64,
-) -> Vec<Injection> {
+pub fn inject_contradictions(kb: &mut KnowledgeBase, n: usize, seed: u64) -> Vec<Injection> {
     let sig = kb.signature();
     let individuals: Vec<IndividualName> = sig.individuals.into_iter().collect();
     let concepts: Vec<ConceptName> = sig.concepts.into_iter().collect();

@@ -18,6 +18,7 @@
 
 pub mod exceptions;
 pub mod inject;
+pub mod lintseed;
 pub mod medical;
 pub mod queries;
 pub mod random;
@@ -25,6 +26,7 @@ pub mod taxonomy;
 pub mod university;
 
 pub use inject::{inject_contradictions, Injection};
+pub use lintseed::{lint_seeded_kb4, lint_seeded_kb4_sized, LintSeedParams, PlantedFindings};
 pub use medical::{medical_kb, MedicalParams};
 pub use queries::instance_queries;
 pub use random::{random_kb, random_kb4, RandomParams};

@@ -1,0 +1,255 @@
+//! KBs with *planted lint findings* — ground truth for evaluating the
+//! `ontolint` static analyzer, the lint-flavoured sibling of
+//! [`crate::inject`].
+//!
+//! The generator lays down a clean scaffold (a subsumption chain plus
+//! membership and role assertions) and then plants a configurable number
+//! of findings of each kind: directly contested facts, contradictions
+//! reachable only through a told chain, contested role assertions,
+//! duplicate axioms, subsumption cycles, and orphaned names. The returned
+//! [`PlantedFindings`] records exactly what was planted, by name, so a
+//! test can check the linter's recall without re-deriving anything.
+
+use dl::name::{ConceptName, IndividualName, RoleName};
+use dl::Concept;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use shoin4::{Axiom4, InclusionKind, KnowledgeBase4};
+
+/// Knobs for the lint-seeded generator.
+#[derive(Debug, Clone)]
+pub struct LintSeedParams {
+    /// RNG seed (only the final axiom shuffle is randomised).
+    pub seed: u64,
+    /// Clean subsumption-chain axioms.
+    pub n_clean_tbox: usize,
+    /// Clean membership/role assertions.
+    pub n_clean_abox: usize,
+    /// Directly contested facts (`a : C` + `a : ¬C`) → `OL001`.
+    pub n_contested_direct: usize,
+    /// Contradictions through a told chain → `OL003`.
+    pub n_contested_chained: usize,
+    /// Contested role assertions (`R(a,b)` + `¬R(a,b)`) → `OL002`.
+    pub n_contested_roles: usize,
+    /// Duplicated clean axioms → `OL104`.
+    pub n_duplicates: usize,
+    /// Two-concept subsumption cycles → `OL102`.
+    pub n_cycles: usize,
+    /// Names mentioned in exactly one axiom → `OL101`.
+    pub n_orphans: usize,
+}
+
+impl Default for LintSeedParams {
+    fn default() -> Self {
+        LintSeedParams {
+            seed: 0,
+            n_clean_tbox: 20,
+            n_clean_abox: 30,
+            n_contested_direct: 3,
+            n_contested_chained: 2,
+            n_contested_roles: 2,
+            n_duplicates: 2,
+            n_cycles: 1,
+            n_orphans: 2,
+        }
+    }
+}
+
+/// The ground truth: what was planted, by name.
+#[derive(Debug, Clone, Default)]
+pub struct PlantedFindings {
+    /// Pairs contested in every model (direct and chained plants).
+    pub contested_concepts: Vec<(IndividualName, ConceptName)>,
+    /// Role atoms contested in every model.
+    pub contested_roles: Vec<(RoleName, IndividualName, IndividualName)>,
+    /// Number of duplicated axioms.
+    pub duplicates: usize,
+    /// Number of planted subsumption cycles.
+    pub cycles: usize,
+    /// Orphaned concept names.
+    pub orphans: Vec<ConceptName>,
+}
+
+/// Generate a KB with known planted findings (axioms shuffled).
+pub fn lint_seeded_kb4(p: &LintSeedParams) -> (KnowledgeBase4, PlantedFindings) {
+    let mut axioms: Vec<Axiom4> = Vec::new();
+    let mut truth = PlantedFindings::default();
+    let atom = |i: usize| Concept::atomic(format!("C{i}"));
+
+    // Clean scaffold: a subsumption chain C0 ⊏ C1 ⊏ … and assertions
+    // scattered over it (each concept also negatively mentioned elsewhere
+    // so the scaffold itself stays orphan-free for chains of any length).
+    for i in 0..p.n_clean_tbox {
+        axioms.push(Axiom4::ConceptInclusion(
+            InclusionKind::Internal,
+            atom(i),
+            atom(i + 1),
+        ));
+    }
+    let n_concepts = p.n_clean_tbox + 1;
+    for j in 0..p.n_clean_abox {
+        let a = IndividualName::new(format!("x{}", j % 10));
+        if j % 3 == 0 {
+            axioms.push(Axiom4::RoleAssertion(
+                RoleName::new("linkedTo"),
+                a,
+                IndividualName::new(format!("x{}", (j + 1) % 10)),
+            ));
+        } else {
+            axioms.push(Axiom4::ConceptAssertion(a, atom(j % n_concepts)));
+        }
+    }
+
+    for i in 0..p.n_contested_direct {
+        let a = IndividualName::new(format!("d{i}"));
+        let c = ConceptName::new(format!("K{i}"));
+        axioms.push(Axiom4::ConceptAssertion(
+            a.clone(),
+            Concept::atomic(c.clone()),
+        ));
+        axioms.push(Axiom4::ConceptAssertion(
+            a.clone(),
+            Concept::atomic(c.clone()).not(),
+        ));
+        // Mention the concept a third time so it never looks orphaned.
+        axioms.push(Axiom4::ConceptAssertion(
+            IndividualName::new(format!("d{i}b")),
+            Concept::atomic(c.clone()),
+        ));
+        truth.contested_concepts.push((a, c));
+    }
+
+    for i in 0..p.n_contested_chained {
+        let a = IndividualName::new(format!("ch{i}"));
+        let (sub, sup) = (
+            ConceptName::new(format!("P{i}")),
+            ConceptName::new(format!("Q{i}")),
+        );
+        axioms.push(Axiom4::ConceptInclusion(
+            InclusionKind::Internal,
+            Concept::atomic(sub.clone()),
+            Concept::atomic(sup.clone()),
+        ));
+        axioms.push(Axiom4::ConceptAssertion(a.clone(), Concept::atomic(sub)));
+        axioms.push(Axiom4::ConceptAssertion(
+            a.clone(),
+            Concept::atomic(sup.clone()).not(),
+        ));
+        truth.contested_concepts.push((a, sup));
+    }
+
+    for i in 0..p.n_contested_roles {
+        let r = RoleName::new(format!("rr{i}"));
+        let (a, b) = (
+            IndividualName::new(format!("ra{i}")),
+            IndividualName::new(format!("rb{i}")),
+        );
+        axioms.push(Axiom4::RoleAssertion(r.clone(), a.clone(), b.clone()));
+        axioms.push(Axiom4::NegativeRoleAssertion(
+            r.clone(),
+            a.clone(),
+            b.clone(),
+        ));
+        // Third mention keeps the role out of OL101's way.
+        axioms.push(Axiom4::RoleAssertion(r.clone(), b.clone(), a.clone()));
+        truth.contested_roles.push((r, a, b));
+    }
+
+    for i in 0..p.n_duplicates.min(p.n_clean_tbox) {
+        axioms.push(Axiom4::ConceptInclusion(
+            InclusionKind::Internal,
+            atom(i),
+            atom(i + 1),
+        ));
+        truth.duplicates += 1;
+    }
+
+    for i in 0..p.n_cycles {
+        let (y, z) = (
+            Concept::atomic(format!("Y{i}")),
+            Concept::atomic(format!("Z{i}")),
+        );
+        axioms.push(Axiom4::ConceptInclusion(
+            InclusionKind::Internal,
+            y.clone(),
+            z.clone(),
+        ));
+        axioms.push(Axiom4::ConceptInclusion(InclusionKind::Internal, z, y));
+        truth.cycles += 1;
+    }
+
+    for i in 0..p.n_orphans {
+        let orphan = ConceptName::new(format!("Orphan{i}"));
+        axioms.push(Axiom4::ConceptInclusion(
+            InclusionKind::Internal,
+            Concept::atomic(orphan.clone()),
+            atom(0),
+        ));
+        truth.orphans.push(orphan);
+    }
+
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    axioms.shuffle(&mut rng);
+    (KnowledgeBase4::from_axioms(axioms), truth)
+}
+
+/// Scale the default mix to approximately `n` axioms, keeping the planted
+/// findings proportional — the workload for lint throughput measurements.
+pub fn lint_seeded_kb4_sized(seed: u64, n: usize) -> (KnowledgeBase4, PlantedFindings) {
+    let unit = LintSeedParams::default();
+    let base = unit.n_clean_tbox
+        + unit.n_clean_abox
+        + 3 * unit.n_contested_direct
+        + 3 * unit.n_contested_chained
+        + 3 * unit.n_contested_roles
+        + unit.n_duplicates
+        + 2 * unit.n_cycles
+        + unit.n_orphans;
+    let k = (n / base).max(1);
+    lint_seeded_kb4(&LintSeedParams {
+        seed,
+        n_clean_tbox: unit.n_clean_tbox * k,
+        n_clean_abox: unit.n_clean_abox * k,
+        n_contested_direct: unit.n_contested_direct * k,
+        n_contested_chained: unit.n_contested_chained * k,
+        n_contested_roles: unit.n_contested_roles * k,
+        n_duplicates: unit.n_duplicates * k,
+        n_cycles: unit.n_cycles * k,
+        n_orphans: unit.n_orphans * k,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let p = LintSeedParams::default();
+        assert_eq!(lint_seeded_kb4(&p).0, lint_seeded_kb4(&p).0);
+        assert_ne!(
+            lint_seeded_kb4(&p).0,
+            lint_seeded_kb4(&LintSeedParams { seed: 1, ..p }).0
+        );
+    }
+
+    #[test]
+    fn planted_counts_match_params() {
+        let p = LintSeedParams::default();
+        let (kb, truth) = lint_seeded_kb4(&p);
+        assert_eq!(
+            truth.contested_concepts.len(),
+            p.n_contested_direct + p.n_contested_chained
+        );
+        assert_eq!(truth.contested_roles.len(), p.n_contested_roles);
+        assert_eq!(truth.orphans.len(), p.n_orphans);
+        assert!(kb.len() > p.n_clean_tbox + p.n_clean_abox);
+    }
+
+    #[test]
+    fn sized_generator_hits_the_target() {
+        let (kb, _) = lint_seeded_kb4_sized(7, 1000);
+        assert!(kb.len() >= 900 && kb.len() <= 1200, "{}", kb.len());
+    }
+}

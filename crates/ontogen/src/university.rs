@@ -59,10 +59,7 @@ pub fn university_tbox() -> Vec<Axiom> {
         Axiom::ConceptInclusion(c("Student"), c("Person")),
         Axiom::disjoint(c("Student"), c("Faculty")),
         // Whoever advises someone is faculty.
-        Axiom::ConceptInclusion(
-            Concept::some(advises.clone(), Concept::Top),
-            c("Faculty"),
-        ),
+        Axiom::ConceptInclusion(Concept::some(advises.clone(), Concept::Top), c("Faculty")),
         // Advisees of anyone are students.
         Axiom::range(advises, c("Student")),
         // Teachers teach courses.
@@ -111,10 +108,7 @@ pub fn university_kb(params: &UniversityParams) -> (KnowledgeBase, Vec<Individua
             if conflict_here {
                 // Merged-data contradiction: the professor is also
                 // recorded as not faculty.
-                kb.add(Axiom::ConceptAssertion(
-                    prof.clone(),
-                    c("Faculty").not(),
-                ));
+                kb.add(Axiom::ConceptAssertion(prof.clone(), c("Faculty").not()));
                 conflicted.push(prof.clone());
             }
             for s in 0..params.students_per_professor {

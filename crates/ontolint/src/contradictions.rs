@@ -1,0 +1,588 @@
+//! Family A: likely-contradiction detection (rules `OL001`–`OL007`).
+//!
+//! Everything at `Severity::Error` here is *syntactically certain*: the
+//! finding is a sound consequence of the axioms under the four-valued
+//! semantics, machine-checkable through the [`crate::Claim`] it carries.
+//! Defeasible findings (material chains, `R⁺`-vs-`R⁼` cardinality
+//! tension) stay at `Warning`.
+
+use crate::diagnostics::{Claim, Diagnostic, Severity};
+use crate::graph::{close_memberships, ToldGraph, UnionFind};
+use dl::name::{ConceptName, IndividualName};
+use dl::nnf::nnf;
+use dl::Concept;
+use shoin4::{Axiom4, KnowledgeBase4};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Run every contradiction rule.
+pub fn run(kb: &KnowledgeBase4, out: &mut Vec<Diagnostic>) {
+    contested_concept_assertions(kb, out);
+    contested_role_assertions(kb, out);
+    let told = told_findings(kb);
+    contested_via_told_closure(kb, &told, out);
+    equality_conflicts(kb, out);
+    cardinality_tension(kb, out);
+    nominal_conflicts(kb, out);
+    material_chain_tension(kb, &told, out);
+}
+
+/// `OL001` — an individual is asserted both a concept and its negation.
+fn contested_concept_assertions(kb: &KnowledgeBase4, out: &mut Vec<Diagnostic>) {
+    let mut by_individual: BTreeMap<&IndividualName, Vec<(usize, &Concept)>> = BTreeMap::new();
+    for (i, ax) in kb.axioms().iter().enumerate() {
+        if let Axiom4::ConceptAssertion(a, c) = ax {
+            by_individual.entry(a).or_default().push((i, c));
+        }
+    }
+    for (a, assertions) in by_individual {
+        for (k, (i, c)) in assertions.iter().enumerate() {
+            for (j, d) in &assertions[k + 1..] {
+                if nnf(c) == nnf(&(*d).clone().not()) {
+                    // `a : C` is contested iff `a : ¬C` is (the two claims
+                    // swap the projections), so claim the non-negated side.
+                    let claimed = if matches!(c, Concept::Not(_)) { d } else { c };
+                    out.push(Diagnostic {
+                        rule: "OL001",
+                        severity: Severity::Error,
+                        axioms: vec![*i, *j],
+                        subject: Some(a.to_string()),
+                        message: format!(
+                            "`{a}` is asserted both `{c}` and its negation — \
+                             the fact is contested (⊤) in every model"
+                        ),
+                        suggestion: Some(
+                            "drop one assertion, or keep both deliberately and \
+                             query under the four-valued semantics"
+                                .to_string(),
+                        ),
+                        claim: Some(Claim::ContestedConcept {
+                            individual: (*a).clone(),
+                            concept: (*claimed).clone(),
+                        }),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `OL002` — a role assertion and its negation both present.
+fn contested_role_assertions(kb: &KnowledgeBase4, out: &mut Vec<Diagnostic>) {
+    let mut pos = BTreeMap::new();
+    let mut neg = BTreeMap::new();
+    for (i, ax) in kb.axioms().iter().enumerate() {
+        match ax {
+            Axiom4::RoleAssertion(r, a, b) => {
+                pos.entry((r, a, b)).or_insert(i);
+            }
+            Axiom4::NegativeRoleAssertion(r, a, b) => {
+                neg.entry((r, a, b)).or_insert(i);
+            }
+            _ => {}
+        }
+    }
+    for (key @ (r, a, b), i) in &pos {
+        if let Some(j) = neg.get(key) {
+            out.push(Diagnostic {
+                rule: "OL002",
+                severity: Severity::Error,
+                axioms: vec![*i, *j],
+                subject: Some(r.to_string()),
+                message: format!(
+                    "`{r}({a}, {b})` is both asserted and denied — \
+                     contested (⊤) in every model"
+                ),
+                suggestion: Some("drop one of the two assertions".to_string()),
+                claim: Some(Claim::ContestedRole {
+                    role: (*r).clone(),
+                    a: (*a).clone(),
+                    b: (*b).clone(),
+                }),
+            });
+        }
+    }
+}
+
+/// Per-individual told-closure results, shared by `OL003` and `OL007`.
+struct ToldFindings {
+    /// `(individual, concept, pos-provenance, neg-provenance, via_material)`,
+    /// with directly-asserted pairs (both sides seeds) excluded — those are
+    /// `OL001`'s to report.
+    contested: Vec<(IndividualName, ConceptName, Vec<usize>, bool)>,
+}
+
+fn told_findings(kb: &KnowledgeBase4) -> ToldFindings {
+    let graph = ToldGraph::build(kb);
+    let mut pos_seeds: BTreeMap<IndividualName, Vec<(ConceptName, usize)>> = BTreeMap::new();
+    let mut neg_seeds: BTreeMap<IndividualName, Vec<(ConceptName, usize)>> = BTreeMap::new();
+    for (i, ax) in kb.axioms().iter().enumerate() {
+        if let Axiom4::ConceptAssertion(a, c) = ax {
+            match c {
+                Concept::Atomic(name) => pos_seeds
+                    .entry(a.clone())
+                    .or_default()
+                    .push((name.clone(), i)),
+                Concept::Not(inner) => {
+                    if let Concept::Atomic(name) = &**inner {
+                        neg_seeds
+                            .entry(a.clone())
+                            .or_default()
+                            .push((name.clone(), i));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut contested = Vec::new();
+    let individuals: BTreeSet<IndividualName> =
+        pos_seeds.keys().chain(neg_seeds.keys()).cloned().collect();
+    for a in individuals {
+        let ps = pos_seeds.get(&a).map(Vec::as_slice).unwrap_or(&[]);
+        let ns = neg_seeds.get(&a).map(Vec::as_slice).unwrap_or(&[]);
+        // One pass with material links allowed; soundness is recovered by
+        // inspecting `via_material` on the derivations afterwards.
+        let (pos, neg) = close_memberships(&graph, ps, ns, true);
+        for (name, p) in &pos {
+            let Some(n) = neg.get(name) else { continue };
+            if p.direct && n.direct {
+                continue; // OL001 reports the directly-asserted pairs.
+            }
+            let mut axioms: Vec<usize> = p.axioms.iter().chain(&n.axioms).copied().collect();
+            axioms.sort_unstable();
+            axioms.dedup();
+            contested.push((
+                a.clone(),
+                name.clone(),
+                axioms,
+                p.via_material || n.via_material,
+            ));
+        }
+    }
+    ToldFindings { contested }
+}
+
+/// `OL003` — contradiction through a chain of internal/strong told
+/// inclusions (e.g. `x : Penguin`, `Penguin ⊏ Bird`, `x : ¬Bird`).
+fn contested_via_told_closure(
+    _kb: &KnowledgeBase4,
+    told: &ToldFindings,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (a, name, axioms, via_material) in &told.contested {
+        if *via_material {
+            continue; // OL007's territory: the chain is defeasible.
+        }
+        out.push(Diagnostic {
+            rule: "OL003",
+            severity: Severity::Error,
+            axioms: axioms.clone(),
+            subject: Some(a.to_string()),
+            message: format!(
+                "`{a} : {name}` is contested (⊤) through the told \
+                 subsumption chain — positive and negative information \
+                 both follow from exception-free inclusions"
+            ),
+            suggestion: Some(
+                "weaken one inclusion in the chain to MaterialSubClassOf, \
+                 or retract one of the assertions"
+                    .to_string(),
+            ),
+            claim: Some(Claim::ContestedConcept {
+                individual: a.clone(),
+                concept: Concept::atomic(name.clone()),
+            }),
+        });
+    }
+}
+
+/// `OL004` — `a = b` chains colliding with `a ≠ b` (or a literal `a ≠ a`).
+fn equality_conflicts(kb: &KnowledgeBase4, out: &mut Vec<Diagnostic>) {
+    let mut uf = UnionFind::default();
+    for (i, ax) in kb.axioms().iter().enumerate() {
+        if let Axiom4::SameIndividual(a, b) = ax {
+            uf.union(a.as_str(), b.as_str(), i);
+        }
+    }
+    for (i, ax) in kb.axioms().iter().enumerate() {
+        let Axiom4::DifferentIndividuals(a, b) = ax else {
+            continue;
+        };
+        if !uf.connected(a.as_str(), b.as_str()) {
+            continue;
+        }
+        let mut axioms = uf.class_axioms(a.as_str());
+        axioms.push(i);
+        axioms.sort_unstable();
+        axioms.dedup();
+        let how = if a == b {
+            "an individual is declared different from itself".to_string()
+        } else {
+            format!("`{a}` and `{b}` are equated by `=` chains yet declared different")
+        };
+        out.push(Diagnostic {
+            rule: "OL004",
+            severity: Severity::Error,
+            axioms,
+            subject: Some(a.to_string()),
+            message: format!(
+                "{how} — equality is classical even in SHOIN(D)4, so the \
+                 KB has no model"
+            ),
+            suggestion: Some(
+                "remove either the SameIndividual chain or the \
+                 DifferentIndividuals declaration"
+                    .to_string(),
+            ),
+            claim: Some(Claim::Unsatisfiable),
+        });
+    }
+}
+
+/// `OL005` — more told role successors than an `AtMost` bound admits.
+///
+/// Only a warning: the bound transforms over `R⁼` (complement of the
+/// negative extension) while assertions populate `R⁺`, so the four-valued
+/// semantics does not force a clash; and without unique names the
+/// successors may coincide. It is still almost always unintended.
+fn cardinality_tension(kb: &KnowledgeBase4, out: &mut Vec<Diagnostic>) {
+    // (role, source) → told successors, both orientations, built once.
+    let mut forward: BTreeMap<(&dl::RoleName, &IndividualName), Vec<(usize, &IndividualName)>> =
+        BTreeMap::new();
+    let mut backward: BTreeMap<(&dl::RoleName, &IndividualName), Vec<(usize, &IndividualName)>> =
+        BTreeMap::new();
+    for (j, ax) in kb.axioms().iter().enumerate() {
+        if let Axiom4::RoleAssertion(r, x, y) = ax {
+            forward.entry((r, x)).or_default().push((j, y));
+            backward.entry((r, y)).or_default().push((j, x));
+        }
+    }
+    for (i, ax) in kb.axioms().iter().enumerate() {
+        let Axiom4::ConceptAssertion(a, c) = ax else {
+            continue;
+        };
+        for_each_conjunct(c, &mut |part| {
+            let Concept::AtMost(n, role) = part else {
+                return;
+            };
+            let table = if role.is_inverse() {
+                &backward
+            } else {
+                &forward
+            };
+            let mut successors: BTreeSet<&IndividualName> = BTreeSet::new();
+            let mut axioms = vec![i];
+            for (j, dst) in table.get(&(role.name(), a)).into_iter().flatten() {
+                successors.insert(dst);
+                axioms.push(*j);
+            }
+            if successors.len() as u32 > *n {
+                out.push(Diagnostic {
+                    rule: "OL005",
+                    severity: Severity::Warning,
+                    axioms: axioms.clone(),
+                    subject: Some(a.to_string()),
+                    message: format!(
+                        "`{a}` is bounded to at most {n} `{role}`-successors \
+                         but has {} asserted ones — only benign because the \
+                         bound constrains R⁼ while assertions feed R⁺ (and \
+                         names may corefer)",
+                        successors.len()
+                    ),
+                    suggestion: Some(
+                        "raise the bound, or retract surplus role assertions".to_string(),
+                    ),
+                    claim: None,
+                });
+            }
+        });
+    }
+}
+
+fn for_each_conjunct(c: &Concept, f: &mut impl FnMut(&Concept)) {
+    if let Concept::And(l, r) = c {
+        for_each_conjunct(l, f);
+        for_each_conjunct(r, f);
+    } else {
+        f(c);
+    }
+}
+
+/// `OL006` — classical-strength assertions with no model: `a : ⊥`,
+/// `a : ¬{…a…}`, and nominal-forced equalities colliding with `≠`.
+fn nominal_conflicts(kb: &KnowledgeBase4, out: &mut Vec<Diagnostic>) {
+    // Equality conflicts already reachable by `=` chains alone belong to
+    // OL004; here we only report those needing at least one nominal edge.
+    let mut plain = UnionFind::default();
+    let mut with_nominals = UnionFind::default();
+    for (i, ax) in kb.axioms().iter().enumerate() {
+        match ax {
+            Axiom4::SameIndividual(a, b) => {
+                plain.union(a.as_str(), b.as_str(), i);
+                with_nominals.union(a.as_str(), b.as_str(), i);
+            }
+            Axiom4::ConceptAssertion(a, Concept::OneOf(os)) if os.len() == 1 => {
+                let b = os.iter().next().unwrap();
+                with_nominals.union(a.as_str(), b.as_str(), i);
+            }
+            _ => {}
+        }
+    }
+    for (i, ax) in kb.axioms().iter().enumerate() {
+        let Axiom4::ConceptAssertion(a, c) = ax else {
+            if let Axiom4::DifferentIndividuals(x, y) = ax {
+                if with_nominals.connected(x.as_str(), y.as_str())
+                    && !plain.connected(x.as_str(), y.as_str())
+                {
+                    let mut axioms = with_nominals.class_axioms(x.as_str());
+                    axioms.push(i);
+                    axioms.sort_unstable();
+                    axioms.dedup();
+                    out.push(Diagnostic {
+                        rule: "OL006",
+                        severity: Severity::Error,
+                        axioms,
+                        subject: Some(x.to_string()),
+                        message: format!(
+                            "nominal assertions force `{x}` = `{y}`, yet they \
+                             are declared different — nominals keep their \
+                             classical bite in SHOIN(D)4, so the KB has no \
+                             model"
+                        ),
+                        suggestion: Some(
+                            "retract the nominal assertion or the \
+                             DifferentIndividuals declaration"
+                                .to_string(),
+                        ),
+                        claim: Some(Claim::Unsatisfiable),
+                    });
+                }
+            }
+            continue;
+        };
+        match c {
+            Concept::Bottom => out.push(Diagnostic {
+                rule: "OL006",
+                severity: Severity::Error,
+                axioms: vec![i],
+                subject: Some(a.to_string()),
+                message: format!(
+                    "`{a} : Nothing` — ⊥ has an empty positive extension \
+                     even four-valued, so the KB has no model"
+                ),
+                suggestion: Some("remove the assertion".to_string()),
+                claim: Some(Claim::Unsatisfiable),
+            }),
+            Concept::Not(inner) => {
+                if let Concept::OneOf(os) = &**inner {
+                    if os.contains(a) {
+                        out.push(Diagnostic {
+                            rule: "OL006",
+                            severity: Severity::Error,
+                            axioms: vec![i],
+                            subject: Some(a.to_string()),
+                            message: format!(
+                                "`{a} : {c}` excludes the individual from a \
+                                 nominal containing itself — no model exists"
+                            ),
+                            suggestion: Some("remove the assertion".to_string()),
+                            claim: Some(Claim::Unsatisfiable),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `OL007` — a contradiction reachable only through at least one
+/// *material* inclusion: defeasible, hence a warning. (`x : Penguin` with
+/// `Penguin ⊏ Bird ↦ Fly` and `x : ¬Fly` is the paper's own example — the
+/// material link is exactly what lets the penguin not fly.)
+fn material_chain_tension(_kb: &KnowledgeBase4, told: &ToldFindings, out: &mut Vec<Diagnostic>) {
+    for (a, name, axioms, via_material) in &told.contested {
+        if !*via_material {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "OL007",
+            severity: Severity::Warning,
+            axioms: axioms.clone(),
+            subject: Some(a.to_string()),
+            message: format!(
+                "`{a} : {name}` would be contested if the material \
+                 inclusions in the chain applied — they tolerate \
+                 exceptions, so this may be intended (penguins don't fly)"
+            ),
+            suggestion: Some(
+                "no action needed if the exception is deliberate; otherwise \
+                 strengthen the inclusion to SubClassOf"
+                    .to_string(),
+            ),
+            claim: None,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let kb = shoin4::parse_kb4(src).unwrap();
+        let mut out = Vec::new();
+        run(&kb, &mut out);
+        out
+    }
+
+    fn rules(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn ol001_direct_contradiction() {
+        let diags = lint("x : A\nx : not A");
+        assert_eq!(rules(&diags), ["OL001"]);
+        assert_eq!(diags[0].axioms, [0, 1]);
+        assert!(matches!(
+            diags[0].claim,
+            Some(Claim::ContestedConcept { .. })
+        ));
+    }
+
+    #[test]
+    fn ol001_matches_up_to_nnf() {
+        // `not (A and B)` vs `A and B` — negation recognised structurally.
+        let diags = lint("x : A and B\nx : not (A and B)");
+        assert_eq!(rules(&diags), ["OL001"]);
+        // De Morgan holds in FOUR (neg(A⊓B) = neg(A) ∪ neg(B)), so the
+        // rewritten complement is the same contradiction.
+        let diags = lint("x : A and B\nx : not A or not B");
+        assert_eq!(rules(&diags), ["OL001"]);
+        // Unrelated assertions stay clean.
+        assert!(lint("x : A and B\nx : not A or B").is_empty());
+    }
+
+    #[test]
+    fn ol002_role_contradiction() {
+        let diags = lint("r(a, b)\nnot r(a, b)");
+        assert_eq!(rules(&diags), ["OL002"]);
+        assert!(lint("r(a, b)\nnot r(b, a)").is_empty());
+    }
+
+    #[test]
+    fn ol003_chain_contradiction() {
+        let diags = lint(
+            "Penguin SubClassOf Bird
+             x : Penguin
+             x : not Bird",
+        );
+        assert_eq!(rules(&diags), ["OL003"]);
+        assert_eq!(diags[0].axioms, [0, 1, 2]);
+    }
+
+    #[test]
+    fn ol003_strong_contraposition() {
+        // x ∈ pos(A); A → B strong and B → C strong; x : not C gives
+        // x ∈ neg(C) ⟹ x ∈ neg(B) ⟹ x ∈ neg(A).
+        let diags = lint(
+            "A StrongSubClassOf B
+             B StrongSubClassOf C
+             x : A
+             x : not C",
+        );
+        let ol003: Vec<_> = diags.iter().filter(|d| d.rule == "OL003").collect();
+        // Contested at A, B and C.
+        assert_eq!(ol003.len(), 3);
+    }
+
+    #[test]
+    fn ol003_internal_forward_only() {
+        // Internal inclusions do not contrapose: `x : not B` says nothing
+        // about A, but the forward direction still contests B itself.
+        let diags = lint("A SubClassOf B\nx : not B\nx : A");
+        assert_eq!(rules(&diags), ["OL003"]);
+        assert!(diags[0].message.contains("B"), "{}", diags[0].message);
+        if let Some(Claim::ContestedConcept { concept, .. }) = &diags[0].claim {
+            assert_eq!(*concept, Concept::atomic("B"));
+        } else {
+            panic!("expected a contested-concept claim");
+        }
+    }
+
+    #[test]
+    fn ol004_equality_conflict() {
+        let diags = lint("a = b\nb = c\na != c");
+        assert_eq!(rules(&diags), ["OL004"]);
+        assert_eq!(diags[0].axioms, [0, 1, 2]);
+        assert!(matches!(diags[0].claim, Some(Claim::Unsatisfiable)));
+        assert!(lint("a = b\nc != d").is_empty());
+    }
+
+    #[test]
+    fn ol004_self_inequality() {
+        let diags = lint("a != a");
+        assert_eq!(rules(&diags), ["OL004"]);
+    }
+
+    #[test]
+    fn ol005_cardinality_tension() {
+        let diags = lint("x : r max 1\nr(x, a)\nr(x, b)");
+        assert_eq!(rules(&diags), ["OL005"]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(lint("x : r max 2\nr(x, a)\nr(x, b)").is_empty());
+    }
+
+    #[test]
+    fn ol005_inverse_role_counts_predecessors() {
+        let diags = lint("x : inverse r max 1\nr(a, x)\nr(b, x)");
+        assert_eq!(rules(&diags), ["OL005"]);
+    }
+
+    #[test]
+    fn ol006_bottom_assertion() {
+        let diags = lint("x : Nothing");
+        assert_eq!(rules(&diags), ["OL006"]);
+        assert!(matches!(diags[0].claim, Some(Claim::Unsatisfiable)));
+    }
+
+    #[test]
+    fn ol006_nominal_equality_conflict() {
+        let diags = lint("a : {b}\na != b");
+        assert_eq!(rules(&diags), ["OL006"]);
+        // Plain `=`-conflicts are OL004's, not repeated here.
+        let diags = lint("a = b\na != b");
+        assert_eq!(rules(&diags), ["OL004"]);
+    }
+
+    #[test]
+    fn ol006_negated_self_nominal() {
+        let diags = lint("a : not {a, b}");
+        assert_eq!(rules(&diags), ["OL006"]);
+    }
+
+    #[test]
+    fn ol007_material_chain_is_a_warning() {
+        // The paper's penguin: material Bird ↦ Fly tolerates the exception.
+        let diags = lint(
+            "Penguin SubClassOf Bird
+             Bird MaterialSubClassOf Fly
+             tweety : Penguin
+             tweety : not Fly",
+        );
+        assert_eq!(rules(&diags), ["OL007"]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].claim.is_none());
+    }
+
+    #[test]
+    fn clean_kb_is_clean() {
+        assert!(lint(
+            "Penguin SubClassOf Bird
+             tweety : Penguin
+             r(tweety, w)"
+        )
+        .is_empty());
+    }
+}

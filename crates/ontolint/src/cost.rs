@@ -1,0 +1,114 @@
+//! Family C: reduction-cost estimation (`OL201`–`OL202`).
+//!
+//! The Definitions 5–7 transformation is linear per polarity, but strong
+//! inclusions emit both polarities and material inclusions wrap a
+//! negation, so individual axioms can still fan out noticeably. These
+//! rules measure the *exact* induced size by running the transformation
+//! on a singleton KB per axiom — cheap, and never an estimate.
+
+use crate::diagnostics::{Diagnostic, Severity};
+use shoin4::{transform_kb, KnowledgeBase4};
+
+/// An axiom is "expensive" when its classical image is at least this many
+/// times its own size — only strong inclusions (which emit both
+/// polarities) reach 2×; everything else stays near 1×…
+const BLOWUP_FACTOR: usize = 2;
+/// …and at least this big in absolute terms (tiny axioms can't be slow).
+const BLOWUP_FLOOR: usize = 16;
+
+/// Run both cost rules.
+pub fn run(kb: &KnowledgeBase4, out: &mut Vec<Diagnostic>) {
+    per_axiom_cost(kb, out);
+    kb_summary(kb, out);
+}
+
+/// `OL201` — one axiom whose classical image is disproportionately large.
+fn per_axiom_cost(kb: &KnowledgeBase4, out: &mut Vec<Diagnostic>) {
+    for (i, ax) in kb.axioms().iter().enumerate() {
+        let before = ax.size();
+        let singleton = KnowledgeBase4::from_axioms([ax.clone()]);
+        let after = transform_kb(&singleton).size();
+        if after >= BLOWUP_FLOOR && after >= BLOWUP_FACTOR * before {
+            out.push(Diagnostic {
+                rule: "OL201",
+                severity: Severity::Info,
+                axioms: vec![i],
+                subject: None,
+                message: format!(
+                    "axiom `{ax}` grows from {before} to {after} nodes under \
+                     the Definitions 5–7 reduction ({:.1}×)",
+                    after as f64 / before as f64
+                ),
+                suggestion: Some(
+                    "split the axiom, or check whether a strong inclusion \
+                     really needs its contrapositive half"
+                        .to_string(),
+                ),
+                claim: None,
+            });
+        }
+    }
+}
+
+/// `OL202` — the KB-level before/after summary of the reduction.
+fn kb_summary(kb: &KnowledgeBase4, out: &mut Vec<Diagnostic>) {
+    if kb.is_empty() {
+        return;
+    }
+    let before = kb.size();
+    let induced = transform_kb(kb);
+    let after = induced.size();
+    out.push(Diagnostic {
+        rule: "OL202",
+        severity: Severity::Info,
+        axioms: Vec::new(),
+        subject: None,
+        message: format!(
+            "the induced classical KB is {after} nodes in {} axioms, from \
+             {before} nodes in {} four-valued axioms ({:.2}×)",
+            induced.len(),
+            kb.len(),
+            after as f64 / before as f64
+        ),
+        suggestion: None,
+        claim: None,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let kb = shoin4::parse_kb4(src).unwrap();
+        let mut out = Vec::new();
+        run(&kb, &mut out);
+        out
+    }
+
+    #[test]
+    fn ol201_flags_expensive_strong_inclusions() {
+        // A strong inclusion over sizable sides doubles into both
+        // polarities, hitting the 2× factor above the absolute floor.
+        let diags = lint("A and B and C and D StrongSubClassOf E and F and G and H");
+        assert!(diags.iter().any(|d| d.rule == "OL201"), "{diags:?}");
+        // The same sides under an internal inclusion stay near 1×.
+        let diags = lint("A and B and C and D SubClassOf E and F and G and H");
+        assert!(diags.iter().all(|d| d.rule != "OL201"), "{diags:?}");
+    }
+
+    #[test]
+    fn ol201_quiet_on_cheap_axioms() {
+        let diags = lint("A SubClassOf B\nx : A");
+        assert!(diags.iter().all(|d| d.rule != "OL201"), "{diags:?}");
+    }
+
+    #[test]
+    fn ol202_summarizes_nonempty_kbs() {
+        let diags = lint("A SubClassOf B");
+        let summary: Vec<_> = diags.iter().filter(|d| d.rule == "OL202").collect();
+        assert_eq!(summary.len(), 1);
+        assert!(summary[0].message.contains("induced classical KB"));
+        assert!(lint("").is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! The diagnostic model shared by every lint rule.
+
+use dl::name::{IndividualName, RoleName};
+use dl::Concept;
+use jsonio::Value;
+use std::fmt;
+
+/// How certain / severe a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: costs, statistics, style.
+    Info,
+    /// Likely a problem, but the semantics may excuse it.
+    Warning,
+    /// Syntactically certain: every model of the KB exhibits the issue.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The machine-checkable semantic consequence behind an `Error` finding.
+///
+/// Every `Error` diagnostic carries a claim so an exact procedure (the
+/// `fourmodels` enumeration oracle or the tableau via Theorem 6) can
+/// confirm it — the linter's "zero false positives at `Error`" contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Claim {
+    /// `a : C` has both positive and negative information in every model
+    /// (the four-valued answer is `⊤`).
+    ContestedConcept {
+        /// The contested individual.
+        individual: IndividualName,
+        /// The contested concept.
+        concept: Concept,
+    },
+    /// `R(a, b)` has both positive and negative information in every model.
+    ContestedRole {
+        /// The contested role.
+        role: RoleName,
+        /// The source individual.
+        a: IndividualName,
+        /// The target individual.
+        b: IndividualName,
+    },
+    /// The KB has no four-valued model at all (classical-strength
+    /// constructs: nominals, `⊥`, distinctness).
+    Unsatisfiable,
+}
+
+impl Claim {
+    /// JSON form, for `--format json` output.
+    pub fn to_json(&self) -> Value {
+        match self {
+            Claim::ContestedConcept {
+                individual,
+                concept,
+            } => Value::object([
+                ("kind", "contested-concept".into()),
+                ("individual", individual.as_str().into()),
+                ("concept", concept.to_string().into()),
+            ]),
+            Claim::ContestedRole { role, a, b } => Value::object([
+                ("kind", "contested-role".into()),
+                ("role", role.as_str().into()),
+                ("a", a.as_str().into()),
+                ("b", b.as_str().into()),
+            ]),
+            Claim::Unsatisfiable => Value::object([("kind", "unsatisfiable".into())]),
+        }
+    }
+}
+
+/// One finding produced by a lint rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable rule identifier, e.g. `OL001`.
+    pub rule: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Indices into `kb.axioms()` that participate in the finding.
+    pub axioms: Vec<usize>,
+    /// The main subject (an individual, concept, or role name), if any.
+    pub subject: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+    /// A suggested fix, when one is mechanical.
+    pub suggestion: Option<String>,
+    /// For `Error` findings: the verifiable consequence claimed.
+    pub claim: Option<Claim>,
+}
+
+impl Diagnostic {
+    /// JSON form, for `--format json` output.
+    pub fn to_json(&self) -> Value {
+        let axioms: Vec<Value> = self.axioms.iter().map(|i| (*i).into()).collect();
+        let opt = |s: &Option<String>| match s {
+            Some(s) => Value::from(s.clone()),
+            None => Value::Null,
+        };
+        Value::object([
+            ("rule", self.rule.into()),
+            ("severity", self.severity.to_string().into()),
+            ("axioms", Value::Array(axioms)),
+            ("subject", opt(&self.subject)),
+            ("message", self.message.clone().into()),
+            ("suggestion", opt(&self.suggestion)),
+            (
+                "claim",
+                match &self.claim {
+                    Some(c) => c.to_json(),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// A whole lint report as a JSON array.
+pub fn diagnostics_to_json(diags: &[Diagnostic]) -> Value {
+    Value::Array(diags.iter().map(Diagnostic::to_json).collect())
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}", self.severity, self.rule, self.message)?;
+        if !self.axioms.is_empty() {
+            let ids: Vec<String> = self.axioms.iter().map(|i| i.to_string()).collect();
+            write!(f, " (axioms {})", ids.join(", "))?;
+        }
+        if let Some(s) = &self.suggestion {
+            write!(f, " — suggestion: {s}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,280 @@
+//! Family B: hygiene rules (`OL101`–`OL105`) — findings that never make
+//! the KB wrong, only worse: orphaned names, cycles, vacuous axioms,
+//! duplicates, shadowed inclusions.
+
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::graph::{told_cycles, ToldGraph};
+use shoin4::{Axiom4, InclusionKind, KnowledgeBase4};
+use std::collections::BTreeMap;
+
+/// Run every hygiene rule.
+pub fn run(kb: &KnowledgeBase4, out: &mut Vec<Diagnostic>) {
+    singleton_names(kb, out);
+    cyclic_subsumption(kb, out);
+    vacuous_axioms(kb, out);
+    duplicate_axioms(kb, out);
+    shadowed_inclusions(kb, out);
+}
+
+/// `OL101` — a concept or role name mentioned in exactly one axiom.
+///
+/// Such a name contributes nothing connectable: it is either a typo for a
+/// name used elsewhere or dead vocabulary.
+fn singleton_names(kb: &KnowledgeBase4, out: &mut Vec<Diagnostic>) {
+    let mut concept_axioms: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut role_axioms: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, ax) in kb.axioms().iter().enumerate() {
+        let sig = KnowledgeBase4::from_axioms([ax.clone()]).signature();
+        for c in sig.concepts {
+            concept_axioms.entry(c.to_string()).or_default().push(i);
+        }
+        for r in sig.roles {
+            role_axioms.entry(r.to_string()).or_default().push(i);
+        }
+    }
+    let mut report = |name: &str, kind: &str, axioms: &[usize]| {
+        out.push(Diagnostic {
+            rule: "OL101",
+            severity: Severity::Info,
+            axioms: axioms.to_vec(),
+            subject: Some(name.to_string()),
+            message: format!(
+                "{kind} name `{name}` appears in only one axiom — dead \
+                 vocabulary or a typo for a name used elsewhere"
+            ),
+            suggestion: Some(
+                "connect the name to the rest of the ontology, fix the \
+                 spelling, or remove the axiom"
+                    .to_string(),
+            ),
+            claim: None,
+        });
+    };
+    for (name, axioms) in &concept_axioms {
+        if axioms.len() == 1 {
+            report(name, "concept", axioms);
+        }
+    }
+    for (name, axioms) in &role_axioms {
+        if axioms.len() == 1 {
+            report(name, "role", axioms);
+        }
+    }
+}
+
+/// `OL102` — a cycle in the told subsumption graph (`A ⊏ B ⊏ … ⊏ A`).
+///
+/// Legal (it encodes equivalence) but usually accidental, and it costs
+/// the tableau extra work on every query touching the cycle.
+fn cyclic_subsumption(kb: &KnowledgeBase4, out: &mut Vec<Diagnostic>) {
+    let graph = ToldGraph::build(kb);
+    for component in told_cycles(&graph) {
+        let mut axioms: Vec<usize> = Vec::new();
+        for name in &component {
+            for e in graph.pos_edges.get(name).into_iter().flatten() {
+                if component.contains(&e.to) {
+                    axioms.push(e.axiom);
+                }
+            }
+        }
+        axioms.sort_unstable();
+        axioms.dedup();
+        let names: Vec<String> = component.iter().map(ToString::to_string).collect();
+        out.push(Diagnostic {
+            rule: "OL102",
+            severity: Severity::Warning,
+            axioms,
+            subject: Some(names.join(", ")),
+            message: format!(
+                "cyclic told subsumption between {{{}}} — the concepts are \
+                 mutually included, i.e. equivalent",
+                names.join(", ")
+            ),
+            suggestion: Some(
+                "if the equivalence is intended, keep one name and alias \
+                 the others; otherwise break the cycle"
+                    .to_string(),
+            ),
+            claim: None,
+        });
+    }
+}
+
+/// `OL103` — an axiom that holds in every interpretation and so carries
+/// no information: `C ⊑ ⊤`, `⊥ ⊑ D`, or `C ⊏/→ C`.
+///
+/// `C ↦ C` is deliberately *not* flagged: the material reading
+/// `∀x. x ∈ proj⁻(C) ∪ proj⁺(C)` fails exactly when some element has no
+/// information about `C`, so it genuinely excludes gaps.
+fn vacuous_axioms(kb: &KnowledgeBase4, out: &mut Vec<Diagnostic>) {
+    for (i, ax) in kb.axioms().iter().enumerate() {
+        let (reason, subject) = match ax {
+            Axiom4::ConceptInclusion(_, _, dl::Concept::Top) => (
+                "the right-hand side is ⊤, which everything is included in",
+                None,
+            ),
+            Axiom4::ConceptInclusion(_, dl::Concept::Bottom, _) => (
+                "the left-hand side is ⊥, which is included in everything",
+                None,
+            ),
+            Axiom4::ConceptInclusion(kind, c, d) if c == d && *kind != InclusionKind::Material => {
+                ("both sides are the same concept", Some(c.to_string()))
+            }
+            Axiom4::RoleInclusion(kind, r, s) if r == s && *kind != InclusionKind::Material => {
+                ("both sides are the same role", Some(r.to_string()))
+            }
+            Axiom4::DataRoleInclusion(kind, u, v) if u == v && *kind != InclusionKind::Material => {
+                ("both sides are the same data role", Some(u.to_string()))
+            }
+            _ => continue,
+        };
+        out.push(Diagnostic {
+            rule: "OL103",
+            severity: Severity::Info,
+            axioms: vec![i],
+            subject,
+            message: format!("axiom `{ax}` is tautological — {reason}"),
+            suggestion: Some("remove the axiom".to_string()),
+            claim: None,
+        });
+    }
+}
+
+/// `OL104` — byte-identical duplicate axioms.
+fn duplicate_axioms(kb: &KnowledgeBase4, out: &mut Vec<Diagnostic>) {
+    let mut groups: BTreeMap<&Axiom4, Vec<usize>> = BTreeMap::new();
+    for (i, ax) in kb.axioms().iter().enumerate() {
+        groups.entry(ax).or_default().push(i);
+    }
+    for (ax, axioms) in groups {
+        if axioms.len() > 1 {
+            out.push(Diagnostic {
+                rule: "OL104",
+                severity: Severity::Warning,
+                axioms,
+                subject: None,
+                message: format!("axiom `{ax}` is stated more than once"),
+                suggestion: Some("keep one copy".to_string()),
+                claim: None,
+            });
+        }
+    }
+}
+
+/// `OL105` — an inclusion made redundant by a strictly more exact one
+/// over the same sides (`C ⊏ D` alongside `C → D`; strong implies
+/// internal, `InclusionKind::at_least_as_exact_as`).
+fn shadowed_inclusions(kb: &KnowledgeBase4, out: &mut Vec<Diagnostic>) {
+    // Key: the axiom with its kind erased; value: (kind, index) pairs.
+    let mut groups: BTreeMap<String, Vec<(InclusionKind, usize)>> = BTreeMap::new();
+    for (i, ax) in kb.axioms().iter().enumerate() {
+        let (kind, key) = match ax {
+            Axiom4::ConceptInclusion(k, c, d) => (*k, format!("C\u{0}{c}\u{0}{d}")),
+            Axiom4::RoleInclusion(k, r, s) => (*k, format!("R\u{0}{r}\u{0}{s}")),
+            Axiom4::DataRoleInclusion(k, u, v) => (*k, format!("U\u{0}{u}\u{0}{v}")),
+            _ => continue,
+        };
+        groups.entry(key).or_default().push((kind, i));
+    }
+    for entries in groups.values() {
+        for &(kind, i) in entries {
+            let shadowed_by: Vec<usize> = entries
+                .iter()
+                .filter(|(k2, j)| *j != i && *k2 != kind && k2.at_least_as_exact_as(kind))
+                .map(|(_, j)| *j)
+                .collect();
+            if let Some(&j) = shadowed_by.first() {
+                let stronger = &kb.axioms()[j];
+                out.push(Diagnostic {
+                    rule: "OL105",
+                    severity: Severity::Info,
+                    axioms: vec![i, j],
+                    subject: None,
+                    message: format!(
+                        "axiom `{}` is implied by the more exact `{stronger}`",
+                        kb.axioms()[i]
+                    ),
+                    suggestion: Some("keep only the stronger inclusion".to_string()),
+                    claim: None,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let kb = shoin4::parse_kb4(src).unwrap();
+        let mut out = Vec::new();
+        run(&kb, &mut out);
+        out
+    }
+
+    fn by_rule<'a>(diags: &'a [Diagnostic], rule: &str) -> Vec<&'a Diagnostic> {
+        diags.iter().filter(|d| d.rule == rule).collect()
+    }
+
+    #[test]
+    fn ol101_flags_singleton_names() {
+        let diags = lint("A SubClassOf B\nx : A\nOrphan SubClassOf A");
+        let found = by_rule(&diags, "OL101");
+        assert_eq!(found.len(), 2); // B and Orphan each appear once.
+        let subjects: Vec<_> = found.iter().map(|d| d.subject.clone().unwrap()).collect();
+        assert!(subjects.contains(&"B".to_string()));
+        assert!(subjects.contains(&"Orphan".to_string()));
+    }
+
+    #[test]
+    fn ol101_counts_roles_too() {
+        let diags = lint("r(a, b)\nr(b, c)\ns(a, b)");
+        let found = by_rule(&diags, "OL101");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].subject.as_deref(), Some("s"));
+    }
+
+    #[test]
+    fn ol102_reports_the_cycle_once() {
+        let diags = lint("A SubClassOf B\nB SubClassOf A\nC SubClassOf A");
+        let found = by_rule(&diags, "OL102");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].axioms, [0, 1]);
+    }
+
+    #[test]
+    fn ol103_tautologies() {
+        let diags = lint(
+            "A SubClassOf Thing
+             Nothing SubClassOf B
+             A SubClassOf A
+             r SubRoleOf r",
+        );
+        assert_eq!(by_rule(&diags, "OL103").len(), 4);
+        // Material self-inclusion excludes gaps — not vacuous.
+        assert!(by_rule(&lint("A MaterialSubClassOf A"), "OL103").is_empty());
+    }
+
+    #[test]
+    fn ol104_duplicates() {
+        let diags = lint("A SubClassOf B\nx : A\nA SubClassOf B");
+        let found = by_rule(&diags, "OL104");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].axioms, [0, 2]);
+    }
+
+    #[test]
+    fn ol105_strong_shadows_internal() {
+        let diags = lint("A SubClassOf B\nA StrongSubClassOf B");
+        let found = by_rule(&diags, "OL105");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].axioms, [0, 1]);
+        // Material is incomparable: nothing shadowed.
+        assert!(by_rule(
+            &lint("A MaterialSubClassOf B\nA StrongSubClassOf B"),
+            "OL105"
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! `ontolint` — static analysis over SHOIN(D)4 knowledge bases.
+//!
+//! The linter inspects a parsed [`KnowledgeBase4`] *without invoking the
+//! tableau* and produces structured [`Diagnostic`]s in three families:
+//!
+//! * **Contradiction detection** (`OL001`–`OL007`): contested facts and
+//!   unsatisfiable constellations that follow syntactically — directly
+//!   asserted complements, told-subsumption chains, equality/nominal
+//!   conflicts, cardinality tension.
+//! * **Hygiene** (`OL101`–`OL105`): orphaned names, cyclic subsumption,
+//!   tautological axioms, duplicates, shadowed inclusions.
+//! * **Reduction cost** (`OL201`–`OL202`): the exact per-axiom and
+//!   KB-level growth under the Definitions 5–7 classical reduction.
+//!
+//! The severity contract: every [`Severity::Error`] finding carries a
+//! [`Claim`] that an exact procedure (the `fourmodels` enumeration oracle
+//! or the tableau via Theorem 6) confirms — the linter promises **zero
+//! false positives at `Error`**. `Warning`s flag constellations the
+//! four-valued semantics may excuse (material chains, `R⁺`/`R⁼`
+//! cardinality tension); `Info`s never indicate a defect.
+//!
+//! Because all rules are syntactic, linting is fast: closure over the
+//! told-subsumption graph and one linear transformation pass, no search.
+//!
+//! ```
+//! let kb = shoin4::parse_kb4("x : A\nx : not A").unwrap();
+//! let diags = ontolint::lint_kb4(&kb);
+//! assert_eq!(diags[0].rule, "OL001");
+//! assert_eq!(diags[0].severity, ontolint::Severity::Error);
+//! ```
+
+pub mod contradictions;
+pub mod cost;
+pub mod diagnostics;
+pub mod graph;
+pub mod hygiene;
+
+pub use diagnostics::{diagnostics_to_json, Claim, Diagnostic, Severity};
+
+use dl::KnowledgeBase;
+use shoin4::{InclusionKind, KnowledgeBase4};
+
+/// Lint a four-valued KB: run every rule, most severe findings first.
+pub fn lint_kb4(kb: &KnowledgeBase4) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    contradictions::run(kb, &mut out);
+    hygiene::run(kb, &mut out);
+    cost::run(kb, &mut out);
+    out.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.rule.cmp(b.rule))
+            .then_with(|| a.axioms.cmp(&b.axioms))
+    });
+    out
+}
+
+/// Lint a classical KB through its standard four-valued embedding
+/// (`⊑` read as internal inclusion, the paper's Example 2).
+pub fn lint_kb(kb: &KnowledgeBase) -> Vec<Diagnostic> {
+    lint_kb4(&KnowledgeBase4::from_classical(kb, InclusionKind::Internal))
+}
+
+/// The syntactically-certain contested atomic facts, for pre-seeding
+/// `shoin4::analysis::contradiction_report_seeded` — every pair here is
+/// `⊤` in every model, so the survey can skip the two tableau queries.
+pub fn certain_contested_facts(diags: &[Diagnostic]) -> Vec<(dl::IndividualName, dl::ConceptName)> {
+    let mut out = Vec::new();
+    for d in diags {
+        if d.severity != Severity::Error {
+            continue;
+        }
+        if let Some(Claim::ContestedConcept {
+            individual,
+            concept: dl::Concept::Atomic(name),
+        }) = &d.claim
+        {
+            out.push((individual.clone(), name.clone()));
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shoin4::parse_kb4;
+
+    #[test]
+    fn findings_sort_most_severe_first() {
+        let kb = parse_kb4(
+            "A SubClassOf B
+             A SubClassOf B
+             x : A
+             x : not A",
+        )
+        .unwrap();
+        let diags = lint_kb4(&kb);
+        let severities: Vec<Severity> = diags.iter().map(|d| d.severity).collect();
+        let mut sorted = severities.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(severities, sorted);
+        assert_eq!(diags[0].rule, "OL001");
+    }
+
+    #[test]
+    fn classical_kbs_lint_through_the_embedding() {
+        let kb = dl::parser::parse_kb("A SubClassOf A\nx : A\nx : not A").unwrap();
+        let diags = lint_kb(&kb);
+        assert!(diags.iter().any(|d| d.rule == "OL001"));
+        assert!(diags.iter().any(|d| d.rule == "OL103"));
+    }
+
+    #[test]
+    fn certain_contested_facts_extracts_atomic_error_claims() {
+        let kb = parse_kb4(
+            "Penguin SubClassOf Bird
+             x : Penguin
+             x : not Bird
+             x : A
+             x : not A",
+        )
+        .unwrap();
+        let facts = certain_contested_facts(&lint_kb4(&kb));
+        assert!(facts.contains(&(dl::IndividualName::new("x"), dl::ConceptName::new("A"))));
+        assert!(facts.contains(&(dl::IndividualName::new("x"), dl::ConceptName::new("Bird"))));
+    }
+
+    #[test]
+    fn empty_kb_yields_no_findings() {
+        assert!(lint_kb4(&KnowledgeBase4::new()).is_empty());
+    }
+
+    #[test]
+    fn json_report_is_parseable() {
+        let kb = parse_kb4("x : A\nx : not A").unwrap();
+        let diags = lint_kb4(&kb);
+        let json = diagnostics_to_json(&diags).to_string();
+        let back = jsonio::Value::parse(&json).unwrap();
+        let arr = back.as_array().unwrap();
+        assert_eq!(arr.len(), diags.len());
+        assert_eq!(arr[0].get("rule").unwrap().as_str(), Some("OL001"));
+        assert_eq!(
+            arr[0].get("claim").unwrap().get("kind").unwrap().as_str(),
+            Some("contested-concept")
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! The linter's central contract, machine-checked: **zero false positives
+//! at `Severity::Error`**. Every `Error` diagnostic carries a `Claim`;
+//! this harness confirms each claim with an exact procedure —
+//!
+//! * contested facts against the `fourmodels` enumeration oracle
+//!   (quantifying over *all* four-valued models on the KB's domain);
+//! * unsatisfiability against the tableau (exact by Theorem 6; the
+//!   enumeration oracle pins individuals to distinct elements, so it is
+//!   stricter than the real semantics whenever `SameIndividual` or
+//!   nominal merges are involved and cannot referee those claims).
+//!
+//! Plus recall on planted findings and the lint-throughput budget.
+
+use fourmodels::check::{
+    entailed_axiom_by_enumeration, entailed_negative_info, entailed_positive_info,
+};
+use fourmodels::enumerate::{EnumConfig, ModelIter};
+use ontogen::lintseed::{lint_seeded_kb4, lint_seeded_kb4_sized, LintSeedParams};
+use ontogen::random::{random_kb4, RandomParams};
+use ontolint::{lint_kb4, Claim, Diagnostic, Severity};
+use shoin4::{Axiom4, KnowledgeBase4, Reasoner4};
+
+/// Confirm one `Error` claim with the appropriate exact procedure.
+/// Panics with `context` if the claim is a false positive.
+fn verify_claim(kb: &KnowledgeBase4, diag: &Diagnostic, context: &str) {
+    let claim = diag
+        .claim
+        .as_ref()
+        .unwrap_or_else(|| panic!("{context}: Error diagnostic {diag} lacks a claim"));
+    match claim {
+        Claim::ContestedConcept {
+            individual,
+            concept,
+        } => {
+            let cfg = EnumConfig::for_kb(kb);
+            assert!(
+                entailed_positive_info(kb, &cfg, individual, concept),
+                "{context}: {diag} — positive info not entailed"
+            );
+            assert!(
+                entailed_negative_info(kb, &cfg, individual, concept),
+                "{context}: {diag} — negative info not entailed"
+            );
+        }
+        Claim::ContestedRole { role, a, b } => {
+            let cfg = EnumConfig::for_kb(kb);
+            assert!(
+                entailed_axiom_by_enumeration(
+                    kb,
+                    &cfg,
+                    &Axiom4::RoleAssertion(role.clone(), a.clone(), b.clone())
+                ),
+                "{context}: {diag} — positive role info not entailed"
+            );
+            assert!(
+                entailed_axiom_by_enumeration(
+                    kb,
+                    &cfg,
+                    &Axiom4::NegativeRoleAssertion(role.clone(), a.clone(), b.clone())
+                ),
+                "{context}: {diag} — negative role info not entailed"
+            );
+        }
+        Claim::Unsatisfiable => {
+            let mut r = Reasoner4::new(kb);
+            assert!(
+                !r.is_satisfiable().expect("tableau within limits"),
+                "{context}: {diag} — KB is satisfiable after all"
+            );
+        }
+    }
+}
+
+fn verify_all_errors(kb: &KnowledgeBase4, context: &str) -> usize {
+    let errors: Vec<Diagnostic> = lint_kb4(kb)
+        .into_iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect();
+    for d in &errors {
+        verify_claim(kb, d, context);
+    }
+    errors.len()
+}
+
+#[test]
+fn handcrafted_error_findings_survive_the_oracle() {
+    // One trigger per Error rule (and a few shape variants).
+    let cases = [
+        // OL001: direct, complex-concept, and nnf-rewritten complements.
+        "x : A\nx : not A",
+        "x : A and B\nx : not (A and B)",
+        "x : A or B\nx : not A and not B",
+        "x : r some A\nx : r only not A",
+        // OL002.
+        "r(a, b)\nnot r(a, b)",
+        // OL003: internal chain, strong contraposition, negative rhs.
+        "Penguin SubClassOf Bird\nx : Penguin\nx : not Bird",
+        "A StrongSubClassOf B\nB StrongSubClassOf C\nx : A\nx : not C",
+        "A SubClassOf not B\nx : A\nx : B",
+        // OL004.
+        "a = b\nb = c\na != c",
+        "a != a",
+        // OL006.
+        "x : Nothing",
+        "a : {b}\na != b",
+        "a : not {a, b}",
+    ];
+    for src in cases {
+        let kb = shoin4::parse_kb4(src).unwrap();
+        let n = verify_all_errors(&kb, src);
+        assert!(n > 0, "{src}: expected at least one Error finding");
+    }
+}
+
+#[test]
+fn error_findings_on_seeded_kbs_survive_the_tableau() {
+    // Seeded KBs have too many signature atoms for exhaustive
+    // enumeration; the tableau is exact by Theorem 6 and referees every
+    // contested claim as a pair of classical entailments on `K̄`.
+    for seed in 0..5u64 {
+        let (kb, _) = lint_seeded_kb4(&LintSeedParams {
+            seed,
+            ..LintSeedParams::default()
+        });
+        let errors: Vec<Diagnostic> = lint_kb4(&kb)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(
+            errors.len() >= 2,
+            "seed {seed}: expected the planted Errors"
+        );
+        let mut r = Reasoner4::new(&kb);
+        for d in &errors {
+            match d.claim.as_ref().expect("Error diagnostics carry claims") {
+                Claim::ContestedConcept {
+                    individual,
+                    concept,
+                } => {
+                    assert!(
+                        r.has_positive_info(individual, concept).unwrap()
+                            && r.has_negative_info(individual, concept).unwrap(),
+                        "seed {seed}: {d} — not contested per the tableau"
+                    );
+                }
+                Claim::ContestedRole { role, a, b } => {
+                    assert!(
+                        r.has_positive_role_info(role, a, b).unwrap()
+                            && r.has_negative_role_info(role, a, b).unwrap(),
+                        "seed {seed}: {d} — not contested per the tableau"
+                    );
+                }
+                Claim::Unsatisfiable => {
+                    assert!(!r.is_satisfiable().unwrap(), "seed {seed}: {d}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn error_findings_on_random_kbs_survive_the_oracle() {
+    let mut verified = 0usize;
+    for seed in 0..40u64 {
+        // A deliberately tiny signature: the enumeration space is
+        // 4^(concepts·domain + roles·domain²), so 2 concepts, 1 role and
+        // 2 individuals give 4⁸ interpretations per entailment check.
+        let kb = random_kb4(
+            &RandomParams {
+                seed,
+                n_tbox: 3,
+                n_abox: 6,
+                max_depth: 1,
+                n_concepts: 2,
+                n_roles: 1,
+                n_individuals: 2,
+                number_restrictions: false,
+                inverse_roles: false,
+            },
+            (0.3, 0.4, 0.3),
+        );
+        let cfg = EnumConfig::for_kb(&kb);
+        if ModelIter::new(&kb, &cfg).total() > 2_000_000 {
+            continue;
+        }
+        verified += verify_all_errors(&kb, &format!("random seed {seed}"));
+    }
+    // The sweep must actually exercise the claim checker.
+    assert!(verified > 0, "no Error findings across the random sweep");
+}
+
+#[test]
+fn planted_findings_are_recalled() {
+    let (kb, truth) = lint_seeded_kb4(&LintSeedParams::default());
+    let diags = lint_kb4(&kb);
+    let contested = ontolint::certain_contested_facts(&diags);
+    for pair in &truth.contested_concepts {
+        assert!(contested.contains(pair), "missed planted {pair:?}");
+    }
+    for (r, a, b) in &truth.contested_roles {
+        assert!(
+            diags.iter().any(|d| matches!(
+                &d.claim,
+                Some(Claim::ContestedRole { role, a: x, b: y })
+                    if role == r && x == a && y == b
+            )),
+            "missed planted contested role {r}({a}, {b})"
+        );
+    }
+    assert!(
+        diags.iter().filter(|d| d.rule == "OL104").count() >= 1,
+        "missed planted duplicates"
+    );
+    assert_eq!(
+        diags.iter().filter(|d| d.rule == "OL102").count(),
+        truth.cycles,
+        "missed planted cycles"
+    );
+    for orphan in &truth.orphans {
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == "OL101" && d.subject.as_deref() == Some(orphan.as_str())),
+            "missed planted orphan {orphan}"
+        );
+    }
+}
+
+#[test]
+fn lint_throughput_meets_the_budget() {
+    // Acceptance criterion: a 1000-axiom generated KB lints in under
+    // 50 ms. Generous slack under debug builds is deliberate — the
+    // release-mode number is far below the budget.
+    let (kb, _) = lint_seeded_kb4_sized(7, 1000);
+    assert!(kb.len() >= 900);
+    let start = std::time::Instant::now();
+    let diags = lint_kb4(&kb);
+    let elapsed = start.elapsed();
+    assert!(!diags.is_empty());
+    let budget = if cfg!(debug_assertions) {
+        std::time::Duration::from_millis(500)
+    } else {
+        std::time::Duration::from_millis(50)
+    };
+    assert!(
+        elapsed < budget,
+        "linting {} axioms took {elapsed:?} (budget {budget:?})",
+        kb.len()
+    );
+}

@@ -1,0 +1,325 @@
+//! A vendored, dependency-free subset of the `rand` crate API — exactly
+//! the surface the workspace generators use (`StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::{gen_range, gen_bool}`, and the
+//! `SliceRandom` helpers).
+//!
+//! The generator is a SplitMix64 stream: tiny, fast, and — the property
+//! the test suite actually relies on — **deterministic per seed across
+//! builds and platforms**. The streams differ from upstream `rand`'s
+//! ChaCha-based `StdRng`, which is fine: nothing in the repo depends on
+//! the specific values, only on seed-stability.
+
+use std::ops::Range;
+
+/// Core random source: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators (the `seed_from_u64` entry point only).
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from a half-open (or inclusive) integer range.
+    /// Panics on an empty range, as upstream does.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 uniform mantissa bits → a float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one uniform sample. Panics if the range is empty.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "cannot sample empty range {}..{}",
+                    self.start,
+                    self.end
+                );
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range {start}..={end}");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+/// The standard generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard PRNG: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Sequence-related helpers (`choose`, `shuffle`, `choose_weighted`).
+pub mod seq {
+    use super::RngCore;
+    use std::fmt;
+
+    /// Errors from weighted choice.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum WeightedError {
+        /// The slice was empty.
+        NoItem,
+        /// A weight was negative or not finite.
+        InvalidWeight,
+        /// All weights were zero.
+        AllWeightsZero,
+    }
+
+    impl fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                WeightedError::NoItem => write!(f, "cannot choose from an empty slice"),
+                WeightedError::InvalidWeight => write!(f, "invalid weight"),
+                WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+            }
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    /// Weight values accepted by [`SliceRandom::choose_weighted`].
+    pub trait Weight: Copy {
+        /// The weight as a non-negative float.
+        fn to_f64(self) -> f64;
+    }
+
+    macro_rules! impl_weight {
+        ($($t:ty),*) => {$(
+            impl Weight for $t {
+                fn to_f64(self) -> f64 {
+                    self as f64
+                }
+            }
+        )*};
+    }
+    impl_weight!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    /// Random helpers over slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// An element chosen with probability proportional to
+        /// `weight(element)`.
+        fn choose_weighted<R, F, W>(
+            &self,
+            rng: &mut R,
+            weight: F,
+        ) -> Result<&Self::Item, WeightedError>
+        where
+            R: RngCore + ?Sized,
+            F: Fn(&Self::Item) -> W,
+            W: Weight;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let idx = super::SampleRange::sample(0..self.len(), rng);
+                Some(&self[idx])
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = super::SampleRange::sample(0..=i, rng);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose_weighted<R, F, W>(&self, rng: &mut R, weight: F) -> Result<&T, WeightedError>
+        where
+            R: RngCore + ?Sized,
+            F: Fn(&T) -> W,
+            W: Weight,
+        {
+            if self.is_empty() {
+                return Err(WeightedError::NoItem);
+            }
+            let weights: Vec<f64> = self.iter().map(|x| weight(x).to_f64()).collect();
+            if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+                return Err(WeightedError::InvalidWeight);
+            }
+            let total: f64 = weights.iter().sum();
+            if total <= 0.0 {
+                return Err(WeightedError::AllWeightsZero);
+            }
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let mut target = unit * total;
+            for (x, w) in self.iter().zip(&weights) {
+                if target < *w {
+                    return Ok(x);
+                }
+                target -= w;
+            }
+            // Floating-point slack: fall back to the last positive weight.
+            Ok(self
+                .iter()
+                .zip(&weights)
+                .rev()
+                .find(|(_, w)| **w > 0.0)
+                .expect("total > 0 implies a positive weight")
+                .0)
+        }
+    }
+}
+
+pub use seq::WeightedError;
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000usize), b.gen_range(0..1000usize));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same: Vec<usize> = (0..32).map(|_| a.gen_range(0..1000usize)).collect();
+        let diff: Vec<usize> = (0..32).map(|_| c.gen_range(0..1000usize)).collect();
+        assert_ne!(same, diff);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-6i64..6);
+            assert!((-6..6).contains(&x));
+            let y = rng.gen_range(3u32..4);
+            assert_eq!(y, 3);
+            let z = rng.gen_range(0..=2usize);
+            assert!(z <= 2);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1_800..3_200).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn choose_and_shuffle_cover_elements() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let items = [1, 2, 3, 4];
+        for _ in 0..50 {
+            assert!(items.contains(items.choose(&mut rng).unwrap()));
+        }
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut v: Vec<u32> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn weighted_choice_follows_weights() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let kinds = [("a", 0.0f64), ("b", 1.0), ("c", 3.0)];
+        let mut counts = [0usize; 3];
+        for _ in 0..4000 {
+            let &(name, _) = kinds.choose_weighted(&mut rng, |(_, w)| *w).unwrap();
+            match name {
+                "a" => counts[0] += 1,
+                "b" => counts[1] += 1,
+                _ => counts[2] += 1,
+            }
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[2] > counts[1] * 2, "{counts:?}");
+        let none: [(&str, f64); 0] = [];
+        assert!(none.choose_weighted(&mut rng, |(_, w)| *w).is_err());
+    }
+}

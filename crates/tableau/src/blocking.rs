@@ -31,20 +31,12 @@ pub fn is_blocked(g: &CompletionGraph, x: NodeId, strategy: BlockingStrategy) ->
 }
 
 /// Is `x` directly blocked by some ancestor?
-pub fn is_directly_blocked(
-    g: &CompletionGraph,
-    x: NodeId,
-    strategy: BlockingStrategy,
-) -> bool {
+pub fn is_directly_blocked(g: &CompletionGraph, x: NodeId, strategy: BlockingStrategy) -> bool {
     blocker(g, x, strategy).is_some()
 }
 
 /// The ancestor directly blocking `x`, if any.
-pub fn blocker(
-    g: &CompletionGraph,
-    x: NodeId,
-    strategy: BlockingStrategy,
-) -> Option<NodeId> {
+pub fn blocker(g: &CompletionGraph, x: NodeId, strategy: BlockingStrategy) -> Option<NodeId> {
     let x = g.resolve(x);
     let x_node = g.node(x);
     if x_node.is_root {

@@ -1,6 +1,7 @@
 //! Reasoner configuration and resource-limit errors.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Blocking strategies (an ablation axis — see DESIGN.md §5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +32,12 @@ pub struct Config {
     /// Absorption / lazy unfolding of `A ⊑ C` axioms with atomic left-hand
     /// sides (ablation knob; `true` is the optimized default).
     pub absorption: bool,
+    /// Wall-clock budget for one search. `None` means unbounded. The
+    /// node/rule caps bound *space* and *counted work*, but a diverging
+    /// nominal search (NN-rule with inverse roles) grows slowly enough
+    /// that those caps are ineffective in practice; the time budget is
+    /// the backstop that guarantees every call returns.
+    pub time_budget: Option<Duration>,
 }
 
 impl Default for Config {
@@ -41,6 +48,7 @@ impl Default for Config {
             blocking: BlockingStrategy::Pairwise,
             semantic_branching: false,
             absorption: true,
+            time_budget: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -53,6 +61,8 @@ pub enum ReasonerError {
     NodeLimit(usize),
     /// The rule-application cap was exceeded.
     RuleLimit(u64),
+    /// The wall-clock budget was exhausted.
+    TimeBudget(Duration),
 }
 
 impl fmt::Display for ReasonerError {
@@ -63,6 +73,9 @@ impl fmt::Display for ReasonerError {
             }
             ReasonerError::RuleLimit(n) => {
                 write!(f, "tableau exceeded the rule-application limit of {n}")
+            }
+            ReasonerError::TimeBudget(d) => {
+                write!(f, "tableau exceeded its time budget of {d:?}")
             }
         }
     }
@@ -85,9 +98,14 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        assert!(ReasonerError::NodeLimit(5).to_string().contains("node limit"));
+        assert!(ReasonerError::NodeLimit(5)
+            .to_string()
+            .contains("node limit"));
         assert!(ReasonerError::RuleLimit(7)
             .to_string()
             .contains("rule-application limit"));
+        assert!(ReasonerError::TimeBudget(Duration::from_secs(1))
+            .to_string()
+            .contains("time budget"));
     }
 }

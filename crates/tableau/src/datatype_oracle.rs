@@ -155,17 +155,12 @@ pub fn data_satisfiable(
     }
 
     // Backtracking assignment.
-    fn ok_so_far(
-        assigned: &[(usize, DataValue)],
-        reqs: &[Requirement],
-        caps: &[Cap],
-    ) -> bool {
+    fn ok_so_far(assigned: &[(usize, DataValue)], reqs: &[Requirement], caps: &[Cap]) -> bool {
         // Group distinctness.
         for (i, (ri, vi)) in assigned.iter().enumerate() {
             for (rj, vj) in assigned.iter().skip(i + 1) {
                 let (a, b) = (&reqs[*ri], &reqs[*rj]);
-                if a.group.is_some() && a.group == b.group && a.role == b.role && vi == vj
-                {
+                if a.group.is_some() && a.group == b.group && a.role == b.role && vi == vj {
                     return false;
                 }
             }
@@ -196,9 +191,7 @@ pub fn data_satisfiable(
         }
         for v in &pools[idx] {
             assigned.push((idx, v.clone()));
-            if ok_so_far(assigned, reqs, caps)
-                && assign(idx + 1, assigned, reqs, pools, caps)
-            {
+            if ok_so_far(assigned, reqs, caps) && assign(idx + 1, assigned, reqs, pools, caps) {
                 return true;
             }
             assigned.pop();
@@ -236,7 +229,10 @@ mod tests {
 
     #[test]
     fn simple_exists_is_satisfiable() {
-        assert!(sat(&[Concept::DataSome(u("age"), int_range(Some(0), None))]));
+        assert!(sat(&[Concept::DataSome(
+            u("age"),
+            int_range(Some(0), None)
+        )]));
     }
 
     #[test]

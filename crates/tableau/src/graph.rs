@@ -150,12 +150,7 @@ impl CompletionGraph {
 
     /// All `R`-neighbours of `x` under the given role hierarchy: nodes `y`
     /// with an edge whose label implies `R` in the right direction.
-    pub fn neighbours(
-        &self,
-        x: NodeId,
-        role: &RoleExpr,
-        hierarchy: &RoleHierarchy,
-    ) -> Vec<NodeId> {
+    pub fn neighbours(&self, x: NodeId, role: &RoleExpr, hierarchy: &RoleHierarchy) -> Vec<NodeId> {
         let x = self.resolve(x);
         let mut out = BTreeSet::new();
         for (&(from, to), labels) in &self.edges {

@@ -184,10 +184,13 @@ mod tests {
 
     #[test]
     fn transitive_closure_helper() {
-        let mut s: BTreeSet<(NodeId, NodeId)> =
-            [(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2)), (NodeId(2), NodeId(3))]
-                .into_iter()
-                .collect();
+        let mut s: BTreeSet<(NodeId, NodeId)> = [
+            (NodeId(0), NodeId(1)),
+            (NodeId(1), NodeId(2)),
+            (NodeId(2), NodeId(3)),
+        ]
+        .into_iter()
+        .collect();
         transitive_close(&mut s);
         assert!(s.contains(&(NodeId(0), NodeId(3))));
         assert_eq!(s.len(), 6);

@@ -170,9 +170,7 @@ impl Reasoner {
     /// completion and extract the final structure. See
     /// [`crate::model::ExtractedModel::blocked_nodes`] for the finiteness
     /// caveat.
-    pub fn find_model(
-        &mut self,
-    ) -> Result<Option<crate::model::ExtractedModel>, ReasonerError> {
+    pub fn find_model(&mut self) -> Result<Option<crate::model::ExtractedModel>, ReasonerError> {
         if self.setup_clash {
             return Ok(None);
         }
@@ -180,9 +178,7 @@ impl Reasoner {
         let mut search = Search::new(&self.ctx);
         let done = search.complete(g);
         self.stats.absorb(&search.stats);
-        Ok(done?.map(|g| {
-            crate::model::extract(&g, &self.ctx.hierarchy, self.ctx.config.blocking)
-        }))
+        Ok(done?.map(|g| crate::model::extract(&g, &self.ctx.hierarchy, self.ctx.config.blocking)))
     }
 
     /// Is the knowledge base satisfiable?
@@ -205,11 +201,7 @@ impl Reasoner {
     }
 
     /// Does the KB entail `sub ⊑ sup`? (`sub ⊓ ¬sup` unsatisfiable.)
-    pub fn is_subsumed_by(
-        &mut self,
-        sub: &Concept,
-        sup: &Concept,
-    ) -> Result<bool, ReasonerError> {
+    pub fn is_subsumed_by(&mut self, sub: &Concept, sup: &Concept) -> Result<bool, ReasonerError> {
         let test = sub.clone().and(sup.clone().not());
         Ok(!self.is_concept_satisfiable(&test)?)
     }
@@ -240,10 +232,7 @@ impl Reasoner {
         name
     }
 
-    fn ensure_node(
-        g: &mut CompletionGraph,
-        o: &IndividualName,
-    ) -> crate::node::NodeId {
+    fn ensure_node(g: &mut CompletionGraph, o: &IndividualName) -> crate::node::NodeId {
         match g.nominal_node(o) {
             Some(n) => n,
             None => {
@@ -284,10 +273,7 @@ impl Reasoner {
                 let na = Self::ensure_node(&mut g, a);
                 g.add_concept(
                     na,
-                    Concept::DataAll(
-                        u.clone(),
-                        DataRange::one_of([v.clone()]).complement(),
-                    ),
+                    Concept::DataAll(u.clone(), DataRange::one_of([v.clone()]).complement()),
                 );
                 Ok(!self.run(g)?)
             }
@@ -338,10 +324,7 @@ impl Reasoner {
                 let nc = Self::ensure_node(&mut g, &c);
                 g.add_edge(na, nb, &role);
                 g.add_edge(nb, nc, &role);
-                g.add_concept(
-                    na,
-                    Concept::all(role, Concept::one_of([c.clone()]).not()),
-                );
+                g.add_concept(na, Concept::all(role, Concept::one_of([c.clone()]).not()));
                 Ok(!self.run(g)?)
             }
             Axiom::DataRoleInclusion(u, v) => {
@@ -665,8 +648,12 @@ mod tests {
     #[test]
     fn entails_transitivity_only_when_declared() {
         let mut r = reasoner("Transitive(anc)");
-        assert!(r.entails(&Axiom::Transitive(dl::RoleName::new("anc"))).unwrap());
-        assert!(!r.entails(&Axiom::Transitive(dl::RoleName::new("other"))).unwrap());
+        assert!(r
+            .entails(&Axiom::Transitive(dl::RoleName::new("anc")))
+            .unwrap());
+        assert!(!r
+            .entails(&Axiom::Transitive(dl::RoleName::new("other")))
+            .unwrap());
     }
 
     #[test]
@@ -690,8 +677,10 @@ mod tests {
              Doctor SubClassOf Person
              Nurse SubClassOf Person",
         );
-        let sig: BTreeSet<ConceptName> =
-            ["Surgeon", "Doctor", "Person", "Nurse"].iter().map(ConceptName::new).collect();
+        let sig: BTreeSet<ConceptName> = ["Surgeon", "Doctor", "Person", "Nurse"]
+            .iter()
+            .map(ConceptName::new)
+            .collect();
         let taxonomy = r.classify(&sig).unwrap();
         assert!(taxonomy[&ConceptName::new("Surgeon")].contains(&ConceptName::new("Person")));
         assert!(taxonomy[&ConceptName::new("Surgeon")].contains(&ConceptName::new("Surgeon")));

@@ -21,6 +21,7 @@ use dl::name::{ConceptName, DataRoleName, IndividualName};
 use dl::nnf::nnf;
 use dl::Concept;
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
 
 /// Preprocessed, immutable reasoning context shared by all branches.
 #[derive(Debug, Clone)]
@@ -47,11 +48,7 @@ enum Alternative {
     Merge(NodeId, NodeId),
     /// An `NN`-rule guess: enforce `≤ m.R` at `x` with `m` fresh,
     /// pairwise-distinct nominal `R`-neighbours.
-    NewNominals {
-        x: NodeId,
-        role: RoleExpr,
-        m: u32,
-    },
+    NewNominals { x: NodeId, role: RoleExpr, m: u32 },
 }
 
 /// The DFS search engine.
@@ -60,6 +57,8 @@ pub struct Search<'a> {
     /// Counters for the whole call (all branches).
     pub stats: Stats,
     nn_counter: u32,
+    /// Wall-clock deadline derived from [`Config::time_budget`].
+    deadline: Option<Instant>,
 }
 
 impl<'a> Search<'a> {
@@ -69,6 +68,7 @@ impl<'a> Search<'a> {
             ctx,
             stats: Stats::default(),
             nn_counter: 0,
+            deadline: ctx.config.time_budget.map(|d| Instant::now() + d),
         }
     }
 
@@ -79,44 +79,68 @@ impl<'a> Search<'a> {
 
     /// Run the search to completion; on success return the complete,
     /// clash-free completion graph (for model extraction).
+    ///
+    /// The non-deterministic search is depth-first over an *explicit*
+    /// stack of open branch points (each holding the pre-branch graph and
+    /// its untried alternatives), so deeply nested `⊔`/`≤`/`o` choices
+    /// cannot overflow the call stack.
     pub fn complete(
         &mut self,
-        mut g: CompletionGraph,
+        g: CompletionGraph,
     ) -> Result<Option<CompletionGraph>, ReasonerError> {
+        let mut open: Vec<(CompletionGraph, std::vec::IntoIter<Alternative>)> = Vec::new();
+        let mut current = Some(g);
         loop {
-            self.check_limits(&g)?;
-            if self.saturate(&mut g)?.is_some() {
-                self.stats.clashes += 1;
-                return Ok(None);
-            }
-            if let Some(clash_node) = self.data_clash(&g) {
-                let _ = Clash::DatatypeUnsatisfiable(clash_node);
-                self.stats.clashes += 1;
-                return Ok(None);
-            }
-            if let Some(alts) = self.find_choice(&mut g) {
-                self.stats.branches += 1;
-                for alt in alts {
-                    let mut g2 = g.clone();
+            // A graph to work on: the current one, or the next untried
+            // alternative of the deepest open branch point (backtracking).
+            let mut g = match current.take() {
+                Some(g) => g,
+                None => {
+                    let Some((base, mut alts)) = open.pop() else {
+                        return Ok(None); // search space exhausted
+                    };
+                    let Some(alt) = alts.next() else {
+                        continue; // branch point exhausted; backtrack further
+                    };
+                    // Trying an alternative is an application of the
+                    // branching rule: count it, so the rule-application
+                    // limit bounds the whole search even when most
+                    // alternatives clash immediately.
+                    self.stats.rule_applications += 1;
+                    self.check_limits(&base)?;
+                    let mut g2 = base.clone();
+                    open.push((base, alts));
                     if self.apply_alternative(&mut g2, alt).is_some() {
                         self.stats.clashes += 1;
                         continue;
                     }
-                    if let Some(done) = self.complete(g2)? {
-                        return Ok(Some(done));
-                    }
+                    g2
                 }
-                return Ok(None);
+            };
+            self.check_limits(&g)?;
+            if self.saturate(&mut g)?.is_some() {
+                self.stats.clashes += 1;
+                continue;
+            }
+            if let Some(clash_node) = self.data_clash(&g) {
+                let _ = Clash::DatatypeUnsatisfiable(clash_node);
+                self.stats.clashes += 1;
+                continue;
+            }
+            if let Some(alts) = self.find_choice(&mut g) {
+                self.stats.branches += 1;
+                open.push((g, alts.into_iter()));
+                continue;
             }
             if !self.apply_generating(&mut g)? {
                 return Ok(Some(g));
             }
+            current = Some(g);
         }
     }
 
     fn check_limits(&mut self, g: &CompletionGraph) -> Result<(), ReasonerError> {
-        self.stats.peak_graph_size =
-            self.stats.peak_graph_size.max(g.live_node_count() as u64);
+        self.stats.peak_graph_size = self.stats.peak_graph_size.max(g.live_node_count() as u64);
         if g.allocated_nodes() > self.ctx.config.max_nodes {
             return Err(ReasonerError::NodeLimit(self.ctx.config.max_nodes));
         }
@@ -124,6 +148,12 @@ impl<'a> Search<'a> {
             return Err(ReasonerError::RuleLimit(
                 self.ctx.config.max_rule_applications,
             ));
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline {
+                let budget = self.ctx.config.time_budget.unwrap_or_default();
+                return Err(ReasonerError::TimeBudget(budget));
+            }
         }
         Ok(())
     }
@@ -321,19 +351,16 @@ impl<'a> Search<'a> {
     /// individuals first mentioned inside a query concept.
     fn find_choice(&mut self, g: &mut CompletionGraph) -> Option<Vec<Alternative>> {
         // Priority 1: multi-element nominal disjunction.
-        let nominal_choice: Option<(NodeId, Vec<IndividualName>)> = g
-            .live_nodes()
-            .find_map(|x| {
-                g.node(x).label.iter().find_map(|c| match c {
-                    Concept::OneOf(os)
-                        if os.len() > 1
-                            && !os.iter().any(|o| g.nominal_node(o) == Some(x)) =>
-                    {
-                        Some((x, os.iter().cloned().collect()))
-                    }
-                    _ => None,
-                })
-            });
+        let nominal_choice: Option<(NodeId, Vec<IndividualName>)> = g.live_nodes().find_map(|x| {
+            g.node(x).label.iter().find_map(|c| match c {
+                Concept::OneOf(os)
+                    if os.len() > 1 && !os.iter().any(|o| g.nominal_node(o) == Some(x)) =>
+                {
+                    Some((x, os.iter().cloned().collect()))
+                }
+                _ => None,
+            })
+        });
         if let Some((x, os)) = nominal_choice {
             return Some(
                 os.iter()
@@ -398,7 +425,6 @@ impl<'a> Search<'a> {
         None
     }
 
-
     /// NN-rule scan: `≤n.R ∈ L(x)`, `x` a root with a blockable
     /// `R`-neighbour `y` such that `x` is a successor of `y`, and no
     /// already-guessed `≤m.R` with `m` distinct nominal neighbours.
@@ -430,11 +456,8 @@ impl<'a> Search<'a> {
                 // Guard: an already-satisfied guess?
                 let satisfied = (1..=*n).any(|m| {
                     node.label.contains(&Concept::at_most(m, role.clone())) && {
-                        let nominal_ys: Vec<NodeId> = ys
-                            .iter()
-                            .copied()
-                            .filter(|&y| g.node(y).is_root)
-                            .collect();
+                        let nominal_ys: Vec<NodeId> =
+                            ys.iter().copied().filter(|&y| g.node(y).is_root).collect();
                         nominal_ys.len() >= m as usize
                             && has_n_pairwise_distinct(g, &nominal_ys, m as usize)
                     }
@@ -456,11 +479,7 @@ impl<'a> Search<'a> {
         None
     }
 
-    fn apply_alternative(
-        &mut self,
-        g: &mut CompletionGraph,
-        alt: Alternative,
-    ) -> Option<Clash> {
+    fn apply_alternative(&mut self, g: &mut CompletionGraph, alt: Alternative) -> Option<Clash> {
         self.stats.rule_applications += 1;
         match alt {
             Alternative::Add(x, cs) => {
@@ -569,9 +588,7 @@ fn definitely_false(g: &CompletionGraph, x: NodeId, c: &Concept) -> bool {
             Concept::Top => true,
             _ => false,
         },
-        Concept::And(l, r) => {
-            definitely_false(g, x, l) || definitely_false(g, x, r)
-        }
+        Concept::And(l, r) => definitely_false(g, x, l) || definitely_false(g, x, r),
         _ => false,
     }
 }
@@ -579,12 +596,7 @@ fn definitely_false(g: &CompletionGraph, x: NodeId, c: &Concept) -> bool {
 /// Merge-direction preference for the `≤`-rule: never merge a root into a
 /// blockable node; prefer keeping `x`'s predecessor; otherwise keep the
 /// older node.
-fn merge_direction(
-    g: &CompletionGraph,
-    x: NodeId,
-    a: NodeId,
-    b: NodeId,
-) -> (NodeId, NodeId) {
+fn merge_direction(g: &CompletionGraph, x: NodeId, a: NodeId, b: NodeId) -> (NodeId, NodeId) {
     let (an, bn) = (g.node(a), g.node(b));
     match (an.is_root, bn.is_root) {
         (true, false) => (b, a),

@@ -1,10 +1,8 @@
 //! Search statistics, exposed for the benchmark harness and for debugging
 //! pathological inputs.
 
-use serde::Serialize;
-
 /// Counters accumulated over one reasoning call.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Nodes allocated across all branches.
     pub nodes_created: u64,

@@ -18,7 +18,10 @@ fn main() {
 
     // Reasoning view (via the transformation + classical tableau).
     let mut r = Reasoner4::new(&kb);
-    println!("\nsatisfiable (four-valued)? {}", r.is_satisfiable().unwrap());
+    println!(
+        "\nsatisfiable (four-valued)? {}",
+        r.is_satisfiable().unwrap()
+    );
     let smith = IndividualName::new("smith");
     for concept in ["Parent", "Married"] {
         let v = r.query(&smith, &Concept::atomic(concept)).unwrap();

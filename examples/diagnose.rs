@@ -35,7 +35,10 @@ fn main() {
     .expect("ontology parses");
 
     let mut r = Reasoner4::new(&kb);
-    println!("satisfiable (four-valued)? {}\n", r.is_satisfiable().unwrap());
+    println!(
+        "satisfiable (four-valued)? {}\n",
+        r.is_satisfiable().unwrap()
+    );
 
     let report = contradiction_report(&mut r, &kb).expect("within limits");
     println!(
@@ -85,9 +88,6 @@ fn main() {
         .iter()
         .any(|(w, c)| w.as_str() == "bob" && c.as_str() == "Staff"));
     // Carol stays clean.
-    assert!(report
-        .contested
-        .iter()
-        .all(|(w, _)| w.as_str() != "carol"));
+    assert!(report.contested.iter().all(|(w, _)| w.as_str() != "carol"));
     println!("\nall three injected problems localized; carol untouched.");
 }

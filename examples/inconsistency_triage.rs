@@ -34,7 +34,10 @@ fn main() {
         injected.len()
     );
     for inj in &injected {
-        println!("  {} : {} and not {}", inj.individual, inj.concept, inj.concept);
+        println!(
+            "  {} : {} and not {}",
+            inj.individual, inj.concept, inj.concept
+        );
     }
 
     let queries = instance_queries(&kb, 40, 7);
@@ -47,7 +50,10 @@ fn main() {
 
     let mut tally: Vec<(&str, usize, usize)> = Vec::new(); // (name, meaningful, yes)
     for (name, baseline) in [
-        ("classical", &mut classical as &mut dyn InconsistencyBaseline),
+        (
+            "classical",
+            &mut classical as &mut dyn InconsistencyBaseline,
+        ),
         ("syntactic-relevance", &mut relevance),
         ("stratified", &mut stratified),
     ] {
@@ -70,7 +76,9 @@ fn main() {
     let mut informative = 0;
     let mut yes4 = 0;
     for q in &queries {
-        let Axiom::ConceptAssertion(a, c) = q else { continue };
+        let Axiom::ConceptAssertion(a, c) = q else {
+            continue;
+        };
         let v = four.query(a, c).unwrap();
         informative += usize::from(v != fourval::TruthValue::Neither);
         yes4 += usize::from(v.has_true_info());

@@ -72,7 +72,11 @@ fn main() {
     assert!(four.is_satisfiable().unwrap());
     for &s in &conflicted {
         let v = four.query(&staff_name(s), &perm).unwrap();
-        assert_eq!(v, fourval::TruthValue::Both, "conflicted staff{s} must be ⊤");
+        assert_eq!(
+            v,
+            fourval::TruthValue::Both,
+            "conflicted staff{s} must be ⊤"
+        );
     }
 }
 

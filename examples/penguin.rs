@@ -44,7 +44,10 @@ fn main() {
     // --- Four-valued reading: the exception is just an exception. --------
     let kb4 = parse_kb4(FOUR_VALUED).expect("four-valued KB parses");
     let mut r4 = Reasoner4::new(&kb4);
-    println!("SHOIN(D)4 reading satisfiable? {}", r4.is_satisfiable().unwrap());
+    println!(
+        "SHOIN(D)4 reading satisfiable? {}",
+        r4.is_satisfiable().unwrap()
+    );
 
     println!("\nclassical induced KB K̄ (Example 5's transformation):");
     println!("{}", dl::printer::print_kb(r4.induced_kb()));

@@ -24,7 +24,10 @@ fn main() {
 
     let mut reasoner = Reasoner4::new(&kb);
 
-    println!("KB satisfiable (four-valued): {}", reasoner.is_satisfiable().unwrap());
+    println!(
+        "KB satisfiable (four-valued): {}",
+        reasoner.is_satisfiable().unwrap()
+    );
     println!();
 
     let queries = [

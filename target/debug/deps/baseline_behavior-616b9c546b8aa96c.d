@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_behavior-616b9c546b8aa96c.d: crates/bench/../../tests/baseline_behavior.rs
+
+/root/repo/target/debug/deps/baseline_behavior-616b9c546b8aa96c: crates/bench/../../tests/baseline_behavior.rs
+
+crates/bench/../../tests/baseline_behavior.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_behavior-7c43736cb49933dc.d: crates/bench/../../tests/baseline_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_behavior-7c43736cb49933dc.rmeta: crates/bench/../../tests/baseline_behavior.rs Cargo.toml
+
+crates/bench/../../tests/baseline_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/baselines-24dd6cd6ba0c59b4.d: crates/baselines/src/lib.rs crates/baselines/src/classical.rs crates/baselines/src/mcs.rs crates/baselines/src/stratified.rs
+
+/root/repo/target/debug/deps/baselines-24dd6cd6ba0c59b4: crates/baselines/src/lib.rs crates/baselines/src/classical.rs crates/baselines/src/mcs.rs crates/baselines/src/stratified.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/classical.rs:
+crates/baselines/src/mcs.rs:
+crates/baselines/src/stratified.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/baselines-3489d54eeac81d3a.d: crates/baselines/src/lib.rs crates/baselines/src/classical.rs crates/baselines/src/mcs.rs crates/baselines/src/stratified.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-3489d54eeac81d3a.rmeta: crates/baselines/src/lib.rs crates/baselines/src/classical.rs crates/baselines/src/mcs.rs crates/baselines/src/stratified.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/classical.rs:
+crates/baselines/src/mcs.rs:
+crates/baselines/src/stratified.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/baselines-548b8ad4c4f54182.d: crates/baselines/src/lib.rs crates/baselines/src/classical.rs crates/baselines/src/mcs.rs crates/baselines/src/stratified.rs
+
+/root/repo/target/debug/deps/libbaselines-548b8ad4c4f54182.rlib: crates/baselines/src/lib.rs crates/baselines/src/classical.rs crates/baselines/src/mcs.rs crates/baselines/src/stratified.rs
+
+/root/repo/target/debug/deps/libbaselines-548b8ad4c4f54182.rmeta: crates/baselines/src/lib.rs crates/baselines/src/classical.rs crates/baselines/src/mcs.rs crates/baselines/src/stratified.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/classical.rs:
+crates/baselines/src/mcs.rs:
+crates/baselines/src/stratified.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-0ed224fc34941df4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-0ed224fc34941df4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

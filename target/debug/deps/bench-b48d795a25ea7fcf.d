@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-b48d795a25ea7fcf.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-b48d795a25ea7fcf.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-b48d795a25ea7fcf.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/complexity_parity-c8aa1065e784dd3c.d: crates/bench/benches/complexity_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomplexity_parity-c8aa1065e784dd3c.rmeta: crates/bench/benches/complexity_parity.rs Cargo.toml
+
+crates/bench/benches/complexity_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

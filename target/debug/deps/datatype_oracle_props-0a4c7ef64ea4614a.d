@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datatype_oracle_props-0a4c7ef64ea4614a.d: crates/bench/../../tests/datatype_oracle_props.rs
+
+/root/repo/target/debug/deps/datatype_oracle_props-0a4c7ef64ea4614a: crates/bench/../../tests/datatype_oracle_props.rs
+
+crates/bench/../../tests/datatype_oracle_props.rs:

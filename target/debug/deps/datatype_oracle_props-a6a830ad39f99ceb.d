@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datatype_oracle_props-a6a830ad39f99ceb.d: crates/bench/../../tests/datatype_oracle_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatatype_oracle_props-a6a830ad39f99ceb.rmeta: crates/bench/../../tests/datatype_oracle_props.rs Cargo.toml
+
+crates/bench/../../tests/datatype_oracle_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

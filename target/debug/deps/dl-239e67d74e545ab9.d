@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dl-239e67d74e545ab9.d: crates/dl/src/lib.rs crates/dl/src/axiom.rs crates/dl/src/concept.rs crates/dl/src/datatype.rs crates/dl/src/json.rs crates/dl/src/kb.rs crates/dl/src/name.rs crates/dl/src/nnf.rs crates/dl/src/parser.rs crates/dl/src/printer.rs crates/dl/src/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdl-239e67d74e545ab9.rmeta: crates/dl/src/lib.rs crates/dl/src/axiom.rs crates/dl/src/concept.rs crates/dl/src/datatype.rs crates/dl/src/json.rs crates/dl/src/kb.rs crates/dl/src/name.rs crates/dl/src/nnf.rs crates/dl/src/parser.rs crates/dl/src/printer.rs crates/dl/src/snapshot.rs Cargo.toml
+
+crates/dl/src/lib.rs:
+crates/dl/src/axiom.rs:
+crates/dl/src/concept.rs:
+crates/dl/src/datatype.rs:
+crates/dl/src/json.rs:
+crates/dl/src/kb.rs:
+crates/dl/src/name.rs:
+crates/dl/src/nnf.rs:
+crates/dl/src/parser.rs:
+crates/dl/src/printer.rs:
+crates/dl/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

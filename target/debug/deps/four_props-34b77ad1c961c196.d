@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/four_props-34b77ad1c961c196.d: crates/bench/../../tests/four_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfour_props-34b77ad1c961c196.rmeta: crates/bench/../../tests/four_props.rs Cargo.toml
+
+crates/bench/../../tests/four_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/four_props-d25ee61873bdedbb.d: crates/bench/../../tests/four_props.rs
+
+/root/repo/target/debug/deps/four_props-d25ee61873bdedbb: crates/bench/../../tests/four_props.rs
+
+crates/bench/../../tests/four_props.rs:

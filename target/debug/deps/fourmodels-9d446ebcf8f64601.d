@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fourmodels-9d446ebcf8f64601.d: crates/fourmodels/src/lib.rs crates/fourmodels/src/check.rs crates/fourmodels/src/enumerate.rs crates/fourmodels/src/table4.rs crates/fourmodels/src/verify.rs
+
+/root/repo/target/debug/deps/libfourmodels-9d446ebcf8f64601.rlib: crates/fourmodels/src/lib.rs crates/fourmodels/src/check.rs crates/fourmodels/src/enumerate.rs crates/fourmodels/src/table4.rs crates/fourmodels/src/verify.rs
+
+/root/repo/target/debug/deps/libfourmodels-9d446ebcf8f64601.rmeta: crates/fourmodels/src/lib.rs crates/fourmodels/src/check.rs crates/fourmodels/src/enumerate.rs crates/fourmodels/src/table4.rs crates/fourmodels/src/verify.rs
+
+crates/fourmodels/src/lib.rs:
+crates/fourmodels/src/check.rs:
+crates/fourmodels/src/enumerate.rs:
+crates/fourmodels/src/table4.rs:
+crates/fourmodels/src/verify.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fourmodels-dce67ab96b834a0b.d: crates/fourmodels/src/lib.rs crates/fourmodels/src/check.rs crates/fourmodels/src/enumerate.rs crates/fourmodels/src/table4.rs crates/fourmodels/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfourmodels-dce67ab96b834a0b.rmeta: crates/fourmodels/src/lib.rs crates/fourmodels/src/check.rs crates/fourmodels/src/enumerate.rs crates/fourmodels/src/table4.rs crates/fourmodels/src/verify.rs Cargo.toml
+
+crates/fourmodels/src/lib.rs:
+crates/fourmodels/src/check.rs:
+crates/fourmodels/src/enumerate.rs:
+crates/fourmodels/src/table4.rs:
+crates/fourmodels/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fourval-4b77c38ebbb058f7.d: crates/fourval/src/lib.rs crates/fourval/src/bilattice.rs crates/fourval/src/consequence.rs crates/fourval/src/prop.rs crates/fourval/src/signed.rs crates/fourval/src/truth.rs crates/fourval/src/valuation.rs
+
+/root/repo/target/debug/deps/libfourval-4b77c38ebbb058f7.rlib: crates/fourval/src/lib.rs crates/fourval/src/bilattice.rs crates/fourval/src/consequence.rs crates/fourval/src/prop.rs crates/fourval/src/signed.rs crates/fourval/src/truth.rs crates/fourval/src/valuation.rs
+
+/root/repo/target/debug/deps/libfourval-4b77c38ebbb058f7.rmeta: crates/fourval/src/lib.rs crates/fourval/src/bilattice.rs crates/fourval/src/consequence.rs crates/fourval/src/prop.rs crates/fourval/src/signed.rs crates/fourval/src/truth.rs crates/fourval/src/valuation.rs
+
+crates/fourval/src/lib.rs:
+crates/fourval/src/bilattice.rs:
+crates/fourval/src/consequence.rs:
+crates/fourval/src/prop.rs:
+crates/fourval/src/signed.rs:
+crates/fourval/src/truth.rs:
+crates/fourval/src/valuation.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fourval-c70f61dab6a2990c.d: crates/fourval/src/lib.rs crates/fourval/src/bilattice.rs crates/fourval/src/consequence.rs crates/fourval/src/prop.rs crates/fourval/src/signed.rs crates/fourval/src/truth.rs crates/fourval/src/valuation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfourval-c70f61dab6a2990c.rmeta: crates/fourval/src/lib.rs crates/fourval/src/bilattice.rs crates/fourval/src/consequence.rs crates/fourval/src/prop.rs crates/fourval/src/signed.rs crates/fourval/src/truth.rs crates/fourval/src/valuation.rs Cargo.toml
+
+crates/fourval/src/lib.rs:
+crates/fourval/src/bilattice.rs:
+crates/fourval/src/consequence.rs:
+crates/fourval/src/prop.rs:
+crates/fourval/src/signed.rs:
+crates/fourval/src/truth.rs:
+crates/fourval/src/valuation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jsonio-3eee2e4b24b0aa91.d: crates/jsonio/src/lib.rs
+
+/root/repo/target/debug/deps/jsonio-3eee2e4b24b0aa91: crates/jsonio/src/lib.rs
+
+crates/jsonio/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jsonio-91a061a4ae47b124.d: crates/jsonio/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjsonio-91a061a4ae47b124.rmeta: crates/jsonio/src/lib.rs Cargo.toml
+
+crates/jsonio/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

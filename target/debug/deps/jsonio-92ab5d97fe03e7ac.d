@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/jsonio-92ab5d97fe03e7ac.d: crates/jsonio/src/lib.rs
+
+/root/repo/target/debug/deps/libjsonio-92ab5d97fe03e7ac.rlib: crates/jsonio/src/lib.rs
+
+/root/repo/target/debug/deps/libjsonio-92ab5d97fe03e7ac.rmeta: crates/jsonio/src/lib.rs
+
+crates/jsonio/src/lib.rs:

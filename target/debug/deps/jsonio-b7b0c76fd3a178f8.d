@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jsonio-b7b0c76fd3a178f8.d: crates/jsonio/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjsonio-b7b0c76fd3a178f8.rmeta: crates/jsonio/src/lib.rs Cargo.toml
+
+crates/jsonio/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ontogen-a0286e112ef8a379.d: crates/ontogen/src/lib.rs crates/ontogen/src/exceptions.rs crates/ontogen/src/inject.rs crates/ontogen/src/lintseed.rs crates/ontogen/src/medical.rs crates/ontogen/src/queries.rs crates/ontogen/src/random.rs crates/ontogen/src/taxonomy.rs crates/ontogen/src/university.rs Cargo.toml
+
+/root/repo/target/debug/deps/libontogen-a0286e112ef8a379.rmeta: crates/ontogen/src/lib.rs crates/ontogen/src/exceptions.rs crates/ontogen/src/inject.rs crates/ontogen/src/lintseed.rs crates/ontogen/src/medical.rs crates/ontogen/src/queries.rs crates/ontogen/src/random.rs crates/ontogen/src/taxonomy.rs crates/ontogen/src/university.rs Cargo.toml
+
+crates/ontogen/src/lib.rs:
+crates/ontogen/src/exceptions.rs:
+crates/ontogen/src/inject.rs:
+crates/ontogen/src/lintseed.rs:
+crates/ontogen/src/medical.rs:
+crates/ontogen/src/queries.rs:
+crates/ontogen/src/random.rs:
+crates/ontogen/src/taxonomy.rs:
+crates/ontogen/src/university.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

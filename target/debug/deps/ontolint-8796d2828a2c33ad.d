@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ontolint-8796d2828a2c33ad.d: crates/ontolint/src/lib.rs crates/ontolint/src/contradictions.rs crates/ontolint/src/cost.rs crates/ontolint/src/diagnostics.rs crates/ontolint/src/graph.rs crates/ontolint/src/hygiene.rs
+
+/root/repo/target/debug/deps/ontolint-8796d2828a2c33ad: crates/ontolint/src/lib.rs crates/ontolint/src/contradictions.rs crates/ontolint/src/cost.rs crates/ontolint/src/diagnostics.rs crates/ontolint/src/graph.rs crates/ontolint/src/hygiene.rs
+
+crates/ontolint/src/lib.rs:
+crates/ontolint/src/contradictions.rs:
+crates/ontolint/src/cost.rs:
+crates/ontolint/src/diagnostics.rs:
+crates/ontolint/src/graph.rs:
+crates/ontolint/src/hygiene.rs:

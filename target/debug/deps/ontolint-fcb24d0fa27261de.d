@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ontolint-fcb24d0fa27261de.d: crates/ontolint/src/lib.rs crates/ontolint/src/contradictions.rs crates/ontolint/src/cost.rs crates/ontolint/src/diagnostics.rs crates/ontolint/src/graph.rs crates/ontolint/src/hygiene.rs Cargo.toml
+
+/root/repo/target/debug/deps/libontolint-fcb24d0fa27261de.rmeta: crates/ontolint/src/lib.rs crates/ontolint/src/contradictions.rs crates/ontolint/src/cost.rs crates/ontolint/src/diagnostics.rs crates/ontolint/src/graph.rs crates/ontolint/src/hygiene.rs Cargo.toml
+
+crates/ontolint/src/lib.rs:
+crates/ontolint/src/contradictions.rs:
+crates/ontolint/src/cost.rs:
+crates/ontolint/src/diagnostics.rs:
+crates/ontolint/src/graph.rs:
+crates/ontolint/src/hygiene.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

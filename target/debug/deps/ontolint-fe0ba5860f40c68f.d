@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ontolint-fe0ba5860f40c68f.d: crates/ontolint/src/lib.rs crates/ontolint/src/contradictions.rs crates/ontolint/src/cost.rs crates/ontolint/src/diagnostics.rs crates/ontolint/src/graph.rs crates/ontolint/src/hygiene.rs
+
+/root/repo/target/debug/deps/ontolint-fe0ba5860f40c68f: crates/ontolint/src/lib.rs crates/ontolint/src/contradictions.rs crates/ontolint/src/cost.rs crates/ontolint/src/diagnostics.rs crates/ontolint/src/graph.rs crates/ontolint/src/hygiene.rs
+
+crates/ontolint/src/lib.rs:
+crates/ontolint/src/contradictions.rs:
+crates/ontolint/src/cost.rs:
+crates/ontolint/src/diagnostics.rs:
+crates/ontolint/src/graph.rs:
+crates/ontolint/src/hygiene.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle-655e596e3fca9f0d.d: crates/ontolint/tests/oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle-655e596e3fca9f0d.rmeta: crates/ontolint/tests/oracle.rs Cargo.toml
+
+crates/ontolint/tests/oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

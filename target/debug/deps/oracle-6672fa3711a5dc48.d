@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle-6672fa3711a5dc48.d: crates/ontolint/tests/oracle.rs
+
+/root/repo/target/debug/deps/oracle-6672fa3711a5dc48: crates/ontolint/tests/oracle.rs
+
+crates/ontolint/tests/oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-911e7e9e9f8d55e2.d: crates/bench/../../tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-911e7e9e9f8d55e2: crates/bench/../../tests/paper_examples.rs
+
+crates/bench/../../tests/paper_examples.rs:

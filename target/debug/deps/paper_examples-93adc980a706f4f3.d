@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_examples-93adc980a706f4f3.d: crates/bench/../../tests/paper_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_examples-93adc980a706f4f3.rmeta: crates/bench/../../tests/paper_examples.rs Cargo.toml
+
+crates/bench/../../tests/paper_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_roundtrip-01e5825c62dedfc7.d: crates/bench/../../tests/parser_roundtrip.rs
+
+/root/repo/target/debug/deps/parser_roundtrip-01e5825c62dedfc7: crates/bench/../../tests/parser_roundtrip.rs
+
+crates/bench/../../tests/parser_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parser_roundtrip-1a8684f69c468f3f.d: crates/bench/../../tests/parser_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparser_roundtrip-1a8684f69c468f3f.rmeta: crates/bench/../../tests/parser_roundtrip.rs Cargo.toml
+
+crates/bench/../../tests/parser_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

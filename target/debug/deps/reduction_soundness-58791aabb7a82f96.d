@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reduction_soundness-58791aabb7a82f96.d: crates/bench/../../tests/reduction_soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreduction_soundness-58791aabb7a82f96.rmeta: crates/bench/../../tests/reduction_soundness.rs Cargo.toml
+
+crates/bench/../../tests/reduction_soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reduction_soundness-5e783bc572724176.d: crates/bench/../../tests/reduction_soundness.rs
+
+/root/repo/target/debug/deps/reduction_soundness-5e783bc572724176: crates/bench/../../tests/reduction_soundness.rs
+
+crates/bench/../../tests/reduction_soundness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/role_semantics-4d545e128bd321e8.d: crates/bench/../../tests/role_semantics.rs
+
+/root/repo/target/debug/deps/role_semantics-4d545e128bd321e8: crates/bench/../../tests/role_semantics.rs
+
+crates/bench/../../tests/role_semantics.rs:

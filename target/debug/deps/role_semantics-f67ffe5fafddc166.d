@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/role_semantics-f67ffe5fafddc166.d: crates/bench/../../tests/role_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/librole_semantics-f67ffe5fafddc166.rmeta: crates/bench/../../tests/role_semantics.rs Cargo.toml
+
+crates/bench/../../tests/role_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serialization_roundtrip-342666946fd67f6e.d: crates/bench/../../tests/serialization_roundtrip.rs
+
+/root/repo/target/debug/deps/serialization_roundtrip-342666946fd67f6e: crates/bench/../../tests/serialization_roundtrip.rs
+
+crates/bench/../../tests/serialization_roundtrip.rs:

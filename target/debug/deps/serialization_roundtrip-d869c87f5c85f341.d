@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serialization_roundtrip-d869c87f5c85f341.d: crates/bench/../../tests/serialization_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserialization_roundtrip-d869c87f5c85f341.rmeta: crates/bench/../../tests/serialization_roundtrip.rs Cargo.toml
+
+crates/bench/../../tests/serialization_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/shoin4-2d898c7a1e5d1652.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/inclusion.rs crates/core/src/induced.rs crates/core/src/interp4.rs crates/core/src/json.rs crates/core/src/kb4.rs crates/core/src/parser4.rs crates/core/src/printer4.rs crates/core/src/reasoner4.rs crates/core/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshoin4-2d898c7a1e5d1652.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/inclusion.rs crates/core/src/induced.rs crates/core/src/interp4.rs crates/core/src/json.rs crates/core/src/kb4.rs crates/core/src/parser4.rs crates/core/src/printer4.rs crates/core/src/reasoner4.rs crates/core/src/transform.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/inclusion.rs:
+crates/core/src/induced.rs:
+crates/core/src/interp4.rs:
+crates/core/src/json.rs:
+crates/core/src/kb4.rs:
+crates/core/src/parser4.rs:
+crates/core/src/printer4.rs:
+crates/core/src/reasoner4.rs:
+crates/core/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shoin4-6726da90d96aaf76.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/shoin4-6726da90d96aaf76: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

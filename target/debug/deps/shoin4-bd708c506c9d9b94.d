@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shoin4-bd708c506c9d9b94.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/shoin4-bd708c506c9d9b94: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

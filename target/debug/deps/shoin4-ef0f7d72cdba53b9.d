@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shoin4-ef0f7d72cdba53b9.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshoin4-ef0f7d72cdba53b9.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shoin4_cli-145fe8875ac6e665.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/shoin4_cli-145fe8875ac6e665: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

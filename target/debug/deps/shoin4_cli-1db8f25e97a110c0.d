@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shoin4_cli-1db8f25e97a110c0.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshoin4_cli-1db8f25e97a110c0.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

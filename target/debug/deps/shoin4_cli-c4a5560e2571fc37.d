@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shoin4_cli-c4a5560e2571fc37.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libshoin4_cli-c4a5560e2571fc37.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libshoin4_cli-c4a5560e2571fc37.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

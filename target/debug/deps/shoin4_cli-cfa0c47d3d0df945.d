@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shoin4_cli-cfa0c47d3d0df945.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshoin4_cli-cfa0c47d3d0df945.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

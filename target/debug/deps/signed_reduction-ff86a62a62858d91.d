@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/signed_reduction-ff86a62a62858d91.d: crates/bench/benches/signed_reduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsigned_reduction-ff86a62a62858d91.rmeta: crates/bench/benches/signed_reduction.rs Cargo.toml
+
+crates/bench/benches/signed_reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

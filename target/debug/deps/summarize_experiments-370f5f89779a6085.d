@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summarize_experiments-370f5f89779a6085.d: crates/bench/src/bin/summarize_experiments.rs
+
+/root/repo/target/debug/deps/summarize_experiments-370f5f89779a6085: crates/bench/src/bin/summarize_experiments.rs
+
+crates/bench/src/bin/summarize_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summarize_experiments-7b331885f9c3493c.d: crates/bench/src/bin/summarize_experiments.rs
+
+/root/repo/target/debug/deps/summarize_experiments-7b331885f9c3493c: crates/bench/src/bin/summarize_experiments.rs
+
+crates/bench/src/bin/summarize_experiments.rs:

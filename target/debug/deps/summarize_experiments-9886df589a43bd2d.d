@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/summarize_experiments-9886df589a43bd2d.d: crates/bench/src/bin/summarize_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsummarize_experiments-9886df589a43bd2d.rmeta: crates/bench/src/bin/summarize_experiments.rs Cargo.toml
+
+crates/bench/src/bin/summarize_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_models-78b9eb0395a2816e.d: crates/bench/../../tests/table4_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_models-78b9eb0395a2816e.rmeta: crates/bench/../../tests/table4_models.rs Cargo.toml
+
+crates/bench/../../tests/table4_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_models-eaa25f8619bc817f.d: crates/bench/../../tests/table4_models.rs
+
+/root/repo/target/debug/deps/table4_models-eaa25f8619bc817f: crates/bench/../../tests/table4_models.rs
+
+crates/bench/../../tests/table4_models.rs:

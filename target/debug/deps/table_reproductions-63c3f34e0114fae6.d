@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_reproductions-63c3f34e0114fae6.d: crates/bench/benches/table_reproductions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_reproductions-63c3f34e0114fae6.rmeta: crates/bench/benches/table_reproductions.rs Cargo.toml
+
+crates/bench/benches/table_reproductions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_semantics-bd349df9a8c312fe.d: crates/bench/../../tests/table_semantics.rs
+
+/root/repo/target/debug/deps/table_semantics-bd349df9a8c312fe: crates/bench/../../tests/table_semantics.rs
+
+crates/bench/../../tests/table_semantics.rs:

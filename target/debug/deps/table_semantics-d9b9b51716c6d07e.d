@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_semantics-d9b9b51716c6d07e.d: crates/bench/../../tests/table_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_semantics-d9b9b51716c6d07e.rmeta: crates/bench/../../tests/table_semantics.rs Cargo.toml
+
+crates/bench/../../tests/table_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/tableau-2730614161844d0b.d: crates/tableau/src/lib.rs crates/tableau/src/blocking.rs crates/tableau/src/clash.rs crates/tableau/src/config.rs crates/tableau/src/datatype_oracle.rs crates/tableau/src/graph.rs crates/tableau/src/model.rs crates/tableau/src/node.rs crates/tableau/src/reasoner.rs crates/tableau/src/rules.rs crates/tableau/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtableau-2730614161844d0b.rmeta: crates/tableau/src/lib.rs crates/tableau/src/blocking.rs crates/tableau/src/clash.rs crates/tableau/src/config.rs crates/tableau/src/datatype_oracle.rs crates/tableau/src/graph.rs crates/tableau/src/model.rs crates/tableau/src/node.rs crates/tableau/src/reasoner.rs crates/tableau/src/rules.rs crates/tableau/src/stats.rs Cargo.toml
+
+crates/tableau/src/lib.rs:
+crates/tableau/src/blocking.rs:
+crates/tableau/src/clash.rs:
+crates/tableau/src/config.rs:
+crates/tableau/src/datatype_oracle.rs:
+crates/tableau/src/graph.rs:
+crates/tableau/src/model.rs:
+crates/tableau/src/node.rs:
+crates/tableau/src/reasoner.rs:
+crates/tableau/src/rules.rs:
+crates/tableau/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tableau_hard_cases-8edead58d0913acc.d: crates/bench/../../tests/tableau_hard_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtableau_hard_cases-8edead58d0913acc.rmeta: crates/bench/../../tests/tableau_hard_cases.rs Cargo.toml
+
+crates/bench/../../tests/tableau_hard_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

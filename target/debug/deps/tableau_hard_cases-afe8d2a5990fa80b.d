@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tableau_hard_cases-afe8d2a5990fa80b.d: crates/bench/../../tests/tableau_hard_cases.rs
+
+/root/repo/target/debug/deps/tableau_hard_cases-afe8d2a5990fa80b: crates/bench/../../tests/tableau_hard_cases.rs
+
+crates/bench/../../tests/tableau_hard_cases.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tableau_scaling-33686a8498381f1a.d: crates/bench/benches/tableau_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtableau_scaling-33686a8498381f1a.rmeta: crates/bench/benches/tableau_scaling.rs Cargo.toml
+
+crates/bench/benches/tableau_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

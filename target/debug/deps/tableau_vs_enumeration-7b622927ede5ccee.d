@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tableau_vs_enumeration-7b622927ede5ccee.d: crates/bench/../../tests/tableau_vs_enumeration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtableau_vs_enumeration-7b622927ede5ccee.rmeta: crates/bench/../../tests/tableau_vs_enumeration.rs Cargo.toml
+
+crates/bench/../../tests/tableau_vs_enumeration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tableau_vs_enumeration-c5a206053a7f1114.d: crates/bench/../../tests/tableau_vs_enumeration.rs
+
+/root/repo/target/debug/deps/tableau_vs_enumeration-c5a206053a7f1114: crates/bench/../../tests/tableau_vs_enumeration.rs
+
+crates/bench/../../tests/tableau_vs_enumeration.rs:

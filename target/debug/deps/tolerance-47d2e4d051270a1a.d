@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tolerance-47d2e4d051270a1a.d: crates/bench/benches/tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtolerance-47d2e4d051270a1a.rmeta: crates/bench/benches/tolerance.rs Cargo.toml
+
+crates/bench/benches/tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

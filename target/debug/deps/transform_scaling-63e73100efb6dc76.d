@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transform_scaling-63e73100efb6dc76.d: crates/bench/benches/transform_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransform_scaling-63e73100efb6dc76.rmeta: crates/bench/benches/transform_scaling.rs Cargo.toml
+
+crates/bench/benches/transform_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

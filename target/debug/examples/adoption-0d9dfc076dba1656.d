@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adoption-0d9dfc076dba1656.d: crates/fourmodels/../../examples/adoption.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadoption-0d9dfc076dba1656.rmeta: crates/fourmodels/../../examples/adoption.rs Cargo.toml
+
+crates/fourmodels/../../examples/adoption.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adoption-9a79a2e9b50cde19.d: crates/fourmodels/../../examples/adoption.rs
+
+/root/repo/target/debug/examples/adoption-9a79a2e9b50cde19: crates/fourmodels/../../examples/adoption.rs
+
+crates/fourmodels/../../examples/adoption.rs:

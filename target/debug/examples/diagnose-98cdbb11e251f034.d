@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diagnose-98cdbb11e251f034.d: crates/core/../../examples/diagnose.rs
+
+/root/repo/target/debug/examples/diagnose-98cdbb11e251f034: crates/core/../../examples/diagnose.rs
+
+crates/core/../../examples/diagnose.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/diagnose-a76a4f471af295ca.d: crates/core/../../examples/diagnose.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiagnose-a76a4f471af295ca.rmeta: crates/core/../../examples/diagnose.rs Cargo.toml
+
+crates/core/../../examples/diagnose.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/inconsistency_triage-1a8b0bb6e1b50aa6.d: crates/bench/../../examples/inconsistency_triage.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinconsistency_triage-1a8b0bb6e1b50aa6.rmeta: crates/bench/../../examples/inconsistency_triage.rs Cargo.toml
+
+crates/bench/../../examples/inconsistency_triage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

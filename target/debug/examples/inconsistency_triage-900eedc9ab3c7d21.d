@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inconsistency_triage-900eedc9ab3c7d21.d: crates/bench/../../examples/inconsistency_triage.rs
+
+/root/repo/target/debug/examples/inconsistency_triage-900eedc9ab3c7d21: crates/bench/../../examples/inconsistency_triage.rs
+
+crates/bench/../../examples/inconsistency_triage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/medical_access_control-06151cba37021c3c.d: crates/bench/../../examples/medical_access_control.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmedical_access_control-06151cba37021c3c.rmeta: crates/bench/../../examples/medical_access_control.rs Cargo.toml
+
+crates/bench/../../examples/medical_access_control.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

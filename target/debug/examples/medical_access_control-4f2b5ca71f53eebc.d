@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/medical_access_control-4f2b5ca71f53eebc.d: crates/bench/../../examples/medical_access_control.rs
+
+/root/repo/target/debug/examples/medical_access_control-4f2b5ca71f53eebc: crates/bench/../../examples/medical_access_control.rs
+
+crates/bench/../../examples/medical_access_control.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/penguin-49fdee6eb5a6dd50.d: crates/core/../../examples/penguin.rs
+
+/root/repo/target/debug/examples/penguin-49fdee6eb5a6dd50: crates/core/../../examples/penguin.rs
+
+crates/core/../../examples/penguin.rs:

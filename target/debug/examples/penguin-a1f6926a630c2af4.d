@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/penguin-a1f6926a630c2af4.d: crates/core/../../examples/penguin.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpenguin-a1f6926a630c2af4.rmeta: crates/core/../../examples/penguin.rs Cargo.toml
+
+crates/core/../../examples/penguin.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe_overflow-6b319b207b895066.d: crates/fourmodels/examples/probe_overflow.rs
+
+/root/repo/target/debug/examples/probe_overflow-6b319b207b895066: crates/fourmodels/examples/probe_overflow.rs
+
+crates/fourmodels/examples/probe_overflow.rs:

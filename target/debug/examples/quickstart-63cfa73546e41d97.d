@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-63cfa73546e41d97.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-63cfa73546e41d97: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/baselines-7c35717695047e5f.d: crates/baselines/src/lib.rs crates/baselines/src/classical.rs crates/baselines/src/mcs.rs crates/baselines/src/stratified.rs
+
+/root/repo/target/release/deps/libbaselines-7c35717695047e5f.rlib: crates/baselines/src/lib.rs crates/baselines/src/classical.rs crates/baselines/src/mcs.rs crates/baselines/src/stratified.rs
+
+/root/repo/target/release/deps/libbaselines-7c35717695047e5f.rmeta: crates/baselines/src/lib.rs crates/baselines/src/classical.rs crates/baselines/src/mcs.rs crates/baselines/src/stratified.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/classical.rs:
+crates/baselines/src/mcs.rs:
+crates/baselines/src/stratified.rs:

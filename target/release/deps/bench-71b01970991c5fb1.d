@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-71b01970991c5fb1.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-71b01970991c5fb1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-71b01970991c5fb1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-9ac0db33fe43a851.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-9ac0db33fe43a851.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-9ac0db33fe43a851.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

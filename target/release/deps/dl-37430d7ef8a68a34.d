@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/dl-37430d7ef8a68a34.d: crates/dl/src/lib.rs crates/dl/src/axiom.rs crates/dl/src/concept.rs crates/dl/src/datatype.rs crates/dl/src/json.rs crates/dl/src/kb.rs crates/dl/src/name.rs crates/dl/src/nnf.rs crates/dl/src/parser.rs crates/dl/src/printer.rs crates/dl/src/snapshot.rs
+
+/root/repo/target/release/deps/libdl-37430d7ef8a68a34.rlib: crates/dl/src/lib.rs crates/dl/src/axiom.rs crates/dl/src/concept.rs crates/dl/src/datatype.rs crates/dl/src/json.rs crates/dl/src/kb.rs crates/dl/src/name.rs crates/dl/src/nnf.rs crates/dl/src/parser.rs crates/dl/src/printer.rs crates/dl/src/snapshot.rs
+
+/root/repo/target/release/deps/libdl-37430d7ef8a68a34.rmeta: crates/dl/src/lib.rs crates/dl/src/axiom.rs crates/dl/src/concept.rs crates/dl/src/datatype.rs crates/dl/src/json.rs crates/dl/src/kb.rs crates/dl/src/name.rs crates/dl/src/nnf.rs crates/dl/src/parser.rs crates/dl/src/printer.rs crates/dl/src/snapshot.rs
+
+crates/dl/src/lib.rs:
+crates/dl/src/axiom.rs:
+crates/dl/src/concept.rs:
+crates/dl/src/datatype.rs:
+crates/dl/src/json.rs:
+crates/dl/src/kb.rs:
+crates/dl/src/name.rs:
+crates/dl/src/nnf.rs:
+crates/dl/src/parser.rs:
+crates/dl/src/printer.rs:
+crates/dl/src/snapshot.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fourmodels-fd80c09262538860.d: crates/fourmodels/src/lib.rs crates/fourmodels/src/check.rs crates/fourmodels/src/enumerate.rs crates/fourmodels/src/table4.rs crates/fourmodels/src/verify.rs
+
+/root/repo/target/release/deps/libfourmodels-fd80c09262538860.rlib: crates/fourmodels/src/lib.rs crates/fourmodels/src/check.rs crates/fourmodels/src/enumerate.rs crates/fourmodels/src/table4.rs crates/fourmodels/src/verify.rs
+
+/root/repo/target/release/deps/libfourmodels-fd80c09262538860.rmeta: crates/fourmodels/src/lib.rs crates/fourmodels/src/check.rs crates/fourmodels/src/enumerate.rs crates/fourmodels/src/table4.rs crates/fourmodels/src/verify.rs
+
+crates/fourmodels/src/lib.rs:
+crates/fourmodels/src/check.rs:
+crates/fourmodels/src/enumerate.rs:
+crates/fourmodels/src/table4.rs:
+crates/fourmodels/src/verify.rs:

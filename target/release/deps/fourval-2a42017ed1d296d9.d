@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fourval-2a42017ed1d296d9.d: crates/fourval/src/lib.rs crates/fourval/src/bilattice.rs crates/fourval/src/consequence.rs crates/fourval/src/prop.rs crates/fourval/src/signed.rs crates/fourval/src/truth.rs crates/fourval/src/valuation.rs
+
+/root/repo/target/release/deps/libfourval-2a42017ed1d296d9.rlib: crates/fourval/src/lib.rs crates/fourval/src/bilattice.rs crates/fourval/src/consequence.rs crates/fourval/src/prop.rs crates/fourval/src/signed.rs crates/fourval/src/truth.rs crates/fourval/src/valuation.rs
+
+/root/repo/target/release/deps/libfourval-2a42017ed1d296d9.rmeta: crates/fourval/src/lib.rs crates/fourval/src/bilattice.rs crates/fourval/src/consequence.rs crates/fourval/src/prop.rs crates/fourval/src/signed.rs crates/fourval/src/truth.rs crates/fourval/src/valuation.rs
+
+crates/fourval/src/lib.rs:
+crates/fourval/src/bilattice.rs:
+crates/fourval/src/consequence.rs:
+crates/fourval/src/prop.rs:
+crates/fourval/src/signed.rs:
+crates/fourval/src/truth.rs:
+crates/fourval/src/valuation.rs:

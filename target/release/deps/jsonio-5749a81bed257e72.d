@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/jsonio-5749a81bed257e72.d: crates/jsonio/src/lib.rs
+
+/root/repo/target/release/deps/libjsonio-5749a81bed257e72.rlib: crates/jsonio/src/lib.rs
+
+/root/repo/target/release/deps/libjsonio-5749a81bed257e72.rmeta: crates/jsonio/src/lib.rs
+
+crates/jsonio/src/lib.rs:

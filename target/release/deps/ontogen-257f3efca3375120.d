@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ontogen-257f3efca3375120.d: crates/ontogen/src/lib.rs crates/ontogen/src/exceptions.rs crates/ontogen/src/inject.rs crates/ontogen/src/lintseed.rs crates/ontogen/src/medical.rs crates/ontogen/src/queries.rs crates/ontogen/src/random.rs crates/ontogen/src/taxonomy.rs crates/ontogen/src/university.rs
+
+/root/repo/target/release/deps/libontogen-257f3efca3375120.rlib: crates/ontogen/src/lib.rs crates/ontogen/src/exceptions.rs crates/ontogen/src/inject.rs crates/ontogen/src/lintseed.rs crates/ontogen/src/medical.rs crates/ontogen/src/queries.rs crates/ontogen/src/random.rs crates/ontogen/src/taxonomy.rs crates/ontogen/src/university.rs
+
+/root/repo/target/release/deps/libontogen-257f3efca3375120.rmeta: crates/ontogen/src/lib.rs crates/ontogen/src/exceptions.rs crates/ontogen/src/inject.rs crates/ontogen/src/lintseed.rs crates/ontogen/src/medical.rs crates/ontogen/src/queries.rs crates/ontogen/src/random.rs crates/ontogen/src/taxonomy.rs crates/ontogen/src/university.rs
+
+crates/ontogen/src/lib.rs:
+crates/ontogen/src/exceptions.rs:
+crates/ontogen/src/inject.rs:
+crates/ontogen/src/lintseed.rs:
+crates/ontogen/src/medical.rs:
+crates/ontogen/src/queries.rs:
+crates/ontogen/src/random.rs:
+crates/ontogen/src/taxonomy.rs:
+crates/ontogen/src/university.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ontolint-4c1c7cf5f83b23fd.d: crates/ontolint/src/lib.rs crates/ontolint/src/contradictions.rs crates/ontolint/src/cost.rs crates/ontolint/src/diagnostics.rs crates/ontolint/src/graph.rs crates/ontolint/src/hygiene.rs
+
+/root/repo/target/release/deps/libontolint-4c1c7cf5f83b23fd.rlib: crates/ontolint/src/lib.rs crates/ontolint/src/contradictions.rs crates/ontolint/src/cost.rs crates/ontolint/src/diagnostics.rs crates/ontolint/src/graph.rs crates/ontolint/src/hygiene.rs
+
+/root/repo/target/release/deps/libontolint-4c1c7cf5f83b23fd.rmeta: crates/ontolint/src/lib.rs crates/ontolint/src/contradictions.rs crates/ontolint/src/cost.rs crates/ontolint/src/diagnostics.rs crates/ontolint/src/graph.rs crates/ontolint/src/hygiene.rs
+
+crates/ontolint/src/lib.rs:
+crates/ontolint/src/contradictions.rs:
+crates/ontolint/src/cost.rs:
+crates/ontolint/src/diagnostics.rs:
+crates/ontolint/src/graph.rs:
+crates/ontolint/src/hygiene.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-00d0311fb94df48e.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-00d0311fb94df48e.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-00d0311fb94df48e.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

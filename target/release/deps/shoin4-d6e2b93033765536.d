@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/shoin4-d6e2b93033765536.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/inclusion.rs crates/core/src/induced.rs crates/core/src/interp4.rs crates/core/src/json.rs crates/core/src/kb4.rs crates/core/src/parser4.rs crates/core/src/printer4.rs crates/core/src/reasoner4.rs crates/core/src/transform.rs
+
+/root/repo/target/release/deps/libshoin4-d6e2b93033765536.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/inclusion.rs crates/core/src/induced.rs crates/core/src/interp4.rs crates/core/src/json.rs crates/core/src/kb4.rs crates/core/src/parser4.rs crates/core/src/printer4.rs crates/core/src/reasoner4.rs crates/core/src/transform.rs
+
+/root/repo/target/release/deps/libshoin4-d6e2b93033765536.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/inclusion.rs crates/core/src/induced.rs crates/core/src/interp4.rs crates/core/src/json.rs crates/core/src/kb4.rs crates/core/src/parser4.rs crates/core/src/printer4.rs crates/core/src/reasoner4.rs crates/core/src/transform.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/inclusion.rs:
+crates/core/src/induced.rs:
+crates/core/src/interp4.rs:
+crates/core/src/json.rs:
+crates/core/src/kb4.rs:
+crates/core/src/parser4.rs:
+crates/core/src/printer4.rs:
+crates/core/src/reasoner4.rs:
+crates/core/src/transform.rs:

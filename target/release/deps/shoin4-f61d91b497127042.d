@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shoin4-f61d91b497127042.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/shoin4-f61d91b497127042: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

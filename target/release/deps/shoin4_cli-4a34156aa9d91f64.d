@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shoin4_cli-4a34156aa9d91f64.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libshoin4_cli-4a34156aa9d91f64.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libshoin4_cli-4a34156aa9d91f64.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

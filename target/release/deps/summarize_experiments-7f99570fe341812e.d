@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/summarize_experiments-7f99570fe341812e.d: crates/bench/src/bin/summarize_experiments.rs
+
+/root/repo/target/release/deps/summarize_experiments-7f99570fe341812e: crates/bench/src/bin/summarize_experiments.rs
+
+crates/bench/src/bin/summarize_experiments.rs:

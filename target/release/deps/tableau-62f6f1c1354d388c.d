@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/tableau-62f6f1c1354d388c.d: crates/tableau/src/lib.rs crates/tableau/src/blocking.rs crates/tableau/src/clash.rs crates/tableau/src/config.rs crates/tableau/src/datatype_oracle.rs crates/tableau/src/graph.rs crates/tableau/src/model.rs crates/tableau/src/node.rs crates/tableau/src/reasoner.rs crates/tableau/src/rules.rs crates/tableau/src/stats.rs
+
+/root/repo/target/release/deps/libtableau-62f6f1c1354d388c.rlib: crates/tableau/src/lib.rs crates/tableau/src/blocking.rs crates/tableau/src/clash.rs crates/tableau/src/config.rs crates/tableau/src/datatype_oracle.rs crates/tableau/src/graph.rs crates/tableau/src/model.rs crates/tableau/src/node.rs crates/tableau/src/reasoner.rs crates/tableau/src/rules.rs crates/tableau/src/stats.rs
+
+/root/repo/target/release/deps/libtableau-62f6f1c1354d388c.rmeta: crates/tableau/src/lib.rs crates/tableau/src/blocking.rs crates/tableau/src/clash.rs crates/tableau/src/config.rs crates/tableau/src/datatype_oracle.rs crates/tableau/src/graph.rs crates/tableau/src/model.rs crates/tableau/src/node.rs crates/tableau/src/reasoner.rs crates/tableau/src/rules.rs crates/tableau/src/stats.rs
+
+crates/tableau/src/lib.rs:
+crates/tableau/src/blocking.rs:
+crates/tableau/src/clash.rs:
+crates/tableau/src/config.rs:
+crates/tableau/src/datatype_oracle.rs:
+crates/tableau/src/graph.rs:
+crates/tableau/src/model.rs:
+crates/tableau/src/node.rs:
+crates/tableau/src/reasoner.rs:
+crates/tableau/src/rules.rs:
+crates/tableau/src/stats.rs:

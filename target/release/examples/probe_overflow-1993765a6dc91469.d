@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_overflow-1993765a6dc91469.d: crates/fourmodels/examples/probe_overflow.rs
+
+/root/repo/target/release/examples/probe_overflow-1993765a6dc91469: crates/fourmodels/examples/probe_overflow.rs
+
+crates/fourmodels/examples/probe_overflow.rs:

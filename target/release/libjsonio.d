@@ -1,0 +1,1 @@
+/root/repo/target/release/libjsonio.rlib: /root/repo/crates/jsonio/src/lib.rs

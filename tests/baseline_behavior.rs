@@ -27,7 +27,10 @@ fn classical_explosion_on_example_2() {
     .unwrap();
     let mut r = tableau::Reasoner::new(&kb);
     assert!(!r.is_consistent().unwrap());
-    assert!(r.entails(&q("john", "Patient")).unwrap(), "ex falso quodlibet");
+    assert!(
+        r.entails(&q("john", "Patient")).unwrap(),
+        "ex falso quodlibet"
+    );
     // The baseline wrapper reports this as a degenerate answer.
     let mut b = ClassicalBaseline::new(&kb);
     assert_eq!(b.entails(&q("john", "Patient")).unwrap(), Answer::Trivial);

@@ -103,7 +103,8 @@ fn example_3_and_5_four_valued_reading() {
     assert_eq!(r.query(&ind("tweety"), &fly).unwrap(), TruthValue::False);
     // Non-trivial: positive info about being a penguin and a bird stays.
     assert_eq!(
-        r.query(&ind("tweety"), &Concept::atomic("Penguin")).unwrap(),
+        r.query(&ind("tweety"), &Concept::atomic("Penguin"))
+            .unwrap(),
         TruthValue::True
     );
 }
@@ -183,24 +184,20 @@ fn example_4_classical_reading_is_inconsistent() {
 #[test]
 fn inclusion_kind_narrative() {
     // Strong: a non-flyer is a non-bird.
-    let mut strong = Reasoner4::new(
-        &parse_kb4("Bird StrongSubClassOf Fly\nx : not Fly").unwrap(),
-    );
+    let mut strong = Reasoner4::new(&parse_kb4("Bird StrongSubClassOf Fly\nx : not Fly").unwrap());
     assert_eq!(
         strong.query(&ind("x"), &Concept::atomic("Bird")).unwrap(),
         TruthValue::False
     );
     // Internal: "this implication still cannot tell us whether it is not
     // a bird".
-    let mut internal =
-        Reasoner4::new(&parse_kb4("Bird SubClassOf Fly\nx : not Fly").unwrap());
+    let mut internal = Reasoner4::new(&parse_kb4("Bird SubClassOf Fly\nx : not Fly").unwrap());
     assert_eq!(
         internal.query(&ind("x"), &Concept::atomic("Bird")).unwrap(),
         TruthValue::Neither
     );
     // Material: the inclusion itself is entailed by its own KB.
-    let mut material =
-        Reasoner4::new(&parse_kb4("Bird MaterialSubClassOf Fly").unwrap());
+    let mut material = Reasoner4::new(&parse_kb4("Bird MaterialSubClassOf Fly").unwrap());
     assert!(material
         .entails(&Axiom4::ConceptInclusion(
             InclusionKind::Material,
@@ -264,5 +261,8 @@ fn inverse_and_number_restrictions_through_pipeline() {
     // plus-companion.
     let c = Concept::at_least(1, RoleExpr::named("hasChild").inverse());
     let t = shoin4::transform_concept(&c);
-    assert_eq!(t, Concept::at_least(1, RoleExpr::named("hasChild+").inverse()));
+    assert_eq!(
+        t,
+        Concept::at_least(1, RoleExpr::named("hasChild+").inverse())
+    );
 }

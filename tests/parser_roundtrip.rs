@@ -49,8 +49,8 @@ fn transformed_kbs_round_trip() {
     .unwrap();
     let induced = shoin4::transform_kb(&kb4);
     let printed = print_kb(&induced);
-    let reparsed = parse_kb(&printed)
-        .unwrap_or_else(|e| panic!("induced KB reparse failed: {e}\n{printed}"));
+    let reparsed =
+        parse_kb(&printed).unwrap_or_else(|e| panic!("induced KB reparse failed: {e}\n{printed}"));
     assert_eq!(reparsed, induced, "induced KB round trip:\n{printed}");
 }
 
@@ -70,7 +70,9 @@ fn concept_strategy() -> impl Strategy<Value = Concept> {
             (inner.clone(), inner.clone()).prop_map(|(l, r)| l.and(r)),
             (inner.clone(), inner.clone()).prop_map(|(l, r)| l.or(r)),
             inner.clone().prop_map(|c| c.not()),
-            inner.clone().prop_map(|c| Concept::some(RoleExpr::named("rel"), c)),
+            inner
+                .clone()
+                .prop_map(|c| Concept::some(RoleExpr::named("rel"), c)),
             inner
                 .clone()
                 .prop_map(|c| Concept::all(RoleExpr::named("rel").inverse(), c)),

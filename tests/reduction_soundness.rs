@@ -16,8 +16,8 @@ use proptest::prelude::*;
 use shoin4::induced::{classical_induced, four_valued_induced};
 use shoin4::interp4::{Elem, Interp4, RolePair};
 use shoin4::{
-    parse_kb4, transform_concept, transform_kb, transform_neg_concept, Axiom4,
-    InclusionKind, KnowledgeBase4, Reasoner4,
+    parse_kb4, transform_concept, transform_kb, transform_neg_concept, Axiom4, InclusionKind,
+    KnowledgeBase4, Reasoner4,
 };
 use std::collections::BTreeSet;
 
@@ -29,8 +29,15 @@ fn subset() -> impl Strategy<Value = BTreeSet<Elem>> {
 
 fn interp() -> impl Strategy<Value = Interp4> {
     let role_pairs = proptest::collection::btree_set((0..N, 0..N), 0..=10);
-    (subset(), subset(), subset(), subset(), role_pairs.clone(), role_pairs).prop_map(
-        |(ap, an, bp, bn, rp, rn)| {
+    (
+        subset(),
+        subset(),
+        subset(),
+        subset(),
+        role_pairs.clone(),
+        role_pairs,
+    )
+        .prop_map(|(ap, an, bp, bn, rp, rn)| {
             let mut i = Interp4::with_domain_size(N);
             i.set_individual("x", 0);
             i.set_individual("y", 1);
@@ -38,8 +45,7 @@ fn interp() -> impl Strategy<Value = Interp4> {
             i.set_concept("B", fourval::SetPair { pos: bp, neg: bn });
             i.set_role("r", RolePair { pos: rp, neg: rn });
             i
-        },
-    )
+        })
 }
 
 fn concept() -> impl Strategy<Value = Concept> {
@@ -55,7 +61,9 @@ fn concept() -> impl Strategy<Value = Concept> {
             (inner.clone(), inner.clone()).prop_map(|(l, r)| l.and(r)),
             (inner.clone(), inner.clone()).prop_map(|(l, r)| l.or(r)),
             inner.clone().prop_map(|c| c.not()),
-            inner.clone().prop_map(|c| Concept::some(RoleExpr::named("r"), c)),
+            inner
+                .clone()
+                .prop_map(|c| Concept::some(RoleExpr::named("r"), c)),
             inner
                 .clone()
                 .prop_map(|c| Concept::all(RoleExpr::named("r").inverse(), c)),
@@ -168,11 +176,19 @@ fn reasoner_agrees_with_enumeration_oracle() {
             continue;
         }
         for who in ["x", "y"] {
-            if !kb.signature().individuals.contains(&IndividualName::new(who)) {
+            if !kb
+                .signature()
+                .individuals
+                .contains(&IndividualName::new(who))
+            {
                 continue;
             }
             for concept in ["A", "B"] {
-                if !kb.signature().concepts.contains(&dl::ConceptName::new(concept)) {
+                if !kb
+                    .signature()
+                    .concepts
+                    .contains(&dl::ConceptName::new(concept))
+                {
                     continue;
                 }
                 let c = Concept::atomic(concept);

@@ -1,12 +1,14 @@
-//! Serialization round-trips: binary snapshots (`dl::snapshot`) and
-//! serde/JSON for both classical and four-valued KBs, over generated
-//! inputs — a KB must survive every persistence path unchanged.
+//! Serialization round-trips: binary snapshots (`dl::snapshot`) and the
+//! JSON codecs (`dl::json` / `shoin4::json`) for both classical and
+//! four-valued KBs, over generated inputs — a KB must survive every
+//! persistence path unchanged.
 
+use dl::json::{kb_from_json, kb_to_json};
 use dl::snapshot::{decode, encode};
 use ontogen::random::{random_kb, random_kb4, RandomParams};
 use ontogen::taxonomy::{taxonomy_kb, TaxonomyParams};
 use ontogen::university::{university_kb, UniversityParams};
-use shoin4::KnowledgeBase4;
+use shoin4::json::{kb4_from_json, kb4_to_json};
 
 #[test]
 fn snapshot_round_trips_random_kbs() {
@@ -39,28 +41,36 @@ fn snapshot_is_deterministic() {
 }
 
 #[test]
-fn json_round_trips_classical_kb() {
-    let kb = random_kb(&RandomParams {
-        seed: 9,
-        ..RandomParams::default()
-    });
-    let json = serde_json::to_string(&kb).expect("serializes");
-    let back: dl::kb::KnowledgeBase = serde_json::from_str(&json).expect("parses");
-    assert_eq!(back, kb);
+fn json_round_trips_classical_kbs() {
+    for seed in 0..10u64 {
+        let kb = random_kb(&RandomParams {
+            seed,
+            ..RandomParams::default()
+        });
+        let json = kb_to_json(&kb).to_string();
+        let value = jsonio::Value::parse(&json)
+            .unwrap_or_else(|e| panic!("seed {seed}: invalid JSON: {e}"));
+        let back = kb_from_json(&value).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(back, kb, "seed {seed}");
+    }
 }
 
 #[test]
-fn json_round_trips_four_valued_kb() {
-    let kb4 = random_kb4(
-        &RandomParams {
-            seed: 11,
-            ..RandomParams::default()
-        },
-        (0.3, 0.4, 0.3),
-    );
-    let json = serde_json::to_string(&kb4).expect("serializes");
-    let back: KnowledgeBase4 = serde_json::from_str(&json).expect("parses");
-    assert_eq!(back, kb4);
+fn json_round_trips_four_valued_kbs() {
+    for seed in 0..10u64 {
+        let kb4 = random_kb4(
+            &RandomParams {
+                seed,
+                ..RandomParams::default()
+            },
+            (0.3, 0.4, 0.3),
+        );
+        let json = kb4_to_json(&kb4).to_string();
+        let value = jsonio::Value::parse(&json)
+            .unwrap_or_else(|e| panic!("seed {seed}: invalid JSON: {e}"));
+        let back = kb4_from_json(&value).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(back, kb4, "seed {seed}");
+    }
 }
 
 #[test]
@@ -78,8 +88,8 @@ fn json_round_trips_interpretations() {
             neg: BTreeSet::from([(2, 2)]),
         },
     );
-    let json = serde_json::to_string(&i).expect("serializes");
-    let back: Interp4 = serde_json::from_str(&json).expect("parses");
+    let json = i.to_json().to_string();
+    let back = Interp4::from_json(&jsonio::Value::parse(&json).unwrap()).unwrap();
     assert_eq!(back, i);
 }
 
@@ -94,8 +104,8 @@ fn all_persistence_paths_agree() {
     });
     let via_snapshot = decode(&encode(&kb)).unwrap();
     let via_text = dl::parser::parse_kb(&dl::printer::print_kb(&kb)).unwrap();
-    let via_json: dl::kb::KnowledgeBase =
-        serde_json::from_str(&serde_json::to_string(&kb).unwrap()).unwrap();
+    let via_json =
+        kb_from_json(&jsonio::Value::parse(&kb_to_json(&kb).to_string()).unwrap()).unwrap();
     assert_eq!(via_snapshot, kb);
     assert_eq!(via_text, kb);
     assert_eq!(via_json, kb);

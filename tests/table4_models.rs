@@ -4,9 +4,7 @@
 //! the model table.
 
 use dl::{Concept, IndividualName};
-use fourmodels::table4::{
-    example4_config, example4_kb, table4_grouped, table4_rows,
-};
+use fourmodels::table4::{example4_config, example4_kb, table4_grouped, table4_rows};
 use fourval::TruthValue::{Both, False, Neither, True};
 use shoin4::Reasoner4;
 
@@ -72,9 +70,7 @@ fn truth_value_inventory_matches_paper() {
     }
     // The ⊤-heavy rows exist (M7–M9) and the clean rows exist (M1).
     assert!(rows.iter().any(|r| r.at_least_one_child == Both));
-    assert!(rows
-        .iter()
-        .any(|r| r.has_child == True && r.parent == True));
+    assert!(rows.iter().any(|r| r.has_child == True && r.parent == True));
 }
 
 #[test]

@@ -16,8 +16,7 @@ fn subset_strategy() -> impl Strategy<Value = BTreeSet<Elem>> {
 }
 
 fn pair_strategy() -> impl Strategy<Value = SetPair<Elem>> {
-    (subset_strategy(), subset_strategy())
-        .prop_map(|(pos, neg)| SetPair { pos, neg })
+    (subset_strategy(), subset_strategy()).prop_map(|(pos, neg)| SetPair { pos, neg })
 }
 
 fn role_strategy() -> impl Strategy<Value = RolePair> {
@@ -61,8 +60,12 @@ fn concept_strategy() -> impl Strategy<Value = Concept> {
             (inner.clone(), inner.clone()).prop_map(|(l, r)| l.and(r)),
             (inner.clone(), inner.clone()).prop_map(|(l, r)| l.or(r)),
             inner.clone().prop_map(|c| c.not()),
-            inner.clone().prop_map(|c| Concept::some(RoleExpr::named("r"), c)),
-            inner.clone().prop_map(|c| Concept::all(RoleExpr::named("s"), c)),
+            inner
+                .clone()
+                .prop_map(|c| Concept::some(RoleExpr::named("r"), c)),
+            inner
+                .clone()
+                .prop_map(|c| Concept::all(RoleExpr::named("s"), c)),
             (0u32..3).prop_map(|n| Concept::at_least(n, RoleExpr::named("r"))),
             (0u32..3).prop_map(|n| Concept::at_most(n, RoleExpr::named("r").inverse())),
         ]
@@ -210,7 +213,10 @@ fn table1_rows_on_classical_fixture() {
         i.eval(&Concept::at_least(1, r.clone())).pos,
         BTreeSet::from([0, 1])
     );
-    assert_eq!(i.eval(&Concept::at_most(0, r.clone())).pos, BTreeSet::from([2]));
+    assert_eq!(
+        i.eval(&Concept::at_most(0, r.clone())).pos,
+        BTreeSet::from([2])
+    );
     // Inverse: ∃r⁻.⊤ = range(r) = {1,2}.
     assert_eq!(
         i.eval(&Concept::some(r.inverse(), Concept::Top)).pos,

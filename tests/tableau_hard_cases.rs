@@ -30,13 +30,19 @@ fn propositional_puzzles() {
         "(A or B) and (A or not B) and (not A or B) and (not A or not B)"
     ));
     // Drop one conjunct — sat.
-    assert!(concept_sat("", "(A or B) and (A or not B) and (not A or B)"));
+    assert!(concept_sat(
+        "",
+        "(A or B) and (A or not B) and (not A or B)"
+    ));
 }
 
 #[test]
 fn modal_interaction() {
     // ∃r.A ⊓ ∃r.B ⊓ ¬∃r.(A ⊓ B) is satisfiable (two successors)…
-    assert!(concept_sat("", "(r some A) and (r some B) and not (r some (A and B))"));
+    assert!(concept_sat(
+        "",
+        "(r some A) and (r some B) and not (r some (A and B))"
+    ));
     // …but adding ≤1.r forces the merge and a clash.
     assert!(!concept_sat(
         "",
