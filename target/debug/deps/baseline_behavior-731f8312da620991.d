@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_behavior-731f8312da620991.d: crates/bench/../../tests/baseline_behavior.rs
+
+/root/repo/target/debug/deps/libbaseline_behavior-731f8312da620991.rmeta: crates/bench/../../tests/baseline_behavior.rs
+
+crates/bench/../../tests/baseline_behavior.rs:

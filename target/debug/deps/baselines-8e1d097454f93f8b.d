@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/baselines-8e1d097454f93f8b.d: crates/baselines/src/lib.rs crates/baselines/src/classical.rs crates/baselines/src/mcs.rs crates/baselines/src/stratified.rs
+
+/root/repo/target/debug/deps/libbaselines-8e1d097454f93f8b.rmeta: crates/baselines/src/lib.rs crates/baselines/src/classical.rs crates/baselines/src/mcs.rs crates/baselines/src/stratified.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/classical.rs:
+crates/baselines/src/mcs.rs:
+crates/baselines/src/stratified.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/baselines-bd0605fc0b8607b4.d: crates/baselines/src/lib.rs crates/baselines/src/classical.rs crates/baselines/src/mcs.rs crates/baselines/src/stratified.rs
+
+/root/repo/target/debug/deps/libbaselines-bd0605fc0b8607b4.rmeta: crates/baselines/src/lib.rs crates/baselines/src/classical.rs crates/baselines/src/mcs.rs crates/baselines/src/stratified.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/classical.rs:
+crates/baselines/src/mcs.rs:
+crates/baselines/src/stratified.rs:

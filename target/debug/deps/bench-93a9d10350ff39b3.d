@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-93a9d10350ff39b3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-93a9d10350ff39b3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-aac2e531b3e04515.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-aac2e531b3e04515.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/complexity_parity-ed9c4ec37d1962c4.d: crates/bench/benches/complexity_parity.rs
+
+/root/repo/target/debug/deps/libcomplexity_parity-ed9c4ec37d1962c4.rmeta: crates/bench/benches/complexity_parity.rs
+
+crates/bench/benches/complexity_parity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-0202f29fdf6dcfaf.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-0202f29fdf6dcfaf.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datatype_oracle_props-ce0f42da47b7096a.d: crates/bench/../../tests/datatype_oracle_props.rs
+
+/root/repo/target/debug/deps/libdatatype_oracle_props-ce0f42da47b7096a.rmeta: crates/bench/../../tests/datatype_oracle_props.rs
+
+crates/bench/../../tests/datatype_oracle_props.rs:

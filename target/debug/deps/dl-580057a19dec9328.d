@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dl-580057a19dec9328.d: crates/dl/src/lib.rs crates/dl/src/axiom.rs crates/dl/src/concept.rs crates/dl/src/datatype.rs crates/dl/src/json.rs crates/dl/src/kb.rs crates/dl/src/name.rs crates/dl/src/nnf.rs crates/dl/src/parser.rs crates/dl/src/printer.rs crates/dl/src/snapshot.rs
+
+/root/repo/target/debug/deps/libdl-580057a19dec9328.rmeta: crates/dl/src/lib.rs crates/dl/src/axiom.rs crates/dl/src/concept.rs crates/dl/src/datatype.rs crates/dl/src/json.rs crates/dl/src/kb.rs crates/dl/src/name.rs crates/dl/src/nnf.rs crates/dl/src/parser.rs crates/dl/src/printer.rs crates/dl/src/snapshot.rs
+
+crates/dl/src/lib.rs:
+crates/dl/src/axiom.rs:
+crates/dl/src/concept.rs:
+crates/dl/src/datatype.rs:
+crates/dl/src/json.rs:
+crates/dl/src/kb.rs:
+crates/dl/src/name.rs:
+crates/dl/src/nnf.rs:
+crates/dl/src/parser.rs:
+crates/dl/src/printer.rs:
+crates/dl/src/snapshot.rs:

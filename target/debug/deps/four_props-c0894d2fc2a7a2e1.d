@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/four_props-c0894d2fc2a7a2e1.d: crates/bench/../../tests/four_props.rs
+
+/root/repo/target/debug/deps/libfour_props-c0894d2fc2a7a2e1.rmeta: crates/bench/../../tests/four_props.rs
+
+crates/bench/../../tests/four_props.rs:

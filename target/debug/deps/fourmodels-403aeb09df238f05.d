@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fourmodels-403aeb09df238f05.d: crates/fourmodels/src/lib.rs crates/fourmodels/src/check.rs crates/fourmodels/src/enumerate.rs crates/fourmodels/src/table4.rs crates/fourmodels/src/verify.rs
+
+/root/repo/target/debug/deps/libfourmodels-403aeb09df238f05.rmeta: crates/fourmodels/src/lib.rs crates/fourmodels/src/check.rs crates/fourmodels/src/enumerate.rs crates/fourmodels/src/table4.rs crates/fourmodels/src/verify.rs
+
+crates/fourmodels/src/lib.rs:
+crates/fourmodels/src/check.rs:
+crates/fourmodels/src/enumerate.rs:
+crates/fourmodels/src/table4.rs:
+crates/fourmodels/src/verify.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fourmodels-7998badc61adeb41.d: crates/fourmodels/src/lib.rs crates/fourmodels/src/check.rs crates/fourmodels/src/enumerate.rs crates/fourmodels/src/table4.rs crates/fourmodels/src/verify.rs
+
+/root/repo/target/debug/deps/libfourmodels-7998badc61adeb41.rmeta: crates/fourmodels/src/lib.rs crates/fourmodels/src/check.rs crates/fourmodels/src/enumerate.rs crates/fourmodels/src/table4.rs crates/fourmodels/src/verify.rs
+
+crates/fourmodels/src/lib.rs:
+crates/fourmodels/src/check.rs:
+crates/fourmodels/src/enumerate.rs:
+crates/fourmodels/src/table4.rs:
+crates/fourmodels/src/verify.rs:

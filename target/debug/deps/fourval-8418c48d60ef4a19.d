@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fourval-8418c48d60ef4a19.d: crates/fourval/src/lib.rs crates/fourval/src/bilattice.rs crates/fourval/src/consequence.rs crates/fourval/src/prop.rs crates/fourval/src/signed.rs crates/fourval/src/truth.rs crates/fourval/src/valuation.rs
+
+/root/repo/target/debug/deps/libfourval-8418c48d60ef4a19.rmeta: crates/fourval/src/lib.rs crates/fourval/src/bilattice.rs crates/fourval/src/consequence.rs crates/fourval/src/prop.rs crates/fourval/src/signed.rs crates/fourval/src/truth.rs crates/fourval/src/valuation.rs
+
+crates/fourval/src/lib.rs:
+crates/fourval/src/bilattice.rs:
+crates/fourval/src/consequence.rs:
+crates/fourval/src/prop.rs:
+crates/fourval/src/signed.rs:
+crates/fourval/src/truth.rs:
+crates/fourval/src/valuation.rs:

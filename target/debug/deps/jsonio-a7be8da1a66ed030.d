@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jsonio-a7be8da1a66ed030.d: crates/jsonio/src/lib.rs
+
+/root/repo/target/debug/deps/libjsonio-a7be8da1a66ed030.rmeta: crates/jsonio/src/lib.rs
+
+crates/jsonio/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jsonio-bc97baa94b5a3411.d: crates/jsonio/src/lib.rs
+
+/root/repo/target/debug/deps/libjsonio-bc97baa94b5a3411.rmeta: crates/jsonio/src/lib.rs
+
+crates/jsonio/src/lib.rs:

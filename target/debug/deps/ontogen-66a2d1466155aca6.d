@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ontogen-66a2d1466155aca6.d: crates/ontogen/src/lib.rs crates/ontogen/src/exceptions.rs crates/ontogen/src/inject.rs crates/ontogen/src/lintseed.rs crates/ontogen/src/medical.rs crates/ontogen/src/queries.rs crates/ontogen/src/random.rs crates/ontogen/src/taxonomy.rs crates/ontogen/src/university.rs
+
+/root/repo/target/debug/deps/libontogen-66a2d1466155aca6.rmeta: crates/ontogen/src/lib.rs crates/ontogen/src/exceptions.rs crates/ontogen/src/inject.rs crates/ontogen/src/lintseed.rs crates/ontogen/src/medical.rs crates/ontogen/src/queries.rs crates/ontogen/src/random.rs crates/ontogen/src/taxonomy.rs crates/ontogen/src/university.rs
+
+crates/ontogen/src/lib.rs:
+crates/ontogen/src/exceptions.rs:
+crates/ontogen/src/inject.rs:
+crates/ontogen/src/lintseed.rs:
+crates/ontogen/src/medical.rs:
+crates/ontogen/src/queries.rs:
+crates/ontogen/src/random.rs:
+crates/ontogen/src/taxonomy.rs:
+crates/ontogen/src/university.rs:

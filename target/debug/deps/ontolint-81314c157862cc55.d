@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ontolint-81314c157862cc55.d: crates/ontolint/src/lib.rs crates/ontolint/src/contradictions.rs crates/ontolint/src/cost.rs crates/ontolint/src/diagnostics.rs crates/ontolint/src/graph.rs crates/ontolint/src/hygiene.rs
+
+/root/repo/target/debug/deps/libontolint-81314c157862cc55.rmeta: crates/ontolint/src/lib.rs crates/ontolint/src/contradictions.rs crates/ontolint/src/cost.rs crates/ontolint/src/diagnostics.rs crates/ontolint/src/graph.rs crates/ontolint/src/hygiene.rs
+
+crates/ontolint/src/lib.rs:
+crates/ontolint/src/contradictions.rs:
+crates/ontolint/src/cost.rs:
+crates/ontolint/src/diagnostics.rs:
+crates/ontolint/src/graph.rs:
+crates/ontolint/src/hygiene.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle-7da8fbab90577538.d: crates/ontolint/tests/oracle.rs
+
+/root/repo/target/debug/deps/liboracle-7da8fbab90577538.rmeta: crates/ontolint/tests/oracle.rs
+
+crates/ontolint/tests/oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-6df6f2b4e0d7d00a.d: crates/bench/../../tests/paper_examples.rs
+
+/root/repo/target/debug/deps/libpaper_examples-6df6f2b4e0d7d00a.rmeta: crates/bench/../../tests/paper_examples.rs
+
+crates/bench/../../tests/paper_examples.rs:

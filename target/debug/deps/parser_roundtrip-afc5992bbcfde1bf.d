@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_roundtrip-afc5992bbcfde1bf.d: crates/bench/../../tests/parser_roundtrip.rs
+
+/root/repo/target/debug/deps/libparser_roundtrip-afc5992bbcfde1bf.rmeta: crates/bench/../../tests/parser_roundtrip.rs
+
+crates/bench/../../tests/parser_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-888584b5f1b7a9e8.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-888584b5f1b7a9e8.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-fca2d141ddbc4fcf.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-fca2d141ddbc4fcf.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

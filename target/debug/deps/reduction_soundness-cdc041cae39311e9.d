@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reduction_soundness-cdc041cae39311e9.d: crates/bench/../../tests/reduction_soundness.rs
+
+/root/repo/target/debug/deps/libreduction_soundness-cdc041cae39311e9.rmeta: crates/bench/../../tests/reduction_soundness.rs
+
+crates/bench/../../tests/reduction_soundness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/role_semantics-bd4a95d89d95b554.d: crates/bench/../../tests/role_semantics.rs
+
+/root/repo/target/debug/deps/librole_semantics-bd4a95d89d95b554.rmeta: crates/bench/../../tests/role_semantics.rs
+
+crates/bench/../../tests/role_semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serialization_roundtrip-85680e20013a436f.d: crates/bench/../../tests/serialization_roundtrip.rs
+
+/root/repo/target/debug/deps/libserialization_roundtrip-85680e20013a436f.rmeta: crates/bench/../../tests/serialization_roundtrip.rs
+
+crates/bench/../../tests/serialization_roundtrip.rs:

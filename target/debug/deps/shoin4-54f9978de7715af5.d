@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shoin4-54f9978de7715af5.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libshoin4-54f9978de7715af5.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

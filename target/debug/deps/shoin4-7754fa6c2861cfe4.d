@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shoin4-7754fa6c2861cfe4.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libshoin4-7754fa6c2861cfe4.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/shoin4-c39687b8536ad428.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/inclusion.rs crates/core/src/induced.rs crates/core/src/interp4.rs crates/core/src/json.rs crates/core/src/kb4.rs crates/core/src/parser4.rs crates/core/src/printer4.rs crates/core/src/reasoner4.rs crates/core/src/transform.rs
+
+/root/repo/target/debug/deps/libshoin4-c39687b8536ad428.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/inclusion.rs crates/core/src/induced.rs crates/core/src/interp4.rs crates/core/src/json.rs crates/core/src/kb4.rs crates/core/src/parser4.rs crates/core/src/printer4.rs crates/core/src/reasoner4.rs crates/core/src/transform.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/inclusion.rs:
+crates/core/src/induced.rs:
+crates/core/src/interp4.rs:
+crates/core/src/json.rs:
+crates/core/src/kb4.rs:
+crates/core/src/parser4.rs:
+crates/core/src/printer4.rs:
+crates/core/src/reasoner4.rs:
+crates/core/src/transform.rs:

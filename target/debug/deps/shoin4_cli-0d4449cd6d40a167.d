@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shoin4_cli-0d4449cd6d40a167.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libshoin4_cli-0d4449cd6d40a167.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

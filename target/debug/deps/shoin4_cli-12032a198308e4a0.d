@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shoin4_cli-12032a198308e4a0.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libshoin4_cli-12032a198308e4a0.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

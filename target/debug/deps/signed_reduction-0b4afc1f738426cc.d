@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/signed_reduction-0b4afc1f738426cc.d: crates/bench/benches/signed_reduction.rs
+
+/root/repo/target/debug/deps/libsigned_reduction-0b4afc1f738426cc.rmeta: crates/bench/benches/signed_reduction.rs
+
+crates/bench/benches/signed_reduction.rs:

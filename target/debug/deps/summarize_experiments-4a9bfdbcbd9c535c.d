@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summarize_experiments-4a9bfdbcbd9c535c.d: crates/bench/src/bin/summarize_experiments.rs
+
+/root/repo/target/debug/deps/libsummarize_experiments-4a9bfdbcbd9c535c.rmeta: crates/bench/src/bin/summarize_experiments.rs
+
+crates/bench/src/bin/summarize_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summarize_experiments-c62352eea21ee4ca.d: crates/bench/src/bin/summarize_experiments.rs
+
+/root/repo/target/debug/deps/libsummarize_experiments-c62352eea21ee4ca.rmeta: crates/bench/src/bin/summarize_experiments.rs
+
+crates/bench/src/bin/summarize_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_models-d66fee24db4d9e30.d: crates/bench/../../tests/table4_models.rs
+
+/root/repo/target/debug/deps/libtable4_models-d66fee24db4d9e30.rmeta: crates/bench/../../tests/table4_models.rs
+
+crates/bench/../../tests/table4_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_reproductions-3e42336877c0dcb9.d: crates/bench/benches/table_reproductions.rs
+
+/root/repo/target/debug/deps/libtable_reproductions-3e42336877c0dcb9.rmeta: crates/bench/benches/table_reproductions.rs
+
+crates/bench/benches/table_reproductions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_semantics-e661f5caed44624f.d: crates/bench/../../tests/table_semantics.rs
+
+/root/repo/target/debug/deps/libtable_semantics-e661f5caed44624f.rmeta: crates/bench/../../tests/table_semantics.rs
+
+crates/bench/../../tests/table_semantics.rs:

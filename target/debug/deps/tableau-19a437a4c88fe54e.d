@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tableau-19a437a4c88fe54e.d: crates/tableau/src/lib.rs crates/tableau/src/blocking.rs crates/tableau/src/clash.rs crates/tableau/src/config.rs crates/tableau/src/datatype_oracle.rs crates/tableau/src/graph.rs crates/tableau/src/model.rs crates/tableau/src/node.rs crates/tableau/src/reasoner.rs crates/tableau/src/rules.rs crates/tableau/src/stats.rs
+
+/root/repo/target/debug/deps/libtableau-19a437a4c88fe54e.rmeta: crates/tableau/src/lib.rs crates/tableau/src/blocking.rs crates/tableau/src/clash.rs crates/tableau/src/config.rs crates/tableau/src/datatype_oracle.rs crates/tableau/src/graph.rs crates/tableau/src/model.rs crates/tableau/src/node.rs crates/tableau/src/reasoner.rs crates/tableau/src/rules.rs crates/tableau/src/stats.rs
+
+crates/tableau/src/lib.rs:
+crates/tableau/src/blocking.rs:
+crates/tableau/src/clash.rs:
+crates/tableau/src/config.rs:
+crates/tableau/src/datatype_oracle.rs:
+crates/tableau/src/graph.rs:
+crates/tableau/src/model.rs:
+crates/tableau/src/node.rs:
+crates/tableau/src/reasoner.rs:
+crates/tableau/src/rules.rs:
+crates/tableau/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tableau_hard_cases-7c031d9b567faf7b.d: crates/bench/../../tests/tableau_hard_cases.rs
+
+/root/repo/target/debug/deps/libtableau_hard_cases-7c031d9b567faf7b.rmeta: crates/bench/../../tests/tableau_hard_cases.rs
+
+crates/bench/../../tests/tableau_hard_cases.rs:

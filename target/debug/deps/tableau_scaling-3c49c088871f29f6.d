@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tableau_scaling-3c49c088871f29f6.d: crates/bench/benches/tableau_scaling.rs
+
+/root/repo/target/debug/deps/libtableau_scaling-3c49c088871f29f6.rmeta: crates/bench/benches/tableau_scaling.rs
+
+crates/bench/benches/tableau_scaling.rs:

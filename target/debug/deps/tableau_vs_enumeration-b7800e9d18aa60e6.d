@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tableau_vs_enumeration-b7800e9d18aa60e6.d: crates/bench/../../tests/tableau_vs_enumeration.rs
+
+/root/repo/target/debug/deps/libtableau_vs_enumeration-b7800e9d18aa60e6.rmeta: crates/bench/../../tests/tableau_vs_enumeration.rs
+
+crates/bench/../../tests/tableau_vs_enumeration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tolerance-138bdeb84bb30478.d: crates/bench/benches/tolerance.rs
+
+/root/repo/target/debug/deps/libtolerance-138bdeb84bb30478.rmeta: crates/bench/benches/tolerance.rs
+
+crates/bench/benches/tolerance.rs:

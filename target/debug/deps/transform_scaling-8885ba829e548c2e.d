@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transform_scaling-8885ba829e548c2e.d: crates/bench/benches/transform_scaling.rs
+
+/root/repo/target/debug/deps/libtransform_scaling-8885ba829e548c2e.rmeta: crates/bench/benches/transform_scaling.rs
+
+crates/bench/benches/transform_scaling.rs:

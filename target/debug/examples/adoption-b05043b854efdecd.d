@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adoption-b05043b854efdecd.d: crates/fourmodels/../../examples/adoption.rs
+
+/root/repo/target/debug/examples/libadoption-b05043b854efdecd.rmeta: crates/fourmodels/../../examples/adoption.rs
+
+crates/fourmodels/../../examples/adoption.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diagnose-4b554e913ee3713e.d: crates/core/../../examples/diagnose.rs
+
+/root/repo/target/debug/examples/libdiagnose-4b554e913ee3713e.rmeta: crates/core/../../examples/diagnose.rs
+
+crates/core/../../examples/diagnose.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inconsistency_triage-e0bf1f20d8d3800c.d: crates/bench/../../examples/inconsistency_triage.rs
+
+/root/repo/target/debug/examples/libinconsistency_triage-e0bf1f20d8d3800c.rmeta: crates/bench/../../examples/inconsistency_triage.rs
+
+crates/bench/../../examples/inconsistency_triage.rs:

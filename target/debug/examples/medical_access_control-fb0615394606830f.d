@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/medical_access_control-fb0615394606830f.d: crates/bench/../../examples/medical_access_control.rs
+
+/root/repo/target/debug/examples/libmedical_access_control-fb0615394606830f.rmeta: crates/bench/../../examples/medical_access_control.rs
+
+crates/bench/../../examples/medical_access_control.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/penguin-e2d4f16b3afbb4d3.d: crates/core/../../examples/penguin.rs
+
+/root/repo/target/debug/examples/libpenguin-e2d4f16b3afbb4d3.rmeta: crates/core/../../examples/penguin.rs
+
+crates/core/../../examples/penguin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-272c976155d49fde.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-272c976155d49fde.rmeta: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:
