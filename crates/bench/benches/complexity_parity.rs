@@ -32,7 +32,7 @@ fn bench_complexity_parity(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("four_valued", depth), &kb4, |b, kb4| {
             b.iter(|| {
-                let mut r = Reasoner4::new(black_box(kb4));
+                let r = Reasoner4::new(black_box(kb4));
                 black_box(r.is_satisfiable().expect("within limits"))
             })
         });
@@ -41,7 +41,7 @@ fn bench_complexity_parity(c: &mut Criterion) {
             let reps = 5;
             for _ in 0..reps {
                 if four {
-                    let mut r = Reasoner4::new(&kb4);
+                    let r = Reasoner4::new(&kb4);
                     black_box(r.is_satisfiable().expect("ok"));
                 } else {
                     let mut r = Reasoner::new(&kb);

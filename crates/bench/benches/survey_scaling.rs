@@ -1,0 +1,158 @@
+//! Survey scaling: the contradiction survey (`contradiction_report`,
+//! the workload behind `shoin4 report`) over growing ontogen KBs, under
+//! three pipeline configurations:
+//!
+//! * `sequential` — the pre-engine behaviour: one tableau search per
+//!   classical entailment check, no threads, no caches, no pruning;
+//! * `parallel` — worker threads striping the query grid, but still one
+//!   search per check (isolates the thread dividend, which is ~1 on a
+//!   single-core runner);
+//! * `pruned` — the full pipeline: threads *plus* the shared base-model
+//!   cache (one completed graph refutes most non-entailments without a
+//!   search), the told-information fast path and the entailment cache.
+//!
+//! Besides the Criterion groups this writes summary rows to
+//! `target/experiments/survey_scaling.jsonl` and refreshes the committed
+//! snapshot `BENCH_survey.json` at the repo root (including the
+//! `speedup_largest` row EXPERIMENTS.md cites). Set `BENCH_SMOKE=1` to
+//! shrink the series for CI smoke runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ontogen::lintseed::{lint_seeded_kb4, LintSeedParams};
+use shoin4::analysis::contradiction_report;
+use shoin4::reasoner4::QueryOptions;
+use shoin4::{KnowledgeBase4, Reasoner4};
+use std::hint::black_box;
+use std::io::Write;
+use tableau::Config;
+
+/// A survey workload: a lint-seeded KB of roughly `4.5 * size` axioms
+/// with planted contradictions scattered through a subsumption chain.
+fn survey_kb(size: usize) -> KnowledgeBase4 {
+    let (kb, _) = lint_seeded_kb4(&LintSeedParams {
+        seed: 11,
+        n_clean_tbox: size,
+        n_clean_abox: 3 * size,
+        n_contested_direct: size / 6 + 1,
+        n_contested_chained: size / 10 + 1,
+        n_contested_roles: 1,
+        n_duplicates: 1,
+        n_cycles: 1,
+        n_orphans: 2,
+    });
+    kb
+}
+
+/// The three measured configurations as `(series, config, options)`.
+fn configurations() -> Vec<(&'static str, Config, QueryOptions)> {
+    let plain = Config {
+        model_pruning: false,
+        ..Config::default()
+    };
+    vec![
+        ("sequential", plain.clone(), QueryOptions::baseline()),
+        (
+            "parallel",
+            plain,
+            QueryOptions {
+                jobs: 0,
+                told_fast_path: false,
+                entailment_cache: false,
+            },
+        ),
+        ("pruned", Config::default(), QueryOptions::default()),
+    ]
+}
+
+fn run_survey(kb: &KnowledgeBase4, config: &Config, opts: &QueryOptions) {
+    let r = Reasoner4::with_options(kb, config.clone(), opts.clone());
+    black_box(contradiction_report(&r, kb).expect("within limits"));
+}
+
+fn timed_survey_us(kb: &KnowledgeBase4, config: &Config, opts: &QueryOptions, reps: u32) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..reps {
+        run_survey(kb, config, opts);
+    }
+    start.elapsed().as_micros() as f64 / reps as f64
+}
+
+fn bench_survey_scaling(c: &mut Criterion) {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let sizes: &[usize] = if smoke { &[6] } else { &[8, 16, 32] };
+    let mut rows = Vec::new();
+    let mut largest: Option<(f64, f64)> = None; // (sequential, pruned) us
+
+    let mut group = c.benchmark_group("survey_scaling");
+    group.sample_size(10);
+    for &size in sizes {
+        let kb = survey_kb(size);
+        let n = kb.len();
+        for (series, config, opts) in configurations() {
+            // Criterion statistics only for the smallest instance: the
+            // sequential series on the larger ones is exactly the slow
+            // path this experiment exists to retire.
+            if size == sizes[0] {
+                group.bench_with_input(BenchmarkId::new(series, n), &kb, |b, kb| {
+                    b.iter(|| run_survey(kb, &config, &opts))
+                });
+            }
+            let reps = if series == "sequential" && !smoke {
+                2
+            } else {
+                3
+            };
+            let us = timed_survey_us(&kb, &config, &opts, reps);
+            rows.push(bench::ExperimentRow {
+                experiment: "survey_scaling".into(),
+                x: n as f64,
+                series: series.into(),
+                value: us,
+                unit: "us/survey".into(),
+            });
+            if size == *sizes.last().expect("nonempty") {
+                match series {
+                    "sequential" => largest = Some((us, f64::NAN)),
+                    "pruned" => {
+                        if let Some((seq, _)) = largest {
+                            largest = Some((seq, us));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    group.finish();
+
+    if let Some((seq, pruned)) = largest {
+        rows.push(bench::ExperimentRow {
+            experiment: "survey_scaling".into(),
+            x: survey_kb(*sizes.last().expect("nonempty")).len() as f64,
+            series: "speedup_largest".into(),
+            value: seq / pruned,
+            unit: "x".into(),
+        });
+    }
+    bench::write_rows("survey_scaling", &rows).expect("write rows");
+
+    // Committed snapshot (skipped for smoke runs so CI never clobbers
+    // the checked-in numbers with reduced-size measurements).
+    if !smoke {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_survey.json");
+        let mut f = std::fs::File::create(path).expect("snapshot file");
+        writeln!(f, "{{").expect("write");
+        writeln!(f, "  \"experiment\": \"survey_scaling\",").expect("write");
+        writeln!(f, "  \"unit\": \"us/survey\",").expect("write");
+        writeln!(f, "  \"rows\": [").expect("write");
+        for (i, row) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            writeln!(f, "    {}{comma}", row.to_json()).expect("write");
+        }
+        writeln!(f, "  ]").expect("write");
+        writeln!(f, "}}").expect("write");
+    }
+}
+
+criterion_group!(benches, bench_survey_scaling);
+criterion_main!(benches);

@@ -72,7 +72,7 @@ fn bench_tolerance(c: &mut Criterion) {
         // SHOIN(D)4 answers every query with a verdict: 1.0 by
         // construction; verify it actually terminates on each.
         let kb4 = KnowledgeBase4::from_classical(&kb, InclusionKind::Internal);
-        let mut four = Reasoner4::new(&kb4);
+        let four = Reasoner4::new(&kb4);
         for q in &queries {
             if let Axiom::ConceptAssertion(a, concept) = q {
                 four.query(a, concept).expect("within limits");
@@ -88,7 +88,7 @@ fn bench_tolerance(c: &mut Criterion) {
             };
             b.iter(|| {
                 let kb4 = KnowledgeBase4::from_classical(&kb, InclusionKind::Internal);
-                let mut four = Reasoner4::new(&kb4);
+                let four = Reasoner4::new(&kb4);
                 black_box(four.query(a, concept).expect("ok"))
             })
         });

@@ -10,6 +10,7 @@
 use dl::IndividualName;
 use fourval::TruthValue;
 use shoin4::analysis::{classify4, contradiction_report_seeded};
+use shoin4::reasoner4::QueryOptions;
 use shoin4::{parse_kb4, KnowledgeBase4, Reasoner4};
 use std::fmt;
 use std::fmt::Write as _;
@@ -54,9 +55,9 @@ pub const USAGE: &str = "shoin4 — paraconsistent OWL DL reasoner (SHOIN(D)4)
 USAGE:
     shoin4 check <ontology>                  satisfiability + statistics
     shoin4 query <ontology> <ind> <concept>  four-valued instance query
-    shoin4 report <ontology>                 contradiction survey (⊤ map)
+    shoin4 report <ontology> [--jobs N]      contradiction survey (⊤ map)
     shoin4 lint <ontology> [--format json]   static analysis (no tableau)
-    shoin4 classify <ontology>               internal-inclusion taxonomy
+    shoin4 classify <ontology> [--jobs N]    internal-inclusion taxonomy
     shoin4 transform <ontology>              print the classical induced KB
     shoin4 convert <in> <out>                text ⇄ binary snapshot (.dlkb)
     shoin4 table4                            regenerate the paper's Table 4
@@ -80,6 +81,18 @@ fn load_kb4(
     parse_kb4(&text).map_err(|e| CliError::Parse(e.to_string()))
 }
 
+/// Parse a trailing `[--jobs N]` (N ≥ 1 worker threads; absent = auto).
+fn parse_jobs(rest: &[String]) -> Result<usize, CliError> {
+    match rest {
+        [] => Ok(0),
+        [flag, n] if flag == "--jobs" => match n.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(CliError::Usage(USAGE.to_string())),
+        },
+        _ => Err(CliError::Usage(USAGE.to_string())),
+    }
+}
+
 fn truth_gloss(v: TruthValue) -> &'static str {
     match v {
         TruthValue::True => "t (information: yes)",
@@ -100,7 +113,7 @@ pub fn run_with_fs(
     match args {
         [cmd, path] if cmd == "check" => {
             let kb = load_kb4(path, read)?;
-            let mut r = Reasoner4::new(&kb);
+            let r = Reasoner4::new(&kb);
             let sat = r.is_satisfiable()?;
             writeln!(out, "axioms:       {}", kb.len()).unwrap();
             writeln!(out, "size:         {}", kb.size()).unwrap();
@@ -117,7 +130,7 @@ pub fn run_with_fs(
             let kb = load_kb4(path, read)?;
             let c =
                 dl::parser::parse_concept(concept).map_err(|e| CliError::Parse(e.to_string()))?;
-            let mut r = Reasoner4::new(&kb);
+            let r = Reasoner4::new(&kb);
             let v = r.query(&IndividualName::new(ind.as_str()), &c)?;
             writeln!(out, "{ind} : {c} = {}", truth_gloss(v)).unwrap();
         }
@@ -149,13 +162,21 @@ pub fn run_with_fs(
                 .unwrap();
             }
         }
-        [cmd, path] if cmd == "report" => {
+        [cmd, path, rest @ ..] if cmd == "report" => {
+            let jobs = parse_jobs(rest)?;
             let kb = load_kb4(path, read)?;
             // The linter's syntactically-certain ⊤ facts are seeded into
             // the survey so the reasoner skips those queries (fast path).
             let certain = ontolint::certain_contested_facts(&ontolint::lint_kb4(&kb));
-            let mut r = Reasoner4::new(&kb);
-            let report = contradiction_report_seeded(&mut r, &kb, &certain)?;
+            let r = Reasoner4::with_options(
+                &kb,
+                tableau::Config::default(),
+                QueryOptions {
+                    jobs,
+                    ..QueryOptions::default()
+                },
+            );
+            let report = contradiction_report_seeded(&r, &kb, &certain)?;
             writeln!(
                 out,
                 "{} facts surveyed: {} contested, {} asserted, {} denied, {} unknown",
@@ -171,10 +192,18 @@ pub fn run_with_fs(
                 writeln!(out, "  ⊤  {who} : {what}").unwrap();
             }
         }
-        [cmd, path] if cmd == "classify" => {
+        [cmd, path, rest @ ..] if cmd == "classify" => {
+            let jobs = parse_jobs(rest)?;
             let kb = load_kb4(path, read)?;
-            let mut r = Reasoner4::new(&kb);
-            let taxonomy = classify4(&mut r, &kb)?;
+            let r = Reasoner4::with_options(
+                &kb,
+                tableau::Config::default(),
+                QueryOptions {
+                    jobs,
+                    ..QueryOptions::default()
+                },
+            );
+            let taxonomy = classify4(&r, &kb)?;
             for (class, supers) in &taxonomy {
                 let proper: Vec<String> = supers
                     .iter()
@@ -304,6 +333,28 @@ john : UrgencyTeam";
         let out = fs.run(&["report", "kb.dl4"]).unwrap();
         assert!(out.contains("⊤  john : ReadPatientRecordTeam"), "{out}");
         assert!(out.contains("contamination"), "{out}");
+    }
+
+    #[test]
+    fn report_jobs_flag_gives_identical_output() {
+        let fs = MemFs::new(&[("kb.dl4", MEDICAL)]);
+        let plain = fs.run(&["report", "kb.dl4"]).unwrap();
+        let threaded = fs.run(&["report", "kb.dl4", "--jobs", "3"]).unwrap();
+        assert_eq!(plain, threaded);
+        let classified = fs.run(&["classify", "kb.dl4", "--jobs", "2"]).unwrap();
+        assert_eq!(classified, fs.run(&["classify", "kb.dl4"]).unwrap());
+    }
+
+    #[test]
+    fn report_rejects_bad_jobs_values() {
+        let fs = MemFs::new(&[("kb.dl4", MEDICAL)]);
+        for bad in [
+            &["report", "kb.dl4", "--jobs", "0"][..],
+            &["report", "kb.dl4", "--jobs", "many"][..],
+            &["report", "kb.dl4", "--threads", "2"][..],
+        ] {
+            assert!(matches!(fs.run(bad), Err(CliError::Usage(_))), "{bad:?}");
+        }
     }
 
     #[test]

@@ -6,6 +6,11 @@
 //! facts are contested (`⊤`), which are clean, how contaminated the KB is
 //! overall. This is the practical payoff of "the inconsistencies are
 //! localized" (§5).
+//!
+//! Both drivers are batch workloads over independent queries, so they
+//! fan out across the reasoner's worker threads (see
+//! [`crate::reasoner4::QueryOptions::jobs`]); results are assembled in
+//! grid order and are bit-identical to a sequential run.
 
 use crate::kb4::KnowledgeBase4;
 use crate::reasoner4::Reasoner4;
@@ -47,7 +52,7 @@ impl ContradictionReport {
 
 /// Survey every individual × atomic concept of the KB's signature.
 pub fn contradiction_report(
-    reasoner: &mut Reasoner4,
+    reasoner: &Reasoner4,
     kb: &KnowledgeBase4,
 ) -> Result<ContradictionReport, ReasonerError> {
     contradiction_report_seeded(reasoner, kb, &[])
@@ -64,22 +69,33 @@ pub fn contradiction_report(
 /// a pair that is not in fact contested in every model would corrupt the
 /// report (the linter's `Error` contract is exactly that promise).
 pub fn contradiction_report_seeded(
-    reasoner: &mut Reasoner4,
+    reasoner: &Reasoner4,
     kb: &KnowledgeBase4,
     seeded: &[(IndividualName, ConceptName)],
 ) -> Result<ContradictionReport, ReasonerError> {
     let sig = kb.signature();
     let seeded: std::collections::BTreeSet<(&IndividualName, &ConceptName)> =
         seeded.iter().map(|(a, c)| (a, c)).collect();
+    // Collect the un-seeded grid cells, in grid order, and answer them as
+    // one batch (striped over worker threads).
+    let mut queries = Vec::new();
+    for a in &sig.individuals {
+        for c in &sig.concepts {
+            if !seeded.contains(&(a, c)) {
+                queries.push((a.clone(), Concept::atomic(c.as_str())));
+            }
+        }
+    }
+    let answers = reasoner.query_batch(&queries)?;
     let mut report = ContradictionReport::default();
+    let mut next = answers.into_iter();
     for a in &sig.individuals {
         for c in &sig.concepts {
             if seeded.contains(&(a, c)) {
                 report.contested.push((a.clone(), c.clone()));
                 continue;
             }
-            let v = reasoner.query(a, &Concept::atomic(c.as_str()))?;
-            match v {
+            match next.next().expect("one answer per query") {
                 TruthValue::Both => report.contested.push((a.clone(), c.clone())),
                 TruthValue::True => report.asserted.push((a.clone(), c.clone())),
                 TruthValue::False => report.denied.push((a.clone(), c.clone())),
@@ -92,15 +108,15 @@ pub fn contradiction_report_seeded(
 
 /// Four-valued classification: the internal-inclusion (`⊏`) taxonomy over
 /// the named concepts, computed via Corollary 7. Returns, for each
-/// concept, its (reflexive) set of super-concepts.
+/// concept, its (reflexive) set of super-concepts. Rows are computed on
+/// worker threads; the result does not depend on the thread count.
 pub fn classify4(
-    reasoner: &mut Reasoner4,
+    reasoner: &Reasoner4,
     kb: &KnowledgeBase4,
 ) -> Result<BTreeMap<ConceptName, Vec<ConceptName>>, ReasonerError> {
     let sig = kb.signature();
     let names: Vec<ConceptName> = sig.concepts.into_iter().collect();
-    let mut out = BTreeMap::new();
-    for a in &names {
+    let row = |a: &ConceptName| -> Result<Vec<ConceptName>, ReasonerError> {
         let mut supers = Vec::new();
         for b in &names {
             let ax = crate::kb4::Axiom4::ConceptInclusion(
@@ -112,15 +128,63 @@ pub fn classify4(
                 supers.push(b.clone());
             }
         }
-        out.insert(a.clone(), supers);
+        Ok(supers)
+    };
+    let jobs = reasoner.options().effective_jobs().min(names.len().max(1));
+    let mut out = BTreeMap::new();
+    if jobs <= 1 {
+        for a in &names {
+            out.insert(a.clone(), row(a)?);
+        }
+        return Ok(out);
     }
-    Ok(out)
+    let indexed: Vec<(usize, Result<Vec<ConceptName>, ReasonerError>)> =
+        std::thread::scope(|scope| {
+            let row = &row;
+            let names = &names;
+            let handles: Vec<_> = (0..jobs)
+                .map(|w| {
+                    scope.spawn(move || {
+                        names
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(jobs)
+                            .map(|(i, a)| (i, row(a)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("classify worker panicked"))
+                .collect()
+        });
+    let mut first_err: Option<(usize, ReasonerError)> = None;
+    for (i, r) in indexed {
+        match r {
+            Ok(supers) => {
+                out.insert(names[i].clone(), supers);
+            }
+            Err(e) => {
+                if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                    first_err = Some((i, e));
+                }
+            }
+        }
+    }
+    match first_err {
+        Some((_, e)) => Err(e),
+        None => Ok(out),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::parse_kb4;
+    use crate::reasoner4::QueryOptions;
+    use tableau::Config;
 
     #[test]
     fn report_splits_facts_by_verdict() {
@@ -132,8 +196,8 @@ mod tests {
              z : not B",
         )
         .unwrap();
-        let mut r = Reasoner4::new(&kb);
-        let report = contradiction_report(&mut r, &kb).unwrap();
+        let r = Reasoner4::new(&kb);
+        let report = contradiction_report(&r, &kb).unwrap();
         // x:A is contested; x:B is asserted (via inclusion from the
         // positive half); y:B asserted; z:B denied.
         assert!(report
@@ -155,8 +219,8 @@ mod tests {
     #[test]
     fn clean_kb_has_zero_contamination() {
         let kb = parse_kb4("A SubClassOf B\nx : A").unwrap();
-        let mut r = Reasoner4::new(&kb);
-        let report = contradiction_report(&mut r, &kb).unwrap();
+        let r = Reasoner4::new(&kb);
+        let report = contradiction_report(&r, &kb).unwrap();
         assert!(report.contested.is_empty());
         assert_eq!(report.contamination(), 0.0);
     }
@@ -169,8 +233,8 @@ mod tests {
              Nurse SubClassOf Person",
         )
         .unwrap();
-        let mut r = Reasoner4::new(&kb);
-        let taxonomy = classify4(&mut r, &kb).unwrap();
+        let r = Reasoner4::new(&kb);
+        let taxonomy = classify4(&r, &kb).unwrap();
         let supers = &taxonomy[&ConceptName::new("Surgeon")];
         assert!(supers.contains(&ConceptName::new("Doctor")));
         assert!(supers.contains(&ConceptName::new("Person")));
@@ -182,23 +246,23 @@ mod tests {
     fn contamination_edge_cases() {
         // Empty KB: nothing surveyed, contamination well-defined at 0.
         let kb = KnowledgeBase4::new();
-        let mut r = Reasoner4::new(&kb);
-        let report = contradiction_report(&mut r, &kb).unwrap();
+        let r = Reasoner4::new(&kb);
+        let report = contradiction_report(&r, &kb).unwrap();
         assert_eq!(report.total(), 0);
         assert_eq!(report.contamination(), 0.0);
 
         // Individuals but no concepts (role assertions only): still a
         // zero-pair survey.
         let kb = parse_kb4("r(a, b)").unwrap();
-        let mut r = Reasoner4::new(&kb);
-        let report = contradiction_report(&mut r, &kb).unwrap();
+        let r = Reasoner4::new(&kb);
+        let report = contradiction_report(&r, &kb).unwrap();
         assert_eq!(report.total(), 0);
         assert_eq!(report.contamination(), 0.0);
 
         // Fully contested: every surveyed fact is ⊤ → contamination 1.
         let kb = parse_kb4("x : A\nx : not A").unwrap();
-        let mut r = Reasoner4::new(&kb);
-        let report = contradiction_report(&mut r, &kb).unwrap();
+        let r = Reasoner4::new(&kb);
+        let report = contradiction_report(&r, &kb).unwrap();
         assert_eq!(report.total(), 1);
         assert_eq!(report.contamination(), 1.0);
 
@@ -221,8 +285,8 @@ mod tests {
         for seed in 0..8u64 {
             let kb = ontogen_like_kb(seed);
             let sig = kb.signature();
-            let mut r = Reasoner4::new(&kb);
-            let report = contradiction_report(&mut r, &kb).unwrap();
+            let r = Reasoner4::new(&kb);
+            let report = contradiction_report(&r, &kb).unwrap();
             assert_eq!(
                 report.total(),
                 sig.individuals.len() * sig.concepts.len(),
@@ -258,14 +322,14 @@ mod tests {
              y : B",
         )
         .unwrap();
-        let mut r = Reasoner4::new(&kb);
-        let full = contradiction_report(&mut r, &kb).unwrap();
+        let r = Reasoner4::new(&kb);
+        let full = contradiction_report(&r, &kb).unwrap();
         // Seed exactly the fact the linter would certify: (x, A) is
         // directly contested. (x, B) is merely asserted — the internal
         // inclusion does not contrapose the negative half.
         let seeds = vec![(IndividualName::new("x"), ConceptName::new("A"))];
-        let mut r2 = Reasoner4::new(&kb);
-        let seeded = contradiction_report_seeded(&mut r2, &kb, &seeds).unwrap();
+        let r2 = Reasoner4::new(&kb);
+        let seeded = contradiction_report_seeded(&r2, &kb, &seeds).unwrap();
         assert_eq!(seeded.total(), full.total());
         let sort = |mut v: Vec<(IndividualName, ConceptName)>| {
             v.sort();
@@ -278,9 +342,9 @@ mod tests {
     #[test]
     fn seeded_pairs_outside_the_signature_are_ignored() {
         let kb = parse_kb4("x : A").unwrap();
-        let mut r = Reasoner4::new(&kb);
+        let r = Reasoner4::new(&kb);
         let seeds = vec![(IndividualName::new("ghost"), ConceptName::new("A"))];
-        let report = contradiction_report_seeded(&mut r, &kb, &seeds).unwrap();
+        let report = contradiction_report_seeded(&r, &kb, &seeds).unwrap();
         assert_eq!(report.total(), 1);
         assert!(report.contested.is_empty());
     }
@@ -295,9 +359,56 @@ mod tests {
              x : not Surgeon",
         )
         .unwrap();
-        let mut r = Reasoner4::new(&kb);
+        let r = Reasoner4::new(&kb);
         assert!(r.is_satisfiable().unwrap());
-        let taxonomy = classify4(&mut r, &kb).unwrap();
+        let taxonomy = classify4(&r, &kb).unwrap();
         assert!(taxonomy[&ConceptName::new("Surgeon")].contains(&ConceptName::new("Person")));
+    }
+
+    fn pairs_sorted(r: &ContradictionReport) -> ContradictionReport {
+        let sort = |mut v: Vec<(IndividualName, ConceptName)>| {
+            v.sort();
+            v
+        };
+        ContradictionReport {
+            contested: sort(r.contested.clone()),
+            asserted: sort(r.asserted.clone()),
+            denied: sort(r.denied.clone()),
+            unknown: r.unknown,
+        }
+    }
+
+    #[test]
+    fn parallel_report_and_classification_match_sequential() {
+        for seed in 0..6u64 {
+            let kb = ontogen_like_kb(seed);
+            let sequential =
+                Reasoner4::with_options(&kb, Config::default(), QueryOptions::baseline());
+            let parallel = Reasoner4::with_options(
+                &kb,
+                Config::default(),
+                QueryOptions {
+                    jobs: 4,
+                    ..QueryOptions::default()
+                },
+            );
+            let seq_report = contradiction_report(&sequential, &kb).unwrap();
+            let par_report = contradiction_report(&parallel, &kb).unwrap();
+            // The report is assembled in grid order — not merely
+            // equal-as-sets but bit-identical.
+            assert_eq!(seq_report.contested, par_report.contested, "seed {seed}");
+            assert_eq!(seq_report.asserted, par_report.asserted, "seed {seed}");
+            assert_eq!(seq_report.denied, par_report.denied, "seed {seed}");
+            assert_eq!(seq_report.unknown, par_report.unknown, "seed {seed}");
+            // Sanity: the sorted views agree too (guards the helper).
+            let s = pairs_sorted(&seq_report);
+            let p = pairs_sorted(&par_report);
+            assert_eq!(s.contested, p.contested);
+            assert_eq!(
+                classify4(&sequential, &kb).unwrap(),
+                classify4(&parallel, &kb).unwrap(),
+                "seed {seed}"
+            );
+        }
     }
 }

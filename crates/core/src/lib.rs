@@ -39,7 +39,7 @@
 //!      mary : Patient
 //!      hasPatient(bill, mary)",
 //! ).unwrap();
-//! let mut r = Reasoner4::new(&kb);
+//! let r = Reasoner4::new(&kb);
 //! let doctor = dl::Concept::atomic("Doctor");
 //! let bill = dl::IndividualName::new("bill");
 //! // The contradiction about john does not destroy the inference
@@ -58,6 +58,7 @@ pub mod kb4;
 pub mod parser4;
 pub mod printer4;
 pub mod reasoner4;
+pub mod told;
 pub mod transform;
 
 pub use inclusion::InclusionKind;

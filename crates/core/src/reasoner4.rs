@@ -9,24 +9,102 @@
 //! * `f` — negative information only;
 //! * `⊤` — both (the KB is contradictory *about this particular fact*);
 //! * `⊥` — no information either way.
+//!
+//! # The batch query pipeline
+//!
+//! Every service takes `&self`: the tableau work runs on a shared
+//! [`tableau::QueryEngine`] and the reasoner-level state is three caches
+//! behind mutexes, so a [`Reasoner4`] can be borrowed by any number of
+//! `std::thread::scope` workers at once ([`Reasoner4::query_batch`] does
+//! exactly that). A membership query passes through, in order:
+//!
+//! 1. **memoized transformation** — `C ↦ C̄` (Definitions 5–7) is
+//!    computed once per distinct concept, not once per query;
+//! 2. **told fast path** (optional) — a syntactically-certain verdict
+//!    from the [`crate::told::ToldIndex`] answers `true` without any
+//!    search; soundness is argued in that module's docs;
+//! 3. **entailment cache** — exact results keyed by
+//!    `(individual, transformed concept)`;
+//! 4. **the tableau** — via the engine, which itself applies
+//!    model-based pruning and the shared consistency cache.
 
 use crate::inclusion::InclusionKind;
 use crate::kb4::{Axiom4, KnowledgeBase4};
+use crate::told::ToldIndex;
 use crate::transform::{self, Transformer};
 use dl::axiom::{Axiom, RoleExpr};
 use dl::kb::KnowledgeBase;
-use dl::name::{IndividualName, RoleName};
+use dl::name::{ConceptName, IndividualName, RoleName};
 use dl::Concept;
 use fourval::TruthValue;
-use tableau::{Config, Reasoner, ReasonerError, Stats};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use tableau::{Config, QueryEngine, ReasonerError, Stats};
+
+/// Knobs for the batch query pipeline (orthogonal to the tableau
+/// [`Config`]).
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    /// Worker threads for [`Reasoner4::query_batch`] and the batch
+    /// drivers in [`crate::analysis`]. `0` means "ask the OS"
+    /// (`std::thread::available_parallelism`).
+    pub jobs: usize,
+    /// Consult the told-information index before searching.
+    pub told_fast_path: bool,
+    /// Cache exact entailment results per `(individual, concept)`.
+    pub entailment_cache: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            jobs: 0,
+            told_fast_path: true,
+            entailment_cache: true,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// A configuration with every optimization off and one worker —
+    /// the reference baseline the property tests and benches compare
+    /// against.
+    pub fn baseline() -> Self {
+        QueryOptions {
+            jobs: 1,
+            told_fast_path: false,
+            entailment_cache: false,
+        }
+    }
+
+    /// The effective worker count (resolving `jobs = 0`).
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
+    }
+}
 
 /// A reasoner over a SHOIN(D)4 knowledge base.
 ///
 /// Construction transforms the KB once (Definitions 5–7) and hands the
-/// classical induced KB to the [`tableau::Reasoner`].
+/// classical induced KB to a shared [`tableau::QueryEngine`]. The `&mut`
+/// receivers of the historical API are kept as `&self` — existing callers
+/// holding a mutable reasoner keep working, and new callers can fan
+/// queries out across threads.
 pub struct Reasoner4 {
     induced: KnowledgeBase,
-    classical: Reasoner,
+    engine: QueryEngine,
+    opts: QueryOptions,
+    /// Memoized Definition 5–7 transformation (π and ¬π tables).
+    transformer: Mutex<Transformer>,
+    /// Exact entailment results: `(a, C̄) → K̄ ⊨ a : C̄`.
+    instance_cache: Mutex<HashMap<(IndividualName, Concept), bool>>,
+    told: Option<ToldIndex>,
 }
 
 impl Reasoner4 {
@@ -37,9 +115,22 @@ impl Reasoner4 {
 
     /// Build with an explicit tableau configuration.
     pub fn with_config(kb4: &KnowledgeBase4, config: Config) -> Self {
+        Self::with_options(kb4, config, QueryOptions::default())
+    }
+
+    /// Build with explicit tableau *and* pipeline configuration.
+    pub fn with_options(kb4: &KnowledgeBase4, config: Config, opts: QueryOptions) -> Self {
         let induced = transform::transform_kb(kb4);
-        let classical = Reasoner::with_config(&induced, config);
-        Reasoner4 { induced, classical }
+        let engine = QueryEngine::with_config(&induced, config);
+        let told = opts.told_fast_path.then(|| ToldIndex::build(kb4));
+        Reasoner4 {
+            induced,
+            engine,
+            opts,
+            transformer: Mutex::new(Transformer::memoized()),
+            instance_cache: Mutex::new(HashMap::new()),
+            told,
+        }
     }
 
     /// The classical induced KB `K̄` (useful for inspection and for
@@ -48,9 +139,60 @@ impl Reasoner4 {
         &self.induced
     }
 
+    /// The shared classical engine executing the reductions.
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// Active pipeline options.
+    pub fn options(&self) -> &QueryOptions {
+        &self.opts
+    }
+
     /// Accumulated tableau statistics.
     pub fn stats(&self) -> Stats {
-        self.classical.stats()
+        self.engine.stats()
+    }
+
+    /// The told-index verdict for `(a, c)`, if the fast path is enabled:
+    /// `(certain positive, certain negative)`. Exposed so tests can check
+    /// every told claim against the tableau.
+    pub fn told_verdict(&self, a: &IndividualName, c: &ConceptName) -> Option<(bool, bool)> {
+        self.told.as_ref().map(|t| t.verdict(a, c))
+    }
+
+    /// Memoized `π(C)` (positive transformation).
+    fn transformed(&self, c: &Concept) -> Concept {
+        self.transformer
+            .lock()
+            .expect("transformer lock")
+            .concept(c)
+    }
+
+    /// Memoized `π(¬C)` (negative transformation).
+    fn transformed_neg(&self, c: &Concept) -> Concept {
+        self.transformer
+            .lock()
+            .expect("transformer lock")
+            .neg_concept(c)
+    }
+
+    /// Instance check over `K̄` through the entailment cache.
+    fn cached_instance(&self, a: &IndividualName, tc: &Concept) -> Result<bool, ReasonerError> {
+        if self.opts.entailment_cache {
+            let key = (a.clone(), tc.clone());
+            if let Some(&hit) = self.instance_cache.lock().expect("cache lock").get(&key) {
+                return Ok(hit);
+            }
+            let answer = self.engine.is_instance_of(a, tc)?;
+            self.instance_cache
+                .lock()
+                .expect("cache lock")
+                .insert(key, answer);
+            Ok(answer)
+        } else {
+            self.engine.is_instance_of(a, tc)
+        }
     }
 
     /// Is the four-valued KB satisfiable? (Theorem 6: iff `K̄` is.)
@@ -58,48 +200,109 @@ impl Reasoner4 {
     /// Unlike the classical case this is rarely `false`: only constructs
     /// with classical behaviour (nominals, number restrictions, `⊥`,
     /// distinctness) can make a SHOIN(D)4 KB unsatisfiable.
-    pub fn is_satisfiable(&mut self) -> Result<bool, ReasonerError> {
-        self.classical.is_consistent()
+    pub fn is_satisfiable(&self) -> Result<bool, ReasonerError> {
+        self.engine.is_consistent()
     }
 
     /// Is there information supporting `a : C`? (`K̄ ⊨ ā : C̄`.)
     pub fn has_positive_info(
-        &mut self,
+        &self,
         a: &IndividualName,
         c: &Concept,
     ) -> Result<bool, ReasonerError> {
-        let tc = transform::transform_concept(c);
-        self.classical.is_instance_of(a, &tc)
+        if let (Some(told), Concept::Atomic(name)) = (&self.told, c) {
+            if told.verdict(a, name).0 {
+                return Ok(true);
+            }
+        }
+        let tc = self.transformed(c);
+        self.cached_instance(a, &tc)
     }
 
     /// Is there information *against* `a : C`? (`K̄ ⊨ ā : ¬C̄`, i.e. the
     /// transformed negation.)
     pub fn has_negative_info(
-        &mut self,
+        &self,
         a: &IndividualName,
         c: &Concept,
     ) -> Result<bool, ReasonerError> {
-        let tc = transform::transform_neg_concept(c);
-        self.classical.is_instance_of(a, &tc)
+        if let (Some(told), Concept::Atomic(name)) = (&self.told, c) {
+            if told.verdict(a, name).1 {
+                return Ok(true);
+            }
+        }
+        let tc = self.transformed_neg(c);
+        self.cached_instance(a, &tc)
     }
 
     /// The four-valued answer to "what does the KB know about `a : C`?",
     /// combining the two entailment queries.
-    pub fn query(&mut self, a: &IndividualName, c: &Concept) -> Result<TruthValue, ReasonerError> {
+    pub fn query(&self, a: &IndividualName, c: &Concept) -> Result<TruthValue, ReasonerError> {
         Ok(TruthValue::from_bits(
             self.has_positive_info(a, c)?,
             self.has_negative_info(a, c)?,
         ))
     }
 
+    /// Answer a batch of membership queries, fanning out across
+    /// `options().jobs` scoped worker threads (index-striped). Results
+    /// come back in input order and are bit-identical to running
+    /// [`Reasoner4::query`] sequentially; on multiple failures the error
+    /// of the lowest-indexed query is reported.
+    pub fn query_batch(
+        &self,
+        queries: &[(IndividualName, Concept)],
+    ) -> Result<Vec<TruthValue>, ReasonerError> {
+        let jobs = self.opts.effective_jobs().min(queries.len().max(1));
+        if jobs <= 1 {
+            return queries.iter().map(|(a, c)| self.query(a, c)).collect();
+        }
+        let indexed: Vec<(usize, Result<TruthValue, ReasonerError>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..jobs)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            queries
+                                .iter()
+                                .enumerate()
+                                .skip(w)
+                                .step_by(jobs)
+                                .map(|(i, (a, c))| (i, self.query(a, c)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("query worker panicked"))
+                    .collect()
+            });
+        let mut out = vec![TruthValue::Neither; queries.len()];
+        let mut first_err: Option<(usize, ReasonerError)> = None;
+        for (i, r) in indexed {
+            match r {
+                Ok(v) => out[i] = v,
+                Err(e) => {
+                    if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_err = Some((i, e));
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some((_, e)) => Err(e),
+            None => Ok(out),
+        }
+    }
+
     /// Is there information supporting `R(a, b)`? (`K̄ ⊨ R⁺(a,b)`.)
     pub fn has_positive_role_info(
-        &mut self,
+        &self,
         r: &RoleName,
         a: &IndividualName,
         b: &IndividualName,
     ) -> Result<bool, ReasonerError> {
-        self.classical.entails(&Axiom::RoleAssertion(
+        self.engine.entails(&Axiom::RoleAssertion(
             r.with_suffix(transform::POS_SUFFIX),
             a.clone(),
             b.clone(),
@@ -109,12 +312,12 @@ impl Reasoner4 {
     /// Is there information against `R(a, b)`?
     /// (`K̄ ⊨ a : ∀R⁼.¬{b}`, i.e. `(a,b) ∉ R⁼ = proj⁻(R)`.)
     pub fn has_negative_role_info(
-        &mut self,
+        &self,
         r: &RoleName,
         a: &IndividualName,
         b: &IndividualName,
     ) -> Result<bool, ReasonerError> {
-        self.classical.entails(&Axiom::ConceptAssertion(
+        self.engine.entails(&Axiom::ConceptAssertion(
             a.clone(),
             Concept::all(
                 RoleExpr::named(r.with_suffix(transform::EQ_SUFFIX)),
@@ -125,7 +328,7 @@ impl Reasoner4 {
 
     /// The four-valued answer about a role membership.
     pub fn query_role(
-        &mut self,
+        &self,
         r: &RoleName,
         a: &IndividualName,
         b: &IndividualName,
@@ -139,39 +342,61 @@ impl Reasoner4 {
     /// Does the KB four-valued-entail the axiom? Inclusion axioms go
     /// through Corollary 7; everything else reduces to entailment over
     /// `K̄`.
-    pub fn entails(&mut self, ax: &Axiom4) -> Result<bool, ReasonerError> {
-        let mut tr = Transformer::memoized();
+    pub fn entails(&self, ax: &Axiom4) -> Result<bool, ReasonerError> {
         match ax {
             Axiom4::ConceptInclusion(kind, c, d) => {
-                let cbar = tr.concept(c);
-                let neg_cbar = tr.neg_concept(c);
-                let dbar = tr.concept(d);
-                let neg_dbar = tr.neg_concept(d);
+                // Told fast path: a non-material atomic chain certifies
+                // the *internal* inclusion (`proj⁺` flows along every
+                // edge). It does NOT certify the material reading — `↦`
+                // quantifies over `Δ∖proj⁻(C)`, a superset of `proj⁺(C)`
+                // — nor the strong one (no contraposition evidence).
+                if *kind == InclusionKind::Internal {
+                    if let (Some(told), Concept::Atomic(a), Concept::Atomic(b)) = (&self.told, c, d)
+                    {
+                        if told.told_subsumes(a, b) {
+                            return Ok(true);
+                        }
+                    }
+                }
+                let (cbar, neg_cbar, dbar, neg_dbar) = {
+                    let mut tr = self.transformer.lock().expect("transformer lock");
+                    (
+                        tr.concept(c),
+                        tr.neg_concept(c),
+                        tr.concept(d),
+                        tr.neg_concept(d),
+                    )
+                };
                 match kind {
                     // C ↦ D iff ¬(¬C̄) ⊓ ¬D̄ unsatisfiable in K̄.
                     InclusionKind::Material => {
                         let test = neg_cbar.not().and(dbar.not());
-                        Ok(!self.classical.is_concept_satisfiable(&test)?)
+                        Ok(!self.engine.is_concept_satisfiable(&test)?)
                     }
                     // C ⊏ D iff C̄ ⊓ ¬D̄ unsatisfiable.
                     InclusionKind::Internal => {
                         let test = cbar.and(dbar.not());
-                        Ok(!self.classical.is_concept_satisfiable(&test)?)
+                        Ok(!self.engine.is_concept_satisfiable(&test)?)
                     }
                     // C → D iff additionally ¬D̄ ⊓ ¬(¬C̄) unsatisfiable —
                     // i.e. ¬D̄ ⊑ ¬C̄ also holds.
                     InclusionKind::Strong => {
                         let fwd = cbar.and(dbar.not());
                         let bwd = neg_dbar.and(neg_cbar.not());
-                        Ok(!self.classical.is_concept_satisfiable(&fwd)?
-                            && !self.classical.is_concept_satisfiable(&bwd)?)
+                        Ok(!self.engine.is_concept_satisfiable(&fwd)?
+                            && !self.engine.is_concept_satisfiable(&bwd)?)
                     }
                 }
             }
             other => {
+                let images = self
+                    .transformer
+                    .lock()
+                    .expect("transformer lock")
+                    .axiom(other);
                 // Every transformed image must be classically entailed.
-                for classical_ax in tr.axiom(other) {
-                    if !self.classical.entails(&classical_ax)? {
+                for classical_ax in images {
+                    if !self.engine.entails(&classical_ax)? {
                         return Ok(false);
                     }
                 }
@@ -180,6 +405,12 @@ impl Reasoner4 {
         }
     }
 }
+
+// Batch fan-out borrows the reasoner from scoped threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Reasoner4>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -196,7 +427,7 @@ mod tests {
 
     #[test]
     fn example1_paraconsistent_instance_query() {
-        let mut r = r4("hasPatient some Patient SubClassOf Doctor
+        let r = r4("hasPatient some Patient SubClassOf Doctor
              john : Doctor
              john : not Doctor
              mary : Patient
@@ -213,7 +444,7 @@ mod tests {
 
     #[test]
     fn example2_access_control() {
-        let mut r = r4("SurgicalTeam SubClassOf not ReadPatientRecordTeam
+        let r = r4("SurgicalTeam SubClassOf not ReadPatientRecordTeam
              UrgencyTeam SubClassOf ReadPatientRecordTeam
              john : SurgicalTeam
              john : UrgencyTeam");
@@ -229,7 +460,7 @@ mod tests {
 
     #[test]
     fn example3_and_5_penguin() {
-        let mut r = r4("Bird and (hasWing some Wing) MaterialSubClassOf Fly
+        let r = r4("Bird and (hasWing some Wing) MaterialSubClassOf Fly
              Penguin SubClassOf Bird
              Penguin SubClassOf hasWing some Wing
              Penguin SubClassOf not Fly
@@ -247,7 +478,7 @@ mod tests {
 
     #[test]
     fn example4_adoption() {
-        let mut r = r4("hasChild min 1 SubClassOf Parent
+        let r = r4("hasChild min 1 SubClassOf Parent
              Parent MaterialSubClassOf Married
              hasChild(smith, kate)
              smith : not Married");
@@ -265,7 +496,7 @@ mod tests {
     #[test]
     fn internal_inclusion_does_not_contrapose() {
         // Bird ⊏ Fly plus ¬Fly(x) must NOT give ¬Bird(x).
-        let mut r = r4("Bird SubClassOf Fly
+        let r = r4("Bird SubClassOf Fly
              x : not Fly");
         assert!(!r
             .has_negative_info(&ind("x"), &Concept::atomic("Bird"))
@@ -278,7 +509,7 @@ mod tests {
 
     #[test]
     fn strong_inclusion_contraposes() {
-        let mut r = r4("Bird StrongSubClassOf Fly
+        let r = r4("Bird StrongSubClassOf Fly
              x : not Fly");
         assert!(r
             .has_negative_info(&ind("x"), &Concept::atomic("Bird"))
@@ -292,14 +523,14 @@ mod tests {
     #[test]
     fn material_inclusion_admits_exceptions() {
         // Bird ↦ Fly with a contradicted bird: tweety escapes the rule.
-        let mut r = r4("Bird MaterialSubClassOf Fly
+        let r = r4("Bird MaterialSubClassOf Fly
              tweety : Bird
              tweety : not Bird");
         assert!(!r
             .has_positive_info(&ind("tweety"), &Concept::atomic("Fly"))
             .unwrap());
         // An uncontradicted bird does fly.
-        let mut r = r4("Bird MaterialSubClassOf Fly
+        let r = r4("Bird MaterialSubClassOf Fly
              robin : Bird");
         // Material: everything not provably ¬Bird is Fly — robin is not
         // provably ¬Bird... note ↦ quantifies over Δ∖proj⁻(Bird), and in
@@ -318,7 +549,7 @@ mod tests {
 
     #[test]
     fn corollary7_inclusion_entailment() {
-        let mut r = r4("A SubClassOf B
+        let r = r4("A SubClassOf B
              B SubClassOf C");
         // Internal inclusions compose.
         assert!(r
@@ -348,7 +579,7 @@ mod tests {
 
     #[test]
     fn strong_premises_entail_strong_conclusions() {
-        let mut r = r4("A StrongSubClassOf B
+        let r = r4("A StrongSubClassOf B
              B StrongSubClassOf C");
         assert!(r
             .entails(&Axiom4::ConceptInclusion(
@@ -369,7 +600,7 @@ mod tests {
 
     #[test]
     fn role_queries_four_valued() {
-        let mut r = r4("r(a, b)
+        let r = r4("r(a, b)
              not r(c, d)");
         let role = RoleName::new("r");
         assert_eq!(
@@ -385,7 +616,7 @@ mod tests {
             TruthValue::Neither
         );
         // Contradictory role information.
-        let mut r = r4("r(a, b)
+        let r = r4("r(a, b)
              not r(a, b)");
         assert!(r.is_satisfiable().unwrap());
         assert_eq!(
@@ -398,7 +629,7 @@ mod tests {
     #[test]
     fn classical_contradiction_keeps_other_inferences() {
         // The headline robustness claim, end to end through the tableau.
-        let mut r = r4("A SubClassOf B
+        let r = r4("A SubClassOf B
              x : A
              x : not A
              y : A");
@@ -419,7 +650,7 @@ mod tests {
 
     #[test]
     fn role_inclusion_entailment_via_transformation() {
-        let mut r = r4("r SubRoleOf s");
+        let r = r4("r SubRoleOf s");
         assert!(r
             .entails(&Axiom4::RoleInclusion(
                 InclusionKind::Internal,
@@ -439,7 +670,7 @@ mod tests {
     #[test]
     fn unsatisfiable_four_valued_kb_exists() {
         // Nominal machinery keeps its classical bite: a : {b}, a ≠ b.
-        let mut r = r4("a : {b}
+        let r = r4("a : {b}
              a != b");
         assert!(!r.is_satisfiable().unwrap());
     }
@@ -449,5 +680,95 @@ mod tests {
         let r = r4("A SubClassOf B");
         let printed = dl::printer::print_kb(r.induced_kb());
         assert!(printed.contains("A+ SubClassOf B+"));
+    }
+
+    #[test]
+    fn query_batch_matches_sequential_queries() {
+        let src = "A SubClassOf B
+             A SubClassOf not C
+             x : A
+             x : not A
+             y : A
+             z : C";
+        let kb = parse_kb4(src).unwrap();
+        let parallel = Reasoner4::with_options(
+            &kb,
+            Config::default(),
+            QueryOptions {
+                jobs: 4,
+                ..QueryOptions::default()
+            },
+        );
+        let baseline = Reasoner4::with_options(&kb, Config::default(), QueryOptions::baseline());
+        let mut queries = Vec::new();
+        for i in ["x", "y", "z", "ghost"] {
+            for c in ["A", "B", "C", "D"] {
+                queries.push((ind(i), Concept::atomic(c)));
+            }
+        }
+        let fast = parallel.query_batch(&queries).unwrap();
+        let slow = baseline.query_batch(&queries).unwrap();
+        assert_eq!(fast, slow);
+        // And both agree with one-at-a-time queries.
+        for ((a, c), v) in queries.iter().zip(&fast) {
+            assert_eq!(
+                baseline.query(a, c).unwrap(),
+                *v,
+                "disagreement on {a:?}:{c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn entailment_cache_answers_repeats_without_search() {
+        let r = r4("A SubClassOf B
+             y : A");
+        let b = Concept::atomic("B");
+        // "ghost : B" has no told certificate, so it exercises cache+engine.
+        assert!(!r.has_positive_info(&ind("ghost"), &b).unwrap());
+        let after_first = r.stats();
+        assert!(!r.has_positive_info(&ind("ghost"), &b).unwrap());
+        assert_eq!(r.stats(), after_first, "second identical query searched");
+    }
+
+    #[test]
+    fn told_fast_path_skips_the_tableau() {
+        let r = r4("A SubClassOf B
+             B SubClassOf C
+             y : A");
+        // Chain membership is told-certain: no tableau work at all.
+        assert!(r
+            .has_positive_info(&ind("y"), &Concept::atomic("C"))
+            .unwrap());
+        assert_eq!(r.stats(), Stats::default());
+        // And the claim is honest: a fast-path-free reasoner agrees.
+        let bare = Reasoner4::with_options(
+            &parse_kb4("A SubClassOf B\nB SubClassOf C\ny : A").unwrap(),
+            Config::default(),
+            QueryOptions::baseline(),
+        );
+        assert!(bare
+            .has_positive_info(&ind("y"), &Concept::atomic("C"))
+            .unwrap());
+    }
+
+    #[test]
+    fn told_verdicts_are_exposed_and_sound() {
+        let r = r4("A SubClassOf B
+             A SubClassOf not D
+             x : A");
+        let (pos, neg) = r.told_verdict(&ind("x"), &ConceptName::new("B")).unwrap();
+        assert!(pos && !neg);
+        let (pos, neg) = r.told_verdict(&ind("x"), &ConceptName::new("D")).unwrap();
+        assert!(!pos && neg);
+        // Baseline reasoners have no index.
+        let bare = Reasoner4::with_options(
+            &parse_kb4("x : A").unwrap(),
+            Config::default(),
+            QueryOptions::baseline(),
+        );
+        assert!(bare
+            .told_verdict(&ind("x"), &ConceptName::new("A"))
+            .is_none());
     }
 }

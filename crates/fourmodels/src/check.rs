@@ -124,7 +124,7 @@ mod tests {
         for src in cases {
             let kb = parse_kb4(src).unwrap();
             let cfg = EnumConfig::for_kb(&kb);
-            let mut r = shoin4::Reasoner4::with_config(&kb, Config::default());
+            let r = shoin4::Reasoner4::with_config(&kb, Config::default());
             for concept in ["A", "B"] {
                 let c = Concept::atomic(concept);
                 let brute = entailed_positive_info(&kb, &cfg, &ind("x"), &c);
@@ -145,7 +145,7 @@ mod tests {
         // inclusion entailments (a countermodel can be shrunk to the
         // element witnessing the violation).
         let cfg = EnumConfig::for_kb(&kb);
-        let mut r = shoin4::Reasoner4::new(&kb);
+        let r = shoin4::Reasoner4::new(&kb);
         for (sub, sup) in [("A", "C"), ("C", "A"), ("A", "B"), ("B", "A")] {
             for kind in InclusionKind::ALL {
                 let ax = Axiom4::ConceptInclusion(kind, Concept::atomic(sub), Concept::atomic(sup));

@@ -107,7 +107,7 @@ mod tests {
     fn material_reading_is_satisfiable_with_exceptions() {
         let p = ExceptionParams::default();
         let kb = exception_kb(&p);
-        let mut r = Reasoner4::new(&kb);
+        let r = Reasoner4::new(&kb);
         assert!(r.is_satisfiable().unwrap());
         // An exceptional member has negative default-property info and no
         // positive info (the material rule excuses it).
@@ -131,7 +131,7 @@ mod tests {
             ..Default::default()
         };
         let kb = exception_kb(&p);
-        let mut r = Reasoner4::new(&kb);
+        let r = Reasoner4::new(&kb);
         // Still satisfiable (paraconsistency)…
         assert!(r.is_satisfiable().unwrap());
         // …but exceptional members now have ⊤ on the default property:

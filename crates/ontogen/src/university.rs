@@ -180,7 +180,7 @@ mod tests {
             seed: 5,
         });
         let kb4 = KnowledgeBase4::from_classical(&kb, InclusionKind::Internal);
-        let mut r = Reasoner4::new(&kb4);
+        let r = Reasoner4::new(&kb4);
         assert!(r.is_satisfiable().unwrap());
         for prof in &conflicted {
             assert_eq!(

@@ -1,350 +1,11 @@
 //! Shared combinatorial machinery: the told-subsumption graph over atomic
 //! concepts (with axiom provenance on every edge) and a small union-find
 //! for individual-equality reasoning.
+//!
+//! The implementation moved to [`shoin4::told`] so the reasoner's told
+//! fast path can use it without depending on this crate; this module
+//! re-exports it under the original paths.
 
-use dl::name::ConceptName;
-use dl::Concept;
-use shoin4::{Axiom4, InclusionKind, KnowledgeBase4};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
-
-/// One told-subsumption edge `from ⟶ to`, read off an inclusion axiom
-/// whose sides are atomic (or a negated atomic on the right).
-#[derive(Debug, Clone)]
-pub struct Edge {
-    /// Target concept name.
-    pub to: ConceptName,
-    /// The inclusion kind of the originating axiom.
-    pub kind: InclusionKind,
-    /// Index of the originating axiom in `kb.axioms()`.
-    pub axiom: usize,
-}
-
-/// The told-subsumption graph of a KB: only inclusions between atomic
-/// concepts (positive edges, `A ⟶ B`) or from an atomic to a negated
-/// atomic (negative edges, `A ⟶ ¬B`) are represented — the fragment on
-/// which closure is sound without any real reasoning.
-#[derive(Debug, Default)]
-pub struct ToldGraph {
-    /// `A ⊑ B`: positive information flows forward.
-    pub pos_edges: BTreeMap<ConceptName, Vec<Edge>>,
-    /// `A ⊑ ¬B`: positive information about `A` is negative about `B`.
-    pub neg_edges: BTreeMap<ConceptName, Vec<Edge>>,
-    /// Reverse of `pos_edges`, for the contrapositive (strong) direction.
-    pub rev_pos_edges: BTreeMap<ConceptName, Vec<Edge>>,
-}
-
-impl ToldGraph {
-    /// Read the told edges off the KB.
-    pub fn build(kb: &KnowledgeBase4) -> ToldGraph {
-        let mut g = ToldGraph::default();
-        for (i, ax) in kb.axioms().iter().enumerate() {
-            let Axiom4::ConceptInclusion(kind, lhs, rhs) = ax else {
-                continue;
-            };
-            let Concept::Atomic(from) = lhs else { continue };
-            match rhs {
-                Concept::Atomic(to) => {
-                    g.pos_edges.entry(from.clone()).or_default().push(Edge {
-                        to: to.clone(),
-                        kind: *kind,
-                        axiom: i,
-                    });
-                    g.rev_pos_edges.entry(to.clone()).or_default().push(Edge {
-                        to: from.clone(),
-                        kind: *kind,
-                        axiom: i,
-                    });
-                }
-                Concept::Not(inner) => {
-                    if let Concept::Atomic(to) = &**inner {
-                        g.neg_edges.entry(from.clone()).or_default().push(Edge {
-                            to: to.clone(),
-                            kind: *kind,
-                            axiom: i,
-                        });
-                    }
-                }
-                _ => {}
-            }
-        }
-        g
-    }
-}
-
-/// A derived membership fact with its provenance.
-#[derive(Debug, Clone)]
-pub struct Derived {
-    /// Axiom indices whose conjunction justifies the fact.
-    pub axioms: Vec<usize>,
-    /// Did the derivation pass through a `Material` inclusion? (If so the
-    /// conclusion is defeasible — material inclusions tolerate exceptions.)
-    pub via_material: bool,
-    /// Was the fact asserted directly (no inclusion edge used)?
-    pub direct: bool,
-}
-
-/// Closure of one individual's told concept memberships.
-///
-/// `pos` holds names `B` with derived positive information (`a ∈ pos(B)`),
-/// `neg` names with derived negative information (`a ∈ neg(B)`). With
-/// `allow_material = false` every derivation is a sound consequence of the
-/// four-valued semantics; with `true`, material links are followed too and
-/// the result is only a "likely" consequence.
-pub fn close_memberships(
-    graph: &ToldGraph,
-    pos_seeds: &[(ConceptName, usize)],
-    neg_seeds: &[(ConceptName, usize)],
-    allow_material: bool,
-) -> (
-    BTreeMap<ConceptName, Derived>,
-    BTreeMap<ConceptName, Derived>,
-) {
-    let follow = |kind: InclusionKind| allow_material || kind != InclusionKind::Material;
-    let mut pos: BTreeMap<ConceptName, Derived> = BTreeMap::new();
-    let mut neg: BTreeMap<ConceptName, Derived> = BTreeMap::new();
-    let mut queue: VecDeque<(ConceptName, bool)> = VecDeque::new();
-    for (name, ax) in pos_seeds {
-        pos.entry(name.clone()).or_insert_with(|| {
-            queue.push_back((name.clone(), true));
-            Derived {
-                axioms: vec![*ax],
-                via_material: false,
-                direct: true,
-            }
-        });
-    }
-    for (name, ax) in neg_seeds {
-        neg.entry(name.clone()).or_insert_with(|| {
-            queue.push_back((name.clone(), false));
-            Derived {
-                axioms: vec![*ax],
-                via_material: false,
-                direct: true,
-            }
-        });
-    }
-    while let Some((name, positive)) = queue.pop_front() {
-        if positive {
-            let from = pos[&name].clone();
-            // a ∈ pos(A), A ⊑ B  ⟹  a ∈ pos(B).
-            for e in graph.pos_edges.get(&name).into_iter().flatten() {
-                if follow(e.kind) && !pos.contains_key(&e.to) {
-                    pos.insert(e.to.clone(), extend(&from, e));
-                    queue.push_back((e.to.clone(), true));
-                }
-            }
-            // a ∈ pos(A), A ⊑ ¬B  ⟹  a ∈ neg(B).
-            for e in graph.neg_edges.get(&name).into_iter().flatten() {
-                if follow(e.kind) && !neg.contains_key(&e.to) {
-                    neg.insert(e.to.clone(), extend(&from, e));
-                    queue.push_back((e.to.clone(), false));
-                }
-            }
-        } else {
-            // a ∈ neg(B), A → B strong  ⟹  a ∈ neg(A) (contraposition;
-            // only strong inclusions propagate negative information back).
-            let from = neg[&name].clone();
-            for e in graph.rev_pos_edges.get(&name).into_iter().flatten() {
-                if e.kind == InclusionKind::Strong && !neg.contains_key(&e.to) {
-                    neg.insert(e.to.clone(), extend(&from, e));
-                    queue.push_back((e.to.clone(), false));
-                }
-            }
-        }
-    }
-    (pos, neg)
-}
-
-fn extend(from: &Derived, e: &Edge) -> Derived {
-    let mut axioms = from.axioms.clone();
-    axioms.push(e.axiom);
-    Derived {
-        axioms,
-        via_material: from.via_material || e.kind == InclusionKind::Material,
-        direct: false,
-    }
-}
-
-/// Strongly connected components (size ≥ 2) of the positive told graph —
-/// the cyclic-subsumption detector. Kosaraju's algorithm, iterative.
-pub fn told_cycles(graph: &ToldGraph) -> Vec<BTreeSet<ConceptName>> {
-    let mut nodes: BTreeSet<ConceptName> = BTreeSet::new();
-    for (from, es) in &graph.pos_edges {
-        nodes.insert(from.clone());
-        nodes.extend(es.iter().map(|e| e.to.clone()));
-    }
-    // First pass: finish order on the forward graph.
-    let mut finished: Vec<ConceptName> = Vec::new();
-    let mut seen: BTreeSet<ConceptName> = BTreeSet::new();
-    for start in &nodes {
-        if seen.contains(start) {
-            continue;
-        }
-        let mut stack = vec![(start.clone(), false)];
-        while let Some((n, expanded)) = stack.pop() {
-            if expanded {
-                finished.push(n);
-                continue;
-            }
-            if !seen.insert(n.clone()) {
-                continue;
-            }
-            stack.push((n.clone(), true));
-            for e in graph.pos_edges.get(&n).into_iter().flatten() {
-                if !seen.contains(&e.to) {
-                    stack.push((e.to.clone(), false));
-                }
-            }
-        }
-    }
-    // Second pass: components on the reverse graph, in reverse finish order.
-    let mut out = Vec::new();
-    let mut assigned: BTreeSet<ConceptName> = BTreeSet::new();
-    for root in finished.iter().rev() {
-        if assigned.contains(root) {
-            continue;
-        }
-        let mut component = BTreeSet::new();
-        let mut stack = vec![root.clone()];
-        while let Some(n) = stack.pop() {
-            if !assigned.insert(n.clone()) {
-                continue;
-            }
-            component.insert(n.clone());
-            for e in graph.rev_pos_edges.get(&n).into_iter().flatten() {
-                if !assigned.contains(&e.to) {
-                    stack.push(e.to.clone());
-                }
-            }
-        }
-        if component.len() >= 2 {
-            out.push(component);
-        }
-    }
-    out
-}
-
-/// A union-find over individual names, tracking the axiom indices that
-/// justify each merge (coarsely: all axioms that merged into a class).
-#[derive(Debug, Default)]
-pub struct UnionFind {
-    parent: BTreeMap<String, String>,
-    axioms: BTreeMap<String, BTreeSet<usize>>,
-}
-
-impl UnionFind {
-    /// Root of `x`'s class (path-halving on the string keys).
-    pub fn find(&mut self, x: &str) -> String {
-        let mut cur = x.to_string();
-        loop {
-            match self.parent.get(&cur) {
-                Some(p) if *p != cur => {
-                    let gp = self.parent.get(p).cloned().unwrap_or_else(|| p.clone());
-                    self.parent.insert(cur.clone(), gp.clone());
-                    cur = gp;
-                }
-                Some(_) => return cur,
-                None => {
-                    self.parent.insert(cur.clone(), cur.clone());
-                    return cur;
-                }
-            }
-        }
-    }
-
-    /// Merge the classes of `a` and `b`, recording the justifying axiom.
-    pub fn union(&mut self, a: &str, b: &str, axiom: usize) {
-        let ra = self.find(a);
-        let rb = self.find(b);
-        if ra == rb {
-            self.axioms.entry(ra).or_default().insert(axiom);
-            return;
-        }
-        let moved = self.axioms.remove(&rb).unwrap_or_default();
-        self.parent.insert(rb, ra.clone());
-        let entry = self.axioms.entry(ra).or_default();
-        entry.extend(moved);
-        entry.insert(axiom);
-    }
-
-    /// Are `a` and `b` in the same class?
-    pub fn connected(&mut self, a: &str, b: &str) -> bool {
-        self.find(a) == self.find(b)
-    }
-
-    /// The merge axioms recorded for `x`'s class.
-    pub fn class_axioms(&mut self, x: &str) -> Vec<usize> {
-        let root = self.find(x);
-        self.axioms
-            .get(&root)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use shoin4::parse_kb4;
-
-    #[test]
-    fn closure_follows_internal_chains() {
-        let kb = parse_kb4("A SubClassOf B\nB SubClassOf C\nx : A").unwrap();
-        let g = ToldGraph::build(&kb);
-        let (pos, neg) = close_memberships(&g, &[(ConceptName::new("A"), 2)], &[], false);
-        assert!(pos.contains_key(&ConceptName::new("C")));
-        assert_eq!(pos[&ConceptName::new("C")].axioms, vec![2, 0, 1]);
-        assert!(neg.is_empty());
-    }
-
-    #[test]
-    fn closure_skips_material_unless_allowed() {
-        let kb = parse_kb4("A MaterialSubClassOf B\nx : A").unwrap();
-        let g = ToldGraph::build(&kb);
-        let seeds = [(ConceptName::new("A"), 1)];
-        let (pos, _) = close_memberships(&g, &seeds, &[], false);
-        assert!(!pos.contains_key(&ConceptName::new("B")));
-        let (pos, _) = close_memberships(&g, &seeds, &[], true);
-        assert!(pos[&ConceptName::new("B")].via_material);
-    }
-
-    #[test]
-    fn strong_inclusions_contrapose() {
-        // A → B and a ∈ neg(B) gives a ∈ neg(A).
-        let kb = parse_kb4("A StrongSubClassOf B\nx : not B").unwrap();
-        let g = ToldGraph::build(&kb);
-        let (_, neg) = close_memberships(&g, &[], &[(ConceptName::new("B"), 1)], false);
-        assert!(neg.contains_key(&ConceptName::new("A")));
-    }
-
-    #[test]
-    fn internal_inclusions_do_not_contrapose() {
-        let kb = parse_kb4("A SubClassOf B\nx : not B").unwrap();
-        let g = ToldGraph::build(&kb);
-        let (_, neg) = close_memberships(&g, &[], &[(ConceptName::new("B"), 1)], false);
-        assert!(!neg.contains_key(&ConceptName::new("A")));
-    }
-
-    #[test]
-    fn cycles_found_as_components() {
-        let kb =
-            parse_kb4("A SubClassOf B\nB SubClassOf C\nC SubClassOf A\nD SubClassOf A").unwrap();
-        let g = ToldGraph::build(&kb);
-        let cycles = told_cycles(&g);
-        assert_eq!(cycles.len(), 1);
-        assert_eq!(cycles[0].len(), 3);
-        assert!(!cycles[0].contains(&ConceptName::new("D")));
-    }
-
-    #[test]
-    fn union_find_merges_and_tracks_axioms() {
-        let mut uf = UnionFind::default();
-        uf.union("a", "b", 0);
-        uf.union("c", "d", 1);
-        assert!(uf.connected("a", "b"));
-        assert!(!uf.connected("a", "c"));
-        uf.union("b", "c", 2);
-        assert!(uf.connected("a", "d"));
-        assert_eq!(uf.class_axioms("d"), vec![0, 1, 2]);
-    }
-}
+pub use shoin4::told::{
+    close_memberships, told_cycles, Closure, Derived, Edge, ToldGraph, ToldIndex, UnionFind,
+};

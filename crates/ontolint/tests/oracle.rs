@@ -62,7 +62,7 @@ fn verify_claim(kb: &KnowledgeBase4, diag: &Diagnostic, context: &str) {
             );
         }
         Claim::Unsatisfiable => {
-            let mut r = Reasoner4::new(kb);
+            let r = Reasoner4::new(kb);
             assert!(
                 !r.is_satisfiable().expect("tableau within limits"),
                 "{context}: {diag} — KB is satisfiable after all"
@@ -130,7 +130,7 @@ fn error_findings_on_seeded_kbs_survive_the_tableau() {
             errors.len() >= 2,
             "seed {seed}: expected the planted Errors"
         );
-        let mut r = Reasoner4::new(&kb);
+        let r = Reasoner4::new(&kb);
         for d in &errors {
             match d.claim.as_ref().expect("Error diagnostics carry claims") {
                 Claim::ContestedConcept {

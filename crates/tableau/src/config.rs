@@ -32,6 +32,11 @@ pub struct Config {
     /// Absorption / lazy unfolding of `A ⊑ C` axioms with atomic left-hand
     /// sides (ablation knob; `true` is the optimized default).
     pub absorption: bool,
+    /// Model-based entailment pruning: cache one completed model of the
+    /// base KB and use it to refute candidate entailments without search
+    /// (sound — see `engine` module docs; `true` is the optimized
+    /// default, `false` forces every query through the tableau).
+    pub model_pruning: bool,
     /// Wall-clock budget for one search. `None` means unbounded. The
     /// node/rule caps bound *space* and *counted work*, but a diverging
     /// nominal search (NN-rule with inverse roles) grows slowly enough
@@ -48,6 +53,7 @@ impl Default for Config {
             blocking: BlockingStrategy::Pairwise,
             semantic_branching: false,
             absorption: true,
+            model_pruning: true,
             time_budget: Some(Duration::from_secs(30)),
         }
     }

@@ -1,0 +1,712 @@
+//! The shared, immutable query engine behind [`crate::Reasoner`].
+//!
+//! [`QueryEngine`] owns the preprocessed [`Context`] and the initialized
+//! base [`CompletionGraph`]; every reasoning service takes `&self` and
+//! works on a clone of that graph, so any number of queries can run
+//! concurrently (e.g. fanned out over `std::thread::scope` workers by the
+//! batch drivers in the `shoin4` crate). Interior mutability is limited
+//! to three caches:
+//!
+//! * **merged statistics** — each query runs a private [`Search`] and
+//!   folds its counters into a mutex-guarded total, instead of mutating a
+//!   shared accumulator mid-search;
+//! * **the base model** — the first query that needs KB consistency runs
+//!   the tableau once on the unaugmented base graph and keeps a cheap
+//!   projection of the completed graph (atomic labels + individual
+//!   placement). Consistency is read off that cache ("inconsistent KB
+//!   entails everything" short-circuits *every* service, not just
+//!   [`QueryEngine::entails`]), and the projection doubles as a sound
+//!   entailment filter (see below);
+//! * **a fresh-individual counter** for the entailment reductions that
+//!   need anonymous witnesses.
+//!
+//! ## Model-based pruning
+//!
+//! A classical FaCT++/Pellet-style observation: one concrete model
+//! refutes many entailments at once. If the cached base model interprets
+//! individual `a` outside atomic concept `A`, then `KB ⊭ a : A` — no
+//! search needed; only candidate entailments the model fails to refute
+//! fall through to the full tableau. Soundness is one-directional (a
+//! refutation is definitive, absence of a refutation proves nothing), so
+//! answers never change — the property tests in `tests/batch_parity.rs`
+//! check exactly this agreement.
+//!
+//! Two exactness caveats, both handled conservatively:
+//!
+//! * Named individuals always sit on *root* nodes, which survive the
+//!   unraveling of a blocked graph with their labels intact — so
+//!   instance-refutation is sound even when blocking fired.
+//! * Anonymous nodes inside blocked subtrees may not denote real
+//!   elements, so subsumption/satisfiability witnesses are only read off
+//!   graphs with `blocked_nodes == 0`.
+
+use crate::blocking::is_directly_blocked;
+use crate::config::{Config, ReasonerError};
+use crate::graph::CompletionGraph;
+use crate::node::NodeId;
+use crate::rules::{Context, Search};
+use crate::stats::Stats;
+use dl::axiom::{Axiom, RoleExpr};
+use dl::datatype::DataRange;
+use dl::kb::KnowledgeBase;
+use dl::name::{ConceptName, IndividualName};
+use dl::nnf::nnf;
+use dl::Concept;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A cheap projection of one completed, clash-free completion graph of
+/// the base KB: which atomic concepts label which node, and where each
+/// individual landed. Used as a sound entailment filter (see the module
+/// docs for the soundness argument).
+#[derive(Debug)]
+pub struct BaseModel {
+    labels: BTreeMap<NodeId, BTreeSet<ConceptName>>,
+    individuals: BTreeMap<IndividualName, NodeId>,
+    /// `true` iff no node was blocked — only then do anonymous nodes
+    /// denote real elements of the represented model.
+    exact: bool,
+}
+
+impl BaseModel {
+    fn project(g: &CompletionGraph, strategy: crate::config::BlockingStrategy) -> BaseModel {
+        let mut labels = BTreeMap::new();
+        let mut individuals = BTreeMap::new();
+        let mut blocked = 0usize;
+        for x in g.live_nodes() {
+            let node = g.node(x);
+            let atoms: BTreeSet<ConceptName> = node
+                .label
+                .iter()
+                .filter_map(|c| match c {
+                    Concept::Atomic(a) => Some(a.clone()),
+                    _ => None,
+                })
+                .collect();
+            labels.insert(x, atoms);
+            for o in &node.nominals {
+                individuals.insert(o.clone(), x);
+            }
+            if node.is_blockable() && is_directly_blocked(g, x, strategy) {
+                blocked += 1;
+            }
+        }
+        BaseModel {
+            labels,
+            individuals,
+            exact: blocked == 0,
+        }
+    }
+
+    /// Does this model refute `KB ⊨ a : A`? (The model places `a`
+    /// outside `A`, so the entailment certainly fails.) `false` means
+    /// "no verdict", not "entailed".
+    pub fn refutes_instance(&self, a: &IndividualName, atomic: &ConceptName) -> bool {
+        match self.individuals.get(a) {
+            Some(n) => !self.labels[n].contains(atomic),
+            None => false,
+        }
+    }
+
+    /// Does this model refute `KB ⊨ A ⊑ B`? (Some element is in `A` but
+    /// not `B`.) Conservative: only answered on exact (unblocked) models.
+    pub fn refutes_subsumption(&self, sub: &ConceptName, sup: &ConceptName) -> bool {
+        self.exact
+            && self
+                .labels
+                .values()
+                .any(|l| l.contains(sub) && !l.contains(sup))
+    }
+
+    /// Does this model witness satisfiability of atomic `A` w.r.t. the
+    /// KB? Conservative: only answered on exact models.
+    pub fn witnesses_satisfiability(&self, atomic: &ConceptName) -> bool {
+        self.exact && self.labels.values().any(|l| l.contains(atomic))
+    }
+}
+
+/// The base-model cache: `None` = not yet computed; `Some(None)` = the KB
+/// is inconsistent (no model); `Some(Some(m))` = consistent with model
+/// projection `m`.
+type BaseCache = Option<Option<Arc<BaseModel>>>;
+
+/// An immutable SHOIN(D) query context over a fixed knowledge base.
+///
+/// Construction preprocesses the KB once (absorption, internalization,
+/// ABox loading); every reasoning service then takes `&self` and works on
+/// a clone of the initialized completion graph, so queries do not
+/// interfere and may run on concurrent threads.
+pub struct QueryEngine {
+    ctx: Context,
+    base_graph: CompletionGraph,
+    /// A clash already during ABox loading (merge of asserted-distinct
+    /// individuals) — the KB is inconsistent regardless of the search.
+    setup_clash: bool,
+    base: Mutex<BaseCache>,
+    stats: Mutex<Stats>,
+    query_counter: AtomicU32,
+}
+
+impl QueryEngine {
+    /// Preprocess `kb` with the default configuration.
+    pub fn new(kb: &KnowledgeBase) -> Self {
+        Self::with_config(kb, Config::default())
+    }
+
+    /// Preprocess `kb` with an explicit configuration.
+    pub fn with_config(kb: &KnowledgeBase, config: Config) -> Self {
+        let mut globals = Vec::new();
+        let mut unfoldings: BTreeMap<ConceptName, Vec<Concept>> = BTreeMap::new();
+        for ax in kb.tbox() {
+            if let Axiom::ConceptInclusion(c, d) = ax {
+                if config.absorption {
+                    match c {
+                        // A ⊑ D: unfold A lazily.
+                        Concept::Atomic(a) => {
+                            unfoldings.entry(a.clone()).or_default().push(nnf(d));
+                            continue;
+                        }
+                        // A ⊓ C ⊑ D (e.g. disjointness A ⊓ B ⊑ ⊥):
+                        // absorb into A → ¬C ⊔ D, keeping the constraint
+                        // local to nodes actually labelled A.
+                        Concept::And(l, r) => {
+                            if let Concept::Atomic(a) = &**l {
+                                unfoldings
+                                    .entry(a.clone())
+                                    .or_default()
+                                    .push(nnf(&(**r).clone().not().or(d.clone())));
+                                continue;
+                            }
+                            if let Concept::Atomic(a) = &**r {
+                                unfoldings
+                                    .entry(a.clone())
+                                    .or_default()
+                                    .push(nnf(&(**l).clone().not().or(d.clone())));
+                                continue;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                globals.push(nnf(&c.clone().not().or(d.clone())));
+            }
+        }
+        let ctx = Context {
+            hierarchy: kb.role_hierarchy(),
+            data_hierarchy: kb.data_role_hierarchy(),
+            globals,
+            unfoldings,
+            config,
+        };
+
+        // Load the ABox into the base completion graph. Individuals from
+        // the signature are pre-created in deterministic order; any ABox
+        // individual the signature missed is created on first mention
+        // (`ensure_node`) instead of panicking.
+        let mut g = CompletionGraph::new();
+        let mut setup_clash = false;
+        let sig = kb.signature();
+        for o in &sig.individuals {
+            Self::ensure_node(&mut g, o);
+        }
+        for ax in kb.abox() {
+            match ax {
+                Axiom::ConceptAssertion(a, c) => {
+                    let n = Self::ensure_node(&mut g, a);
+                    g.add_concept(n, nnf(c));
+                }
+                Axiom::RoleAssertion(r, a, b) => {
+                    let (na, nb) = (Self::ensure_node(&mut g, a), Self::ensure_node(&mut g, b));
+                    g.add_edge(na, nb, &RoleExpr::named(r.clone()));
+                }
+                Axiom::DataAssertion(u, a, v) => {
+                    let n = Self::ensure_node(&mut g, a);
+                    g.add_concept(
+                        n,
+                        Concept::DataSome(u.clone(), DataRange::one_of([v.clone()])),
+                    );
+                }
+                Axiom::SameIndividual(a, b) => {
+                    let (na, nb) = (Self::ensure_node(&mut g, a), Self::ensure_node(&mut g, b));
+                    if g.merge(na, nb).is_some() {
+                        setup_clash = true;
+                    }
+                }
+                Axiom::DifferentIndividuals(a, b) => {
+                    let (na, nb) = (Self::ensure_node(&mut g, a), Self::ensure_node(&mut g, b));
+                    if g.set_distinct(na, nb).is_some() {
+                        setup_clash = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // A pure-TBox KB still requires a non-empty domain.
+        if sig.individuals.is_empty() {
+            g.new_root();
+        }
+
+        QueryEngine {
+            ctx,
+            base_graph: g,
+            setup_clash,
+            base: Mutex::new(None),
+            stats: Mutex::new(Stats::default()),
+            query_counter: AtomicU32::new(0),
+        }
+    }
+
+    /// Statistics merged across all queries so far (on all threads).
+    pub fn stats(&self) -> Stats {
+        *self.stats.lock().expect("stats lock")
+    }
+
+    /// Active configuration.
+    pub fn config(&self) -> &Config {
+        &self.ctx.config
+    }
+
+    fn absorb_stats(&self, s: &Stats) {
+        self.stats.lock().expect("stats lock").absorb(s);
+    }
+
+    fn ensure_node(g: &mut CompletionGraph, o: &IndividualName) -> NodeId {
+        match g.nominal_node(o) {
+            Some(n) => n,
+            None => {
+                let n = g.new_root();
+                g.set_nominal_node(o.clone(), n);
+                g.add_concept(n, Concept::one_of([o.clone()]));
+                n
+            }
+        }
+    }
+
+    fn fresh_individual(&self) -> IndividualName {
+        let i = self.query_counter.fetch_add(1, Ordering::Relaxed);
+        IndividualName::new(format!("__q{i}"))
+    }
+
+    /// Run one satisfiability search on an augmented graph. Short-circuits
+    /// when the base KB is already *known* inconsistent: every augmented
+    /// graph is then unsatisfiable too (queries only ever add constraints).
+    fn run(&self, g: CompletionGraph) -> Result<bool, ReasonerError> {
+        if self.setup_clash {
+            return Ok(false);
+        }
+        if let Some(cache) = &*self.base.lock().expect("base lock") {
+            if cache.is_none() {
+                return Ok(false);
+            }
+        }
+        let mut search = Search::new(&self.ctx);
+        let result = search.satisfiable(g);
+        self.absorb_stats(&search.stats);
+        result
+    }
+
+    /// The cached base-model projection: computed by running the tableau
+    /// to completion on the unaugmented base graph, once, on first need.
+    /// `Ok(None)` means the KB is inconsistent. Resource-limit errors are
+    /// *not* cached — a later call under a fresh budget retries.
+    fn base_model(&self) -> Result<Option<Arc<BaseModel>>, ReasonerError> {
+        if self.setup_clash {
+            return Ok(None);
+        }
+        let mut guard = self.base.lock().expect("base lock");
+        if let Some(cached) = &*guard {
+            return Ok(cached.clone());
+        }
+        let mut search = Search::new(&self.ctx);
+        let done = search.complete(self.base_graph.clone());
+        self.absorb_stats(&search.stats);
+        let computed = done?.map(|g| Arc::new(BaseModel::project(&g, self.ctx.config.blocking)));
+        *guard = Some(computed.clone());
+        Ok(computed)
+    }
+
+    /// The base-model projection if the KB is consistent (computing it on
+    /// first call), for callers that want to reuse the entailment filter
+    /// directly.
+    pub fn base_model_for_pruning(&self) -> Result<Option<Arc<BaseModel>>, ReasonerError> {
+        if !self.ctx.config.model_pruning {
+            return Ok(None);
+        }
+        self.base_model()
+    }
+
+    /// Is the knowledge base satisfiable? Computed once and cached; every
+    /// other service consults the same cache.
+    pub fn is_consistent(&self) -> Result<bool, ReasonerError> {
+        Ok(self.base_model()?.is_some())
+    }
+
+    /// Find a model of the KB, if one exists: run the tableau to
+    /// completion and extract the final structure. See
+    /// [`crate::model::ExtractedModel::blocked_nodes`] for the finiteness
+    /// caveat.
+    pub fn find_model(&self) -> Result<Option<crate::model::ExtractedModel>, ReasonerError> {
+        if self.setup_clash {
+            return Ok(None);
+        }
+        let mut search = Search::new(&self.ctx);
+        let done = search.complete(self.base_graph.clone());
+        self.absorb_stats(&search.stats);
+        Ok(done?.map(|g| crate::model::extract(&g, &self.ctx.hierarchy, self.ctx.config.blocking)))
+    }
+
+    /// Is `c` satisfiable w.r.t. the KB (some model has a `c`-instance)?
+    pub fn is_concept_satisfiable(&self, c: &Concept) -> Result<bool, ReasonerError> {
+        let Some(model) = self.base_model()? else {
+            // An inconsistent KB has no models at all.
+            return Ok(false);
+        };
+        if self.ctx.config.model_pruning {
+            if let Concept::Atomic(a) = c {
+                if model.witnesses_satisfiability(a) {
+                    return Ok(true);
+                }
+            }
+        }
+        let mut g = self.base_graph.clone();
+        let n = g.new_root();
+        g.add_concept(n, nnf(c));
+        self.run(g)
+    }
+
+    /// Does the KB entail `sub ⊑ sup`? (`sub ⊓ ¬sup` unsatisfiable.)
+    pub fn is_subsumed_by(&self, sub: &Concept, sup: &Concept) -> Result<bool, ReasonerError> {
+        let Some(model) = self.base_model()? else {
+            return Ok(true); // inconsistent KB entails everything
+        };
+        if self.ctx.config.model_pruning {
+            if let (Concept::Atomic(a), Concept::Atomic(b)) = (sub, sup) {
+                if model.refutes_subsumption(a, b) {
+                    return Ok(false);
+                }
+            }
+        }
+        let test = sub.clone().and(sup.clone().not());
+        Ok(!self.is_concept_satisfiable(&test)?)
+    }
+
+    /// Does the KB entail `a : c`? (`KB ∪ {a:¬c}` inconsistent.)
+    pub fn is_instance_of(&self, a: &IndividualName, c: &Concept) -> Result<bool, ReasonerError> {
+        let Some(model) = self.base_model()? else {
+            return Ok(true); // inconsistent KB entails everything
+        };
+        if self.ctx.config.model_pruning {
+            if let Concept::Atomic(name) = c {
+                if model.refutes_instance(a, name) {
+                    return Ok(false);
+                }
+            }
+        }
+        let mut g = self.base_graph.clone();
+        let n = Self::ensure_node(&mut g, a);
+        g.add_concept(n, nnf(&c.clone().not()));
+        Ok(!self.run(g)?)
+    }
+
+    /// Does the KB entail the given axiom? Supports every axiom form via
+    /// the standard reductions to KB (un)satisfiability.
+    pub fn entails(&self, axiom: &Axiom) -> Result<bool, ReasonerError> {
+        // An inconsistent KB entails everything.
+        if !self.is_consistent()? {
+            return Ok(true);
+        }
+        match axiom {
+            Axiom::ConceptInclusion(c, d) => self.is_subsumed_by(c, d),
+            Axiom::ConceptAssertion(a, c) => self.is_instance_of(a, c),
+            Axiom::RoleAssertion(r, a, b) => {
+                // KB ⊨ R(a,b) iff KB ∪ {a : ∀R.¬{b}} is inconsistent.
+                let mut g = self.base_graph.clone();
+                let na = Self::ensure_node(&mut g, a);
+                Self::ensure_node(&mut g, b);
+                g.add_concept(
+                    na,
+                    Concept::all(
+                        RoleExpr::named(r.clone()),
+                        Concept::one_of([b.clone()]).not(),
+                    ),
+                );
+                Ok(!self.run(g)?)
+            }
+            Axiom::DataAssertion(u, a, v) => {
+                let mut g = self.base_graph.clone();
+                let na = Self::ensure_node(&mut g, a);
+                g.add_concept(
+                    na,
+                    Concept::DataAll(u.clone(), DataRange::one_of([v.clone()]).complement()),
+                );
+                Ok(!self.run(g)?)
+            }
+            Axiom::SameIndividual(a, b) => {
+                let mut g = self.base_graph.clone();
+                let na = Self::ensure_node(&mut g, a);
+                let nb = Self::ensure_node(&mut g, b);
+                if g.set_distinct(na, nb).is_some() {
+                    return Ok(true);
+                }
+                Ok(!self.run(g)?)
+            }
+            Axiom::DifferentIndividuals(a, b) => {
+                let mut g = self.base_graph.clone();
+                let na = Self::ensure_node(&mut g, a);
+                let nb = Self::ensure_node(&mut g, b);
+                if g.merge(na, nb).is_some() {
+                    return Ok(true);
+                }
+                Ok(!self.run(g)?)
+            }
+            Axiom::RoleInclusion(r, s) => {
+                // KB ⊨ R ⊑ S iff KB ∪ {R(a,b), a : ∀S.¬{b}} is
+                // inconsistent for fresh a, b.
+                let (a, b) = (self.fresh_individual(), self.fresh_individual());
+                let mut g = self.base_graph.clone();
+                let na = Self::ensure_node(&mut g, &a);
+                let nb = Self::ensure_node(&mut g, &b);
+                g.add_edge(na, nb, r);
+                g.add_concept(
+                    na,
+                    Concept::all(s.clone(), Concept::one_of([b.clone()]).not()),
+                );
+                Ok(!self.run(g)?)
+            }
+            Axiom::Transitive(r) => {
+                // KB ⊨ Trans(R) iff KB ∪ {R(a,b), R(b,c), a : ∀R.¬{c}} is
+                // inconsistent for fresh a, b, c.
+                let role = RoleExpr::named(r.clone());
+                let (a, b, c) = (
+                    self.fresh_individual(),
+                    self.fresh_individual(),
+                    self.fresh_individual(),
+                );
+                let mut g = self.base_graph.clone();
+                let na = Self::ensure_node(&mut g, &a);
+                let nb = Self::ensure_node(&mut g, &b);
+                let nc = Self::ensure_node(&mut g, &c);
+                g.add_edge(na, nb, &role);
+                g.add_edge(nb, nc, &role);
+                g.add_concept(na, Concept::all(role, Concept::one_of([c.clone()]).not()));
+                Ok(!self.run(g)?)
+            }
+            Axiom::DataRoleInclusion(u, v) => {
+                // KB ⊨ U ⊑ V iff KB ∪ {U(a, w), a : ∀V.¬{w}} is
+                // inconsistent for fresh a and a fresh value w.
+                let a = self.fresh_individual();
+                let w = dl::DataValue::Str(format!(
+                    "__qv{}",
+                    self.query_counter.load(Ordering::Relaxed)
+                ));
+                let mut g = self.base_graph.clone();
+                let na = Self::ensure_node(&mut g, &a);
+                g.add_concept(
+                    na,
+                    Concept::DataSome(u.clone(), DataRange::one_of([w.clone()])),
+                );
+                g.add_concept(
+                    na,
+                    Concept::DataAll(v.clone(), DataRange::one_of([w]).complement()),
+                );
+                Ok(!self.run(g)?)
+            }
+        }
+    }
+
+    /// Compute, for every named concept in `sig_concepts`, the set of
+    /// named concepts subsuming it (including itself and implicitly `⊤`).
+    /// Brute-force n² classification with unsatisfiable-concept handling.
+    pub fn classify(
+        &self,
+        sig_concepts: &BTreeSet<ConceptName>,
+    ) -> Result<BTreeMap<ConceptName, BTreeSet<ConceptName>>, ReasonerError> {
+        let names: Vec<ConceptName> = sig_concepts.iter().cloned().collect();
+        let mut out: BTreeMap<ConceptName, BTreeSet<ConceptName>> = BTreeMap::new();
+        for a in &names {
+            let ca = Concept::Atomic(a.clone());
+            let mut supers = BTreeSet::new();
+            for b in &names {
+                let cb = Concept::Atomic(b.clone());
+                if self.is_subsumed_by(&ca, &cb)? {
+                    supers.insert(b.clone());
+                }
+            }
+            out.insert(a.clone(), supers);
+        }
+        Ok(out)
+    }
+}
+
+// The whole point of the engine: it must be shareable across scoped
+// worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryEngine>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl::parser::parse_kb;
+
+    fn engine(src: &str) -> QueryEngine {
+        QueryEngine::new(&parse_kb(src).unwrap())
+    }
+
+    #[test]
+    fn shared_queries_from_scoped_threads() {
+        let e = engine(
+            "Surgeon SubClassOf Doctor
+             Doctor SubClassOf Person
+             s : Surgeon
+             n : Nurse",
+        );
+        let inds = ["s", "n"];
+        let concepts = ["Surgeon", "Doctor", "Person", "Nurse"];
+        let parallel: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = inds
+                .iter()
+                .map(|i| {
+                    let e = &e;
+                    scope.spawn(move || {
+                        concepts
+                            .iter()
+                            .map(|c| {
+                                e.is_instance_of(&IndividualName::new(*i), &Concept::atomic(*c))
+                                    .unwrap()
+                            })
+                            .collect::<Vec<bool>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker"))
+                .collect()
+        });
+        assert_eq!(
+            parallel,
+            vec![true, true, true, false, false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn consistency_cache_is_shared_with_direct_queries() {
+        // On an inconsistent KB the refutation runs once; every direct
+        // service short-circuits off the shared cache afterwards.
+        let e = engine("a : A and not A");
+        assert!(!e.is_consistent().unwrap());
+        let after_refutation = e.stats();
+        assert!(e
+            .is_instance_of(&IndividualName::new("zzz"), &Concept::atomic("Q"))
+            .unwrap());
+        assert!(e
+            .is_subsumed_by(&Concept::atomic("Q"), &Concept::atomic("R"))
+            .unwrap());
+        assert!(!e.is_concept_satisfiable(&Concept::atomic("Q")).unwrap());
+        // No further search happened: the counters did not move.
+        assert_eq!(e.stats(), after_refutation);
+    }
+
+    #[test]
+    fn model_pruning_answers_non_entailments_without_search() {
+        let e = engine(
+            "Surgeon SubClassOf Doctor
+             s : Surgeon
+             n : Nurse",
+        );
+        // Warm the base model.
+        assert!(e.is_consistent().unwrap());
+        let warm = e.stats();
+        // `n : Doctor` is refuted by the base model — no tableau run.
+        assert!(!e
+            .is_instance_of(&IndividualName::new("n"), &Concept::atomic("Doctor"))
+            .unwrap());
+        assert_eq!(e.stats(), warm);
+        // A real entailment still goes to the tableau and agrees.
+        assert!(e
+            .is_instance_of(&IndividualName::new("s"), &Concept::atomic("Doctor"))
+            .unwrap());
+        assert!(e.stats().rule_applications >= warm.rule_applications);
+    }
+
+    #[test]
+    fn model_pruning_agrees_with_plain_search() {
+        let src = "Surgeon SubClassOf Doctor
+                   Doctor SubClassOf Person
+                   Person SubClassOf hasParent some Person
+                   s : Surgeon
+                   n : Nurse
+                   p : Person";
+        let kb = parse_kb(src).unwrap();
+        let pruned = QueryEngine::new(&kb);
+        let plain = QueryEngine::with_config(
+            &kb,
+            Config {
+                model_pruning: false,
+                ..Config::default()
+            },
+        );
+        for i in ["s", "n", "p", "ghost"] {
+            for c in ["Surgeon", "Doctor", "Person", "Nurse"] {
+                let ind = IndividualName::new(i);
+                let con = Concept::atomic(c);
+                assert_eq!(
+                    pruned.is_instance_of(&ind, &con).unwrap(),
+                    plain.is_instance_of(&ind, &con).unwrap(),
+                    "disagreement on {i}:{c}"
+                );
+            }
+        }
+        for a in ["Surgeon", "Doctor", "Person", "Nurse"] {
+            for b in ["Surgeon", "Doctor", "Person", "Nurse"] {
+                assert_eq!(
+                    pruned
+                        .is_subsumed_by(&Concept::atomic(a), &Concept::atomic(b))
+                        .unwrap(),
+                    plain
+                        .is_subsumed_by(&Concept::atomic(a), &Concept::atomic(b))
+                        .unwrap(),
+                    "disagreement on {a} ⊑ {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn abox_individuals_outside_the_signature_do_not_panic() {
+        // `ensure_node` makes ABox loading total even if an individual
+        // escaped the signature pre-pass (defensive: the signature is
+        // supposed to cover every ABox subject).
+        let kb = KnowledgeBase::from_axioms([
+            Axiom::ConceptAssertion(
+                IndividualName::new("a"),
+                Concept::one_of([IndividualName::new("b")]),
+            ),
+            Axiom::RoleAssertion(
+                dl::RoleName::new("r"),
+                IndividualName::new("a"),
+                IndividualName::new("b"),
+            ),
+        ]);
+        let e = QueryEngine::new(&kb);
+        assert!(e.is_consistent().unwrap());
+    }
+
+    #[test]
+    fn stats_merge_across_threads() {
+        let e = engine("A SubClassOf B\nx : A");
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let e = &e;
+                scope.spawn(move || {
+                    e.is_instance_of(&IndividualName::new("x"), &Concept::atomic("B"))
+                        .unwrap();
+                });
+            }
+        });
+        assert!(e.stats().rule_applications > 0);
+    }
+}

@@ -33,10 +33,15 @@
 //! assert!(!r.is_consistent().unwrap()); // classic contradiction
 //! ```
 
+//! For batch workloads, [`engine::QueryEngine`] is the same reasoner with
+//! `&self` services and interior-mutability caches — share one engine
+//! across `std::thread::scope` workers to fan a survey out.
+
 pub mod blocking;
 pub mod clash;
 pub mod config;
 pub mod datatype_oracle;
+pub mod engine;
 pub mod graph;
 pub mod model;
 pub mod node;
@@ -46,5 +51,6 @@ pub mod stats;
 
 pub use clash::Clash;
 pub use config::{Config, ReasonerError};
+pub use engine::{BaseModel, QueryEngine};
 pub use reasoner::Reasoner;
 pub use stats::Stats;

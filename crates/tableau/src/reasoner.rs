@@ -1,16 +1,21 @@
-//! The public reasoner API: preprocessing (NNF, absorption,
-//! internalization, ABox loading) and the standard reasoning services, all
-//! reduced to knowledge-base satisfiability.
+//! The public reasoner API — a thin `&mut` facade over the shared
+//! [`QueryEngine`].
+//!
+//! Historically `Reasoner` owned the preprocessed context *and* all the
+//! mutable query state (stats accumulator, consistency cache, fresh-name
+//! counter), which forced `&mut self` on every service and made batch
+//! surveys strictly sequential. All of that state now lives behind
+//! interior mutability in [`QueryEngine`]; this wrapper keeps the
+//! original `&mut` signatures for source compatibility and exposes the
+//! engine itself via [`Reasoner::engine`] for callers that want to share
+//! one context across threads.
 
 use crate::config::{Config, ReasonerError};
-use crate::graph::CompletionGraph;
-use crate::rules::{Context, Search};
+use crate::engine::QueryEngine;
 use crate::stats::Stats;
-use dl::axiom::{Axiom, RoleExpr};
-use dl::datatype::DataRange;
+use dl::axiom::Axiom;
 use dl::kb::KnowledgeBase;
 use dl::name::{ConceptName, IndividualName};
-use dl::nnf::nnf;
 use dl::Concept;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -19,14 +24,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Construction preprocesses the KB once; every query then works on a
 /// clone of the initialized completion graph, so queries do not interfere.
 pub struct Reasoner {
-    ctx: Context,
-    base_graph: CompletionGraph,
-    /// A clash already during ABox loading (merge of asserted-distinct
-    /// individuals) — the KB is inconsistent regardless of the search.
-    setup_clash: bool,
-    consistency_cache: Option<bool>,
-    stats: Stats,
-    query_counter: u32,
+    engine: QueryEngine,
 }
 
 impl Reasoner {
@@ -37,133 +35,31 @@ impl Reasoner {
 
     /// Preprocess `kb` with an explicit configuration.
     pub fn with_config(kb: &KnowledgeBase, config: Config) -> Self {
-        let mut globals = Vec::new();
-        let mut unfoldings: BTreeMap<ConceptName, Vec<Concept>> = BTreeMap::new();
-        for ax in kb.tbox() {
-            if let Axiom::ConceptInclusion(c, d) = ax {
-                if config.absorption {
-                    match c {
-                        // A ⊑ D: unfold A lazily.
-                        Concept::Atomic(a) => {
-                            unfoldings.entry(a.clone()).or_default().push(nnf(d));
-                            continue;
-                        }
-                        // A ⊓ C ⊑ D (e.g. disjointness A ⊓ B ⊑ ⊥):
-                        // absorb into A → ¬C ⊔ D, keeping the constraint
-                        // local to nodes actually labelled A.
-                        Concept::And(l, r) => {
-                            if let Concept::Atomic(a) = &**l {
-                                unfoldings
-                                    .entry(a.clone())
-                                    .or_default()
-                                    .push(nnf(&(**r).clone().not().or(d.clone())));
-                                continue;
-                            }
-                            if let Concept::Atomic(a) = &**r {
-                                unfoldings
-                                    .entry(a.clone())
-                                    .or_default()
-                                    .push(nnf(&(**l).clone().not().or(d.clone())));
-                                continue;
-                            }
-                        }
-                        _ => {}
-                    }
-                }
-                globals.push(nnf(&c.clone().not().or(d.clone())));
-            }
-        }
-        let ctx = Context {
-            hierarchy: kb.role_hierarchy(),
-            data_hierarchy: kb.data_role_hierarchy(),
-            globals,
-            unfoldings,
-            config,
-        };
-
-        // Load the ABox into the base completion graph.
-        let mut g = CompletionGraph::new();
-        let mut setup_clash = false;
-        let sig = kb.signature();
-        for o in &sig.individuals {
-            let n = g.new_root();
-            g.set_nominal_node(o.clone(), n);
-            g.add_concept(n, Concept::one_of([o.clone()]));
-        }
-        for ax in kb.abox() {
-            match ax {
-                Axiom::ConceptAssertion(a, c) => {
-                    let n = g.nominal_node(a).expect("signature individual");
-                    g.add_concept(n, nnf(c));
-                }
-                Axiom::RoleAssertion(r, a, b) => {
-                    let (na, nb) = (
-                        g.nominal_node(a).expect("signature individual"),
-                        g.nominal_node(b).expect("signature individual"),
-                    );
-                    g.add_edge(na, nb, &RoleExpr::named(r.clone()));
-                }
-                Axiom::DataAssertion(u, a, v) => {
-                    let n = g.nominal_node(a).expect("signature individual");
-                    g.add_concept(
-                        n,
-                        Concept::DataSome(u.clone(), DataRange::one_of([v.clone()])),
-                    );
-                }
-                Axiom::SameIndividual(a, b) => {
-                    let (na, nb) = (
-                        g.nominal_node(a).expect("signature individual"),
-                        g.nominal_node(b).expect("signature individual"),
-                    );
-                    if g.merge(na, nb).is_some() {
-                        setup_clash = true;
-                    }
-                }
-                Axiom::DifferentIndividuals(a, b) => {
-                    let (na, nb) = (
-                        g.nominal_node(a).expect("signature individual"),
-                        g.nominal_node(b).expect("signature individual"),
-                    );
-                    if g.set_distinct(na, nb).is_some() {
-                        setup_clash = true;
-                    }
-                }
-                _ => {}
-            }
-        }
-        // A pure-TBox KB still requires a non-empty domain.
-        if sig.individuals.is_empty() {
-            g.new_root();
-        }
-
         Reasoner {
-            ctx,
-            base_graph: g,
-            setup_clash,
-            consistency_cache: None,
-            stats: Stats::default(),
-            query_counter: 0,
+            engine: QueryEngine::with_config(kb, config),
         }
+    }
+
+    /// The shared query engine: every service below is a thin delegation
+    /// to it. Borrow this to run queries from several threads at once.
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// Consume the wrapper, keeping the engine (e.g. to move it into an
+    /// `Arc`).
+    pub fn into_engine(self) -> QueryEngine {
+        self.engine
     }
 
     /// Accumulated search statistics across all queries.
     pub fn stats(&self) -> Stats {
-        self.stats
+        self.engine.stats()
     }
 
     /// Active configuration.
     pub fn config(&self) -> &Config {
-        &self.ctx.config
-    }
-
-    fn run(&mut self, g: CompletionGraph) -> Result<bool, ReasonerError> {
-        if self.setup_clash {
-            return Ok(false);
-        }
-        let mut search = Search::new(&self.ctx);
-        let result = search.satisfiable(g);
-        self.stats.absorb(&search.stats);
-        result
+        self.engine.config()
     }
 
     /// Find a model of the KB, if one exists: run the tableau to
@@ -171,39 +67,22 @@ impl Reasoner {
     /// [`crate::model::ExtractedModel::blocked_nodes`] for the finiteness
     /// caveat.
     pub fn find_model(&mut self) -> Result<Option<crate::model::ExtractedModel>, ReasonerError> {
-        if self.setup_clash {
-            return Ok(None);
-        }
-        let g = self.base_graph.clone();
-        let mut search = Search::new(&self.ctx);
-        let done = search.complete(g);
-        self.stats.absorb(&search.stats);
-        Ok(done?.map(|g| crate::model::extract(&g, &self.ctx.hierarchy, self.ctx.config.blocking)))
+        self.engine.find_model()
     }
 
     /// Is the knowledge base satisfiable?
     pub fn is_consistent(&mut self) -> Result<bool, ReasonerError> {
-        if let Some(cached) = self.consistency_cache {
-            return Ok(cached);
-        }
-        let g = self.base_graph.clone();
-        let result = self.run(g)?;
-        self.consistency_cache = Some(result);
-        Ok(result)
+        self.engine.is_consistent()
     }
 
     /// Is `c` satisfiable w.r.t. the KB (some model has a `c`-instance)?
     pub fn is_concept_satisfiable(&mut self, c: &Concept) -> Result<bool, ReasonerError> {
-        let mut g = self.base_graph.clone();
-        let n = g.new_root();
-        g.add_concept(n, nnf(c));
-        self.run(g)
+        self.engine.is_concept_satisfiable(c)
     }
 
     /// Does the KB entail `sub ⊑ sup`? (`sub ⊓ ¬sup` unsatisfiable.)
     pub fn is_subsumed_by(&mut self, sub: &Concept, sup: &Concept) -> Result<bool, ReasonerError> {
-        let test = sub.clone().and(sup.clone().not());
-        Ok(!self.is_concept_satisfiable(&test)?)
+        self.engine.is_subsumed_by(sub, sup)
     }
 
     /// Does the KB entail `a : c`? (`KB ∪ {a:¬c}` inconsistent.)
@@ -212,139 +91,13 @@ impl Reasoner {
         a: &IndividualName,
         c: &Concept,
     ) -> Result<bool, ReasonerError> {
-        let mut g = self.base_graph.clone();
-        let n = match g.nominal_node(a) {
-            Some(n) => n,
-            None => {
-                let n = g.new_root();
-                g.set_nominal_node(a.clone(), n);
-                g.add_concept(n, Concept::one_of([a.clone()]));
-                n
-            }
-        };
-        g.add_concept(n, nnf(&c.clone().not()));
-        Ok(!self.run(g)?)
-    }
-
-    fn fresh_individual(&mut self) -> IndividualName {
-        let name = IndividualName::new(format!("__q{}", self.query_counter));
-        self.query_counter += 1;
-        name
-    }
-
-    fn ensure_node(g: &mut CompletionGraph, o: &IndividualName) -> crate::node::NodeId {
-        match g.nominal_node(o) {
-            Some(n) => n,
-            None => {
-                let n = g.new_root();
-                g.set_nominal_node(o.clone(), n);
-                g.add_concept(n, Concept::one_of([o.clone()]));
-                n
-            }
-        }
+        self.engine.is_instance_of(a, c)
     }
 
     /// Does the KB entail the given axiom? Supports every axiom form via
     /// the standard reductions to KB (un)satisfiability.
     pub fn entails(&mut self, axiom: &Axiom) -> Result<bool, ReasonerError> {
-        // An inconsistent KB entails everything.
-        if !self.is_consistent()? {
-            return Ok(true);
-        }
-        match axiom {
-            Axiom::ConceptInclusion(c, d) => self.is_subsumed_by(c, d),
-            Axiom::ConceptAssertion(a, c) => self.is_instance_of(a, c),
-            Axiom::RoleAssertion(r, a, b) => {
-                // KB ⊨ R(a,b) iff KB ∪ {a : ∀R.¬{b}} is inconsistent.
-                let mut g = self.base_graph.clone();
-                let na = Self::ensure_node(&mut g, a);
-                Self::ensure_node(&mut g, b);
-                g.add_concept(
-                    na,
-                    Concept::all(
-                        RoleExpr::named(r.clone()),
-                        Concept::one_of([b.clone()]).not(),
-                    ),
-                );
-                Ok(!self.run(g)?)
-            }
-            Axiom::DataAssertion(u, a, v) => {
-                let mut g = self.base_graph.clone();
-                let na = Self::ensure_node(&mut g, a);
-                g.add_concept(
-                    na,
-                    Concept::DataAll(u.clone(), DataRange::one_of([v.clone()]).complement()),
-                );
-                Ok(!self.run(g)?)
-            }
-            Axiom::SameIndividual(a, b) => {
-                let mut g = self.base_graph.clone();
-                let na = Self::ensure_node(&mut g, a);
-                let nb = Self::ensure_node(&mut g, b);
-                if g.set_distinct(na, nb).is_some() {
-                    return Ok(true);
-                }
-                Ok(!self.run(g)?)
-            }
-            Axiom::DifferentIndividuals(a, b) => {
-                let mut g = self.base_graph.clone();
-                let na = Self::ensure_node(&mut g, a);
-                let nb = Self::ensure_node(&mut g, b);
-                if g.merge(na, nb).is_some() {
-                    return Ok(true);
-                }
-                Ok(!self.run(g)?)
-            }
-            Axiom::RoleInclusion(r, s) => {
-                // KB ⊨ R ⊑ S iff KB ∪ {R(a,b), a : ∀S.¬{b}} is
-                // inconsistent for fresh a, b.
-                let (a, b) = (self.fresh_individual(), self.fresh_individual());
-                let mut g = self.base_graph.clone();
-                let na = Self::ensure_node(&mut g, &a);
-                let nb = Self::ensure_node(&mut g, &b);
-                g.add_edge(na, nb, r);
-                g.add_concept(
-                    na,
-                    Concept::all(s.clone(), Concept::one_of([b.clone()]).not()),
-                );
-                Ok(!self.run(g)?)
-            }
-            Axiom::Transitive(r) => {
-                // KB ⊨ Trans(R) iff KB ∪ {R(a,b), R(b,c), a : ∀R.¬{c}} is
-                // inconsistent for fresh a, b, c.
-                let role = RoleExpr::named(r.clone());
-                let (a, b, c) = (
-                    self.fresh_individual(),
-                    self.fresh_individual(),
-                    self.fresh_individual(),
-                );
-                let mut g = self.base_graph.clone();
-                let na = Self::ensure_node(&mut g, &a);
-                let nb = Self::ensure_node(&mut g, &b);
-                let nc = Self::ensure_node(&mut g, &c);
-                g.add_edge(na, nb, &role);
-                g.add_edge(nb, nc, &role);
-                g.add_concept(na, Concept::all(role, Concept::one_of([c.clone()]).not()));
-                Ok(!self.run(g)?)
-            }
-            Axiom::DataRoleInclusion(u, v) => {
-                // KB ⊨ U ⊑ V iff KB ∪ {U(a, w), a : ∀V.¬{w}} is
-                // inconsistent for fresh a and a fresh value w.
-                let a = self.fresh_individual();
-                let w = dl::DataValue::Str(format!("__qv{}", self.query_counter));
-                let mut g = self.base_graph.clone();
-                let na = Self::ensure_node(&mut g, &a);
-                g.add_concept(
-                    na,
-                    Concept::DataSome(u.clone(), DataRange::one_of([w.clone()])),
-                );
-                g.add_concept(
-                    na,
-                    Concept::DataAll(v.clone(), DataRange::one_of([w]).complement()),
-                );
-                Ok(!self.run(g)?)
-            }
-        }
+        self.engine.entails(axiom)
     }
 
     /// Compute, for every named concept in `sig_concepts`, the set of
@@ -354,26 +107,14 @@ impl Reasoner {
         &mut self,
         sig_concepts: &BTreeSet<ConceptName>,
     ) -> Result<BTreeMap<ConceptName, BTreeSet<ConceptName>>, ReasonerError> {
-        let names: Vec<ConceptName> = sig_concepts.iter().cloned().collect();
-        let mut out: BTreeMap<ConceptName, BTreeSet<ConceptName>> = BTreeMap::new();
-        for a in &names {
-            let ca = Concept::Atomic(a.clone());
-            let mut supers = BTreeSet::new();
-            for b in &names {
-                let cb = Concept::Atomic(b.clone());
-                if self.is_subsumed_by(&ca, &cb)? {
-                    supers.insert(b.clone());
-                }
-            }
-            out.insert(a.clone(), supers);
-        }
-        Ok(out)
+        self.engine.classify(sig_concepts)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dl::axiom::RoleExpr;
     use dl::parser::parse_kb;
 
     fn reasoner(src: &str) -> Reasoner {
@@ -798,5 +539,26 @@ mod tests {
             r.is_consistent(),
             Err(ReasonerError::NodeLimit(2))
         ));
+    }
+
+    #[test]
+    fn resource_limit_errors_are_not_cached() {
+        // A failed consistency check must not poison the cache: retrying
+        // under the same engine still surfaces the error (rather than a
+        // stale verdict), and a fresh engine with a real budget answers.
+        let kb = parse_kb(
+            "Person SubClassOf hasParent some Person
+             p : Person",
+        )
+        .unwrap();
+        let mut r = Reasoner::with_config(
+            &kb,
+            Config {
+                max_nodes: 2,
+                ..Config::default()
+            },
+        );
+        assert!(r.is_consistent().is_err());
+        assert!(r.is_consistent().is_err());
     }
 }

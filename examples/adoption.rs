@@ -17,7 +17,7 @@ fn main() {
     }
 
     // Reasoning view (via the transformation + classical tableau).
-    let mut r = Reasoner4::new(&kb);
+    let r = Reasoner4::new(&kb);
     println!(
         "\nsatisfiable (four-valued)? {}",
         r.is_satisfiable().unwrap()

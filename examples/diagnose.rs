@@ -34,13 +34,13 @@ fn main() {
     )
     .expect("ontology parses");
 
-    let mut r = Reasoner4::new(&kb);
+    let r = Reasoner4::new(&kb);
     println!(
         "satisfiable (four-valued)? {}\n",
         r.is_satisfiable().unwrap()
     );
 
-    let report = contradiction_report(&mut r, &kb).expect("within limits");
+    let report = contradiction_report(&r, &kb).expect("within limits");
     println!(
         "surveyed {} facts: {} contested, {} asserted, {} denied, {} unknown",
         report.total(),
@@ -61,7 +61,7 @@ fn main() {
     }
 
     // Classification still works on the inconsistent ontology.
-    let taxonomy = classify4(&mut r, &kb).expect("within limits");
+    let taxonomy = classify4(&r, &kb).expect("within limits");
     println!("\nconcept taxonomy (internal ⊏, computed via Corollary 7):");
     for (class, supers) in &taxonomy {
         let proper: Vec<String> = supers

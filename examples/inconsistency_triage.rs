@@ -46,7 +46,7 @@ fn main() {
     let mut relevance = RelevanceBaseline::new(&kb);
     let mut stratified = StratifiedBaseline::tbox_over_abox(&kb);
     let kb4 = KnowledgeBase4::from_classical(&kb, InclusionKind::Internal);
-    let mut four = Reasoner4::new(&kb4);
+    let four = Reasoner4::new(&kb4);
 
     let mut tally: Vec<(&str, usize, usize)> = Vec::new(); // (name, meaningful, yes)
     for (name, baseline) in [

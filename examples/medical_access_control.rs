@@ -30,7 +30,7 @@ fn main() {
     let mut stratified = baselines::stratified::StratifiedBaseline::tbox_over_abox(&kb);
     // SHOIN(D)4.
     let kb4 = KnowledgeBase4::from_classical(&kb, InclusionKind::Internal);
-    let mut four = Reasoner4::new(&kb4);
+    let four = Reasoner4::new(&kb4);
 
     let perm = Concept::atomic(permission_class());
     println!(

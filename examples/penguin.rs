@@ -43,7 +43,7 @@ fn main() {
 
     // --- Four-valued reading: the exception is just an exception. --------
     let kb4 = parse_kb4(FOUR_VALUED).expect("four-valued KB parses");
-    let mut r4 = Reasoner4::new(&kb4);
+    let r4 = Reasoner4::new(&kb4);
     println!(
         "SHOIN(D)4 reading satisfiable? {}",
         r4.is_satisfiable().unwrap()

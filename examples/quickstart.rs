@@ -22,7 +22,7 @@ fn main() {
     )
     .expect("the quickstart ontology parses");
 
-    let mut reasoner = Reasoner4::new(&kb);
+    let reasoner = Reasoner4::new(&kb);
 
     println!(
         "KB satisfiable (four-valued): {}",

@@ -68,7 +68,7 @@ fn four_families_compared_on_example_2() {
 
     // SHOIN(D)4: the conflict is the answer.
     let kb4 = KnowledgeBase4::from_classical(&kb, InclusionKind::Internal);
-    let mut four = Reasoner4::new(&kb4);
+    let four = Reasoner4::new(&kb4);
     assert_eq!(
         four.query(
             &IndividualName::new("john"),
@@ -102,7 +102,7 @@ fn all_methods_coincide_on_consistent_input() {
         assert_eq!(m.entails(&negative).unwrap(), Answer::No, "{}", m.name());
     }
     let kb4 = KnowledgeBase4::from_classical(&kb, InclusionKind::Internal);
-    let mut four = Reasoner4::new(&kb4);
+    let four = Reasoner4::new(&kb4);
     assert!(four
         .has_positive_info(&IndividualName::new("s"), &Concept::atomic("Person"))
         .unwrap());
@@ -131,7 +131,7 @@ fn selection_loses_uncontested_conclusions() {
     assert_eq!(skeptical.entails(&q("tweety", "Bird")).unwrap(), Answer::No);
     // SHOIN(D)4 keeps it.
     let kb4 = KnowledgeBase4::from_classical(&kb, InclusionKind::Internal);
-    let mut four = Reasoner4::new(&kb4);
+    let four = Reasoner4::new(&kb4);
     assert!(four
         .has_positive_info(&IndividualName::new("tweety"), &Concept::atomic("Bird"))
         .unwrap());
@@ -150,7 +150,7 @@ fn localization_on_mixed_kb() {
     )
     .unwrap();
     let kb4 = KnowledgeBase4::from_classical(&kb, InclusionKind::Internal);
-    let mut four = Reasoner4::new(&kb4);
+    let four = Reasoner4::new(&kb4);
     let (x, y) = (IndividualName::new("x"), IndividualName::new("y"));
     assert_eq!(
         four.query(&x, &Concept::atomic("A")).unwrap(),

@@ -1,0 +1,176 @@
+//! Parity properties for the parallel batch query engine.
+//!
+//! The performance pipeline (worker threads, the entailment cache, the
+//! told-information fast path, model-based pruning) must be *invisible*
+//! in answers: every accelerated configuration has to return results
+//! bit-identical to the sequential baseline that runs one tableau search
+//! per classical entailment check. These properties fuzz that claim over
+//! ontogen's random KBs and its planted-contradiction KBs.
+
+use dl::name::IndividualName;
+use dl::Concept;
+use ontogen::lintseed::{lint_seeded_kb4, LintSeedParams};
+use ontogen::random::{random_kb4, RandomParams};
+use proptest::prelude::*;
+use shoin4::analysis::{classify4, contradiction_report};
+use shoin4::reasoner4::QueryOptions;
+use shoin4::{KnowledgeBase4, Reasoner4};
+use tableau::Config;
+
+/// Small enough that the whole signature grid stays cheap even for the
+/// baseline reasoner (two tableau searches per pair, no caches).
+fn random_params(seed: u64) -> RandomParams {
+    RandomParams {
+        n_concepts: 4,
+        n_roles: 2,
+        n_individuals: 3,
+        n_tbox: 4,
+        n_abox: 6,
+        max_depth: 1,
+        number_restrictions: false,
+        inverse_roles: true,
+        seed,
+    }
+}
+
+fn planted_params(seed: u64) -> LintSeedParams {
+    LintSeedParams {
+        seed,
+        n_clean_tbox: 6,
+        n_clean_abox: 9,
+        n_contested_direct: 2,
+        n_contested_chained: 1,
+        n_contested_roles: 1,
+        n_duplicates: 1,
+        n_cycles: 1,
+        n_orphans: 1,
+    }
+}
+
+/// One tableau search per entailment check: no threads, no caches, no
+/// told fast path, no model pruning.
+fn baseline(kb: &KnowledgeBase4) -> Reasoner4 {
+    let config = Config {
+        model_pruning: false,
+        ..Config::default()
+    };
+    Reasoner4::with_options(kb, config, QueryOptions::baseline())
+}
+
+/// Everything on, with an explicit worker count.
+fn accelerated(kb: &KnowledgeBase4, jobs: usize) -> Reasoner4 {
+    Reasoner4::with_options(
+        kb,
+        Config::default(),
+        QueryOptions {
+            jobs,
+            ..QueryOptions::default()
+        },
+    )
+}
+
+/// Every individual × atomic-concept pair of the KB's signature, in
+/// signature (= sorted) order.
+fn signature_grid(kb: &KnowledgeBase4) -> Vec<(IndividualName, Concept)> {
+    let sig = kb.signature();
+    let mut grid = Vec::new();
+    for a in &sig.individuals {
+        for c in &sig.concepts {
+            grid.push((a.clone(), Concept::atomic(c.clone())));
+        }
+    }
+    grid
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `query_batch` under any worker count answers exactly what the
+    /// baseline answers one query at a time.
+    #[test]
+    fn batch_queries_match_sequential_baseline(seed in 0..64u64, jobs in 1..5usize) {
+        let kb = random_kb4(&random_params(seed), (0.3, 0.4, 0.3));
+        let grid = signature_grid(&kb);
+        let slow = baseline(&kb);
+        let fast = accelerated(&kb, jobs);
+        let batched = fast.query_batch(&grid).unwrap();
+        prop_assert_eq!(batched.len(), grid.len());
+        for ((a, c), got) in grid.iter().zip(&batched) {
+            let want = slow.query(a, c).unwrap();
+            prop_assert_eq!(*got, want, "divergence on {}:{:?} (seed {})", a, c, seed);
+        }
+    }
+
+    /// The full survey and the taxonomy are bit-identical between the
+    /// sequential baseline and the parallel cached pipeline, including on
+    /// KBs with planted contradictions.
+    #[test]
+    fn surveys_and_taxonomies_are_bit_identical(seed in 0..32u64, jobs in 2..5usize) {
+        let (kb, _) = lint_seeded_kb4(&planted_params(seed));
+        let slow = baseline(&kb);
+        let fast = accelerated(&kb, jobs);
+
+        let a = contradiction_report(&slow, &kb).unwrap();
+        let b = contradiction_report(&fast, &kb).unwrap();
+        prop_assert_eq!(&a.contested, &b.contested);
+        prop_assert_eq!(&a.asserted, &b.asserted);
+        prop_assert_eq!(&a.denied, &b.denied);
+        prop_assert_eq!(a.unknown, b.unknown);
+
+        prop_assert_eq!(classify4(&slow, &kb).unwrap(), classify4(&fast, &kb).unwrap());
+    }
+
+    /// Every positive claim the told index makes is confirmed by the
+    /// bare tableau. (The fast path only ever certifies *presence* of
+    /// information — `false` components claim nothing.)
+    #[test]
+    fn told_fast_path_agrees_with_the_tableau(seed in 0..64u64) {
+        let kb = random_kb4(&random_params(seed), (0.3, 0.4, 0.3));
+        let slow = baseline(&kb);
+        let fast = accelerated(&kb, 1);
+        let sig = kb.signature();
+        for a in &sig.individuals {
+            for c in &sig.concepts {
+                let (pos, neg) = fast.told_verdict(a, c).expect("fast path enabled");
+                let atom = Concept::atomic(c.clone());
+                if pos {
+                    prop_assert!(
+                        slow.has_positive_info(a, &atom).unwrap(),
+                        "told index claimed {}:{} positively (seed {})", a, c, seed
+                    );
+                }
+                if neg {
+                    prop_assert!(
+                        slow.has_negative_info(a, &atom).unwrap(),
+                        "told index claimed {}:¬{} (seed {})", a, c, seed
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Planted contradictions exercise the `Both` verdict through the batch
+/// path: a deterministic end-to-end check that planted facts surface
+/// identically with and without acceleration.
+#[test]
+fn planted_contradictions_survive_every_pipeline() {
+    for seed in 0..4u64 {
+        let (kb, truth) = lint_seeded_kb4(&planted_params(seed));
+        let queries: Vec<(IndividualName, Concept)> = truth
+            .contested_concepts
+            .iter()
+            .map(|(a, c)| (a.clone(), Concept::atomic(c.clone())))
+            .collect();
+        let slow = baseline(&kb);
+        let fast = accelerated(&kb, 4);
+        let sequential: Vec<_> = queries
+            .iter()
+            .map(|(a, c)| slow.query(a, c).unwrap())
+            .collect();
+        assert_eq!(fast.query_batch(&queries).unwrap(), sequential);
+        for v in &sequential {
+            assert_eq!(*v, fourval::TruthValue::Both, "seed {seed}");
+        }
+    }
+}

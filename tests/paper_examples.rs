@@ -22,7 +22,7 @@ fn example_1_bill_is_a_doctor() {
          hasPatient(bill, mary)",
     )
     .unwrap();
-    let mut r = Reasoner4::new(&kb);
+    let r = Reasoner4::new(&kb);
     assert!(r.is_satisfiable().unwrap(), "KB4 must be satisfiable");
     let doctor = Concept::atomic("Doctor");
     // "is there any information indicating bill is a doctor?" — yes.
@@ -42,7 +42,7 @@ fn example_2_access_control() {
          john : UrgencyTeam",
     )
     .unwrap();
-    let mut r = Reasoner4::new(&kb);
+    let r = Reasoner4::new(&kb);
     assert!(r.is_satisfiable().unwrap());
     let read = Concept::atomic("ReadPatientRecordTeam");
     // Both aspects of the contradiction are reported...
@@ -95,7 +95,7 @@ fn example_3_and_5_four_valued_reading() {
          hasWing(tweety, w)",
     )
     .unwrap();
-    let mut r = Reasoner4::new(&kb);
+    let r = Reasoner4::new(&kb);
     assert!(r.is_satisfiable().unwrap());
     let fly = Concept::atomic("Fly");
     assert!(r.has_negative_info(&ind("tweety"), &fly).unwrap());
@@ -149,7 +149,7 @@ fn example_4_adoption() {
          smith : not Married",
     )
     .unwrap();
-    let mut r = Reasoner4::new(&kb);
+    let r = Reasoner4::new(&kb);
     assert!(r.is_satisfiable().unwrap());
     assert!(r
         .has_positive_info(&ind("smith"), &Concept::atomic("Parent"))
@@ -184,20 +184,20 @@ fn example_4_classical_reading_is_inconsistent() {
 #[test]
 fn inclusion_kind_narrative() {
     // Strong: a non-flyer is a non-bird.
-    let mut strong = Reasoner4::new(&parse_kb4("Bird StrongSubClassOf Fly\nx : not Fly").unwrap());
+    let strong = Reasoner4::new(&parse_kb4("Bird StrongSubClassOf Fly\nx : not Fly").unwrap());
     assert_eq!(
         strong.query(&ind("x"), &Concept::atomic("Bird")).unwrap(),
         TruthValue::False
     );
     // Internal: "this implication still cannot tell us whether it is not
     // a bird".
-    let mut internal = Reasoner4::new(&parse_kb4("Bird SubClassOf Fly\nx : not Fly").unwrap());
+    let internal = Reasoner4::new(&parse_kb4("Bird SubClassOf Fly\nx : not Fly").unwrap());
     assert_eq!(
         internal.query(&ind("x"), &Concept::atomic("Bird")).unwrap(),
         TruthValue::Neither
     );
     // Material: the inclusion itself is entailed by its own KB.
-    let mut material = Reasoner4::new(&parse_kb4("Bird MaterialSubClassOf Fly").unwrap());
+    let material = Reasoner4::new(&parse_kb4("Bird MaterialSubClassOf Fly").unwrap());
     assert!(material
         .entails(&Axiom4::ConceptInclusion(
             InclusionKind::Material,
@@ -216,7 +216,7 @@ fn role_information_end_to_end() {
          not hasChild(c, d)",
     )
     .unwrap();
-    let mut r = Reasoner4::new(&kb);
+    let r = Reasoner4::new(&kb);
     // Positive info propagates through the (internal) role hierarchy.
     assert!(r
         .has_positive_role_info(&dl::RoleName::new("hasChild"), &ind("a"), &ind("b"))
@@ -238,7 +238,7 @@ fn inverse_and_number_restrictions_through_pipeline() {
          acme : Company",
     )
     .unwrap();
-    let mut r = Reasoner4::new(&kb);
+    let r = Reasoner4::new(&kb);
     assert!(r
         .has_positive_info(&ind("ann"), &Concept::atomic("Employed"))
         .unwrap());
@@ -250,7 +250,7 @@ fn inverse_and_number_restrictions_through_pipeline() {
          hasChild(smith, kate)",
     )
     .unwrap();
-    let mut r = Reasoner4::new(&kb);
+    let r = Reasoner4::new(&kb);
     assert!(r
         .has_positive_info(&ind("kate"), &Concept::atomic("Child"))
         .unwrap());

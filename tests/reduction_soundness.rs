@@ -163,7 +163,7 @@ fn reasoner_agrees_with_enumeration_oracle() {
     for src in kbs {
         let kb = parse_kb4(src).unwrap();
         let cfg = EnumConfig::for_kb(&kb);
-        let mut r = Reasoner4::new(&kb);
+        let r = Reasoner4::new(&kb);
         // Satisfiability must agree (over the small-domain oracle these
         // KBs are domain-size-insensitive).
         let brute_sat = ModelIter::new(&kb, &cfg).any(|m| m.satisfies(&kb));
@@ -223,8 +223,8 @@ fn contradictions_stay_local() {
          x : not A",
     )
     .unwrap();
-    let mut r_clean = Reasoner4::new(&clean);
-    let mut r_poisoned = Reasoner4::new(&poisoned);
+    let r_clean = Reasoner4::new(&clean);
+    let r_poisoned = Reasoner4::new(&poisoned);
     let y = IndividualName::new("y");
     for concept in ["C", "D"] {
         let c = Concept::atomic(concept);

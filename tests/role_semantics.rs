@@ -30,7 +30,7 @@ fn internal_role_inclusion_moves_positive_info_only() {
          not r(a, c)",
     )
     .unwrap();
-    let mut reasoner = Reasoner4::new(&kb);
+    let reasoner = Reasoner4::new(&kb);
     // Positive info flows r → s.
     assert_eq!(
         reasoner
@@ -51,7 +51,7 @@ fn strong_role_inclusion_contraposes_negative_info() {
          not s(a, b)",
     )
     .unwrap();
-    let mut reasoner = Reasoner4::new(&kb);
+    let reasoner = Reasoner4::new(&kb);
     // proj⁻(s) ⊆ proj⁻(r): negative info flows backwards.
     assert!(reasoner
         .has_negative_role_info(&dl::RoleName::new("r"), &"a".into(), &"b".into())
@@ -62,7 +62,7 @@ fn strong_role_inclusion_contraposes_negative_info() {
          not s(a, b)",
     )
     .unwrap();
-    let mut reasoner = Reasoner4::new(&kb);
+    let reasoner = Reasoner4::new(&kb);
     assert!(!reasoner
         .has_negative_role_info(&dl::RoleName::new("r"), &"a".into(), &"b".into())
         .unwrap());
@@ -78,7 +78,7 @@ fn role_inclusion_kind_entailments_match_oracle() {
          r(a, b)",
     )
     .unwrap();
-    let mut reasoner = Reasoner4::new(&kb);
+    let reasoner = Reasoner4::new(&kb);
     for kind in InclusionKind::ALL {
         for (sub, sup) in [("r", "s"), ("s", "r")] {
             let ax = Axiom4::RoleInclusion(kind, role(sub), role(sup));
@@ -95,7 +95,7 @@ fn role_inclusion_kind_entailments_match_oracle() {
 #[test]
 fn strong_role_premises_entail_internal_conclusions() {
     let kb = parse_kb4("r StrongSubRoleOf s").unwrap();
-    let mut reasoner = Reasoner4::new(&kb);
+    let reasoner = Reasoner4::new(&kb);
     assert!(reasoner
         .entails(&Axiom4::RoleInclusion(
             InclusionKind::Internal,
@@ -112,7 +112,7 @@ fn strong_role_premises_entail_internal_conclusions() {
         .unwrap());
     // Internal premises do not entail strong conclusions.
     let kb = parse_kb4("r SubRoleOf s").unwrap();
-    let mut reasoner = Reasoner4::new(&kb);
+    let reasoner = Reasoner4::new(&kb);
     assert!(!reasoner
         .entails(&Axiom4::RoleInclusion(
             InclusionKind::Strong,
@@ -131,7 +131,7 @@ fn negative_role_assertions_are_localized() {
          r(c, d)",
     )
     .unwrap();
-    let mut reasoner = Reasoner4::new(&kb);
+    let reasoner = Reasoner4::new(&kb);
     assert!(reasoner.is_satisfiable().unwrap());
     assert_eq!(
         reasoner
@@ -158,7 +158,7 @@ fn negative_role_info_blocks_exists_inference_only_partially() {
          not r(a, b)",
     )
     .unwrap();
-    let mut reasoner = Reasoner4::new(&kb);
+    let reasoner = Reasoner4::new(&kb);
     assert!(reasoner
         .has_positive_info(&"a".into(), &dl::Concept::atomic("HasSucc"))
         .unwrap());

@@ -26,7 +26,7 @@ fn paper_grouping_reproduced() {
 fn entailment_is_the_intersection_of_the_model_rows() {
     // What all nine rows agree on is exactly what the reasoner entails.
     let rows = table4_rows();
-    let mut r = Reasoner4::new(&example4_kb());
+    let r = Reasoner4::new(&example4_kb());
     let smith = IndividualName::new("smith");
 
     // Parent(smith): positive info in every row (values t or ⊤) but
@@ -46,7 +46,7 @@ fn entailment_is_the_intersection_of_the_model_rows() {
 #[test]
 fn kate_remains_unknown() {
     // The table is about smith; kate carries no concept information.
-    let mut r = Reasoner4::new(&example4_kb());
+    let r = Reasoner4::new(&example4_kb());
     let kate = IndividualName::new("kate");
     for concept in ["Parent", "Married"] {
         assert_eq!(
