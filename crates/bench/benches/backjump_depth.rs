@@ -1,0 +1,187 @@
+//! Backjump depth: what dependency-directed backjumping buys on
+//! GCI-disjunction-heavy knowledge bases.
+//!
+//! The workload plants an unconditional contradiction behind a generating
+//! rule (`a : P`, `P ⊑ ∃r.X`, `X ⊑ A`, `X ⊑ ¬A`) underneath `k`
+//! *irrelevant* global disjunctions `⊤ ⊑ Eᵢ ⊔ Fᵢ`. Branching rules
+//! outrank generating rules, so every search must resolve all `k` binary
+//! choices before the clash can surface:
+//!
+//! * the **snapshot** engine backtracks chronologically — the clash
+//!   re-arises under every combination of irrelevant choices, ~`2^k`
+//!   leaves, one whole-graph clone per tried alternative;
+//! * the **trail** engine unions the dep-sets of the clashing facts —
+//!   empty, since the poison is ABox-derived — and backjumps straight
+//!   past all `k` branch points in one pass, refuting the KB after a
+//!   single clash with zero graph clones.
+//!
+//! Series: `snapshot` / `trail` (both with semantic branching off, to
+//! isolate the strategy) and `snapshot_semantic` / `trail_semantic`
+//! (semantic branching on — the EXPERIMENTS.md §X5 before/after pair).
+//! Also emitted: per-strategy clone counts, the trail backjump count, and
+//! `speedup_largest` (snapshot/trail wall-clock at the largest `k`).
+//! Writes `target/experiments/backjump_depth.jsonl` and refreshes the
+//! committed `BENCH_backjump.json` (skipped under `BENCH_SMOKE=1`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dl::axiom::{Axiom, RoleExpr};
+use dl::kb::KnowledgeBase;
+use dl::name::IndividualName;
+use dl::Concept;
+use std::hint::black_box;
+use std::io::Write;
+use tableau::{Config, Reasoner, SearchStrategy, Stats};
+
+/// `k` irrelevant global binary disjunctions plus one ABox-rooted
+/// contradiction hidden behind an existential.
+fn poisoned_kb(k: usize) -> KnowledgeBase {
+    let mut axioms = Vec::new();
+    for i in 0..k {
+        axioms.push(Axiom::ConceptInclusion(
+            Concept::Top,
+            Concept::atomic(format!("E{i}")).or(Concept::atomic(format!("F{i}"))),
+        ));
+    }
+    axioms.push(Axiom::ConceptInclusion(
+        Concept::atomic("P"),
+        Concept::some(RoleExpr::named("r"), Concept::atomic("X")),
+    ));
+    axioms.push(Axiom::ConceptInclusion(
+        Concept::atomic("X"),
+        Concept::atomic("A"),
+    ));
+    axioms.push(Axiom::ConceptInclusion(
+        Concept::atomic("X"),
+        Concept::atomic("A").not(),
+    ));
+    axioms.push(Axiom::ConceptAssertion(
+        IndividualName::new("a"),
+        Concept::atomic("P"),
+    ));
+    KnowledgeBase::from_axioms(axioms)
+}
+
+fn configurations() -> Vec<(&'static str, Config)> {
+    let cfg = |search, semantic_branching| Config {
+        search,
+        semantic_branching,
+        ..Config::default()
+    };
+    vec![
+        ("snapshot", cfg(SearchStrategy::Snapshot, false)),
+        ("trail", cfg(SearchStrategy::Trail, false)),
+        ("snapshot_semantic", cfg(SearchStrategy::Snapshot, true)),
+        ("trail_semantic", cfg(SearchStrategy::Trail, true)),
+    ]
+}
+
+/// One full consistency refutation; returns the search counters.
+fn run_refutation(kb: &KnowledgeBase, config: &Config) -> Stats {
+    let mut r = Reasoner::with_config(kb, config.clone());
+    let verdict = r.is_consistent().expect("within limits");
+    assert!(!verdict, "the poisoned KB must be inconsistent");
+    black_box(r.stats())
+}
+
+fn timed_us(kb: &KnowledgeBase, config: &Config, reps: u32) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..reps {
+        run_refutation(kb, config);
+    }
+    start.elapsed().as_micros() as f64 / reps as f64
+}
+
+fn bench_backjump_depth(c: &mut Criterion) {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let depths: &[usize] = if smoke { &[4] } else { &[4, 8, 12] };
+    let mut rows = Vec::new();
+    let mut largest: Option<(f64, f64)> = None; // (snapshot, trail) us
+
+    let mut group = c.benchmark_group("backjump_depth");
+    group.sample_size(10);
+    for &k in depths {
+        let kb = poisoned_kb(k);
+        for (series, config) in configurations() {
+            // Criterion statistics only at the smallest depth: the
+            // snapshot series at depth 12 is ~2^12 leaves per iteration.
+            if k == depths[0] {
+                group.bench_with_input(BenchmarkId::new(series, k), &kb, |b, kb| {
+                    b.iter(|| run_refutation(kb, &config))
+                });
+            }
+            let reps = if series.starts_with("snapshot") && !smoke {
+                2
+            } else {
+                5
+            };
+            let us = timed_us(&kb, &config, reps);
+            rows.push(bench::ExperimentRow {
+                experiment: "backjump_depth".into(),
+                x: k as f64,
+                series: series.into(),
+                value: us,
+                unit: "us/refutation".into(),
+            });
+            let stats = run_refutation(&kb, &config);
+            rows.push(bench::ExperimentRow {
+                experiment: "backjump_depth".into(),
+                x: k as f64,
+                series: format!("{series}_clones"),
+                value: stats.graph_clones as f64,
+                unit: "clones".into(),
+            });
+            if series == "trail" {
+                rows.push(bench::ExperimentRow {
+                    experiment: "backjump_depth".into(),
+                    x: k as f64,
+                    series: "trail_backjumps".into(),
+                    value: stats.backjumps as f64,
+                    unit: "backjumps".into(),
+                });
+            }
+            if k == *depths.last().expect("nonempty") {
+                match series {
+                    "snapshot" => largest = Some((us, f64::NAN)),
+                    "trail" => {
+                        if let Some((snap, _)) = largest {
+                            largest = Some((snap, us));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    group.finish();
+
+    if let Some((snap, trail)) = largest {
+        rows.push(bench::ExperimentRow {
+            experiment: "backjump_depth".into(),
+            x: *depths.last().expect("nonempty") as f64,
+            series: "speedup_largest".into(),
+            value: snap / trail,
+            unit: "x".into(),
+        });
+    }
+    bench::write_rows("backjump_depth", &rows).expect("write rows");
+
+    // Committed snapshot (skipped for smoke runs so CI never clobbers
+    // the checked-in numbers with reduced-size measurements).
+    if !smoke {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_backjump.json");
+        let mut f = std::fs::File::create(path).expect("snapshot file");
+        writeln!(f, "{{").expect("write");
+        writeln!(f, "  \"experiment\": \"backjump_depth\",").expect("write");
+        writeln!(f, "  \"unit\": \"us/refutation\",").expect("write");
+        writeln!(f, "  \"rows\": [").expect("write");
+        for (i, row) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            writeln!(f, "    {}{comma}", row.to_json()).expect("write");
+        }
+        writeln!(f, "  ]").expect("write");
+        writeln!(f, "}}").expect("write");
+    }
+}
+
+criterion_group!(benches, bench_backjump_depth);
+criterion_main!(benches);

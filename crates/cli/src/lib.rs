@@ -55,9 +55,11 @@ pub const USAGE: &str = "shoin4 — paraconsistent OWL DL reasoner (SHOIN(D)4)
 USAGE:
     shoin4 check <ontology>                  satisfiability + statistics
     shoin4 query <ontology> <ind> <concept>  four-valued instance query
-    shoin4 report <ontology> [--jobs N]      contradiction survey (⊤ map)
+    shoin4 report <ontology> [--jobs N] [--stats]
+                                             contradiction survey (⊤ map)
     shoin4 lint <ontology> [--format json]   static analysis (no tableau)
-    shoin4 classify <ontology> [--jobs N]    internal-inclusion taxonomy
+    shoin4 classify <ontology> [--jobs N] [--stats]
+                                             internal-inclusion taxonomy
     shoin4 transform <ontology>              print the classical induced KB
     shoin4 convert <in> <out>                text ⇄ binary snapshot (.dlkb)
     shoin4 table4                            regenerate the paper's Table 4
@@ -81,16 +83,56 @@ fn load_kb4(
     parse_kb4(&text).map_err(|e| CliError::Parse(e.to_string()))
 }
 
-/// Parse a trailing `[--jobs N]` (N ≥ 1 worker threads; absent = auto).
-fn parse_jobs(rest: &[String]) -> Result<usize, CliError> {
-    match rest {
-        [] => Ok(0),
-        [flag, n] if flag == "--jobs" => match n.parse::<usize>() {
-            Ok(n) if n >= 1 => Ok(n),
-            _ => Err(CliError::Usage(USAGE.to_string())),
-        },
-        _ => Err(CliError::Usage(USAGE.to_string())),
+/// Parse trailing query flags: `[--jobs N]` (N ≥ 1 worker threads;
+/// absent = auto) and `[--stats]` (append search counters), in any order.
+fn parse_query_flags(rest: &[String]) -> Result<(usize, bool), CliError> {
+    let mut jobs = 0usize;
+    let mut stats = false;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--jobs" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => jobs = n,
+                _ => return Err(CliError::Usage(USAGE.to_string())),
+            },
+            "--stats" => stats = true,
+            _ => return Err(CliError::Usage(USAGE.to_string())),
+        }
     }
+    Ok((jobs, stats))
+}
+
+/// The search-counter block printed by `check` and by `--stats`.
+fn write_stats_block(out: &mut String, stats: &tableau::Stats) {
+    writeln!(
+        out,
+        "tableau:      {} nodes, {} rule applications, {} branches",
+        stats.nodes_created, stats.rule_applications, stats.branches
+    )
+    .unwrap();
+    let kinds: Vec<String> = tableau::clash::KIND_LABELS
+        .iter()
+        .zip(stats.clashes_by_kind.iter())
+        .filter(|(_, &n)| n > 0)
+        .map(|(label, n)| format!("{label} {n}"))
+        .collect();
+    if kinds.is_empty() {
+        writeln!(out, "clashes:      {}", stats.clashes).unwrap();
+    } else {
+        writeln!(
+            out,
+            "clashes:      {} ({})",
+            stats.clashes,
+            kinds.join(", ")
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "search:       {} backjumps, {} graph clones, trail peak {}, branch depth {}",
+        stats.backjumps, stats.graph_clones, stats.trail_len_peak, stats.branch_depth_peak
+    )
+    .unwrap();
 }
 
 fn truth_gloss(v: TruthValue) -> &'static str {
@@ -118,13 +160,7 @@ pub fn run_with_fs(
             writeln!(out, "axioms:       {}", kb.len()).unwrap();
             writeln!(out, "size:         {}", kb.size()).unwrap();
             writeln!(out, "satisfiable:  {sat}").unwrap();
-            let stats = r.stats();
-            writeln!(
-                out,
-                "tableau:      {} nodes, {} rule applications, {} branches",
-                stats.nodes_created, stats.rule_applications, stats.branches
-            )
-            .unwrap();
+            write_stats_block(&mut out, &r.stats());
         }
         [cmd, path, ind, concept] if cmd == "query" => {
             let kb = load_kb4(path, read)?;
@@ -163,7 +199,7 @@ pub fn run_with_fs(
             }
         }
         [cmd, path, rest @ ..] if cmd == "report" => {
-            let jobs = parse_jobs(rest)?;
+            let (jobs, stats) = parse_query_flags(rest)?;
             let kb = load_kb4(path, read)?;
             // The linter's syntactically-certain ⊤ facts are seeded into
             // the survey so the reasoner skips those queries (fast path).
@@ -191,9 +227,12 @@ pub fn run_with_fs(
             for (who, what) in &report.contested {
                 writeln!(out, "  ⊤  {who} : {what}").unwrap();
             }
+            if stats {
+                write_stats_block(&mut out, &r.stats());
+            }
         }
         [cmd, path, rest @ ..] if cmd == "classify" => {
-            let jobs = parse_jobs(rest)?;
+            let (jobs, stats) = parse_query_flags(rest)?;
             let kb = load_kb4(path, read)?;
             let r = Reasoner4::with_options(
                 &kb,
@@ -215,6 +254,9 @@ pub fn run_with_fs(
                 } else {
                     writeln!(out, "{class} ⊏ {}", proper.join(", ")).unwrap();
                 }
+            }
+            if stats {
+                write_stats_block(&mut out, &r.stats());
             }
         }
         [cmd, path] if cmd == "transform" => {
@@ -352,9 +394,40 @@ john : UrgencyTeam";
             &["report", "kb.dl4", "--jobs", "0"][..],
             &["report", "kb.dl4", "--jobs", "many"][..],
             &["report", "kb.dl4", "--threads", "2"][..],
+            &["report", "kb.dl4", "--stats", "extra"][..],
+            &["classify", "kb.dl4", "--jobs"][..],
         ] {
             assert!(matches!(fs.run(bad), Err(CliError::Usage(_))), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn stats_flag_appends_search_counters() {
+        let fs = MemFs::new(&[("kb.dl4", MEDICAL)]);
+        let plain = fs.run(&["report", "kb.dl4"]).unwrap();
+        assert!(!plain.contains("backjumps"), "{plain}");
+        // Flags compose in either order.
+        let with_stats = fs
+            .run(&["report", "kb.dl4", "--stats", "--jobs", "2"])
+            .unwrap();
+        assert!(with_stats.starts_with(&plain), "{with_stats}");
+        assert!(with_stats.contains("backjumps"), "{with_stats}");
+        assert!(with_stats.contains("graph clones"), "{with_stats}");
+        // The contested KB's survey closes branches: the per-kind clash
+        // breakdown shows up with labels.
+        assert!(with_stats.contains("clashes:"), "{with_stats}");
+        let classified = fs.run(&["classify", "kb.dl4", "--stats"]).unwrap();
+        assert!(classified.contains("branch depth"), "{classified}");
+    }
+
+    #[test]
+    fn check_breaks_clashes_down_by_kind() {
+        let fs = MemFs::new(&[("kb.dl4", MEDICAL)]);
+        let out = fs.run(&["check", "kb.dl4"]).unwrap();
+        assert!(out.contains("clashes:"), "{out}");
+        assert!(out.contains("search:"), "{out}");
+        // The default engine is the trail search: no whole-graph clones.
+        assert!(out.contains("0 graph clones"), "{out}");
     }
 
     #[test]

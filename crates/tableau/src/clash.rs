@@ -2,8 +2,23 @@
 //! contradictory.
 
 use crate::node::NodeId;
+use crate::trail::DepSet;
 use dl::{Concept, ConceptName, IndividualName};
 use std::fmt;
+
+/// Number of clash kinds (the per-kind counter array length in `Stats`).
+pub const KIND_COUNT: usize = 6;
+
+/// Human-readable labels for the per-kind clash counters, indexed by
+/// [`Clash::kind_index`].
+pub const KIND_LABELS: [&str; KIND_COUNT] = [
+    "bottom",
+    "complementary",
+    "cardinality",
+    "nominal",
+    "merged-distinct",
+    "datatype",
+];
 
 /// Why a branch of the tableau closed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +35,40 @@ pub enum Clash {
     MergedDistinct(NodeId, NodeId),
     /// A node's concrete-domain constraints are jointly unsatisfiable.
     DatatypeUnsatisfiable(NodeId),
+}
+
+impl Clash {
+    /// Position of this clash's kind in the per-kind counters
+    /// (`Stats::clashes_by_kind`, labelled by [`KIND_LABELS`]).
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Clash::Bottom(..) => 0,
+            Clash::Complementary(..) => 1,
+            Clash::CardinalityExceeded(..) => 2,
+            Clash::NominalContradiction(..) => 3,
+            Clash::MergedDistinct(..) => 4,
+            Clash::DatatypeUnsatisfiable(..) => 5,
+        }
+    }
+}
+
+/// A clash together with the branch choices responsible for it — the
+/// union of the dep-sets of the clashing facts. The trail search
+/// backjumps straight to the deepest branch point in `deps`; an empty
+/// `deps` refutes the whole KB (no choice anywhere can avoid the clash).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClashInfo {
+    /// Why the branch closed.
+    pub clash: Clash,
+    /// The responsible branch-point ids.
+    pub deps: DepSet,
+}
+
+impl ClashInfo {
+    /// Package a clash with its responsible dep-set.
+    pub fn new(clash: Clash, deps: DepSet) -> Self {
+        ClashInfo { clash, deps }
+    }
 }
 
 impl fmt::Display for Clash {
@@ -46,6 +95,24 @@ impl fmt::Display for Clash {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kind_indices_are_dense_and_labelled() {
+        let kinds = [
+            Clash::Bottom(NodeId(0)),
+            Clash::Complementary(NodeId(0), ConceptName::new("A")),
+            Clash::CardinalityExceeded(NodeId(0), Concept::atomic("A")),
+            Clash::NominalContradiction(NodeId(0), IndividualName::new("o")),
+            Clash::MergedDistinct(NodeId(0), NodeId(1)),
+            Clash::DatatypeUnsatisfiable(NodeId(0)),
+        ];
+        let mut seen = [false; KIND_COUNT];
+        for k in &kinds {
+            seen[k.kind_index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every kind maps into the array");
+        assert_eq!(KIND_LABELS.len(), KIND_COUNT);
+    }
 
     #[test]
     fn display_mentions_the_node() {

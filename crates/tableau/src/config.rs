@@ -17,6 +17,20 @@ pub enum BlockingStrategy {
     Equality,
 }
 
+/// How the nondeterministic search backtracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Clone the whole completion graph per tried alternative and
+    /// backtrack chronologically. Simple and battle-tested; kept as the
+    /// differential-testing oracle for the trail engine.
+    Snapshot,
+    /// Record every graph mutation on an undo trail, tag facts with
+    /// dependency sets of branch-point ids, and on a clash backjump
+    /// straight past branch points that are provably irrelevant,
+    /// undoing in O(changes) instead of cloning. The default.
+    Trail,
+}
+
 /// Tunable parameters of the tableau search.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -27,8 +41,13 @@ pub struct Config {
     /// Blocking strategy (ablation knob; keep `Pairwise` for correctness).
     pub blocking: BlockingStrategy,
     /// Semantic branching: on the `⊔`-rule's second branch, also assert
-    /// the NNF complement of the first disjunct (ablation knob).
+    /// the NNF complement of the first disjunct, so the two branches
+    /// explore disjoint parts of the search space (ablation knob; the
+    /// measurement justifying the `true` default is EXPERIMENTS.md §X5).
     pub semantic_branching: bool,
+    /// Backtracking mechanism: trail + dependency-directed backjumping
+    /// (default) or whole-graph snapshots (the differential oracle).
+    pub search: SearchStrategy,
     /// Absorption / lazy unfolding of `A ⊑ C` axioms with atomic left-hand
     /// sides (ablation knob; `true` is the optimized default).
     pub absorption: bool,
@@ -51,7 +70,8 @@ impl Default for Config {
             max_nodes: 100_000,
             max_rule_applications: 5_000_000,
             blocking: BlockingStrategy::Pairwise,
-            semantic_branching: false,
+            semantic_branching: true,
+            search: SearchStrategy::Trail,
             absorption: true,
             model_pruning: true,
             time_budget: Some(Duration::from_secs(30)),
@@ -98,7 +118,11 @@ mod tests {
         let c = Config::default();
         assert_eq!(c.blocking, BlockingStrategy::Pairwise);
         assert!(c.absorption);
-        assert!(!c.semantic_branching);
+        // Both search optimizations are on by default; the snapshot
+        // engine and non-semantic branching remain as ablation knobs
+        // (measured in EXPERIMENTS.md §X5 / BENCH_backjump.json).
+        assert!(c.semantic_branching);
+        assert_eq!(c.search, SearchStrategy::Trail);
         assert!(c.max_nodes > 0);
     }
 

@@ -60,7 +60,7 @@ use std::sync::{Arc, Mutex};
 /// the base KB: which atomic concepts label which node, and where each
 /// individual landed. Used as a sound entailment filter (see the module
 /// docs for the soundness argument).
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BaseModel {
     labels: BTreeMap<NodeId, BTreeSet<ConceptName>>,
     individuals: BTreeMap<IndividualName, NodeId>,

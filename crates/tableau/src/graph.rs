@@ -4,29 +4,43 @@
 //! Edges are stored in the *named* direction: inserting an edge for an
 //! inverse role `R⁻` from `x` to `y` stores `(y, x, R)`. Neighbour queries
 //! consult the role hierarchy (closed under inverses) in both directions.
+//!
+//! Every fact carries a [`DepSet`] of responsible branch points, and —
+//! when trailing is enabled (`SearchStrategy::Trail`) — every mutation
+//! appends a [`TrailEntry`] so [`CompletionGraph::undo_to`] can restore
+//! any earlier state exactly in O(changes undone). The `_d` method
+//! variants thread dep-sets; the plain variants pass empty deps and serve
+//! the snapshot engine and graph setup, where facts are unconditional.
 
-use crate::clash::Clash;
+use crate::clash::{Clash, ClashInfo};
 use crate::node::{Node, NodeId};
+use crate::trail::{DepSet, TrailEntry};
 use dl::axiom::RoleExpr;
 use dl::kb::RoleHierarchy;
 use dl::{Concept, IndividualName};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// A completion graph. Cloning a graph is the branching mechanism of the
-/// tableau search: cheap enough for our workloads and immune to
-/// undo-trail bugs.
-#[derive(Debug, Clone, Default)]
+/// A completion graph. Two branching mechanisms share this structure: the
+/// snapshot engine clones the whole graph per alternative, the trail
+/// engine records mutations and undoes them on backtracking.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CompletionGraph {
     nodes: Vec<Option<Node>>,
-    /// Directed edges in named-role direction, with their role-name label
-    /// sets (a set because several assertions may label one edge).
-    edges: BTreeMap<(NodeId, NodeId), BTreeSet<RoleExpr>>,
-    /// The `≠` relation, stored as normalized `(min, max)` pairs.
-    distinct: BTreeSet<(NodeId, NodeId)>,
-    /// Redirections left behind by merges: `merged_into[y] = x`.
-    merged_into: BTreeMap<NodeId, NodeId>,
+    /// Directed edges in named-role direction; each role label that tags
+    /// the edge carries the dep-set of the assertion that put it there.
+    edges: BTreeMap<(NodeId, NodeId), BTreeMap<RoleExpr, DepSet>>,
+    /// The `≠` relation, stored as normalized `(min, max)` pairs with the
+    /// dep-set of the inequality's derivation.
+    distinct: BTreeMap<(NodeId, NodeId), DepSet>,
+    /// Redirections left behind by merges: `merged_into[y] = (x, deps)`.
+    merged_into: BTreeMap<NodeId, (NodeId, DepSet)>,
     /// The root node standing for each individual.
     nominal_nodes: BTreeMap<IndividualName, NodeId>,
+    /// The undo log (empty unless `trailing`).
+    trail: Vec<TrailEntry>,
+    /// Record mutations on the trail? Enabled by the trail search after
+    /// graph setup; off for the snapshot engine.
+    trailing: bool,
 }
 
 impl CompletionGraph {
@@ -35,18 +49,130 @@ impl CompletionGraph {
         Self::default()
     }
 
-    /// Create a root (nominal/ABox) node.
+    /// Start (or stop) recording mutations on the undo trail.
+    pub fn set_trailing(&mut self, on: bool) {
+        self.trailing = on;
+    }
+
+    /// Is the undo trail recording?
+    pub fn trailing(&self) -> bool {
+        self.trailing
+    }
+
+    /// Current trail position — pass to [`Self::undo_to`] to roll back to
+    /// this state.
+    pub fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Trail length (for the `trail_len_peak` statistic).
+    pub fn trail_len(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Drop the trail (after a successful search; the graph itself stays).
+    pub fn clear_trail(&mut self) {
+        self.trail.clear();
+        self.trailing = false;
+    }
+
+    /// Roll the graph back to an earlier [`Self::mark`], undoing every
+    /// recorded mutation in reverse order. Restores the earlier state
+    /// exactly (`==`), including dep-set bookkeeping.
+    pub fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let entry = self.trail.pop().expect("trail entry above mark");
+            match entry {
+                TrailEntry::ConceptAdded(id, c) => {
+                    let node = self.nodes[id.0 as usize]
+                        .as_mut()
+                        .expect("node live at undo");
+                    node.label.remove(&c);
+                    node.label_deps.remove(&c);
+                }
+                TrailEntry::EdgeLabelAdded(key, role) => {
+                    if let Some(labels) = self.edges.get_mut(&key) {
+                        labels.remove(&role);
+                        if labels.is_empty() {
+                            self.edges.remove(&key);
+                        }
+                    }
+                }
+                TrailEntry::EdgeRemoved(key, labels) => {
+                    self.edges.insert(key, labels);
+                }
+                TrailEntry::DistinctAdded(pair) => {
+                    self.distinct.remove(&pair);
+                }
+                TrailEntry::DistinctRemoved(pair, deps) => {
+                    self.distinct.insert(pair, deps);
+                }
+                TrailEntry::NodeCreated(id) => {
+                    debug_assert_eq!(
+                        id.0 as usize,
+                        self.nodes.len() - 1,
+                        "nodes are undone in reverse allocation order"
+                    );
+                    self.nodes.pop();
+                }
+                TrailEntry::NodeRemoved(id, node) => {
+                    self.nodes[id.0 as usize] = Some(*node);
+                }
+                TrailEntry::NominalMapped(o, prev) => {
+                    match prev {
+                        Some(n) => self.nominal_nodes.insert(o, n),
+                        None => self.nominal_nodes.remove(&o),
+                    };
+                }
+                TrailEntry::NominalTagged(id, o) => {
+                    self.nodes[id.0 as usize]
+                        .as_mut()
+                        .expect("node live at undo")
+                        .nominals
+                        .remove(&o);
+                }
+                TrailEntry::MergedInto(y) => {
+                    self.merged_into.remove(&y);
+                }
+            }
+        }
+    }
+
+    /// Create a root (nominal/ABox) node with no branch dependencies.
     pub fn new_root(&mut self) -> NodeId {
+        self.new_root_d(DepSet::empty())
+    }
+
+    /// Create a root node whose existence depends on branch choices
+    /// (`o`-rule materialization, `NN`-rule nominals).
+    pub fn new_root_d(&mut self, deps: DepSet) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Some(Node::root(id)));
+        let mut node = Node::root(id);
+        node.creation = deps;
+        self.nodes.push(Some(node));
+        if self.trailing {
+            self.trail.push(TrailEntry::NodeCreated(id));
+        }
         id
     }
 
     /// Create a blockable tree node under `parent`.
     pub fn new_blockable(&mut self, parent: NodeId) -> NodeId {
+        self.new_blockable_d(parent, DepSet::empty())
+    }
+
+    /// Create a blockable tree node whose existence depends on branch
+    /// choices (the deps of the `∃`/`≥` fact that generated it).
+    pub fn new_blockable_d(&mut self, parent: NodeId, mut deps: DepSet) -> NodeId {
         let parent = self.resolve(parent);
+        deps.union_with(&self.node(parent).creation);
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Some(Node::blockable(id, parent)));
+        let mut node = Node::blockable(id, parent);
+        node.creation = deps;
+        self.nodes.push(Some(node));
+        if self.trailing {
+            self.trail.push(TrailEntry::NodeCreated(id));
+        }
         id
     }
 
@@ -62,10 +188,21 @@ impl CompletionGraph {
 
     /// Follow merge redirections to the surviving node.
     pub fn resolve(&self, mut id: NodeId) -> NodeId {
-        while let Some(&next) = self.merged_into.get(&id) {
+        while let Some(&(next, _)) = self.merged_into.get(&id) {
             id = next;
         }
         id
+    }
+
+    /// The branch choices responsible for the merge chain from `id` to
+    /// its surviving node (empty when `id` is itself live).
+    pub fn resolve_deps(&self, mut id: NodeId) -> DepSet {
+        let mut deps = DepSet::empty();
+        while let Some((next, d)) = self.merged_into.get(&id) {
+            deps.union_with(d);
+            id = *next;
+        }
+        deps
     }
 
     /// Borrow a live node.
@@ -88,14 +225,34 @@ impl CompletionGraph {
         self.nodes.iter().flatten().map(|n| n.id)
     }
 
-    /// Add a concept to a node's label. Returns `true` if the label grew.
+    /// Add a concept to a node's label as an unconditional fact. Returns
+    /// `true` if the label grew.
     pub fn add_concept(&mut self, id: NodeId, c: Concept) -> bool {
+        self.add_concept_d(id, c, DepSet::empty())
+    }
+
+    /// Add a concept with the dep-set of its derivation. The node's own
+    /// creation deps are folded in, so the stored dep-set transitively
+    /// covers the choices that brought the node into existence. When the
+    /// concept is already present the earlier (equally valid) derivation's
+    /// deps are kept.
+    pub fn add_concept_d(&mut self, id: NodeId, c: Concept, mut deps: DepSet) -> bool {
         let id = self.resolve(id);
-        self.nodes[id.0 as usize]
+        let node = self.nodes[id.0 as usize]
             .as_mut()
-            .expect("resolved node must be live")
-            .label
-            .insert(c)
+            .expect("resolved node must be live");
+        if node.label.contains(&c) {
+            return false;
+        }
+        deps.union_with(&node.creation);
+        node.label.insert(c.clone());
+        if !deps.is_empty() {
+            node.label_deps.insert(c.clone(), deps);
+        }
+        if self.trailing {
+            self.trail.push(TrailEntry::ConceptAdded(id, c));
+        }
+        true
     }
 
     /// Does the node's label contain the concept?
@@ -103,15 +260,26 @@ impl CompletionGraph {
         self.node(id).label.contains(c)
     }
 
+    /// The branch choices a label fact relies on (empty = unconditional).
+    pub fn concept_deps(&self, id: NodeId, c: &Concept) -> DepSet {
+        self.node(id).label_deps.get(c).cloned().unwrap_or_default()
+    }
+
     /// Register `node` as the root standing for individual `o`.
     pub fn set_nominal_node(&mut self, o: IndividualName, node: NodeId) {
         let node = self.resolve(node);
-        self.nodes[node.0 as usize]
+        let tagged = self.nodes[node.0 as usize]
             .as_mut()
             .expect("live")
             .nominals
             .insert(o.clone());
-        self.nominal_nodes.insert(o, node);
+        if self.trailing && tagged {
+            self.trail.push(TrailEntry::NominalTagged(node, o.clone()));
+        }
+        let prev = self.nominal_nodes.insert(o.clone(), node);
+        if self.trailing {
+            self.trail.push(TrailEntry::NominalMapped(o, prev));
+        }
     }
 
     /// The root node for an individual, if registered.
@@ -119,33 +287,95 @@ impl CompletionGraph {
         self.nominal_nodes.get(o).map(|&id| self.resolve(id))
     }
 
-    /// Add an edge `x --role--> y`, canonicalized to the named direction.
+    /// Add an edge `x --role--> y` as an unconditional fact.
     pub fn add_edge(&mut self, x: NodeId, y: NodeId, role: &RoleExpr) {
-        let (x, y) = (self.resolve(x), self.resolve(y));
-        let (from, to) = role.orient(x, y);
-        self.edges
-            .entry((from, to))
-            .or_default()
-            .insert(RoleExpr::named(role.name().clone()));
+        self.add_edge_d(x, y, role, DepSet::empty());
     }
 
-    /// Mark two nodes as distinct. Returns a clash if they are (or have
-    /// been merged into) the same node.
+    /// Add an edge with the dep-set of its derivation, canonicalized to
+    /// the named direction. Both endpoints' creation deps are folded in.
+    pub fn add_edge_d(&mut self, x: NodeId, y: NodeId, role: &RoleExpr, mut deps: DepSet) {
+        let (x, y) = (self.resolve(x), self.resolve(y));
+        deps.union_with(&self.node(x).creation);
+        deps.union_with(&self.node(y).creation);
+        let (from, to) = role.orient(x, y);
+        let named = RoleExpr::named(role.name().clone());
+        let labels = self.edges.entry((from, to)).or_default();
+        if !labels.contains_key(&named) {
+            labels.insert(named.clone(), deps);
+            if self.trailing {
+                self.trail
+                    .push(TrailEntry::EdgeLabelAdded((from, to), named));
+            }
+        }
+    }
+
+    /// The union of dep-sets of all role labels connecting two nodes (in
+    /// either stored direction) — the choices the neighbour relation
+    /// between them relies on.
+    pub fn edge_deps_between(&self, x: NodeId, y: NodeId) -> DepSet {
+        let (x, y) = (self.resolve(x), self.resolve(y));
+        let mut deps = DepSet::empty();
+        for key in [(x, y), (y, x)] {
+            if let Some(labels) = self.edges.get(&key) {
+                for d in labels.values() {
+                    deps.union_with(d);
+                }
+            }
+        }
+        deps
+    }
+
+    fn norm_pair(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a < b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Mark two nodes as distinct (unconditional). Returns a clash if they
+    /// are (or have been merged into) the same node.
     pub fn set_distinct(&mut self, a: NodeId, b: NodeId) -> Option<Clash> {
+        self.set_distinct_d(a, b, DepSet::empty())
+            .map(|ci| ci.clash)
+    }
+
+    /// Mark two nodes as distinct with the dep-set of the inequality's
+    /// derivation.
+    pub fn set_distinct_d(&mut self, a: NodeId, b: NodeId, mut deps: DepSet) -> Option<ClashInfo> {
+        deps.union_with(&self.resolve_deps(a));
+        deps.union_with(&self.resolve_deps(b));
         let (a, b) = (self.resolve(a), self.resolve(b));
         if a == b {
-            return Some(Clash::MergedDistinct(a, b));
+            deps.union_with(&self.node(a).creation);
+            return Some(ClashInfo::new(Clash::MergedDistinct(a, b), deps));
         }
-        let pair = if a < b { (a, b) } else { (b, a) };
-        self.distinct.insert(pair);
+        deps.union_with(&self.node(a).creation);
+        deps.union_with(&self.node(b).creation);
+        let pair = Self::norm_pair(a, b);
+        if let std::collections::btree_map::Entry::Vacant(e) = self.distinct.entry(pair) {
+            e.insert(deps);
+            if self.trailing {
+                self.trail.push(TrailEntry::DistinctAdded(pair));
+            }
+        }
         None
     }
 
     /// Are two nodes known to be distinct?
     pub fn are_distinct(&self, a: NodeId, b: NodeId) -> bool {
         let (a, b) = (self.resolve(a), self.resolve(b));
-        let pair = if a < b { (a, b) } else { (b, a) };
-        a != b && self.distinct.contains(&pair)
+        a != b && self.distinct.contains_key(&Self::norm_pair(a, b))
+    }
+
+    /// The branch choices a recorded inequality relies on.
+    pub fn distinct_deps(&self, a: NodeId, b: NodeId) -> DepSet {
+        let (a, b) = (self.resolve(a), self.resolve(b));
+        self.distinct
+            .get(&Self::norm_pair(a, b))
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// All `R`-neighbours of `x` under the given role hierarchy: nodes `y`
@@ -156,7 +386,7 @@ impl CompletionGraph {
         for (&(from, to), labels) in &self.edges {
             if from == x {
                 // Stored S: `to` is an S-neighbour; need S ⊑* R.
-                if labels.iter().any(|s| hierarchy.is_subrole(s, role)) {
+                if labels.keys().any(|s| hierarchy.is_subrole(s, role)) {
                     out.insert(to);
                 }
             }
@@ -164,7 +394,7 @@ impl CompletionGraph {
                 // Stored S from `from` to x: `from` is an S⁻-neighbour of
                 // x; need S⁻ ⊑* R.
                 if labels
-                    .iter()
+                    .keys()
                     .any(|s| hierarchy.is_subrole(&s.inverse(), role))
                 {
                     out.insert(from);
@@ -181,76 +411,135 @@ impl CompletionGraph {
         let (parent, child) = (self.resolve(parent), self.resolve(child));
         let mut out = BTreeSet::new();
         if let Some(labels) = self.edges.get(&(parent, child)) {
-            out.extend(labels.iter().cloned());
+            out.extend(labels.keys().cloned());
         }
         if let Some(labels) = self.edges.get(&(child, parent)) {
-            out.extend(labels.iter().map(|r| r.inverse()));
+            out.extend(labels.keys().map(|r| r.inverse()));
         }
         out
+    }
+
+    /// Merge node `y` into node `x` (unconditional form).
+    pub fn merge(&mut self, y: NodeId, x: NodeId) -> Option<Clash> {
+        self.merge_d(y, x, DepSet::empty()).map(|ci| ci.clash)
     }
 
     /// Merge node `y` into node `x` (SHOIQ `Merge`): union the labels and
     /// nominals, reroute `y`'s edges to `x`, transfer `≠` pairs, then
     /// prune `y`'s blockable subtree. Returns a clash if `x ≠ y` was
-    /// asserted.
-    pub fn merge(&mut self, y: NodeId, x: NodeId) -> Option<Clash> {
+    /// asserted. `deps` are the branch choices the merge decision relies
+    /// on; every transferred fact's dep-set is widened by them (the fact
+    /// now holds *at x* only because of the merge).
+    pub fn merge_d(&mut self, y: NodeId, x: NodeId, deps: DepSet) -> Option<ClashInfo> {
+        let mut mdeps = deps;
+        mdeps.union_with(&self.resolve_deps(y));
+        mdeps.union_with(&self.resolve_deps(x));
         let (y, x) = (self.resolve(y), self.resolve(x));
         if y == x {
             return None;
         }
+        mdeps.union_with(&self.node(y).creation);
+        mdeps.union_with(&self.node(x).creation);
         if self.are_distinct(x, y) {
-            return Some(Clash::MergedDistinct(x, y));
+            mdeps.union_with(&self.distinct_deps(x, y));
+            return Some(ClashInfo::new(Clash::MergedDistinct(x, y), mdeps));
         }
         // Union label and nominals.
         let y_node = self.nodes[y.0 as usize].take().expect("live");
-        {
-            let x_node = self.nodes[x.0 as usize].as_mut().expect("live");
-            x_node.label.extend(y_node.label.iter().cloned());
-            x_node.nominals.extend(y_node.nominals.iter().cloned());
+        if self.trailing {
+            self.trail
+                .push(TrailEntry::NodeRemoved(y, Box::new(y_node.clone())));
+        }
+        for c in &y_node.label {
+            let mut cdeps = mdeps.clone();
+            if let Some(d) = y_node.label_deps.get(c) {
+                cdeps.union_with(d);
+            }
+            self.add_concept_d(x, c.clone(), cdeps);
         }
         for o in &y_node.nominals {
-            self.nominal_nodes.insert(o.clone(), x);
+            let tagged = self.nodes[x.0 as usize]
+                .as_mut()
+                .expect("live")
+                .nominals
+                .insert(o.clone());
+            if self.trailing && tagged {
+                self.trail.push(TrailEntry::NominalTagged(x, o.clone()));
+            }
+            let prev = self.nominal_nodes.insert(o.clone(), x);
+            if self.trailing {
+                self.trail.push(TrailEntry::NominalMapped(o.clone(), prev));
+            }
         }
         // Reroute edges touching y. Collect first to appease the borrow
         // checker; edge maps are small.
-        let touching: Vec<((NodeId, NodeId), BTreeSet<RoleExpr>)> = self
+        let touching: Vec<(NodeId, NodeId)> = self
             .edges
-            .iter()
-            .filter(|(&(f, t), _)| f == y || t == y)
-            .map(|(k, v)| (*k, v.clone()))
+            .keys()
+            .filter(|&&(f, t)| f == y || t == y)
+            .copied()
             .collect();
-        for ((f, t), labels) in touching {
-            self.edges.remove(&(f, t));
+        for (f, t) in touching {
+            let labels = self.edges.remove(&(f, t)).expect("collected key");
+            if self.trailing {
+                self.trail
+                    .push(TrailEntry::EdgeRemoved((f, t), labels.clone()));
+            }
             let nf = if f == y { x } else { f };
             let nt = if t == y { x } else { t };
-            if nf == nt {
-                // A y–y self-loop (or y–x edge collapsing): keep as a
-                // self-loop on x; neighbour queries handle it uniformly.
-                self.edges.entry((nf, nt)).or_default().extend(labels);
-            } else {
-                self.edges.entry((nf, nt)).or_default().extend(labels);
+            // A y–y self-loop (or y–x edge collapsing) becomes a self-loop
+            // on x; neighbour queries handle it uniformly.
+            let target = self.edges.entry((nf, nt)).or_default();
+            for (role, rdeps) in labels {
+                if !target.contains_key(&role) {
+                    let mut d = rdeps;
+                    d.union_with(&mdeps);
+                    target.insert(role.clone(), d);
+                    if self.trailing {
+                        self.trail.push(TrailEntry::EdgeLabelAdded((nf, nt), role));
+                    }
+                }
             }
         }
         // Transfer ≠ pairs.
         let pairs: Vec<(NodeId, NodeId)> = self
             .distinct
-            .iter()
+            .keys()
             .filter(|&&(a, b)| a == y || b == y)
             .copied()
             .collect();
         for (a, b) in pairs {
-            self.distinct.remove(&(a, b));
+            let pdeps = self.distinct.remove(&(a, b)).expect("collected pair");
+            if self.trailing {
+                self.trail
+                    .push(TrailEntry::DistinctRemoved((a, b), pdeps.clone()));
+            }
             let na = if a == y { x } else { a };
             let nb = if b == y { x } else { b };
             if na == nb {
                 // x was in the transferred pair: x ≠ x.
-                self.merged_into.insert(y, x);
-                return Some(Clash::MergedDistinct(x, x));
+                self.merged_into.insert(y, (x, mdeps.clone()));
+                if self.trailing {
+                    self.trail.push(TrailEntry::MergedInto(y));
+                }
+                let mut cdeps = pdeps;
+                cdeps.union_with(&mdeps);
+                return Some(ClashInfo::new(Clash::MergedDistinct(x, x), cdeps));
             }
-            let pair = if na < nb { (na, nb) } else { (nb, na) };
-            self.distinct.insert(pair);
+            let pair = Self::norm_pair(na, nb);
+            if let std::collections::btree_map::Entry::Vacant(e) = self.distinct.entry(pair) {
+                let mut d = pdeps;
+                d.union_with(&mdeps);
+                e.insert(d);
+                if self.trailing {
+                    self.trail.push(TrailEntry::DistinctAdded(pair));
+                }
+            }
         }
-        self.merged_into.insert(y, x);
+        self.merged_into.insert(y, (x, mdeps));
+        if self.trailing {
+            self.trail.push(TrailEntry::MergedInto(y));
+        }
         // Prune y's blockable subtree: children of y that were blockable
         // tree successors vanish.
         self.prune_children_of(y);
@@ -268,7 +557,10 @@ impl CompletionGraph {
             .map(|n| n.id)
             .collect();
         for c in children {
-            self.nodes[c.0 as usize] = None;
+            let node = self.nodes[c.0 as usize].take().expect("collected child");
+            if self.trailing {
+                self.trail.push(TrailEntry::NodeRemoved(c, Box::new(node)));
+            }
             let touching: Vec<(NodeId, NodeId)> = self
                 .edges
                 .keys()
@@ -276,16 +568,22 @@ impl CompletionGraph {
                 .copied()
                 .collect();
             for k in touching {
-                self.edges.remove(&k);
+                let labels = self.edges.remove(&k).expect("collected key");
+                if self.trailing {
+                    self.trail.push(TrailEntry::EdgeRemoved(k, labels));
+                }
             }
             let pairs: Vec<(NodeId, NodeId)> = self
                 .distinct
-                .iter()
+                .keys()
                 .filter(|&&(a, b)| a == c || b == c)
                 .copied()
                 .collect();
             for p in pairs {
-                self.distinct.remove(&p);
+                let deps = self.distinct.remove(&p).expect("collected pair");
+                if self.trailing {
+                    self.trail.push(TrailEntry::DistinctRemoved(p, deps));
+                }
             }
             self.prune_children_of(c);
         }
@@ -447,5 +745,89 @@ mod tests {
         let lbl = g.connecting_label(a, b);
         assert!(lbl.contains(&r("p")));
         assert!(lbl.contains(&r("q").inverse()));
+    }
+
+    #[test]
+    fn undo_restores_simple_mutations_exactly() {
+        let mut g = CompletionGraph::new();
+        let a = g.new_root();
+        let b = g.new_root();
+        g.add_concept(a, Concept::atomic("A"));
+        g.set_trailing(true);
+        let mark = g.mark();
+        let before = g.clone();
+        g.add_concept_d(a, Concept::atomic("B"), DepSet::single(0));
+        g.add_edge_d(a, b, &r("p"), DepSet::single(1));
+        let t = g.new_blockable_d(a, DepSet::single(2));
+        g.add_concept_d(t, Concept::atomic("C"), DepSet::empty());
+        g.set_distinct_d(a, b, DepSet::single(0));
+        assert_ne!(g, before);
+        g.undo_to(mark);
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn undo_restores_merge_and_prune_exactly() {
+        let mut g = CompletionGraph::new();
+        let a = g.new_root();
+        let b = g.new_root();
+        let c = g.new_root();
+        let t1 = g.new_blockable(b);
+        let t2 = g.new_blockable(t1);
+        g.add_edge(b, t1, &r("p"));
+        g.add_edge(t1, t2, &r("p"));
+        g.add_edge(b, c, &r("q"));
+        g.add_concept(b, Concept::atomic("B"));
+        g.set_distinct(b, c);
+        g.set_nominal_node(IndividualName::new("o"), b);
+        g.set_trailing(true);
+        let mark = g.mark();
+        let before = g.clone();
+        assert!(g.merge_d(b, a, DepSet::single(4)).is_none());
+        assert_eq!(g.resolve(b), a);
+        assert!(!g.is_live(t1) && !g.is_live(t2));
+        g.undo_to(mark);
+        assert_eq!(g, before);
+        assert!(g.is_live(t1) && g.is_live(t2));
+        assert_eq!(g.nominal_node(&IndividualName::new("o")), Some(b));
+    }
+
+    #[test]
+    fn dep_sets_cover_node_creation_transitively() {
+        let mut g = CompletionGraph::new();
+        let a = g.new_root();
+        let t = g.new_blockable_d(a, DepSet::single(3));
+        // A fact added to t with deps {5} must also carry t's creation
+        // dep {3}: the fact relies on t existing at all.
+        g.add_concept_d(t, Concept::atomic("C"), DepSet::single(5));
+        let d = g.concept_deps(t, &Concept::atomic("C"));
+        assert!(d.contains(3) && d.contains(5));
+        // Edges likewise.
+        g.add_edge_d(a, t, &r("p"), DepSet::empty());
+        assert!(g.edge_deps_between(a, t).contains(3));
+    }
+
+    #[test]
+    fn merge_widens_transferred_deps() {
+        let mut g = CompletionGraph::new();
+        let a = g.new_root();
+        let b = g.new_root();
+        g.add_concept_d(b, Concept::atomic("B"), DepSet::single(1));
+        assert!(g.merge_d(b, a, DepSet::single(2)).is_none());
+        let d = g.concept_deps(a, &Concept::atomic("B"));
+        assert!(d.contains(1) && d.contains(2), "{d:?}");
+        // Resolving through the merge reports the merge's deps.
+        assert!(g.resolve_deps(b).contains(2));
+    }
+
+    #[test]
+    fn clashes_carry_responsible_deps() {
+        let mut g = CompletionGraph::new();
+        let a = g.new_root();
+        let b = g.new_root();
+        assert!(g.set_distinct_d(a, b, DepSet::single(1)).is_none());
+        let ci = g.merge_d(b, a, DepSet::single(2)).expect("clash");
+        assert!(matches!(ci.clash, Clash::MergedDistinct(..)));
+        assert!(ci.deps.contains(1) && ci.deps.contains(2));
     }
 }

@@ -48,9 +48,11 @@ pub mod node;
 pub mod reasoner;
 pub mod rules;
 pub mod stats;
+pub mod trail;
 
-pub use clash::Clash;
-pub use config::{Config, ReasonerError};
+pub use clash::{Clash, ClashInfo};
+pub use config::{Config, ReasonerError, SearchStrategy};
 pub use engine::{BaseModel, QueryEngine};
 pub use reasoner::Reasoner;
 pub use stats::Stats;
+pub use trail::DepSet;

@@ -1,7 +1,8 @@
 //! Completion-graph nodes.
 
+use crate::trail::DepSet;
 use dl::{Concept, IndividualName};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Identifier of a completion-graph node. Stable for the lifetime of one
@@ -21,12 +22,18 @@ impl fmt::Display for NodeId {
 /// never blocked and never pruned. *Blockable* nodes form trees hanging off
 /// root nodes, created by the `∃`/`≥` generating rules; `parent` is the
 /// tree predecessor.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Node {
     /// This node's id.
     pub id: NodeId,
     /// The concept label `L(x)` — concepts in NNF.
     pub label: BTreeSet<Concept>,
+    /// Branch-choice dependencies of label concepts. Concepts with an
+    /// empty dep-set (unconditional facts) are omitted, so the snapshot
+    /// engine — which passes empty deps everywhere — stores nothing here
+    /// and `label` stays the single source of truth for blocking's label
+    /// comparisons.
+    pub label_deps: BTreeMap<Concept, DepSet>,
     /// Individuals this node stands for (non-empty exactly for root nodes
     /// and nodes merged into them).
     pub nominals: BTreeSet<IndividualName>,
@@ -34,6 +41,9 @@ pub struct Node {
     pub parent: Option<NodeId>,
     /// Is this a root (nominal/ABox) node?
     pub is_root: bool,
+    /// Branch choices this node's existence relies on (empty for base-graph
+    /// and root-level nodes).
+    pub creation: DepSet,
 }
 
 impl Node {
@@ -42,9 +52,11 @@ impl Node {
         Node {
             id,
             label: BTreeSet::new(),
+            label_deps: BTreeMap::new(),
             nominals: BTreeSet::new(),
             parent: None,
             is_root: true,
+            creation: DepSet::empty(),
         }
     }
 
@@ -53,9 +65,11 @@ impl Node {
         Node {
             id,
             label: BTreeSet::new(),
+            label_deps: BTreeMap::new(),
             nominals: BTreeSet::new(),
             parent: Some(parent),
             is_root: false,
+            creation: DepSet::empty(),
         }
     }
 

@@ -1,6 +1,8 @@
 //! Search statistics, exposed for the benchmark harness and for debugging
 //! pathological inputs.
 
+use crate::clash::{Clash, KIND_COUNT};
+
 /// Counters accumulated over one reasoning call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Stats {
@@ -14,9 +16,28 @@ pub struct Stats {
     pub clashes: u64,
     /// Deepest completion graph (live nodes) seen.
     pub peak_graph_size: u64,
+    /// Whole-graph clones performed by the snapshot search (one per tried
+    /// alternative). Zero on the trail path — that is the point.
+    pub graph_clones: u64,
+    /// Branch points skipped wholesale by dependency-directed backjumping
+    /// (their remaining alternatives were provably irrelevant).
+    pub backjumps: u64,
+    /// Longest undo trail seen (trail search only).
+    pub trail_len_peak: u64,
+    /// Deepest open-branch-point stack seen.
+    pub branch_depth_peak: u64,
+    /// Clashes by kind, indexed by [`Clash::kind_index`] and labelled by
+    /// [`crate::clash::KIND_LABELS`].
+    pub clashes_by_kind: [u64; KIND_COUNT],
 }
 
 impl Stats {
+    /// Count one clash, both in the total and in its per-kind bucket.
+    pub fn record_clash(&mut self, clash: &Clash) {
+        self.clashes += 1;
+        self.clashes_by_kind[clash.kind_index()] += 1;
+    }
+
     /// Fold another run's counters into this one.
     pub fn absorb(&mut self, other: &Stats) {
         self.nodes_created += other.nodes_created;
@@ -24,12 +45,24 @@ impl Stats {
         self.branches += other.branches;
         self.clashes += other.clashes;
         self.peak_graph_size = self.peak_graph_size.max(other.peak_graph_size);
+        self.graph_clones += other.graph_clones;
+        self.backjumps += other.backjumps;
+        self.trail_len_peak = self.trail_len_peak.max(other.trail_len_peak);
+        self.branch_depth_peak = self.branch_depth_peak.max(other.branch_depth_peak);
+        for (mine, theirs) in self
+            .clashes_by_kind
+            .iter_mut()
+            .zip(other.clashes_by_kind.iter())
+        {
+            *mine += theirs;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::node::NodeId;
 
     #[test]
     fn absorb_sums_and_maxes() {
@@ -39,6 +72,11 @@ mod tests {
             branches: 3,
             clashes: 4,
             peak_graph_size: 5,
+            graph_clones: 6,
+            backjumps: 7,
+            trail_len_peak: 8,
+            branch_depth_peak: 2,
+            ..Stats::default()
         };
         let b = Stats {
             nodes_created: 10,
@@ -46,9 +84,36 @@ mod tests {
             branches: 10,
             clashes: 10,
             peak_graph_size: 2,
+            graph_clones: 10,
+            backjumps: 10,
+            trail_len_peak: 3,
+            branch_depth_peak: 9,
+            ..Stats::default()
         };
         a.absorb(&b);
         assert_eq!(a.nodes_created, 11);
         assert_eq!(a.peak_graph_size, 5);
+        assert_eq!(a.graph_clones, 16);
+        assert_eq!(a.backjumps, 17);
+        assert_eq!(a.trail_len_peak, 8);
+        assert_eq!(a.branch_depth_peak, 9);
+    }
+
+    #[test]
+    fn record_clash_buckets_by_kind() {
+        let mut s = Stats::default();
+        s.record_clash(&Clash::Bottom(NodeId(0)));
+        s.record_clash(&Clash::DatatypeUnsatisfiable(NodeId(1)));
+        s.record_clash(&Clash::DatatypeUnsatisfiable(NodeId(2)));
+        assert_eq!(s.clashes, 3);
+        assert_eq!(s.clashes_by_kind[Clash::Bottom(NodeId(0)).kind_index()], 1);
+        assert_eq!(
+            s.clashes_by_kind[Clash::DatatypeUnsatisfiable(NodeId(0)).kind_index()],
+            2
+        );
+        // Per-kind counters survive absorption.
+        let mut t = Stats::default();
+        t.absorb(&s);
+        assert_eq!(t.clashes_by_kind, s.clashes_by_kind);
     }
 }

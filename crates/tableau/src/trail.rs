@@ -1,0 +1,146 @@
+//! Dependency sets and the undo trail — the machinery behind
+//! `SearchStrategy::Trail`.
+//!
+//! Every fact in a completion graph (a label concept, an edge label, an
+//! inequality, a node's existence, a merge redirect) carries a [`DepSet`]:
+//! the set of branch-point ids whose chosen alternatives the fact's
+//! derivation relied on. The invariant maintained by `graph.rs` and
+//! `rules.rs` is:
+//!
+//! > **Dep-set invariant.** Every derived fact's dep-set is a superset of
+//! > the branch choices its derivation used — including, transitively, the
+//! > choices that created the nodes it mentions.
+//!
+//! Over-approximating a dep-set is always sound (the backjumper merely
+//! skips fewer branch points); under-approximating would let the search
+//! skip an alternative that could have avoided the clash, which is why
+//! every uncertain site in `rules.rs` unions *more* rather than less.
+//!
+//! The trail itself is a flat undo log: each graph mutation appends one
+//! [`TrailEntry`], and [`crate::graph::CompletionGraph::undo_to`] replays
+//! entries in reverse to restore any earlier state exactly (`==` on the
+//! graph) — the branching mechanism of the trail search, replacing the
+//! snapshot engine's whole-graph clones.
+
+use crate::node::{Node, NodeId};
+use dl::axiom::RoleExpr;
+use dl::{Concept, IndividualName};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A set of branch-point ids a fact depends on. Branch points are numbered
+/// in creation order by the trail search, so the maximum element is the
+/// *deepest* responsible choice.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DepSet(BTreeSet<u32>);
+
+impl DepSet {
+    /// The empty dependency set: a fact that holds unconditionally.
+    pub fn empty() -> Self {
+        DepSet::default()
+    }
+
+    /// A singleton dependency on one branch point.
+    pub fn single(id: u32) -> Self {
+        DepSet(BTreeSet::from([id]))
+    }
+
+    /// No dependencies at all? A clash with an empty dep-set refutes the
+    /// whole KB: no alternative anywhere can avoid it.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of branch points depended on.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Does the set mention this branch point?
+    pub fn contains(&self, id: u32) -> bool {
+        self.0.contains(&id)
+    }
+
+    /// Add one branch point.
+    pub fn insert(&mut self, id: u32) {
+        self.0.insert(id);
+    }
+
+    /// Drop one branch point (used when folding an exhausted branch
+    /// point's failure deps into its parent's).
+    pub fn remove(&mut self, id: u32) {
+        self.0.remove(&id);
+    }
+
+    /// Union another dep-set into this one.
+    pub fn union_with(&mut self, other: &DepSet) {
+        if !other.0.is_empty() {
+            self.0.extend(other.0.iter().copied());
+        }
+    }
+
+    /// The deepest branch point depended on.
+    pub fn max_id(&self) -> Option<u32> {
+        self.0.iter().next_back().copied()
+    }
+
+    /// Iterate the branch-point ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+/// One undoable completion-graph mutation. Entries record exactly the
+/// information needed to reverse themselves; `undo_to` pops them in
+/// reverse order, so compound operations (merges, pruning) decompose into
+/// sequences of these primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum TrailEntry {
+    /// A concept entered a node label (undo: remove concept + its deps).
+    ConceptAdded(NodeId, Concept),
+    /// A role label was added to an edge (undo: remove the label; drop the
+    /// edge entry when its label map empties).
+    EdgeLabelAdded((NodeId, NodeId), RoleExpr),
+    /// A whole edge entry was removed, e.g. rerouted by a merge (undo:
+    /// reinsert the saved label map).
+    EdgeRemoved((NodeId, NodeId), BTreeMap<RoleExpr, DepSet>),
+    /// An inequality was recorded (undo: remove the pair).
+    DistinctAdded((NodeId, NodeId)),
+    /// An inequality was removed, e.g. transferred by a merge (undo:
+    /// reinsert with its saved deps).
+    DistinctRemoved((NodeId, NodeId), DepSet),
+    /// A node was allocated (undo: pop it — ids are allocated in order, so
+    /// the entry is always the vector's last slot at undo time).
+    NodeCreated(NodeId),
+    /// A node was removed — merged away or pruned (undo: restore it).
+    NodeRemoved(NodeId, Box<Node>),
+    /// `nominal_nodes[o]` was (re)bound; carries the previous binding.
+    NominalMapped(IndividualName, Option<NodeId>),
+    /// An individual name was added to a node's nominal set.
+    NominalTagged(NodeId, IndividualName),
+    /// A merge redirect `y ↦ x` was installed (undo: remove it).
+    MergedInto(NodeId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depset_union_and_max() {
+        let mut d = DepSet::single(3);
+        d.union_with(&DepSet::single(7));
+        d.union_with(&DepSet::empty());
+        assert!(d.contains(3) && d.contains(7) && !d.contains(5));
+        assert_eq!(d.max_id(), Some(7));
+        assert_eq!(d.len(), 2);
+        d.remove(7);
+        assert_eq!(d.max_id(), Some(3));
+        assert!(DepSet::empty().max_id().is_none());
+    }
+
+    #[test]
+    fn empty_depset_is_unconditional() {
+        assert!(DepSet::empty().is_empty());
+        assert!(!DepSet::single(0).is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! End-to-end parity between the two tableau search strategies, driven
+//! through the full SHOIN(D)4 stack.
+//!
+//! The tableau-level differential tests (`crates/tableau/tests/
+//! trail_props.rs`) fuzz the classical reasoner directly; these
+//! properties fuzz the whole pipeline — the four-valued reduction, the
+//! batch query engine, contradiction analysis, classification — over
+//! ontogen's lint-seeded KBs with planted contradictions, asserting that
+//! switching [`SearchStrategy`] is invisible in every answer while the
+//! trail side never clones the completion graph.
+
+use dl::name::IndividualName;
+use dl::Concept;
+use ontogen::lintseed::{lint_seeded_kb4, LintSeedParams};
+use ontogen::random::{random_kb4, RandomParams};
+use proptest::prelude::*;
+use shoin4::analysis::{classify4, contradiction_report};
+use shoin4::{KnowledgeBase4, Reasoner4};
+use tableau::{Config, SearchStrategy};
+
+fn planted_params(seed: u64) -> LintSeedParams {
+    LintSeedParams {
+        seed,
+        n_clean_tbox: 6,
+        n_clean_abox: 9,
+        n_contested_direct: 2,
+        n_contested_chained: 1,
+        n_contested_roles: 1,
+        n_duplicates: 1,
+        n_cycles: 1,
+        n_orphans: 1,
+    }
+}
+
+fn random_params(seed: u64) -> RandomParams {
+    RandomParams {
+        n_concepts: 4,
+        n_roles: 2,
+        n_individuals: 3,
+        n_tbox: 4,
+        n_abox: 6,
+        max_depth: 1,
+        number_restrictions: true,
+        inverse_roles: true,
+        seed,
+    }
+}
+
+fn reasoner(kb: &KnowledgeBase4, search: SearchStrategy) -> Reasoner4 {
+    Reasoner4::with_config(
+        kb,
+        Config {
+            search,
+            ..Config::default()
+        },
+    )
+}
+
+/// Every individual × atomic-concept pair of the KB's signature.
+fn signature_grid(kb: &KnowledgeBase4) -> Vec<(IndividualName, Concept)> {
+    let sig = kb.signature();
+    let mut grid = Vec::new();
+    for a in &sig.individuals {
+        for c in &sig.concepts {
+            grid.push((a.clone(), Concept::atomic(c.clone())));
+        }
+    }
+    grid
+}
+
+proptest! {
+    // The heavy 256-case differential fuzzing lives at the tableau level
+    // (crates/tableau/tests/trail_props.rs); here a handful of full-stack
+    // grids keeps the suite fast while still exercising the reduction.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The full signature grid of four-valued verdicts is bit-identical
+    /// between the snapshot oracle and the trail engine, on KBs with
+    /// planted contradictions — and the trail engine got there without a
+    /// single whole-graph clone while the snapshot engine (on branching
+    /// inputs) needed them.
+    #[test]
+    fn four_valued_grids_are_bit_identical(seed in 0..64u64) {
+        let (kb, _) = lint_seeded_kb4(&planted_params(seed));
+        let snap = reasoner(&kb, SearchStrategy::Snapshot);
+        let trail = reasoner(&kb, SearchStrategy::Trail);
+        for (a, c) in signature_grid(&kb) {
+            let s = snap.query(&a, &c).unwrap();
+            let t = trail.query(&a, &c).unwrap();
+            prop_assert_eq!(s, t, "divergence on {}:{:?} (seed {})", a, c, seed);
+        }
+        prop_assert_eq!(trail.stats().graph_clones, 0);
+        if snap.stats().branches > 0 {
+            prop_assert!(snap.stats().graph_clones > 0, "snapshot branched without cloning?");
+        }
+    }
+
+    /// Contradiction analysis and the four-valued taxonomy agree across
+    /// strategies on random KB4s.
+    #[test]
+    fn analysis_agrees_across_strategies(seed in 0..64u64) {
+        let kb = random_kb4(&random_params(seed), (0.3, 0.4, 0.3));
+        let snap = reasoner(&kb, SearchStrategy::Snapshot);
+        let trail = reasoner(&kb, SearchStrategy::Trail);
+
+        let a = contradiction_report(&snap, &kb).unwrap();
+        let b = contradiction_report(&trail, &kb).unwrap();
+        prop_assert_eq!(&a.contested, &b.contested);
+        prop_assert_eq!(&a.asserted, &b.asserted);
+        prop_assert_eq!(&a.denied, &b.denied);
+        prop_assert_eq!(a.unknown, b.unknown);
+
+        prop_assert_eq!(classify4(&snap, &kb).unwrap(), classify4(&trail, &kb).unwrap());
+    }
+}
+
+/// Deterministic spot check: planted contested facts surface identically
+/// under both strategies (`Both` stays `Both`), so downstream consumers
+/// (the CLI `report` path) cannot observe the search strategy.
+#[test]
+fn planted_contradictions_survive_both_strategies() {
+    for seed in 0..4u64 {
+        let (kb, truth) = lint_seeded_kb4(&planted_params(seed));
+        let snap = reasoner(&kb, SearchStrategy::Snapshot);
+        let trail = reasoner(&kb, SearchStrategy::Trail);
+        for (a, c) in &truth.contested_concepts {
+            let atom = Concept::atomic(c.clone());
+            let s = snap.query(a, &atom).unwrap();
+            let t = trail.query(a, &atom).unwrap();
+            assert_eq!(s, t, "planted fact {a}:{c} diverged (seed {seed})");
+        }
+    }
+}
