@@ -1,0 +1,161 @@
+//! Module-scoped query execution vs the unscoped engine, on ontogen's
+//! modular corpus (disjoint islands, one contaminated). The measured
+//! workload is the scoping sweet spot the dataflow analysis exists for:
+//! instance queries about *clean* islands, which under
+//! `Config::module_scoping` run the tableau on one island's axioms
+//! instead of the whole KB.
+//!
+//! Both series run with the told fast path, the entailment cache and
+//! model pruning disabled (`jobs = 1`), so the comparison isolates the
+//! module effect: identical tableau, identical query plan, different
+//! axiom set per search.
+//!
+//! Besides the Criterion group this writes summary rows to
+//! `target/experiments/module_extraction.jsonl` and refreshes the
+//! committed snapshot `BENCH_modules.json` at the repo root (including
+//! the `speedup_largest` row EXPERIMENTS.md cites). Set `BENCH_SMOKE=1`
+//! to shrink the series for CI smoke runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dl::name::IndividualName;
+use dl::Concept;
+use ontogen::modular::{modular_kb4, ModularParams, PlantedPartition};
+use shoin4::reasoner4::QueryOptions;
+use shoin4::{KnowledgeBase4, Reasoner4};
+use std::hint::black_box;
+use std::io::Write;
+use tableau::Config;
+
+fn corpus(n_islands: usize) -> (KnowledgeBase4, PlantedPartition) {
+    modular_kb4(&ModularParams {
+        seed: 7,
+        n_islands,
+        island_tbox: 8,
+        island_abox: 12,
+        contaminated_islands: 1,
+    })
+}
+
+/// Two instance queries per clean island (capped at four islands so the
+/// query count stays fixed while the KB grows — scaling isolates the
+/// per-query cost of dragging ever more irrelevant axioms along).
+fn clean_queries(truth: &PlantedPartition) -> Vec<(IndividualName, Concept)> {
+    let mut queries = Vec::new();
+    for &island in truth.clean().iter().take(4) {
+        let x = truth.island_individuals[island][0].clone();
+        for name in [
+            &truth.island_concepts[island][1],
+            &truth.island_concepts[island][3],
+        ] {
+            queries.push((x.clone(), Concept::atomic(name.clone())));
+        }
+    }
+    queries
+}
+
+fn reasoner(kb: &KnowledgeBase4, module_scoping: bool) -> Reasoner4 {
+    let config = Config {
+        model_pruning: false,
+        module_scoping,
+        ..Config::default()
+    };
+    let opts = QueryOptions {
+        jobs: 1,
+        told_fast_path: false,
+        entailment_cache: false,
+    };
+    Reasoner4::with_options(kb, config, opts)
+}
+
+/// One full pass over the query set on a fresh reasoner (fresh so the
+/// scoped series pays its module-extraction cost every time — the
+/// speedup reported is extraction-inclusive).
+fn run_queries(kb: &KnowledgeBase4, queries: &[(IndividualName, Concept)], scoped: bool) {
+    let r = reasoner(kb, scoped);
+    for (a, c) in queries {
+        black_box(r.query(a, c).expect("within limits"));
+    }
+}
+
+fn timed_us_per_query(
+    kb: &KnowledgeBase4,
+    queries: &[(IndividualName, Concept)],
+    scoped: bool,
+    reps: u32,
+) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..reps {
+        run_queries(kb, queries, scoped);
+    }
+    start.elapsed().as_micros() as f64 / (reps as usize * queries.len()) as f64
+}
+
+fn bench_module_extraction(c: &mut Criterion) {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let sizes: &[usize] = if smoke { &[3] } else { &[4, 8, 16] };
+    let mut rows = Vec::new();
+    let mut largest = (f64::NAN, f64::NAN); // (unscoped, scoped) us/query
+
+    let mut group = c.benchmark_group("module_extraction");
+    group.sample_size(10);
+    for &n_islands in sizes {
+        let (kb, truth) = corpus(n_islands);
+        let queries = clean_queries(&truth);
+        let n = kb.len();
+        for scoped in [false, true] {
+            let series = if scoped { "scoped" } else { "unscoped" };
+            if n_islands == sizes[0] {
+                group.bench_with_input(BenchmarkId::new(series, n), &kb, |b, kb| {
+                    b.iter(|| run_queries(kb, &queries, scoped))
+                });
+            }
+            let reps = if scoped || smoke { 3 } else { 2 };
+            let us = timed_us_per_query(&kb, &queries, scoped, reps);
+            rows.push(bench::ExperimentRow {
+                experiment: "module_extraction".into(),
+                x: n as f64,
+                series: series.into(),
+                value: us,
+                unit: "us/query".into(),
+            });
+            if n_islands == *sizes.last().expect("nonempty") {
+                if scoped {
+                    largest.1 = us;
+                } else {
+                    largest.0 = us;
+                }
+            }
+        }
+    }
+    group.finish();
+
+    let (unscoped, scoped) = largest;
+    rows.push(bench::ExperimentRow {
+        experiment: "module_extraction".into(),
+        x: corpus(*sizes.last().expect("nonempty")).0.len() as f64,
+        series: "speedup_largest".into(),
+        value: unscoped / scoped,
+        unit: "x".into(),
+    });
+    bench::write_rows("module_extraction", &rows).expect("write rows");
+
+    // Committed snapshot (skipped for smoke runs so CI never clobbers
+    // the checked-in numbers with reduced-size measurements).
+    if !smoke {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_modules.json");
+        let mut f = std::fs::File::create(path).expect("snapshot file");
+        writeln!(f, "{{").expect("write");
+        writeln!(f, "  \"experiment\": \"module_extraction\",").expect("write");
+        writeln!(f, "  \"unit\": \"us/query\",").expect("write");
+        writeln!(f, "  \"rows\": [").expect("write");
+        for (i, row) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            writeln!(f, "    {}{comma}", row.to_json()).expect("write");
+        }
+        writeln!(f, "  ]").expect("write");
+        writeln!(f, "}}").expect("write");
+    }
+}
+
+criterion_group!(benches, bench_module_extraction);
+criterion_main!(benches);

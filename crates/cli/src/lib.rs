@@ -53,16 +53,24 @@ impl From<tableau::ReasonerError> for CliError {
 pub const USAGE: &str = "shoin4 — paraconsistent OWL DL reasoner (SHOIN(D)4)
 
 USAGE:
-    shoin4 check <ontology>                  satisfiability + statistics
+    shoin4 check <ontology> [FLAGS]          satisfiability + statistics
     shoin4 query <ontology> <ind> <concept>  four-valued instance query
-    shoin4 report <ontology> [--jobs N] [--stats]
-                                             contradiction survey (⊤ map)
+    shoin4 report <ontology> [FLAGS]         contradiction survey (⊤ map)
     shoin4 lint <ontology> [--format json]   static analysis (no tableau)
-    shoin4 classify <ontology> [--jobs N] [--stats]
-                                             internal-inclusion taxonomy
+    shoin4 modules <ontology> [--format json]
+                                             signature dataflow: dependency
+                                             components, dead axioms, the
+                                             clean/contaminated partition and
+                                             per-concept module sizes
+    shoin4 classify <ontology> [FLAGS]       internal-inclusion taxonomy
     shoin4 transform <ontology>              print the classical induced KB
     shoin4 convert <in> <out>                text ⇄ binary snapshot (.dlkb)
     shoin4 table4                            regenerate the paper's Table 4
+
+FLAGS (check/report/classify, any order):
+    --jobs N            N ≥ 1 worker threads (absent = auto)
+    --stats             append search counters
+    --module-scoping    run each query on its extracted module only
 
 Ontologies use the line-based Manchester-like syntax (see README).";
 
@@ -83,23 +91,51 @@ fn load_kb4(
     parse_kb4(&text).map_err(|e| CliError::Parse(e.to_string()))
 }
 
+/// Trailing flags accepted by `check`, `report` and `classify`.
+#[derive(Debug, Default, Clone, Copy)]
+struct QueryFlags {
+    /// `--jobs N`: worker threads (0 = auto).
+    jobs: usize,
+    /// `--stats`: append the search-counter block.
+    stats: bool,
+    /// `--module-scoping`: run each query on its extracted module.
+    module_scoping: bool,
+}
+
+impl QueryFlags {
+    fn config(self) -> tableau::Config {
+        tableau::Config {
+            module_scoping: self.module_scoping,
+            ..tableau::Config::default()
+        }
+    }
+
+    fn options(self) -> QueryOptions {
+        QueryOptions {
+            jobs: self.jobs,
+            ..QueryOptions::default()
+        }
+    }
+}
+
 /// Parse trailing query flags: `[--jobs N]` (N ≥ 1 worker threads;
-/// absent = auto) and `[--stats]` (append search counters), in any order.
-fn parse_query_flags(rest: &[String]) -> Result<(usize, bool), CliError> {
-    let mut jobs = 0usize;
-    let mut stats = false;
+/// absent = auto), `[--stats]` (append search counters) and
+/// `[--module-scoping]` (scope each query to its module), in any order.
+fn parse_query_flags(rest: &[String]) -> Result<QueryFlags, CliError> {
+    let mut flags = QueryFlags::default();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--jobs" => match it.next().map(|n| n.parse::<usize>()) {
-                Some(Ok(n)) if n >= 1 => jobs = n,
+                Some(Ok(n)) if n >= 1 => flags.jobs = n,
                 _ => return Err(CliError::Usage(USAGE.to_string())),
             },
-            "--stats" => stats = true,
+            "--stats" => flags.stats = true,
+            "--module-scoping" => flags.module_scoping = true,
             _ => return Err(CliError::Usage(USAGE.to_string())),
         }
     }
-    Ok((jobs, stats))
+    Ok(flags)
 }
 
 /// The search-counter block printed by `check` and by `--stats`.
@@ -133,6 +169,119 @@ fn write_stats_block(out: &mut String, stats: &tableau::Stats) {
         stats.backjumps, stats.graph_clones, stats.trail_len_peak, stats.branch_depth_peak
     )
     .unwrap();
+    // Module-scoping counters appear only when scoping actually ran, so
+    // the unscoped output (pinned by older tests and scripts) is stable.
+    if stats.scoped_queries > 0 {
+        writeln!(
+            out,
+            "modules:      {} scoped queries, {} module axioms total, {} µs extracting",
+            stats.scoped_queries,
+            stats.module_axioms,
+            stats.module_extraction_ns / 1_000
+        )
+        .unwrap();
+    }
+}
+
+/// The `modules` subcommand: the signature-dataflow view of a KB —
+/// dependency components, dead axioms, the clean/contaminated partition
+/// seeded from the linter's contradiction findings, and the size of the
+/// module each signature concept's queries actually run on.
+fn modules_report(kb: &shoin4::KnowledgeBase4, json: bool) -> String {
+    use ontolint::dataflow::{contradiction_seeds, propagate, ModuleExtractor};
+    use shoin4::dataflow::{concept_seed, full_signature_seed};
+
+    let extractor = ModuleExtractor::new(kb);
+    let graph = extractor.graph();
+    let components = graph.components();
+    let full = extractor.extract(&full_signature_seed(kb));
+    let dead: Vec<usize> = (0..kb.len()).filter(|i| !full.axioms.contains(i)).collect();
+    let seeds = contradiction_seeds(&ontolint::lint_kb4(kb));
+    let cont = propagate(graph, &seeds);
+    let sizes: Vec<(dl::ConceptName, usize)> =
+        ontolint::dataflow::signature::signature_concepts(kb)
+            .into_iter()
+            .map(|name| {
+                let m = extractor.extract(&concept_seed(&dl::Concept::Atomic(name.clone())));
+                (name, m.axioms.len())
+            })
+            .collect();
+
+    if json {
+        let comp_json: Vec<jsonio::Value> = components
+            .iter()
+            .map(|c| jsonio::Value::Array(c.iter().map(|&i| i.into()).collect()))
+            .collect();
+        let idx_array = |v: &[usize]| jsonio::Value::Array(v.iter().map(|&i| i.into()).collect());
+        let module_json: Vec<jsonio::Value> = sizes
+            .iter()
+            .map(|(name, size)| {
+                jsonio::Value::object([
+                    ("concept", name.as_str().into()),
+                    ("module_size", (*size).into()),
+                ])
+            })
+            .collect();
+        let value = jsonio::Value::object([
+            ("axioms", kb.len().into()),
+            ("components", jsonio::Value::Array(comp_json)),
+            ("dead_axioms", idx_array(&dead)),
+            (
+                "contamination",
+                jsonio::Value::object([
+                    ("seeds", idx_array(&cont.seeds)),
+                    ("contaminated", idx_array(&cont.contaminated)),
+                    ("clean", idx_array(&cont.clean)),
+                    (
+                        "max_radius",
+                        match cont.max_radius() {
+                            Some(r) => r.into(),
+                            None => jsonio::Value::Null,
+                        },
+                    ),
+                ]),
+            ),
+            ("modules", jsonio::Value::Array(module_json)),
+        ]);
+        let mut s = value.to_string();
+        s.push('\n');
+        return s;
+    }
+
+    let mut out = String::new();
+    writeln!(out, "axioms:        {}", kb.len()).unwrap();
+    let comp_sizes: Vec<String> = components.iter().map(|c| c.len().to_string()).collect();
+    writeln!(
+        out,
+        "components:    {} (sizes {})",
+        components.len(),
+        comp_sizes.join(", ")
+    )
+    .unwrap();
+    if dead.is_empty() {
+        writeln!(out, "dead axioms:   none").unwrap();
+    } else {
+        let ids: Vec<String> = dead.iter().map(|i| i.to_string()).collect();
+        writeln!(out, "dead axioms:   {} ({})", dead.len(), ids.join(", ")).unwrap();
+    }
+    if cont.seeds.is_empty() {
+        writeln!(out, "contamination: none detected").unwrap();
+    } else {
+        writeln!(
+            out,
+            "contamination: {} seed axioms, {} contaminated / {} clean, max radius {}",
+            cont.seeds.len(),
+            cont.contaminated.len(),
+            cont.clean.len(),
+            cont.max_radius().unwrap_or(0),
+        )
+        .unwrap();
+    }
+    writeln!(out, "module sizes:").unwrap();
+    for (name, size) in &sizes {
+        writeln!(out, "  {name}  {size}").unwrap();
+    }
+    out
 }
 
 fn truth_gloss(v: TruthValue) -> &'static str {
@@ -153,9 +302,10 @@ pub fn run_with_fs(
 ) -> Result<String, CliError> {
     let mut out = String::new();
     match args {
-        [cmd, path] if cmd == "check" => {
+        [cmd, path, rest @ ..] if cmd == "check" => {
+            let flags = parse_query_flags(rest)?;
             let kb = load_kb4(path, read)?;
-            let r = Reasoner4::new(&kb);
+            let r = Reasoner4::with_options(&kb, flags.config(), flags.options());
             let sat = r.is_satisfiable()?;
             writeln!(out, "axioms:       {}", kb.len()).unwrap();
             writeln!(out, "size:         {}", kb.size()).unwrap();
@@ -198,20 +348,22 @@ pub fn run_with_fs(
                 .unwrap();
             }
         }
+        [cmd, path, rest @ ..] if cmd == "modules" => {
+            let json = match rest {
+                [] => false,
+                [flag, fmt] if flag == "--format" && fmt == "json" => true,
+                _ => return Err(CliError::Usage(USAGE.to_string())),
+            };
+            let kb = load_kb4(path, read)?;
+            out.push_str(&modules_report(&kb, json));
+        }
         [cmd, path, rest @ ..] if cmd == "report" => {
-            let (jobs, stats) = parse_query_flags(rest)?;
+            let flags = parse_query_flags(rest)?;
             let kb = load_kb4(path, read)?;
             // The linter's syntactically-certain ⊤ facts are seeded into
             // the survey so the reasoner skips those queries (fast path).
             let certain = ontolint::certain_contested_facts(&ontolint::lint_kb4(&kb));
-            let r = Reasoner4::with_options(
-                &kb,
-                tableau::Config::default(),
-                QueryOptions {
-                    jobs,
-                    ..QueryOptions::default()
-                },
-            );
+            let r = Reasoner4::with_options(&kb, flags.config(), flags.options());
             let report = contradiction_report_seeded(&r, &kb, &certain)?;
             writeln!(
                 out,
@@ -227,21 +379,14 @@ pub fn run_with_fs(
             for (who, what) in &report.contested {
                 writeln!(out, "  ⊤  {who} : {what}").unwrap();
             }
-            if stats {
+            if flags.stats {
                 write_stats_block(&mut out, &r.stats());
             }
         }
         [cmd, path, rest @ ..] if cmd == "classify" => {
-            let (jobs, stats) = parse_query_flags(rest)?;
+            let flags = parse_query_flags(rest)?;
             let kb = load_kb4(path, read)?;
-            let r = Reasoner4::with_options(
-                &kb,
-                tableau::Config::default(),
-                QueryOptions {
-                    jobs,
-                    ..QueryOptions::default()
-                },
-            );
+            let r = Reasoner4::with_options(&kb, flags.config(), flags.options());
             let taxonomy = classify4(&r, &kb)?;
             for (class, supers) in &taxonomy {
                 let proper: Vec<String> = supers
@@ -255,7 +400,7 @@ pub fn run_with_fs(
                     writeln!(out, "{class} ⊏ {}", proper.join(", ")).unwrap();
                 }
             }
-            if stats {
+            if flags.stats {
                 write_stats_block(&mut out, &r.stats());
             }
         }
@@ -462,6 +607,77 @@ john : UrgencyTeam";
             fs.run(&["lint", "kb.dl4", "--format", "xml"]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    /// Two signature islands; the left one carries a direct contradiction.
+    const ISLANDS: &str = "x : A
+x : not A
+A SubClassOf B
+D SubClassOf E
+y : D";
+
+    #[test]
+    fn modules_prints_the_dataflow_partition() {
+        let fs = MemFs::new(&[("kb.dl4", ISLANDS)]);
+        let out = fs.run(&["modules", "kb.dl4"]).unwrap();
+        assert!(out.contains("axioms:        5"), "{out}");
+        assert!(out.contains("components:    2 (sizes 3, 2)"), "{out}");
+        assert!(out.contains("dead axioms:   none"), "{out}");
+        // The contradiction seeds contaminate its island; the D/E
+        // island stays clean.
+        assert!(out.contains("contamination:"), "{out}");
+        assert!(out.contains("2 clean"), "{out}");
+        assert!(out.contains("module sizes:"), "{out}");
+        // A clean KB reports no contamination at all.
+        let fs = MemFs::new(&[("kb.dl4", "A SubClassOf B\nx : A")]);
+        let out = fs.run(&["modules", "kb.dl4"]).unwrap();
+        assert!(out.contains("contamination: none detected"), "{out}");
+    }
+
+    #[test]
+    fn modules_emits_machine_readable_json() {
+        let fs = MemFs::new(&[("kb.dl4", ISLANDS)]);
+        let out = fs.run(&["modules", "kb.dl4", "--format", "json"]).unwrap();
+        let v = jsonio::Value::parse(&out).unwrap();
+        assert_eq!(v.get("axioms").unwrap().as_i64(), Some(5));
+        assert_eq!(v.get("components").unwrap().as_array().unwrap().len(), 2);
+        assert!(v.get("dead_axioms").unwrap().as_array().unwrap().is_empty());
+        let cont = v.get("contamination").unwrap();
+        assert_eq!(cont.get("clean").unwrap().as_array().unwrap().len(), 2);
+        assert!(cont.get("max_radius").unwrap().as_i64().is_some());
+        let modules = v.get("modules").unwrap().as_array().unwrap();
+        // One entry per signature concept (A, B, D, E), sorted.
+        assert_eq!(modules.len(), 4);
+        assert_eq!(modules[0].get("concept").unwrap().as_str(), Some("A"));
+        assert!(modules[0].get("module_size").unwrap().as_i64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn modules_rejects_unknown_format() {
+        let fs = MemFs::new(&[("kb.dl4", ISLANDS)]);
+        assert!(matches!(
+            fs.run(&["modules", "kb.dl4", "--format", "xml"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn module_scoping_flag_preserves_output_and_reports_counters() {
+        let fs = MemFs::new(&[("kb.dl4", MEDICAL)]);
+        // Scoped and unscoped runs must print identical reports …
+        let plain = fs.run(&["report", "kb.dl4"]).unwrap();
+        let scoped = fs.run(&["report", "kb.dl4", "--module-scoping"]).unwrap();
+        assert_eq!(plain, scoped);
+        let classified = fs.run(&["classify", "kb.dl4", "--module-scoping"]).unwrap();
+        assert_eq!(classified, fs.run(&["classify", "kb.dl4"]).unwrap());
+        // … and `check --module-scoping` surfaces the module counters,
+        // while the unscoped run keeps the historical stats block.
+        let checked = fs.run(&["check", "kb.dl4", "--module-scoping"]).unwrap();
+        assert!(checked.contains("satisfiable:  true"), "{checked}");
+        assert!(checked.contains("modules:"), "{checked}");
+        assert!(checked.contains("scoped queries"), "{checked}");
+        let unscoped = fs.run(&["check", "kb.dl4"]).unwrap();
+        assert!(!unscoped.contains("modules:"), "{unscoped}");
     }
 
     #[test]

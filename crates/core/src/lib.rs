@@ -50,6 +50,7 @@
 //! ```
 
 pub mod analysis;
+pub mod dataflow;
 pub mod inclusion;
 pub mod induced;
 pub mod interp4;

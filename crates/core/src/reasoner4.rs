@@ -28,6 +28,7 @@
 //! 4. **the tableau** — via the engine, which itself applies
 //!    model-based pruning and the shared consistency cache.
 
+use crate::dataflow::{self, ModuleExtractor, SigAtom};
 use crate::inclusion::InclusionKind;
 use crate::kb4::{Axiom4, KnowledgeBase4};
 use crate::told::ToldIndex;
@@ -37,8 +38,9 @@ use dl::kb::KnowledgeBase;
 use dl::name::{ConceptName, IndividualName, RoleName};
 use dl::Concept;
 use fourval::TruthValue;
-use std::collections::HashMap;
-use std::sync::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 use tableau::{Config, QueryEngine, ReasonerError, Stats};
 
 /// Knobs for the batch query pipeline (orthogonal to the tableau
@@ -105,6 +107,44 @@ pub struct Reasoner4 {
     /// Exact entailment results: `(a, C̄) → K̄ ⊨ a : C̄`.
     instance_cache: Mutex<HashMap<(IndividualName, Concept), bool>>,
     told: Option<ToldIndex>,
+    /// Module-scoped execution (`Config::module_scoping`): per-query
+    /// seed → `⊤`-locality module → a small engine over just that
+    /// module. `None` when scoping is off (the default).
+    scoping: Option<Scoping>,
+}
+
+/// State for module-scoped query execution: the extractor (built once
+/// per KB) plus a cache of engines keyed by the extracted module, so
+/// queries that land in the same region share one preprocessed engine.
+struct Scoping {
+    extractor: ModuleExtractor,
+    engines: Mutex<HashMap<BTreeSet<usize>, Arc<QueryEngine>>>,
+    config: Config,
+}
+
+impl Scoping {
+    /// Extract the module for `seed` and return the engine over it,
+    /// recording the extraction counters into `main` (the full-KB
+    /// engine merges all module-scoping stats, so `Reasoner4::stats`
+    /// reports the whole pipeline from one place).
+    fn engine_for_seed(&self, main: &QueryEngine, seed: &BTreeSet<SigAtom>) -> Arc<QueryEngine> {
+        let t0 = Instant::now();
+        let module = self.extractor.extract(seed);
+        main.merge_stats(&Stats {
+            scoped_queries: 1,
+            module_axioms: module.axioms.len() as u64,
+            module_extraction_ns: t0.elapsed().as_nanos() as u64,
+            ..Stats::default()
+        });
+        let mut engines = self.engines.lock().expect("scoped engines lock");
+        if let Some(e) = engines.get(&module.axioms) {
+            return Arc::clone(e);
+        }
+        let kb = self.extractor.induced_module_kb(&module);
+        let engine = Arc::new(QueryEngine::with_config(&kb, self.config.clone()));
+        engines.insert(module.axioms.clone(), Arc::clone(&engine));
+        engine
+    }
 }
 
 impl Reasoner4 {
@@ -121,8 +161,17 @@ impl Reasoner4 {
     /// Build with explicit tableau *and* pipeline configuration.
     pub fn with_options(kb4: &KnowledgeBase4, config: Config, opts: QueryOptions) -> Self {
         let induced = transform::transform_kb(kb4);
-        let engine = QueryEngine::with_config(&induced, config);
+        let engine = QueryEngine::with_config(&induced, config.clone());
         let told = opts.told_fast_path.then(|| ToldIndex::build(kb4));
+        let scoping = config.module_scoping.then(|| Scoping {
+            extractor: ModuleExtractor::new(kb4),
+            engines: Mutex::new(HashMap::new()),
+            config: Config {
+                // Scoped sub-engines answer plain classical queries.
+                module_scoping: false,
+                ..config
+            },
+        });
         Reasoner4 {
             induced,
             engine,
@@ -130,6 +179,7 @@ impl Reasoner4 {
             transformer: Mutex::new(Transformer::memoized()),
             instance_cache: Mutex::new(HashMap::new()),
             told,
+            scoping,
         }
     }
 
@@ -149,9 +199,19 @@ impl Reasoner4 {
         &self.opts
     }
 
-    /// Accumulated tableau statistics.
+    /// Accumulated tableau statistics. Under module scoping this folds
+    /// in every scoped sub-engine's counters plus the module-extraction
+    /// counters (`scoped_queries`, `module_axioms`,
+    /// `module_extraction_ns`), which the main engine merged at query
+    /// time.
     pub fn stats(&self) -> Stats {
-        self.engine.stats()
+        let mut s = self.engine.stats();
+        if let Some(sc) = &self.scoping {
+            for e in sc.engines.lock().expect("scoped engines lock").values() {
+                s.absorb(&e.stats());
+            }
+        }
+        s
     }
 
     /// The told-index verdict for `(a, c)`, if the fast path is enabled:
@@ -177,6 +237,48 @@ impl Reasoner4 {
             .neg_concept(c)
     }
 
+    /// Instance check `K̄ ⊨ a : tc`, routed through the module of the
+    /// query signature when scoping is on. Sound because `sig(a : tc)`
+    /// is contained in the extraction seed, so the module preserves the
+    /// verdict both ways (see `crate::dataflow` docs).
+    fn engine_instance(&self, a: &IndividualName, tc: &Concept) -> Result<bool, ReasonerError> {
+        if let Some(sc) = &self.scoping {
+            let mut seed = BTreeSet::new();
+            dataflow::classical_concept_atoms(tc, &mut seed);
+            seed.insert(SigAtom::Individual(a.clone()));
+            return sc
+                .engine_for_seed(&self.engine, &seed)
+                .is_instance_of(a, tc);
+        }
+        self.engine.is_instance_of(a, tc)
+    }
+
+    /// Classical axiom entailment over `K̄`, module-scoped by the
+    /// axiom's own signature when scoping is on.
+    fn engine_entails(&self, ax: &Axiom) -> Result<bool, ReasonerError> {
+        if let Some(sc) = &self.scoping {
+            let mut seed = BTreeSet::new();
+            dataflow::classical_axiom_atoms(ax, &mut seed);
+            return sc.engine_for_seed(&self.engine, &seed).entails(ax);
+        }
+        self.engine.entails(ax)
+    }
+
+    /// Concept satisfiability w.r.t. `K̄`, module-scoped by the test
+    /// concept's signature when scoping is on. (Sound in both
+    /// directions: a module model expands to a full-KB model preserving
+    /// the extension of every seed-signature concept.)
+    fn engine_concept_sat(&self, test: &Concept) -> Result<bool, ReasonerError> {
+        if let Some(sc) = &self.scoping {
+            let mut seed = BTreeSet::new();
+            dataflow::classical_concept_atoms(test, &mut seed);
+            return sc
+                .engine_for_seed(&self.engine, &seed)
+                .is_concept_satisfiable(test);
+        }
+        self.engine.is_concept_satisfiable(test)
+    }
+
     /// Instance check over `K̄` through the entailment cache.
     fn cached_instance(&self, a: &IndividualName, tc: &Concept) -> Result<bool, ReasonerError> {
         if self.opts.entailment_cache {
@@ -184,14 +286,14 @@ impl Reasoner4 {
             if let Some(&hit) = self.instance_cache.lock().expect("cache lock").get(&key) {
                 return Ok(hit);
             }
-            let answer = self.engine.is_instance_of(a, tc)?;
+            let answer = self.engine_instance(a, tc)?;
             self.instance_cache
                 .lock()
                 .expect("cache lock")
                 .insert(key, answer);
             Ok(answer)
         } else {
-            self.engine.is_instance_of(a, tc)
+            self.engine_instance(a, tc)
         }
     }
 
@@ -201,6 +303,16 @@ impl Reasoner4 {
     /// with classical behaviour (nominals, number restrictions, `⊥`,
     /// distinctness) can make a SHOIN(D)4 KB unsatisfiable.
     pub fn is_satisfiable(&self) -> Result<bool, ReasonerError> {
+        if let Some(sc) = &self.scoping {
+            // The ∅-seeded module is exactly the never-⊤-local core —
+            // the only axioms that can make a SHOIN(D)4 KB
+            // unsatisfiable (nominals, distinctness, negative role
+            // assertions and what they pull in). Both directions of the
+            // module property apply with an empty query signature.
+            return sc
+                .engine_for_seed(&self.engine, &BTreeSet::new())
+                .is_consistent();
+        }
         self.engine.is_consistent()
     }
 
@@ -302,7 +414,7 @@ impl Reasoner4 {
         a: &IndividualName,
         b: &IndividualName,
     ) -> Result<bool, ReasonerError> {
-        self.engine.entails(&Axiom::RoleAssertion(
+        self.engine_entails(&Axiom::RoleAssertion(
             r.with_suffix(transform::POS_SUFFIX),
             a.clone(),
             b.clone(),
@@ -317,7 +429,7 @@ impl Reasoner4 {
         a: &IndividualName,
         b: &IndividualName,
     ) -> Result<bool, ReasonerError> {
-        self.engine.entails(&Axiom::ConceptAssertion(
+        self.engine_entails(&Axiom::ConceptAssertion(
             a.clone(),
             Concept::all(
                 RoleExpr::named(r.with_suffix(transform::EQ_SUFFIX)),
@@ -371,20 +483,19 @@ impl Reasoner4 {
                     // C ↦ D iff ¬(¬C̄) ⊓ ¬D̄ unsatisfiable in K̄.
                     InclusionKind::Material => {
                         let test = neg_cbar.not().and(dbar.not());
-                        Ok(!self.engine.is_concept_satisfiable(&test)?)
+                        Ok(!self.engine_concept_sat(&test)?)
                     }
                     // C ⊏ D iff C̄ ⊓ ¬D̄ unsatisfiable.
                     InclusionKind::Internal => {
                         let test = cbar.and(dbar.not());
-                        Ok(!self.engine.is_concept_satisfiable(&test)?)
+                        Ok(!self.engine_concept_sat(&test)?)
                     }
                     // C → D iff additionally ¬D̄ ⊓ ¬(¬C̄) unsatisfiable —
                     // i.e. ¬D̄ ⊑ ¬C̄ also holds.
                     InclusionKind::Strong => {
                         let fwd = cbar.and(dbar.not());
                         let bwd = neg_dbar.and(neg_cbar.not());
-                        Ok(!self.engine.is_concept_satisfiable(&fwd)?
-                            && !self.engine.is_concept_satisfiable(&bwd)?)
+                        Ok(!self.engine_concept_sat(&fwd)? && !self.engine_concept_sat(&bwd)?)
                     }
                 }
             }
@@ -396,7 +507,7 @@ impl Reasoner4 {
                     .axiom(other);
                 // Every transformed image must be classically entailed.
                 for classical_ax in images {
-                    if !self.engine.entails(&classical_ax)? {
+                    if !self.engine_entails(&classical_ax)? {
                         return Ok(false);
                     }
                 }
@@ -750,6 +861,88 @@ mod tests {
         assert!(bare
             .has_positive_info(&ind("y"), &Concept::atomic("C"))
             .unwrap());
+    }
+
+    #[test]
+    fn module_scoping_preserves_verdicts_and_counts_modules() {
+        let src = "A SubClassOf B
+             x : A
+             x : not A
+             C SubClassOf D
+             y : C
+             r(x, y)
+             not r(y, x)";
+        let kb = parse_kb4(src).unwrap();
+        let scoped = Reasoner4::with_options(
+            &kb,
+            Config {
+                module_scoping: true,
+                ..Config::default()
+            },
+            QueryOptions::baseline(),
+        );
+        let plain = Reasoner4::with_options(&kb, Config::default(), QueryOptions::baseline());
+        assert_eq!(
+            scoped.is_satisfiable().unwrap(),
+            plain.is_satisfiable().unwrap()
+        );
+        for i in ["x", "y", "ghost"] {
+            for c in ["A", "B", "C", "D"] {
+                let (i, c) = (ind(i), Concept::atomic(c));
+                assert_eq!(
+                    scoped.query(&i, &c).unwrap(),
+                    plain.query(&i, &c).unwrap(),
+                    "verdict differs for {i:?}:{c:?}"
+                );
+            }
+        }
+        let role = RoleName::new("r");
+        for (a, b) in [("x", "y"), ("y", "x"), ("x", "x")] {
+            assert_eq!(
+                scoped.query_role(&role, &ind(a), &ind(b)).unwrap(),
+                plain.query_role(&role, &ind(a), &ind(b)).unwrap()
+            );
+        }
+        let s = scoped.stats();
+        assert!(s.scoped_queries > 0);
+        // Modules are genuinely smaller than the KB on average here
+        // (two unrelated islands).
+        assert!(s.module_axioms < s.scoped_queries * kb.len() as u64);
+        // The unscoped pipeline records no module counters.
+        assert_eq!(plain.stats().scoped_queries, 0);
+        assert_eq!(plain.stats().module_axioms, 0);
+    }
+
+    #[test]
+    fn module_scoping_inclusion_entailment_parity() {
+        let src = "A SubClassOf B
+             B SubClassOf C
+             E StrongSubClassOf F
+             q : E";
+        let kb = parse_kb4(src).unwrap();
+        let scoped = Reasoner4::with_options(
+            &kb,
+            Config {
+                module_scoping: true,
+                ..Config::default()
+            },
+            QueryOptions::baseline(),
+        );
+        let plain = Reasoner4::with_options(&kb, Config::default(), QueryOptions::baseline());
+        for kind in [
+            InclusionKind::Internal,
+            InclusionKind::Material,
+            InclusionKind::Strong,
+        ] {
+            for (l, r) in [("A", "C"), ("C", "A"), ("E", "F"), ("F", "E"), ("A", "F")] {
+                let ax = Axiom4::ConceptInclusion(kind, Concept::atomic(l), Concept::atomic(r));
+                assert_eq!(
+                    scoped.entails(&ax).unwrap(),
+                    plain.entails(&ax).unwrap(),
+                    "entailment differs for {l} {kind:?} {r}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -14,12 +14,16 @@
 //! * [`inject`] — controlled contradiction injection into any KB, with a
 //!   record of what was injected (so experiments can distinguish poisoned
 //!   from clean queries);
+//! * [`modular`] — disjoint axiom islands with planted ground-truth
+//!   partitions and per-island contradictions (the workload for the
+//!   signature-dataflow analysis and module-scoped querying);
 //! * [`queries`] — instance-query workloads over a KB's signature.
 
 pub mod exceptions;
 pub mod inject;
 pub mod lintseed;
 pub mod medical;
+pub mod modular;
 pub mod queries;
 pub mod random;
 pub mod taxonomy;
@@ -28,6 +32,7 @@ pub mod university;
 pub use inject::{inject_contradictions, Injection};
 pub use lintseed::{lint_seeded_kb4, lint_seeded_kb4_sized, LintSeedParams, PlantedFindings};
 pub use medical::{medical_kb, MedicalParams};
+pub use modular::{modular_kb4, ModularParams, PlantedPartition};
 pub use queries::instance_queries;
 pub use random::{random_kb, random_kb4, RandomParams};
 pub use taxonomy::{taxonomy_kb, TaxonomyParams};

@@ -1,0 +1,238 @@
+//! Contested-signature propagation: flow "contested" markers from
+//! OL00x contradiction seeds along signature-dependency edges, yielding
+//! per-name contamination radii and a clean/contaminated partition of
+//! the KB — the static complement of the paper's localization claim
+//! (a contradiction only threatens conclusions *reachable* from it).
+//!
+//! The propagation is a multi-source BFS over the shared-atom axiom
+//! graph, so "radius" is counted in dependency hops: radius 0 is the
+//! contradicting axioms themselves, radius 1 the axioms sharing a
+//! signature atom with them, and so on. Axioms the BFS never reaches
+//! form the **clean region**: no chain of shared names connects them to
+//! any detected contradiction, so (by the module argument in
+//! [`shoin4::dataflow`]) their verdicts are what they would be in a KB
+//! with the contaminated region deleted.
+
+use crate::dataflow::signature::{DepGraph, SigAtom};
+use crate::diagnostics::{Diagnostic, Severity};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// OL303 fires when contamination spreads at least this many hops from
+/// a contradiction seed.
+pub const OL303_RADIUS_THRESHOLD: usize = 3;
+
+/// The result of contested-signature propagation.
+#[derive(Debug, Clone)]
+pub struct Contamination {
+    /// Seed axiom indices (from OL00x `Error` diagnostics), sorted.
+    pub seeds: Vec<usize>,
+    /// Per-axiom BFS distance from the nearest seed (`None` = clean).
+    pub distance: Vec<Option<usize>>,
+    /// Per-atom contamination radius: the smallest distance of any
+    /// axiom mentioning the atom. Names absent here are untouched.
+    pub name_radius: BTreeMap<SigAtom, usize>,
+    /// Axioms reachable from a seed, sorted.
+    pub contaminated: Vec<usize>,
+    /// The rest, sorted.
+    pub clean: Vec<usize>,
+}
+
+impl Contamination {
+    /// The largest finite distance (0 when only seeds are contaminated;
+    /// `None` when there are no seeds at all).
+    pub fn max_radius(&self) -> Option<usize> {
+        self.distance.iter().flatten().max().copied()
+    }
+}
+
+/// Propagate contested markers from `seeds` along shared-atom edges.
+pub fn propagate(graph: &DepGraph, seeds: &[usize]) -> Contamination {
+    let n = graph.len();
+    let mut distance: Vec<Option<usize>> = vec![None; n];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut sorted_seeds: Vec<usize> = seeds.iter().copied().filter(|&i| i < n).collect();
+    sorted_seeds.sort_unstable();
+    sorted_seeds.dedup();
+    for &s in &sorted_seeds {
+        distance[s] = Some(0);
+        queue.push_back(s);
+    }
+    while let Some(i) = queue.pop_front() {
+        let d = distance[i].expect("queued axioms have a distance");
+        for atom in &graph.atoms[i] {
+            for &j in &graph.by_atom[atom] {
+                if distance[j].is_none() {
+                    distance[j] = Some(d + 1);
+                    queue.push_back(j);
+                }
+            }
+        }
+    }
+    let mut name_radius: BTreeMap<SigAtom, usize> = BTreeMap::new();
+    for (i, d) in distance.iter().enumerate() {
+        if let Some(d) = d {
+            for atom in &graph.atoms[i] {
+                name_radius
+                    .entry(atom.clone())
+                    .and_modify(|r| *r = (*r).min(*d))
+                    .or_insert(*d);
+            }
+        }
+    }
+    let (contaminated, clean): (Vec<usize>, Vec<usize>) =
+        (0..n).partition(|&i| distance[i].is_some());
+    Contamination {
+        seeds: sorted_seeds,
+        distance,
+        name_radius,
+        contaminated,
+        clean,
+    }
+}
+
+/// The contradiction seeds of a diagnostic set: every axiom implicated
+/// by an `Error`-severity OL00x finding.
+pub fn contradiction_seeds(diags: &[Diagnostic]) -> Vec<usize> {
+    let mut seeds: BTreeSet<usize> = BTreeSet::new();
+    for d in diags {
+        if d.severity == Severity::Error && d.rule.starts_with("OL0") {
+            seeds.extend(d.axioms.iter().copied());
+        }
+    }
+    seeds.into_iter().collect()
+}
+
+/// OL303: the contamination front of some contradiction travelled at
+/// least [`OL303_RADIUS_THRESHOLD`] dependency hops — conclusions far
+/// from the contested fact are exposed to it. `Warning`, not `Error`:
+/// reachability is a may-depend over-approximation, the four-valued
+/// semantics often stops the spread earlier (that is the paper's
+/// point).
+pub fn check_radius(graph: &DepGraph, prior: &[Diagnostic], out: &mut Vec<Diagnostic>) {
+    let seeds = contradiction_seeds(prior);
+    if seeds.is_empty() {
+        return;
+    }
+    let cont = propagate(graph, &seeds);
+    let Some(radius) = cont.max_radius() else {
+        return;
+    };
+    if radius < OL303_RADIUS_THRESHOLD {
+        return;
+    }
+    out.push(Diagnostic {
+        rule: "OL303",
+        severity: Severity::Warning,
+        axioms: cont.seeds.clone(),
+        subject: None,
+        message: format!(
+            "contradiction contamination spreads {radius} dependency hops from its \
+             seeds (threshold {OL303_RADIUS_THRESHOLD}): {} of {} axioms are \
+             signature-reachable from a contested fact",
+            cont.contaminated.len(),
+            graph.len(),
+        ),
+        suggestion: Some(
+            "resolve the seed contradictions or decouple the regions (split shared \
+             names) to shrink the exposed surface; `shoin4 modules` prints the \
+             partition"
+                .to_string(),
+        ),
+        claim: None,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::modules::ModuleExtractor;
+    use shoin4::parse_kb4;
+
+    fn graph(src: &str) -> DepGraph {
+        DepGraph::build(&parse_kb4(src).unwrap())
+    }
+
+    #[test]
+    fn propagation_counts_hops_and_partitions() {
+        // 0: x:A, 1: x:not A (seeds) — 2: A⊑B touches A⁺ (hop 1) —
+        // 3: B⊑C (hop 2) — 4/5: a separate island (clean).
+        let g = graph(
+            "x : A
+             x : not A
+             A SubClassOf B
+             B SubClassOf C
+             D SubClassOf E
+             y : D",
+        );
+        let c = propagate(&g, &[0, 1]);
+        assert_eq!(c.distance[2], Some(1));
+        assert_eq!(c.distance[3], Some(2));
+        assert_eq!(c.distance[4], None);
+        assert_eq!(c.clean, vec![4, 5]);
+        assert_eq!(c.max_radius(), Some(2));
+        // Per-name radii: B's positive half is first touched at hop 1.
+        assert_eq!(
+            c.name_radius[&SigAtom::ConceptPos(dl::ConceptName::new("B"))],
+            1
+        );
+        assert!(!c
+            .name_radius
+            .contains_key(&SigAtom::ConceptPos(dl::ConceptName::new("D"))));
+    }
+
+    #[test]
+    fn ol303_fires_only_past_the_threshold() {
+        let far = parse_kb4(
+            "x : A
+             x : not A
+             A SubClassOf B
+             B SubClassOf C
+             C SubClassOf D",
+        )
+        .unwrap();
+        let near = parse_kb4(
+            "x : A
+             x : not A
+             A SubClassOf B",
+        )
+        .unwrap();
+        for (kb, expect) in [(far, true), (near, false)] {
+            let diags = crate::lint_kb4(&kb);
+            assert_eq!(diags.iter().any(|d| d.rule == "OL303"), expect, "{diags:?}");
+            // Never an Error: OL303 carries no oracle-checked claim.
+            assert!(diags
+                .iter()
+                .filter(|d| d.rule == "OL303")
+                .all(|d| d.severity == Severity::Warning && d.claim.is_none()));
+        }
+    }
+
+    #[test]
+    fn clean_region_matches_module_intuition() {
+        // The clean region is closed under module extraction from its
+        // own names: no clean-seeded module touches a contaminated
+        // axiom. (The full differential version lives in
+        // tests/module_parity.rs.)
+        let kb = parse_kb4(
+            "x : A
+             x : not A
+             A SubClassOf B
+             D SubClassOf E
+             y : D",
+        )
+        .unwrap();
+        let g = DepGraph::build(&kb);
+        let c = propagate(&g, &[0, 1]);
+        assert_eq!(c.clean, vec![3, 4]);
+        let ex = ModuleExtractor::new(&kb);
+        let m = ex.extract(&shoin4::dataflow::concept_seed(&dl::Concept::atomic("E")));
+        assert!(m.axioms.iter().all(|i| c.clean.contains(i)));
+    }
+
+    #[test]
+    fn no_seeds_no_rule() {
+        let kb = parse_kb4("A SubClassOf B\nx : A").unwrap();
+        let diags = crate::lint_kb4(&kb);
+        assert!(diags.iter().all(|d| d.rule != "OL303"));
+    }
+}

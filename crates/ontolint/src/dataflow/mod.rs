@@ -1,0 +1,44 @@
+//! Signature dataflow analysis: the whole-KB static pass behind
+//! module-scoped query execution and the OL30x lint family.
+//!
+//! Three layers, one per submodule:
+//!
+//! * [`signature`] — polarity-aware signature atoms and the axiom
+//!   dependency graph (two axioms are adjacent iff they share an atom
+//!   of the *split* signature, so internal/material/strong inclusions
+//!   couple names exactly as §3.1's projections dictate);
+//! * [`modules`] — syntactic module extraction (`⊤`-locality fixpoint)
+//!   and the rules OL301 (dead axiom), OL302 (disconnected group) and
+//!   OL304 (module ≫ told-cone anomaly);
+//! * [`contamination`] — contested-signature propagation from OL00x
+//!   seeds, the clean/contaminated partition, and OL303 (contamination
+//!   radius above threshold).
+//!
+//! The OL30x rules are advisory (`Info`/`Warning`): the *semantic*
+//! guarantee — extracted modules preserve every four-valued verdict —
+//! is enforced where it matters, in the reasoner's
+//! `Config::module_scoping` path, and machine-checked differentially in
+//! `tests/module_parity.rs` against the unscoped engine and the
+//! `fourmodels` enumeration oracle.
+
+pub mod contamination;
+pub mod modules;
+pub mod signature;
+
+pub use contamination::{contradiction_seeds, propagate, Contamination};
+pub use modules::{Module, ModuleExtractor};
+pub use signature::{DepGraph, SigAtom};
+
+use crate::diagnostics::Diagnostic;
+use shoin4::KnowledgeBase4;
+
+/// Run every dataflow rule. `prior` must already contain the
+/// contradiction-family findings (OL00x) — their `Error` diagnostics
+/// seed the contamination propagation.
+pub fn run(kb: &KnowledgeBase4, prior: &[Diagnostic], out: &mut Vec<Diagnostic>) {
+    let extractor = ModuleExtractor::new(kb);
+    modules::check_dead_axioms(kb, &extractor, out);
+    modules::check_disconnected(&extractor, out);
+    contamination::check_radius(extractor.graph(), prior, out);
+    modules::check_module_blowup(kb, &extractor, out);
+}

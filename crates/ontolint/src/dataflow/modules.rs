@@ -1,0 +1,266 @@
+//! Module-extraction based rules: dead axioms (OL301), disconnected
+//! axiom groups (OL302), and module-blowup anomalies (OL304).
+//!
+//! [`Module`] extraction itself ([`shoin4::dataflow`], re-exported
+//! here) is the `⊤`-locality fixpoint the reasoner uses for query
+//! scoping; the linter turns its *global* consequences into
+//! diagnostics. All three rules are `Info` — none of them claims a
+//! defect, so the zero-false-positive `Error` contract is untouched
+//! (the semantic guarantee behind modules is machine-checked in
+//! `tests/module_parity.rs` instead, by pinning every scoped verdict
+//! against the unscoped engine and the `fourmodels` oracle).
+
+pub use shoin4::dataflow::{Admission, Module, ModuleExtractor};
+
+use crate::dataflow::signature::full_signature_seed;
+use crate::diagnostics::{Diagnostic, Severity};
+use shoin4::told::ToldGraph;
+use shoin4::{Axiom4, KnowledgeBase4};
+use std::collections::BTreeSet;
+
+/// OL304 fires when a concept's module is at least this many times its
+/// told cone…
+pub const OL304_FACTOR: usize = 4;
+/// …and at least this large in absolute terms.
+pub const OL304_MIN_MODULE: usize = 8;
+/// At most this many OL304 candidate concepts are examined (sorted
+/// order, so the choice is deterministic); the rule is a per-concept
+/// module extraction and must stay inside the lint time budget.
+pub const OL304_MAX_CANDIDATES: usize = 32;
+
+/// OL301: axioms outside the module of the *full* signature seed. By
+/// module monotonicity they are outside the module of every query over
+/// the KB's names — no four-valued verdict can change when they are
+/// dropped.
+pub fn check_dead_axioms(
+    kb: &KnowledgeBase4,
+    extractor: &ModuleExtractor,
+    out: &mut Vec<Diagnostic>,
+) {
+    let full = extractor.extract(&full_signature_seed(kb));
+    for i in 0..kb.len() {
+        if full.axioms.contains(&i) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "OL301",
+            severity: Severity::Info,
+            axioms: vec![i],
+            subject: None,
+            message: "axiom is dead: it lies outside the module of every query \
+                      over the KB's signature"
+                .to_string(),
+            suggestion: Some(
+                "the axiom is ⊤-local against the full signature (e.g. a `⊑ Thing` \
+                 consequence); deleting it changes no verdict"
+                    .to_string(),
+            ),
+            claim: None,
+        });
+    }
+}
+
+/// OL302: connected components of the shared-atom axiom graph beyond
+/// the largest one. Axioms in different components cannot influence
+/// each other through any chain of names — the KB is a disjoint union
+/// of independent ontologies.
+pub fn check_disconnected(extractor: &ModuleExtractor, out: &mut Vec<Diagnostic>) {
+    let comps = extractor.graph().components();
+    if comps.len() <= 1 {
+        return;
+    }
+    for comp in &comps[1..] {
+        out.push(Diagnostic {
+            rule: "OL302",
+            severity: Severity::Info,
+            axioms: comp.clone(),
+            subject: None,
+            message: format!(
+                "disconnected axiom group ({} of {} axioms): shares no signature \
+                 atom with the rest of the KB",
+                comp.len(),
+                extractor.graph().len(),
+            ),
+            suggestion: Some(
+                "independent regions are fine (module scoping exploits them), but \
+                 an unintended split often indicates a typo in a bridging name"
+                    .to_string(),
+            ),
+            claim: None,
+        });
+    }
+}
+
+/// OL304: a concept whose extracted module dwarfs its told cone — the
+/// atomic-inclusion neighbourhood a reader (and the told fast path)
+/// sees. Complex axioms couple the name far beyond its apparent
+/// hierarchy, which makes queries about it unexpectedly expensive and
+/// reviews unexpectedly non-local.
+pub fn check_module_blowup(
+    kb: &KnowledgeBase4,
+    extractor: &ModuleExtractor,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Candidates: atomic concepts occurring in some inclusion with a
+    // complex side — only those can out-couple their told cone.
+    let mut candidates: BTreeSet<dl::ConceptName> = BTreeSet::new();
+    for ax in kb.axioms() {
+        if let Axiom4::ConceptInclusion(_, lhs, rhs) = ax {
+            if !matches!(lhs, dl::Concept::Atomic(_)) || !matches!(rhs, dl::Concept::Atomic(_)) {
+                for side in [lhs, rhs] {
+                    candidates.extend(side.concept_names());
+                }
+            }
+        }
+    }
+    let graph = ToldGraph::build(kb);
+    for name in candidates.into_iter().take(OL304_MAX_CANDIDATES) {
+        let module = extractor.extract(&shoin4::dataflow::concept_seed(&dl::Concept::Atomic(
+            name.clone(),
+        )));
+        let cone = told_cone(&graph, kb, &name);
+        if module.axioms.len() >= OL304_MIN_MODULE
+            && module.axioms.len() >= OL304_FACTOR * cone.len().max(1)
+        {
+            let extra: Vec<usize> = module.axioms.difference(&cone).copied().collect();
+            out.push(Diagnostic {
+                rule: "OL304",
+                severity: Severity::Info,
+                axioms: extra,
+                subject: Some(name.to_string()),
+                message: format!(
+                    "queries about `{name}` depend on a module of {} axioms, {}× its \
+                     told neighbourhood of {}",
+                    module.axioms.len(),
+                    module.axioms.len() / cone.len().max(1),
+                    cone.len(),
+                ),
+                suggestion: Some(
+                    "complex inclusions couple this name far beyond its atomic \
+                     hierarchy; consider splitting the coupling axioms if locality \
+                     matters"
+                        .to_string(),
+                ),
+                claim: None,
+            });
+        }
+    }
+}
+
+/// The told cone of a concept: axioms on told edges reachable from it
+/// (forward, contrapositive and negative) plus direct assertions about
+/// reachable names — the "apparent" dependency set of the name.
+fn told_cone(graph: &ToldGraph, kb: &KnowledgeBase4, name: &dl::ConceptName) -> BTreeSet<usize> {
+    let mut names: BTreeSet<dl::ConceptName> = BTreeSet::from([name.clone()]);
+    let mut axioms: BTreeSet<usize> = BTreeSet::new();
+    let mut queue: Vec<dl::ConceptName> = vec![name.clone()];
+    while let Some(n) = queue.pop() {
+        for edges in [
+            graph.pos_edges.get(&n),
+            graph.rev_pos_edges.get(&n),
+            graph.neg_edges.get(&n),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            for e in edges {
+                axioms.insert(e.axiom);
+                if names.insert(e.to.clone()) {
+                    queue.push(e.to.clone());
+                }
+            }
+        }
+    }
+    for (i, ax) in kb.axioms().iter().enumerate() {
+        if let Axiom4::ConceptAssertion(_, c) = ax {
+            if c.concept_names().iter().any(|n| names.contains(n)) {
+                axioms.insert(i);
+            }
+        }
+    }
+    axioms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shoin4::parse_kb4;
+
+    fn run_all(src: &str) -> Vec<Diagnostic> {
+        let kb = parse_kb4(src).unwrap();
+        let extractor = ModuleExtractor::new(&kb);
+        let mut out = Vec::new();
+        check_dead_axioms(&kb, &extractor, &mut out);
+        check_disconnected(&extractor, &mut out);
+        check_module_blowup(&kb, &extractor, &mut out);
+        out
+    }
+
+    #[test]
+    fn ol301_flags_top_local_axioms_only() {
+        let diags = run_all(
+            "A SubClassOf Thing
+             B and Nothing SubClassOf C
+             A SubClassOf B
+             x : A",
+        );
+        let dead: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "OL301").collect();
+        assert_eq!(dead.len(), 2);
+        assert_eq!(dead[0].axioms, vec![0]);
+        assert_eq!(dead[1].axioms, vec![1]);
+    }
+
+    #[test]
+    fn ol302_flags_each_extra_component() {
+        let diags = run_all(
+            "A SubClassOf B
+             x : A
+             C SubClassOf D
+             E SubClassOf F",
+        );
+        let comps: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "OL302").collect();
+        // Three islands: the largest is unflagged, the other two are.
+        assert_eq!(comps.len(), 2);
+        assert!(comps.iter().all(|d| d.severity == Severity::Info));
+    }
+
+    #[test]
+    fn connected_kb_yields_no_ol302() {
+        let diags = run_all(
+            "A SubClassOf B
+             B SubClassOf C
+             x : A",
+        );
+        assert!(diags.iter().all(|d| d.rule != "OL302"));
+    }
+
+    #[test]
+    fn ol304_flags_complexly_coupled_concepts() {
+        // `Hub`'s told cone is empty (no atomic-to-atomic inclusion),
+        // but complex inclusions couple it to a large region.
+        let mut src = String::new();
+        for i in 0..10 {
+            src.push_str(&format!("S{i} and T{i} SubClassOf Hub\n"));
+            src.push_str(&format!("x{i} : S{i}\n"));
+        }
+        let diags = run_all(&src);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == "OL304" && d.subject.as_deref() == Some("Hub")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn plain_hierarchies_yield_no_ol304() {
+        let diags = run_all(
+            "A SubClassOf B
+             B SubClassOf C
+             C SubClassOf D
+             x : A
+             y : B",
+        );
+        assert!(diags.iter().all(|d| d.rule != "OL304"));
+    }
+}

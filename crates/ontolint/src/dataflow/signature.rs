@@ -1,0 +1,36 @@
+//! Polarity-aware signature atoms and the axiom dependency graph.
+//!
+//! The machinery lives in [`shoin4::dataflow`] (the reasoner's
+//! module-scoped query execution uses it without depending on this
+//! crate — the same layering as [`crate::graph`] / `shoin4::told`);
+//! this module re-exports it under the linter's paths and adds the
+//! lint-facing helpers.
+
+pub use shoin4::dataflow::{
+    classical_axiom_atoms, classical_concept_atoms, concept_seed, full_signature_seed, AxiomKind,
+    DepGraph, SigAtom,
+};
+
+use shoin4::KnowledgeBase4;
+
+/// The atomic concepts of the KB's unsplit signature, sorted — the
+/// per-name axis along which the dataflow rules report (contamination
+/// radii, module sizes).
+pub fn signature_concepts(kb: &KnowledgeBase4) -> Vec<dl::ConceptName> {
+    kb.signature().concepts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shoin4::parse_kb4;
+
+    #[test]
+    fn reexports_resolve_and_agree_with_core() {
+        let kb = parse_kb4("A SubClassOf B\nx : A").unwrap();
+        let g = DepGraph::build(&kb);
+        assert_eq!(g.len(), 2);
+        assert!(g.atoms[0].contains(&SigAtom::ConceptPos(dl::ConceptName::new("A"))));
+        assert_eq!(signature_concepts(&kb).len(), 2);
+    }
+}

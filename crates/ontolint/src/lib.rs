@@ -11,6 +11,10 @@
 //!   tautological axioms, duplicates, shadowed inclusions.
 //! * **Reduction cost** (`OL201`–`OL202`): the exact per-axiom and
 //!   KB-level growth under the Definitions 5–7 classical reduction.
+//! * **Signature dataflow** (`OL301`–`OL304`): dead axioms, disconnected
+//!   axiom groups, contradiction-contamination radii, and module-blowup
+//!   anomalies, all derived from the [`dataflow`] analysis that also
+//!   powers the reasoner's module-scoped query execution.
 //!
 //! The severity contract: every [`Severity::Error`] finding carries a
 //! [`Claim`] that an exact procedure (the `fourmodels` enumeration oracle
@@ -31,6 +35,7 @@
 
 pub mod contradictions;
 pub mod cost;
+pub mod dataflow;
 pub mod diagnostics;
 pub mod graph;
 pub mod hygiene;
@@ -44,6 +49,11 @@ use shoin4::{InclusionKind, KnowledgeBase4};
 pub fn lint_kb4(kb: &KnowledgeBase4) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     contradictions::run(kb, &mut out);
+    // The dataflow rules read the contradiction findings (OL00x Error
+    // axioms seed the contamination propagation), so they run second on
+    // a snapshot of the list.
+    let contradiction_diags = out.clone();
+    dataflow::run(kb, &contradiction_diags, &mut out);
     hygiene::run(kb, &mut out);
     cost::run(kb, &mut out);
     out.sort_by(|a, b| {

@@ -1,0 +1,150 @@
+//! The classical-embedding lint path: `lint_kb` must behave exactly like
+//! parsing the same source as SHOIN(D)4 (where `⊑` is internal
+//! inclusion, the paper's Example 2 embedding) and linting that. Every
+//! classically-expressible rule is exercised through *both* parse paths
+//! and the diagnostic lists are compared structurally — rule, severity,
+//! axiom indices, subjects, claims.
+//!
+//! Rules needing four-valued-only syntax (negative role assertions for
+//! OL002, material inclusions for OL007, mixed inclusion kinds for
+//! OL105) cannot fire through the embedding; the last test pins that
+//! down by showing the classical parser rejects the trigger syntax.
+
+use ontolint::{lint_kb, lint_kb4, Diagnostic, Severity};
+
+/// Lint `src` through both paths — the classical parser followed by the
+/// embedding, and the four-valued parser directly — and require
+/// structurally identical findings.
+fn parity(src: &str) -> Vec<Diagnostic> {
+    let classical = dl::parser::parse_kb(src).expect("classical parse");
+    let via_embedding = lint_kb(&classical);
+    let four = shoin4::parse_kb4(src).expect("four-valued parse");
+    let direct = lint_kb4(&four);
+    assert_eq!(
+        via_embedding, direct,
+        "embedding path diverges from the direct path on:\n{src}"
+    );
+    via_embedding
+}
+
+fn has(diags: &[Diagnostic], rule: &str) -> bool {
+    diags.iter().any(|d| d.rule == rule)
+}
+
+#[test]
+fn ol001_direct_contradiction_fires_through_the_embedding() {
+    let diags = parity("x : A\nx : not A");
+    assert!(has(&diags, "OL001"), "{diags:?}");
+    assert_eq!(diags[0].severity, Severity::Error);
+    assert!(diags[0].claim.is_some());
+}
+
+#[test]
+fn ol003_chain_contradiction_fires_through_the_embedding() {
+    let diags = parity(
+        "Penguin SubClassOf Bird
+         x : Penguin
+         x : not Bird",
+    );
+    assert!(has(&diags, "OL003"), "{diags:?}");
+    assert_eq!(diags[0].axioms, [0, 1, 2]);
+}
+
+#[test]
+fn ol004_equality_conflicts_fire_through_the_embedding() {
+    let diags = parity("a = b\nb = c\na != c");
+    assert!(has(&diags, "OL004"), "{diags:?}");
+    let diags = parity("a != a");
+    assert!(has(&diags, "OL004"), "{diags:?}");
+}
+
+#[test]
+fn ol005_cardinality_tension_fires_through_the_embedding() {
+    let diags = parity("x : r max 1\nr(x, a)\nr(x, b)");
+    assert!(has(&diags, "OL005"), "{diags:?}");
+}
+
+#[test]
+fn ol006_classical_strength_conflicts_fire_through_the_embedding() {
+    assert!(has(&parity("x : Nothing"), "OL006"));
+    assert!(has(&parity("a : {b}\na != b"), "OL006"));
+}
+
+#[test]
+fn hygiene_rules_fire_through_the_embedding() {
+    // OL101 orphans, OL102 cycles, OL103 tautologies, OL104 duplicates.
+    let diags = parity("A SubClassOf B\nx : A\nOrphan SubClassOf A");
+    assert!(has(&diags, "OL101"), "{diags:?}");
+    let diags = parity("A SubClassOf B\nB SubClassOf A\nC SubClassOf A");
+    assert!(has(&diags, "OL102"), "{diags:?}");
+    let diags = parity(
+        "A SubClassOf Thing
+         Nothing SubClassOf B
+         A SubClassOf A
+         r SubRoleOf r",
+    );
+    assert!(has(&diags, "OL103"), "{diags:?}");
+    let diags = parity("A SubClassOf B\nx : A\nA SubClassOf B");
+    assert!(has(&diags, "OL104"), "{diags:?}");
+}
+
+#[test]
+fn cost_rules_fire_through_the_embedding() {
+    // A deep concept is flagged for reduction growth; the KB summary
+    // always fires.
+    let diags = parity("x : r some (s some (A and B and C))\ny : A");
+    assert!(has(&diags, "OL202"), "{diags:?}");
+}
+
+#[test]
+fn dataflow_rules_fire_through_the_embedding() {
+    // OL301: the `⊑ Thing` axiom is dead. OL302: two signature islands.
+    let diags = parity("A SubClassOf Thing\nA SubClassOf B\nC SubClassOf D");
+    assert!(has(&diags, "OL301"), "{diags:?}");
+    assert!(has(&diags, "OL302"), "{diags:?}");
+    // OL303: a contradiction whose contamination front travels far.
+    let diags = parity(
+        "x : A
+         x : not A
+         A SubClassOf B
+         B SubClassOf C
+         C SubClassOf D",
+    );
+    assert!(has(&diags, "OL303"), "{diags:?}");
+}
+
+/// Clean KBs stay clean through both paths (no spurious findings from
+/// the embedding's suffix bookkeeping).
+#[test]
+fn clean_kbs_are_clean_through_the_embedding() {
+    let diags = parity(
+        "A SubClassOf B
+         B SubClassOf C
+         x : A
+         y : B
+         r(x, y)",
+    );
+    assert!(
+        diags.iter().all(|d| d.severity == Severity::Info),
+        "{diags:?}"
+    );
+}
+
+/// OL002 (negative role assertions), OL007 (material chains) and OL105
+/// (mixed inclusion kinds) require syntax the classical language does
+/// not have — the embedding can never produce them, and the classical
+/// parser rejects their triggers.
+#[test]
+fn four_valued_only_rules_are_inexpressible_classically() {
+    for src in [
+        "r(a, b)\nnot r(a, b)",
+        "Bird MaterialSubClassOf Fly",
+        "A SubClassOf B\nA StrongSubClassOf B",
+    ] {
+        assert!(
+            dl::parser::parse_kb(src).is_err(),
+            "classical parser unexpectedly accepts:\n{src}"
+        );
+        assert!(shoin4::parse_kb4(src).is_ok(), "{src}");
+    }
+}

@@ -418,7 +418,7 @@ pub mod collection {
     use super::{SizeRange, Strategy, TestRng};
     use std::collections::BTreeSet;
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         elem: S,

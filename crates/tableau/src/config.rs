@@ -56,6 +56,14 @@ pub struct Config {
     /// (sound — see `engine` module docs; `true` is the optimized
     /// default, `false` forces every query through the tableau).
     pub model_pruning: bool,
+    /// Signature-based module scoping: before each query, extract the
+    /// syntactic module of the query signature (`shoin4::dataflow`) and
+    /// run the tableau on that subset only. Off by default — it is a
+    /// four-valued-level optimization, honored by `shoin4::Reasoner4`
+    /// (the classical engine itself never reads it); verdict parity
+    /// with the unscoped engine is property-tested in
+    /// `tests/module_parity.rs`.
+    pub module_scoping: bool,
     /// Wall-clock budget for one search. `None` means unbounded. The
     /// node/rule caps bound *space* and *counted work*, but a diverging
     /// nominal search (NN-rule with inverse roles) grows slowly enough
@@ -74,6 +82,7 @@ impl Default for Config {
             search: SearchStrategy::Trail,
             absorption: true,
             model_pruning: true,
+            module_scoping: false,
             time_budget: Some(Duration::from_secs(30)),
         }
     }
@@ -123,6 +132,9 @@ mod tests {
         // (measured in EXPERIMENTS.md §X5 / BENCH_backjump.json).
         assert!(c.semantic_branching);
         assert_eq!(c.search, SearchStrategy::Trail);
+        // Module scoping is opt-in: the default pipeline stays
+        // byte-identical to the unscoped engine.
+        assert!(!c.module_scoping);
         assert!(c.max_nodes > 0);
     }
 

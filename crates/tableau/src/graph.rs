@@ -7,7 +7,7 @@
 //!
 //! Every fact carries a [`DepSet`] of responsible branch points, and —
 //! when trailing is enabled (`SearchStrategy::Trail`) — every mutation
-//! appends a [`TrailEntry`] so [`CompletionGraph::undo_to`] can restore
+//! appends a `TrailEntry` so [`CompletionGraph::undo_to`] can restore
 //! any earlier state exactly in O(changes undone). The `_d` method
 //! variants thread dep-sets; the plain variants pass empty deps and serve
 //! the snapshot engine and graph setup, where facts are unconditional.

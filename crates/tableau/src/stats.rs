@@ -29,6 +29,15 @@ pub struct Stats {
     /// Clashes by kind, indexed by [`Clash::kind_index`] and labelled by
     /// [`crate::clash::KIND_LABELS`].
     pub clashes_by_kind: [u64; KIND_COUNT],
+    /// Queries answered through an extracted module instead of the full
+    /// KB (module scoping; counted by the four-valued layer).
+    pub scoped_queries: u64,
+    /// Total axioms across all extracted modules (so
+    /// `module_axioms / scoped_queries` is the mean module size).
+    pub module_axioms: u64,
+    /// Wall-clock nanoseconds spent extracting modules — the overhead
+    /// side of the module-scoping trade.
+    pub module_extraction_ns: u64,
 }
 
 impl Stats {
@@ -49,6 +58,9 @@ impl Stats {
         self.backjumps += other.backjumps;
         self.trail_len_peak = self.trail_len_peak.max(other.trail_len_peak);
         self.branch_depth_peak = self.branch_depth_peak.max(other.branch_depth_peak);
+        self.scoped_queries += other.scoped_queries;
+        self.module_axioms += other.module_axioms;
+        self.module_extraction_ns += other.module_extraction_ns;
         for (mine, theirs) in self
             .clashes_by_kind
             .iter_mut()
@@ -88,10 +100,16 @@ mod tests {
             backjumps: 10,
             trail_len_peak: 3,
             branch_depth_peak: 9,
+            scoped_queries: 2,
+            module_axioms: 30,
+            module_extraction_ns: 400,
             ..Stats::default()
         };
         a.absorb(&b);
         assert_eq!(a.nodes_created, 11);
+        assert_eq!(a.scoped_queries, 2);
+        assert_eq!(a.module_axioms, 30);
+        assert_eq!(a.module_extraction_ns, 400);
         assert_eq!(a.peak_graph_size, 5);
         assert_eq!(a.graph_clones, 16);
         assert_eq!(a.backjumps, 17);

@@ -17,7 +17,7 @@
 //! every uncertain site in `rules.rs` unions *more* rather than less.
 //!
 //! The trail itself is a flat undo log: each graph mutation appends one
-//! [`TrailEntry`], and [`crate::graph::CompletionGraph::undo_to`] replays
+//! `TrailEntry`, and [`crate::graph::CompletionGraph::undo_to`] replays
 //! entries in reverse to restore any earlier state exactly (`==` on the
 //! graph) — the branching mechanism of the trail search, replacing the
 //! snapshot engine's whole-graph clones.
