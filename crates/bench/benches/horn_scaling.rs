@@ -1,0 +1,183 @@
+//! The consequence-driven Horn fast path vs the module-scoped tableau,
+//! on ontogen's connected Horn corpus (`ontogen::horn`). Connectivity
+//! makes this the regime the fast path exists for: every query module
+//! drags in most of the terminology, so the scoped tableau re-searches
+//! a KB-sized axiom set per query while the saturation engine compiles
+//! the module once, saturates the goal-relevant slice once, and answers
+//! repeat queries from memoized closures.
+//!
+//! Both series run with the told fast path, the entailment cache and
+//! model pruning disabled (`jobs = 1`), and both pay module extraction
+//! inside the measurement (fresh reasoner per pass), so the comparison
+//! isolates saturation-vs-search on identical query plans.
+//!
+//! Besides the Criterion group this writes summary rows to
+//! `target/experiments/horn_scaling.jsonl` and refreshes the committed
+//! snapshot `BENCH_horn.json` at the repo root (including the
+//! `speedup_largest` row EXPERIMENTS.md §X7 cites). Set `BENCH_SMOKE=1`
+//! to shrink the series for CI smoke runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dl::name::IndividualName;
+use dl::Concept;
+use ontogen::horn::{horn_kb4, HornParams};
+use shoin4::reasoner4::QueryOptions;
+use shoin4::{KnowledgeBase4, Reasoner4};
+use std::hint::black_box;
+use std::io::Write;
+use tableau::Config;
+
+fn corpus(n: usize) -> KnowledgeBase4 {
+    horn_kb4(&HornParams {
+        n_concepts: 2 * n,
+        n_roles: 3,
+        n_individuals: n,
+        n_tbox: 4 * n,
+        n_abox: 2 * n,
+        strong_rate: 0.3,
+        material_rate: 0.0,
+        disjunction_rate: 0.0,
+        seed: 7,
+    })
+}
+
+/// A fixed grid of instance queries: a few individuals from along the
+/// role chain against concepts spread over the ladder. The count stays
+/// constant as the KB grows, so scaling isolates per-query cost.
+fn queries(p: &HornParams) -> Vec<(IndividualName, Concept)> {
+    let mut queries = Vec::new();
+    for i in 0..4usize {
+        let a = IndividualName::new(format!("h{}", i * p.n_individuals / 4));
+        for j in 0..8usize {
+            let c = Concept::atomic(format!("H{}", j * p.n_concepts / 8));
+            queries.push((a.clone(), c));
+        }
+    }
+    queries
+}
+
+fn reasoner(kb: &KnowledgeBase4, horn: bool) -> Reasoner4 {
+    let config = Config {
+        model_pruning: false,
+        // The baseline is the *scoped* tableau — the strongest tableau
+        // configuration for this corpus — so the reported speedup is
+        // saturation over search, not saturation over a handicap.
+        module_scoping: !horn,
+        horn_path: horn,
+        ..Config::default()
+    };
+    let opts = QueryOptions {
+        jobs: 1,
+        told_fast_path: false,
+        entailment_cache: false,
+    };
+    Reasoner4::with_options(kb, config, opts)
+}
+
+/// One full pass over the query set on a fresh reasoner (fresh so both
+/// series pay module extraction — and the Horn series its compilation
+/// and saturation — inside the measurement).
+fn run_queries(kb: &KnowledgeBase4, queries: &[(IndividualName, Concept)], horn: bool) {
+    let r = reasoner(kb, horn);
+    for (a, c) in queries {
+        black_box(r.query(a, c).expect("within limits"));
+    }
+}
+
+fn timed_us_per_query(
+    kb: &KnowledgeBase4,
+    queries: &[(IndividualName, Concept)],
+    horn: bool,
+    reps: u32,
+) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..reps {
+        run_queries(kb, queries, horn);
+    }
+    start.elapsed().as_micros() as f64 / (reps as usize * queries.len()) as f64
+}
+
+fn bench_horn_scaling(c: &mut Criterion) {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let sizes: &[usize] = if smoke { &[4] } else { &[8, 16, 32] };
+    let mut rows = Vec::new();
+    let mut largest = (f64::NAN, f64::NAN); // (scoped tableau, horn) us/query
+
+    let mut group = c.benchmark_group("horn_scaling");
+    group.sample_size(10);
+    for &n in sizes {
+        let kb = corpus(n);
+        let p = HornParams {
+            n_concepts: 2 * n,
+            n_individuals: n,
+            ..HornParams::default()
+        };
+        let qs = queries(&p);
+        let len = kb.len();
+        // The routed reasoner must saturate, never fall back, on this
+        // corpus — the zero-fallback acceptance gate, enforced where the
+        // numbers are produced.
+        let probe = reasoner(&kb, true);
+        for (a, c) in &qs {
+            probe.query(a, c).expect("within limits");
+        }
+        let stats = probe.stats();
+        assert!(stats.horn_queries > 0, "fast path never engaged");
+        assert_eq!(stats.horn_fallbacks, 0, "non-Horn module in Horn corpus");
+        for horn in [false, true] {
+            let series = if horn { "horn" } else { "scoped-tableau" };
+            if n == sizes[0] {
+                group.bench_with_input(BenchmarkId::new(series, len), &kb, |b, kb| {
+                    b.iter(|| run_queries(kb, &qs, horn))
+                });
+            }
+            let reps = if horn || smoke { 5 } else { 2 };
+            let us = timed_us_per_query(&kb, &qs, horn, reps);
+            rows.push(bench::ExperimentRow {
+                experiment: "horn_scaling".into(),
+                x: len as f64,
+                series: series.into(),
+                value: us,
+                unit: "us/query".into(),
+            });
+            if n == *sizes.last().expect("nonempty") {
+                if horn {
+                    largest.1 = us;
+                } else {
+                    largest.0 = us;
+                }
+            }
+        }
+    }
+    group.finish();
+
+    let (tableau_us, horn_us) = largest;
+    rows.push(bench::ExperimentRow {
+        experiment: "horn_scaling".into(),
+        x: corpus(*sizes.last().expect("nonempty")).len() as f64,
+        series: "speedup_largest".into(),
+        value: tableau_us / horn_us,
+        unit: "x".into(),
+    });
+    bench::write_rows("horn_scaling", &rows).expect("write rows");
+
+    // Committed snapshot (skipped for smoke runs so CI never clobbers
+    // the checked-in numbers with reduced-size measurements).
+    if !smoke {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_horn.json");
+        let mut f = std::fs::File::create(path).expect("snapshot file");
+        writeln!(f, "{{").expect("write");
+        writeln!(f, "  \"experiment\": \"horn_scaling\",").expect("write");
+        writeln!(f, "  \"unit\": \"us/query\",").expect("write");
+        writeln!(f, "  \"rows\": [").expect("write");
+        for (i, row) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            writeln!(f, "    {}{comma}", row.to_json()).expect("write");
+        }
+        writeln!(f, "  ]").expect("write");
+        writeln!(f, "}}").expect("write");
+    }
+}
+
+criterion_group!(benches, bench_horn_scaling);
+criterion_main!(benches);

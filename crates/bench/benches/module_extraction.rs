@@ -57,6 +57,11 @@ fn reasoner(kb: &KnowledgeBase4, module_scoping: bool) -> Reasoner4 {
     let config = Config {
         model_pruning: false,
         module_scoping,
+        // Measure scoping against the plain tableau: with the Horn fast
+        // path on (the default) Horn modules would bypass the scoped
+        // search being measured (that path has its own bench,
+        // `horn_scaling`).
+        horn_path: false,
         ..Config::default()
     };
     let opts = QueryOptions {

@@ -2,15 +2,54 @@
 //! (`target/experiments/*.jsonl`, written by the benches) into markdown
 //! tables — the data half of EXPERIMENTS.md.
 //!
-//! Rows are appended on every bench run; the summarizer keeps the *last*
-//! row per (experiment, series, x), i.e. the most recent measurement.
+//! The committed repo-root snapshots (`BENCH_*.json` — e.g.
+//! `BENCH_modules.json`, `BENCH_horn.json`) are read first as the
+//! baseline, so the summary is complete even before any local bench
+//! run; rows are appended on every bench run and the summarizer keeps
+//! the *last* row per (experiment, series, x), i.e. the most recent
+//! local measurement wins over the snapshot.
 
 use std::collections::BTreeMap;
 use std::path::Path;
 
+/// Parse one committed snapshot (`{"experiment": …, "rows": [ … ]}`)
+/// into experiment rows; `None` if the file isn't in snapshot shape.
+fn snapshot_rows(text: &str) -> Option<Vec<bench::ExperimentRow>> {
+    let v = jsonio::Value::parse(text).ok()?;
+    v.get("rows")?
+        .as_array()?
+        .iter()
+        .map(bench::ExperimentRow::from_json)
+        .collect()
+}
+
 fn main() -> std::io::Result<()> {
-    let dir = Path::new("target").join("experiments");
     let mut latest: BTreeMap<(String, String, u64), (f64, String)> = BTreeMap::new();
+    for entry in std::fs::read_dir(".")? {
+        let path = entry?.path();
+        let is_snapshot = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"));
+        if !is_snapshot {
+            continue;
+        }
+        match std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|t| snapshot_rows(&t))
+        {
+            Some(rows) => {
+                for row in rows {
+                    latest.insert(
+                        (row.experiment, row.series, row.x.to_bits()),
+                        (row.value, row.unit),
+                    );
+                }
+            }
+            None => eprintln!("skipping malformed snapshot {path:?}"),
+        }
+    }
+    let dir = Path::new("target").join("experiments");
     if dir.exists() {
         for entry in std::fs::read_dir(&dir)? {
             let path = entry?.path();

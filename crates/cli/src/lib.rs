@@ -71,6 +71,7 @@ FLAGS (check/report/classify, any order):
     --jobs N            N ≥ 1 worker threads (absent = auto)
     --stats             append search counters
     --module-scoping    run each query on its extracted module only
+    --no-horn           disable the Horn saturation fast path (A/B runs)
 
 Ontologies use the line-based Manchester-like syntax (see README).";
 
@@ -100,12 +101,16 @@ struct QueryFlags {
     stats: bool,
     /// `--module-scoping`: run each query on its extracted module.
     module_scoping: bool,
+    /// `--no-horn`: force every query through the tableau (the Horn
+    /// saturation fast path is on by default).
+    no_horn: bool,
 }
 
 impl QueryFlags {
     fn config(self) -> tableau::Config {
         tableau::Config {
             module_scoping: self.module_scoping,
+            horn_path: !self.no_horn,
             ..tableau::Config::default()
         }
     }
@@ -119,8 +124,9 @@ impl QueryFlags {
 }
 
 /// Parse trailing query flags: `[--jobs N]` (N ≥ 1 worker threads;
-/// absent = auto), `[--stats]` (append search counters) and
-/// `[--module-scoping]` (scope each query to its module), in any order.
+/// absent = auto), `[--stats]` (append search counters),
+/// `[--module-scoping]` (scope each query to its module) and
+/// `[--no-horn]` (disable the Horn fast path), in any order.
 fn parse_query_flags(rest: &[String]) -> Result<QueryFlags, CliError> {
     let mut flags = QueryFlags::default();
     let mut it = rest.iter();
@@ -132,6 +138,7 @@ fn parse_query_flags(rest: &[String]) -> Result<QueryFlags, CliError> {
             },
             "--stats" => flags.stats = true,
             "--module-scoping" => flags.module_scoping = true,
+            "--no-horn" => flags.no_horn = true,
             _ => return Err(CliError::Usage(USAGE.to_string())),
         }
     }
@@ -178,6 +185,17 @@ fn write_stats_block(out: &mut String, stats: &tableau::Stats) {
             stats.scoped_queries,
             stats.module_axioms,
             stats.module_extraction_ns / 1_000
+        )
+        .unwrap();
+    }
+    // Likewise for the Horn fast path: the line appears only once a
+    // query was actually routed (answered or fell back), so tableau-only
+    // runs and `--no-horn` keep the historical block byte-identical.
+    if stats.horn_queries > 0 || stats.horn_fallbacks > 0 {
+        writeln!(
+            out,
+            "horn:         {} saturated queries, {} clauses, {} rounds, {} fallbacks",
+            stats.horn_queries, stats.horn_clauses, stats.saturation_rounds, stats.horn_fallbacks
         )
         .unwrap();
     }
@@ -566,6 +584,33 @@ john : UrgencyTeam";
     }
 
     #[test]
+    fn horn_counters_appear_only_when_the_fast_path_runs() {
+        // A fully Horn KB: every routed query saturates instead of
+        // searching, so `check` (which always prints the stats block)
+        // surfaces the horn counters — and `--no-horn` restores the
+        // historical tableau-only output byte-for-byte.
+        const HORN: &str = "Doctor SubClassOf Person\nPerson SubClassOf Agent\nmeredith : Doctor";
+        let fs = MemFs::new(&[("kb.dl4", HORN)]);
+        let fast = fs.run(&["check", "kb.dl4"]).unwrap();
+        assert!(fast.contains("horn:"), "{fast}");
+        assert!(fast.contains("saturated queries"), "{fast}");
+        assert!(fast.contains("0 fallbacks"), "{fast}");
+        let slow = fs.run(&["check", "kb.dl4", "--no-horn"]).unwrap();
+        assert!(!slow.contains("horn:"), "{slow}");
+        assert!(slow.contains("satisfiable:  true"), "{slow}");
+        // Routing is invisible in answers: the report bodies agree.
+        assert_eq!(
+            fs.run(&["report", "kb.dl4"]).unwrap(),
+            fs.run(&["report", "kb.dl4", "--no-horn"]).unwrap()
+        );
+        // The contested medical KB forces non-Horn modules, so routed
+        // queries are counted as fallbacks rather than saturations.
+        let fs = MemFs::new(&[("kb.dl4", MEDICAL)]);
+        let surveyed = fs.run(&["report", "kb.dl4", "--stats"]).unwrap();
+        assert!(surveyed.contains("fallbacks"), "{surveyed}");
+    }
+
+    #[test]
     fn check_breaks_clashes_down_by_kind() {
         let fs = MemFs::new(&[("kb.dl4", MEDICAL)]);
         let out = fs.run(&["check", "kb.dl4"]).unwrap();
@@ -670,13 +715,22 @@ y : D";
         assert_eq!(plain, scoped);
         let classified = fs.run(&["classify", "kb.dl4", "--module-scoping"]).unwrap();
         assert_eq!(classified, fs.run(&["classify", "kb.dl4"]).unwrap());
-        // … and `check --module-scoping` surfaces the module counters,
-        // while the unscoped run keeps the historical stats block.
-        let checked = fs.run(&["check", "kb.dl4", "--module-scoping"]).unwrap();
+        // … and `check --module-scoping --no-horn` surfaces the module
+        // counters (the Horn fast path sits in front of scoping, and on
+        // this KB it settles satisfiability from the trivially Horn
+        // ∅-seed module before the scoped tableau is consulted — so the
+        // scoped counters need `--no-horn` to appear), while the
+        // unscoped run keeps the historical stats block.
+        let checked = fs
+            .run(&["check", "kb.dl4", "--module-scoping", "--no-horn"])
+            .unwrap();
         assert!(checked.contains("satisfiable:  true"), "{checked}");
         assert!(checked.contains("modules:"), "{checked}");
         assert!(checked.contains("scoped queries"), "{checked}");
-        let unscoped = fs.run(&["check", "kb.dl4"]).unwrap();
+        let fast = fs.run(&["check", "kb.dl4", "--module-scoping"]).unwrap();
+        assert!(fast.contains("satisfiable:  true"), "{fast}");
+        assert!(fast.contains("horn:"), "{fast}");
+        let unscoped = fs.run(&["check", "kb.dl4", "--no-horn"]).unwrap();
         assert!(!unscoped.contains("modules:"), "{unscoped}");
     }
 

@@ -1,0 +1,1033 @@
+//! Consequence-driven Horn fast path: detect when the classical image of
+//! an extracted module falls inside a Horn fragment and answer atomic
+//! instance/subsumption queries by datalog-style saturation instead of
+//! tableau search (ROADMAP item 3; the set-based DL⁴ reasoner line in
+//! PAPERS.md is the conceptual ancestor).
+//!
+//! # The accepted fragment
+//!
+//! [`compile`] walks the *classical images* (Definition 6) of a module's
+//! axioms and either produces a [`HornProgram`] or rejects the module.
+//! Accepted:
+//!
+//! * inclusions whose left side is built from atomic names, `⊤`, `⊓`,
+//!   `∃R.C` / `≥1 R` (with inverse roles), and a *top-level* `⊔` (split
+//!   into one clause per disjunct), and whose right side is built from
+//!   atomic names, `⊤`, `⊓` and `∀R.C`;
+//! * role inclusions (including inverses), transitivity;
+//! * concept assertions whose concept fits the right-side grammar,
+//!   role assertions;
+//! * `a ≠ b` for distinct names (recorded but inert: the fragment has no
+//!   equality reasoning, so distinctness can never fire).
+//!
+//! Everything else — `¬` anywhere (so every *material* image, whose left
+//! side is `¬(¬C̄)`), `⊥`, nominals, `≥n` for `n ≥ 2`, `≤n`, datatype
+//! constructs, `a = b`, and the `∀R⁼.¬{b}` images of negative role
+//! assertions — rejects the module, and the router falls back to the
+//! tableau. Crucially this mirrors the told-index's soundness line:
+//! material inclusions tolerate exceptions and are *never* treated as
+//! rules (see `crate::told`).
+//!
+//! # Why saturation is sound *and complete* here
+//!
+//! An accepted program has no `⊥`, no equality, no number restrictions
+//! and no existential heads, so the set of facts closed under its rules
+//! — the least Herbrand model over the named individuals plus one
+//! anonymous element — *is* a model of the module, and every model
+//! contains it pointwise. Hence for split-atomic goals:
+//!
+//! * `K̄ ⊨ P(a)` iff `P(a)` is in the least model (the anonymous element
+//!   stands in for individuals the module never mentions: only
+//!   empty-body rules can reach it, because no role edge ever touches
+//!   it);
+//! * `K̄ ⊨ P ⊑ Q` iff `Q` is derivable from `{P}` using the unary rules
+//!   alone (a fresh test element has no role successors, so edge rules
+//!   never fire on it).
+//!
+//! In particular an accepted module is always classically satisfiable.
+//!
+//! # Goal-directed evaluation (magic sets)
+//!
+//! Saturating a whole module to answer one membership question wastes
+//! work. [`HornProgram`] instead runs a *predicate-level relevance pass*
+//! in the spirit of magic sets: from the goal predicate, walk rule
+//! dependencies head → body and keep only the rules (and base facts)
+//! that can contribute to the goal. Saturation — semi-naive, delta-driven
+//! with per-predicate fact indexes and per-role edge indexes — then runs
+//! over that slice only, and the resulting closure is memoized keyed by
+//! the relevant-rule set, so goals with the same cone share one fixpoint.
+
+use dl::axiom::Axiom;
+use dl::name::{ConceptName, IndividualName, RoleName};
+use dl::Concept;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+/// A compiled rule. Variables are implicit: `Conj` relates one element,
+/// `Edge` relates the two ends of a role edge, the role rules relate
+/// edges to edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Rule {
+    /// `head(x) ← body₁(x) ∧ … ∧ bodyₖ(x)`; an empty body means the rule
+    /// fires on every domain element (`⊤ ⊑ head`).
+    Conj { head: u32, body: Vec<u32> },
+    /// For every edge `role(s, d)`: `head` holds at `s` (`head_at_src`)
+    /// or at `d`, guarded by `filler` holding at the *other* end.
+    /// Encodes both `∃R.F ⊑ aux` bodies and `src ⊑ ∀R.F` heads, with
+    /// inverse roles folded into `head_at_src`.
+    Edge {
+        head: u32,
+        role: u32,
+        head_at_src: bool,
+        filler: Option<u32>,
+    },
+    /// `head(x, y) ← body(x, y)`, or `head(y, x) ← body(x, y)` when
+    /// `swap` (an inverse on exactly one side of the role inclusion).
+    RoleIncl { head: u32, body: u32, swap: bool },
+    /// `role(x, z) ← role(x, y) ∧ role(y, z)`.
+    Trans { role: u32 },
+}
+
+/// Outcome of one Horn query: the verdict plus the number of semi-naive
+/// rounds actually executed to produce it (0 on a memoized closure).
+#[derive(Debug, Clone, Copy)]
+pub struct HornAnswer {
+    /// The (exact, bit-identical-to-the-tableau) verdict.
+    pub holds: bool,
+    /// Fresh saturation rounds this query triggered.
+    pub rounds: u64,
+}
+
+/// Memo key of a goal-relevance cone: the raw words of the relevant
+/// predicate and role bitsets.
+type ConeKey = (Vec<u64>, Vec<u64>);
+
+/// A compiled Horn program for one module, with memoized goal-directed
+/// closures. All query methods take `&self`; the memo tables sit behind
+/// mutexes so one program serves the whole batch pipeline.
+#[derive(Debug)]
+pub struct HornProgram {
+    /// Split concept name (`A+`, `B-`, …) → predicate id. Auxiliary
+    /// predicates minted during compilation live past `n_named`.
+    preds: HashMap<ConceptName, u32>,
+    n_preds: u32,
+    n_roles: u32,
+    inds: HashMap<IndividualName, u32>,
+    /// Domain size including the anonymous element (`n_inds` is the
+    /// anonymous element's id).
+    n_inds: u32,
+    rules: Vec<Rule>,
+    base_unary: Vec<(u32, u32)>,
+    base_edges: Vec<(u32, u32, u32)>,
+    /// Rule indexes for the relevance pass (rule producing a predicate /
+    /// a role).
+    rules_by_head_pred: Vec<Vec<usize>>,
+    rules_by_head_role: Vec<Vec<usize>>,
+    /// Base-fact indexes for goal-directed loading.
+    unary_by_pred: Vec<Vec<u32>>,
+    edges_by_role: Vec<Vec<(u32, u32)>>,
+    /// Memoized closures keyed by the relevant (pred, role) bitsets.
+    closures: Mutex<HashMap<ConeKey, Arc<Closure>>>,
+    /// Memoized unary-rule reachability for subsumption goals, keyed by
+    /// the start predicate (`None` = a predicate the module never
+    /// mentions, whose cone is the `⊤`-closure alone).
+    subsumers: Mutex<HashMap<Option<u32>, Arc<HashSet<u32>>>>,
+}
+
+/// One saturated (goal-sliced) fact set.
+#[derive(Debug)]
+struct Closure {
+    unary: HashSet<(u32, u32)>,
+    rounds: u64,
+}
+
+/// Compile the classical images of a module into a Horn program, or
+/// return `None` when any image falls outside the fragment — the
+/// classifier and the compiler are the same walk.
+pub fn compile<'a>(images: impl IntoIterator<Item = &'a Axiom>) -> Option<HornProgram> {
+    let mut c = Compiler::default();
+    for ax in images {
+        c.axiom(ax)?;
+    }
+    Some(c.finish())
+}
+
+#[derive(Default)]
+struct Compiler {
+    preds: HashMap<ConceptName, u32>,
+    n_preds: u32,
+    roles: HashMap<RoleName, u32>,
+    n_roles: u32,
+    inds: HashMap<IndividualName, u32>,
+    n_inds: u32,
+    rules: Vec<Rule>,
+    base_unary: Vec<(u32, u32)>,
+    base_edges: Vec<(u32, u32, u32)>,
+    /// Auxiliary predicate per complex subconcept, so repeated
+    /// subconcepts share their rule set.
+    aux: HashMap<Concept, u32>,
+    /// Marker predicate per individual with a complex assertion.
+    markers: HashMap<IndividualName, u32>,
+}
+
+impl Compiler {
+    fn pred(&mut self, name: &ConceptName) -> u32 {
+        *self.preds.entry(name.clone()).or_insert_with(|| {
+            self.n_preds += 1;
+            self.n_preds - 1
+        })
+    }
+
+    fn fresh_pred(&mut self) -> u32 {
+        self.n_preds += 1;
+        self.n_preds - 1
+    }
+
+    fn role(&mut self, name: &RoleName) -> u32 {
+        *self.roles.entry(name.clone()).or_insert_with(|| {
+            self.n_roles += 1;
+            self.n_roles - 1
+        })
+    }
+
+    fn ind(&mut self, name: &IndividualName) -> u32 {
+        *self.inds.entry(name.clone()).or_insert_with(|| {
+            self.n_inds += 1;
+            self.n_inds - 1
+        })
+    }
+
+    /// One axiom of the classical image; `None` rejects the module.
+    fn axiom(&mut self, ax: &Axiom) -> Option<()> {
+        match ax {
+            Axiom::ConceptInclusion(lhs, rhs) => {
+                for disjunct in flatten_or(lhs) {
+                    let src = self.body_pred(disjunct)?;
+                    self.emit_head(rhs, src)?;
+                }
+                Some(())
+            }
+            Axiom::RoleInclusion(r, s) => {
+                let rule = Rule::RoleIncl {
+                    head: self.role(s.name()),
+                    body: self.role(r.name()),
+                    swap: r.is_inverse() != s.is_inverse(),
+                };
+                self.rules.push(rule);
+                Some(())
+            }
+            Axiom::Transitive(r) => {
+                let role = self.role(r);
+                self.rules.push(Rule::Trans { role });
+                Some(())
+            }
+            Axiom::ConceptAssertion(a, c) => self.assert_concept(a, c),
+            Axiom::RoleAssertion(r, a, b) => {
+                let edge = (self.role(r), self.ind(a), self.ind(b));
+                self.base_edges.push(edge);
+                Some(())
+            }
+            // Inert without equality reasoning in the fragment — but a
+            // reflexive `a ≠ a` is a contradiction, which Horn modules
+            // must not contain (they are reported always-satisfiable).
+            Axiom::DifferentIndividuals(a, b) if a != b => {
+                self.ind(a);
+                self.ind(b);
+                Some(())
+            }
+            // Equality, datatypes, and reflexive distinctness leave the
+            // fragment.
+            _ => None,
+        }
+    }
+
+    /// An asserted concept: atomic conjunctions become base facts;
+    /// `∀`-shaped parts are routed through a per-individual marker
+    /// predicate and the head grammar.
+    fn assert_concept(&mut self, a: &IndividualName, c: &Concept) -> Option<()> {
+        match c {
+            Concept::Top => Some(()),
+            Concept::Atomic(p) => {
+                let fact = (self.pred(p), self.ind(a));
+                self.base_unary.push(fact);
+                Some(())
+            }
+            Concept::And(l, r) => {
+                self.assert_concept(a, l)?;
+                self.assert_concept(a, r)
+            }
+            Concept::All(..) => {
+                let m = match self.markers.get(a) {
+                    Some(&m) => m,
+                    None => {
+                        let m = self.fresh_pred();
+                        self.markers.insert(a.clone(), m);
+                        let fact = (m, self.ind(a));
+                        self.base_unary.push(fact);
+                        m
+                    }
+                };
+                self.emit_head(c, Some(m))
+            }
+            _ => None,
+        }
+    }
+
+    /// The left side of one clause: a conjunction of unary constraints
+    /// on the inclusion variable, collapsed to at most one predicate
+    /// (`None` = unconstrained, i.e. `⊤`).
+    fn body_pred(&mut self, c: &Concept) -> Option<Option<u32>> {
+        if let Some(&p) = self.aux.get(c) {
+            return Some(Some(p));
+        }
+        let conj = self.body_conj(c)?;
+        Some(match conj.len() {
+            0 => None,
+            1 => Some(conj[0]),
+            _ => {
+                let p = self.fresh_pred();
+                self.aux.insert(c.clone(), p);
+                self.rules.push(Rule::Conj {
+                    head: p,
+                    body: conj,
+                });
+                Some(p)
+            }
+        })
+    }
+
+    fn body_conj(&mut self, c: &Concept) -> Option<Vec<u32>> {
+        match c {
+            Concept::Top => Some(Vec::new()),
+            Concept::Atomic(p) => Some(vec![self.pred(p)]),
+            Concept::And(l, r) => {
+                let mut out = self.body_conj(l)?;
+                out.extend(self.body_conj(r)?);
+                Some(out)
+            }
+            Concept::Some(role, filler) => {
+                if let Some(&p) = self.aux.get(c) {
+                    return Some(vec![p]);
+                }
+                let filler = self.body_pred(filler)?;
+                let p = self.fresh_pred();
+                self.aux.insert(c.clone(), p);
+                let rule = Rule::Edge {
+                    head: p,
+                    role: self.role(role.name()),
+                    // `∃R.F` constrains the edge's source; `∃R⁻.F` its
+                    // destination.
+                    head_at_src: !role.is_inverse(),
+                    filler,
+                };
+                self.rules.push(rule);
+                Some(vec![p])
+            }
+            Concept::AtLeast(0, _) => Some(Vec::new()),
+            Concept::AtLeast(1, role) => {
+                if let Some(&p) = self.aux.get(c) {
+                    return Some(vec![p]);
+                }
+                let p = self.fresh_pred();
+                self.aux.insert(c.clone(), p);
+                let rule = Rule::Edge {
+                    head: p,
+                    role: self.role(role.name()),
+                    head_at_src: !role.is_inverse(),
+                    filler: None,
+                };
+                self.rules.push(rule);
+                Some(vec![p])
+            }
+            // `⊔` below the top level, `¬`, `⊥`, nominals, `≥n`/`≤n`,
+            // datatypes: genuinely disjunctive / numeric — not Horn.
+            _ => None,
+        }
+    }
+
+    /// The right side of a clause, with `src` the (collapsed) body
+    /// predicate (`None` = fires on every element).
+    fn emit_head(&mut self, c: &Concept, src: Option<u32>) -> Option<()> {
+        match c {
+            Concept::Top => Some(()),
+            Concept::Atomic(p) => {
+                let head = self.pred(p);
+                self.rules.push(Rule::Conj {
+                    head,
+                    body: src.into_iter().collect(),
+                });
+                Some(())
+            }
+            Concept::And(l, r) => {
+                self.emit_head(l, src)?;
+                self.emit_head(r, src)
+            }
+            Concept::All(role, filler) => {
+                if matches!(**filler, Concept::Top) {
+                    return Some(());
+                }
+                let target = self.head_pred(filler)?;
+                let rule = Rule::Edge {
+                    head: target,
+                    role: self.role(role.name()),
+                    // `src ⊑ ∀R.F` pushes `F` to the edge's destination
+                    // (guarded by `src` at the source); the inverse role
+                    // pushes backwards.
+                    head_at_src: role.is_inverse(),
+                    filler: src,
+                };
+                self.rules.push(rule);
+                Some(())
+            }
+            // Existential heads would need fresh witnesses (no least
+            // Herbrand model); `⊔`, `¬`, `⊥`, nominals and the numeric /
+            // datatype constructs are not Horn heads either.
+            _ => None,
+        }
+    }
+
+    /// A single predicate equivalent to the head concept `c` (for `∀`
+    /// targets): atomic names directly, anything else via a memoized
+    /// auxiliary predicate defined by `aux ⊑ c`.
+    fn head_pred(&mut self, c: &Concept) -> Option<u32> {
+        match c {
+            Concept::Atomic(p) => Some(self.pred(p)),
+            _ => {
+                if let Some(&p) = self.aux.get(c) {
+                    return Some(p);
+                }
+                let p = self.fresh_pred();
+                self.aux.insert(c.clone(), p);
+                self.emit_head(c, Some(p))?;
+                Some(p)
+            }
+        }
+    }
+
+    fn finish(self) -> HornProgram {
+        let mut rules_by_head_pred = vec![Vec::new(); self.n_preds as usize];
+        let mut rules_by_head_role = vec![Vec::new(); self.n_roles as usize];
+        for (i, rule) in self.rules.iter().enumerate() {
+            match rule {
+                Rule::Conj { head, .. } | Rule::Edge { head, .. } => {
+                    rules_by_head_pred[*head as usize].push(i)
+                }
+                Rule::RoleIncl { head, .. } => rules_by_head_role[*head as usize].push(i),
+                Rule::Trans { role } => rules_by_head_role[*role as usize].push(i),
+            }
+        }
+        let mut unary_by_pred = vec![Vec::new(); self.n_preds as usize];
+        for &(p, a) in &self.base_unary {
+            unary_by_pred[p as usize].push(a);
+        }
+        let mut edges_by_role = vec![Vec::new(); self.n_roles as usize];
+        for &(r, s, d) in &self.base_edges {
+            edges_by_role[r as usize].push((s, d));
+        }
+        HornProgram {
+            preds: self.preds,
+            n_preds: self.n_preds,
+            n_roles: self.n_roles,
+            inds: self.inds,
+            n_inds: self.n_inds,
+            rules: self.rules,
+            base_unary: self.base_unary,
+            base_edges: self.base_edges,
+            rules_by_head_pred,
+            rules_by_head_role,
+            unary_by_pred,
+            edges_by_role,
+            closures: Mutex::new(HashMap::new()),
+            subsumers: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// Flatten a (possibly nested) top-level disjunction into its disjuncts.
+fn flatten_or(c: &Concept) -> Vec<&Concept> {
+    match c {
+        Concept::Or(l, r) => {
+            let mut out = flatten_or(l);
+            out.extend(flatten_or(r));
+            out
+        }
+        _ => vec![c],
+    }
+}
+
+/// A growable bitset over `u32` ids (the relevance pass's working set).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+struct BitSet(Vec<u64>);
+
+impl BitSet {
+    fn with_capacity(n: u32) -> Self {
+        BitSet(vec![0; (n as usize).div_ceil(64)])
+    }
+
+    fn insert(&mut self, i: u32) -> bool {
+        let (w, b) = (i as usize / 64, i as usize % 64);
+        let fresh = self.0[w] & (1 << b) == 0;
+        self.0[w] |= 1 << b;
+        fresh
+    }
+
+    fn contains(&self, i: u32) -> bool {
+        self.0[i as usize / 64] & (1 << (i as usize % 64)) != 0
+    }
+}
+
+impl HornProgram {
+    /// Total clause count (rules plus base facts) — the `horn_clauses`
+    /// statistic.
+    pub fn clause_count(&self) -> u64 {
+        (self.rules.len() + self.base_unary.len() + self.base_edges.len()) as u64
+    }
+
+    /// `K̄ ⊨ goal(a)` for a split-atomic goal. Exact: matches the
+    /// tableau verdict on the same module bit for bit.
+    pub fn is_instance(&self, a: &IndividualName, goal: &ConceptName) -> HornAnswer {
+        let Some(&p) = self.preds.get(goal) else {
+            // A predicate the module never mentions is empty in the
+            // least model.
+            return HornAnswer {
+                holds: false,
+                rounds: 0,
+            };
+        };
+        // Individuals the module never mentions behave like the
+        // anonymous element: only empty-body consequences reach them.
+        let x = self.inds.get(a).copied().unwrap_or(self.n_inds);
+        let (closure, rounds) = self.closure_for_goal(p);
+        HornAnswer {
+            holds: closure.unary.contains(&(p, x)),
+            rounds,
+        }
+    }
+
+    /// `K̄ ⊨ sub ⊑ sup` for split-atomic sides: `sup` must be derivable
+    /// from `{sub}` by the unary (`Conj`) rules alone — a fresh test
+    /// element has no role edges, so edge rules can never fire on it.
+    pub fn subsumes(&self, sub: &ConceptName, sup: &ConceptName) -> HornAnswer {
+        if sub == sup {
+            return HornAnswer {
+                holds: true,
+                rounds: 0,
+            };
+        }
+        let start = self.preds.get(sub).copied();
+        let goal = self.preds.get(sup).copied();
+        let (reach, rounds) = self.unary_reach(start);
+        HornAnswer {
+            holds: goal.is_some_and(|g| reach.contains(&g)),
+            rounds,
+        }
+    }
+
+    /// The unary-rule closure of `{start}` (plus every empty-body
+    /// consequence), memoized per start predicate.
+    fn unary_reach(&self, start: Option<u32>) -> (Arc<HashSet<u32>>, u64) {
+        if let Some(hit) = self
+            .subsumers
+            .lock()
+            .expect("horn subsumers lock")
+            .get(&start)
+        {
+            return (Arc::clone(hit), 0);
+        }
+        let mut reach: HashSet<u32> = HashSet::new();
+        let mut rounds = 0u64;
+        if let Some(p) = start {
+            reach.insert(p);
+        }
+        // Empty-body rules hold at the test element too.
+        for rule in &self.rules {
+            if let Rule::Conj { head, body } = rule {
+                if body.is_empty() {
+                    reach.insert(*head);
+                }
+            }
+        }
+        // The unary slice is small; a naive round-based fixpoint stays
+        // cheap and obviously correct (the delta machinery lives in
+        // `saturate`, where it matters).
+        loop {
+            let mut fresh = false;
+            for rule in &self.rules {
+                if let Rule::Conj { head, body } = rule {
+                    if !reach.contains(head)
+                        && !body.is_empty()
+                        && body.iter().all(|b| reach.contains(b))
+                    {
+                        reach.insert(*head);
+                        fresh = true;
+                    }
+                }
+            }
+            if !fresh {
+                break;
+            }
+            rounds += 1;
+        }
+        let reach = Arc::new(reach);
+        self.subsumers
+            .lock()
+            .expect("horn subsumers lock")
+            .insert(start, Arc::clone(&reach));
+        (reach, rounds)
+    }
+
+    /// The goal-directed closure answering facts about `goal`: relevance
+    /// pass, then memo lookup, then (on a miss) semi-naive saturation of
+    /// the relevant slice.
+    fn closure_for_goal(&self, goal: u32) -> (Arc<Closure>, u64) {
+        let (preds, roles) = self.relevant(goal);
+        let key = (preds.0.clone(), roles.0.clone());
+        if let Some(hit) = self.closures.lock().expect("horn closures lock").get(&key) {
+            return (Arc::clone(hit), 0);
+        }
+        let closure = Arc::new(self.saturate(&preds, &roles));
+        let rounds = closure.rounds;
+        self.closures
+            .lock()
+            .expect("horn closures lock")
+            .insert(key, Arc::clone(&closure));
+        (closure, rounds)
+    }
+
+    /// Magic-sets-style relevance: the predicates and roles backward
+    /// reachable from the goal through rule heads. Only rules whose head
+    /// is relevant can contribute a goal fact, so saturation loads and
+    /// fires nothing else.
+    fn relevant(&self, goal: u32) -> (BitSet, BitSet) {
+        let mut preds = BitSet::with_capacity(self.n_preds);
+        let mut roles = BitSet::with_capacity(self.n_roles);
+        let mut pred_work = vec![goal];
+        let mut role_work: Vec<u32> = Vec::new();
+        preds.insert(goal);
+        while !pred_work.is_empty() || !role_work.is_empty() {
+            if let Some(p) = pred_work.pop() {
+                for &i in &self.rules_by_head_pred[p as usize] {
+                    match &self.rules[i] {
+                        Rule::Conj { body, .. } => {
+                            for &b in body {
+                                if preds.insert(b) {
+                                    pred_work.push(b);
+                                }
+                            }
+                        }
+                        Rule::Edge { role, filler, .. } => {
+                            if roles.insert(*role) {
+                                role_work.push(*role);
+                            }
+                            if let Some(f) = filler {
+                                if preds.insert(*f) {
+                                    pred_work.push(*f);
+                                }
+                            }
+                        }
+                        _ => unreachable!("indexed by head pred"),
+                    }
+                }
+                continue;
+            }
+            if let Some(r) = role_work.pop() {
+                for &i in &self.rules_by_head_role[r as usize] {
+                    match &self.rules[i] {
+                        Rule::RoleIncl { body, .. } => {
+                            if roles.insert(*body) {
+                                role_work.push(*body);
+                            }
+                        }
+                        Rule::Trans { .. } => {}
+                        _ => unreachable!("indexed by head role"),
+                    }
+                }
+            }
+        }
+        (preds, roles)
+    }
+
+    /// Semi-naive saturation of the relevant slice: every derivation in
+    /// round `n + 1` consumes at least one fact first derived in round
+    /// `n`, found through the per-predicate / per-role-endpoint indexes.
+    fn saturate(&self, rel_preds: &BitSet, rel_roles: &BitSet) -> Closure {
+        // Secondary rule indexes over the relevant slice: which rules
+        // consume a unary fact of predicate `p` / an edge of role `r`.
+        let mut conj_by_body: HashMap<u32, Vec<usize>> = HashMap::new();
+        let mut edge_by_filler: HashMap<u32, Vec<usize>> = HashMap::new();
+        let mut edge_by_role: HashMap<u32, Vec<usize>> = HashMap::new();
+        let mut incl_by_body: HashMap<u32, Vec<usize>> = HashMap::new();
+        let mut trans_roles: HashSet<u32> = HashSet::new();
+        let mut empty_body_heads: Vec<u32> = Vec::new();
+        for (i, rule) in self.rules.iter().enumerate() {
+            match rule {
+                Rule::Conj { head, body } => {
+                    if !rel_preds.contains(*head) {
+                        continue;
+                    }
+                    if body.is_empty() {
+                        empty_body_heads.push(*head);
+                    }
+                    for &b in body {
+                        conj_by_body.entry(b).or_default().push(i);
+                    }
+                }
+                Rule::Edge {
+                    head, role, filler, ..
+                } => {
+                    if !rel_preds.contains(*head) {
+                        continue;
+                    }
+                    edge_by_role.entry(*role).or_default().push(i);
+                    if let Some(f) = filler {
+                        edge_by_filler.entry(*f).or_default().push(i);
+                    }
+                }
+                Rule::RoleIncl { head, body, .. } => {
+                    if rel_roles.contains(*head) {
+                        incl_by_body.entry(*body).or_default().push(i);
+                    }
+                }
+                Rule::Trans { role } => {
+                    if rel_roles.contains(*role) {
+                        trans_roles.insert(*role);
+                    }
+                }
+            }
+        }
+
+        let mut unary: HashSet<(u32, u32)> = HashSet::new();
+        let mut edges: HashSet<(u32, u32, u32)> = HashSet::new();
+        let mut out_index: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+        let mut in_index: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+        let mut delta_unary: Vec<(u32, u32)> = Vec::new();
+        let mut delta_edges: Vec<(u32, u32, u32)> = Vec::new();
+
+        // Load the base facts of relevant predicates/roles only, through
+        // the per-predicate and per-role fact indexes …
+        for p in 0..self.n_preds {
+            if !rel_preds.contains(p) {
+                continue;
+            }
+            for &a in &self.unary_by_pred[p as usize] {
+                if unary.insert((p, a)) {
+                    delta_unary.push((p, a));
+                }
+            }
+        }
+        for r in 0..self.n_roles {
+            if !rel_roles.contains(r) {
+                continue;
+            }
+            for &(s, d) in &self.edges_by_role[r as usize] {
+                if edges.insert((r, s, d)) {
+                    out_index.entry((r, s)).or_default().push(d);
+                    in_index.entry((r, d)).or_default().push(s);
+                    delta_edges.push((r, s, d));
+                }
+            }
+        }
+        // … and the empty-body consequences, which hold for every
+        // element of the domain including the anonymous one.
+        for &h in &empty_body_heads {
+            for x in 0..=self.n_inds {
+                if unary.insert((h, x)) {
+                    delta_unary.push((h, x));
+                }
+            }
+        }
+
+        let mut rounds = 0u64;
+        while !delta_unary.is_empty() || !delta_edges.is_empty() {
+            rounds += 1;
+            let mut next_unary: Vec<(u32, u32)> = Vec::new();
+            let mut next_edges: Vec<(u32, u32, u32)> = Vec::new();
+            {
+                // Borrow-friendly derivation sinks: dedupe against the
+                // global sets, push fresh facts into the next delta.
+                let derive_unary = |fact: (u32, u32),
+                                    unary: &mut HashSet<(u32, u32)>,
+                                    next: &mut Vec<(u32, u32)>| {
+                    if unary.insert(fact) {
+                        next.push(fact);
+                    }
+                };
+                for (p, x) in delta_unary.drain(..) {
+                    for &i in conj_by_body.get(&p).into_iter().flatten() {
+                        let Rule::Conj { head, body } = &self.rules[i] else {
+                            unreachable!()
+                        };
+                        if body.iter().all(|b| unary.contains(&(*b, x))) {
+                            derive_unary((*head, x), &mut unary, &mut next_unary);
+                        }
+                    }
+                    // A new filler fact activates edge rules over the
+                    // already-known edges adjacent to `x`.
+                    for &i in edge_by_filler.get(&p).into_iter().flatten() {
+                        let Rule::Edge {
+                            head,
+                            role,
+                            head_at_src,
+                            ..
+                        } = &self.rules[i]
+                        else {
+                            unreachable!()
+                        };
+                        // The filler sits at the non-head end of the
+                        // edge, so a filler fact at `x` activates edges
+                        // whose *other* end is `x`.
+                        if *head_at_src {
+                            for &s in in_index.get(&(*role, x)).into_iter().flatten() {
+                                derive_unary((*head, s), &mut unary, &mut next_unary);
+                            }
+                        } else {
+                            for &d in out_index.get(&(*role, x)).into_iter().flatten() {
+                                derive_unary((*head, d), &mut unary, &mut next_unary);
+                            }
+                        }
+                    }
+                }
+                for (r, s, d) in delta_edges.drain(..) {
+                    for &i in edge_by_role.get(&r).into_iter().flatten() {
+                        let Rule::Edge {
+                            head,
+                            head_at_src,
+                            filler,
+                            ..
+                        } = &self.rules[i]
+                        else {
+                            unreachable!()
+                        };
+                        let (hx, ox) = if *head_at_src { (s, d) } else { (d, s) };
+                        if filler.is_none_or(|f| unary.contains(&(f, ox))) {
+                            derive_unary((*head, hx), &mut unary, &mut next_unary);
+                        }
+                    }
+                    for &i in incl_by_body.get(&r).into_iter().flatten() {
+                        let Rule::RoleIncl { head, swap, .. } = &self.rules[i] else {
+                            unreachable!()
+                        };
+                        let (ns, nd) = if *swap { (d, s) } else { (s, d) };
+                        if edges.insert((*head, ns, nd)) {
+                            out_index.entry((*head, ns)).or_default().push(nd);
+                            in_index.entry((*head, nd)).or_default().push(ns);
+                            next_edges.push((*head, ns, nd));
+                        }
+                    }
+                    if trans_roles.contains(&r) {
+                        let mut joined: Vec<(u32, u32, u32)> = Vec::new();
+                        for &e in out_index.get(&(r, d)).into_iter().flatten() {
+                            joined.push((r, s, e));
+                        }
+                        for &w in in_index.get(&(r, s)).into_iter().flatten() {
+                            joined.push((r, w, d));
+                        }
+                        for fact in joined {
+                            if edges.insert(fact) {
+                                out_index.entry((fact.0, fact.1)).or_default().push(fact.2);
+                                in_index.entry((fact.0, fact.2)).or_default().push(fact.1);
+                                next_edges.push(fact);
+                            }
+                        }
+                    }
+                }
+            }
+            delta_unary = next_unary;
+            delta_edges = next_edges;
+        }
+        Closure { unary, rounds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::ModuleExtractor;
+    use crate::parse_kb4;
+
+    /// Compile the full classical image of a parsed KB4.
+    fn program(src: &str) -> Option<HornProgram> {
+        let kb = parse_kb4(src).unwrap();
+        let ex = ModuleExtractor::new(&kb);
+        let images: Vec<_> = (0..kb.len()).flat_map(|i| ex.images(i).to_vec()).collect();
+        compile(images.iter())
+    }
+
+    fn name(s: &str) -> ConceptName {
+        ConceptName::new(s)
+    }
+
+    fn ind(s: &str) -> IndividualName {
+        IndividualName::new(s)
+    }
+
+    #[test]
+    fn internal_chains_saturate() {
+        let p = program("A SubClassOf B\nB SubClassOf C\nx : A").unwrap();
+        assert!(p.is_instance(&ind("x"), &name("A+")).holds);
+        assert!(p.is_instance(&ind("x"), &name("C+")).holds);
+        assert!(!p.is_instance(&ind("x"), &name("C-")).holds);
+        assert!(!p.is_instance(&ind("ghost"), &name("C+")).holds);
+        assert!(p.subsumes(&name("A+"), &name("C+")).holds);
+        assert!(!p.subsumes(&name("C+"), &name("A+")).holds);
+    }
+
+    #[test]
+    fn negation_absorbs_to_horn_facts_and_heads() {
+        // `A ⊑ ¬B` images to the atomic `A+ ⊑ B-`; `x : ¬A` to `x : A-`.
+        let p = program("A SubClassOf not B\nx : A\ny : not A").unwrap();
+        assert!(p.is_instance(&ind("x"), &name("B-")).holds);
+        assert!(p.is_instance(&ind("y"), &name("A-")).holds);
+        assert!(!p.is_instance(&ind("y"), &name("B-")).holds);
+    }
+
+    #[test]
+    fn strong_inclusions_contrapose_through_the_image() {
+        let p = program("A StrongSubClassOf B\nx : not B").unwrap();
+        assert!(p.is_instance(&ind("x"), &name("A-")).holds);
+        assert!(p.subsumes(&name("B-"), &name("A-")).holds);
+    }
+
+    #[test]
+    fn existential_bodies_and_universal_heads() {
+        let p = program(
+            "hasPatient some Patient SubClassOf Doctor
+             Doctor SubClassOf treats only Treated
+             mary : Patient
+             hasPatient(bill, mary)
+             treats(bill, kate)",
+        )
+        .unwrap();
+        assert!(p.is_instance(&ind("bill"), &name("Doctor+")).holds);
+        assert!(p.is_instance(&ind("kate"), &name("Treated+")).holds);
+        assert!(!p.is_instance(&ind("mary"), &name("Doctor+")).holds);
+    }
+
+    #[test]
+    fn role_hierarchy_and_transitivity_feed_edge_rules() {
+        let p = program(
+            "r SubRoleOf s
+             Transitive(s)
+             s some Thing SubClassOf Linked
+             s(a, b)
+             r(b, c)",
+        )
+        .unwrap();
+        // r(b,c) ⊑ s(b,c); s transitive gives s(a,c); ∃s.⊤ marks a and b.
+        assert!(p.is_instance(&ind("a"), &name("Linked+")).holds);
+        assert!(p.is_instance(&ind("b"), &name("Linked+")).holds);
+        assert!(!p.is_instance(&ind("c"), &name("Linked+")).holds);
+    }
+
+    #[test]
+    fn min_cardinality_one_is_an_existential() {
+        let p = program("hasChild min 1 SubClassOf Parent\nhasChild(smith, kate)").unwrap();
+        assert!(p.is_instance(&ind("smith"), &name("Parent+")).holds);
+        assert!(!p.is_instance(&ind("kate"), &name("Parent+")).holds);
+    }
+
+    #[test]
+    fn material_images_are_rejected() {
+        // `A ↦ B` images to `¬A⁻ ⊑ B⁺` — a negation in the body.
+        assert!(program("A MaterialSubClassOf B\nx : A").is_none());
+    }
+
+    #[test]
+    fn classical_constructs_are_rejected() {
+        assert!(program("a : {b}").is_none(), "nominals");
+        assert!(program("a != a").is_none(), "reflexive distinctness");
+        assert!(program("a = b").is_none(), "equality");
+        assert!(program("not r(a, b)").is_none(), "negative role assertion");
+        assert!(
+            program("hasChild min 2 SubClassOf Busy").is_none(),
+            "counting"
+        );
+        assert!(
+            program("A SubClassOf hasChild max 1").is_none(),
+            "at-most head"
+        );
+        assert!(program("A SubClassOf B or C").is_none(), "disjunctive head");
+        assert!(
+            program("A SubClassOf r some B").is_none(),
+            "existential head"
+        );
+    }
+
+    #[test]
+    fn distinct_individuals_are_inert_but_accepted() {
+        let p = program("a != b\nx : A").unwrap();
+        assert!(p.is_instance(&ind("x"), &name("A+")).holds);
+    }
+
+    #[test]
+    fn top_level_disjunctive_bodies_split_into_clauses() {
+        let p = program("A or B SubClassOf C\nx : A\ny : B\nz : D").unwrap();
+        assert!(p.is_instance(&ind("x"), &name("C+")).holds);
+        assert!(p.is_instance(&ind("y"), &name("C+")).holds);
+        assert!(!p.is_instance(&ind("z"), &name("C+")).holds);
+    }
+
+    #[test]
+    fn inverse_roles_orient_edge_rules() {
+        let p = program(
+            "inverse parentOf some Thing SubClassOf Child
+             Person SubClassOf inverse parentOf only ChildOfPerson
+             parentOf(ann, bob)
+             bob : Person",
+        )
+        .unwrap();
+        // ∃parentOf⁻.⊤ holds at bob (ann is a parent of bob).
+        assert!(p.is_instance(&ind("bob"), &name("Child+")).holds);
+        assert!(!p.is_instance(&ind("ann"), &name("Child+")).holds);
+        // bob : Person, and ∀parentOf⁻ of bob reaches ann along the
+        // inverted edge.
+        assert!(p.is_instance(&ind("ann"), &name("ChildOfPerson+")).holds);
+    }
+
+    #[test]
+    fn unknown_individuals_get_only_empty_body_consequences() {
+        let p = program("Thing SubClassOf Universal\nA SubClassOf B\nx : A").unwrap();
+        assert!(p.is_instance(&ind("ghost"), &name("Universal+")).holds);
+        assert!(!p.is_instance(&ind("ghost"), &name("B+")).holds);
+        assert!(p.is_instance(&ind("x"), &name("Universal+")).holds);
+        // Subsumption sees the ⊤-closure too.
+        assert!(p.subsumes(&name("Zzz+"), &name("Universal+")).holds);
+    }
+
+    #[test]
+    fn memoized_closures_report_zero_fresh_rounds() {
+        let p = program("A SubClassOf B\nB SubClassOf C\nx : A").unwrap();
+        let first = p.is_instance(&ind("x"), &name("C+"));
+        assert!(first.holds && first.rounds > 0);
+        let again = p.is_instance(&ind("x"), &name("C+"));
+        assert!(again.holds && again.rounds == 0);
+        // A different goal with the same relevance cone shares the
+        // closure.
+        let b = p.is_instance(&ind("x"), &name("B+"));
+        assert!(b.holds);
+    }
+
+    #[test]
+    fn relevance_pass_skips_unrelated_rules() {
+        // Two islands: the B-goal cone must not load the D-island facts.
+        let p = program(
+            "A SubClassOf B
+             C SubClassOf D
+             x : A
+             y : C",
+        )
+        .unwrap();
+        let ans = p.is_instance(&ind("x"), &name("B+"));
+        assert!(ans.holds);
+        let (preds, _) = p.relevant(p.preds[&name("B+")]);
+        assert!(preds.contains(p.preds[&name("A+")]));
+        assert!(!preds.contains(p.preds[&name("D+")]));
+        assert!(!preds.contains(p.preds[&name("C+")]));
+    }
+
+    #[test]
+    fn clause_count_includes_rules_and_facts() {
+        let p = program("A SubClassOf B\nx : A\nr(x, y)").unwrap();
+        assert_eq!(p.clause_count(), 3);
+    }
+}

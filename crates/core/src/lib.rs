@@ -51,6 +51,7 @@
 
 pub mod analysis;
 pub mod dataflow;
+pub mod horn;
 pub mod inclusion;
 pub mod induced;
 pub mod interp4;

@@ -29,6 +29,7 @@
 //!    model-based pruning and the shared consistency cache.
 
 use crate::dataflow::{self, ModuleExtractor, SigAtom};
+use crate::horn::{self, HornProgram};
 use crate::inclusion::InclusionKind;
 use crate::kb4::{Axiom4, KnowledgeBase4};
 use crate::told::ToldIndex;
@@ -111,13 +112,18 @@ pub struct Reasoner4 {
     /// seed → `⊤`-locality module → a small engine over just that
     /// module. `None` when scoping is off (the default).
     scoping: Option<Scoping>,
+    /// Consequence-driven Horn fast path (`Config::horn_path`): atomic
+    /// goals whose module compiles to a Horn program are answered by
+    /// saturation, everything else falls through to scoping / the full
+    /// tableau. `None` when the fast path is off.
+    horn: Option<HornRouter>,
 }
 
 /// State for module-scoped query execution: the extractor (built once
 /// per KB) plus a cache of engines keyed by the extracted module, so
 /// queries that land in the same region share one preprocessed engine.
 struct Scoping {
-    extractor: ModuleExtractor,
+    extractor: Arc<ModuleExtractor>,
     engines: Mutex<HashMap<BTreeSet<usize>, Arc<QueryEngine>>>,
     config: Config,
 }
@@ -147,6 +153,74 @@ impl Scoping {
     }
 }
 
+/// State for the Horn fast path: the (shared) module extractor plus a
+/// cache of compiled programs keyed by the extracted module, with `None`
+/// recording "this module is not Horn" so classification runs once per
+/// module, not once per query.
+struct HornRouter {
+    extractor: Arc<ModuleExtractor>,
+    programs: Mutex<HashMap<BTreeSet<usize>, Option<Arc<HornProgram>>>>,
+}
+
+impl HornRouter {
+    /// Extract the module for `seed` and return its compiled Horn
+    /// program, or `None` (recording one fallback) when the module's
+    /// classical image leaves the Horn fragment. Compilation counters
+    /// merge into `main` exactly once per distinct module.
+    fn program_for_seed(
+        &self,
+        main: &QueryEngine,
+        seed: &BTreeSet<SigAtom>,
+    ) -> Option<Arc<HornProgram>> {
+        let module = self.extractor.extract(seed);
+        let mut programs = self.programs.lock().expect("horn programs lock");
+        let entry = programs.entry(module.axioms.clone()).or_insert_with(|| {
+            let images = module.axioms.iter().flat_map(|&i| self.extractor.images(i));
+            let program = horn::compile(images)?;
+            main.merge_stats(&Stats {
+                horn_clauses: program.clause_count(),
+                ..Stats::default()
+            });
+            Some(Arc::new(program))
+        });
+        let hit = entry.clone();
+        drop(programs);
+        if hit.is_none() {
+            main.merge_stats(&Stats {
+                horn_fallbacks: 1,
+                ..Stats::default()
+            });
+        }
+        hit
+    }
+
+    /// Record one answered Horn query (plus any fresh saturation work).
+    fn record_answer(main: &QueryEngine, rounds: u64) {
+        main.merge_stats(&Stats {
+            horn_queries: 1,
+            saturation_rounds: rounds,
+            ..Stats::default()
+        });
+    }
+}
+
+/// Does this classical test concept have the shape `P ⊓ ¬Q` for atomic
+/// `P`, `Q` — the (un)satisfiability probe [`Reasoner4::entails`] builds
+/// for atomic internal/strong inclusions? Those are exactly the
+/// subsumption questions the Horn engine can answer.
+fn subsumption_probe(test: &Concept) -> Option<(&ConceptName, &ConceptName)> {
+    let Concept::And(lhs, rhs) = test else {
+        return None;
+    };
+    let (Concept::Atomic(sub), Concept::Not(negated)) = (&**lhs, &**rhs) else {
+        return None;
+    };
+    let Concept::Atomic(sup) = &**negated else {
+        return None;
+    };
+    Some((sub, sup))
+}
+
 impl Reasoner4 {
     /// Build with the default tableau configuration.
     pub fn new(kb4: &KnowledgeBase4) -> Self {
@@ -163,14 +237,22 @@ impl Reasoner4 {
         let induced = transform::transform_kb(kb4);
         let engine = QueryEngine::with_config(&induced, config.clone());
         let told = opts.told_fast_path.then(|| ToldIndex::build(kb4));
+        // Scoping and the Horn router both work per extracted module;
+        // they share one extractor (dependency graph + classical images).
+        let extractor = (config.module_scoping || config.horn_path)
+            .then(|| Arc::new(ModuleExtractor::new(kb4)));
         let scoping = config.module_scoping.then(|| Scoping {
-            extractor: ModuleExtractor::new(kb4),
+            extractor: Arc::clone(extractor.as_ref().expect("extractor built")),
             engines: Mutex::new(HashMap::new()),
             config: Config {
                 // Scoped sub-engines answer plain classical queries.
                 module_scoping: false,
-                ..config
+                ..config.clone()
             },
+        });
+        let horn = config.horn_path.then(|| HornRouter {
+            extractor: extractor.expect("extractor built"),
+            programs: Mutex::new(HashMap::new()),
         });
         Reasoner4 {
             induced,
@@ -180,6 +262,7 @@ impl Reasoner4 {
             instance_cache: Mutex::new(HashMap::new()),
             told,
             scoping,
+            horn,
         }
     }
 
@@ -242,6 +325,21 @@ impl Reasoner4 {
     /// is contained in the extraction seed, so the module preserves the
     /// verdict both ways (see `crate::dataflow` docs).
     fn engine_instance(&self, a: &IndividualName, tc: &Concept) -> Result<bool, ReasonerError> {
+        // Horn fast path: an atomic (split) goal over a Horn module is
+        // answered by saturation — no tableau, no sub-engine. Complex
+        // goals and non-Horn modules fall through unchanged.
+        if let Some(h) = &self.horn {
+            if let Concept::Atomic(goal) = tc {
+                let mut seed = BTreeSet::new();
+                dataflow::classical_concept_atoms(tc, &mut seed);
+                seed.insert(SigAtom::Individual(a.clone()));
+                if let Some(program) = h.program_for_seed(&self.engine, &seed) {
+                    let answer = program.is_instance(a, goal);
+                    HornRouter::record_answer(&self.engine, answer.rounds);
+                    return Ok(answer.holds);
+                }
+            }
+        }
         if let Some(sc) = &self.scoping {
             let mut seed = BTreeSet::new();
             dataflow::classical_concept_atoms(tc, &mut seed);
@@ -269,6 +367,22 @@ impl Reasoner4 {
     /// directions: a module model expands to a full-KB model preserving
     /// the extension of every seed-signature concept.)
     fn engine_concept_sat(&self, test: &Concept) -> Result<bool, ReasonerError> {
+        // Horn fast path for the `P ⊓ ¬Q` probes of atomic inclusion
+        // entailment: `P ⊓ ¬Q` is satisfiable w.r.t. a Horn module iff
+        // the module does *not* derive `Q` from `{P}`. (Material probes
+        // have the shape `¬C⁻' ⊓ ¬Q` and never match — material
+        // inclusions stay on the tableau, mirroring the told index.)
+        if let Some(h) = &self.horn {
+            if let Some((sub, sup)) = subsumption_probe(test) {
+                let mut seed = BTreeSet::new();
+                dataflow::classical_concept_atoms(test, &mut seed);
+                if let Some(program) = h.program_for_seed(&self.engine, &seed) {
+                    let answer = program.subsumes(sub, sup);
+                    HornRouter::record_answer(&self.engine, answer.rounds);
+                    return Ok(!answer.holds);
+                }
+            }
+        }
         if let Some(sc) = &self.scoping {
             let mut seed = BTreeSet::new();
             dataflow::classical_concept_atoms(test, &mut seed);
@@ -303,6 +417,15 @@ impl Reasoner4 {
     /// with classical behaviour (nominals, number restrictions, `⊥`,
     /// distinctness) can make a SHOIN(D)4 KB unsatisfiable.
     pub fn is_satisfiable(&self) -> Result<bool, ReasonerError> {
+        // A Horn ∅-seed module (the never-⊤-local core) is always
+        // satisfiable: the fragment excludes every construct with
+        // classical bite (`⊥`, nominals, counting, equality).
+        if let Some(h) = &self.horn {
+            if let Some(_program) = h.program_for_seed(&self.engine, &BTreeSet::new()) {
+                HornRouter::record_answer(&self.engine, 0);
+                return Ok(true);
+            }
+        }
         if let Some(sc) = &self.scoping {
             // The ∅-seeded module is exactly the never-⊤-local core —
             // the only axioms that can make a SHOIN(D)4 KB

@@ -17,9 +17,20 @@
 //! the non-material closure derives is a *logical consequence* of the
 //! induced KB — a told verdict of "positive information present" (resp.
 //! negative) is exactly a certificate that the corresponding classical
-//! entailment check would answer `true`. Material inclusions are never
-//! followed (they tolerate exceptions), and the fast path never claims
-//! *absence* of information — absence always falls back to the tableau.
+//! entailment check would answer `true`.
+//!
+//! **Material inclusions are never followed**, and this exclusion is
+//! load-bearing, not stylistic. `A ↦ B` images to `¬A⁻ ⊑ B⁺`, which
+//! quantifies over `Δ ∖ proj⁻(A)` — a *superset* of `proj⁺(A)`. From
+//! `x : A` (i.e. `x : A⁺`) nothing stops a model from also placing
+//! `x ∈ A⁻`, escaping the inclusion entirely, so `K̄ ⊭ B⁺(x)`: following
+//! the material edge would certify a non-consequence (the executable
+//! counterexample is `material_link_is_not_a_certificate` below). The
+//! Horn fast path (`crate::horn`) inherits the same line — a material
+//! image carries `¬` in its body, which the Horn fragment classifier
+//! rejects, so no saturation rule is ever read off a material inclusion.
+//! The fast path also never claims *absence* of information — absence
+//! always falls back to the tableau.
 
 use crate::inclusion::InclusionKind;
 use crate::kb4::{Axiom4, KnowledgeBase4};
@@ -552,6 +563,45 @@ mod tests {
         assert_eq!(idx.verdict(&x, &ConceptName::new("A")), (true, false));
         assert_eq!(idx.verdict(&x, &ConceptName::new("B")), (false, false));
         assert!(!idx.told_subsumes(&ConceptName::new("A"), &ConceptName::new("B")));
+    }
+
+    #[test]
+    fn material_link_is_not_a_certificate() {
+        // The soundness counterexample behind the material exclusion:
+        // `A ↦ B, x : A` does NOT classically entail `B⁺(x)` — the
+        // image `¬A⁻ ⊑ B⁺` lets a model put x in A⁻ and escape — so a
+        // told (or Horn) fast path that followed the material edge
+        // would claim an entailment the tableau refutes.
+        let kb = parse_kb4("A MaterialSubClassOf B\nx : A").unwrap();
+        let idx = ToldIndex::build(&kb);
+        let x = IndividualName::new("x");
+        assert_eq!(idx.verdict(&x, &ConceptName::new("B")), (false, false));
+        // The ground truth, straight from the tableau (told/horn paths
+        // disabled so nothing can mask a regression here).
+        let r = crate::Reasoner4::with_options(
+            &kb,
+            tableau::Config {
+                horn_path: false,
+                ..tableau::Config::default()
+            },
+            crate::reasoner4::QueryOptions::baseline(),
+        );
+        assert!(!r.has_positive_info(&x, &Concept::atomic("B")).unwrap());
+        // An *internal* edge from the same shape IS a certificate.
+        let kb = parse_kb4("A SubClassOf B\nx : A").unwrap();
+        assert_eq!(
+            ToldIndex::build(&kb).verdict(&x, &ConceptName::new("B")),
+            (true, false)
+        );
+        let r = crate::Reasoner4::with_options(
+            &kb,
+            tableau::Config {
+                horn_path: false,
+                ..tableau::Config::default()
+            },
+            crate::reasoner4::QueryOptions::baseline(),
+        );
+        assert!(r.has_positive_info(&x, &Concept::atomic("B")).unwrap());
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Property coverage for the Horn fragment classifier (`shoin4::horn`).
+//!
+//! The router caches one compiled program per extracted module, so two
+//! invariances carry the whole fast path:
+//!
+//! 1. **Axiom-order invariance.** Horn-or-not is a property of the
+//!    *set* of classical images, and module extraction is a least
+//!    fixpoint — so permuting the KB's axiom list must change neither
+//!    the classification of any query module nor, when the module is
+//!    Horn, a single saturation verdict.
+//! 2. **Re-extraction stability.** A module's closed signature is a
+//!    fixpoint of the extractor: re-extracting with that signature as
+//!    the seed must reproduce the same axiom set, classification and
+//!    verdicts. Additionally, when the *whole* KB compiles as Horn,
+//!    each query-module program must agree with the full-KB program on
+//!    its own goals (module extraction loses no Horn consequences).
+//!
+//! These complement the differential suite in `tests/horn_parity.rs`,
+//! which checks the routed reasoner against the tableau; here we pin
+//! the classifier and saturation engine directly, below the router.
+
+use dl::name::{ConceptName, IndividualName};
+use dl::Concept;
+use ontogen::random::{random_kb4, RandomParams};
+use proptest::prelude::*;
+use shoin4::dataflow::{classical_concept_atoms, ModuleExtractor, SigAtom};
+use shoin4::horn::{compile, HornProgram};
+use shoin4::KnowledgeBase4;
+use std::collections::BTreeSet;
+
+const N_CONCEPTS: usize = 4;
+const N_INDIVIDUALS: usize = 3;
+
+fn params(seed: u64) -> RandomParams {
+    RandomParams {
+        n_concepts: N_CONCEPTS,
+        n_roles: 2,
+        n_individuals: N_INDIVIDUALS,
+        n_tbox: 5,
+        n_abox: 6,
+        max_depth: 1,
+        number_restrictions: false,
+        inverse_roles: true,
+        seed,
+    }
+}
+
+/// splitmix64 — a tiny deterministic PRNG so the permutation is derived
+/// from the proptest case alone (no extra dependency on `rand`).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn permuted(kb: &KnowledgeBase4, perm_seed: u64) -> KnowledgeBase4 {
+    let mut axioms: Vec<_> = kb.axioms().to_vec();
+    let mut state = perm_seed ^ 0xD1B5_4A32_D192_ED03;
+    // Fisher–Yates over the axiom list.
+    for i in (1..axioms.len()).rev() {
+        let j = (splitmix(&mut state) % (i as u64 + 1)) as usize;
+        axioms.swap(i, j);
+    }
+    KnowledgeBase4::from_axioms(axioms)
+}
+
+/// Every transformed atomic goal the generated signature can mention:
+/// `C0+`, `C0-`, … (the Horn engine answers queries about the classical
+/// image, where four-valued `A` splits into `A+`/`A-`).
+fn goals() -> Vec<ConceptName> {
+    (0..N_CONCEPTS)
+        .flat_map(|i| {
+            [
+                ConceptName::new(format!("C{i}+")),
+                ConceptName::new(format!("C{i}-")),
+            ]
+        })
+        .collect()
+}
+
+fn individuals() -> Vec<IndividualName> {
+    (0..N_INDIVIDUALS)
+        .map(|i| IndividualName::new(format!("i{i}")))
+        .collect()
+}
+
+/// The instance-query seed the router builds: classical atoms of the
+/// transformed goal concept plus the queried individual.
+fn instance_seed(goal: &ConceptName, a: &IndividualName) -> BTreeSet<SigAtom> {
+    let mut seed = BTreeSet::new();
+    classical_concept_atoms(&Concept::Atomic(goal.clone()), &mut seed);
+    seed.insert(SigAtom::Individual(a.clone()));
+    seed
+}
+
+/// All saturation/subsumption answers of a program over the fixed
+/// signature, as one comparable table.
+fn verdict_table(p: &HornProgram) -> Vec<bool> {
+    let goals = goals();
+    let inds = individuals();
+    let mut table = Vec::new();
+    for g in &goals {
+        for a in &inds {
+            table.push(p.is_instance(a, g).holds);
+        }
+        for h in &goals {
+            table.push(p.subsumes(g, h).holds);
+        }
+    }
+    table
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Permuting the axiom list changes neither any query module's Horn
+    /// classification nor any Horn verdict.
+    #[test]
+    fn horn_verdicts_survive_axiom_reordering(seed in 0u64..512, perm_seed in 0u64..512) {
+        let kb = random_kb4(&params(seed), (0.3, 0.4, 0.3));
+        let shuffled = permuted(&kb, perm_seed);
+        let ex_a = ModuleExtractor::new(&kb);
+        let ex_b = ModuleExtractor::new(&shuffled);
+        for goal in goals() {
+            for a in individuals() {
+                let seed_sig = instance_seed(&goal, &a);
+                let m_a = ex_a.extract(&seed_sig);
+                let m_b = ex_b.extract(&seed_sig);
+                let p_a = compile(m_a.axioms.iter().flat_map(|&i| ex_a.images(i)));
+                let p_b = compile(m_b.axioms.iter().flat_map(|&i| ex_b.images(i)));
+                prop_assert_eq!(
+                    p_a.is_some(),
+                    p_b.is_some(),
+                    "classification flipped under reordering (goal {goal:?})"
+                );
+                if let (Some(p_a), Some(p_b)) = (p_a, p_b) {
+                    prop_assert_eq!(p_a.clause_count(), p_b.clause_count());
+                    prop_assert_eq!(verdict_table(&p_a), verdict_table(&p_b));
+                }
+            }
+        }
+    }
+
+    /// Re-extracting with a module's own closed signature is a no-op:
+    /// same axiom set, same classification, same verdicts.
+    #[test]
+    fn horn_verdicts_survive_module_reextraction(seed in 0u64..1024) {
+        let kb = random_kb4(&params(seed), (0.3, 0.4, 0.3));
+        let ex = ModuleExtractor::new(&kb);
+        for goal in goals() {
+            for a in individuals() {
+                let m = ex.extract(&instance_seed(&goal, &a));
+                let m2 = ex.extract(&m.signature);
+                prop_assert_eq!(
+                    &m.axioms, &m2.axioms,
+                    "closed signature is not an extraction fixpoint"
+                );
+                let p = compile(m.axioms.iter().flat_map(|&i| ex.images(i)));
+                let p2 = compile(m2.axioms.iter().flat_map(|&i| ex.images(i)));
+                prop_assert_eq!(p.is_some(), p2.is_some());
+                if let (Some(p), Some(p2)) = (p, p2) {
+                    prop_assert_eq!(verdict_table(&p), verdict_table(&p2));
+                }
+            }
+        }
+    }
+
+    /// When the whole KB is Horn, each query module's program agrees
+    /// with the full-KB program on that module's own goals — module
+    /// extraction drops no Horn consequences.
+    #[test]
+    fn query_modules_preserve_full_kb_horn_verdicts(seed in 0u64..1024) {
+        let kb = random_kb4(&params(seed), (0.3, 0.4, 0.3));
+        let ex = ModuleExtractor::new(&kb);
+        let all: Vec<_> = (0..kb.len()).flat_map(|i| ex.images(i).to_vec()).collect();
+        let Some(full) = compile(all.iter()) else {
+            // Non-Horn KBs are covered by the routing/parity suites.
+            return Ok(());
+        };
+        for goal in goals() {
+            for a in individuals() {
+                let m = ex.extract(&instance_seed(&goal, &a));
+                let p = compile(m.axioms.iter().flat_map(|&i| ex.images(i)))
+                    .expect("a module of a Horn KB is Horn");
+                prop_assert_eq!(
+                    p.is_instance(&a, &goal).holds,
+                    full.is_instance(&a, &goal).holds,
+                    "module verdict diverged from full KB (goal {goal:?}, ind {a:?})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Horn-dominated corpus generation for the consequence-driven fast
+//! path (`shoin4::horn`).
+//!
+//! The generator emits only constructs inside the Horn classical
+//! fragment — internal/strong inclusions between conjunctions of
+//! (possibly negated) atoms, `∃R.A` bodies, `∀R.A` heads, role
+//! hierarchies, transitivity and positive assertions — laid out as one
+//! *connected* terminology: concepts form a ladder `C0 ⊑ C1 ⊑ …` with
+//! random chords, and individuals form a role chain. Connectivity is
+//! the point: a query module drags in a large slice of the KB, so the
+//! module-scoped tableau pays per-query search proportional to the KB
+//! while the saturation engine pays once and memoizes — exactly the
+//! regime `benches/horn_scaling.rs` measures.
+//!
+//! Two knobs perturb the corpus, with deliberately different routing
+//! consequences. `material_rate > 0` plants material inclusions, whose
+//! classical images carry body-side negation — non-Horn, so any query
+//! module they enter falls back to the tableau; whether they enter at
+//! all depends on whether a probe or a negated told fact drags the
+//! `C⁻` side of `¬π(¬C) ⊑ π(D)` into the cone (this corpus emits
+//! negated ABox assertions, so some do — `tests/horn_parity.rs` pins
+//! parity here and the zero-fallback invisibility on a deterministic
+//! positive-atom ladder). `disjunction_rate > 0` plants internal
+//! inclusions with disjunctive heads: those *are* module-relevant and
+//! non-Horn for every query, so any query whose module touches one
+//! falls back to the tableau — the knob the routing tests use to force
+//! `Stats::horn_fallbacks`.
+
+use dl::axiom::RoleExpr;
+use dl::name::{ConceptName, IndividualName, RoleName};
+use dl::Concept;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shoin4::{Axiom4, InclusionKind, KnowledgeBase4};
+
+/// Parameters of the Horn corpus generator.
+#[derive(Debug, Clone)]
+pub struct HornParams {
+    /// Number of atomic concept names (`H0…`).
+    pub n_concepts: usize,
+    /// Number of role names (`p0…`).
+    pub n_roles: usize,
+    /// Number of individuals (`h0…`).
+    pub n_individuals: usize,
+    /// TBox inclusions beyond the connecting ladder.
+    pub n_tbox: usize,
+    /// ABox assertions beyond the connecting role chain.
+    pub n_abox: usize,
+    /// Fraction of concept inclusions emitted as strong (`→`) rather
+    /// than internal (`⊏`); strong images add the contrapositive, so
+    /// this exercises the `A⁻`-side rules.
+    pub strong_rate: f64,
+    /// Fraction of concept inclusions emitted as material (`↦`). Their
+    /// images are non-Horn; queries whose modules admit one (because a
+    /// probe or negated told fact reaches the image's `C⁻` side) fall
+    /// back to the tableau, the rest keep saturating.
+    pub material_rate: f64,
+    /// Fraction of extra TBox inclusions emitted with disjunctive heads
+    /// (`C ⊑ A ⊔ B`, internal). These are module-relevant and non-Horn:
+    /// anything above zero plants guaranteed tableau fallbacks.
+    pub disjunction_rate: f64,
+    /// RNG seed — equal seeds give equal KBs.
+    pub seed: u64,
+}
+
+impl Default for HornParams {
+    fn default() -> Self {
+        HornParams {
+            n_concepts: 24,
+            n_roles: 3,
+            n_individuals: 16,
+            n_tbox: 40,
+            n_abox: 32,
+            strong_rate: 0.3,
+            material_rate: 0.0,
+            disjunction_rate: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+fn concept(i: usize) -> Concept {
+    Concept::atomic(ConceptName::new(format!("H{i}")))
+}
+fn role(i: usize) -> RoleName {
+    RoleName::new(format!("p{i}"))
+}
+fn individual(i: usize) -> IndividualName {
+    IndividualName::new(format!("h{i}"))
+}
+
+/// An inclusion kind drawn by the configured rates (material first, so
+/// `material_rate: 1.0` means *every* inclusion is material).
+fn kind(rng: &mut StdRng, p: &HornParams) -> InclusionKind {
+    if rng.gen_bool(p.material_rate.clamp(0.0, 1.0)) {
+        InclusionKind::Material
+    } else if rng.gen_bool(p.strong_rate.clamp(0.0, 1.0)) {
+        InclusionKind::Strong
+    } else {
+        InclusionKind::Internal
+    }
+}
+
+/// A body concept inside the Horn fragment: an atom, a negated atom
+/// (absorbed to `A⁻` by the reduction), a two-atom conjunction or an
+/// existential over an atom. Strong inclusions contrapose, so their
+/// bodies become heads of the contrapositive image: a conjunctive body
+/// would turn into a disjunctive head (`π(¬(A⊓B)) = A⁻ ⊔ B⁻`) and leave
+/// the fragment — `allow_conj: false` keeps strong bodies to the shapes
+/// whose negations are still Horn heads (atoms, negated atoms, `∃R.A`
+/// which contraposes to a `∀R.A⁻` head).
+fn body(rng: &mut StdRng, p: &HornParams, allow_conj: bool) -> Concept {
+    let atom = concept(rng.gen_range(0..p.n_concepts));
+    match rng.gen_range(0..5u32) {
+        0 => atom.not(),
+        1 if allow_conj => atom.and(concept(rng.gen_range(0..p.n_concepts))),
+        2 => Concept::some(RoleExpr::named(role(rng.gen_range(0..p.n_roles))), atom),
+        _ => atom,
+    }
+}
+
+/// A head concept inside the Horn fragment: an atom, a negated atom, a
+/// conjunction or a universal over an atom.
+fn head(rng: &mut StdRng, p: &HornParams) -> Concept {
+    let atom = concept(rng.gen_range(0..p.n_concepts));
+    match rng.gen_range(0..5u32) {
+        0 => atom.not(),
+        1 => atom.and(concept(rng.gen_range(0..p.n_concepts))),
+        2 => Concept::all(RoleExpr::named(role(rng.gen_range(0..p.n_roles))), atom),
+        _ => atom,
+    }
+}
+
+/// Generate a connected, Horn-dominated SHOIN(D)4 KB.
+pub fn horn_kb4(p: &HornParams) -> KnowledgeBase4 {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut kb = KnowledgeBase4::new();
+    // The connecting ladder: C_i ⊑ C_{i+1} keeps every concept's module
+    // reaching the whole terminology.
+    for i in 0..p.n_concepts.saturating_sub(1) {
+        kb.add(Axiom4::ConceptInclusion(
+            kind(&mut rng, p),
+            concept(i),
+            concept(i + 1),
+        ));
+    }
+    // Random chords, existential bodies and universal heads on top.
+    for _ in 0..p.n_tbox {
+        match rng.gen_range(0..8u32) {
+            0 if p.n_roles >= 2 => {
+                let a = rng.gen_range(0..p.n_roles);
+                let b = rng.gen_range(0..p.n_roles);
+                kb.add(Axiom4::RoleInclusion(
+                    kind(&mut rng, p),
+                    RoleExpr::named(role(a)),
+                    RoleExpr::named(role(b)),
+                ));
+            }
+            1 => kb.add(Axiom4::Transitive(role(rng.gen_range(0..p.n_roles)))),
+            _ => {
+                if rng.gen_bool(p.disjunction_rate.clamp(0.0, 1.0)) {
+                    let left = concept(rng.gen_range(0..p.n_concepts));
+                    let right = concept(rng.gen_range(0..p.n_concepts));
+                    let b = body(&mut rng, p, true);
+                    kb.add(Axiom4::ConceptInclusion(
+                        InclusionKind::Internal,
+                        b,
+                        left.or(right),
+                    ));
+                } else {
+                    let k = kind(&mut rng, p);
+                    let b = body(&mut rng, p, k != InclusionKind::Strong);
+                    kb.add(Axiom4::ConceptInclusion(k, b, head(&mut rng, p)));
+                }
+            }
+        }
+    }
+    // The connecting role chain h0 → h1 → … plus a seed membership, so
+    // instance queries propagate along the ABox too.
+    for i in 0..p.n_individuals.saturating_sub(1) {
+        kb.add(Axiom4::RoleAssertion(
+            role(i % p.n_roles.max(1)),
+            individual(i),
+            individual(i + 1),
+        ));
+    }
+    if p.n_individuals > 0 && p.n_concepts > 0 {
+        kb.add(Axiom4::ConceptAssertion(individual(0), concept(0)));
+    }
+    for _ in 0..p.n_abox {
+        let a = individual(rng.gen_range(0..p.n_individuals.max(1)));
+        if rng.gen_bool(0.7) {
+            let atom = concept(rng.gen_range(0..p.n_concepts));
+            let c = if rng.gen_bool(0.2) { atom.not() } else { atom };
+            kb.add(Axiom4::ConceptAssertion(a, c));
+        } else {
+            let b = individual(rng.gen_range(0..p.n_individuals.max(1)));
+            kb.add(Axiom4::RoleAssertion(
+                role(rng.gen_range(0..p.n_roles)),
+                a,
+                b,
+            ));
+        }
+    }
+    kb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shoin4::dataflow::ModuleExtractor;
+    use shoin4::horn::compile;
+
+    #[test]
+    fn pure_corpus_is_horn_and_deterministic() {
+        let p = HornParams::default();
+        let kb = horn_kb4(&p);
+        assert_eq!(kb, horn_kb4(&p));
+        let ex = ModuleExtractor::new(&kb);
+        let images: Vec<_> = (0..kb.len()).flat_map(|i| ex.images(i).to_vec()).collect();
+        assert!(
+            compile(images.iter()).is_some(),
+            "material_rate 0 must generate a fully Horn classical image"
+        );
+    }
+
+    #[test]
+    fn material_rate_plants_non_horn_modules() {
+        let p = HornParams {
+            material_rate: 1.0,
+            ..HornParams::default()
+        };
+        let kb = horn_kb4(&p);
+        let ex = ModuleExtractor::new(&kb);
+        let images: Vec<_> = (0..kb.len()).flat_map(|i| ex.images(i).to_vec()).collect();
+        assert!(compile(images.iter()).is_none());
+    }
+
+    #[test]
+    fn disjunction_rate_plants_non_horn_modules() {
+        let p = HornParams {
+            disjunction_rate: 1.0,
+            ..HornParams::default()
+        };
+        let kb = horn_kb4(&p);
+        let ex = ModuleExtractor::new(&kb);
+        let images: Vec<_> = (0..kb.len()).flat_map(|i| ex.images(i).to_vec()).collect();
+        assert!(compile(images.iter()).is_none());
+    }
+
+    #[test]
+    fn seeds_vary_the_corpus() {
+        let a = horn_kb4(&HornParams::default());
+        let b = horn_kb4(&HornParams {
+            seed: 1,
+            ..HornParams::default()
+        });
+        assert_ne!(a, b);
+    }
+}

@@ -20,6 +20,7 @@
 //! * [`queries`] — instance-query workloads over a KB's signature.
 
 pub mod exceptions;
+pub mod horn;
 pub mod inject;
 pub mod lintseed;
 pub mod medical;

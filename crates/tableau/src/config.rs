@@ -64,6 +64,15 @@ pub struct Config {
     /// with the unscoped engine is property-tested in
     /// `tests/module_parity.rs`.
     pub module_scoping: bool,
+    /// Consequence-driven Horn fast path: route atomic-goal queries
+    /// whose extracted module has a Horn classical image through a
+    /// datalog-style saturation engine (`shoin4::horn`) instead of the
+    /// tableau. On by default — verdicts are bit-identical (the parity
+    /// contract is `tests/horn_parity.rs`); like `module_scoping` it is
+    /// a four-valued-level switch the classical engine never reads.
+    /// `--no-horn` / setting this `false` forces every query through
+    /// the tableau for A/B runs.
+    pub horn_path: bool,
     /// Wall-clock budget for one search. `None` means unbounded. The
     /// node/rule caps bound *space* and *counted work*, but a diverging
     /// nominal search (NN-rule with inverse roles) grows slowly enough
@@ -83,6 +92,7 @@ impl Default for Config {
             absorption: true,
             model_pruning: true,
             module_scoping: false,
+            horn_path: true,
             time_budget: Some(Duration::from_secs(30)),
         }
     }
@@ -135,6 +145,10 @@ mod tests {
         // Module scoping is opt-in: the default pipeline stays
         // byte-identical to the unscoped engine.
         assert!(!c.module_scoping);
+        // The Horn fast path is on by default — it is verdict-exact
+        // (parity contract in `tests/horn_parity.rs`) and falls back to
+        // the tableau on any non-Horn module.
+        assert!(c.horn_path);
         assert!(c.max_nodes > 0);
     }
 

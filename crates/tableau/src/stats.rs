@@ -38,6 +38,18 @@ pub struct Stats {
     /// Wall-clock nanoseconds spent extracting modules — the overhead
     /// side of the module-scoping trade.
     pub module_extraction_ns: u64,
+    /// Queries answered by the Horn saturation fast path instead of the
+    /// tableau (counted by the four-valued layer).
+    pub horn_queries: u64,
+    /// Horn clauses (rules plus base facts) compiled across all
+    /// Horn-classified modules — each module is compiled once.
+    pub horn_clauses: u64,
+    /// Semi-naive saturation rounds executed by the Horn engine
+    /// (memoized closures add nothing on reuse).
+    pub saturation_rounds: u64,
+    /// Horn-routable queries whose module failed Horn classification
+    /// and fell back to the tableau.
+    pub horn_fallbacks: u64,
 }
 
 impl Stats {
@@ -61,6 +73,10 @@ impl Stats {
         self.scoped_queries += other.scoped_queries;
         self.module_axioms += other.module_axioms;
         self.module_extraction_ns += other.module_extraction_ns;
+        self.horn_queries += other.horn_queries;
+        self.horn_clauses += other.horn_clauses;
+        self.saturation_rounds += other.saturation_rounds;
+        self.horn_fallbacks += other.horn_fallbacks;
         for (mine, theirs) in self
             .clashes_by_kind
             .iter_mut()
@@ -103,6 +119,10 @@ mod tests {
             scoped_queries: 2,
             module_axioms: 30,
             module_extraction_ns: 400,
+            horn_queries: 5,
+            horn_clauses: 40,
+            saturation_rounds: 6,
+            horn_fallbacks: 1,
             ..Stats::default()
         };
         a.absorb(&b);
@@ -110,6 +130,10 @@ mod tests {
         assert_eq!(a.scoped_queries, 2);
         assert_eq!(a.module_axioms, 30);
         assert_eq!(a.module_extraction_ns, 400);
+        assert_eq!(a.horn_queries, 5);
+        assert_eq!(a.horn_clauses, 40);
+        assert_eq!(a.saturation_rounds, 6);
+        assert_eq!(a.horn_fallbacks, 1);
         assert_eq!(a.peak_graph_size, 5);
         assert_eq!(a.graph_clones, 16);
         assert_eq!(a.backjumps, 17);

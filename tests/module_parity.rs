@@ -64,6 +64,11 @@ fn engine(kb: &KnowledgeBase4, module_scoping: bool) -> Reasoner4 {
     let config = Config {
         model_pruning: false,
         module_scoping,
+        // This suite pins *scoping* against the plain tableau; with the
+        // Horn fast path on (the default) many queries would never reach
+        // the scoped search at all. Horn-vs-tableau parity has its own
+        // differential suite in `tests/horn_parity.rs`.
+        horn_path: false,
         // A short wall-clock budget: with the baseline options (no
         // pruning, no told path) a rare random seed is pathologically
         // hard for the classical tableau. That is a pre-existing
