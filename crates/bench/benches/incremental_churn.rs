@@ -1,0 +1,241 @@
+//! Incremental sessions vs rebuild-per-mutation, on ontogen's localized
+//! churn workloads (`ontogen::churn`): a modular base KB, a stream of
+//! interleaved queries (all islands) and mutations (one hot island).
+//! This is the regime `shoin4::incremental` exists for — the rebuild
+//! baseline reconstructs a fresh `Reasoner4` after every mutation and
+//! so re-pays the told index, module extraction, Horn compilation and
+//! every cache from zero, while the session's delta-driven invalidation
+//! keeps everything outside the hot island warm.
+//!
+//! Correctness is asserted where the numbers are produced: a
+//! verification pass replays the trace through both engines and demands
+//! bit-identical verdicts on every query op, and the session's
+//! invalidation counters must stay far below one-module-per-mutation
+//! times the cached-module population (module-granular, not global).
+//!
+//! Besides the Criterion group this writes summary rows to
+//! `target/experiments/incremental_churn.jsonl` and refreshes the
+//! committed snapshot `BENCH_incremental.json` at the repo root
+//! (including the `speedup_largest` row EXPERIMENTS.md §X8 cites). Set
+//! `BENCH_SMOKE=1` to shrink the series for CI smoke runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ontogen::churn::{churn_workload, ChurnOp, ChurnParams};
+use ontogen::modular::ModularParams;
+use shoin4::reasoner4::QueryOptions;
+use shoin4::{Axiom4, KnowledgeBase4, Reasoner4, Session};
+use std::hint::black_box;
+use std::io::Write;
+use tableau::Config;
+
+fn workload(n_islands: usize, ops: usize) -> (KnowledgeBase4, Vec<ChurnOp>) {
+    let (kb, _, trace) = churn_workload(&ChurnParams {
+        seed: 7,
+        modular: ModularParams {
+            seed: 7,
+            n_islands,
+            island_tbox: 8,
+            island_abox: 12,
+            contaminated_islands: 1,
+        },
+        ops,
+        mutation_percent: 15,
+        hot_island: 0,
+    });
+    (kb, trace)
+}
+
+fn config() -> Config {
+    Config::default()
+}
+
+fn fresh_reasoner(axioms: &[Axiom4]) -> Reasoner4 {
+    Reasoner4::with_options(
+        &KnowledgeBase4::from_axioms(axioms.iter().cloned()),
+        config(),
+        QueryOptions::default(),
+    )
+}
+
+/// One full trace through a long-lived session.
+fn session_pass(kb: &KnowledgeBase4, ops: &[ChurnOp]) -> Session {
+    let mut session = Session::new(kb, config());
+    for op in ops {
+        match op {
+            ChurnOp::Add(ax) => session.add_axiom(ax.clone()).expect("in-memory add"),
+            ChurnOp::Retract(ax) => {
+                session.retract_axiom(ax).expect("in-memory retract");
+            }
+            ChurnOp::Query(a, c) => {
+                black_box(session.query(a, c).expect("within limits"));
+            }
+        }
+    }
+    session
+}
+
+/// The baseline: rebuild the entire reasoner after every mutation.
+fn rebuild_pass(kb: &KnowledgeBase4, ops: &[ChurnOp]) {
+    let mut axioms = kb.axioms().to_vec();
+    let mut reasoner = fresh_reasoner(&axioms);
+    for op in ops {
+        match op {
+            ChurnOp::Add(ax) => {
+                axioms.push(ax.clone());
+                reasoner = fresh_reasoner(&axioms);
+            }
+            ChurnOp::Retract(ax) => {
+                let i = axioms
+                    .iter()
+                    .rposition(|x| x == ax)
+                    .expect("trace retracts prior adds");
+                axioms.remove(i);
+                reasoner = fresh_reasoner(&axioms);
+            }
+            ChurnOp::Query(a, c) => {
+                black_box(reasoner.query(a, c).expect("within limits"));
+            }
+        }
+    }
+}
+
+/// Differential verification: both engines walk the trace together and
+/// every query verdict must be bit-identical.
+fn verify_parity(kb: &KnowledgeBase4, ops: &[ChurnOp]) {
+    let mut session = Session::new(kb, config());
+    let mut axioms = kb.axioms().to_vec();
+    let mut reasoner: Option<Reasoner4> = None;
+    for op in ops {
+        match op {
+            ChurnOp::Add(ax) => {
+                session.add_axiom(ax.clone()).expect("add");
+                axioms.push(ax.clone());
+                reasoner = None;
+            }
+            ChurnOp::Retract(ax) => {
+                assert!(session.retract_axiom(ax).expect("retract"));
+                let i = axioms.iter().rposition(|x| x == ax).expect("prior add");
+                axioms.remove(i);
+                reasoner = None;
+            }
+            ChurnOp::Query(a, c) => {
+                let r = reasoner.get_or_insert_with(|| fresh_reasoner(&axioms));
+                assert_eq!(
+                    session.query(a, c).expect("session"),
+                    r.query(a, c).expect("rebuild"),
+                    "verdict divergence on {a}:{c:?}"
+                );
+            }
+        }
+    }
+}
+
+fn timed_ops_per_sec(kb: &KnowledgeBase4, ops: &[ChurnOp], session: bool, reps: u32) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..reps {
+        if session {
+            session_pass(kb, ops);
+        } else {
+            rebuild_pass(kb, ops);
+        }
+    }
+    (reps as usize * ops.len()) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_incremental_churn(c: &mut Criterion) {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let sizes: &[usize] = if smoke { &[3] } else { &[4, 8, 16] };
+    let n_ops = if smoke { 120 } else { 400 };
+    let mut rows = Vec::new();
+    let mut largest = (f64::NAN, f64::NAN); // (rebuild, session) ops/sec
+
+    let mut group = c.benchmark_group("incremental_churn");
+    group.sample_size(10);
+    for &n in sizes {
+        let (kb, ops) = workload(n, n_ops);
+        let len = kb.len();
+        verify_parity(&kb, &ops);
+
+        // Invalidation must be module-granular: across the whole trace
+        // the session may invalidate only a small fraction of the
+        // warm-module population per mutation, or the "incremental"
+        // engine is just rebuilding with extra steps.
+        let probe = session_pass(&kb, &ops);
+        let stats = probe.stats();
+        let modules = probe.cached_modules() as u64 + stats.invalidated_modules;
+        assert!(stats.mutations > 0, "trace has no mutations");
+        assert!(
+            stats.invalidated_modules * 4 < stats.mutations * modules,
+            "invalidation not module-granular: {} invalidated over {} mutations, {} modules",
+            stats.invalidated_modules,
+            stats.mutations,
+            modules
+        );
+        assert!(
+            stats.entailment_cache_hits > 0,
+            "entailment cache never hit across the churn trace"
+        );
+
+        for session in [false, true] {
+            let series = if session { "session" } else { "rebuild" };
+            if n == sizes[0] {
+                group.bench_with_input(BenchmarkId::new(series, len), &kb, |b, kb| {
+                    b.iter(|| {
+                        if session {
+                            session_pass(kb, &ops);
+                        } else {
+                            rebuild_pass(kb, &ops);
+                        }
+                    })
+                });
+            }
+            let reps = if session || smoke { 5 } else { 2 };
+            let ops_sec = timed_ops_per_sec(&kb, &ops, session, reps);
+            rows.push(bench::ExperimentRow {
+                experiment: "incremental_churn".into(),
+                x: len as f64,
+                series: series.into(),
+                value: ops_sec,
+                unit: "ops/sec".into(),
+            });
+            if n == *sizes.last().expect("nonempty") {
+                if session {
+                    largest.1 = ops_sec;
+                } else {
+                    largest.0 = ops_sec;
+                }
+            }
+        }
+    }
+    group.finish();
+
+    let (rebuild_ops, session_ops) = largest;
+    rows.push(bench::ExperimentRow {
+        experiment: "incremental_churn".into(),
+        x: workload(*sizes.last().expect("nonempty"), n_ops).0.len() as f64,
+        series: "speedup_largest".into(),
+        value: session_ops / rebuild_ops,
+        unit: "x".into(),
+    });
+    bench::write_rows("incremental_churn", &rows).expect("write rows");
+
+    // Committed snapshot (skipped for smoke runs so CI never clobbers
+    // the checked-in numbers with reduced-size measurements).
+    if !smoke {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_incremental.json");
+        let mut f = std::fs::File::create(path).expect("snapshot file");
+        writeln!(f, "{{").expect("write");
+        writeln!(f, "  \"experiment\": \"incremental_churn\",").expect("write");
+        writeln!(f, "  \"unit\": \"ops/sec\",").expect("write");
+        writeln!(f, "  \"rows\": [").expect("write");
+        for (i, row) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            writeln!(f, "    {}{comma}", row.to_json()).expect("write");
+        }
+        writeln!(f, "  ]").expect("write");
+        writeln!(f, "}}").expect("write");
+    }
+}
+
+criterion_group!(benches, bench_incremental_churn);
+criterion_main!(benches);

@@ -29,6 +29,8 @@ pub enum CliError {
     Reasoning(tableau::ReasonerError),
     /// Snapshot decode failure.
     Snapshot(dl::snapshot::SnapshotError),
+    /// Session storage (WAL/snapshot) failure.
+    Session(shoin4::incremental::SessionError),
 }
 
 impl fmt::Display for CliError {
@@ -39,6 +41,7 @@ impl fmt::Display for CliError {
             CliError::Parse(e) => write!(f, "parse error: {e}"),
             CliError::Reasoning(e) => write!(f, "reasoning aborted: {e}"),
             CliError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            CliError::Session(e) => write!(f, "session error: {e}"),
         }
     }
 }
@@ -46,6 +49,12 @@ impl fmt::Display for CliError {
 impl From<tableau::ReasonerError> for CliError {
     fn from(e: tableau::ReasonerError) -> Self {
         CliError::Reasoning(e)
+    }
+}
+
+impl From<shoin4::incremental::SessionError> for CliError {
+    fn from(e: shoin4::incremental::SessionError) -> Self {
+        CliError::Session(e)
     }
 }
 
@@ -65,6 +74,9 @@ USAGE:
     shoin4 classify <ontology> [FLAGS]       internal-inclusion taxonomy
     shoin4 transform <ontology>              print the classical induced KB
     shoin4 convert <in> <out>                text ⇄ binary snapshot (.dlkb)
+    shoin4 session [SESSION FLAGS]           incremental add/retract/query
+                                             session (script from --script
+                                             FILE or stdin via `--script -`)
     shoin4 table4                            regenerate the paper's Table 4
 
 FLAGS (check/report/classify, any order):
@@ -72,6 +84,18 @@ FLAGS (check/report/classify, any order):
     --stats             append search counters
     --module-scoping    run each query on its extracted module only
     --no-horn           disable the Horn saturation fast path (A/B runs)
+
+SESSION FLAGS (any order):
+    --script FILE       verb script; `-` reads stdin (default `-`)
+    --dir DIR           durable session directory (WAL + snapshots);
+                        omitted = in-memory session
+    --snapshot-every N  compact the WAL every N mutations (default 256)
+    --stats             append search + cache counters
+    --no-horn           disable the Horn saturation fast path
+
+Session scripts take one verb per line: `add <axiom>`,
+`retract <axiom>`, `query <ind> <concept>`, `role <role> <a> <b>`,
+`check`, plus `DataRole:` declarations, blank lines and # comments.
 
 Ontologies use the line-based Manchester-like syntax (see README).";
 
@@ -199,6 +223,39 @@ fn write_stats_block(out: &mut String, stats: &tableau::Stats) {
         )
         .unwrap();
     }
+    // Cache observability (hits/misses): printed only once some cache
+    // was actually consulted, so cache-free runs keep the historical
+    // block byte-identical.
+    let consulted = stats.entailment_cache_hits
+        + stats.entailment_cache_misses
+        + stats.engine_cache_hits
+        + stats.engine_cache_misses
+        + stats.horn_cache_hits
+        + stats.horn_cache_misses;
+    if consulted > 0 {
+        writeln!(
+            out,
+            "caches:       entailments {}/{}, engines {}/{}, horn programs {}/{} (hits/misses)",
+            stats.entailment_cache_hits,
+            stats.entailment_cache_misses,
+            stats.engine_cache_hits,
+            stats.engine_cache_misses,
+            stats.horn_cache_hits,
+            stats.horn_cache_misses
+        )
+        .unwrap();
+    }
+    if stats.mutations > 0 {
+        writeln!(
+            out,
+            "session:      {} mutations invalidated {} modules, {} entailments, {} told rows",
+            stats.mutations,
+            stats.invalidated_modules,
+            stats.invalidated_entailments,
+            stats.invalidated_told_rows
+        )
+        .unwrap();
+    }
 }
 
 /// The `modules` subcommand: the signature-dataflow view of a KB —
@@ -300,6 +357,103 @@ fn modules_report(kb: &shoin4::KnowledgeBase4, json: bool) -> String {
         writeln!(out, "  {name}  {size}").unwrap();
     }
     out
+}
+
+/// Execute a session verb script: one verb per line (`add`, `retract`,
+/// `query`, `role`, `check`), `DataRole:` declarations, blank lines and
+/// `#` comments. Axiom statements use the same line syntax as ontology
+/// files; declarations accumulate and scope over the rest of the script.
+fn run_session_script(
+    session: &mut shoin4::Session,
+    text: &str,
+    out: &mut String,
+) -> Result<(), CliError> {
+    use dl::name::{DataRoleName, RoleName};
+    use std::collections::BTreeSet;
+
+    let mut declared: BTreeSet<DataRoleName> = BTreeSet::new();
+    let parse_axiom = |stmt: &str, declared: &BTreeSet<DataRoleName>, lineno: usize| {
+        let mut src = String::new();
+        if !declared.is_empty() {
+            src.push_str("DataRole:");
+            for u in declared {
+                src.push(' ');
+                src.push_str(u.as_str());
+            }
+            src.push('\n');
+        }
+        src.push_str(stmt);
+        let kb =
+            parse_kb4(&src).map_err(|e| CliError::Parse(format!("script line {lineno}: {e}")))?;
+        match kb.axioms() {
+            [ax] => Ok(ax.clone()),
+            other => Err(CliError::Parse(format!(
+                "script line {lineno}: expected one axiom, got {}",
+                other.len()
+            ))),
+        }
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = i + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(names) = line.strip_prefix("DataRole:") {
+            declared.extend(names.split_whitespace().map(DataRoleName::new));
+            continue;
+        }
+        if line == "check" {
+            writeln!(out, "satisfiable: {}", session.is_satisfiable()?).unwrap();
+            continue;
+        }
+        let (verb, arg) = line.split_once(' ').ok_or_else(|| {
+            CliError::Parse(format!("script line {lineno}: unreadable verb {line:?}"))
+        })?;
+        match verb {
+            "add" => {
+                session.add_axiom(parse_axiom(arg, &declared, lineno)?)?;
+                writeln!(out, "added {arg}").unwrap();
+            }
+            "retract" => {
+                let hit = session.retract_axiom(&parse_axiom(arg, &declared, lineno)?)?;
+                if hit {
+                    writeln!(out, "retracted {arg}").unwrap();
+                } else {
+                    writeln!(out, "retract no-op {arg}").unwrap();
+                }
+            }
+            "query" => {
+                let (ind, concept) = arg.split_once(' ').ok_or_else(|| {
+                    CliError::Parse(format!("script line {lineno}: query needs <ind> <concept>"))
+                })?;
+                let c = dl::parser::parse_concept(concept)
+                    .map_err(|e| CliError::Parse(format!("script line {lineno}: {e}")))?;
+                let v = session.query(&IndividualName::new(ind), &c)?;
+                writeln!(out, "{ind} : {c} = {}", truth_gloss(v)).unwrap();
+            }
+            "role" => {
+                let parts: Vec<&str> = arg.split_whitespace().collect();
+                let [r, a, b] = parts[..] else {
+                    return Err(CliError::Parse(format!(
+                        "script line {lineno}: role needs <role> <a> <b>"
+                    )));
+                };
+                let v = session.query_role(
+                    &RoleName::new(r),
+                    &IndividualName::new(a),
+                    &IndividualName::new(b),
+                )?;
+                writeln!(out, "{r}({a}, {b}) = {}", truth_gloss(v)).unwrap();
+            }
+            other => {
+                return Err(CliError::Parse(format!(
+                    "script line {lineno}: unknown verb {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(())
 }
 
 fn truth_gloss(v: TruthValue) -> &'static str {
@@ -453,6 +607,51 @@ pub fn run_with_fs(
             )
             .unwrap();
         }
+        [cmd, rest @ ..] if cmd == "session" => {
+            let mut script = "-".to_string();
+            let mut dir: Option<String> = None;
+            let mut snapshot_every = shoin4::incremental::DEFAULT_SNAPSHOT_EVERY;
+            let mut stats = false;
+            let mut no_horn = false;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--script" => match it.next() {
+                        Some(p) => script = p.clone(),
+                        None => return Err(CliError::Usage(USAGE.to_string())),
+                    },
+                    "--dir" => match it.next() {
+                        Some(p) => dir = Some(p.clone()),
+                        None => return Err(CliError::Usage(USAGE.to_string())),
+                    },
+                    "--snapshot-every" => match it.next().map(|n| n.parse::<usize>()) {
+                        Some(Ok(n)) => snapshot_every = n,
+                        _ => return Err(CliError::Usage(USAGE.to_string())),
+                    },
+                    "--stats" => stats = true,
+                    "--no-horn" => no_horn = true,
+                    _ => return Err(CliError::Usage(USAGE.to_string())),
+                }
+            }
+            let bytes = read(&script).map_err(|e| CliError::Io(script.clone(), e))?;
+            let text = String::from_utf8(bytes)
+                .map_err(|_| CliError::Parse(format!("{script} is not UTF-8")))?;
+            let config = tableau::Config {
+                horn_path: !no_horn,
+                ..tableau::Config::default()
+            };
+            // Durable sessions live on the real filesystem (the WAL is
+            // not expressible through the read/write closures).
+            let mut session = match &dir {
+                Some(d) => shoin4::Session::open_with(d, config, snapshot_every)?,
+                None => shoin4::Session::new(&KnowledgeBase4::new(), config),
+            };
+            run_session_script(&mut session, &text, &mut out)?;
+            writeln!(out, "axioms: {}", session.len()).unwrap();
+            if stats {
+                write_stats_block(&mut out, &session.stats());
+            }
+        }
         [cmd] if cmd == "table4" => {
             out.push_str(&fourmodels::table4::render_table4());
         }
@@ -461,11 +660,19 @@ pub fn run_with_fs(
     Ok(out)
 }
 
-/// Run against the real filesystem.
+/// Run against the real filesystem (`-` reads stdin, for piped session
+/// scripts).
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    run_with_fs(args, &|p| std::fs::read(p), &mut |p, bytes| {
-        std::fs::write(p, bytes)
-    })
+    let read = |p: &str| -> std::io::Result<Vec<u8>> {
+        if p == "-" {
+            let mut buf = Vec::new();
+            std::io::Read::read_to_end(&mut std::io::stdin(), &mut buf)?;
+            Ok(buf)
+        } else {
+            std::fs::read(p)
+        }
+    };
+    run_with_fs(args, &read, &mut |p, bytes| std::fs::write(p, bytes))
 }
 
 #[cfg(test)]
@@ -776,6 +983,113 @@ y : D";
         let out = fs.run(&["table4"]).unwrap();
         assert!(out.contains("M1-M4"), "{out}");
         assert!(out.contains("M9"), "{out}");
+    }
+
+    const SESSION_SCRIPT: &str = "# build a little clinic
+add Doctor SubClassOf Person
+add meredith : Doctor
+query meredith Person
+add meredith : not Person
+query meredith Person
+retract meredith : not Person
+query meredith Person
+retract meredith : not Person
+check";
+
+    #[test]
+    fn session_runs_a_mutation_script() {
+        let fs = MemFs::new(&[("ops.txt", SESSION_SCRIPT)]);
+        let out = fs.run(&["session", "--script", "ops.txt"]).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "added Doctor SubClassOf Person");
+        assert_eq!(lines[2], "meredith : Person = t (information: yes)");
+        assert!(lines[4].contains('⊤'), "{out}");
+        assert_eq!(lines[6], "meredith : Person = t (information: yes)");
+        assert_eq!(lines[7], "retract no-op meredith : not Person");
+        assert_eq!(lines[8], "satisfiable: true");
+        assert_eq!(lines[9], "axioms: 2");
+    }
+
+    #[test]
+    fn session_stats_reports_cache_and_invalidation_counters() {
+        let fs = MemFs::new(&[("ops.txt", SESSION_SCRIPT)]);
+        let out = fs
+            .run(&["session", "--script", "ops.txt", "--stats"])
+            .unwrap();
+        assert!(out.contains("caches:"), "{out}");
+        assert!(out.contains("horn programs"), "{out}");
+        assert!(out.contains("session:"), "{out}");
+        assert!(out.contains("4 mutations"), "{out}");
+        // The `--no-horn` session still answers identically up front.
+        let slow = fs
+            .run(&["session", "--script", "ops.txt", "--no-horn"])
+            .unwrap();
+        assert_eq!(fs.run(&["session", "--script", "ops.txt"]).unwrap(), slow);
+        assert!(!slow.contains("horn:"), "{slow}");
+    }
+
+    #[test]
+    fn session_reads_the_script_from_stdin_path() {
+        let fs = MemFs::new(&[("-", "add x : A\nquery x A")]);
+        let out = fs.run(&["session"]).unwrap();
+        assert!(out.contains("x : A = t"), "{out}");
+    }
+
+    #[test]
+    fn session_scripts_support_data_role_declarations() {
+        let fs = MemFs::new(&[(
+            "ops.txt",
+            "DataRole: age\nadd age(pat, 41)\nquery pat Person",
+        )]);
+        let out = fs.run(&["session", "--script", "ops.txt"]).unwrap();
+        assert!(out.contains("added age(pat, 41)"), "{out}");
+        assert!(out.contains("axioms: 1"), "{out}");
+    }
+
+    #[test]
+    fn session_rejects_bad_scripts_and_flags() {
+        let fs = MemFs::new(&[("ops.txt", "frobnicate x : A")]);
+        assert!(matches!(
+            fs.run(&["session", "--script", "ops.txt"]),
+            Err(CliError::Parse(_))
+        ));
+        let fs = MemFs::new(&[("ops.txt", "add A SubClassOf")]);
+        let err = fs
+            .run(&["session", "--script", "ops.txt"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("script line 1"), "{err}");
+        let fs = MemFs::new(&[]);
+        for bad in [
+            &["session", "--script"][..],
+            &["session", "--dir"][..],
+            &["session", "--snapshot-every", "many"][..],
+            &["session", "--bogus"][..],
+        ] {
+            assert!(matches!(fs.run(bad), Err(CliError::Usage(_))), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn durable_session_dir_persists_across_invocations() {
+        let dir = std::env::temp_dir().join(format!("shoin4-cli-session-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap();
+        let fs = MemFs::new(&[
+            (
+                "build.txt",
+                "add Doctor SubClassOf Person\nadd meredith : Doctor",
+            ),
+            ("ask.txt", "query meredith Person"),
+        ]);
+        fs.run(&["session", "--script", "build.txt", "--dir", dir_s])
+            .unwrap();
+        let out = fs
+            .run(&["session", "--script", "ask.txt", "--dir", dir_s])
+            .unwrap();
+        assert!(out.contains("meredith : Person = t"), "{out}");
+        assert!(out.contains("axioms: 2"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

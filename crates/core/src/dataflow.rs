@@ -280,6 +280,32 @@ impl DepGraph {
         self.atoms.len()
     }
 
+    /// Append a slot with the given atoms and kind; returns its index.
+    fn push_slot(&mut self, set: BTreeSet<SigAtom>, kind: AxiomKind) -> usize {
+        let i = self.atoms.len();
+        for atom in &set {
+            self.by_atom.entry(atom.clone()).or_default().push(i);
+        }
+        self.atoms.push(set);
+        self.kinds.push(kind);
+        i
+    }
+
+    /// Tombstone slot `i`: clear its atoms and unlink it from the
+    /// reverse index. The slot keeps its index so module keys built
+    /// from slot-id sets stay meaningful across retractions.
+    fn clear_slot(&mut self, i: usize) {
+        let atoms = std::mem::take(&mut self.atoms[i]);
+        for atom in &atoms {
+            if let Some(users) = self.by_atom.get_mut(atom) {
+                users.retain(|&j| j != i);
+                if users.is_empty() {
+                    self.by_atom.remove(atom);
+                }
+            }
+        }
+    }
+
     /// Is the graph empty?
     pub fn is_empty(&self) -> bool {
         self.atoms.is_empty()
@@ -447,6 +473,43 @@ impl ModuleExtractor {
         let mut seed = concept_seed(c);
         seed.insert(SigAtom::Individual(a.clone()));
         seed
+    }
+
+    /// Append a new axiom as a fresh slot, returning its index —
+    /// incremental maintenance for [`crate::incremental::Session`].
+    /// The new slot participates in every later [`Self::extract`] call
+    /// exactly as if the extractor had been built from the extended KB.
+    pub fn push_axiom(&mut self, ax: &Axiom4) -> usize {
+        let mut tr = Transformer::memoized();
+        let images = tr.axiom(ax);
+        let mut set = BTreeSet::new();
+        for image in &images {
+            classical_axiom_atoms(image, &mut set);
+        }
+        let kind = match ax {
+            Axiom4::ConceptInclusion(k, ..)
+            | Axiom4::RoleInclusion(k, ..)
+            | Axiom4::DataRoleInclusion(k, ..) => AxiomKind::Inclusion(*k),
+            _ => AxiomKind::Fact,
+        };
+        let i = self.graph.push_slot(set, kind);
+        debug_assert_eq!(i, self.images.len());
+        self.images.push(images);
+        i
+    }
+
+    /// Tombstone slot `i`: its images and atoms become empty, so it is
+    /// vacuously `⊤`-local w.r.t. every signature and can never again
+    /// be admitted into a module. Indices of the surviving slots do not
+    /// shift, which keeps cached module keys (slot-id sets) valid.
+    pub fn remove_axiom(&mut self, i: usize) {
+        self.images[i].clear();
+        self.graph.clear_slot(i);
+    }
+
+    /// Does slot `i` still hold a live axiom?
+    pub fn is_live(&self, i: usize) -> bool {
+        !self.images[i].is_empty()
     }
 }
 
@@ -720,6 +783,61 @@ mod tests {
         let printed = dl::printer::print_kb(&induced);
         assert!(printed.contains("A+ SubClassOf B+"), "{printed}");
         assert!(!printed.contains("C+"), "{printed}");
+    }
+
+    #[test]
+    fn incremental_push_matches_fresh_build() {
+        let base = kb("A SubClassOf B
+             x : A");
+        let mut ex = ModuleExtractor::new(&base);
+        let added = parse_kb4("B SubClassOf C\ny : not C").unwrap();
+        for ax in added.axioms() {
+            ex.push_axiom(ax);
+        }
+        let full = kb("A SubClassOf B
+             x : A
+             B SubClassOf C
+             y : not C");
+        let fresh = ModuleExtractor::new(&full);
+        for names in [&["A"][..], &["B"], &["C"], &["A", "C"]] {
+            let seed = seed_of(names);
+            let inc = ex.extract(&seed);
+            let ref_m = fresh.extract(&seed);
+            assert_eq!(inc.axioms, ref_m.axioms, "module differs for {names:?}");
+            assert_eq!(inc.signature, ref_m.signature);
+        }
+    }
+
+    #[test]
+    fn tombstoned_slot_leaves_every_module() {
+        let full = kb("A SubClassOf B
+             B SubClassOf C
+             x : A");
+        let mut ex = ModuleExtractor::new(&full);
+        assert!(ex.is_live(1));
+        ex.remove_axiom(1);
+        assert!(!ex.is_live(1));
+        // Slot ids of survivors are unchanged; the dead slot never
+        // appears again, matching a fresh extractor over the shrunken KB.
+        let shrunk = kb("A SubClassOf B
+             x : A");
+        let fresh = ModuleExtractor::new(&shrunk);
+        // Survivor slot ids: 0 stays 0, 2 maps to 1 in the fresh build.
+        let remap = |i: usize| if i == 0 { 0 } else { 1 };
+        for names in [&["A"][..], &["B"], &["C"]] {
+            let seed = seed_of(names);
+            let inc = ex.extract(&seed);
+            let ref_m = fresh.extract(&seed);
+            assert!(!inc.axioms.contains(&1));
+            assert_eq!(
+                inc.axioms
+                    .iter()
+                    .map(|&i| remap(i))
+                    .collect::<BTreeSet<_>>(),
+                ref_m.axioms,
+                "module differs for {names:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,1328 @@
+//! Incremental reasoning sessions: mutable knowledge bases with
+//! delta-driven, module-granular cache invalidation and (optionally)
+//! write-ahead-logged durability.
+//!
+//! Every other entry point in this crate rebuilds the world on any KB
+//! change: [`crate::Reasoner4`] is constructed from an immutable
+//! [`KnowledgeBase4`], so one added or retracted axiom throws away the
+//! told index, the per-module engines, the compiled Horn programs and
+//! the entailment cache. A [`Session`] keeps them: on mutation it
+//! computes the delta's signature atoms ([`crate::dataflow`]), updates
+//! the dependency graph in place, and invalidates **only** the state
+//! the delta can actually reach.
+//!
+//! # What survives a delta, and why that is sound
+//!
+//! The session's caches are all keyed by the extracted `⊤`-locality
+//! module of the query seed (a `BTreeSet` of axiom slot ids). Slots are
+//! *tombstoned*, never compacted: a retracted axiom keeps its slot id
+//! with empty classical images, which makes it vacuously `⊤`-local —
+//! it can never again enter a module, and every surviving module key
+//! stays valid.
+//!
+//! * **Add** of axiom `δ`: a cached module `(M, Σ)` is dirty iff some
+//!   classical image of `δ` fails `⊤`-locality w.r.t. `Σ`
+//!   ([`dataflow::axiom_local`]). If every image is `Σ`-local it is
+//!   also local w.r.t. every *intermediate* signature of a fresh
+//!   re-extraction (locality reads only `Σ ∩ atoms(δ)` and is
+//!   anti-monotone in `Σ`), so the fixpoint re-run admits exactly the
+//!   old members — the cached engine, Horn program, and every
+//!   entailment answered through `M` are still exact. Never-local
+//!   axioms (`≠`, nominal assertions, negative role assertions) fail
+//!   the test against *every* signature and so dirty every module,
+//!   which is precisely right: they join every extraction. When several
+//!   seeds extract the *same* axiom set and share one cache entry, `Σ`
+//!   is the union of their closed signatures — locality w.r.t. the
+//!   union implies locality w.r.t. each (anti-monotonicity again), so
+//!   the shared test can only over-invalidate, never spare a stale
+//!   module.
+//! * **Retract** of slot `i`: a module is dirty iff `i ∈ M`. A module
+//!   that never admitted `i` ran its whole fixpoint without `i`
+//!   influencing any admission, so removing `i` re-runs identically.
+//!
+//! Entailment-cache entries are tagged with the module key that
+//! answered them and die with it. Told-index rows are maintained by
+//! [`ToldIndex::note_added`]/[`ToldIndex::note_retracted`] (an equality
+//! merge rebuilds the index — the class partition itself moved).
+//!
+//! # Durability
+//!
+//! [`Session::open`] adds a write-ahead log: one text line per
+//! mutation (`add <axiom>` / `retract <axiom>` in the [`crate::parser4`]
+//! syntax, so the log is human-readable and replays through the normal
+//! parser), a periodic binary snapshot in a `DLK4` format framed with
+//! the [`dl::snapshot`] wire primitives, and replay-on-open recovery. A
+//! mutation is committed once its newline reaches the file; on reopen,
+//! a partial final line (the torn write of a crash) is dropped and
+//! truncated away, while a malformed *committed* line is reported as
+//! [`SessionError::Corrupt`] rather than silently skipped.
+
+use crate::cache::{lock_mutex, recover, ShardedMap};
+use crate::dataflow::{self, axiom_local, ModuleExtractor, SigAtom};
+use crate::horn::{self, HornProgram};
+use crate::inclusion::InclusionKind;
+use crate::kb4::{Axiom4, KnowledgeBase4};
+use crate::parser4::parse_kb4;
+use crate::printer4::print_axiom4;
+use crate::reasoner4::subsumption_probe;
+use crate::told::ToldIndex;
+use crate::transform::{self, Transformer};
+use dl::axiom::{Axiom, RoleExpr};
+use dl::kb::KnowledgeBase;
+use dl::name::{DataRoleName, IndividualName, RoleName};
+use dl::snapshot::{self as wire, SnapshotError};
+use dl::Concept;
+use fourval::TruthValue;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+use tableau::{Config, QueryEngine, ReasonerError, Stats};
+
+/// WAL file name inside a session directory.
+pub const WAL_FILE: &str = "session.wal";
+/// Snapshot file name inside a session directory.
+pub const SNAPSHOT_FILE: &str = "session.snap";
+/// First line of every WAL file.
+const WAL_HEADER: &str = "# shoin4 session wal v1";
+/// Default mutations-per-snapshot compaction period for [`Session::open`].
+pub const DEFAULT_SNAPSHOT_EVERY: usize = 256;
+
+/// Failures of the durable session machinery. Reasoning failures keep
+/// their own type ([`ReasonerError`]); this covers storage and replay.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Filesystem failure on the WAL or snapshot.
+    Io(std::io::Error),
+    /// A *committed* WAL line (newline present) failed to parse or
+    /// replay — the log is damaged, not merely torn.
+    Corrupt {
+        /// 1-based line number in the WAL.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The binary snapshot failed to decode.
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Io(e) => write!(f, "session io error: {e}"),
+            SessionError::Corrupt { line, message } => {
+                write!(f, "corrupt session wal at line {line}: {message}")
+            }
+            SessionError::Snapshot(e) => write!(f, "corrupt session snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<std::io::Error> for SessionError {
+    fn from(e: std::io::Error) -> Self {
+        SessionError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for SessionError {
+    fn from(e: SnapshotError) -> Self {
+        SessionError::Snapshot(e)
+    }
+}
+
+/// One cached module: the engine and Horn program are built lazily
+/// (a module answered purely by saturation never pays for a tableau
+/// engine, and vice versa) and die together when the module is
+/// invalidated.
+struct ModuleEntry {
+    /// Member slot ids — the cache key, shared with the entailment
+    /// cache's per-entry tags.
+    key: Arc<BTreeSet<usize>>,
+    engine: OnceLock<Arc<QueryEngine>>,
+    horn: OnceLock<Option<Arc<HornProgram>>>,
+}
+
+/// The map slot around a [`ModuleEntry`]: distinct seeds can extract
+/// the *same* axiom set (the empty module most of all) and share the
+/// entry, so the signature the add-side dirty test checks must be the
+/// **union** of every contributing extraction's closed signature. That
+/// stays sound by anti-monotonicity — an axiom `⊤`-local w.r.t. the
+/// union is local w.r.t. each contributing signature, hence w.r.t.
+/// every intermediate signature of each seed's re-extraction — and
+/// errs only toward extra invalidation, never staleness.
+struct ModuleSlot {
+    signature: BTreeSet<SigAtom>,
+    entry: Arc<ModuleEntry>,
+}
+
+/// What the entailment cache remembers per `(a, C̄)` probe: the
+/// classical verdict plus the key of the module that answered it (the
+/// entry dies with that module).
+type CachedVerdict = (bool, Arc<BTreeSet<usize>>);
+
+/// Which side of a mutation an invalidation pass is running for.
+#[derive(Clone, Copy)]
+enum Delta {
+    Add(usize),
+    Retract(usize),
+}
+
+/// A mutable four-valued knowledge base with incremental reasoning.
+///
+/// Mutation verbs ([`Session::add_axiom`], [`Session::retract_axiom`])
+/// take `&mut self`; query verbs mirror [`crate::Reasoner4`] and take
+/// `&self`. The query pipeline is the full optimized stack — told fast
+/// path, entailment cache, per-module engines, and (under
+/// `Config::horn_path`) the Horn saturation path — with every cache
+/// maintained across mutations by the invalidation pass described in
+/// the module docs.
+pub struct Session {
+    /// Tombstoned axiom store: `None` slots are retracted. Slot ids are
+    /// stable for the life of the session (module keys index into this).
+    slots: Vec<Option<Axiom4>>,
+    live: usize,
+    extractor: ModuleExtractor,
+    told: ToldIndex,
+    transformer: Mutex<Transformer>,
+    modules: Mutex<HashMap<BTreeSet<usize>, ModuleSlot>>,
+    /// `(a, C̄) → (verdict, answering module key)`.
+    instance_cache: ShardedMap<(IndividualName, Concept), CachedVerdict>,
+    config: Config,
+    /// `config` with scoping off — what the per-module engines run.
+    sub_config: Config,
+    /// Counters accumulated at session level (mutations, invalidations,
+    /// extraction work, Horn answers) plus the stats of every engine
+    /// retired by invalidation, so nothing is lost when a module dies.
+    stats: Mutex<Stats>,
+    /// Durability; `None` for in-memory sessions.
+    wal: Option<Wal>,
+    snapshot_every: usize,
+    mutations_since_snapshot: usize,
+}
+
+impl Session {
+    /// An in-memory session (no durability) over an initial KB.
+    pub fn new(kb: &KnowledgeBase4, config: Config) -> Session {
+        Self::from_axioms(kb.axioms().to_vec(), config)
+    }
+
+    fn from_axioms(axioms: Vec<Axiom4>, config: Config) -> Session {
+        let kb = KnowledgeBase4::from_axioms(axioms.iter().cloned());
+        let sub_config = Config {
+            module_scoping: false,
+            ..config.clone()
+        };
+        Session {
+            extractor: ModuleExtractor::new(&kb),
+            told: ToldIndex::build(&kb),
+            live: axioms.len(),
+            slots: axioms.into_iter().map(Some).collect(),
+            transformer: Mutex::new(Transformer::memoized()),
+            modules: Mutex::new(HashMap::new()),
+            instance_cache: ShardedMap::new(),
+            config,
+            sub_config,
+            stats: Mutex::new(Stats::default()),
+            wal: None,
+            snapshot_every: 0,
+            mutations_since_snapshot: 0,
+        }
+    }
+
+    /// Open (or create) a durable session in `dir` with the default
+    /// snapshot period. Replays `snapshot → WAL` on open; see
+    /// [`Session::open_with`].
+    pub fn open(dir: impl AsRef<Path>, config: Config) -> Result<Session, SessionError> {
+        Self::open_with(dir, config, DEFAULT_SNAPSHOT_EVERY)
+    }
+
+    /// Open (or create) a durable session in `dir`, writing a binary
+    /// snapshot and truncating the WAL every `snapshot_every` mutations
+    /// (`0` disables compaction). Recovery: load the snapshot if
+    /// present, replay every committed WAL line, drop a torn final line
+    /// (no trailing newline), and fail loudly on a damaged committed
+    /// line.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        config: Config,
+        snapshot_every: usize,
+    ) -> Result<Session, SessionError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let base = if snap_path.exists() {
+            decode_kb4(&std::fs::read(&snap_path)?)?
+        } else {
+            Vec::new()
+        };
+        let mut session = Self::from_axioms(base, config);
+
+        let wal_path = dir.join(WAL_FILE);
+        let mut declared: BTreeSet<DataRoleName> = BTreeSet::new();
+        let mut replayed = 0usize;
+        if wal_path.exists() {
+            let bytes = std::fs::read(&wal_path)?;
+            // A mutation is committed when its newline hit the disk; a
+            // torn tail (no trailing newline) is dropped — even if it
+            // happens to parse, it could be the prefix of a longer
+            // statement, which must not replay as a different axiom.
+            let committed = match bytes.iter().rposition(|&b| b == b'\n') {
+                Some(last_nl) => &bytes[..=last_nl],
+                None => &[][..],
+            };
+            let text = std::str::from_utf8(committed).map_err(|e| SessionError::Corrupt {
+                line: 0,
+                message: format!("non-UTF-8 committed bytes: {e}"),
+            })?;
+            for (lineno, line) in text.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let corrupt = |message: String| SessionError::Corrupt {
+                    line: lineno + 1,
+                    message,
+                };
+                if let Some(decl) = line.strip_prefix("decl ") {
+                    let names = decl
+                        .strip_prefix("DataRole:")
+                        .ok_or_else(|| corrupt(format!("unknown declaration {decl:?}")))?;
+                    declared.extend(names.split_whitespace().map(DataRoleName::new));
+                    continue;
+                }
+                let (op, stmt) = line
+                    .split_once(' ')
+                    .ok_or_else(|| corrupt(format!("unreadable op line {line:?}")))?;
+                let ax = parse_wal_statement(stmt, &declared)
+                    .map_err(|e| corrupt(format!("bad statement {stmt:?}: {e}")))?;
+                match op {
+                    "add" => session.apply_add(ax),
+                    "retract" => {
+                        if session.apply_retract(&ax).is_none() {
+                            return Err(corrupt(format!("retract of absent axiom {stmt:?}")));
+                        }
+                    }
+                    other => return Err(corrupt(format!("unknown op {other:?}"))),
+                }
+                replayed += 1;
+            }
+            // Truncate the torn tail so appends continue from the last
+            // committed line.
+            if committed.len() < bytes.len() {
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&wal_path)?
+                    .set_len(committed.len() as u64)?;
+            }
+        }
+        session.wal = Some(Wal::append_to(wal_path, declared)?);
+        session.snapshot_every = snapshot_every;
+        session.mutations_since_snapshot = replayed;
+        session.maybe_snapshot()?;
+        Ok(session)
+    }
+
+    /// Add an axiom. Durable sessions log it to the WAL first; the
+    /// in-memory state then updates with module-granular invalidation.
+    pub fn add_axiom(&mut self, ax: Axiom4) -> Result<(), SessionError> {
+        if let Some(wal) = &mut self.wal {
+            wal.append("add", &ax)?;
+        }
+        self.apply_add(ax);
+        self.maybe_snapshot()
+    }
+
+    /// Retract one occurrence of an axiom (the most recently added live
+    /// occurrence, so add-then-retract is an exact undo). Returns
+    /// `false` — and logs nothing — when no live occurrence exists.
+    pub fn retract_axiom(&mut self, ax: &Axiom4) -> Result<bool, SessionError> {
+        let Some(id) = self.find_live(ax) else {
+            return Ok(false);
+        };
+        if let Some(wal) = &mut self.wal {
+            wal.append("retract", ax)?;
+        }
+        let retracted = self.apply_retract_slot(id, ax.clone());
+        debug_assert!(retracted);
+        self.maybe_snapshot()?;
+        Ok(true)
+    }
+
+    fn find_live(&self, ax: &Axiom4) -> Option<usize> {
+        self.slots.iter().rposition(|s| s.as_ref() == Some(ax))
+    }
+
+    fn apply_add(&mut self, ax: Axiom4) {
+        let id = self.extractor.push_axiom(&ax);
+        debug_assert_eq!(id, self.slots.len());
+        self.slots.push(Some(ax.clone()));
+        self.live += 1;
+        self.invalidate(Delta::Add(id), &ax);
+    }
+
+    fn apply_retract(&mut self, ax: &Axiom4) -> Option<usize> {
+        let id = self.find_live(ax)?;
+        self.apply_retract_slot(id, ax.clone());
+        Some(id)
+    }
+
+    fn apply_retract_slot(&mut self, id: usize, ax: Axiom4) -> bool {
+        if self.slots[id].take().is_none() {
+            return false;
+        }
+        self.live -= 1;
+        self.extractor.remove_axiom(id);
+        self.invalidate(Delta::Retract(id), &ax);
+        true
+    }
+
+    /// The delta-driven invalidation pass (soundness in module docs):
+    /// drop dirty modules (folding their engines' stats into the
+    /// session accumulator), the entailment-cache entries they
+    /// answered, and the told-index rows the axiom touches.
+    fn invalidate(&mut self, delta: Delta, ax: &Axiom4) {
+        let mut s = Stats {
+            mutations: 1,
+            ..Stats::default()
+        };
+        let extractor = &self.extractor;
+        let mut dirty: HashSet<Arc<BTreeSet<usize>>> = HashSet::new();
+        recover(self.modules.get_mut()).retain(|_, slot| {
+            let is_dirty = match delta {
+                Delta::Add(id) => !extractor
+                    .images(id)
+                    .iter()
+                    .all(|im| axiom_local(im, &slot.signature)),
+                Delta::Retract(id) => slot.entry.key.contains(&id),
+            };
+            if is_dirty {
+                if let Some(engine) = slot.entry.engine.get() {
+                    s.absorb(&engine.stats());
+                }
+                dirty.insert(Arc::clone(&slot.entry.key));
+            }
+            !is_dirty
+        });
+        s.invalidated_modules += dirty.len() as u64;
+        if !dirty.is_empty() {
+            let removed = self
+                .instance_cache
+                .retain(|_, (_, key)| !dirty.contains(key));
+            s.invalidated_entailments += removed as u64;
+        }
+        let id = match delta {
+            Delta::Add(id) | Delta::Retract(id) => id,
+        };
+        let noted = match delta {
+            Delta::Add(_) => self.told.note_added(id, ax),
+            Delta::Retract(_) => self.told.note_retracted(id, ax),
+        };
+        match noted {
+            Some(rows) => s.invalidated_told_rows += rows as u64,
+            None => {
+                // An equality merge moved the class partition itself:
+                // rebuild the index over the live slots (ids preserved).
+                s.invalidated_told_rows += self.told.memoized_rows() as u64;
+                self.told = ToldIndex::build_indexed(
+                    self.slots
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, s)| s.as_ref().map(|ax| (i, ax))),
+                );
+            }
+        }
+        recover(self.stats.get_mut()).absorb(&s);
+        self.mutations_since_snapshot += 1;
+    }
+
+    fn maybe_snapshot(&mut self) -> Result<(), SessionError> {
+        let Some(wal) = &mut self.wal else {
+            return Ok(());
+        };
+        if self.snapshot_every == 0 || self.mutations_since_snapshot < self.snapshot_every {
+            return Ok(());
+        }
+        let snap_path = wal.path.with_file_name(SNAPSHOT_FILE);
+        let tmp = wal.path.with_file_name(format!("{SNAPSHOT_FILE}.tmp"));
+        std::fs::write(&tmp, encode_kb4(self.slots.iter().flatten()))?;
+        std::fs::rename(&tmp, &snap_path)?;
+        wal.truncate()?;
+        self.mutations_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Materialize the current live KB (slot order, tombstones skipped).
+    pub fn kb(&self) -> KnowledgeBase4 {
+        KnowledgeBase4::from_axioms(self.slots.iter().flatten().cloned())
+    }
+
+    /// Number of live axioms.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Is the live KB empty?
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Accumulated pipeline statistics: the session counters (mutations,
+    /// invalidations, extraction and Horn work, retired engines) plus
+    /// every live module engine and the entailment-cache counters.
+    pub fn stats(&self) -> Stats {
+        let mut s = *lock_mutex(&self.stats);
+        for slot in lock_mutex(&self.modules).values() {
+            if let Some(engine) = slot.entry.engine.get() {
+                s.absorb(&engine.stats());
+            }
+        }
+        s.entailment_cache_hits += self.instance_cache.hits();
+        s.entailment_cache_misses += self.instance_cache.misses();
+        s
+    }
+
+    /// Number of distinct modules currently cached.
+    pub fn cached_modules(&self) -> usize {
+        lock_mutex(&self.modules).len()
+    }
+
+    // ------------------------------------------------------------------
+    // Query pipeline (mirrors `Reasoner4` with module scoping + the
+    // Horn path always routed through the session caches).
+    // ------------------------------------------------------------------
+
+    fn module_entry(&self, seed: &BTreeSet<SigAtom>) -> Arc<ModuleEntry> {
+        let t0 = Instant::now();
+        let module = self.extractor.extract(seed);
+        let mut s = Stats {
+            scoped_queries: 1,
+            module_axioms: module.axioms.len() as u64,
+            module_extraction_ns: t0.elapsed().as_nanos() as u64,
+            ..Stats::default()
+        };
+        let mut modules = lock_mutex(&self.modules);
+        let entry = match modules.get_mut(&module.axioms) {
+            Some(slot) => {
+                s.engine_cache_hits = 1;
+                // Same axiom set reached from a different seed: widen the
+                // dirty-test signature to the union (see `ModuleSlot`).
+                slot.signature.extend(module.signature);
+                Arc::clone(&slot.entry)
+            }
+            None => {
+                s.engine_cache_misses = 1;
+                let entry = Arc::new(ModuleEntry {
+                    key: Arc::new(module.axioms.clone()),
+                    engine: OnceLock::new(),
+                    horn: OnceLock::new(),
+                });
+                modules.insert(
+                    module.axioms,
+                    ModuleSlot {
+                        signature: module.signature,
+                        entry: Arc::clone(&entry),
+                    },
+                );
+                entry
+            }
+        };
+        drop(modules);
+        lock_mutex(&self.stats).absorb(&s);
+        entry
+    }
+
+    fn engine_of(&self, entry: &ModuleEntry) -> Arc<QueryEngine> {
+        Arc::clone(entry.engine.get_or_init(|| {
+            let kb = KnowledgeBase::from_axioms(
+                entry
+                    .key
+                    .iter()
+                    .flat_map(|&i| self.extractor.images(i).iter().cloned()),
+            );
+            Arc::new(QueryEngine::with_config(&kb, self.sub_config.clone()))
+        }))
+    }
+
+    /// The module's Horn program (compiled once per entry), or `None`
+    /// with a recorded fallback when its image leaves the Horn fragment.
+    fn horn_of(&self, entry: &ModuleEntry) -> Option<Arc<HornProgram>> {
+        let warm = entry.horn.get().is_some();
+        let program = entry.horn.get_or_init(|| {
+            horn::compile(entry.key.iter().flat_map(|&i| self.extractor.images(i))).map(Arc::new)
+        });
+        let mut s = Stats::default();
+        if warm {
+            s.horn_cache_hits = 1;
+        } else {
+            s.horn_cache_misses = 1;
+            s.horn_clauses = program.as_ref().map_or(0, |p| p.clause_count());
+        }
+        if program.is_none() {
+            s.horn_fallbacks = 1;
+        }
+        lock_mutex(&self.stats).absorb(&s);
+        program.clone()
+    }
+
+    fn record_horn_answer(&self, rounds: u64) {
+        lock_mutex(&self.stats).absorb(&Stats {
+            horn_queries: 1,
+            saturation_rounds: rounds,
+            ..Stats::default()
+        });
+    }
+
+    /// Instance check `K̄ ⊨ a : tc` through the module caches; returns
+    /// the verdict and the answering module key (the entailment-cache
+    /// tag).
+    fn engine_instance(
+        &self,
+        a: &IndividualName,
+        tc: &Concept,
+    ) -> Result<(bool, Arc<BTreeSet<usize>>), ReasonerError> {
+        let mut seed = BTreeSet::new();
+        dataflow::classical_concept_atoms(tc, &mut seed);
+        seed.insert(SigAtom::Individual(a.clone()));
+        let entry = self.module_entry(&seed);
+        if self.config.horn_path {
+            if let Concept::Atomic(goal) = tc {
+                if let Some(program) = self.horn_of(&entry) {
+                    let answer = program.is_instance(a, goal);
+                    self.record_horn_answer(answer.rounds);
+                    return Ok((answer.holds, Arc::clone(&entry.key)));
+                }
+            }
+        }
+        let verdict = self.engine_of(&entry).is_instance_of(a, tc)?;
+        Ok((verdict, Arc::clone(&entry.key)))
+    }
+
+    fn cached_instance(&self, a: &IndividualName, tc: &Concept) -> Result<bool, ReasonerError> {
+        let key = (a.clone(), tc.clone());
+        if let Some((hit, _)) = self.instance_cache.get(&key) {
+            return Ok(hit);
+        }
+        let (answer, module_key) = self.engine_instance(a, tc)?;
+        self.instance_cache.insert(key, (answer, module_key));
+        Ok(answer)
+    }
+
+    fn engine_concept_sat(&self, test: &Concept) -> Result<bool, ReasonerError> {
+        let mut seed = BTreeSet::new();
+        dataflow::classical_concept_atoms(test, &mut seed);
+        let entry = self.module_entry(&seed);
+        if self.config.horn_path {
+            if let Some((sub, sup)) = subsumption_probe(test) {
+                if let Some(program) = self.horn_of(&entry) {
+                    let answer = program.subsumes(sub, sup);
+                    self.record_horn_answer(answer.rounds);
+                    return Ok(!answer.holds);
+                }
+            }
+        }
+        self.engine_of(&entry).is_concept_satisfiable(test)
+    }
+
+    fn engine_entails(&self, ax: &Axiom) -> Result<bool, ReasonerError> {
+        let mut seed = BTreeSet::new();
+        dataflow::classical_axiom_atoms(ax, &mut seed);
+        let entry = self.module_entry(&seed);
+        self.engine_of(&entry).entails(ax)
+    }
+
+    /// Is the (current) four-valued KB satisfiable?
+    pub fn is_satisfiable(&self) -> Result<bool, ReasonerError> {
+        let entry = self.module_entry(&BTreeSet::new());
+        if self.config.horn_path && self.horn_of(&entry).is_some() {
+            // A Horn ∅-seed module is always satisfiable (the
+            // fragment excludes every construct with classical bite).
+            self.record_horn_answer(0);
+            return Ok(true);
+        }
+        self.engine_of(&entry).is_consistent()
+    }
+
+    /// Is there information supporting `a : C`?
+    pub fn has_positive_info(
+        &self,
+        a: &IndividualName,
+        c: &Concept,
+    ) -> Result<bool, ReasonerError> {
+        if let Concept::Atomic(name) = c {
+            if self.told.verdict(a, name).0 {
+                return Ok(true);
+            }
+        }
+        let tc = lock_mutex(&self.transformer).concept(c);
+        self.cached_instance(a, &tc)
+    }
+
+    /// Is there information *against* `a : C`?
+    pub fn has_negative_info(
+        &self,
+        a: &IndividualName,
+        c: &Concept,
+    ) -> Result<bool, ReasonerError> {
+        if let Concept::Atomic(name) = c {
+            if self.told.verdict(a, name).1 {
+                return Ok(true);
+            }
+        }
+        let tc = lock_mutex(&self.transformer).neg_concept(c);
+        self.cached_instance(a, &tc)
+    }
+
+    /// The four-valued answer about a membership.
+    pub fn query(&self, a: &IndividualName, c: &Concept) -> Result<TruthValue, ReasonerError> {
+        Ok(TruthValue::from_bits(
+            self.has_positive_info(a, c)?,
+            self.has_negative_info(a, c)?,
+        ))
+    }
+
+    /// The four-valued answer about a role membership.
+    pub fn query_role(
+        &self,
+        r: &RoleName,
+        a: &IndividualName,
+        b: &IndividualName,
+    ) -> Result<TruthValue, ReasonerError> {
+        let pos = self.engine_entails(&Axiom::RoleAssertion(
+            r.with_suffix(transform::POS_SUFFIX),
+            a.clone(),
+            b.clone(),
+        ))?;
+        let neg = self.engine_entails(&Axiom::ConceptAssertion(
+            a.clone(),
+            Concept::all(
+                RoleExpr::named(r.with_suffix(transform::EQ_SUFFIX)),
+                Concept::one_of([b.clone()]).not(),
+            ),
+        ))?;
+        Ok(TruthValue::from_bits(pos, neg))
+    }
+
+    /// Does the current KB four-valued-entail the axiom? (Corollary 7
+    /// for inclusions, image entailment otherwise — the session twin of
+    /// [`crate::Reasoner4::entails`].)
+    pub fn entails(&self, ax: &Axiom4) -> Result<bool, ReasonerError> {
+        match ax {
+            Axiom4::ConceptInclusion(kind, c, d) => {
+                if *kind == InclusionKind::Internal {
+                    if let (Concept::Atomic(a), Concept::Atomic(b)) = (c, d) {
+                        if self.told.told_subsumes(a, b) {
+                            return Ok(true);
+                        }
+                    }
+                }
+                let (cbar, neg_cbar, dbar, neg_dbar) = {
+                    let mut tr = lock_mutex(&self.transformer);
+                    (
+                        tr.concept(c),
+                        tr.neg_concept(c),
+                        tr.concept(d),
+                        tr.neg_concept(d),
+                    )
+                };
+                match kind {
+                    InclusionKind::Material => {
+                        let test = neg_cbar.not().and(dbar.not());
+                        Ok(!self.engine_concept_sat(&test)?)
+                    }
+                    InclusionKind::Internal => {
+                        let test = cbar.and(dbar.not());
+                        Ok(!self.engine_concept_sat(&test)?)
+                    }
+                    InclusionKind::Strong => {
+                        let fwd = cbar.and(dbar.not());
+                        let bwd = neg_dbar.and(neg_cbar.not());
+                        Ok(!self.engine_concept_sat(&fwd)? && !self.engine_concept_sat(&bwd)?)
+                    }
+                }
+            }
+            other => {
+                let images = lock_mutex(&self.transformer).axiom(other);
+                for classical_ax in images {
+                    if !self.engine_entails(&classical_ax)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+}
+
+// Queries are `&self` over interior mutexes, so sessions can serve
+// scoped worker threads just like `Reasoner4`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Session>();
+};
+
+/// The append-side of the write-ahead log.
+struct Wal {
+    path: PathBuf,
+    file: std::fs::File,
+    /// Data roles already declared in the current WAL generation —
+    /// axiom statements mentioning datatype roles only re-parse under a
+    /// `DataRole:` declaration, so the log carries its own.
+    declared: BTreeSet<DataRoleName>,
+}
+
+impl Wal {
+    fn append_to(path: PathBuf, declared: BTreeSet<DataRoleName>) -> Result<Wal, SessionError> {
+        let fresh = !path.exists() || std::fs::metadata(&path)?.len() == 0;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        if fresh {
+            writeln!(file, "{WAL_HEADER}")?;
+        }
+        Ok(Wal {
+            path,
+            file,
+            declared,
+        })
+    }
+
+    fn append(&mut self, op: &str, ax: &Axiom4) -> Result<(), SessionError> {
+        let sig = KnowledgeBase4::from_axioms([ax.clone()]).signature();
+        let fresh: Vec<&DataRoleName> = sig
+            .data_roles
+            .iter()
+            .filter(|u| !self.declared.contains(*u))
+            .collect();
+        let mut out = String::new();
+        if !fresh.is_empty() {
+            out.push_str("decl DataRole:");
+            for u in &fresh {
+                out.push(' ');
+                out.push_str(u.as_str());
+            }
+            out.push('\n');
+        }
+        out.push_str(op);
+        out.push(' ');
+        out.push_str(&print_axiom4(ax));
+        out.push('\n');
+        // One write per mutation: the line (with its newline) reaches
+        // the OS atomically enough for process-crash recovery; the
+        // replay side drops any torn tail.
+        self.file.write_all(out.as_bytes())?;
+        self.declared.extend(sig.data_roles.iter().cloned());
+        Ok(())
+    }
+
+    /// Start a fresh WAL generation (after a snapshot compaction).
+    fn truncate(&mut self) -> Result<(), SessionError> {
+        self.file.set_len(0)?;
+        writeln!(self.file, "{WAL_HEADER}")?;
+        self.declared.clear();
+        Ok(())
+    }
+}
+
+/// Parse one WAL axiom statement under the accumulated data-role
+/// declarations.
+fn parse_wal_statement(stmt: &str, declared: &BTreeSet<DataRoleName>) -> Result<Axiom4, String> {
+    let mut src = String::new();
+    if !declared.is_empty() {
+        src.push_str("DataRole:");
+        for u in declared {
+            src.push(' ');
+            src.push_str(u.as_str());
+        }
+        src.push('\n');
+    }
+    src.push_str(stmt);
+    let kb = parse_kb4(&src).map_err(|e| e.to_string())?;
+    match kb.axioms() {
+        [ax] => Ok(ax.clone()),
+        other => Err(format!("expected one axiom, parsed {}", other.len())),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Binary KB4 snapshots, framed with the `dl::snapshot` wire primitives.
+// ----------------------------------------------------------------------
+
+const KB4_MAGIC: &[u8; 4] = b"DLK4";
+const KB4_VERSION: u8 = 1;
+
+fn put_kind(buf: &mut Vec<u8>, kind: InclusionKind) {
+    buf.push(match kind {
+        InclusionKind::Material => 0,
+        InclusionKind::Internal => 1,
+        InclusionKind::Strong => 2,
+    });
+}
+
+fn get_kind(buf: &mut &[u8]) -> Result<InclusionKind, SnapshotError> {
+    match wire::get_u8(buf)? {
+        0 => Ok(InclusionKind::Material),
+        1 => Ok(InclusionKind::Internal),
+        2 => Ok(InclusionKind::Strong),
+        t => Err(SnapshotError::BadTag("inclusion kind", t)),
+    }
+}
+
+/// Serialize a four-valued axiom sequence to the `DLK4` snapshot format.
+pub fn encode_kb4<'a>(axioms: impl IntoIterator<Item = &'a Axiom4>) -> Vec<u8> {
+    let axioms: Vec<&Axiom4> = axioms.into_iter().collect();
+    let mut buf = Vec::with_capacity(64 + axioms.len() * 16);
+    buf.extend_from_slice(KB4_MAGIC);
+    buf.push(KB4_VERSION);
+    wire::put_u32(&mut buf, axioms.len() as u32);
+    for ax in axioms {
+        match ax {
+            Axiom4::ConceptInclusion(k, c, d) => {
+                buf.push(0);
+                put_kind(&mut buf, *k);
+                wire::put_concept(&mut buf, c);
+                wire::put_concept(&mut buf, d);
+            }
+            Axiom4::RoleInclusion(k, r, s) => {
+                buf.push(1);
+                put_kind(&mut buf, *k);
+                wire::put_role(&mut buf, r);
+                wire::put_role(&mut buf, s);
+            }
+            Axiom4::DataRoleInclusion(k, u, v) => {
+                buf.push(2);
+                put_kind(&mut buf, *k);
+                wire::put_str(&mut buf, u.as_str());
+                wire::put_str(&mut buf, v.as_str());
+            }
+            Axiom4::Transitive(r) => {
+                buf.push(3);
+                wire::put_str(&mut buf, r.as_str());
+            }
+            Axiom4::ConceptAssertion(a, c) => {
+                buf.push(4);
+                wire::put_str(&mut buf, a.as_str());
+                wire::put_concept(&mut buf, c);
+            }
+            Axiom4::RoleAssertion(r, a, b) => {
+                buf.push(5);
+                wire::put_str(&mut buf, r.as_str());
+                wire::put_str(&mut buf, a.as_str());
+                wire::put_str(&mut buf, b.as_str());
+            }
+            Axiom4::NegativeRoleAssertion(r, a, b) => {
+                buf.push(6);
+                wire::put_str(&mut buf, r.as_str());
+                wire::put_str(&mut buf, a.as_str());
+                wire::put_str(&mut buf, b.as_str());
+            }
+            Axiom4::DataAssertion(u, a, v) => {
+                buf.push(7);
+                wire::put_str(&mut buf, u.as_str());
+                wire::put_str(&mut buf, a.as_str());
+                wire::put_value(&mut buf, v);
+            }
+            Axiom4::SameIndividual(a, b) => {
+                buf.push(8);
+                wire::put_str(&mut buf, a.as_str());
+                wire::put_str(&mut buf, b.as_str());
+            }
+            Axiom4::DifferentIndividuals(a, b) => {
+                buf.push(9);
+                wire::put_str(&mut buf, a.as_str());
+                wire::put_str(&mut buf, b.as_str());
+            }
+        }
+    }
+    buf
+}
+
+/// Deserialize a `DLK4` snapshot.
+pub fn decode_kb4(mut buf: &[u8]) -> Result<Vec<Axiom4>, SnapshotError> {
+    if buf.len() < 4 {
+        return Err(SnapshotError::UnexpectedEof);
+    }
+    let (magic, rest) = buf.split_at(4);
+    buf = rest;
+    if magic != KB4_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = wire::get_u8(&mut buf)?;
+    if version != KB4_VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let count = wire::get_u32(&mut buf)?;
+    let mut axioms = Vec::with_capacity(count.min(1 << 20) as usize);
+    for _ in 0..count {
+        let ax = match wire::get_u8(&mut buf)? {
+            0 => {
+                let k = get_kind(&mut buf)?;
+                let c = wire::get_concept(&mut buf)?;
+                let d = wire::get_concept(&mut buf)?;
+                Axiom4::ConceptInclusion(k, c, d)
+            }
+            1 => {
+                let k = get_kind(&mut buf)?;
+                let r = wire::get_role(&mut buf)?;
+                let s = wire::get_role(&mut buf)?;
+                Axiom4::RoleInclusion(k, r, s)
+            }
+            2 => {
+                let k = get_kind(&mut buf)?;
+                let u = DataRoleName::new(wire::get_str(&mut buf)?);
+                let v = DataRoleName::new(wire::get_str(&mut buf)?);
+                Axiom4::DataRoleInclusion(k, u, v)
+            }
+            3 => Axiom4::Transitive(RoleName::new(wire::get_str(&mut buf)?)),
+            4 => {
+                let a = IndividualName::new(wire::get_str(&mut buf)?);
+                Axiom4::ConceptAssertion(a, wire::get_concept(&mut buf)?)
+            }
+            tag @ (5 | 6) => {
+                let r = RoleName::new(wire::get_str(&mut buf)?);
+                let a = IndividualName::new(wire::get_str(&mut buf)?);
+                let b = IndividualName::new(wire::get_str(&mut buf)?);
+                if tag == 5 {
+                    Axiom4::RoleAssertion(r, a, b)
+                } else {
+                    Axiom4::NegativeRoleAssertion(r, a, b)
+                }
+            }
+            7 => {
+                let u = DataRoleName::new(wire::get_str(&mut buf)?);
+                let a = IndividualName::new(wire::get_str(&mut buf)?);
+                Axiom4::DataAssertion(u, a, wire::get_value(&mut buf)?)
+            }
+            8 => {
+                let a = IndividualName::new(wire::get_str(&mut buf)?);
+                let b = IndividualName::new(wire::get_str(&mut buf)?);
+                Axiom4::SameIndividual(a, b)
+            }
+            9 => {
+                let a = IndividualName::new(wire::get_str(&mut buf)?);
+                let b = IndividualName::new(wire::get_str(&mut buf)?);
+                Axiom4::DifferentIndividuals(a, b)
+            }
+            t => return Err(SnapshotError::BadTag("axiom4", t)),
+        };
+        axioms.push(ax);
+    }
+    Ok(axioms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reasoner4;
+    use dl::DataValue;
+
+    fn ind(s: &str) -> IndividualName {
+        IndividualName::new(s)
+    }
+
+    fn atom(s: &str) -> Concept {
+        Concept::atomic(s)
+    }
+
+    /// A fresh temp directory for one durable-session test.
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("shoin4-incremental-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn island(n: usize) -> Vec<Axiom4> {
+        let a = format!("A{n}");
+        let b = format!("B{n}");
+        let x = format!("x{n}");
+        vec![
+            Axiom4::ConceptInclusion(InclusionKind::Internal, atom(&a), atom(&b)),
+            Axiom4::ConceptAssertion(ind(&x), atom(&a)),
+        ]
+    }
+
+    #[test]
+    fn session_tracks_a_fresh_reasoner_through_mutations() {
+        let mut session = Session::new(&KnowledgeBase4::new(), Config::default());
+        let mut axioms: Vec<Axiom4> = Vec::new();
+        let trace: Vec<Axiom4> = island(0).into_iter().chain(island(1)).collect();
+        for ax in trace {
+            session.add_axiom(ax.clone()).unwrap();
+            axioms.push(ax);
+        }
+        let extra = Axiom4::ConceptAssertion(ind("x0"), atom("B1").not());
+        session.add_axiom(extra.clone()).unwrap();
+        axioms.push(extra.clone());
+
+        let check = |session: &Session, axioms: &[Axiom4]| {
+            let fresh = Reasoner4::new(&KnowledgeBase4::from_axioms(axioms.iter().cloned()));
+            for i in ["x0", "x1"] {
+                for c in ["A0", "B0", "A1", "B1"] {
+                    let (a, c) = (ind(i), atom(c));
+                    assert_eq!(
+                        session.query(&a, &c).unwrap(),
+                        fresh.query(&a, &c).unwrap(),
+                        "diverged on {i}:{c:?} over {axioms:?}"
+                    );
+                }
+            }
+            assert_eq!(
+                session.is_satisfiable().unwrap(),
+                fresh.is_satisfiable().unwrap()
+            );
+        };
+        check(&session, &axioms);
+
+        assert!(session.retract_axiom(&extra).unwrap());
+        axioms.retain(|ax| ax != &extra);
+        check(&session, &axioms);
+
+        // Retracting an absent axiom is a logged-nothing no-op.
+        assert!(!session.retract_axiom(&extra).unwrap());
+        assert_eq!(session.len(), axioms.len());
+        check(&session, &axioms);
+    }
+
+    #[test]
+    fn invalidation_is_module_granular() {
+        let kb = KnowledgeBase4::from_axioms(island(0).into_iter().chain(island(1)));
+        let mut session = Session::new(&kb, Config::default());
+        // Compound goals skip the told fast path and seed real modules.
+        let both0 = atom("A0").and(atom("B0"));
+        let both1 = atom("A1").and(atom("B1"));
+        assert!(session.query(&ind("x0"), &both0).unwrap().has_true_info());
+        assert!(session.query(&ind("x1"), &both1).unwrap().has_true_info());
+        let warm = session.cached_modules();
+        assert!(warm >= 2, "expected distinct island modules, got {warm}");
+
+        // A mutation inside island 0 must not evict island 1's module.
+        session
+            .add_axiom(Axiom4::ConceptAssertion(ind("y0"), atom("A0")))
+            .unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.mutations, 1);
+        assert!(
+            stats.invalidated_modules < warm as u64,
+            "delta in island 0 evicted all {warm} modules"
+        );
+        assert!(session.query(&ind("y0"), &both0).unwrap().has_true_info());
+        assert!(session.query(&ind("x1"), &both1).unwrap().has_true_info());
+    }
+
+    #[test]
+    fn entailment_cache_entries_die_with_their_module() {
+        let kb = KnowledgeBase4::from_axioms(island(0));
+        let mut session = Session::new(&kb, Config::default());
+        assert!(!session
+            .query(&ind("x0"), &atom("C0"))
+            .unwrap()
+            .has_true_info());
+        session
+            .add_axiom(Axiom4::ConceptInclusion(
+                InclusionKind::Internal,
+                atom("B0"),
+                atom("C0"),
+            ))
+            .unwrap();
+        assert!(
+            session
+                .query(&ind("x0"), &atom("C0"))
+                .unwrap()
+                .has_true_info(),
+            "stale cached verdict survived an invalidating add"
+        );
+        session
+            .retract_axiom(&Axiom4::ConceptInclusion(
+                InclusionKind::Internal,
+                atom("B0"),
+                atom("C0"),
+            ))
+            .unwrap()
+            .then_some(())
+            .unwrap();
+        assert!(!session
+            .query(&ind("x0"), &atom("C0"))
+            .unwrap()
+            .has_true_info());
+        assert!(session.stats().invalidated_entailments > 0);
+    }
+
+    #[test]
+    fn kb4_snapshot_roundtrips_every_axiom_shape() {
+        let axioms = vec![
+            Axiom4::ConceptInclusion(InclusionKind::Material, atom("A"), atom("B").not()),
+            Axiom4::ConceptInclusion(
+                InclusionKind::Strong,
+                Concept::some(dl::axiom::RoleExpr::named(RoleName::new("r")), atom("A")),
+                atom("B"),
+            ),
+            Axiom4::RoleInclusion(
+                InclusionKind::Internal,
+                dl::axiom::RoleExpr::named(RoleName::new("r")),
+                dl::axiom::RoleExpr::named(RoleName::new("s")).inverse(),
+            ),
+            Axiom4::DataRoleInclusion(
+                InclusionKind::Material,
+                DataRoleName::new("u"),
+                DataRoleName::new("v"),
+            ),
+            Axiom4::Transitive(RoleName::new("r")),
+            Axiom4::ConceptAssertion(ind("a"), atom("A").and(atom("B"))),
+            Axiom4::RoleAssertion(RoleName::new("r"), ind("a"), ind("b")),
+            Axiom4::NegativeRoleAssertion(RoleName::new("r"), ind("a"), ind("b")),
+            Axiom4::DataAssertion(DataRoleName::new("u"), ind("a"), DataValue::Integer(42)),
+            Axiom4::SameIndividual(ind("a"), ind("b")),
+            Axiom4::DifferentIndividuals(ind("a"), ind("b")),
+        ];
+        let decoded = decode_kb4(&encode_kb4(&axioms)).unwrap();
+        assert_eq!(decoded, axioms);
+        assert!(matches!(decode_kb4(b"XXXX"), Err(SnapshotError::BadMagic)));
+        assert!(matches!(
+            decode_kb4(&encode_kb4(&axioms)[..10]),
+            Err(SnapshotError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn durable_session_replays_its_wal_on_reopen() {
+        let dir = scratch("replay");
+        {
+            let mut s = Session::open(&dir, Config::default()).unwrap();
+            for ax in island(0) {
+                s.add_axiom(ax).unwrap();
+            }
+            s.add_axiom(Axiom4::DataAssertion(
+                DataRoleName::new("age"),
+                ind("x0"),
+                DataValue::Integer(7),
+            ))
+            .unwrap();
+            s.retract_axiom(&Axiom4::ConceptAssertion(ind("x0"), atom("A0")))
+                .unwrap()
+                .then_some(())
+                .unwrap();
+            assert_eq!(s.len(), 2);
+        }
+        let reopened = Session::open(&dir, Config::default()).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert!(!reopened
+            .query(&ind("x0"), &atom("B0"))
+            .unwrap()
+            .has_true_info());
+        let kb = reopened.kb();
+        assert!(kb.axioms().contains(&Axiom4::DataAssertion(
+            DataRoleName::new("age"),
+            ind("x0"),
+            DataValue::Integer(7),
+        )));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_wal_tail_is_dropped_and_truncated() {
+        let dir = scratch("torn");
+        {
+            let mut s = Session::open(&dir, Config::default()).unwrap();
+            for ax in island(0) {
+                s.add_axiom(ax).unwrap();
+            }
+        }
+        let wal = dir.join(WAL_FILE);
+        let committed = std::fs::metadata(&wal).unwrap().len();
+        // Simulate a crash mid-append: a prefix of a statement, no newline.
+        let mut f = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
+        f.write_all(b"add x9 : A9 and (B9 o").unwrap();
+        drop(f);
+
+        let reopened = Session::open(&dir, Config::default()).unwrap();
+        assert_eq!(reopened.len(), 2, "torn tail replayed");
+        drop(reopened);
+        assert_eq!(
+            std::fs::metadata(&wal).unwrap().len(),
+            committed,
+            "torn tail not truncated away"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_committed_wal_line_is_an_error_not_a_skip() {
+        let dir = scratch("corrupt");
+        {
+            let mut s = Session::open(&dir, Config::default()).unwrap();
+            s.add_axiom(Axiom4::ConceptAssertion(ind("x"), atom("A")))
+                .unwrap();
+        }
+        let wal = dir.join(WAL_FILE);
+        let mut f = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
+        f.write_all(b"frobnicate x : A\n").unwrap();
+        drop(f);
+        match Session::open(&dir, Config::default()) {
+            Err(SessionError::Corrupt { line, .. }) => assert_eq!(line, 3),
+            Err(other) => panic!("expected corruption error, got {other:?}"),
+            Ok(_) => panic!("corrupt wal opened without error"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_compaction_truncates_the_wal_and_survives_reopen() {
+        let dir = scratch("compact");
+        {
+            let mut s = Session::open_with(&dir, Config::default(), 3).unwrap();
+            for ax in island(0).into_iter().chain(island(1)) {
+                s.add_axiom(ax).unwrap();
+            }
+        }
+        let snap = dir.join(SNAPSHOT_FILE);
+        assert!(snap.exists(), "no snapshot written after 4 mutations");
+        let wal_len = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+        assert!(
+            wal_len <= (WAL_HEADER.len() + 1 + 80) as u64,
+            "wal not compacted: {wal_len} bytes"
+        );
+        let reopened = Session::open_with(&dir, Config::default(), 3).unwrap();
+        assert_eq!(reopened.len(), 4);
+        assert!(reopened
+            .query(&ind("x1"), &atom("B1"))
+            .unwrap()
+            .has_true_info());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn same_individual_mutations_rebuild_the_told_index() {
+        let kb = KnowledgeBase4::from_axioms([
+            Axiom4::ConceptAssertion(ind("a"), atom("A")),
+            Axiom4::ConceptInclusion(InclusionKind::Internal, atom("A"), atom("B")),
+        ]);
+        let mut session = Session::new(&kb, Config::default());
+        assert!(!session
+            .query(&ind("b"), &atom("B"))
+            .unwrap()
+            .has_true_info());
+        session
+            .add_axiom(Axiom4::SameIndividual(ind("a"), ind("b")))
+            .unwrap();
+        assert!(
+            session
+                .query(&ind("b"), &atom("B"))
+                .unwrap()
+                .has_true_info(),
+            "equality merge not reflected after add"
+        );
+        session
+            .retract_axiom(&Axiom4::SameIndividual(ind("a"), ind("b")))
+            .unwrap()
+            .then_some(())
+            .unwrap();
+        assert!(!session
+            .query(&ind("b"), &atom("B"))
+            .unwrap()
+            .has_true_info());
+    }
+}

@@ -50,9 +50,11 @@
 //! ```
 
 pub mod analysis;
+pub mod cache;
 pub mod dataflow;
 pub mod horn;
 pub mod inclusion;
+pub mod incremental;
 pub mod induced;
 pub mod interp4;
 pub mod json;
@@ -64,6 +66,7 @@ pub mod told;
 pub mod transform;
 
 pub use inclusion::InclusionKind;
+pub use incremental::Session;
 pub use interp4::Interp4;
 pub use kb4::{Axiom4, KnowledgeBase4};
 pub use parser4::parse_kb4;

@@ -28,6 +28,7 @@
 //! 4. **the tableau** — via the engine, which itself applies
 //!    model-based pruning and the shared consistency cache.
 
+use crate::cache::{lock_mutex, ShardedMap};
 use crate::dataflow::{self, ModuleExtractor, SigAtom};
 use crate::horn::{self, HornProgram};
 use crate::inclusion::InclusionKind;
@@ -105,8 +106,9 @@ pub struct Reasoner4 {
     opts: QueryOptions,
     /// Memoized Definition 5–7 transformation (π and ¬π tables).
     transformer: Mutex<Transformer>,
-    /// Exact entailment results: `(a, C̄) → K̄ ⊨ a : C̄`.
-    instance_cache: Mutex<HashMap<(IndividualName, Concept), bool>>,
+    /// Exact entailment results: `(a, C̄) → K̄ ⊨ a : C̄`. Sharded so
+    /// `--jobs` batch workers don't serialize on one cache lock.
+    instance_cache: ShardedMap<(IndividualName, Concept), bool>,
     told: Option<ToldIndex>,
     /// Module-scoped execution (`Config::module_scoping`): per-query
     /// seed → `⊤`-locality module → a small engine over just that
@@ -142,10 +144,18 @@ impl Scoping {
             module_extraction_ns: t0.elapsed().as_nanos() as u64,
             ..Stats::default()
         });
-        let mut engines = self.engines.lock().expect("scoped engines lock");
+        let mut engines = lock_mutex(&self.engines);
         if let Some(e) = engines.get(&module.axioms) {
+            main.merge_stats(&Stats {
+                engine_cache_hits: 1,
+                ..Stats::default()
+            });
             return Arc::clone(e);
         }
+        main.merge_stats(&Stats {
+            engine_cache_misses: 1,
+            ..Stats::default()
+        });
         let kb = self.extractor.induced_module_kb(&module);
         let engine = Arc::new(QueryEngine::with_config(&kb, self.config.clone()));
         engines.insert(module.axioms.clone(), Arc::clone(&engine));
@@ -173,17 +183,27 @@ impl HornRouter {
         seed: &BTreeSet<SigAtom>,
     ) -> Option<Arc<HornProgram>> {
         let module = self.extractor.extract(seed);
-        let mut programs = self.programs.lock().expect("horn programs lock");
-        let entry = programs.entry(module.axioms.clone()).or_insert_with(|| {
-            let images = module.axioms.iter().flat_map(|&i| self.extractor.images(i));
-            let program = horn::compile(images)?;
-            main.merge_stats(&Stats {
-                horn_clauses: program.clause_count(),
-                ..Stats::default()
-            });
-            Some(Arc::new(program))
-        });
-        let hit = entry.clone();
+        let mut programs = lock_mutex(&self.programs);
+        let hit = match programs.get(&module.axioms) {
+            Some(entry) => {
+                main.merge_stats(&Stats {
+                    horn_cache_hits: 1,
+                    ..Stats::default()
+                });
+                entry.clone()
+            }
+            None => {
+                let images = module.axioms.iter().flat_map(|&i| self.extractor.images(i));
+                let program = horn::compile(images).map(Arc::new);
+                main.merge_stats(&Stats {
+                    horn_cache_misses: 1,
+                    horn_clauses: program.as_ref().map_or(0, |p| p.clause_count()),
+                    ..Stats::default()
+                });
+                programs.insert(module.axioms.clone(), program.clone());
+                program
+            }
+        };
         drop(programs);
         if hit.is_none() {
             main.merge_stats(&Stats {
@@ -208,7 +228,7 @@ impl HornRouter {
 /// `P`, `Q` — the (un)satisfiability probe [`Reasoner4::entails`] builds
 /// for atomic internal/strong inclusions? Those are exactly the
 /// subsumption questions the Horn engine can answer.
-fn subsumption_probe(test: &Concept) -> Option<(&ConceptName, &ConceptName)> {
+pub(crate) fn subsumption_probe(test: &Concept) -> Option<(&ConceptName, &ConceptName)> {
     let Concept::And(lhs, rhs) = test else {
         return None;
     };
@@ -259,7 +279,7 @@ impl Reasoner4 {
             engine,
             opts,
             transformer: Mutex::new(Transformer::memoized()),
-            instance_cache: Mutex::new(HashMap::new()),
+            instance_cache: ShardedMap::new(),
             told,
             scoping,
             horn,
@@ -290,10 +310,12 @@ impl Reasoner4 {
     pub fn stats(&self) -> Stats {
         let mut s = self.engine.stats();
         if let Some(sc) = &self.scoping {
-            for e in sc.engines.lock().expect("scoped engines lock").values() {
+            for e in lock_mutex(&sc.engines).values() {
                 s.absorb(&e.stats());
             }
         }
+        s.entailment_cache_hits += self.instance_cache.hits();
+        s.entailment_cache_misses += self.instance_cache.misses();
         s
     }
 
@@ -306,18 +328,12 @@ impl Reasoner4 {
 
     /// Memoized `π(C)` (positive transformation).
     fn transformed(&self, c: &Concept) -> Concept {
-        self.transformer
-            .lock()
-            .expect("transformer lock")
-            .concept(c)
+        lock_mutex(&self.transformer).concept(c)
     }
 
     /// Memoized `π(¬C)` (negative transformation).
     fn transformed_neg(&self, c: &Concept) -> Concept {
-        self.transformer
-            .lock()
-            .expect("transformer lock")
-            .neg_concept(c)
+        lock_mutex(&self.transformer).neg_concept(c)
     }
 
     /// Instance check `K̄ ⊨ a : tc`, routed through the module of the
@@ -397,14 +413,11 @@ impl Reasoner4 {
     fn cached_instance(&self, a: &IndividualName, tc: &Concept) -> Result<bool, ReasonerError> {
         if self.opts.entailment_cache {
             let key = (a.clone(), tc.clone());
-            if let Some(&hit) = self.instance_cache.lock().expect("cache lock").get(&key) {
+            if let Some(hit) = self.instance_cache.get(&key) {
                 return Ok(hit);
             }
             let answer = self.engine_instance(a, tc)?;
-            self.instance_cache
-                .lock()
-                .expect("cache lock")
-                .insert(key, answer);
+            self.instance_cache.insert(key, answer);
             Ok(answer)
         } else {
             self.engine_instance(a, tc)
@@ -594,7 +607,7 @@ impl Reasoner4 {
                     }
                 }
                 let (cbar, neg_cbar, dbar, neg_dbar) = {
-                    let mut tr = self.transformer.lock().expect("transformer lock");
+                    let mut tr = lock_mutex(&self.transformer);
                     (
                         tr.concept(c),
                         tr.neg_concept(c),
@@ -623,11 +636,7 @@ impl Reasoner4 {
                 }
             }
             other => {
-                let images = self
-                    .transformer
-                    .lock()
-                    .expect("transformer lock")
-                    .axiom(other);
+                let images = lock_mutex(&self.transformer).axiom(other);
                 // Every transformed image must be classically entailed.
                 for classical_ax in images {
                     if !self.engine_entails(&classical_ax)? {
@@ -961,8 +970,19 @@ mod tests {
         // "ghost : B" has no told certificate, so it exercises cache+engine.
         assert!(!r.has_positive_info(&ind("ghost"), &b).unwrap());
         let after_first = r.stats();
+        assert_eq!(after_first.entailment_cache_misses, 1);
         assert!(!r.has_positive_info(&ind("ghost"), &b).unwrap());
-        assert_eq!(r.stats(), after_first, "second identical query searched");
+        let after_second = r.stats();
+        // The repeat is a pure cache hit: no new search work of any kind.
+        assert_eq!(after_second.entailment_cache_hits, 1);
+        assert_eq!(
+            Stats {
+                entailment_cache_hits: after_first.entailment_cache_hits,
+                ..after_second
+            },
+            after_first,
+            "second identical query searched"
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! The fast path also never claims *absence* of information — absence
 //! always falls back to the tableau.
 
+use crate::cache::{lock_mutex, recover};
 use crate::inclusion::InclusionKind;
 use crate::kb4::{Axiom4, KnowledgeBase4};
 use dl::name::{ConceptName, IndividualName};
@@ -70,36 +71,87 @@ impl ToldGraph {
     pub fn build(kb: &KnowledgeBase4) -> ToldGraph {
         let mut g = ToldGraph::default();
         for (i, ax) in kb.axioms().iter().enumerate() {
-            let Axiom4::ConceptInclusion(kind, lhs, rhs) = ax else {
-                continue;
-            };
-            let Concept::Atomic(from) = lhs else { continue };
-            match rhs {
-                Concept::Atomic(to) => {
-                    g.pos_edges.entry(from.clone()).or_default().push(Edge {
-                        to: to.clone(),
-                        kind: *kind,
-                        axiom: i,
-                    });
-                    g.rev_pos_edges.entry(to.clone()).or_default().push(Edge {
+            g.insert_axiom(i, ax);
+        }
+        g
+    }
+
+    /// Add the told edges of one axiom (indexed `i`); returns whether
+    /// the axiom has the told shape (atomic ⊑ atomic / ¬atomic) and so
+    /// contributed anything.
+    pub fn insert_axiom(&mut self, i: usize, ax: &Axiom4) -> bool {
+        let Axiom4::ConceptInclusion(kind, lhs, rhs) = ax else {
+            return false;
+        };
+        let Concept::Atomic(from) = lhs else {
+            return false;
+        };
+        match rhs {
+            Concept::Atomic(to) => {
+                self.pos_edges.entry(from.clone()).or_default().push(Edge {
+                    to: to.clone(),
+                    kind: *kind,
+                    axiom: i,
+                });
+                self.rev_pos_edges
+                    .entry(to.clone())
+                    .or_default()
+                    .push(Edge {
                         to: from.clone(),
                         kind: *kind,
                         axiom: i,
                     });
-                }
-                Concept::Not(inner) => {
-                    if let Concept::Atomic(to) = &**inner {
-                        g.neg_edges.entry(from.clone()).or_default().push(Edge {
-                            to: to.clone(),
-                            kind: *kind,
-                            axiom: i,
-                        });
-                    }
-                }
-                _ => {}
+                true
             }
+            Concept::Not(inner) => {
+                if let Concept::Atomic(to) = &**inner {
+                    self.neg_edges.entry(from.clone()).or_default().push(Edge {
+                        to: to.clone(),
+                        kind: *kind,
+                        axiom: i,
+                    });
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
         }
-        g
+    }
+
+    /// Remove the edges that axiom `i` contributed (the inverse of
+    /// [`ToldGraph::insert_axiom`]); returns whether anything matched.
+    pub fn remove_axiom(&mut self, i: usize, ax: &Axiom4) -> bool {
+        let Axiom4::ConceptInclusion(_, lhs, rhs) = ax else {
+            return false;
+        };
+        let Concept::Atomic(from) = lhs else {
+            return false;
+        };
+        let drop_edges = |map: &mut BTreeMap<ConceptName, Vec<Edge>>, key: &ConceptName| {
+            if let Some(es) = map.get_mut(key) {
+                es.retain(|e| e.axiom != i);
+                if es.is_empty() {
+                    map.remove(key);
+                }
+            }
+        };
+        match rhs {
+            Concept::Atomic(to) => {
+                drop_edges(&mut self.pos_edges, from);
+                drop_edges(&mut self.rev_pos_edges, to);
+                true
+            }
+            Concept::Not(inner) => {
+                if let Concept::Atomic(_) = &**inner {
+                    drop_edges(&mut self.neg_edges, from);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
     }
 }
 
@@ -346,12 +398,21 @@ pub struct ToldIndex {
 impl ToldIndex {
     /// Scan the KB once: equality classes, assertion seeds, told edges.
     pub fn build(kb: &KnowledgeBase4) -> ToldIndex {
+        Self::build_indexed(kb.axioms().iter().enumerate())
+    }
+
+    /// Build from explicitly indexed axioms. The indices become the
+    /// provenance ids on every edge and seed, so a caller with a
+    /// tombstoned slot store (an incremental session) can keep its slot
+    /// ids authoritative and later retract by id.
+    pub fn build_indexed<'a>(axioms: impl Iterator<Item = (usize, &'a Axiom4)>) -> ToldIndex {
+        let axioms: Vec<(usize, &Axiom4)> = axioms.collect();
         let mut uf = UnionFind::default();
         let mut individuals: BTreeSet<IndividualName> = BTreeSet::new();
-        for (i, ax) in kb.axioms().iter().enumerate() {
+        for (i, ax) in &axioms {
             match ax {
                 Axiom4::SameIndividual(a, b) => {
-                    uf.union(a.as_str(), b.as_str(), i);
+                    uf.union(a.as_str(), b.as_str(), *i);
                     individuals.insert(a.clone());
                     individuals.insert(b.clone());
                 }
@@ -366,20 +427,115 @@ impl ToldIndex {
             canon.insert(o.clone(), uf.find(o.as_str()));
         }
         let mut seeds: BTreeMap<String, SeedLists> = BTreeMap::new();
-        for (i, ax) in kb.axioms().iter().enumerate() {
+        let mut graph = ToldGraph::default();
+        for (i, ax) in &axioms {
             if let Axiom4::ConceptAssertion(a, c) = ax {
                 let root = canon[a].clone();
                 let entry = seeds.entry(root).or_default();
-                seed_atoms(c, true, i, entry);
+                seed_atoms(c, true, *i, entry);
             }
+            graph.insert_axiom(*i, ax);
         }
         ToldIndex {
-            graph: ToldGraph::build(kb),
+            graph,
             canon,
             seeds,
             memberships: Mutex::new(HashMap::new()),
             subsumers: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Incrementally fold one added axiom (slot id `id`) into the
+    /// index. Returns the number of memoized rows (membership closures,
+    /// subsumer sets) that had to be dropped, or `None` when the axiom
+    /// restructures the equality-class partition (a `SameIndividual`
+    /// merge) and the caller must rebuild the index.
+    pub fn note_added(&mut self, id: usize, ax: &Axiom4) -> Option<usize> {
+        match ax {
+            Axiom4::SameIndividual(..) => None,
+            Axiom4::ConceptAssertion(a, c) => {
+                let root = self.root_of(a);
+                let mut fresh = SeedLists::default();
+                seed_atoms(c, true, id, &mut fresh);
+                if fresh.0.is_empty() && fresh.1.is_empty() {
+                    return Some(0);
+                }
+                let entry = self.seeds.entry(root.clone()).or_default();
+                entry.0.extend(fresh.0);
+                entry.1.extend(fresh.1);
+                Some(self.drop_membership_row(&root))
+            }
+            _ => {
+                if self.graph.insert_axiom(id, ax) {
+                    // A new told edge can extend any closure, so every
+                    // memoized row is conservatively dropped.
+                    Some(self.drop_all_rows())
+                } else {
+                    Some(0)
+                }
+            }
+        }
+    }
+
+    /// Incrementally remove one retracted axiom (slot id `id`) from the
+    /// index. Same contract as [`ToldIndex::note_added`].
+    pub fn note_retracted(&mut self, id: usize, ax: &Axiom4) -> Option<usize> {
+        match ax {
+            Axiom4::SameIndividual(..) => None,
+            Axiom4::ConceptAssertion(a, _) => {
+                let root = self.root_of(a);
+                if let Some(entry) = self.seeds.get_mut(&root) {
+                    entry.0.retain(|(_, ax_id)| *ax_id != id);
+                    entry.1.retain(|(_, ax_id)| *ax_id != id);
+                    if entry.0.is_empty() && entry.1.is_empty() {
+                        self.seeds.remove(&root);
+                    }
+                }
+                Some(self.drop_membership_row(&root))
+            }
+            _ => {
+                if self.graph.remove_axiom(id, ax) {
+                    Some(self.drop_all_rows())
+                } else {
+                    Some(0)
+                }
+            }
+        }
+    }
+
+    /// The equality-class representative of `a` (identity for
+    /// individuals no merge ever touched).
+    fn root_of(&self, a: &IndividualName) -> String {
+        self.canon
+            .get(a)
+            .cloned()
+            .unwrap_or_else(|| a.as_str().to_string())
+    }
+
+    /// Drop the memoized membership closure of one class; returns how
+    /// many rows that was (0 or 1).
+    fn drop_membership_row(&mut self, root: &str) -> usize {
+        match recover(self.memberships.get_mut()).remove(root) {
+            Some(_) => 1,
+            None => 0,
+        }
+    }
+
+    /// Drop every memoized row; returns how many there were.
+    fn drop_all_rows(&mut self) -> usize {
+        let memberships = recover(self.memberships.get_mut());
+        let mut n = memberships.len();
+        memberships.clear();
+        let subsumers = recover(self.subsumers.get_mut());
+        n += subsumers.len();
+        subsumers.clear();
+        n
+    }
+
+    /// How many memoized rows (membership closures + subsumer sets) the
+    /// index currently holds — what a full rebuild throws away.
+    pub fn memoized_rows(&self) -> usize {
+        lock_mutex(&self.memberships).len() + lock_mutex(&self.subsumers).len()
     }
 
     /// The underlying told graph.
@@ -393,7 +549,7 @@ impl ToldIndex {
             .get(a)
             .cloned()
             .unwrap_or_else(|| a.as_str().to_string());
-        if let Some(hit) = self.memberships.lock().expect("told lock").get(&root) {
+        if let Some(hit) = lock_mutex(&self.memberships).get(&root) {
             return hit.clone();
         }
         let closure = match self.seeds.get(&root) {
@@ -403,9 +559,7 @@ impl ToldIndex {
             }
             None => Arc::new(Closure::default()),
         };
-        self.memberships
-            .lock()
-            .expect("told lock")
+        lock_mutex(&self.memberships)
             .entry(root)
             .or_insert(closure)
             .clone()
@@ -427,7 +581,7 @@ impl ToldIndex {
         if sub == sup {
             return true;
         }
-        if let Some(hit) = self.subsumers.lock().expect("told lock").get(sub) {
+        if let Some(hit) = lock_mutex(&self.subsumers).get(sub) {
             return hit.contains(sup);
         }
         let mut reach: BTreeSet<ConceptName> = BTreeSet::new();
@@ -442,10 +596,7 @@ impl ToldIndex {
         }
         let reach = Arc::new(reach);
         let hit = reach.contains(sup);
-        self.subsumers
-            .lock()
-            .expect("told lock")
-            .insert(sub.clone(), reach);
+        lock_mutex(&self.subsumers).insert(sub.clone(), reach);
         hit
     }
 }
@@ -602,6 +753,56 @@ mod tests {
             crate::reasoner4::QueryOptions::baseline(),
         );
         assert!(r.has_positive_info(&x, &Concept::atomic("B")).unwrap());
+    }
+
+    #[test]
+    fn incremental_notes_match_a_fresh_index() {
+        let base = parse_kb4("A SubClassOf B\nx : A").unwrap();
+        let mut idx = ToldIndex::build(&base);
+        let x = IndividualName::new("x");
+        // Warm the caches so invalidation has something to drop.
+        assert_eq!(idx.verdict(&x, &ConceptName::new("B")), (true, false));
+        assert!(idx.told_subsumes(&ConceptName::new("A"), &ConceptName::new("B")));
+
+        // Add a chain link (slot id 2) and a fresh assertion (slot 3).
+        let link = parse_kb4("B SubClassOf C").unwrap().axioms()[0].clone();
+        assert!(idx.note_added(2, &link).unwrap() > 0);
+        let fact = parse_kb4("y : not C").unwrap().axioms()[0].clone();
+        idx.note_added(3, &fact).unwrap();
+        let full = parse_kb4("A SubClassOf B\nx : A\nB SubClassOf C\ny : not C").unwrap();
+        let fresh = ToldIndex::build(&full);
+        for i in ["x", "y"] {
+            for c in ["A", "B", "C"] {
+                let (i, c) = (IndividualName::new(i), ConceptName::new(c));
+                assert_eq!(idx.verdict(&i, &c), fresh.verdict(&i, &c), "{i:?}:{c:?}");
+            }
+        }
+        assert!(idx.told_subsumes(&ConceptName::new("A"), &ConceptName::new("C")));
+
+        // Retract the link again: back to the base verdicts.
+        assert!(idx.note_retracted(2, &link).unwrap() > 0);
+        idx.note_retracted(3, &fact).unwrap();
+        let back = ToldIndex::build(&base);
+        for c in ["A", "B", "C"] {
+            let c = ConceptName::new(c);
+            assert_eq!(idx.verdict(&x, &c), back.verdict(&x, &c), "{c:?}");
+        }
+        assert!(!idx.told_subsumes(&ConceptName::new("A"), &ConceptName::new("C")));
+
+        // Equality merges demand a rebuild.
+        let same = parse_kb4("x = y").unwrap().axioms()[0].clone();
+        assert!(idx.note_added(4, &same).is_none());
+    }
+
+    #[test]
+    fn build_indexed_keeps_caller_ids_as_provenance() {
+        let kb = parse_kb4("A SubClassOf B\nx : A").unwrap();
+        // Sparse slot ids, as a session with tombstones would have.
+        let idx = ToldIndex::build_indexed([7usize, 12].into_iter().zip(kb.axioms()));
+        let x = IndividualName::new("x");
+        assert_eq!(idx.verdict(&x, &ConceptName::new("B")), (true, false));
+        let edges = &idx.graph().pos_edges[&ConceptName::new("A")];
+        assert_eq!(edges[0].axiom, 7);
     }
 
     #[test]

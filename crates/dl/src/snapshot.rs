@@ -11,6 +11,11 @@
 //! with recursive tag bytes for concepts, roles and data ranges. Decoding
 //! never panics on corrupt input — every failure is a typed
 //! [`SnapshotError`].
+//!
+//! The wire primitives (`put_*`/`get_*`) are public so downstream
+//! formats — e.g. the four-valued session snapshots and write-ahead
+//! log in `shoin4::incremental` — can frame their own structures in
+//! the same encoding instead of inventing a second one.
 
 use crate::axiom::{Axiom, RoleExpr};
 use crate::concept::Concept;
@@ -87,26 +92,31 @@ pub fn decode(mut buf: &[u8]) -> Result<KnowledgeBase> {
     Ok(KnowledgeBase::from_axioms(axioms))
 }
 
-fn put_u32(buf: &mut Vec<u8>, n: u32) {
+/// Append a little-endian `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, n: u32) {
     buf.extend_from_slice(&n.to_le_bytes());
 }
 
-fn put_i64(buf: &mut Vec<u8>, n: i64) {
+/// Append a little-endian `i64`.
+pub fn put_i64(buf: &mut Vec<u8>, n: i64) {
     buf.extend_from_slice(&n.to_le_bytes());
 }
 
-fn put_str(buf: &mut Vec<u8>, s: &str) {
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_u32(buf, s.len() as u32);
     buf.extend_from_slice(s.as_bytes());
 }
 
-fn get_u8(buf: &mut &[u8]) -> Result<u8> {
+/// Read one byte.
+pub fn get_u8(buf: &mut &[u8]) -> Result<u8> {
     let (&b, rest) = buf.split_first().ok_or(SnapshotError::UnexpectedEof)?;
     *buf = rest;
     Ok(b)
 }
 
-fn get_u32(buf: &mut &[u8]) -> Result<u32> {
+/// Read a little-endian `u32`.
+pub fn get_u32(buf: &mut &[u8]) -> Result<u32> {
     if buf.len() < 4 {
         return Err(SnapshotError::UnexpectedEof);
     }
@@ -115,7 +125,8 @@ fn get_u32(buf: &mut &[u8]) -> Result<u32> {
     Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
 }
 
-fn get_i64(buf: &mut &[u8]) -> Result<i64> {
+/// Read a little-endian `i64`.
+pub fn get_i64(buf: &mut &[u8]) -> Result<i64> {
     if buf.len() < 8 {
         return Err(SnapshotError::UnexpectedEof);
     }
@@ -124,7 +135,8 @@ fn get_i64(buf: &mut &[u8]) -> Result<i64> {
     Ok(i64::from_le_bytes(head.try_into().expect("8 bytes")))
 }
 
-fn get_str(buf: &mut &[u8]) -> Result<String> {
+/// Read a length-prefixed UTF-8 string.
+pub fn get_str(buf: &mut &[u8]) -> Result<String> {
     let len = get_u32(buf)? as usize;
     if buf.len() < len {
         return Err(SnapshotError::UnexpectedEof);
@@ -134,19 +146,22 @@ fn get_str(buf: &mut &[u8]) -> Result<String> {
     String::from_utf8(head.to_vec()).map_err(|_| SnapshotError::BadUtf8)
 }
 
-fn put_role(buf: &mut Vec<u8>, r: &RoleExpr) {
+/// Append a role expression (inverse flag + name).
+pub fn put_role(buf: &mut Vec<u8>, r: &RoleExpr) {
     buf.push(u8::from(r.is_inverse()));
     put_str(buf, r.name().as_str());
 }
 
-fn get_role(buf: &mut &[u8]) -> Result<RoleExpr> {
+/// Read a role expression.
+pub fn get_role(buf: &mut &[u8]) -> Result<RoleExpr> {
     let inv = get_u8(buf)? != 0;
     let name = get_str(buf)?;
     let r = RoleExpr::named(name);
     Ok(if inv { r.inverse() } else { r })
 }
 
-fn put_value(buf: &mut Vec<u8>, v: &DataValue) {
+/// Append a tagged data value.
+pub fn put_value(buf: &mut Vec<u8>, v: &DataValue) {
     match v {
         DataValue::Integer(i) => {
             buf.push(0);
@@ -163,7 +178,8 @@ fn put_value(buf: &mut Vec<u8>, v: &DataValue) {
     }
 }
 
-fn get_value(buf: &mut &[u8]) -> Result<DataValue> {
+/// Read a tagged data value.
+pub fn get_value(buf: &mut &[u8]) -> Result<DataValue> {
     match get_u8(buf)? {
         0 => Ok(DataValue::Integer(get_i64(buf)?)),
         1 => Ok(DataValue::Boolean(get_u8(buf)? != 0)),
@@ -172,7 +188,8 @@ fn get_value(buf: &mut &[u8]) -> Result<DataValue> {
     }
 }
 
-fn put_range(buf: &mut Vec<u8>, d: &DataRange) {
+/// Append a tagged data range.
+pub fn put_range(buf: &mut Vec<u8>, d: &DataRange) {
     match d {
         DataRange::Datatype(dt) => {
             buf.push(0);
@@ -207,7 +224,8 @@ fn put_range(buf: &mut Vec<u8>, d: &DataRange) {
     }
 }
 
-fn get_range(buf: &mut &[u8]) -> Result<DataRange> {
+/// Read a tagged data range.
+pub fn get_range(buf: &mut &[u8]) -> Result<DataRange> {
     match get_u8(buf)? {
         0 => Ok(DataRange::Datatype(match get_u8(buf)? {
             0 => BuiltinDatatype::Integer,
@@ -241,7 +259,8 @@ fn get_range(buf: &mut &[u8]) -> Result<DataRange> {
     }
 }
 
-fn put_concept(buf: &mut Vec<u8>, c: &Concept) {
+/// Append a concept, recursively tagged.
+pub fn put_concept(buf: &mut Vec<u8>, c: &Concept) {
     match c {
         Concept::Top => buf.push(0),
         Concept::Bottom => buf.push(1),
@@ -313,7 +332,8 @@ fn put_concept(buf: &mut Vec<u8>, c: &Concept) {
     }
 }
 
-fn get_concept(buf: &mut &[u8]) -> Result<Concept> {
+/// Read a concept.
+pub fn get_concept(buf: &mut &[u8]) -> Result<Concept> {
     Ok(match get_u8(buf)? {
         0 => Concept::Top,
         1 => Concept::Bottom,
@@ -373,7 +393,8 @@ fn get_concept(buf: &mut &[u8]) -> Result<Concept> {
     })
 }
 
-fn put_axiom(buf: &mut Vec<u8>, ax: &Axiom) {
+/// Append a classical axiom.
+pub fn put_axiom(buf: &mut Vec<u8>, ax: &Axiom) {
     match ax {
         Axiom::ConceptInclusion(c, d) => {
             buf.push(0);
@@ -424,7 +445,8 @@ fn put_axiom(buf: &mut Vec<u8>, ax: &Axiom) {
     }
 }
 
-fn get_axiom(buf: &mut &[u8]) -> Result<Axiom> {
+/// Read a classical axiom.
+pub fn get_axiom(buf: &mut &[u8]) -> Result<Axiom> {
     Ok(match get_u8(buf)? {
         0 => {
             let c = get_concept(buf)?;

@@ -19,6 +19,7 @@
 //!   signature-dataflow analysis and module-scoped querying);
 //! * [`queries`] — instance-query workloads over a KB's signature.
 
+pub mod churn;
 pub mod exceptions;
 pub mod horn;
 pub mod inject;

@@ -50,6 +50,35 @@ pub struct Stats {
     /// Horn-routable queries whose module failed Horn classification
     /// and fell back to the tableau.
     pub horn_fallbacks: u64,
+    /// Instance/entailment queries answered straight from the
+    /// entailment cache (counted by the four-valued layer).
+    pub entailment_cache_hits: u64,
+    /// Instance/entailment queries that missed the entailment cache and
+    /// had to be computed.
+    pub entailment_cache_misses: u64,
+    /// Module-scoped queries that reused an already-built per-module
+    /// `QueryEngine`.
+    pub engine_cache_hits: u64,
+    /// Module-scoped queries that had to build a fresh per-module
+    /// `QueryEngine`.
+    pub engine_cache_misses: u64,
+    /// Horn-routed queries that reused an already-compiled (or
+    /// already-rejected) module program.
+    pub horn_cache_hits: u64,
+    /// Horn-routed queries that had to classify and compile their
+    /// module program.
+    pub horn_cache_misses: u64,
+    /// Session mutations applied (`add_axiom` + `retract_axiom`).
+    pub mutations: u64,
+    /// Cached per-module engines/programs dropped by delta-driven
+    /// invalidation (incremental sessions only).
+    pub invalidated_modules: u64,
+    /// Entailment-cache entries dropped because their answering module
+    /// was invalidated.
+    pub invalidated_entailments: u64,
+    /// Told-index rows (memoized membership closures / subsumer sets /
+    /// seed lists) dropped by incremental maintenance.
+    pub invalidated_told_rows: u64,
 }
 
 impl Stats {
@@ -77,6 +106,16 @@ impl Stats {
         self.horn_clauses += other.horn_clauses;
         self.saturation_rounds += other.saturation_rounds;
         self.horn_fallbacks += other.horn_fallbacks;
+        self.entailment_cache_hits += other.entailment_cache_hits;
+        self.entailment_cache_misses += other.entailment_cache_misses;
+        self.engine_cache_hits += other.engine_cache_hits;
+        self.engine_cache_misses += other.engine_cache_misses;
+        self.horn_cache_hits += other.horn_cache_hits;
+        self.horn_cache_misses += other.horn_cache_misses;
+        self.mutations += other.mutations;
+        self.invalidated_modules += other.invalidated_modules;
+        self.invalidated_entailments += other.invalidated_entailments;
+        self.invalidated_told_rows += other.invalidated_told_rows;
         for (mine, theirs) in self
             .clashes_by_kind
             .iter_mut()
@@ -123,6 +162,16 @@ mod tests {
             horn_clauses: 40,
             saturation_rounds: 6,
             horn_fallbacks: 1,
+            entailment_cache_hits: 11,
+            entailment_cache_misses: 12,
+            engine_cache_hits: 13,
+            engine_cache_misses: 14,
+            horn_cache_hits: 15,
+            horn_cache_misses: 16,
+            mutations: 17,
+            invalidated_modules: 18,
+            invalidated_entailments: 19,
+            invalidated_told_rows: 20,
             ..Stats::default()
         };
         a.absorb(&b);
@@ -134,6 +183,16 @@ mod tests {
         assert_eq!(a.horn_clauses, 40);
         assert_eq!(a.saturation_rounds, 6);
         assert_eq!(a.horn_fallbacks, 1);
+        assert_eq!(a.entailment_cache_hits, 11);
+        assert_eq!(a.entailment_cache_misses, 12);
+        assert_eq!(a.engine_cache_hits, 13);
+        assert_eq!(a.engine_cache_misses, 14);
+        assert_eq!(a.horn_cache_hits, 15);
+        assert_eq!(a.horn_cache_misses, 16);
+        assert_eq!(a.mutations, 17);
+        assert_eq!(a.invalidated_modules, 18);
+        assert_eq!(a.invalidated_entailments, 19);
+        assert_eq!(a.invalidated_told_rows, 20);
         assert_eq!(a.peak_graph_size, 5);
         assert_eq!(a.graph_clones, 16);
         assert_eq!(a.backjumps, 17);
