@@ -1,0 +1,404 @@
+//! The serving layer under load: client-observed latency across fleet
+//! sizes, cross-tenant cache sharing, admission-control shedding, and
+//! hostile-tenant isolation — all measured over real TCP connections
+//! against a [`shoin4::serve::Server`].
+//!
+//! Three phases, each asserting its claim where the numbers are made:
+//!
+//! 1. **Saturation sweep** — `tenant_fleet` fleets (half the tenants
+//!    share an identical core island) at ≥ 3 sizes; concurrent clients
+//!    walk every tenant and record per-request wall latency. The bench
+//!    asserts the shared cache's cross-tenant hit ratio is strictly
+//!    positive on every fleet — structurally identical modules must be
+//!    built once, not per tenant.
+//! 2. **Shedding** — a one-worker, one-slot server fed a concurrent
+//!    burst must reject with typed `overloaded` replies (counted), not
+//!    block or crash.
+//! 3. **Hostile isolation** — a tenant whose KB is an `∃`-doubling
+//!    budget-exhauster shares the server with fair tenants. A canceller
+//!    thread revokes the hostile tenant's in-flight work; the bench
+//!    asserts every hostile reply is a typed `cancelled`/`budget`
+//!    error, at least one was really cancelled mid-search, and the fair
+//!    tenants' p99 under attack stays within 2× of their baseline p99
+//!    or one hostile budget quantum, whichever is larger (on a
+//!    single-core runner a µs-scale ratio only measures the
+//!    scheduler).
+//!
+//! Besides the Criterion group this writes summary rows to
+//! `target/experiments/serving_saturation.jsonl` and refreshes the
+//! committed snapshot `BENCH_serving.json` at the repo root. Set
+//! `BENCH_SMOKE=1` to shrink the series for CI smoke runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jsonio::Value;
+use ontogen::tenant::{tenant_fleet, TenantFleet, TenantFleetParams};
+use shoin4::serve::{hostile_kb, Registry, ServeOptions, Server};
+use std::hint::black_box;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tableau::Config;
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let writer = stream.try_clone().expect("clone");
+        Client {
+            writer,
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn ask(&mut self, line: &str) -> Value {
+        // Single write per request (mirrors the server's single-write
+        // replies): two small segments per line would stall on the
+        // Nagle / delayed-ACK interaction and measure the kernel's
+        // timers instead of the serving layer.
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("reply");
+        Value::parse(&reply).unwrap_or_else(|e| panic!("bad reply {reply:?}: {e}"))
+    }
+}
+
+fn percentile_us(latencies: &mut [Duration], p: f64) -> f64 {
+    assert!(!latencies.is_empty());
+    latencies.sort_unstable();
+    let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len()) - 1;
+    latencies[idx].as_secs_f64() * 1e6
+}
+
+fn fleet(tenants: usize) -> TenantFleet {
+    tenant_fleet(&TenantFleetParams {
+        tenants,
+        shared_core_rate: 0.5,
+        ..TenantFleetParams::default()
+    })
+}
+
+/// The three measured probes for one tenant, built from its own
+/// signature: a told-path atomic query, a compound query that exercises
+/// module extraction + the shared cache, and a satisfiability check.
+fn tenant_probes(kb: &shoin4::KnowledgeBase4) -> Vec<String> {
+    let sig = kb.signature();
+    let a = sig.individuals.iter().next().expect("inhabited tenant");
+    let mut cs = sig.concepts.iter();
+    let (c0, c1) = (
+        cs.next().expect("concepts"),
+        cs.next().expect("two concepts"),
+    );
+    vec![
+        format!("query {a} {c0}"),
+        format!("query {a} {c0} and {c1}"),
+        "check".to_string(),
+    ]
+}
+
+/// Walk every tenant once over `clients` concurrent connections,
+/// recording client-observed latency per admitted request.
+fn run_fleet_pass(addr: SocketAddr, fleet: &TenantFleet, clients: usize) -> Vec<Duration> {
+    let latencies = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for stride in 0..clients {
+            let latencies = &latencies;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut local = Vec::new();
+                for (id, kb) in fleet.tenants.iter().skip(stride).step_by(clients) {
+                    client.ask(&format!("tenant {id}"));
+                    for probe in tenant_probes(kb) {
+                        let start = Instant::now();
+                        let reply = client.ask(&probe);
+                        local.push(start.elapsed());
+                        assert_eq!(
+                            reply.get("ok").and_then(Value::as_bool),
+                            Some(true),
+                            "{probe:?} failed: {reply}"
+                        );
+                    }
+                }
+                client.ask("quit");
+                latencies.lock().expect("collector").append(&mut local);
+            });
+        }
+    });
+    latencies.into_inner().expect("collector")
+}
+
+fn saturation_sweep(sizes: &[usize], rows: &mut Vec<bench::ExperimentRow>) {
+    for &n in sizes {
+        let fleet = fleet(n);
+        let registry = Arc::new(Registry::new(Config::default()));
+        for (id, kb) in &fleet.tenants {
+            assert!(registry.register(id, kb));
+        }
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServeOptions {
+                workers: 4,
+                queue_depth: 256,
+            },
+        )
+        .expect("bind");
+        let mut latencies = run_fleet_pass(server.local_addr(), &fleet, 4);
+
+        let shared = registry.shared().stats();
+        assert!(
+            shared.hit_ratio() > 0.0,
+            "fleet of {n} with a shared core produced no cross-tenant hits: {shared:?}"
+        );
+        let row = |series: &str, value: f64, unit: &str| bench::ExperimentRow {
+            experiment: "serving_saturation".into(),
+            x: n as f64,
+            series: series.into(),
+            value,
+            unit: unit.into(),
+        };
+        rows.push(row("p50", percentile_us(&mut latencies, 0.50), "us"));
+        rows.push(row("p99", percentile_us(&mut latencies, 0.99), "us"));
+        rows.push(row("shared_hit_ratio", shared.hit_ratio(), "ratio"));
+        server.shutdown();
+    }
+}
+
+fn shedding_phase(rows: &mut Vec<bench::ExperimentRow>) {
+    let config = Config {
+        time_budget: Some(Duration::from_millis(25)),
+        ..Config::default()
+    };
+    let registry = Arc::new(Registry::new(config));
+    registry.register("evil", &hostile_kb(40));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        ServeOptions {
+            workers: 1,
+            queue_depth: 1,
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    // Four clients hammer the one-slot server; budget-exhausting
+    // requests hold the worker for 25ms each, so the surplus must shed.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                client.ask("tenant evil");
+                for _ in 0..10 {
+                    let reply = client.ask("check");
+                    let code = reply.get("error").and_then(Value::as_str);
+                    assert!(
+                        matches!(code, Some("overloaded" | "budget" | "cancelled")),
+                        "unexpected reply under saturation: {reply}"
+                    );
+                }
+            });
+        }
+    });
+    let shed = server.stats().shed.load(Ordering::Relaxed);
+    assert!(shed > 0, "a saturated one-slot server never shed");
+    rows.push(bench::ExperimentRow {
+        experiment: "serving_saturation".into(),
+        x: 40.0,
+        series: "shed_requests".into(),
+        value: shed as f64,
+        unit: "count".into(),
+    });
+    server.shutdown();
+}
+
+fn hostile_isolation(rows: &mut Vec<bench::ExperimentRow>) {
+    const FAIR: usize = 4;
+    let config = Config {
+        time_budget: Some(Duration::from_millis(25)),
+        ..Config::default()
+    };
+    let fleet = fleet(FAIR);
+    let registry = Arc::new(Registry::new(config));
+    for (id, kb) in &fleet.tenants {
+        registry.register(id, kb);
+    }
+    registry.register("evil", &hostile_kb(40));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        ServeOptions {
+            workers: 2,
+            queue_depth: 64,
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Baseline: fair tenants alone, several passes so the percentile
+    // has real support (the first pass also warms every cache, so
+    // baseline and attack measure steady state, not module builds).
+    const PASSES: usize = 10;
+    run_fleet_pass(addr, &fleet, 2);
+    let mut base = Vec::new();
+    for _ in 0..PASSES {
+        base.append(&mut run_fleet_pass(addr, &fleet, 2));
+    }
+    let p99_base = percentile_us(&mut base, 0.99);
+
+    // Attack: a hostile client hammers its budget-exhausting KB while a
+    // canceller keeps revoking the tenant's in-flight work. Fair passes
+    // repeat until the hostile tenant has demonstrably cycled several
+    // times — the pass itself is now so fast that a single one could
+    // end before the hostile client ever gets a request in.
+    let stop = Arc::new(AtomicBool::new(false));
+    let hostile_done = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let (p99_attack, hostile_outcomes) = std::thread::scope(|scope| {
+        let canceller = {
+            let stop = Arc::clone(&stop);
+            let server = &server;
+            scope.spawn(move || {
+                let mut revoked = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    revoked += server.cancel_tenant("evil");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                revoked
+            })
+        };
+        let hostile = {
+            let stop = Arc::clone(&stop);
+            let done = Arc::clone(&hostile_done);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                client.ask("tenant evil");
+                let (mut total, mut typed) = (0u64, 0u64);
+                while !stop.load(Ordering::Relaxed) {
+                    let reply = client.ask("check");
+                    total += 1;
+                    let code = reply.get("error").and_then(Value::as_str);
+                    if matches!(code, Some("cancelled" | "budget")) {
+                        typed += 1;
+                    }
+                    done.store(total, Ordering::Relaxed);
+                }
+                (total, typed)
+            })
+        };
+        let mut attack = Vec::new();
+        let mut passes = 0;
+        while passes < PASSES || (hostile_done.load(Ordering::Relaxed) < 4 && passes < 200) {
+            attack.append(&mut run_fleet_pass(addr, &fleet, 2));
+            passes += 1;
+        }
+        stop.store(true, Ordering::Relaxed);
+        let revoked = canceller.join().expect("canceller");
+        let outcomes = hostile.join().expect("hostile client");
+        assert!(
+            revoked > 0,
+            "the canceller never found hostile work in flight"
+        );
+        (percentile_us(&mut attack, 0.99), outcomes)
+    });
+
+    let (hostile_total, hostile_typed) = hostile_outcomes;
+    assert!(
+        hostile_total > 0,
+        "the hostile client never got a request in"
+    );
+    assert_eq!(
+        hostile_typed, hostile_total,
+        "every hostile reply must be a typed cancelled/budget error"
+    );
+    let cancelled = server.stats().cancelled.load(Ordering::Relaxed);
+    assert!(
+        cancelled >= 1,
+        "no hostile search was demonstrably cancelled mid-flight"
+    );
+    // The isolation bound: within 2× of baseline, or — when the
+    // baseline is so fast that a ratio would only measure the CPU
+    // scheduler (a single-core runner time-shares the hostile search
+    // with everything else) — within one hostile budget quantum, the
+    // worst head-of-line wait a budget-bounded search can inflict.
+    let budget_us = 25_000.0;
+    assert!(
+        p99_attack <= (2.0 * p99_base).max(budget_us),
+        "hostile tenant degraded fair p99 beyond 2× and a budget quantum: \
+         {p99_base:.0}us → {p99_attack:.0}us"
+    );
+    let row = |series: &str, value: f64, unit: &str| bench::ExperimentRow {
+        experiment: "serving_saturation".into(),
+        x: FAIR as f64,
+        series: series.into(),
+        value,
+        unit: unit.into(),
+    };
+    rows.push(row("fair_p99_baseline", p99_base, "us"));
+    rows.push(row("fair_p99_under_attack", p99_attack, "us"));
+    rows.push(row("hostile_requests", hostile_total as f64, "count"));
+    rows.push(row("hostile_cancelled_searches", cancelled as f64, "count"));
+    server.shutdown();
+}
+
+fn bench_serving_saturation(c: &mut Criterion) {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let sizes: &[usize] = if smoke { &[4] } else { &[8, 32, 128] };
+    let mut rows = Vec::new();
+
+    // Criterion group: one full client pass over the smallest fleet
+    // (connection + per-tenant probes over live TCP).
+    let small = fleet(sizes[0]);
+    let registry = Arc::new(Registry::new(Config::default()));
+    for (id, kb) in &small.tenants {
+        registry.register(id, kb);
+    }
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        ServeOptions::default(),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let mut group = c.benchmark_group("serving_saturation");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("fleet_pass", small.tenants.len()),
+        &small,
+        |b, fl| b.iter(|| black_box(run_fleet_pass(addr, fl, 2).len())),
+    );
+    group.finish();
+    server.shutdown();
+
+    saturation_sweep(sizes, &mut rows);
+    shedding_phase(&mut rows);
+    hostile_isolation(&mut rows);
+
+    bench::write_rows("serving_saturation", &rows).expect("write rows");
+
+    // Committed snapshot (skipped for smoke runs so CI never clobbers
+    // the checked-in numbers with reduced-size measurements).
+    if !smoke {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+        let mut f = std::fs::File::create(path).expect("snapshot file");
+        writeln!(f, "{{").expect("write");
+        writeln!(f, "  \"experiment\": \"serving_saturation\",").expect("write");
+        writeln!(f, "  \"unit\": \"us\",").expect("write");
+        writeln!(f, "  \"rows\": [").expect("write");
+        for (i, row) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            writeln!(f, "    {}{comma}", row.to_json()).expect("write");
+        }
+        writeln!(f, "  ]").expect("write");
+        writeln!(f, "}}").expect("write");
+    }
+}
+
+criterion_group!(benches, bench_serving_saturation);
+criterion_main!(benches);

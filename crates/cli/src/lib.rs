@@ -77,6 +77,9 @@ USAGE:
     shoin4 session [SESSION FLAGS]           incremental add/retract/query
                                              session (script from --script
                                              FILE or stdin via `--script -`)
+    shoin4 serve [SERVE FLAGS]               multi-tenant TCP server (one
+                                             session per tenant, line
+                                             protocol, JSON replies)
     shoin4 table4                            regenerate the paper's Table 4
 
 FLAGS (check/report/classify, any order):
@@ -93,9 +96,25 @@ SESSION FLAGS (any order):
     --stats             append search + cache counters
     --no-horn           disable the Horn saturation fast path
 
+SERVE FLAGS (any order; --listen required):
+    --listen ADDR       bind address, e.g. 127.0.0.1:7474 (port 0 = any
+                        free port; the bound address is printed to stderr)
+    --workers N         worker threads executing admitted requests (4)
+    --queue-depth N     admission queue bound; beyond it requests are
+                        shed with an `overloaded` error (64)
+    --budget-ms N       per-request tableau time budget (10000)
+    --kb ID=PATH        preload tenant ID from an ontology file
+                        (repeatable)
+    --serve-for-ms N    serve for N ms, then shut down and print
+                        admission + shared-cache stats (for smoke tests)
+
 Session scripts take one verb per line: `add <axiom>`,
 `retract <axiom>`, `query <ind> <concept>`, `role <role> <a> <b>`,
 `check`, plus `DataRole:` declarations, blank lines and # comments.
+
+The serve protocol takes the same verbs, one per line over TCP, after
+a `tenant <id>` line selects the session; replies are JSON objects
+(see README §Serving).
 
 Ontologies use the line-based Manchester-like syntax (see README).";
 
@@ -652,6 +671,85 @@ pub fn run_with_fs(
                 write_stats_block(&mut out, &session.stats());
             }
         }
+        [cmd, rest @ ..] if cmd == "serve" => {
+            let mut listen: Option<String> = None;
+            let mut opts = shoin4::serve::ServeOptions::default();
+            let mut budget_ms: u64 = 10_000;
+            let mut kbs: Vec<(String, String)> = Vec::new();
+            let mut serve_for_ms: Option<u64> = None;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--listen" => match it.next() {
+                        Some(a) => listen = Some(a.clone()),
+                        None => return Err(CliError::Usage(USAGE.to_string())),
+                    },
+                    "--workers" => match it.next().map(|n| n.parse::<usize>()) {
+                        Some(Ok(n)) if n >= 1 => opts.workers = n,
+                        _ => return Err(CliError::Usage(USAGE.to_string())),
+                    },
+                    "--queue-depth" => match it.next().map(|n| n.parse::<usize>()) {
+                        Some(Ok(n)) if n >= 1 => opts.queue_depth = n,
+                        _ => return Err(CliError::Usage(USAGE.to_string())),
+                    },
+                    "--budget-ms" => match it.next().map(|n| n.parse::<u64>()) {
+                        Some(Ok(n)) if n >= 1 => budget_ms = n,
+                        _ => return Err(CliError::Usage(USAGE.to_string())),
+                    },
+                    "--kb" => match it.next().and_then(|s| s.split_once('=')) {
+                        Some((id, path)) if !id.is_empty() => {
+                            kbs.push((id.to_string(), path.to_string()));
+                        }
+                        _ => return Err(CliError::Usage(USAGE.to_string())),
+                    },
+                    "--serve-for-ms" => match it.next().map(|n| n.parse::<u64>()) {
+                        Some(Ok(n)) => serve_for_ms = Some(n),
+                        _ => return Err(CliError::Usage(USAGE.to_string())),
+                    },
+                    _ => return Err(CliError::Usage(USAGE.to_string())),
+                }
+            }
+            let listen = listen.ok_or_else(|| CliError::Usage(USAGE.to_string()))?;
+            let config = tableau::Config {
+                time_budget: Some(std::time::Duration::from_millis(budget_ms)),
+                ..tableau::Config::default()
+            };
+            let registry = std::sync::Arc::new(shoin4::serve::Registry::new(config));
+            for (id, path) in &kbs {
+                let kb = load_kb4(path, read)?;
+                registry.register(id, &kb);
+            }
+            let server = shoin4::serve::Server::bind(listen.as_str(), registry, opts)
+                .map_err(|e| CliError::Io(listen.clone(), e))?;
+            // Announce the bound address eagerly (stderr, so piping the
+            // normal output stream stays clean) — clients and the smoke
+            // test wait for this line before connecting.
+            eprintln!("listening on {}", server.local_addr());
+            match serve_for_ms {
+                // Bounded run: serve for the window, then report.
+                Some(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+                // Unbounded run: park this thread; the acceptor and the
+                // worker pool do all the work until the process is killed.
+                None => loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                },
+            }
+            let addr = server.local_addr();
+            let stats = server.stats().to_json();
+            let shared = server.registry().shared().stats();
+            server.shutdown();
+            writeln!(out, "served on {addr}").unwrap();
+            writeln!(out, "admission: {stats}").unwrap();
+            writeln!(
+                out,
+                "shared-cache: hit_ratio={:.3} engines={} horn={} rows={}",
+                shared.hit_ratio(),
+                shared.engines,
+                shared.horn_programs,
+                shared.rows
+            )
+            .unwrap();
+        }
         [cmd] if cmd == "table4" => {
             out.push_str(&fourmodels::table4::render_table4());
         }
@@ -1090,6 +1188,53 @@ check";
         assert!(out.contains("meredith : Person = t"), "{out}");
         assert!(out.contains("axioms: 2"), "{out}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        let fs = MemFs::new(&[]);
+        for bad in [
+            &["serve"][..], // --listen is required
+            &["serve", "--listen"][..],
+            &["serve", "--listen", "127.0.0.1:0", "--workers", "0"][..],
+            &["serve", "--listen", "127.0.0.1:0", "--queue-depth", "lots"][..],
+            &["serve", "--listen", "127.0.0.1:0", "--budget-ms", "0"][..],
+            &["serve", "--listen", "127.0.0.1:0", "--kb", "no-equals-sign"][..],
+            &["serve", "--listen", "127.0.0.1:0", "--kb", "=path.dl4"][..],
+            &["serve", "--listen", "127.0.0.1:0", "--serve-for-ms", "soon"][..],
+            &["serve", "--listen", "127.0.0.1:0", "--bogus"][..],
+        ] {
+            assert!(matches!(fs.run(bad), Err(CliError::Usage(_))), "{bad:?}");
+        }
+        assert!(matches!(
+            fs.run(&["serve", "--listen", "127.0.0.1:0", "--kb", "t=missing.dl4"]),
+            Err(CliError::Io(..))
+        ));
+    }
+
+    #[test]
+    fn serve_bounded_run_loads_kbs_and_reports_stats() {
+        let fs = MemFs::new(&[("clinic.dl4", "john : Doctor\nDoctor SubClassOf Person")]);
+        let out = fs
+            .run(&[
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+                "--queue-depth",
+                "8",
+                "--budget-ms",
+                "500",
+                "--kb",
+                "clinic=clinic.dl4",
+                "--serve-for-ms",
+                "50",
+            ])
+            .unwrap();
+        assert!(out.contains("served on 127.0.0.1:"), "{out}");
+        assert!(out.contains("admission:"), "{out}");
+        assert!(out.contains("shared-cache:"), "{out}");
     }
 
     #[test]

@@ -199,6 +199,116 @@ mod tests {
     }
 
     #[test]
+    fn stress_mixed_readers_writers_and_retain() {
+        // N writers and N readers hammer one map while a maintenance
+        // thread runs retain() sweeps; the test asserts the final state
+        // exactly and completes (no deadlock) under the per-shard locks.
+        const THREADS: u32 = 4;
+        const OPS: u32 = 2_000;
+        let m: Arc<ShardedMap<u32, u32>> = Arc::new(ShardedMap::new());
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let writer = Arc::clone(&m);
+                scope.spawn(move || {
+                    for i in 0..OPS {
+                        writer.insert(t * OPS + i, i);
+                        if i % 7 == 0 {
+                            // Re-read own writes under concurrent retain.
+                            let _ = writer.get(&(t * OPS + i));
+                        }
+                    }
+                });
+                let reader = Arc::clone(&m);
+                scope.spawn(move || {
+                    for i in 0..OPS {
+                        let _ = reader.get(&(t * OPS + i));
+                        if i % 64 == 0 {
+                            let _ = reader.len();
+                        }
+                    }
+                });
+            }
+            let m = Arc::clone(&m);
+            scope.spawn(move || {
+                for _ in 0..16 {
+                    // Drop odd values; writers re-insert concurrently.
+                    m.retain(|_, v| v % 2 == 0);
+                }
+            });
+        });
+        // Quiesced: one final sweep leaves exactly the even values.
+        m.retain(|_, v| v % 2 == 0);
+        assert_eq!(m.len(), (THREADS * OPS) as usize / 2);
+        for t in 0..THREADS {
+            assert_eq!(m.get(&(t * OPS + 8)), Some(8));
+            assert_eq!(m.get(&(t * OPS + 9)), None);
+        }
+    }
+
+    #[test]
+    fn stress_concurrent_session_readers_and_writers() {
+        // The serving layer's contract: a `RwLock<Session>` (one
+        // registry tenant) stays consistent and deadlock-free under
+        // concurrent query readers and mutation writers. Writers append
+        // island-local assertions; readers run the full query pipeline
+        // (told index, module caches, entailment cache) the whole time.
+        use crate::incremental::Session;
+        use crate::parser4::parse_kb4;
+        use dl::name::IndividualName;
+        use dl::Concept;
+        use std::sync::RwLock;
+
+        const WRITERS: usize = 4;
+        const READERS: usize = 4;
+        const OPS: usize = 40;
+        let kb = parse_kb4(
+            "A SubClassOf B
+             B SubClassOf C
+             x : A
+             x : not C",
+        )
+        .expect("parse");
+        let session = Arc::new(RwLock::new(Session::new(&kb, tableau::Config::default())));
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let session = Arc::clone(&session);
+                scope.spawn(move || {
+                    for i in 0..OPS {
+                        let ax =
+                            parse_kb4(&format!("w{w}n{i} : A")).expect("parse").axioms()[0].clone();
+                        write_lock(&session).add_axiom(ax).expect("in-memory add");
+                    }
+                });
+            }
+            for r in 0..READERS {
+                let session = Arc::clone(&session);
+                scope.spawn(move || {
+                    let a = IndividualName::new("x");
+                    let compound = Concept::atomic("A").and(Concept::atomic("C"));
+                    for i in 0..OPS {
+                        let guard = read_lock(&session);
+                        let v = guard.query(&a, &Concept::atomic("C")).expect("limits");
+                        assert_eq!(v, fourval::TruthValue::Both, "reader {r} op {i}");
+                        let v = guard.query(&a, &compound).expect("limits");
+                        assert_eq!(v, fourval::TruthValue::Both, "reader {r} op {i}");
+                    }
+                });
+            }
+        });
+        let final_session = read_lock(&session);
+        assert_eq!(final_session.len(), 4 + WRITERS * OPS);
+        let last = IndividualName::new(format!("w{}n{}", WRITERS - 1, OPS - 1));
+        assert_eq!(
+            final_session
+                .query(&last, &Concept::atomic("C"))
+                .expect("limits"),
+            fourval::TruthValue::True,
+            "writer-added member must reach C through the chain"
+        );
+        assert!(final_session.stats().mutations >= (WRITERS * OPS) as u64);
+    }
+
+    #[test]
     fn poisoned_shard_recovers() {
         let m: Arc<ShardedMap<u32, u32>> = Arc::new(ShardedMap::new());
         m.insert(5, 50);

@@ -65,6 +65,7 @@ use crate::kb4::{Axiom4, KnowledgeBase4};
 use crate::parser4::parse_kb4;
 use crate::printer4::print_axiom4;
 use crate::reasoner4::subsumption_probe;
+use crate::serve::{self, SharedModuleCache};
 use crate::told::ToldIndex;
 use crate::transform::{self, Transformer};
 use dl::axiom::{Axiom, RoleExpr};
@@ -141,7 +142,14 @@ struct ModuleEntry {
     /// Member slot ids — the cache key, shared with the entailment
     /// cache's per-entry tags.
     key: Arc<BTreeSet<usize>>,
-    engine: OnceLock<Arc<QueryEngine>>,
+    /// Content address of the module's classical image
+    /// ([`serve::structural_key`]), computed lazily — only sessions
+    /// wired to a [`SharedModuleCache`] ever ask for it.
+    skey: OnceLock<Arc<str>>,
+    /// The engine plus whether it was *adopted* from the shared cache
+    /// (an adopted engine's search counters belong to the building
+    /// tenant, so [`Session::stats`] skips them).
+    engine: OnceLock<(Arc<QueryEngine>, bool)>,
     horn: OnceLock<Option<Arc<HornProgram>>>,
 }
 
@@ -201,12 +209,32 @@ pub struct Session {
     wal: Option<Wal>,
     snapshot_every: usize,
     mutations_since_snapshot: usize,
+    /// Cross-tenant shared cache ([`Session::with_shared`]); `None` for
+    /// standalone sessions.
+    shared: Option<Arc<SharedModuleCache>>,
 }
 
 impl Session {
     /// An in-memory session (no durability) over an initial KB.
     pub fn new(kb: &KnowledgeBase4, config: Config) -> Session {
         Self::from_axioms(kb.axioms().to_vec(), config)
+    }
+
+    /// An in-memory session wired to a cross-tenant
+    /// [`SharedModuleCache`]: per-module engines, Horn programs and
+    /// query verdict rows are looked up (and published) under the
+    /// module's structural key, so identical modules across sessions
+    /// hit one cache entry. The cache's `build_config` must derive from
+    /// the same `config` (guaranteed when both come from one
+    /// [`crate::serve::Registry`]).
+    pub fn with_shared(
+        kb: &KnowledgeBase4,
+        config: Config,
+        shared: Arc<SharedModuleCache>,
+    ) -> Session {
+        let mut session = Self::from_axioms(kb.axioms().to_vec(), config);
+        session.shared = Some(shared);
+        session
     }
 
     fn from_axioms(axioms: Vec<Axiom4>, config: Config) -> Session {
@@ -229,6 +257,7 @@ impl Session {
             wal: None,
             snapshot_every: 0,
             mutations_since_snapshot: 0,
+            shared: None,
         }
     }
 
@@ -399,8 +428,10 @@ impl Session {
                 Delta::Retract(id) => slot.entry.key.contains(&id),
             };
             if is_dirty {
-                if let Some(engine) = slot.entry.engine.get() {
-                    s.absorb(&engine.stats());
+                if let Some((engine, adopted)) = slot.entry.engine.get() {
+                    if !adopted {
+                        s.absorb(&engine.stats());
+                    }
                 }
                 dirty.insert(Arc::clone(&slot.entry.key));
             }
@@ -475,8 +506,13 @@ impl Session {
     pub fn stats(&self) -> Stats {
         let mut s = *lock_mutex(&self.stats);
         for slot in lock_mutex(&self.modules).values() {
-            if let Some(engine) = slot.entry.engine.get() {
-                s.absorb(&engine.stats());
+            if let Some((engine, adopted)) = slot.entry.engine.get() {
+                // Search counters of a shared engine are attributed to
+                // the tenant that built it; adopters report their
+                // adoption through `shared_module_hits` instead.
+                if !adopted {
+                    s.absorb(&engine.stats());
+                }
             }
         }
         s.entailment_cache_hits += self.instance_cache.hits();
@@ -516,6 +552,7 @@ impl Session {
                 s.engine_cache_misses = 1;
                 let entry = Arc::new(ModuleEntry {
                     key: Arc::new(module.axioms.clone()),
+                    skey: OnceLock::new(),
                     engine: OnceLock::new(),
                     horn: OnceLock::new(),
                 });
@@ -534,24 +571,87 @@ impl Session {
         entry
     }
 
-    fn engine_of(&self, entry: &ModuleEntry) -> Arc<QueryEngine> {
-        Arc::clone(entry.engine.get_or_init(|| {
-            let kb = KnowledgeBase::from_axioms(
-                entry
-                    .key
-                    .iter()
-                    .flat_map(|&i| self.extractor.images(i).iter().cloned()),
-            );
-            Arc::new(QueryEngine::with_config(&kb, self.sub_config.clone()))
+    /// The module's structural key (content address), computed once.
+    fn structural_key(&self, entry: &ModuleEntry) -> Arc<str> {
+        Arc::clone(entry.skey.get_or_init(|| {
+            serve::structural_key(entry.key.iter().flat_map(|&i| self.extractor.images(i)))
         }))
+    }
+
+    fn engine_of(&self, entry: &ModuleEntry) -> Arc<QueryEngine> {
+        let (engine, _adopted) = entry.engine.get_or_init(|| {
+            let build_kb = || {
+                KnowledgeBase::from_axioms(
+                    entry
+                        .key
+                        .iter()
+                        .flat_map(|&i| self.extractor.images(i).iter().cloned()),
+                )
+            };
+            match &self.shared {
+                Some(shared) => {
+                    let key = self.structural_key(entry);
+                    let mut s = Stats::default();
+                    let slot = match shared.engine(&key) {
+                        Some(engine) => {
+                            s.shared_module_hits = 1;
+                            (engine, true)
+                        }
+                        None => {
+                            // Build with the cache's *neutral* config so a
+                            // per-tenant cancellation token never rides
+                            // along into another tenant's queries.
+                            s.shared_module_misses = 1;
+                            let engine = Arc::new(QueryEngine::with_config(
+                                &build_kb(),
+                                shared.build_config().clone(),
+                            ));
+                            shared.publish_engine(key, Arc::clone(&engine));
+                            (engine, false)
+                        }
+                    };
+                    lock_mutex(&self.stats).absorb(&s);
+                    slot
+                }
+                None => (
+                    Arc::new(QueryEngine::with_config(
+                        &build_kb(),
+                        self.sub_config.clone(),
+                    )),
+                    false,
+                ),
+            }
+        });
+        Arc::clone(engine)
     }
 
     /// The module's Horn program (compiled once per entry), or `None`
     /// with a recorded fallback when its image leaves the Horn fragment.
     fn horn_of(&self, entry: &ModuleEntry) -> Option<Arc<HornProgram>> {
         let warm = entry.horn.get().is_some();
-        let program = entry.horn.get_or_init(|| {
-            horn::compile(entry.key.iter().flat_map(|&i| self.extractor.images(i))).map(Arc::new)
+        let program = entry.horn.get_or_init(|| match &self.shared {
+            Some(shared) => {
+                let key = self.structural_key(entry);
+                let mut s = Stats::default();
+                let program = match shared.horn(&key) {
+                    Some(hit) => {
+                        s.shared_module_hits = 1;
+                        hit
+                    }
+                    None => {
+                        s.shared_module_misses = 1;
+                        let program =
+                            horn::compile(entry.key.iter().flat_map(|&i| self.extractor.images(i)))
+                                .map(Arc::new);
+                        shared.publish_horn(key, program.clone());
+                        program
+                    }
+                };
+                lock_mutex(&self.stats).absorb(&s);
+                program
+            }
+            None => horn::compile(entry.key.iter().flat_map(|&i| self.extractor.images(i)))
+                .map(Arc::new),
         });
         let mut s = Stats::default();
         if warm {
@@ -587,17 +687,43 @@ impl Session {
         dataflow::classical_concept_atoms(tc, &mut seed);
         seed.insert(SigAtom::Individual(a.clone()));
         let entry = self.module_entry(&seed);
+        if let Some(hit) = self.shared_row(&entry, || format!("i\u{1}{a:?}\u{1}{tc:?}")) {
+            return Ok((hit, Arc::clone(&entry.key)));
+        }
         if self.config.horn_path {
             if let Concept::Atomic(goal) = tc {
                 if let Some(program) = self.horn_of(&entry) {
                     let answer = program.is_instance(a, goal);
                     self.record_horn_answer(answer.rounds);
+                    self.publish_row(&entry, format!("i\u{1}{a:?}\u{1}{tc:?}"), answer.holds);
                     return Ok((answer.holds, Arc::clone(&entry.key)));
                 }
             }
         }
         let verdict = self.engine_of(&entry).is_instance_of(a, tc)?;
+        self.publish_row(&entry, format!("i\u{1}{a:?}\u{1}{tc:?}"), verdict);
         Ok((verdict, Arc::clone(&entry.key)))
+    }
+
+    /// Cross-tenant verdict row lookup under the module's structural
+    /// key; `None` when no shared cache is wired or the row is cold.
+    fn shared_row(&self, entry: &ModuleEntry, probe: impl FnOnce() -> String) -> Option<bool> {
+        let shared = self.shared.as_ref()?;
+        let hit = shared.row(&(self.structural_key(entry), probe()));
+        let mut s = Stats::default();
+        match hit {
+            Some(_) => s.shared_row_hits = 1,
+            None => s.shared_row_misses = 1,
+        }
+        lock_mutex(&self.stats).absorb(&s);
+        hit
+    }
+
+    /// Publish a computed verdict row for identical modules elsewhere.
+    fn publish_row(&self, entry: &ModuleEntry, probe: String, verdict: bool) {
+        if let Some(shared) = &self.shared {
+            shared.publish_row((self.structural_key(entry), probe), verdict);
+        }
     }
 
     fn cached_instance(&self, a: &IndividualName, tc: &Concept) -> Result<bool, ReasonerError> {
@@ -614,23 +740,34 @@ impl Session {
         let mut seed = BTreeSet::new();
         dataflow::classical_concept_atoms(test, &mut seed);
         let entry = self.module_entry(&seed);
+        if let Some(hit) = self.shared_row(&entry, || format!("s\u{1}{test:?}")) {
+            return Ok(hit);
+        }
         if self.config.horn_path {
             if let Some((sub, sup)) = subsumption_probe(test) {
                 if let Some(program) = self.horn_of(&entry) {
                     let answer = program.subsumes(sub, sup);
                     self.record_horn_answer(answer.rounds);
+                    self.publish_row(&entry, format!("s\u{1}{test:?}"), !answer.holds);
                     return Ok(!answer.holds);
                 }
             }
         }
-        self.engine_of(&entry).is_concept_satisfiable(test)
+        let verdict = self.engine_of(&entry).is_concept_satisfiable(test)?;
+        self.publish_row(&entry, format!("s\u{1}{test:?}"), verdict);
+        Ok(verdict)
     }
 
     fn engine_entails(&self, ax: &Axiom) -> Result<bool, ReasonerError> {
         let mut seed = BTreeSet::new();
         dataflow::classical_axiom_atoms(ax, &mut seed);
         let entry = self.module_entry(&seed);
-        self.engine_of(&entry).entails(ax)
+        if let Some(hit) = self.shared_row(&entry, || format!("e\u{1}{ax:?}")) {
+            return Ok(hit);
+        }
+        let verdict = self.engine_of(&entry).entails(ax)?;
+        self.publish_row(&entry, format!("e\u{1}{ax:?}"), verdict);
+        Ok(verdict)
     }
 
     /// Is the (current) four-valued KB satisfiable?

@@ -62,6 +62,7 @@ pub mod kb4;
 pub mod parser4;
 pub mod printer4;
 pub mod reasoner4;
+pub mod serve;
 pub mod told;
 pub mod transform;
 

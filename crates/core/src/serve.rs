@@ -1,0 +1,1330 @@
+//! Multi-tenant concurrent serving: a sharded tenant registry over
+//! [`Session`]s, cross-tenant cache sharing, admission control, and a
+//! std-only line-protocol TCP front end.
+//!
+//! This is ROADMAP item 2 ("millions of users"): one process hosting
+//! many independent four-valued KBs, answering concurrent requests with
+//! bounded resources. Three mechanisms carry the load:
+//!
+//! * **Sharded registry** — [`Registry`] maps tenant ids to
+//!   `RwLock<Session>`s across independently locked shards (the same
+//!   layout as [`crate::cache::ShardedMap`]), so requests for different
+//!   tenants never contend on one global lock and read-heavy tenants
+//!   admit concurrent readers.
+//! * **Cross-tenant cache sharing** — [`SharedModuleCache`] keys
+//!   per-module `QueryEngine`s, Horn programs and query verdict rows by
+//!   a *structural key*: the sorted serialization of the module's
+//!   classical-image axioms ([`structural_key`]). Identical modules
+//!   across tenants (the common case for fleets cloned from a shared
+//!   core ontology) therefore hit one cache entry. Content addressing
+//!   makes sharing immune to staleness: a mutated module extracts to a
+//!   different axiom set, hence a different key — old entries are
+//!   simply never hit again.
+//! * **Admission control** — [`Server`] runs a fixed worker pool behind
+//!   a bounded queue. A full queue sheds the request with a typed
+//!   [`ServeError::Overloaded`] instead of letting latency grow without
+//!   bound, every request runs under the registry's
+//!   `Config::time_budget`, and a per-request cancellation token
+//!   (installed via [`tableau::interrupt`]) lets [`Server::cancel_tenant`]
+//!   revoke a hostile tenant's in-flight work without waiting out the
+//!   budget — the search observes the token inside `check_limits` and
+//!   returns [`tableau::ReasonerError::Cancelled`].
+//!
+//! The wire protocol is deliberately boring: one request per line
+//! (parser4 syntax for axioms), one JSON reply per line (via
+//! [`jsonio`]), over `std::net::TcpListener` — the workspace vendors
+//! its dependencies, so there is no async runtime. See the README's
+//! "Serving" quickstart for the grammar.
+
+use crate::cache::{lock_mutex, read_lock, write_lock, ShardedMap};
+use crate::horn::HornProgram;
+use crate::incremental::Session;
+use crate::kb4::{Axiom4, KnowledgeBase4};
+use crate::parser4::parse_kb4;
+use dl::axiom::{Axiom, RoleExpr};
+use dl::name::{DataRoleName, IndividualName, RoleName};
+use dl::Concept;
+use fourval::TruthValue;
+use jsonio::Value;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::hash::{BuildHasher, RandomState};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tableau::{Config, QueryEngine, ReasonerError};
+
+/// Shard count for the registry — same rationale as
+/// [`crate::cache::ShardedMap`]: a small power of two.
+const REGISTRY_SHARDS: usize = 16;
+
+/// How long a connection reader sleeps between shutdown-flag polls.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+// ---------------------------------------------------------------------
+// Structural keys + the cross-tenant shared cache
+// ---------------------------------------------------------------------
+
+/// The content address of a module: its classical-image axioms,
+/// serialized and sorted so the key is invariant under axiom order
+/// (reorder invariance of verdicts is property-tested in
+/// `tests/module_parity.rs`; end-to-end sharing parity in
+/// `tests/serve_parity.rs`).
+pub fn structural_key<'a>(images: impl IntoIterator<Item = &'a Axiom>) -> Arc<str> {
+    let mut lines: Vec<String> = images.into_iter().map(|ax| format!("{ax:?}")).collect();
+    lines.sort_unstable();
+    Arc::from(lines.join("\n"))
+}
+
+/// Counter snapshot of a [`SharedModuleCache`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SharedCacheStats {
+    pub engine_hits: u64,
+    pub engine_misses: u64,
+    pub horn_hits: u64,
+    pub horn_misses: u64,
+    pub row_hits: u64,
+    pub row_misses: u64,
+    pub engines: usize,
+    pub horn_programs: usize,
+    pub rows: usize,
+}
+
+impl SharedCacheStats {
+    /// Fraction of shared-cache lookups (all three maps) that hit.
+    pub fn hit_ratio(&self) -> f64 {
+        let hits = self.engine_hits + self.horn_hits + self.row_hits;
+        let total = hits + self.engine_misses + self.horn_misses + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// Cross-tenant cache of per-module reasoning artifacts, content-
+/// addressed by [`structural_key`].
+///
+/// Three maps, all sharded ([`ShardedMap`]):
+///
+/// * `engines` — built [`QueryEngine`]s per module key;
+/// * `horn` — compiled Horn programs (or the memoized "not Horn"
+///   verdict) per module key;
+/// * `rows` — individual query verdicts per `(module key, probe)` pair,
+///   so a repeat question about an identical module asked by a
+///   *different* tenant is answered by a hash lookup.
+///
+/// Engines published here are built with a *neutral* config
+/// ([`SharedModuleCache::build_config`]): the registry's config with
+/// any per-tenant cancellation token stripped, so raising one tenant's
+/// token can never cancel another tenant's query running on a shared
+/// engine. Per-request cancellation uses the thread-local
+/// [`tableau::interrupt`] tokens instead, which work regardless of
+/// which engine the search runs on.
+pub struct SharedModuleCache {
+    build_config: Config,
+    engines: ShardedMap<Arc<str>, Arc<QueryEngine>>,
+    horn: ShardedMap<Arc<str>, Option<Arc<HornProgram>>>,
+    rows: ShardedMap<(Arc<str>, String), bool>,
+}
+
+impl SharedModuleCache {
+    /// A cache whose shared artifacts are built under `config` (with
+    /// module scoping and any cancellation token stripped).
+    pub fn new(config: Config) -> Self {
+        SharedModuleCache {
+            build_config: Config {
+                module_scoping: false,
+                cancel: None,
+                ..config
+            },
+            engines: ShardedMap::new(),
+            horn: ShardedMap::new(),
+            rows: ShardedMap::new(),
+        }
+    }
+
+    /// The neutral config shared engines must be built with.
+    pub fn build_config(&self) -> &Config {
+        &self.build_config
+    }
+
+    /// Look up the engine for a module key.
+    pub fn engine(&self, key: &Arc<str>) -> Option<Arc<QueryEngine>> {
+        self.engines.get(key)
+    }
+
+    /// Publish a (neutral-config) engine for a module key.
+    pub fn publish_engine(&self, key: Arc<str>, engine: Arc<QueryEngine>) {
+        self.engines.insert(key, engine);
+    }
+
+    /// Look up the Horn verdict for a module key. `Some(None)` means
+    /// the module is memoized as *not* Horn.
+    pub fn horn(&self, key: &Arc<str>) -> Option<Option<Arc<HornProgram>>> {
+        self.horn.get(key)
+    }
+
+    /// Publish a module's Horn program (or its non-Horn verdict).
+    pub fn publish_horn(&self, key: Arc<str>, program: Option<Arc<HornProgram>>) {
+        self.horn.insert(key, program);
+    }
+
+    /// Look up a query verdict row.
+    pub fn row(&self, key: &(Arc<str>, String)) -> Option<bool> {
+        self.rows.get(key)
+    }
+
+    /// Publish a query verdict row.
+    pub fn publish_row(&self, key: (Arc<str>, String), verdict: bool) {
+        self.rows.insert(key, verdict);
+    }
+
+    /// Counter snapshot across all three maps.
+    pub fn stats(&self) -> SharedCacheStats {
+        SharedCacheStats {
+            engine_hits: self.engines.hits(),
+            engine_misses: self.engines.misses(),
+            horn_hits: self.horn.hits(),
+            horn_misses: self.horn.misses(),
+            row_hits: self.rows.hits(),
+            row_misses: self.rows.misses(),
+            engines: self.engines.len(),
+            horn_programs: self.horn.len(),
+            rows: self.rows.len(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The sharded tenant registry
+// ---------------------------------------------------------------------
+
+/// Tenant ids mapped to [`Session`]s across `RwLock`-sharded maps, all
+/// sessions wired to one [`SharedModuleCache`].
+pub struct Registry {
+    shards: Vec<RwLock<HashMap<String, Arc<RwLock<Session>>>>>,
+    hasher: RandomState,
+    shared: Arc<SharedModuleCache>,
+    config: Config,
+}
+
+impl Registry {
+    /// An empty registry whose sessions run under `config`.
+    pub fn new(config: Config) -> Self {
+        Registry {
+            shards: (0..REGISTRY_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            hasher: RandomState::new(),
+            shared: Arc::new(SharedModuleCache::new(config.clone())),
+            config,
+        }
+    }
+
+    fn shard(&self, id: &str) -> &RwLock<HashMap<String, Arc<RwLock<Session>>>> {
+        let h = self.hasher.hash_one(id);
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// Register a tenant over `kb`. Returns `false` (keeping the
+    /// existing session) when the id is already taken.
+    pub fn register(&self, id: &str, kb: &KnowledgeBase4) -> bool {
+        let mut shard = write_lock(self.shard(id));
+        if shard.contains_key(id) {
+            return false;
+        }
+        let session = Session::with_shared(kb, self.config.clone(), Arc::clone(&self.shared));
+        shard.insert(id.to_string(), Arc::new(RwLock::new(session)));
+        true
+    }
+
+    /// Drop a tenant. Returns `false` when the id was unknown.
+    pub fn remove(&self, id: &str) -> bool {
+        write_lock(self.shard(id)).remove(id).is_some()
+    }
+
+    /// Is the tenant registered?
+    pub fn contains(&self, id: &str) -> bool {
+        read_lock(self.shard(id)).contains_key(id)
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| read_lock(s).len()).sum()
+    }
+
+    /// True when no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All tenant ids, sorted.
+    pub fn tenant_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| read_lock(s).keys().cloned().collect::<Vec<_>>())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn session(&self, id: &str) -> Option<Arc<RwLock<Session>>> {
+        read_lock(self.shard(id)).get(id).map(Arc::clone)
+    }
+
+    /// Run `f` under the tenant's read lock (query verbs).
+    pub fn read<R>(&self, id: &str, f: impl FnOnce(&Session) -> R) -> Option<R> {
+        let slot = self.session(id)?;
+        let guard = read_lock(&slot);
+        Some(f(&guard))
+    }
+
+    /// Run `f` under the tenant's write lock (mutation verbs).
+    pub fn write<R>(&self, id: &str, f: impl FnOnce(&mut Session) -> R) -> Option<R> {
+        let slot = self.session(id)?;
+        let mut guard = write_lock(&slot);
+        Some(f(&mut guard))
+    }
+
+    /// The cross-tenant shared cache.
+    pub fn shared(&self) -> &SharedModuleCache {
+        &self.shared
+    }
+
+    /// The config every tenant session runs under.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requests, errors, protocol execution
+// ---------------------------------------------------------------------
+
+/// Why a request was rejected or failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Load shedding: the admission queue was full.
+    Overloaded { depth: usize },
+    /// The server is shutting down.
+    ShuttingDown,
+    /// The selected tenant is not registered.
+    UnknownTenant(String),
+    /// No `tenant <id>` was issued on this connection yet.
+    NoTenant,
+    /// The request line failed to parse.
+    Parse(String),
+    /// The reasoner gave up (limits, budget or cancellation).
+    Reasoning(ReasonerError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { depth } => {
+                write!(f, "admission queue full ({depth} requests queued)")
+            }
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::UnknownTenant(id) => write!(f, "unknown tenant {id:?}"),
+            ServeError::NoTenant => write!(f, "no tenant selected (send `tenant <id>` first)"),
+            ServeError::Parse(e) => write!(f, "parse error: {e}"),
+            ServeError::Reasoning(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl ServeError {
+    /// The machine-readable `error` token of the JSON reply.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::ShuttingDown => "shutdown",
+            ServeError::UnknownTenant(_) => "unknown-tenant",
+            ServeError::NoTenant => "no-tenant",
+            ServeError::Parse(_) => "parse",
+            ServeError::Reasoning(ReasonerError::Cancelled) => "cancelled",
+            ServeError::Reasoning(ReasonerError::TimeBudget(_)) => "budget",
+            ServeError::Reasoning(_) => "limit",
+        }
+    }
+
+    /// The JSON reply line for this error.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("ok", false.into()),
+            ("error", self.code().into()),
+            ("detail", self.to_string().into()),
+        ])
+    }
+}
+
+/// One admitted unit of work: a protocol line, the tenant it targets,
+/// and the connection's declared data roles (parser state).
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub tenant: String,
+    pub line: String,
+    pub data_roles: BTreeSet<DataRoleName>,
+}
+
+fn parse_axiom_line(stmt: &str, declared: &BTreeSet<DataRoleName>) -> Result<Axiom4, ServeError> {
+    let mut src = String::new();
+    if !declared.is_empty() {
+        src.push_str("DataRole:");
+        for r in declared {
+            src.push(' ');
+            src.push_str(r.as_ref());
+        }
+        src.push('\n');
+    }
+    src.push_str(stmt);
+    let kb = parse_kb4(&src).map_err(|e| ServeError::Parse(e.to_string()))?;
+    let mut axioms = kb.axioms().to_vec();
+    if axioms.len() != 1 {
+        return Err(ServeError::Parse(format!(
+            "expected exactly one axiom, got {}",
+            axioms.len()
+        )));
+    }
+    Ok(axioms.pop().expect("length checked"))
+}
+
+fn parse_concept_arg(src: &str) -> Result<Concept, ServeError> {
+    // Reuse the KB parser on a throwaway assertion so concept syntax is
+    // exactly parser4's (the CLI takes the same route).
+    let probe = format!("__serve_probe : {src}");
+    let kb = parse_kb4(&probe).map_err(|e| ServeError::Parse(e.to_string()))?;
+    match kb.axioms() {
+        [Axiom4::ConceptAssertion(_, c)] => Ok(c.clone()),
+        _ => Err(ServeError::Parse(format!("not a concept: {src:?}"))),
+    }
+}
+
+/// Short wire token for a four-valued verdict.
+pub fn truth_token(v: TruthValue) -> &'static str {
+    match v {
+        TruthValue::True => "t",
+        TruthValue::False => "f",
+        TruthValue::Both => "both",
+        TruthValue::Neither => "neither",
+    }
+}
+
+fn reasoning(e: ReasonerError) -> ServeError {
+    ServeError::Reasoning(e)
+}
+
+/// Execute one admitted request against the registry. This is the
+/// worker-side half of the protocol — connection-level verbs (`tenant`,
+/// `DataRole:`, `cancel`, `quit`) never reach it.
+pub fn execute(registry: &Registry, req: &Request) -> Result<Value, ServeError> {
+    let (verb, rest) = match req.line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (req.line.as_str(), ""),
+    };
+    let known = |r: Option<Result<Value, ServeError>>| {
+        r.unwrap_or_else(|| Err(ServeError::UnknownTenant(req.tenant.clone())))
+    };
+    match verb {
+        "add" => {
+            let ax = parse_axiom_line(rest, &req.data_roles)?;
+            known(registry.write(&req.tenant, |s| {
+                s.add_axiom(ax.clone())
+                    .map_err(|e| ServeError::Parse(e.to_string()))?;
+                Ok(Value::object([
+                    ("ok", true.into()),
+                    ("axioms", s.len().into()),
+                ]))
+            }))
+        }
+        "retract" => {
+            let ax = parse_axiom_line(rest, &req.data_roles)?;
+            known(registry.write(&req.tenant, |s| {
+                let removed = s
+                    .retract_axiom(&ax)
+                    .map_err(|e| ServeError::Parse(e.to_string()))?;
+                Ok(Value::object([
+                    ("ok", true.into()),
+                    ("removed", removed.into()),
+                    ("axioms", s.len().into()),
+                ]))
+            }))
+        }
+        "query" => {
+            let (ind, concept) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| ServeError::Parse("usage: query <individual> <concept>".into()))?;
+            let c = parse_concept_arg(concept.trim())?;
+            let a = IndividualName::new(ind);
+            known(registry.read(&req.tenant, |s| {
+                let v = s.query(&a, &c).map_err(reasoning)?;
+                Ok(Value::object([
+                    ("ok", true.into()),
+                    ("verdict", truth_token(v).into()),
+                ]))
+            }))
+        }
+        "role" => {
+            let mut parts = rest.split_whitespace();
+            let (Some(r), Some(a), Some(b), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(ServeError::Parse("usage: role <role> <a> <b>".into()));
+            };
+            let (r, a, b) = (
+                RoleName::new(r),
+                IndividualName::new(a),
+                IndividualName::new(b),
+            );
+            known(registry.read(&req.tenant, |s| {
+                let v = s.query_role(&r, &a, &b).map_err(reasoning)?;
+                Ok(Value::object([
+                    ("ok", true.into()),
+                    ("verdict", truth_token(v).into()),
+                ]))
+            }))
+        }
+        "entails" => {
+            let ax = parse_axiom_line(rest, &req.data_roles)?;
+            known(registry.read(&req.tenant, |s| {
+                let holds = s.entails(&ax).map_err(reasoning)?;
+                Ok(Value::object([
+                    ("ok", true.into()),
+                    ("entailed", holds.into()),
+                ]))
+            }))
+        }
+        "check" => known(registry.read(&req.tenant, |s| {
+            let sat = s.is_satisfiable().map_err(reasoning)?;
+            Ok(Value::object([
+                ("ok", true.into()),
+                ("satisfiable", sat.into()),
+            ]))
+        })),
+        "stats" => {
+            let shared = registry.shared().stats();
+            known(registry.read(&req.tenant, |s| {
+                let t = s.stats();
+                let tenant_lookups = t.entailment_cache_hits
+                    + t.entailment_cache_misses
+                    + t.engine_cache_hits
+                    + t.engine_cache_misses;
+                let tenant_hits = t.entailment_cache_hits + t.engine_cache_hits;
+                let ratio = if tenant_lookups == 0 {
+                    0.0
+                } else {
+                    tenant_hits as f64 / tenant_lookups as f64
+                };
+                Ok(Value::object([
+                    ("ok", true.into()),
+                    ("axioms", s.len().into()),
+                    ("cache_hit_ratio", ratio.into()),
+                    ("shared_module_hits", (t.shared_module_hits as i64).into()),
+                    ("shared_row_hits", (t.shared_row_hits as i64).into()),
+                    ("cancelled_searches", (t.cancelled as i64).into()),
+                    ("shared_hit_ratio", shared.hit_ratio().into()),
+                    ("shared_engines", shared.engines.into()),
+                    ("shared_rows", shared.rows.into()),
+                ]))
+            }))
+        }
+        _ => Err(ServeError::Parse(format!("unknown verb {verb:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Admission control: bounded queue + worker pool
+// ---------------------------------------------------------------------
+
+struct Job {
+    id: u64,
+    request: Request,
+    token: Arc<AtomicBool>,
+    reply: mpsc::Sender<Value>,
+    enqueued: Instant,
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// Bounded MPMC job queue: `submit` sheds when full, `pop` blocks until
+/// a job arrives or the queue closes.
+struct Queue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl Queue {
+    fn new(capacity: usize) -> Self {
+        Queue {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn submit(&self, job: Job) -> Result<(), ServeError> {
+        let mut inner = lock_mutex(&self.inner);
+        if inner.closed {
+            return Err(ServeError::ShuttingDown);
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err(ServeError::Overloaded {
+                depth: inner.jobs.len(),
+            });
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut inner = lock_mutex(&self.inner);
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = crate::cache::recover(self.ready.wait(inner));
+        }
+    }
+
+    fn close(&self) {
+        lock_mutex(&self.inner).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Admission/completion counters, all relaxed atomics (monitoring, not
+/// synchronization).
+#[derive(Default)]
+pub struct ServeStats {
+    /// Requests accepted into the queue.
+    pub admitted: AtomicU64,
+    /// Requests rejected because the queue was full.
+    pub shed: AtomicU64,
+    /// Requests that completed with an `ok` reply.
+    pub completed: AtomicU64,
+    /// Requests that ended in a reasoner error (limits or budget).
+    pub failed: AtomicU64,
+    /// Requests revoked by a cancellation token.
+    pub cancelled: AtomicU64,
+    /// Peak queue wait observed, in microseconds.
+    pub peak_queue_wait_us: AtomicU64,
+}
+
+impl ServeStats {
+    /// JSON snapshot (the `stats` protocol verb embeds the registry
+    /// side; this is the server side, exposed on shutdown summaries).
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            (
+                "admitted",
+                (self.admitted.load(Ordering::Relaxed) as i64).into(),
+            ),
+            ("shed", (self.shed.load(Ordering::Relaxed) as i64).into()),
+            (
+                "completed",
+                (self.completed.load(Ordering::Relaxed) as i64).into(),
+            ),
+            (
+                "failed",
+                (self.failed.load(Ordering::Relaxed) as i64).into(),
+            ),
+            (
+                "cancelled",
+                (self.cancelled.load(Ordering::Relaxed) as i64).into(),
+            ),
+            (
+                "peak_queue_wait_us",
+                (self.peak_queue_wait_us.load(Ordering::Relaxed) as i64).into(),
+            ),
+        ])
+    }
+}
+
+/// Worker-pool sizing and queue depth.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads executing admitted requests.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are shed.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 4,
+            queue_depth: 64,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The TCP server
+// ---------------------------------------------------------------------
+
+type Inflight = Mutex<HashMap<u64, (String, Arc<AtomicBool>)>>;
+
+/// A line-protocol TCP server over a [`Registry`].
+///
+/// `bind` spawns the acceptor and worker pool and returns immediately;
+/// [`Server::shutdown`] (or drop) revokes in-flight work, closes the
+/// queue and joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    registry: Arc<Registry>,
+    stats: Arc<ServeStats>,
+    queue: Arc<Queue>,
+    shutdown: Arc<AtomicBool>,
+    inflight: Arc<Inflight>,
+    conns: Arc<AtomicUsize>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start serving `registry`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: Arc<Registry>,
+        opts: ServeOptions,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ServeStats::default());
+        let queue = Arc::new(Queue::new(opts.queue_depth));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let inflight: Arc<Inflight> = Arc::new(Mutex::new(HashMap::new()));
+        let next_id = Arc::new(AtomicU64::new(0));
+        let conns = Arc::new(AtomicUsize::new(0));
+
+        let workers = (0..opts.workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let registry = Arc::clone(&registry);
+                let stats = Arc::clone(&stats);
+                let inflight = Arc::clone(&inflight);
+                std::thread::spawn(move || worker_loop(&queue, &registry, &stats, &inflight))
+            })
+            .collect();
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let queue = Arc::clone(&queue);
+            let stats = Arc::clone(&stats);
+            let registry = Arc::clone(&registry);
+            let inflight = Arc::clone(&inflight);
+            let next_id = Arc::clone(&next_id);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // One request and one reply per round trip:
+                            // Nagle buys nothing and its interaction
+                            // with delayed ACKs costs tens of ms per
+                            // reply, dwarfing the reasoning time.
+                            let _ = stream.set_nodelay(true);
+                            conns.fetch_add(1, Ordering::Relaxed);
+                            let ctx = ConnCtx {
+                                queue: Arc::clone(&queue),
+                                stats: Arc::clone(&stats),
+                                registry: Arc::clone(&registry),
+                                inflight: Arc::clone(&inflight),
+                                next_id: Arc::clone(&next_id),
+                                shutdown: Arc::clone(&shutdown),
+                                conns: Arc::clone(&conns),
+                            };
+                            std::thread::spawn(move || {
+                                let counter = Arc::clone(&ctx.conns);
+                                let _ = handle_conn(stream, &ctx);
+                                counter.fetch_sub(1, Ordering::Relaxed);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL_INTERVAL);
+                        }
+                        Err(_) => std::thread::sleep(POLL_INTERVAL),
+                    }
+                }
+            })
+        };
+
+        Ok(Server {
+            addr,
+            registry,
+            stats,
+            queue,
+            shutdown,
+            inflight,
+            conns,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (the chosen port when binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry this server fronts.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Admission counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Raise the cancellation token of every in-flight request of
+    /// `tenant`; returns how many were revoked. The searches observe
+    /// the token at the next `check_limits` poll and return
+    /// [`ReasonerError::Cancelled`].
+    pub fn cancel_tenant(&self, tenant: &str) -> usize {
+        let inflight = lock_mutex(&self.inflight);
+        let mut revoked = 0;
+        for (t, token) in inflight.values() {
+            if t == tenant {
+                token.store(true, Ordering::Relaxed);
+                revoked += 1;
+            }
+        }
+        revoked
+    }
+
+    /// Stop accepting, revoke all in-flight work, drain the pool and
+    /// join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        for (_, token) in lock_mutex(&self.inflight).values() {
+            token.store(true, Ordering::Relaxed);
+        }
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // Connection readers notice the flag at their next poll; give
+        // them a bounded grace period rather than joining detached
+        // threads.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while self.conns.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+struct ConnCtx {
+    queue: Arc<Queue>,
+    stats: Arc<ServeStats>,
+    registry: Arc<Registry>,
+    inflight: Arc<Inflight>,
+    next_id: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+    conns: Arc<AtomicUsize>,
+}
+
+fn worker_loop(queue: &Queue, registry: &Registry, stats: &ServeStats, inflight: &Inflight) {
+    while let Some(job) = queue.pop() {
+        let wait = job.enqueued.elapsed().as_micros() as u64;
+        stats.peak_queue_wait_us.fetch_max(wait, Ordering::Relaxed);
+        let reply = if job.token.load(Ordering::Relaxed) {
+            // Revoked while still queued: never touch the reasoner.
+            Err(ServeError::Reasoning(ReasonerError::Cancelled))
+        } else {
+            let _guard = tableau::interrupt::install(Arc::clone(&job.token));
+            execute(registry, &job.request)
+        };
+        match &reply {
+            Ok(_) => stats.completed.fetch_add(1, Ordering::Relaxed),
+            Err(ServeError::Reasoning(ReasonerError::Cancelled)) => {
+                stats.cancelled.fetch_add(1, Ordering::Relaxed)
+            }
+            Err(_) => stats.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        lock_mutex(inflight).remove(&job.id);
+        let value = reply.unwrap_or_else(|e| e.to_json());
+        let _ = job.reply.send(value);
+    }
+}
+
+fn write_reply(stream: &mut TcpStream, value: &Value) -> std::io::Result<()> {
+    // One write_all per reply: `writeln!` straight into the socket
+    // would emit the JSON and the terminator as separate segments, and
+    // the client cannot act until the last one lands.
+    stream.write_all(format!("{value}\n").as_bytes())
+}
+
+fn handle_conn(stream: TcpStream, ctx: &ConnCtx) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut tenant: Option<String> = None;
+    let mut data_roles: BTreeSet<DataRoleName> = BTreeSet::new();
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()),                     // client closed
+            Ok(_) if !line.ends_with('\n') => continue, // torn read, keep accumulating
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if ctx.shutdown.load(Ordering::Relaxed) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let raw = std::mem::take(&mut line);
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        // Connection-level verbs execute inline; everything else is
+        // admitted through the bounded queue.
+        if let Some(names) = trimmed.strip_prefix("DataRole:") {
+            data_roles.extend(names.split_whitespace().map(DataRoleName::new));
+            write_reply(&mut writer, &Value::object([("ok", true.into())]))?;
+            continue;
+        }
+        let (verb, rest) = match trimmed.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (trimmed, ""),
+        };
+        match verb {
+            "quit" => {
+                write_reply(&mut writer, &Value::object([("ok", true.into())]))?;
+                return Ok(());
+            }
+            "tenant" => {
+                if rest.is_empty() {
+                    write_reply(
+                        &mut writer,
+                        &ServeError::Parse("usage: tenant <id>".into()).to_json(),
+                    )?;
+                    continue;
+                }
+                let created = ctx.registry.register(rest, &KnowledgeBase4::default());
+                tenant = Some(rest.to_string());
+                write_reply(
+                    &mut writer,
+                    &Value::object([
+                        ("ok", true.into()),
+                        ("tenant", rest.into()),
+                        ("created", created.into()),
+                    ]),
+                )?;
+                continue;
+            }
+            "cancel" => {
+                let target = if rest.is_empty() {
+                    tenant.as_deref()
+                } else {
+                    Some(rest)
+                };
+                let reply = match target {
+                    Some(t) => {
+                        let revoked = cancel_tenant_inflight(&ctx.inflight, t);
+                        Value::object([("ok", true.into()), ("revoked", revoked.into())])
+                    }
+                    None => ServeError::NoTenant.to_json(),
+                };
+                write_reply(&mut writer, &reply)?;
+                continue;
+            }
+            _ => {}
+        }
+        let Some(tenant_id) = tenant.clone() else {
+            write_reply(&mut writer, &ServeError::NoTenant.to_json())?;
+            continue;
+        };
+        let (tx, rx) = mpsc::channel();
+        let id = ctx.next_id.fetch_add(1, Ordering::Relaxed);
+        let token = Arc::new(AtomicBool::new(false));
+        lock_mutex(&ctx.inflight).insert(id, (tenant_id.clone(), Arc::clone(&token)));
+        let job = Job {
+            id,
+            request: Request {
+                tenant: tenant_id,
+                line: trimmed.to_string(),
+                data_roles: data_roles.clone(),
+            },
+            token,
+            reply: tx,
+            enqueued: Instant::now(),
+        };
+        match ctx.queue.submit(job) {
+            Ok(()) => {
+                ctx.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                match rx.recv() {
+                    Ok(value) => write_reply(&mut writer, &value)?,
+                    // Worker pool died mid-request (shutdown drained us).
+                    Err(_) => write_reply(&mut writer, &ServeError::ShuttingDown.to_json())?,
+                }
+            }
+            Err(e) => {
+                lock_mutex(&ctx.inflight).remove(&id);
+                if matches!(e, ServeError::Overloaded { .. }) {
+                    ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
+                }
+                write_reply(&mut writer, &e.to_json())?;
+            }
+        }
+    }
+}
+
+fn cancel_tenant_inflight(inflight: &Inflight, tenant: &str) -> usize {
+    let guard = lock_mutex(inflight);
+    let mut revoked = 0;
+    for (t, token) in guard.values() {
+        if t == tenant {
+            token.store(true, Ordering::Relaxed);
+            revoked += 1;
+        }
+    }
+    revoked
+}
+
+/// A deterministic budget-exhausting KB: an `∃`-doubling tree whose
+/// level-distinct concepts defeat pairwise blocking for `depth` levels,
+/// so a consistency search explores up to `2^depth` nodes and only a
+/// limit, the time budget or a cancellation token stops it. Used by the
+/// hostile-tenant scenarios in `tests/serve_parity.rs` and
+/// `benches/serving_saturation.rs`.
+pub fn hostile_kb(depth: usize) -> KnowledgeBase4 {
+    let mut axioms = Vec::new();
+    let (r, s) = (RoleName::new("hr"), RoleName::new("hs"));
+    for i in 0..depth {
+        let here = Concept::atomic(format!("HL{i}"));
+        let next = Concept::atomic(format!("HL{}", i + 1));
+        // The trailing `≤` restriction is semantically inert (no `hq`
+        // successor ever exists) but makes the axiom *never* `⊤`-local
+        // — number restrictions are conservatively global — so module
+        // scoping cannot drop the tree from any of this tenant's
+        // probes, and its `∃`-heavy shape is rejected by the Horn
+        // classifier. Every query against this tenant therefore really
+        // runs the diverging tableau.
+        let both = Concept::some(RoleExpr::named(r.clone()), next.clone())
+            .and(Concept::some(RoleExpr::named(s.clone()), next))
+            .and(Concept::at_most(3, RoleExpr::named(RoleName::new("hq"))));
+        axioms.push(Axiom4::ConceptInclusion(
+            crate::inclusion::InclusionKind::Internal,
+            here,
+            both,
+        ));
+    }
+    axioms.push(Axiom4::ConceptAssertion(
+        IndividualName::new("hostile"),
+        Concept::atomic("HL0"),
+    ));
+    KnowledgeBase4::from_axioms(axioms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn serving_types_are_shareable() {
+        assert_send_sync::<Registry>();
+        assert_send_sync::<SharedModuleCache>();
+        assert_send_sync::<Session>();
+        assert_send_sync::<ServeStats>();
+    }
+
+    #[test]
+    fn structural_key_is_order_invariant() {
+        let kb = parse_kb4("A SubClassOf B\nB SubClassOf C\nx : A").expect("parse");
+        let fwd: Vec<Axiom> = crate::transform::transform_kb(&kb).axioms().to_vec();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        assert_eq!(structural_key(fwd.iter()), structural_key(rev.iter()));
+        let other = parse_kb4("A SubClassOf B\nx : A").expect("parse");
+        let other: Vec<Axiom> = crate::transform::transform_kb(&other).axioms().to_vec();
+        assert_ne!(structural_key(fwd.iter()), structural_key(other.iter()));
+    }
+
+    fn fleet_registry(tenants: usize) -> Registry {
+        let registry = Registry::new(Config::default());
+        let kb = parse_kb4(
+            "CoreA SubClassOf CoreB
+             CoreB SubClassOf CoreC
+             corex : CoreA
+             corex : not CoreC",
+        )
+        .expect("parse");
+        for t in 0..tenants {
+            assert!(registry.register(&format!("t{t}"), &kb));
+        }
+        registry
+    }
+
+    #[test]
+    fn identical_modules_share_one_cache_entry() {
+        let registry = fleet_registry(4);
+        let a = IndividualName::new("corex");
+        // A compound concept: atomic probes are answered by the told
+        // fast path and would never exercise the module caches.
+        let c = Concept::atomic("CoreA").and(Concept::atomic("CoreC"));
+        let mut verdicts = Vec::new();
+        for t in 0..4 {
+            let v = registry
+                .read(&format!("t{t}"), |s| s.query(&a, &c))
+                .expect("tenant registered")
+                .expect("within limits");
+            verdicts.push(v);
+        }
+        assert!(verdicts.windows(2).all(|w| w[0] == w[1]));
+        let shared = registry.shared().stats();
+        assert!(
+            shared.engine_hits + shared.horn_hits + shared.row_hits >= 3,
+            "later tenants must adopt the first tenant's artifacts: {shared:?}"
+        );
+        // Per-tenant counters tell the same story from the other side.
+        let adopted: u64 = (1..4)
+            .map(|t| {
+                registry
+                    .read(&format!("t{t}"), |s| s.stats())
+                    .expect("registered")
+            })
+            .map(|s| s.shared_module_hits + s.shared_row_hits)
+            .sum();
+        assert!(adopted >= 3, "tenants 1..4 each adopt shared state");
+    }
+
+    #[test]
+    fn mutated_tenant_diverges_from_shared_entries_safely() {
+        let registry = fleet_registry(2);
+        let a = IndividualName::new("corex");
+        let b = Concept::atomic("CoreA").and(Concept::atomic("CoreB"));
+        let before = registry
+            .read("t0", |s| s.query(&a, &b))
+            .expect("registered")
+            .expect("limits");
+        // t1 retracts the membership: its module changes content, hence
+        // key, so t0's shared entries must keep answering unchanged.
+        registry
+            .write("t1", |s| {
+                s.retract_axiom(&Axiom4::ConceptAssertion(
+                    a.clone(),
+                    Concept::atomic("CoreA"),
+                ))
+            })
+            .expect("registered")
+            .expect("in-memory retract");
+        let t1 = registry
+            .read("t1", |s| s.query(&a, &b))
+            .expect("registered")
+            .expect("limits");
+        let t0 = registry
+            .read("t0", |s| s.query(&a, &b))
+            .expect("registered")
+            .expect("limits");
+        assert_eq!(t0, before, "unmutated tenant unaffected by t1's retract");
+        assert_ne!(t1, before, "retract changes t1's verdict");
+    }
+
+    #[test]
+    fn queue_sheds_when_full_and_closes_cleanly() {
+        let q = Queue::new(1);
+        let (tx, _rx) = mpsc::channel();
+        let mk = |id| Job {
+            id,
+            request: Request {
+                tenant: "t".into(),
+                line: "check".into(),
+                data_roles: BTreeSet::new(),
+            },
+            token: Arc::new(AtomicBool::new(false)),
+            reply: tx.clone(),
+            enqueued: Instant::now(),
+        };
+        assert!(q.submit(mk(0)).is_ok());
+        assert!(matches!(
+            q.submit(mk(1)),
+            Err(ServeError::Overloaded { depth: 1 })
+        ));
+        assert!(q.pop().is_some());
+        q.close();
+        assert!(matches!(q.submit(mk(2)), Err(ServeError::ShuttingDown)));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn execute_runs_every_verb() {
+        let registry = Registry::new(Config::default());
+        registry.register("t", &parse_kb4("A SubClassOf B\nx : A").expect("parse"));
+        let req = |line: &str| Request {
+            tenant: "t".into(),
+            line: line.into(),
+            data_roles: BTreeSet::new(),
+        };
+        let v = execute(&registry, &req("query x B")).expect("query");
+        assert_eq!(v.get("verdict").and_then(Value::as_str), Some("t"));
+        let v = execute(&registry, &req("check")).expect("check");
+        assert_eq!(v.get("satisfiable").and_then(Value::as_bool), Some(true));
+        let v = execute(&registry, &req("entails A SubClassOf B")).expect("entails");
+        assert_eq!(v.get("entailed").and_then(Value::as_bool), Some(true));
+        let v = execute(&registry, &req("add y : A")).expect("add");
+        assert_eq!(v.get("axioms").and_then(Value::as_i64), Some(3));
+        let v = execute(&registry, &req("query y B")).expect("query after add");
+        assert_eq!(v.get("verdict").and_then(Value::as_str), Some("t"));
+        let v = execute(&registry, &req("retract y : A")).expect("retract");
+        assert_eq!(v.get("removed").and_then(Value::as_bool), Some(true));
+        let v = execute(&registry, &req("role r x y")).expect("role");
+        assert_eq!(v.get("verdict").and_then(Value::as_str), Some("neither"));
+        let v = execute(&registry, &req("stats")).expect("stats");
+        assert!(v.get("cache_hit_ratio").and_then(Value::as_f64).is_some());
+        assert!(matches!(
+            execute(&registry, &req("frobnicate")),
+            Err(ServeError::Parse(_))
+        ));
+        assert!(matches!(
+            execute(
+                &registry,
+                &Request {
+                    tenant: "nope".into(),
+                    line: "check".into(),
+                    data_roles: BTreeSet::new(),
+                }
+            ),
+            Err(ServeError::UnknownTenant(_))
+        ));
+    }
+
+    #[test]
+    fn server_roundtrip_on_ephemeral_port() {
+        let registry = Arc::new(Registry::new(Config::default()));
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServeOptions::default(),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        let mut ask = |line: &str| -> Value {
+            writeln!(writer, "{line}").expect("send");
+            let mut reply = String::new();
+            reader.read_line(&mut reply).expect("reply");
+            Value::parse(&reply).expect("json reply")
+        };
+        assert_eq!(
+            ask("check").get("error").and_then(Value::as_str),
+            Some("no-tenant")
+        );
+        assert_eq!(
+            ask("tenant demo").get("created").and_then(Value::as_bool),
+            Some(true)
+        );
+        ask("add Penguin SubClassOf Bird");
+        ask("add tweety : Penguin");
+        assert_eq!(
+            ask("query tweety Bird")
+                .get("verdict")
+                .and_then(Value::as_str),
+            Some("t")
+        );
+        assert_eq!(ask("quit").get("ok").and_then(Value::as_bool), Some(true));
+        assert!(server.stats().admitted.load(Ordering::Relaxed) >= 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn cancel_tenant_revokes_a_running_hostile_request() {
+        let config = Config {
+            max_nodes: usize::MAX,
+            max_rule_applications: u64::MAX,
+            time_budget: Some(Duration::from_secs(20)), // backstop only
+            ..Config::default()
+        };
+        let registry = Arc::new(Registry::new(config));
+        registry.register("evil", &hostile_kb(40));
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServeOptions::default(),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        let client = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let mut writer = stream.try_clone().expect("clone");
+            let mut reader = BufReader::new(stream);
+            let mut reply = String::new();
+            writeln!(writer, "tenant evil").expect("send");
+            reader.read_line(&mut reply).expect("tenant reply");
+            reply.clear();
+            let started = Instant::now();
+            writeln!(writer, "check").expect("send");
+            reader.read_line(&mut reply).expect("check reply");
+            (Value::parse(&reply).expect("json"), started.elapsed())
+        });
+        // Let the hostile search start, then revoke it.
+        let mut revoked = 0;
+        for _ in 0..100 {
+            std::thread::sleep(Duration::from_millis(20));
+            revoked = server.cancel_tenant("evil");
+            if revoked > 0 {
+                break;
+            }
+        }
+        assert!(revoked > 0, "the hostile request never became in-flight");
+        let (reply, elapsed) = client.join().expect("client");
+        assert_eq!(
+            reply.get("error").and_then(Value::as_str),
+            Some("cancelled")
+        );
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "cancellation must preempt the 20s budget, took {elapsed:?}"
+        );
+        assert!(server.stats().cancelled.load(Ordering::Relaxed) >= 1);
+        server.shutdown();
+    }
+}

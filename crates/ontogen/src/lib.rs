@@ -17,7 +17,10 @@
 //! * [`modular`] — disjoint axiom islands with planted ground-truth
 //!   partitions and per-island contradictions (the workload for the
 //!   signature-dataflow analysis and module-scoped querying);
-//! * [`queries`] — instance-query workloads over a KB's signature.
+//! * [`queries`] — instance-query workloads over a KB's signature;
+//! * [`tenant`] — multi-tenant fleets with a planted shared "core"
+//!   island (ground truth for cross-tenant cache sharing in the
+//!   serving layer).
 
 pub mod churn;
 pub mod exceptions;
@@ -29,6 +32,7 @@ pub mod modular;
 pub mod queries;
 pub mod random;
 pub mod taxonomy;
+pub mod tenant;
 pub mod university;
 
 pub use inject::{inject_contradictions, Injection};
@@ -38,3 +42,4 @@ pub use modular::{modular_kb4, ModularParams, PlantedPartition};
 pub use queries::instance_queries;
 pub use random::{random_kb, random_kb4, RandomParams};
 pub use taxonomy::{taxonomy_kb, TaxonomyParams};
+pub use tenant::{tenant_fleet, TenantFleet, TenantFleetParams};

@@ -1,0 +1,221 @@
+//! Multi-tenant fleets for the serving-layer benchmarks: many small
+//! KBs, a controllable fraction of which embed an *identical* "core"
+//! island alongside tenant-private islands.
+//!
+//! The core island is the planted ground truth for cross-tenant cache
+//! sharing (`shoin4::serve::SharedModuleCache`): every member tenant
+//! carries axiom-for-axiom the same `Core*` module, so queries over
+//! core concepts must produce structural-key hits once the first
+//! member has built the module's engine. Private islands use a
+//! per-tenant namespace (`T{t}I{j}C{k}`), so they can never collide in
+//! the shared cache — a fleet with `shared_core_rate: 0.0` is the
+//! zero-sharing baseline.
+//!
+//! Axiom order is shuffled per tenant (seeded), which doubles as an
+//! exercise of the structural key's order invariance: members share
+//! cache entries even though their files list the core in different
+//! orders.
+
+use dl::name::{ConceptName, IndividualName, RoleName};
+use dl::Concept;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use shoin4::{Axiom4, InclusionKind, KnowledgeBase4};
+
+/// Knobs for the fleet generator.
+#[derive(Debug, Clone)]
+pub struct TenantFleetParams {
+    /// RNG seed (member selection and per-tenant axiom shuffles).
+    pub seed: u64,
+    /// Number of tenants (`tenant0` … `tenant{n-1}`).
+    pub tenants: usize,
+    /// Fraction of tenants carrying the shared core island; the member
+    /// count is `floor(rate * tenants)`, members chosen by seeded
+    /// shuffle. `0.0` disables sharing, `1.0` makes every tenant a
+    /// member.
+    pub shared_core_rate: f64,
+    /// Subsumption-chain length of the core island.
+    pub core_tbox: usize,
+    /// Assertions in the core island.
+    pub core_abox: usize,
+    /// Tenant-private islands per tenant.
+    pub private_islands: usize,
+    /// Subsumption-chain length per private island.
+    pub island_tbox: usize,
+    /// Assertions per private island.
+    pub island_abox: usize,
+}
+
+impl Default for TenantFleetParams {
+    fn default() -> Self {
+        TenantFleetParams {
+            seed: 0,
+            tenants: 8,
+            shared_core_rate: 0.5,
+            core_tbox: 6,
+            core_abox: 8,
+            private_islands: 2,
+            island_tbox: 4,
+            island_abox: 6,
+        }
+    }
+}
+
+/// A generated fleet plus its sharing ground truth.
+#[derive(Debug, Clone)]
+pub struct TenantFleet {
+    /// `(tenant id, KB)` pairs, id `tenant{i}`.
+    pub tenants: Vec<(String, KnowledgeBase4)>,
+    /// Indices (into `tenants`) of the core members, sorted.
+    pub core_members: Vec<usize>,
+    /// Core-island concepts, chain order (`CoreC0` …).
+    pub core_concepts: Vec<ConceptName>,
+    /// Core-island individuals (`Corex0` …).
+    pub core_individuals: Vec<IndividualName>,
+}
+
+/// One namespaced island: a kind-cycled subsumption chain plus mixed
+/// membership/role assertions, exactly the [`crate::modular`] shape but
+/// under an arbitrary prefix so callers control name collisions.
+fn island(prefix: &str, tbox: usize, abox: usize) -> Vec<Axiom4> {
+    let atom = |j: usize| Concept::atomic(format!("{prefix}C{j}"));
+    let ind = |k: usize| IndividualName::new(format!("{prefix}x{k}"));
+    let role = RoleName::new(format!("{prefix}r"));
+    let mut axioms = Vec::with_capacity(tbox + abox);
+    for j in 0..tbox {
+        let kind = if j % 5 == 4 {
+            InclusionKind::Material
+        } else if j % 3 == 2 {
+            InclusionKind::Strong
+        } else {
+            InclusionKind::Internal
+        };
+        axioms.push(Axiom4::ConceptInclusion(kind, atom(j), atom(j + 1)));
+    }
+    let n_inds = (abox / 2).max(2);
+    for k in 0..abox {
+        let ax = if k % 4 == 3 {
+            Axiom4::RoleAssertion(role.clone(), ind(k % n_inds), ind((k + 1) % n_inds))
+        } else {
+            Axiom4::ConceptAssertion(ind(k % n_inds), atom(k % (tbox + 1)))
+        };
+        axioms.push(ax);
+    }
+    axioms
+}
+
+/// Generate a fleet (deterministic in `params`).
+pub fn tenant_fleet(p: &TenantFleetParams) -> TenantFleet {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let n_members = ((p.shared_core_rate * p.tenants as f64).floor() as usize).min(p.tenants);
+    let mut ids: Vec<usize> = (0..p.tenants).collect();
+    ids.shuffle(&mut rng);
+    let mut core_members: Vec<usize> = ids.into_iter().take(n_members).collect();
+    core_members.sort_unstable();
+
+    let core = island("Core", p.core_tbox, p.core_abox);
+    let mut tenants = Vec::with_capacity(p.tenants);
+    for t in 0..p.tenants {
+        let mut axioms = Vec::new();
+        if core_members.contains(&t) {
+            axioms.extend(core.iter().cloned());
+        }
+        for j in 0..p.private_islands {
+            axioms.extend(island(&format!("T{t}I{j}"), p.island_tbox, p.island_abox));
+        }
+        axioms.shuffle(&mut rng);
+        tenants.push((format!("tenant{t}"), KnowledgeBase4::from_axioms(axioms)));
+    }
+
+    let n_core_inds = (p.core_abox / 2).max(2);
+    TenantFleet {
+        tenants,
+        core_members,
+        core_concepts: (0..=p.core_tbox)
+            .map(|j| ConceptName::new(format!("CoreC{j}")))
+            .collect(),
+        core_individuals: (0..n_core_inds)
+            .map(|k| IndividualName::new(format!("Corex{k}")))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn core_axioms(kb: &KnowledgeBase4) -> BTreeSet<String> {
+        kb.axioms()
+            .iter()
+            .filter(|ax| format!("{ax:?}").contains("Core"))
+            .map(|ax| format!("{ax:?}"))
+            .collect()
+    }
+
+    #[test]
+    fn fleet_is_deterministic_and_member_count_follows_rate() {
+        let p = TenantFleetParams::default();
+        let fleet = tenant_fleet(&p);
+        assert_eq!(fleet.tenants.len(), 8);
+        assert_eq!(fleet.core_members.len(), 4); // floor(0.5 * 8)
+        let again = tenant_fleet(&p);
+        assert_eq!(fleet.core_members, again.core_members);
+        for (a, b) in fleet.tenants.iter().zip(&again.tenants) {
+            assert_eq!(a, b);
+        }
+        let reseeded = tenant_fleet(&TenantFleetParams { seed: 7, ..p });
+        assert_ne!(fleet.core_members, reseeded.core_members);
+    }
+
+    #[test]
+    fn members_share_an_identical_core_and_outsiders_have_none() {
+        let fleet = tenant_fleet(&TenantFleetParams::default());
+        let reference = core_axioms(&fleet.tenants[fleet.core_members[0]].1);
+        assert!(!reference.is_empty());
+        for t in 0..fleet.tenants.len() {
+            let core = core_axioms(&fleet.tenants[t].1);
+            if fleet.core_members.contains(&t) {
+                assert_eq!(core, reference, "tenant {t} diverges from the core");
+            } else {
+                assert!(core.is_empty(), "tenant {t} should have no core axioms");
+            }
+        }
+    }
+
+    #[test]
+    fn private_islands_never_collide_across_tenants() {
+        let fleet = tenant_fleet(&TenantFleetParams::default());
+        let private_sig = |t: usize| {
+            let axioms: Vec<Axiom4> = fleet.tenants[t]
+                .1
+                .axioms()
+                .iter()
+                .filter(|ax| !format!("{ax:?}").contains("Core"))
+                .cloned()
+                .collect();
+            assert!(!axioms.is_empty());
+            KnowledgeBase4::from_axioms(axioms).signature()
+        };
+        let a = private_sig(0);
+        let b = private_sig(1);
+        assert!(a.concepts.intersection(&b.concepts).next().is_none());
+        assert!(a.roles.intersection(&b.roles).next().is_none());
+        assert!(a.individuals.intersection(&b.individuals).next().is_none());
+    }
+
+    #[test]
+    fn rate_extremes_give_empty_and_full_membership() {
+        let none = tenant_fleet(&TenantFleetParams {
+            shared_core_rate: 0.0,
+            ..TenantFleetParams::default()
+        });
+        assert!(none.core_members.is_empty());
+        let all = tenant_fleet(&TenantFleetParams {
+            shared_core_rate: 1.0,
+            ..TenantFleetParams::default()
+        });
+        assert_eq!(all.core_members, (0..8).collect::<Vec<_>>());
+    }
+}

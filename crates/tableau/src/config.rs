@@ -1,6 +1,8 @@
 //! Reasoner configuration and resource-limit errors.
 
 use std::fmt;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Blocking strategies (an ablation axis — see DESIGN.md §5).
@@ -79,6 +81,17 @@ pub struct Config {
     /// that those caps are ineffective in practice; the time budget is
     /// the backstop that guarantees every call returns.
     pub time_budget: Option<Duration>,
+    /// External cancellation token, polled at every [`check_limits`]
+    /// site alongside the deadline. Setting the flag makes every search
+    /// running under this config return [`ReasonerError::Cancelled`]
+    /// promptly — this is how a serving layer revokes a request without
+    /// waiting out the full time budget. Callers that share one engine
+    /// across requests install a *per-request* token with
+    /// [`crate::interrupt::install`] instead, which is checked at the
+    /// same sites.
+    ///
+    /// [`check_limits`]: crate::rules
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for Config {
@@ -94,6 +107,7 @@ impl Default for Config {
             module_scoping: false,
             horn_path: true,
             time_budget: Some(Duration::from_secs(30)),
+            cancel: None,
         }
     }
 }
@@ -108,6 +122,9 @@ pub enum ReasonerError {
     RuleLimit(u64),
     /// The wall-clock budget was exhausted.
     TimeBudget(Duration),
+    /// An external cancellation token ([`Config::cancel`] or a
+    /// thread-local [`crate::interrupt`] token) was raised mid-search.
+    Cancelled,
 }
 
 impl fmt::Display for ReasonerError {
@@ -121,6 +138,9 @@ impl fmt::Display for ReasonerError {
             }
             ReasonerError::TimeBudget(d) => {
                 write!(f, "tableau exceeded its time budget of {d:?}")
+            }
+            ReasonerError::Cancelled => {
+                write!(f, "tableau search cancelled by an external token")
             }
         }
     }
@@ -163,5 +183,26 @@ mod tests {
         assert!(ReasonerError::TimeBudget(Duration::from_secs(1))
             .to_string()
             .contains("time budget"));
+        assert!(ReasonerError::Cancelled.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn cancel_token_is_shared_not_cloned() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let config = Config {
+            cancel: Some(Arc::clone(&flag)),
+            ..Config::default()
+        };
+        let copy = config.clone();
+        flag.store(true, std::sync::atomic::Ordering::Relaxed);
+        // Cloning the config clones the Arc, not the flag: both views
+        // observe the raise.
+        for c in [&config, &copy] {
+            assert!(c
+                .cancel
+                .as_ref()
+                .expect("token present")
+                .load(std::sync::atomic::Ordering::Relaxed));
+        }
     }
 }

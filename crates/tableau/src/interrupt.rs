@@ -1,0 +1,89 @@
+//! Thread-local per-request cancellation tokens.
+//!
+//! [`Config::cancel`](crate::Config::cancel) covers the common case of
+//! one token per engine, but a serving layer shares long-lived engines
+//! (and their baked-in configs) across many requests — a per-request
+//! token cannot travel through a cached `QueryEngine`. Searches always
+//! run synchronously on the thread that asked, so the request worker
+//! instead [`install`]s its token here before touching the reasoner;
+//! `check_limits` polls the installed token at the same sites as the
+//! deadline and the config flag, and the returned [`InterruptGuard`]
+//! uninstalls on drop (panic-safe, nesting-safe).
+//!
+//! Scope: strictly the installing thread. Work fanned out to helper
+//! threads (e.g. `Reasoner4::query_batch` workers) does not inherit the
+//! token — a serving layer must run one request on one worker thread,
+//! which is exactly what `shoin4::serve` does.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+thread_local! {
+    /// Stack of installed tokens; a raise on *any* of them interrupts.
+    static TOKENS: RefCell<Vec<Arc<AtomicBool>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Install `token` for the current thread until the guard drops.
+#[must_use = "dropping the guard uninstalls the token"]
+pub fn install(token: Arc<AtomicBool>) -> InterruptGuard {
+    TOKENS.with(|t| t.borrow_mut().push(token));
+    InterruptGuard { _priv: () }
+}
+
+/// True when any token installed on this thread has been raised.
+pub fn interrupted() -> bool {
+    TOKENS.with(|t| t.borrow().iter().any(|flag| flag.load(Ordering::Relaxed)))
+}
+
+/// Uninstalls the matching [`install`]ed token on drop.
+pub struct InterruptGuard {
+    _priv: (),
+}
+
+impl Drop for InterruptGuard {
+    fn drop(&mut self) {
+        TOKENS.with(|t| {
+            t.borrow_mut().pop();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_raise_and_uninstall() {
+        assert!(!interrupted());
+        let token = Arc::new(AtomicBool::new(false));
+        let guard = install(Arc::clone(&token));
+        assert!(!interrupted());
+        token.store(true, Ordering::Relaxed);
+        assert!(interrupted());
+        drop(guard);
+        assert!(!interrupted());
+    }
+
+    #[test]
+    fn nested_tokens_any_raise_interrupts() {
+        let outer = Arc::new(AtomicBool::new(false));
+        let inner = Arc::new(AtomicBool::new(false));
+        let _outer_guard = install(Arc::clone(&outer));
+        {
+            let _inner_guard = install(Arc::clone(&inner));
+            outer.store(true, Ordering::Relaxed);
+            assert!(interrupted(), "outer raise visible under nesting");
+        }
+        assert!(interrupted(), "outer token survives inner guard drop");
+    }
+
+    #[test]
+    fn tokens_are_thread_local() {
+        let token = Arc::new(AtomicBool::new(true));
+        let _guard = install(Arc::clone(&token));
+        assert!(interrupted());
+        let other = std::thread::spawn(interrupted).join().expect("no panic");
+        assert!(!other, "other threads do not see this thread's token");
+    }
+}

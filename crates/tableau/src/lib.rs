@@ -43,6 +43,7 @@ pub mod config;
 pub mod datatype_oracle;
 pub mod engine;
 pub mod graph;
+pub mod interrupt;
 pub mod model;
 pub mod node;
 pub mod reasoner;

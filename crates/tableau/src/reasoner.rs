@@ -561,4 +561,76 @@ mod tests {
         assert!(r.is_consistent().is_err());
         assert!(r.is_consistent().is_err());
     }
+
+    #[test]
+    fn pre_raised_config_token_cancels_before_searching() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let kb = parse_kb(
+            "Person SubClassOf hasParent some Person
+             p : Person",
+        )
+        .unwrap();
+        let flag = Arc::new(AtomicBool::new(false));
+        flag.store(true, Ordering::Relaxed);
+        let mut r = Reasoner::with_config(
+            &kb,
+            Config {
+                cancel: Some(flag),
+                ..Config::default()
+            },
+        );
+        assert!(matches!(r.is_consistent(), Err(ReasonerError::Cancelled)));
+        assert!(
+            r.stats().cancelled >= 1,
+            "cancellation must be counted even though the search errored"
+        );
+        // Like the resource limits, cancellation is not an answer and
+        // must never be cached as one.
+        assert!(matches!(r.is_consistent(), Err(ReasonerError::Cancelled)));
+    }
+
+    #[test]
+    fn thread_local_token_cancels_a_running_search() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        // An unbounded ∃-chain with level-distinct concepts defeats
+        // pairwise blocking long enough that only an external signal (or
+        // a limit) stops the search. Give the search no other way out
+        // within the test's patience and raise the token from a second
+        // thread.
+        let mut src = String::new();
+        for i in 0..64 {
+            src.push_str(&format!("L{i} SubClassOf r some L{}\n", i + 1));
+            src.push_str(&format!("L{i} SubClassOf s some L{}\n", i + 1));
+        }
+        src.push_str("h : L0\n");
+        let kb = parse_kb(&src).unwrap();
+        let token = Arc::new(AtomicBool::new(false));
+        let raiser = {
+            let token = Arc::clone(&token);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                token.store(true, Ordering::Relaxed);
+            })
+        };
+        let _guard = crate::interrupt::install(Arc::clone(&token));
+        let started = std::time::Instant::now();
+        let mut r = Reasoner::with_config(
+            &kb,
+            Config {
+                max_nodes: usize::MAX,
+                max_rule_applications: u64::MAX,
+                time_budget: Some(std::time::Duration::from_secs(30)),
+                ..Config::default()
+            },
+        );
+        let verdict = r.is_consistent();
+        raiser.join().expect("raiser thread");
+        assert!(matches!(verdict, Err(ReasonerError::Cancelled)));
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(10),
+            "cancellation must preempt the 30s budget"
+        );
+    }
 }

@@ -328,6 +328,16 @@ impl<'a> Search<'a> {
                 return Err(ReasonerError::TimeBudget(budget));
             }
         }
+        let config_cancel = self
+            .ctx
+            .config
+            .cancel
+            .as_ref()
+            .is_some_and(|flag| flag.load(std::sync::atomic::Ordering::Relaxed));
+        if config_cancel || crate::interrupt::interrupted() {
+            self.stats.cancelled += 1;
+            return Err(ReasonerError::Cancelled);
+        }
         Ok(())
     }
 

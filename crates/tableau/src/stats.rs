@@ -79,6 +79,21 @@ pub struct Stats {
     /// Told-index rows (memoized membership closures / subsumer sets /
     /// seed lists) dropped by incremental maintenance.
     pub invalidated_told_rows: u64,
+    /// Searches aborted by an external cancellation token
+    /// ([`crate::Config::cancel`] or [`crate::interrupt`]).
+    pub cancelled: u64,
+    /// Per-module engines/Horn programs adopted from a cross-tenant
+    /// shared cache instead of being built locally (serving layer).
+    pub shared_module_hits: u64,
+    /// Per-module engines/Horn programs this session built and
+    /// published to a cross-tenant shared cache.
+    pub shared_module_misses: u64,
+    /// Query verdicts answered from the cross-tenant shared row cache
+    /// (content-addressed by the module's structural key).
+    pub shared_row_hits: u64,
+    /// Query verdicts computed locally and published to the shared row
+    /// cache.
+    pub shared_row_misses: u64,
 }
 
 impl Stats {
@@ -116,6 +131,11 @@ impl Stats {
         self.invalidated_modules += other.invalidated_modules;
         self.invalidated_entailments += other.invalidated_entailments;
         self.invalidated_told_rows += other.invalidated_told_rows;
+        self.cancelled += other.cancelled;
+        self.shared_module_hits += other.shared_module_hits;
+        self.shared_module_misses += other.shared_module_misses;
+        self.shared_row_hits += other.shared_row_hits;
+        self.shared_row_misses += other.shared_row_misses;
         for (mine, theirs) in self
             .clashes_by_kind
             .iter_mut()
@@ -172,6 +192,11 @@ mod tests {
             invalidated_modules: 18,
             invalidated_entailments: 19,
             invalidated_told_rows: 20,
+            cancelled: 21,
+            shared_module_hits: 22,
+            shared_module_misses: 23,
+            shared_row_hits: 24,
+            shared_row_misses: 25,
             ..Stats::default()
         };
         a.absorb(&b);
@@ -193,6 +218,11 @@ mod tests {
         assert_eq!(a.invalidated_modules, 18);
         assert_eq!(a.invalidated_entailments, 19);
         assert_eq!(a.invalidated_told_rows, 20);
+        assert_eq!(a.cancelled, 21);
+        assert_eq!(a.shared_module_hits, 22);
+        assert_eq!(a.shared_module_misses, 23);
+        assert_eq!(a.shared_row_hits, 24);
+        assert_eq!(a.shared_row_misses, 25);
         assert_eq!(a.peak_graph_size, 5);
         assert_eq!(a.graph_clones, 16);
         assert_eq!(a.backjumps, 17);
