@@ -148,6 +148,7 @@ fn saturation_sweep(sizes: &[usize], rows: &mut Vec<bench::ExperimentRow>) {
             ServeOptions {
                 workers: 4,
                 queue_depth: 256,
+                lanes: None,
             },
         )
         .expect("bind");
@@ -185,6 +186,7 @@ fn shedding_phase(rows: &mut Vec<bench::ExperimentRow>) {
         ServeOptions {
             workers: 1,
             queue_depth: 1,
+            lanes: None,
         },
     )
     .expect("bind");
@@ -237,6 +239,7 @@ fn hostile_isolation(rows: &mut Vec<bench::ExperimentRow>) {
         ServeOptions {
             workers: 2,
             queue_depth: 64,
+            lanes: None,
         },
     )
     .expect("bind");

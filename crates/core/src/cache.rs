@@ -245,6 +245,46 @@ mod tests {
         }
     }
 
+    /// Scripted-interleaving check for the per-shard locking. The CI
+    /// miri job runs every test whose name contains `interleave`, so
+    /// the round count scales down under the interpreter; natively the
+    /// rounds sweep enough schedules that a torn read, a lost insert or
+    /// a retain racing a writer would violate the per-round invariant.
+    #[test]
+    fn interleaved_insert_get_retain_rounds_hold_their_invariant() {
+        const ROUNDS: u32 = if cfg!(miri) { 8 } else { 300 };
+        let m: Arc<ShardedMap<u32, u32>> = Arc::new(ShardedMap::new());
+        for round in 0..ROUNDS {
+            // Each round uses a fresh key; both writers race to insert
+            // the SAME value, the reader may observe the key before or
+            // after, and the sweeper evicts every older round's key.
+            let key = round;
+            let value = round * 2;
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    let w = Arc::clone(&m);
+                    scope.spawn(move || w.insert(key, value));
+                }
+                let r = Arc::clone(&m);
+                scope.spawn(move || {
+                    // Either the key is not yet visible or it already
+                    // holds this round's value — never a stale one.
+                    if let Some(v) = r.get(&key) {
+                        assert_eq!(v, value, "round {round} read a torn/stale value");
+                    }
+                });
+                let sweeper = Arc::clone(&m);
+                scope.spawn(move || {
+                    sweeper.retain(|&k, _| k == key);
+                });
+            });
+            // All four critical sections joined: whatever the order,
+            // the round's insert must have survived or been the only
+            // eviction candidate the sweeper could NOT take.
+            assert_eq!(m.get(&key), Some(value), "round {round} lost its insert");
+        }
+    }
+
     #[test]
     fn stress_concurrent_session_readers_and_writers() {
         // The serving layer's contract: a `RwLock<Session>` (one

@@ -1,0 +1,567 @@
+//! Static hardness analysis: fragment stratification and search-cost
+//! prediction over the classical images of a module (or a whole KB,
+//! module by module).
+//!
+//! The paper's reduction (Definitions 5–7) makes a query's true cost a
+//! function of *static* structure: which fragment the scoped module's
+//! classical image lands in, and how much disjunctive or existential
+//! branching it can force once the tableau runs. This module turns that
+//! observation into a compile-time answer three consumers share —
+//! `ontolint` Family E (OL401–OL404), the `shoin4 analyze` subcommand,
+//! and the serving layer's cost-aware admission lanes.
+//!
+//! # Stratification
+//!
+//! [`analyze_images`] splits a module's classical images into
+//!
+//! * the **Horn core** — images accepted axiom-by-axiom by the *same*
+//!   classifier the router uses ([`crate::horn::accepts`]), i.e. the
+//!   axioms a saturator could keep;
+//! * the **disjunctive residue** — images the Horn compiler rejects
+//!   (`¬` in a body, `⊥`, nominals, counting, datatypes, equality …),
+//!   each of which forces the module as a whole onto the tableau; and
+//! * the **existential-expansion skeleton** — a graph over concept
+//!   names approximating how `∃`-successors chain during expansion,
+//!   from which we bound chain depth and detect cycles (the shapes that
+//!   make the tableau lean on blocking).
+//!
+//! This closes ROADMAP item 3's leftover at the analysis level: PR 5's
+//! router gives up on a module the moment one non-Horn axiom appears;
+//! the stratifier identifies exactly *which* axioms those are.
+//!
+//! # The cost vector and score
+//!
+//! Per module, [`CostVector`] records: image/core/residue counts, the
+//! branch-point count (polarity-aware: `⊔` positive, `⊓` under `¬`,
+//! `≤n`, `≥n (n ≥ 2)` under negation, multi-nominals), the ∃-chain
+//! depth bound (`None` = cycle = blocking risk), and the predicted
+//! clause count of the Horn core. The scalar [`score`] is
+//!
+//! ```text
+//! score = 4·branch_points + 4·residue + depth_term + ½·log₂(1 + clauses)
+//! ```
+//!
+//! with `depth_term = exists_depth` when bounded and the flat
+//! [`UNBOUNDED_DEPTH_PENALTY`] when the skeleton is cyclic. The weights
+//! are calibrated, not vibes: the rank-correlation suite
+//! (`hardness_calibration.rs`) asserts that ordering modules by this
+//! score agrees with ordering them by measured tableau effort
+//! (`Stats::branch_depth_peak`, `Stats::rule_applications`) across
+//! ontogen corpora spanning Horn, disjunctive and ∃-heavy shapes.
+//! Branching dominates because each branch point multiplies the search
+//! frontier; residue axioms each disable the saturation short-cut for
+//! some goal cone; depth contributes linearly (expansion is linear in
+//! chain length until a cycle forces blocking, which is why a cycle
+//! jumps to a flat penalty); the clause term is a tie-breaker so bigger
+//! Horn modules rank above trivial ones without ever outweighing a
+//! single branch point.
+//!
+//! The skeleton is an *over-approximation* (it treats `¬` and `∀`
+//! transparently and ignores which successors actually materialize), so
+//! the score is an upper-bound-flavoured heuristic — fine for ranking
+//! and lane placement, never consulted for verdicts.
+//!
+//! Everything here is a pure function of the image *multiset*: scores
+//! are invariant under axiom reorder and equal for a module whether it
+//! is analyzed in situ or extracted first (the invariance proptests pin
+//! both laws).
+
+use crate::dataflow::ModuleExtractor;
+use crate::horn;
+use crate::kb4::KnowledgeBase4;
+use dl::axiom::Axiom;
+use dl::Concept;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Flat depth term charged when the ∃-skeleton has a cycle: the static
+/// analogue of "this module will exercise blocking", which costs more
+/// than any bounded chain we generate in practice.
+pub const UNBOUNDED_DEPTH_PENALTY: f64 = 64.0;
+
+/// Default score threshold splitting cheap from heavy: a module with no
+/// residue and no cycles stays below it until its Horn core grows past
+/// ~65k clauses, while a single branch point plus a couple of residue
+/// axioms (the smallest genuinely disjunctive module) lands above.
+pub const DEFAULT_HEAVY_THRESHOLD: f64 = 8.0;
+
+/// The per-module static cost vector (see the module docs for the
+/// semantics of each component).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostVector {
+    /// Classical images analyzed.
+    pub images: usize,
+    /// Images accepted by the Horn classifier ([`horn::accepts`]).
+    pub horn_core: usize,
+    /// Images rejected — each forces the tableau for the whole module.
+    pub residue: usize,
+    /// Polarity-aware disjunction/merging points across all images.
+    pub branch_points: u64,
+    /// Longest ∃-expansion chain in the skeleton; `None` = cycle
+    /// (unbounded expansion, blocking risk).
+    pub exists_depth: Option<u32>,
+    /// Clause count of the compiled Horn core (rules + base facts).
+    pub predicted_clauses: u64,
+}
+
+impl CostVector {
+    /// Residue images as a fraction of all images (0.0 for an empty
+    /// module).
+    pub fn residue_fraction(&self) -> f64 {
+        if self.images == 0 {
+            0.0
+        } else {
+            self.residue as f64 / self.images as f64
+        }
+    }
+}
+
+/// A stratified module: the cost vector plus its scalar score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardnessReport {
+    /// The static cost vector.
+    pub cost: CostVector,
+    /// `score(&cost)`, precomputed.
+    pub score: f64,
+}
+
+/// The documented scoring formula (see the module docs for the
+/// calibration rationale behind each weight).
+pub fn score(cost: &CostVector) -> f64 {
+    let depth_term = match cost.exists_depth {
+        Some(d) => d as f64,
+        None => UNBOUNDED_DEPTH_PENALTY,
+    };
+    4.0 * cost.branch_points as f64
+        + 4.0 * cost.residue as f64
+        + depth_term
+        + 0.5 * (1.0 + cost.predicted_clauses as f64).log2()
+}
+
+/// Analyze one module given as its classical images. Pure in the image
+/// multiset: reordering the input never changes the result.
+pub fn analyze_images<'a>(images: impl IntoIterator<Item = &'a Axiom>) -> HardnessReport {
+    let mut cost = CostVector::default();
+    let mut core: Vec<&Axiom> = Vec::new();
+    let mut skeleton = Skeleton::default();
+    for ax in images {
+        cost.images += 1;
+        if horn::accepts(ax) {
+            cost.horn_core += 1;
+            core.push(ax);
+        } else {
+            cost.residue += 1;
+        }
+        cost.branch_points += axiom_branch_points(ax);
+        skeleton.add_axiom(ax);
+    }
+    // Acceptance is axiom-local, so compiling the accepted subset always
+    // succeeds; the count is order-invariant because auxiliary
+    // predicates are memoized per concept, not per occurrence.
+    cost.predicted_clauses = horn::compile(core.iter().copied())
+        .map(|p| p.clause_count())
+        .unwrap_or(0);
+    cost.exists_depth = skeleton.depth_bound();
+    let score = score(&cost);
+    HardnessReport { cost, score }
+}
+
+/// One module of a KB-level analysis: which KB axioms it covers, which
+/// of them contribute residue images, and the stratified report.
+#[derive(Debug, Clone)]
+pub struct ModuleHardness {
+    /// KB axiom indices in this module (one dependency component),
+    /// sorted.
+    pub axioms: Vec<usize>,
+    /// The subset of `axioms` with at least one rejected image — the
+    /// axioms whose retraction would hand the module back to the Horn
+    /// path, sorted.
+    pub residue_axioms: Vec<usize>,
+    /// The stratified cost report over the module's images.
+    pub report: HardnessReport,
+}
+
+/// The whole-KB analysis: one [`ModuleHardness`] per signature-dataflow
+/// component, in component order (which is itself deterministic in the
+/// KB).
+#[derive(Debug, Clone)]
+pub struct KbHardness {
+    /// Per-module reports.
+    pub modules: Vec<ModuleHardness>,
+}
+
+impl KbHardness {
+    /// The hardest module's score (0.0 for an empty KB).
+    pub fn max_score(&self) -> f64 {
+        self.modules
+            .iter()
+            .map(|m| m.report.score)
+            .fold(0.0, f64::max)
+    }
+
+    /// Modules at or above `threshold`.
+    pub fn heavy_modules(&self, threshold: f64) -> usize {
+        self.modules
+            .iter()
+            .filter(|m| m.report.score >= threshold)
+            .count()
+    }
+}
+
+/// Analyze every module of a KB: decompose along the signature
+/// dependency graph (the same components `shoin4 modules` reports),
+/// then stratify each component's image set.
+pub fn analyze_kb(kb: &KnowledgeBase4) -> KbHardness {
+    let extractor = ModuleExtractor::new(kb);
+    let components = extractor.graph().components();
+    let modules = components
+        .iter()
+        .map(|component| {
+            let mut axioms: Vec<usize> = component.clone();
+            axioms.sort_unstable();
+            let report = analyze_images(axioms.iter().flat_map(|&i| extractor.images(i).iter()));
+            let residue_axioms = axioms
+                .iter()
+                .copied()
+                .filter(|&i| extractor.images(i).iter().any(|im| !horn::accepts(im)))
+                .collect();
+            ModuleHardness {
+                axioms,
+                residue_axioms,
+                report,
+            }
+        })
+        .collect();
+    KbHardness { modules }
+}
+
+/// Branch points contributed by one image axiom. An inclusion's left
+/// side is internalized under negation (`L ⊑ R` ≈ `¬L ⊔ R`), so it is
+/// walked with flipped polarity.
+fn axiom_branch_points(ax: &Axiom) -> u64 {
+    match ax {
+        Axiom::ConceptInclusion(l, r) => {
+            concept_branch_points(l, true) + concept_branch_points(r, false)
+        }
+        Axiom::ConceptAssertion(_, c) => concept_branch_points(c, false),
+        // Role-level and individual-level axioms never open branches by
+        // themselves (equality merging is handled where it is asserted,
+        // not counted as search branching).
+        _ => 0,
+    }
+}
+
+/// Polarity-aware branch counting: a constructor counts when, under the
+/// given negation parity, its tableau rule is disjunctive (`⊔`), a
+/// choice point (`≤n` merging), or a nominal merge.
+fn concept_branch_points(c: &Concept, negated: bool) -> u64 {
+    match c {
+        Concept::Or(l, r) => {
+            u64::from(!negated)
+                + concept_branch_points(l, negated)
+                + concept_branch_points(r, negated)
+        }
+        Concept::And(l, r) => {
+            u64::from(negated)
+                + concept_branch_points(l, negated)
+                + concept_branch_points(r, negated)
+        }
+        Concept::Not(inner) => concept_branch_points(inner, !negated),
+        // ∃ flips to ∀ under negation and vice versa; either way the
+        // filler keeps the parity (¬∃R.C = ∀R.¬C pushes ¬ inward).
+        Concept::Some(_, f) | Concept::All(_, f) => concept_branch_points(f, negated),
+        // ≤n chooses which successors to merge; ¬(≥n) = ≤(n−1) does so
+        // when n ≥ 2. Positive ≥n just creates successors: no choice.
+        Concept::AtMost(..) => u64::from(!negated),
+        Concept::AtLeast(n, _) => u64::from(negated && *n >= 2),
+        // A multi-nominal is a disjunction over its members.
+        Concept::OneOf(os) => u64::from(os.len() >= 2),
+        Concept::Top
+        | Concept::Bottom
+        | Concept::Atomic(_)
+        | Concept::DataSome(..)
+        | Concept::DataAll(..)
+        | Concept::DataAtLeast(..)
+        | Concept::DataAtMost(..) => 0,
+    }
+}
+
+/// A node of the ∃-expansion skeleton: an atomic concept name, or an
+/// anonymous node standing for a filler with no atoms at its own level
+/// (keyed by the concept itself so the skeleton stays order-invariant).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum SkelNode {
+    Atom(dl::name::ConceptName),
+    Anon(Concept),
+}
+
+/// The ∃-expansion skeleton: directed edges "a node labelled X can
+/// force a successor labelled Y". Built conservatively — `¬` and `∀`
+/// fillers are walked transparently, so every chain the tableau could
+/// build is covered (plus some it can't).
+#[derive(Debug, Default)]
+struct Skeleton {
+    edges: BTreeMap<SkelNode, BTreeSet<SkelNode>>,
+}
+
+impl Skeleton {
+    fn add_axiom(&mut self, ax: &Axiom) {
+        match ax {
+            Axiom::ConceptInclusion(l, r) => {
+                let srcs = level_nodes(l);
+                self.walk(&srcs, l);
+                self.walk(&srcs, r);
+            }
+            Axiom::ConceptAssertion(_, c) => {
+                let srcs = level_nodes(c);
+                self.walk(&srcs, c);
+            }
+            _ => {}
+        }
+    }
+
+    /// Walk a concept in successor-generating position: each `∃R.F`
+    /// adds edges from every source label to `F`'s own-level labels,
+    /// then recurses with those labels as the new sources, so nested
+    /// existentials chain.
+    fn walk(&mut self, srcs: &BTreeSet<SkelNode>, c: &Concept) {
+        match c {
+            Concept::And(l, r) | Concept::Or(l, r) => {
+                self.walk(srcs, l);
+                self.walk(srcs, r);
+            }
+            Concept::Not(inner) => self.walk(srcs, inner),
+            Concept::Some(_, filler) => {
+                let dsts = level_nodes(filler);
+                for s in srcs {
+                    for d in &dsts {
+                        self.edges.entry(s.clone()).or_default().insert(d.clone());
+                    }
+                }
+                self.walk(&dsts, filler);
+            }
+            // ∀R.F never creates the successor, but it labels whatever
+            // successor some other axiom creates — so its filler chains
+            // from the same sources (the conservative choice that makes
+            // `A ⊑ ∃r.⊤ ⊓ ∀r.A` come out cyclic, which it is).
+            Concept::All(_, filler) => {
+                let dsts = level_nodes(filler);
+                for s in srcs {
+                    for d in &dsts {
+                        self.edges.entry(s.clone()).or_default().insert(d.clone());
+                    }
+                }
+                self.walk(&dsts, filler);
+            }
+            // Unqualified ≥n creates unlabelled successors: the chain
+            // ends there (range axioms that relabel them are walked on
+            // their own and merge through the shared anon nodes).
+            _ => {}
+        }
+    }
+
+    /// Longest path in the skeleton (edge count), or `None` when a
+    /// cycle makes expansion depth unbounded.
+    fn depth_bound(&self) -> Option<u32> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            InProgress,
+            Done(u32),
+        }
+        fn dfs(
+            node: &SkelNode,
+            edges: &BTreeMap<SkelNode, BTreeSet<SkelNode>>,
+            state: &mut BTreeMap<SkelNode, Color>,
+        ) -> Option<u32> {
+            match state.get(node) {
+                Some(Color::InProgress) => return None, // cycle
+                Some(Color::Done(d)) => return Some(*d),
+                None => {}
+            }
+            state.insert(node.clone(), Color::InProgress);
+            let mut best = 0u32;
+            if let Some(succs) = edges.get(node) {
+                for succ in succs {
+                    let d = dfs(succ, edges, state)?;
+                    best = best.max(d + 1);
+                }
+            }
+            state.insert(node.clone(), Color::Done(best));
+            Some(best)
+        }
+        let mut state = BTreeMap::new();
+        let mut best = 0u32;
+        for node in self.edges.keys() {
+            best = best.max(dfs(node, &self.edges, &mut state)?);
+        }
+        Some(best)
+    }
+}
+
+/// The labels a concept contributes *at its own level*: atomic names
+/// reachable without crossing a role restriction. A concept with none
+/// (e.g. `∃r.⊤` itself, or bare `⊤`) is represented by an anonymous
+/// node keyed by its structure, so chains through unnamed intermediates
+/// still connect.
+fn level_nodes(c: &Concept) -> BTreeSet<SkelNode> {
+    let mut out = BTreeSet::new();
+    collect_level_atoms(c, &mut out);
+    if out.is_empty() {
+        out.insert(SkelNode::Anon(c.clone()));
+    }
+    out
+}
+
+fn collect_level_atoms(c: &Concept, out: &mut BTreeSet<SkelNode>) {
+    match c {
+        Concept::Atomic(name) => {
+            out.insert(SkelNode::Atom(name.clone()));
+        }
+        Concept::And(l, r) | Concept::Or(l, r) => {
+            collect_level_atoms(l, out);
+            collect_level_atoms(r, out);
+        }
+        Concept::Not(inner) => collect_level_atoms(inner, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser4::parse_kb4;
+
+    fn kb(src: &str) -> KnowledgeBase4 {
+        parse_kb4(src).expect("parse")
+    }
+
+    /// The full classical image list of a KB, for image-level analysis.
+    fn images(kb: &KnowledgeBase4) -> Vec<Axiom> {
+        let ex = ModuleExtractor::new(kb);
+        (0..kb.len()).flat_map(|i| ex.images(i).to_vec()).collect()
+    }
+
+    #[test]
+    fn horn_chain_is_all_core_and_cheap() {
+        let kb = kb("A SubClassOf B\nB SubClassOf C\nx : A");
+        let imgs = images(&kb);
+        let r = analyze_images(imgs.iter());
+        assert_eq!(r.cost.residue, 0);
+        assert_eq!(r.cost.horn_core, r.cost.images);
+        assert_eq!(r.cost.branch_points, 0);
+        assert_eq!(r.cost.exists_depth, Some(0));
+        assert!(r.cost.predicted_clauses > 0);
+        assert!(r.score < DEFAULT_HEAVY_THRESHOLD, "score {}", r.score);
+    }
+
+    #[test]
+    fn disjunction_raises_branch_points_and_score() {
+        let kb = kb("A SubClassOf B or C\nx : A");
+        let r = analyze_images(images(&kb).iter());
+        assert!(r.cost.residue > 0, "disjunctive heads leave the fragment");
+        assert!(r.cost.branch_points >= 1, "{:?}", r.cost);
+        assert!(r.score >= DEFAULT_HEAVY_THRESHOLD, "score {}", r.score);
+    }
+
+    #[test]
+    fn material_inclusions_are_residue() {
+        // Material images carry `¬` in the body: rejected by the Horn
+        // classifier, so they are residue with a negated-⊓ branch point.
+        let kb = kb("A MaterialSubClassOf B\nx : A");
+        let r = analyze_images(images(&kb).iter());
+        assert!(r.cost.residue > 0);
+        assert!(r.cost.horn_core > 0, "the assertion's images stay core");
+    }
+
+    #[test]
+    fn exists_chains_measure_depth() {
+        let kb = kb("A SubClassOf r some B\nB SubClassOf s some C\nx : A");
+        let r = analyze_images(images(&kb).iter());
+        // A → B → C: two chained expansions (per polarity the skeleton
+        // merges on the shared split names, keeping the bound at 2).
+        assert_eq!(r.cost.exists_depth, Some(2), "{:?}", r.cost);
+    }
+
+    #[test]
+    fn exists_cycles_are_flagged_unbounded() {
+        let cyclic = kb("A SubClassOf r some A\nx : A");
+        let r = analyze_images(images(&cyclic).iter());
+        assert_eq!(r.cost.exists_depth, None);
+        assert!(r.score >= UNBOUNDED_DEPTH_PENALTY);
+        // The ∀-filler variant of the loop is cyclic too.
+        let kb2 = kb("A SubClassOf r some Thing\nA SubClassOf r only A\nx : A");
+        let r2 = analyze_images(images(&kb2).iter());
+        assert_eq!(r2.cost.exists_depth, None, "{:?}", r2.cost);
+    }
+
+    #[test]
+    fn score_is_order_invariant() {
+        let kb1 = kb("A SubClassOf B or C\nB SubClassOf r some D\nx : A\ny : B");
+        let imgs = images(&kb1);
+        let forward = analyze_images(imgs.iter());
+        let backward = analyze_images(imgs.iter().rev());
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn analyze_kb_splits_components_and_names_residue() {
+        let h = analyze_kb(&kb(
+            "A SubClassOf B\nx : A\nP SubClassOf Q or R\nz : P\nz : not Q",
+        ));
+        assert_eq!(h.modules.len(), 2, "{:?}", h.modules);
+        let horn = h.modules.iter().find(|m| m.axioms.contains(&0)).unwrap();
+        assert!(horn.residue_axioms.is_empty());
+        let disj = h.modules.iter().find(|m| m.axioms.contains(&2)).unwrap();
+        assert_eq!(disj.residue_axioms, vec![2], "only the ⊔ axiom");
+        assert!(disj.report.score > horn.report.score);
+        assert_eq!(h.heavy_modules(DEFAULT_HEAVY_THRESHOLD), 1);
+        assert!(h.max_score() >= DEFAULT_HEAVY_THRESHOLD);
+    }
+
+    #[test]
+    fn empty_kb_is_trivially_cheap() {
+        let h = analyze_kb(&KnowledgeBase4::new());
+        assert!(h.modules.is_empty());
+        assert_eq!(h.max_score(), 0.0);
+        let r = analyze_images(std::iter::empty());
+        assert_eq!(
+            r.cost,
+            CostVector {
+                exists_depth: Some(0),
+                ..CostVector::default()
+            }
+        );
+        assert_eq!(r.cost.residue_fraction(), 0.0);
+        assert_eq!(r.score, 0.0);
+    }
+
+    #[test]
+    fn hostile_kb_scores_heavy() {
+        let r = analyze_images(images(&crate::serve::hostile_kb(4)).iter());
+        assert!(r.cost.residue > 0, "≤3 counting axioms are residue");
+        assert!(r.cost.branch_points > 0);
+        assert!(
+            r.score >= DEFAULT_HEAVY_THRESHOLD,
+            "hostile module must land heavy: {} {:?}",
+            r.score,
+            r.cost
+        );
+    }
+
+    #[test]
+    fn in_situ_equals_extracted_module_analysis() {
+        // Analyzing a component's images inside the big KB equals
+        // analyzing the same module alone: the image multiset is the
+        // only input.
+        let big = kb("A SubClassOf B\nx : A\nP SubClassOf Q or R\nz : P");
+        let h = analyze_kb(&big);
+        for m in &h.modules {
+            let alone =
+                KnowledgeBase4::from_axioms(m.axioms.iter().map(|&i| big.axioms()[i].clone()));
+            let ex = ModuleExtractor::new(&alone);
+            let imgs: Vec<Axiom> = (0..alone.len())
+                .flat_map(|i| ex.images(i).to_vec())
+                .collect();
+            assert_eq!(analyze_images(imgs.iter()), m.report);
+        }
+    }
+}

@@ -152,6 +152,18 @@ pub fn compile<'a>(images: impl IntoIterator<Item = &'a Axiom>) -> Option<HornPr
     Some(c.finish())
 }
 
+/// Per-axiom membership test for the accepted fragment: `true` iff this
+/// single classical-image axiom would pass [`compile`]'s walk on its
+/// own. Acceptance is axiom-local (the compiler rejects per axiom, never
+/// because of an interaction between axioms), so a module's Horn core is
+/// exactly the subset of its images accepted here — the stratifier in
+/// [`crate::hardness`] relies on that to split core from residue with
+/// the *same* classifier the router uses.
+pub fn accepts(ax: &Axiom) -> bool {
+    let mut c = Compiler::default();
+    c.axiom(ax).is_some()
+}
+
 #[derive(Default)]
 struct Compiler {
     preds: HashMap<ConceptName, u32>,
@@ -526,12 +538,7 @@ impl HornProgram {
     /// The unary-rule closure of `{start}` (plus every empty-body
     /// consequence), memoized per start predicate.
     fn unary_reach(&self, start: Option<u32>) -> (Arc<HashSet<u32>>, u64) {
-        if let Some(hit) = self
-            .subsumers
-            .lock()
-            .expect("horn subsumers lock")
-            .get(&start)
-        {
+        if let Some(hit) = crate::cache::lock_mutex(&self.subsumers).get(&start) {
             return (Arc::clone(hit), 0);
         }
         let mut reach: HashSet<u32> = HashSet::new();
@@ -569,10 +576,7 @@ impl HornProgram {
             rounds += 1;
         }
         let reach = Arc::new(reach);
-        self.subsumers
-            .lock()
-            .expect("horn subsumers lock")
-            .insert(start, Arc::clone(&reach));
+        crate::cache::lock_mutex(&self.subsumers).insert(start, Arc::clone(&reach));
         (reach, rounds)
     }
 
@@ -582,15 +586,12 @@ impl HornProgram {
     fn closure_for_goal(&self, goal: u32) -> (Arc<Closure>, u64) {
         let (preds, roles) = self.relevant(goal);
         let key = (preds.0.clone(), roles.0.clone());
-        if let Some(hit) = self.closures.lock().expect("horn closures lock").get(&key) {
+        if let Some(hit) = crate::cache::lock_mutex(&self.closures).get(&key) {
             return (Arc::clone(hit), 0);
         }
         let closure = Arc::new(self.saturate(&preds, &roles));
         let rounds = closure.rounds;
-        self.closures
-            .lock()
-            .expect("horn closures lock")
-            .insert(key, Arc::clone(&closure));
+        crate::cache::lock_mutex(&self.closures).insert(key, Arc::clone(&closure));
         (closure, rounds)
     }
 

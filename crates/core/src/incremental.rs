@@ -59,6 +59,7 @@
 
 use crate::cache::{lock_mutex, recover, ShardedMap};
 use crate::dataflow::{self, axiom_local, ModuleExtractor, SigAtom};
+use crate::hardness;
 use crate::horn::{self, HornProgram};
 use crate::inclusion::InclusionKind;
 use crate::kb4::{Axiom4, KnowledgeBase4};
@@ -151,6 +152,10 @@ struct ModuleEntry {
     /// tenant, so [`Session::stats`] skips them).
     engine: OnceLock<(Arc<QueryEngine>, bool)>,
     horn: OnceLock<Option<Arc<HornProgram>>>,
+    /// Static [`crate::hardness`] score of the module's classical
+    /// image. Dies with the entry on invalidation, so the delta
+    /// machinery keeps predictions as fresh as every other artifact.
+    hardness: OnceLock<f64>,
 }
 
 /// The map slot around a [`ModuleEntry`]: distinct seeds can extract
@@ -555,6 +560,7 @@ impl Session {
                     skey: OnceLock::new(),
                     engine: OnceLock::new(),
                     horn: OnceLock::new(),
+                    hardness: OnceLock::new(),
                 });
                 modules.insert(
                     module.axioms,
@@ -673,6 +679,96 @@ impl Session {
             saturation_rounds: rounds,
             ..Stats::default()
         });
+    }
+
+    /// The module's static hardness score ([`crate::hardness`]),
+    /// computed once per entry and shared cross-tenant under the
+    /// structural key. Pure analysis — no engine is built and no search
+    /// runs — so admission control can afford it on every request.
+    fn hardness_of(&self, entry: &ModuleEntry) -> f64 {
+        *entry.hardness.get_or_init(|| match &self.shared {
+            Some(shared) => {
+                let key = self.structural_key(entry);
+                match shared.score(&key) {
+                    Some(score) => score,
+                    None => {
+                        let score = self.analyze_entry(entry);
+                        shared.publish_score(key, score);
+                        score
+                    }
+                }
+            }
+            None => self.analyze_entry(entry),
+        })
+    }
+
+    fn analyze_entry(&self, entry: &ModuleEntry) -> f64 {
+        hardness::analyze_images(entry.key.iter().flat_map(|&i| self.extractor.images(i))).score
+    }
+
+    /// Predicted hardness of [`Session::query`]`(a, c)`: the maximum
+    /// score over the modules the positive and negative probes extract.
+    pub fn predicted_hardness(&self, a: &IndividualName, c: &Concept) -> f64 {
+        let (tc, ntc) = {
+            let mut tr = lock_mutex(&self.transformer);
+            (tr.concept(c), tr.neg_concept(c))
+        };
+        let mut score = 0.0f64;
+        for t in [&tc, &ntc] {
+            let mut seed = BTreeSet::new();
+            dataflow::classical_concept_atoms(t, &mut seed);
+            seed.insert(SigAtom::Individual(a.clone()));
+            let entry = self.module_entry(&seed);
+            score = score.max(self.hardness_of(&entry));
+        }
+        score
+    }
+
+    /// Predicted hardness of [`Session::query_role`] — the maximum over
+    /// its two entailment probes' modules.
+    pub fn predicted_hardness_role(
+        &self,
+        r: &RoleName,
+        a: &IndividualName,
+        b: &IndividualName,
+    ) -> f64 {
+        let pos = Axiom::RoleAssertion(r.with_suffix(transform::POS_SUFFIX), a.clone(), b.clone());
+        let neg = Axiom::ConceptAssertion(
+            a.clone(),
+            Concept::all(
+                RoleExpr::named(r.with_suffix(transform::EQ_SUFFIX)),
+                Concept::one_of([b.clone()]).not(),
+            ),
+        );
+        let mut score = 0.0f64;
+        for ax in [&pos, &neg] {
+            let mut seed = BTreeSet::new();
+            dataflow::classical_axiom_atoms(ax, &mut seed);
+            let entry = self.module_entry(&seed);
+            score = score.max(self.hardness_of(&entry));
+        }
+        score
+    }
+
+    /// Predicted hardness of [`Session::entails`]`(ax)`: the module
+    /// seeded by the union of the axiom's classical-image atoms — a
+    /// superset of every per-probe seed `entails` uses, so the
+    /// prediction can only err toward classifying heavy.
+    pub fn predicted_hardness_axiom(&self, ax: &Axiom4) -> f64 {
+        let images = lock_mutex(&self.transformer).axiom(ax);
+        let mut seed = BTreeSet::new();
+        for im in &images {
+            dataflow::classical_axiom_atoms(im, &mut seed);
+        }
+        let entry = self.module_entry(&seed);
+        self.hardness_of(&entry)
+    }
+
+    /// Predicted hardness of [`Session::is_satisfiable`] (the ∅-seed
+    /// module — the whole non-`⊤`-local part of the KB).
+    pub fn predicted_hardness_check(&self) -> f64 {
+        let entry = self.module_entry(&BTreeSet::new());
+        self.hardness_of(&entry)
     }
 
     /// Instance check `K̄ ⊨ a : tc` through the module caches; returns

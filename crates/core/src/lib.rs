@@ -52,6 +52,7 @@
 pub mod analysis;
 pub mod cache;
 pub mod dataflow;
+pub mod hardness;
 pub mod horn;
 pub mod inclusion;
 pub mod incremental;

@@ -29,6 +29,16 @@
 //!   revoke a hostile tenant's in-flight work without waiting out the
 //!   budget — the search observes the token inside `check_limits` and
 //!   returns [`tableau::ReasonerError::Cancelled`].
+//! * **Cost-aware lanes** — with [`ServeOptions::lanes`] set, admission
+//!   first predicts each request's cost with the static
+//!   [`crate::hardness`] analyzer (scores cached per module in the
+//!   shared cache, so the steady-state prediction is one hash lookup)
+//!   and routes requests at or above [`LaneOptions::threshold`] to a
+//!   separate *heavy* queue with its own workers, depth, and optional
+//!   wall-clock budget. One tenant's pathological modules then saturate
+//!   the heavy lane while told/Horn traffic keeps flowing through the
+//!   cheap one. Lanes change scheduling only — verdicts are
+//!   bit-identical with lanes on or off (`tests/serve_lanes.rs`).
 //!
 //! The wire protocol is deliberately boring: one request per line
 //! (parser4 syntax for axioms), one JSON reply per line (via
@@ -37,6 +47,7 @@
 //! "Serving" quickstart for the grammar.
 
 use crate::cache::{lock_mutex, read_lock, write_lock, ShardedMap};
+use crate::hardness;
 use crate::horn::HornProgram;
 use crate::incremental::Session;
 use crate::kb4::{Axiom4, KnowledgeBase4};
@@ -88,13 +99,19 @@ pub struct SharedCacheStats {
     pub horn_misses: u64,
     pub row_hits: u64,
     pub row_misses: u64,
+    pub score_hits: u64,
+    pub score_misses: u64,
     pub engines: usize,
     pub horn_programs: usize,
     pub rows: usize,
+    pub scores: usize,
 }
 
 impl SharedCacheStats {
-    /// Fraction of shared-cache lookups (all three maps) that hit.
+    /// Fraction of shared-cache lookups that hit, over the reasoning
+    /// artifacts (engines, Horn programs, verdict rows). Hardness-score
+    /// lookups are admission metadata and excluded so enabling lanes
+    /// does not perturb the cache-efficiency signal.
     pub fn hit_ratio(&self) -> f64 {
         let hits = self.engine_hits + self.horn_hits + self.row_hits;
         let total = hits + self.engine_misses + self.horn_misses + self.row_misses;
@@ -118,6 +135,12 @@ impl SharedCacheStats {
 ///   so a repeat question about an identical module asked by a
 ///   *different* tenant is answered by a hash lookup.
 ///
+/// Plus a fourth, `scores` — static [`crate::hardness`] scores per
+/// module key, consumed by cost-aware lane admission. Content
+/// addressing gives score invalidation for free: a mutated module has a
+/// different key (PR 6's delta machinery already drops the tenant-side
+/// entry), so a stale score is simply never looked up again.
+///
 /// Engines published here are built with a *neutral* config
 /// ([`SharedModuleCache::build_config`]): the registry's config with
 /// any per-tenant cancellation token stripped, so raising one tenant's
@@ -130,6 +153,7 @@ pub struct SharedModuleCache {
     engines: ShardedMap<Arc<str>, Arc<QueryEngine>>,
     horn: ShardedMap<Arc<str>, Option<Arc<HornProgram>>>,
     rows: ShardedMap<(Arc<str>, String), bool>,
+    scores: ShardedMap<Arc<str>, f64>,
 }
 
 impl SharedModuleCache {
@@ -145,6 +169,7 @@ impl SharedModuleCache {
             engines: ShardedMap::new(),
             horn: ShardedMap::new(),
             rows: ShardedMap::new(),
+            scores: ShardedMap::new(),
         }
     }
 
@@ -184,7 +209,17 @@ impl SharedModuleCache {
         self.rows.insert(key, verdict);
     }
 
-    /// Counter snapshot across all three maps.
+    /// Look up a module's static hardness score.
+    pub fn score(&self, key: &Arc<str>) -> Option<f64> {
+        self.scores.get(key)
+    }
+
+    /// Publish a module's static hardness score.
+    pub fn publish_score(&self, key: Arc<str>, score: f64) {
+        self.scores.insert(key, score);
+    }
+
+    /// Counter snapshot across all four maps.
     pub fn stats(&self) -> SharedCacheStats {
         SharedCacheStats {
             engine_hits: self.engines.hits(),
@@ -193,9 +228,12 @@ impl SharedModuleCache {
             horn_misses: self.horn.misses(),
             row_hits: self.rows.hits(),
             row_misses: self.rows.misses(),
+            score_hits: self.scores.hits(),
+            score_misses: self.scores.misses(),
             engines: self.engines.len(),
             horn_programs: self.horn.len(),
             rows: self.rows.len(),
+            scores: self.scores.len(),
         }
     }
 }
@@ -540,6 +578,62 @@ pub fn execute(registry: &Registry, req: &Request) -> Result<Value, ServeError> 
     }
 }
 
+/// Predict the hardness score of a request's target module without
+/// running any search: parse just enough of the line to find the probe
+/// seed, then ask the tenant session for its module's (cached) static
+/// score. Mutations, `stats`, unknown verbs, unknown tenants and
+/// unparseable lines all score `0.0` — they either run no search or
+/// fail fast in the worker with the real error reply, so the cheap lane
+/// is the right place for them either way.
+pub fn predict_score(registry: &Registry, req: &Request) -> f64 {
+    let (verb, rest) = match req.line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (req.line.as_str(), ""),
+    };
+    match verb {
+        "query" => {
+            let Some((ind, concept)) = rest.split_once(char::is_whitespace) else {
+                return 0.0;
+            };
+            let Ok(c) = parse_concept_arg(concept.trim()) else {
+                return 0.0;
+            };
+            let a = IndividualName::new(ind);
+            registry
+                .read(&req.tenant, |s| s.predicted_hardness(&a, &c))
+                .unwrap_or(0.0)
+        }
+        "role" => {
+            let mut parts = rest.split_whitespace();
+            let (Some(r), Some(a), Some(b), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return 0.0;
+            };
+            let (r, a, b) = (
+                RoleName::new(r),
+                IndividualName::new(a),
+                IndividualName::new(b),
+            );
+            registry
+                .read(&req.tenant, |s| s.predicted_hardness_role(&r, &a, &b))
+                .unwrap_or(0.0)
+        }
+        "entails" => {
+            let Ok(ax) = parse_axiom_line(rest, &req.data_roles) else {
+                return 0.0;
+            };
+            registry
+                .read(&req.tenant, |s| s.predicted_hardness_axiom(&ax))
+                .unwrap_or(0.0)
+        }
+        "check" => registry
+            .read(&req.tenant, |s| s.predicted_hardness_check())
+            .unwrap_or(0.0),
+        _ => 0.0,
+    }
+}
+
 // ---------------------------------------------------------------------
 // Admission control: bounded queue + worker pool
 // ---------------------------------------------------------------------
@@ -550,6 +644,11 @@ struct Job {
     token: Arc<AtomicBool>,
     reply: mpsc::Sender<Value>,
     enqueued: Instant,
+    /// Which lane admitted the job (stats attribution).
+    heavy: bool,
+    /// Lane wall-clock budget; the executing worker arms the deadline
+    /// and the janitor raises the token once it passes.
+    budget: Option<Duration>,
 }
 
 struct QueueInner {
@@ -628,6 +727,19 @@ pub struct ServeStats {
     pub cancelled: AtomicU64,
     /// Peak queue wait observed, in microseconds.
     pub peak_queue_wait_us: AtomicU64,
+    /// Requests admitted into the cheap lane (equals `admitted` when
+    /// lanes are off — every request is cheap then).
+    pub cheap_admitted: AtomicU64,
+    /// Requests admitted into the heavy lane.
+    pub heavy_admitted: AtomicU64,
+    /// Requests shed by the cheap lane's full queue.
+    pub cheap_shed: AtomicU64,
+    /// Requests shed by the heavy lane's full queue.
+    pub heavy_shed: AtomicU64,
+    /// Cheap-lane requests that completed with an `ok` reply.
+    pub cheap_completed: AtomicU64,
+    /// Heavy-lane requests that completed with an `ok` reply.
+    pub heavy_completed: AtomicU64,
 }
 
 impl ServeStats {
@@ -656,7 +768,63 @@ impl ServeStats {
                 "peak_queue_wait_us",
                 (self.peak_queue_wait_us.load(Ordering::Relaxed) as i64).into(),
             ),
+            (
+                "cheap_admitted",
+                (self.cheap_admitted.load(Ordering::Relaxed) as i64).into(),
+            ),
+            (
+                "heavy_admitted",
+                (self.heavy_admitted.load(Ordering::Relaxed) as i64).into(),
+            ),
+            (
+                "cheap_shed",
+                (self.cheap_shed.load(Ordering::Relaxed) as i64).into(),
+            ),
+            (
+                "heavy_shed",
+                (self.heavy_shed.load(Ordering::Relaxed) as i64).into(),
+            ),
+            (
+                "cheap_completed",
+                (self.cheap_completed.load(Ordering::Relaxed) as i64).into(),
+            ),
+            (
+                "heavy_completed",
+                (self.heavy_completed.load(Ordering::Relaxed) as i64).into(),
+            ),
         ])
+    }
+}
+
+/// Cost-aware lane configuration: how the heavy lane is provisioned
+/// and where the cheap/heavy boundary sits.
+#[derive(Debug, Clone)]
+pub struct LaneOptions {
+    /// Worker threads dedicated to the heavy lane.
+    pub heavy_workers: usize,
+    /// Heavy-lane queue capacity; a full heavy queue sheds (no
+    /// spillover into the cheap lane — that would reintroduce exactly
+    /// the head-of-line blocking lanes exist to prevent).
+    pub heavy_queue_depth: usize,
+    /// Optional wall-clock budget per heavy request, enforced by a
+    /// janitor thread raising the request's cancellation token at the
+    /// deadline (reported on the wire as the usual `budget` error).
+    /// `None` leaves heavy requests under the registry config's own
+    /// `time_budget` alone — required for verdict parity with lanes
+    /// off.
+    pub heavy_budget: Option<Duration>,
+    /// Requests whose predicted module score reaches this go heavy.
+    pub threshold: f64,
+}
+
+impl Default for LaneOptions {
+    fn default() -> Self {
+        LaneOptions {
+            heavy_workers: 2,
+            heavy_queue_depth: 16,
+            heavy_budget: None,
+            threshold: hardness::DEFAULT_HEAVY_THRESHOLD,
+        }
     }
 }
 
@@ -667,6 +835,9 @@ pub struct ServeOptions {
     pub workers: usize,
     /// Bounded queue capacity; submissions beyond it are shed.
     pub queue_depth: usize,
+    /// Cost-aware admission lanes; `None` (the default) keeps the
+    /// single-queue behavior, byte-identical to before lanes existed.
+    pub lanes: Option<LaneOptions>,
 }
 
 impl Default for ServeOptions {
@@ -674,6 +845,7 @@ impl Default for ServeOptions {
         ServeOptions {
             workers: 4,
             queue_depth: 64,
+            lanes: None,
         }
     }
 }
@@ -682,7 +854,15 @@ impl Default for ServeOptions {
 // The TCP server
 // ---------------------------------------------------------------------
 
-type Inflight = Mutex<HashMap<u64, (String, Arc<AtomicBool>)>>;
+/// One in-flight request: who it belongs to, how to revoke it, and —
+/// once a lane-budgeted worker picks it up — when the janitor should.
+struct InflightEntry {
+    tenant: String,
+    token: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+type Inflight = Mutex<HashMap<u64, InflightEntry>>;
 
 /// A line-protocol TCP server over a [`Registry`].
 ///
@@ -694,10 +874,12 @@ pub struct Server {
     registry: Arc<Registry>,
     stats: Arc<ServeStats>,
     queue: Arc<Queue>,
+    heavy_queue: Option<Arc<Queue>>,
     shutdown: Arc<AtomicBool>,
     inflight: Arc<Inflight>,
     conns: Arc<AtomicUsize>,
     acceptor: Option<JoinHandle<()>>,
+    janitor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -719,19 +901,49 @@ impl Server {
         let next_id = Arc::new(AtomicU64::new(0));
         let conns = Arc::new(AtomicUsize::new(0));
 
-        let workers = (0..opts.workers.max(1))
-            .map(|_| {
-                let queue = Arc::clone(&queue);
-                let registry = Arc::clone(&registry);
-                let stats = Arc::clone(&stats);
-                let inflight = Arc::clone(&inflight);
-                std::thread::spawn(move || worker_loop(&queue, &registry, &stats, &inflight))
-            })
+        let heavy_queue = opts
+            .lanes
+            .as_ref()
+            .map(|l| Arc::new(Queue::new(l.heavy_queue_depth)));
+
+        let spawn_worker = |queue: &Arc<Queue>| {
+            let queue = Arc::clone(queue);
+            let registry = Arc::clone(&registry);
+            let stats = Arc::clone(&stats);
+            let inflight = Arc::clone(&inflight);
+            std::thread::spawn(move || worker_loop(&queue, &registry, &stats, &inflight))
+        };
+        let mut workers: Vec<JoinHandle<()>> = (0..opts.workers.max(1))
+            .map(|_| spawn_worker(&queue))
             .collect();
+        if let (Some(lanes), Some(hq)) = (&opts.lanes, &heavy_queue) {
+            workers.extend((0..lanes.heavy_workers.max(1)).map(|_| spawn_worker(hq)));
+        }
+
+        // The deadline janitor only exists when a heavy budget can arm
+        // deadlines; it polls in-flight entries and raises the token of
+        // any request past its deadline.
+        let janitor = opts.lanes.as_ref().and_then(|l| l.heavy_budget).map(|_| {
+            let shutdown = Arc::clone(&shutdown);
+            let inflight = Arc::clone(&inflight);
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    let now = Instant::now();
+                    for entry in lock_mutex(&inflight).values() {
+                        if entry.deadline.is_some_and(|d| d <= now) {
+                            entry.token.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+            })
+        });
 
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
             let queue = Arc::clone(&queue);
+            let heavy_queue = heavy_queue.clone();
+            let lanes = opts.lanes.clone();
             let stats = Arc::clone(&stats);
             let registry = Arc::clone(&registry);
             let inflight = Arc::clone(&inflight);
@@ -749,6 +961,8 @@ impl Server {
                             conns.fetch_add(1, Ordering::Relaxed);
                             let ctx = ConnCtx {
                                 queue: Arc::clone(&queue),
+                                heavy_queue: heavy_queue.clone(),
+                                lanes: lanes.clone(),
                                 stats: Arc::clone(&stats),
                                 registry: Arc::clone(&registry),
                                 inflight: Arc::clone(&inflight),
@@ -776,10 +990,12 @@ impl Server {
             registry,
             stats,
             queue,
+            heavy_queue,
             shutdown,
             inflight,
             conns,
             acceptor: Some(acceptor),
+            janitor,
             workers,
         })
     }
@@ -804,15 +1020,7 @@ impl Server {
     /// the token at the next `check_limits` poll and return
     /// [`ReasonerError::Cancelled`].
     pub fn cancel_tenant(&self, tenant: &str) -> usize {
-        let inflight = lock_mutex(&self.inflight);
-        let mut revoked = 0;
-        for (t, token) in inflight.values() {
-            if t == tenant {
-                token.store(true, Ordering::Relaxed);
-                revoked += 1;
-            }
-        }
-        revoked
+        cancel_tenant_inflight(&self.inflight, tenant)
     }
 
     /// Stop accepting, revoke all in-flight work, drain the pool and
@@ -825,15 +1033,21 @@ impl Server {
         if self.shutdown.swap(true, Ordering::Relaxed) {
             return;
         }
-        for (_, token) in lock_mutex(&self.inflight).values() {
-            token.store(true, Ordering::Relaxed);
+        for entry in lock_mutex(&self.inflight).values() {
+            entry.token.store(true, Ordering::Relaxed);
         }
         self.queue.close();
+        if let Some(hq) = &self.heavy_queue {
+            hq.close();
+        }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
+        }
+        if let Some(j) = self.janitor.take() {
+            let _ = j.join();
         }
         // Connection readers notice the flag at their next poll; give
         // them a bounded grace period rather than joining detached
@@ -853,6 +1067,8 @@ impl Drop for Server {
 
 struct ConnCtx {
     queue: Arc<Queue>,
+    heavy_queue: Option<Arc<Queue>>,
+    lanes: Option<LaneOptions>,
     stats: Arc<ServeStats>,
     registry: Arc<Registry>,
     inflight: Arc<Inflight>,
@@ -865,19 +1081,47 @@ fn worker_loop(queue: &Queue, registry: &Registry, stats: &ServeStats, inflight:
     while let Some(job) = queue.pop() {
         let wait = job.enqueued.elapsed().as_micros() as u64;
         stats.peak_queue_wait_us.fetch_max(wait, Ordering::Relaxed);
+        // The lane budget covers execution, not queue wait: arm the
+        // deadline only now, as the job leaves the queue.
+        let deadline = job.budget.map(|b| Instant::now() + b);
         let reply = if job.token.load(Ordering::Relaxed) {
             // Revoked while still queued: never touch the reasoner.
             Err(ServeError::Reasoning(ReasonerError::Cancelled))
         } else {
+            if let Some(d) = deadline {
+                if let Some(entry) = lock_mutex(inflight).get_mut(&job.id) {
+                    entry.deadline = Some(d);
+                }
+            }
             let _guard = tableau::interrupt::install(Arc::clone(&job.token));
             execute(registry, &job.request)
         };
-        match &reply {
-            Ok(_) => stats.completed.fetch_add(1, Ordering::Relaxed),
-            Err(ServeError::Reasoning(ReasonerError::Cancelled)) => {
-                stats.cancelled.fetch_add(1, Ordering::Relaxed)
+        // A janitor revocation surfaces as `Cancelled`; report it as
+        // the budget error the client would see from a per-session
+        // `Config::time_budget` instead.
+        let reply = match (reply, job.budget) {
+            (Err(ServeError::Reasoning(ReasonerError::Cancelled)), Some(budget))
+                if deadline.is_some_and(|d| Instant::now() >= d) =>
+            {
+                Err(ServeError::Reasoning(ReasonerError::TimeBudget(budget)))
             }
-            Err(_) => stats.failed.fetch_add(1, Ordering::Relaxed),
+            (other, _) => other,
+        };
+        match &reply {
+            Ok(_) => {
+                stats.completed.fetch_add(1, Ordering::Relaxed);
+                if job.heavy {
+                    stats.heavy_completed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    stats.cheap_completed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(ServeError::Reasoning(ReasonerError::Cancelled)) => {
+                stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                stats.failed.fetch_add(1, Ordering::Relaxed);
+            }
         };
         lock_mutex(inflight).remove(&job.id);
         let value = reply.unwrap_or_else(|e| e.to_json());
@@ -978,24 +1222,52 @@ fn handle_conn(stream: TcpStream, ctx: &ConnCtx) -> std::io::Result<()> {
             write_reply(&mut writer, &ServeError::NoTenant.to_json())?;
             continue;
         };
+        let request = Request {
+            tenant: tenant_id.clone(),
+            line: trimmed.to_string(),
+            data_roles: data_roles.clone(),
+        };
+        // Cost-aware lane selection: static analysis only, no search.
+        let heavy = ctx
+            .lanes
+            .as_ref()
+            .is_some_and(|l| predict_score(&ctx.registry, &request) >= l.threshold);
+        let (queue, budget) = if heavy {
+            (
+                ctx.heavy_queue.as_deref().unwrap_or(&ctx.queue),
+                ctx.lanes.as_ref().and_then(|l| l.heavy_budget),
+            )
+        } else {
+            (&*ctx.queue, None)
+        };
         let (tx, rx) = mpsc::channel();
         let id = ctx.next_id.fetch_add(1, Ordering::Relaxed);
         let token = Arc::new(AtomicBool::new(false));
-        lock_mutex(&ctx.inflight).insert(id, (tenant_id.clone(), Arc::clone(&token)));
+        lock_mutex(&ctx.inflight).insert(
+            id,
+            InflightEntry {
+                tenant: tenant_id,
+                token: Arc::clone(&token),
+                deadline: None,
+            },
+        );
         let job = Job {
             id,
-            request: Request {
-                tenant: tenant_id,
-                line: trimmed.to_string(),
-                data_roles: data_roles.clone(),
-            },
+            request,
             token,
             reply: tx,
             enqueued: Instant::now(),
+            heavy,
+            budget,
         };
-        match ctx.queue.submit(job) {
+        match queue.submit(job) {
             Ok(()) => {
                 ctx.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                if heavy {
+                    ctx.stats.heavy_admitted.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    ctx.stats.cheap_admitted.fetch_add(1, Ordering::Relaxed);
+                }
                 match rx.recv() {
                     Ok(value) => write_reply(&mut writer, &value)?,
                     // Worker pool died mid-request (shutdown drained us).
@@ -1006,6 +1278,11 @@ fn handle_conn(stream: TcpStream, ctx: &ConnCtx) -> std::io::Result<()> {
                 lock_mutex(&ctx.inflight).remove(&id);
                 if matches!(e, ServeError::Overloaded { .. }) {
                     ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    if heavy {
+                        ctx.stats.heavy_shed.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        ctx.stats.cheap_shed.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
                 write_reply(&mut writer, &e.to_json())?;
             }
@@ -1016,9 +1293,9 @@ fn handle_conn(stream: TcpStream, ctx: &ConnCtx) -> std::io::Result<()> {
 fn cancel_tenant_inflight(inflight: &Inflight, tenant: &str) -> usize {
     let guard = lock_mutex(inflight);
     let mut revoked = 0;
-    for (t, token) in guard.values() {
-        if t == tenant {
-            token.store(true, Ordering::Relaxed);
+    for entry in guard.values() {
+        if entry.tenant == tenant {
+            entry.token.store(true, Ordering::Relaxed);
             revoked += 1;
         }
     }
@@ -1181,6 +1458,8 @@ mod tests {
             token: Arc::new(AtomicBool::new(false)),
             reply: tx.clone(),
             enqueued: Instant::now(),
+            heavy: false,
+            budget: None,
         };
         assert!(q.submit(mk(0)).is_ok());
         assert!(matches!(
@@ -1191,6 +1470,89 @@ mod tests {
         q.close();
         assert!(matches!(q.submit(mk(2)), Err(ServeError::ShuttingDown)));
         assert!(q.pop().is_none());
+    }
+
+    /// Scripted-interleaving check for the queue's blocking hand-off.
+    /// The CI miri job runs every test whose name contains
+    /// `interleave`, so the round count scales down under the
+    /// interpreter; natively the rounds sweep enough schedules that a
+    /// lost notify or a double-pop would show up as a hang or a
+    /// duplicated id.
+    #[test]
+    fn interleaved_submit_pop_close_neither_loses_nor_duplicates() {
+        use std::sync::mpsc::Sender;
+
+        const ROUNDS: usize = if cfg!(miri) { 3 } else { 50 };
+        const PER_PRODUCER: u64 = if cfg!(miri) { 4 } else { 64 };
+        for _ in 0..ROUNDS {
+            let q = Queue::new(4);
+            let (tx, _rx) = mpsc::channel();
+            let mk = |id: u64, tx: &Sender<_>| Job {
+                id,
+                request: Request {
+                    tenant: "t".into(),
+                    line: "check".into(),
+                    data_roles: BTreeSet::new(),
+                },
+                token: Arc::new(AtomicBool::new(false)),
+                reply: tx.clone(),
+                enqueued: Instant::now(),
+                heavy: false,
+                budget: None,
+            };
+            let accepted = Mutex::new(Vec::new());
+            let popped = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for p in 0..2u64 {
+                    let (q, accepted, tx) = (&q, &accepted, &tx);
+                    scope.spawn(move || {
+                        for i in 0..PER_PRODUCER {
+                            let id = p * PER_PRODUCER + i;
+                            // Retry shed submissions: consumers drain
+                            // concurrently, so capacity reopens.
+                            loop {
+                                match q.submit(mk(id, tx)) {
+                                    Ok(()) => break,
+                                    Err(ServeError::Overloaded { .. }) => {
+                                        std::thread::yield_now();
+                                    }
+                                    Err(e) => panic!("unexpected submit error: {e:?}"),
+                                }
+                            }
+                        }
+                        crate::cache::lock_mutex(accepted)
+                            .extend((0..PER_PRODUCER).map(|i| p * PER_PRODUCER + i));
+                    });
+                }
+                for _ in 0..2 {
+                    let (q, popped) = (&q, &popped);
+                    scope.spawn(move || {
+                        let mut got = Vec::new();
+                        // Blocking pops until close; None only after
+                        // the queue is closed AND drained.
+                        while let Some(job) = q.pop() {
+                            got.push(job.id);
+                        }
+                        crate::cache::lock_mutex(popped).extend(got);
+                    });
+                }
+                // Close only after every producer is done: wait until
+                // all ids have been accepted, then close to release
+                // the (possibly blocked) consumers.
+                loop {
+                    if crate::cache::lock_mutex(&accepted).len() == 2 * PER_PRODUCER as usize {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                q.close();
+            });
+            let mut accepted = crate::cache::lock_mutex(&accepted).clone();
+            let mut popped = crate::cache::lock_mutex(&popped).clone();
+            accepted.sort_unstable();
+            popped.sort_unstable();
+            assert_eq!(accepted, popped, "jobs lost or duplicated across the queue");
+        }
     }
 
     #[test]
@@ -1272,6 +1634,95 @@ mod tests {
         );
         assert_eq!(ask("quit").get("ok").and_then(Value::as_bool), Some(true));
         assert!(server.stats().admitted.load(Ordering::Relaxed) >= 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn predict_score_separates_cheap_and_heavy_modules() {
+        let registry = Registry::new(Config::default());
+        registry.register("easy", &parse_kb4("A SubClassOf B\nx : A").expect("parse"));
+        registry.register("hard", &hostile_kb(6));
+        let req = |tenant: &str, line: &str| Request {
+            tenant: tenant.into(),
+            line: line.into(),
+            data_roles: BTreeSet::new(),
+        };
+        let easy = predict_score(&registry, &req("easy", "query x B"));
+        let hard = predict_score(&registry, &req("hard", "check"));
+        assert!(
+            easy < hardness::DEFAULT_HEAVY_THRESHOLD,
+            "Horn chain classified heavy: {easy}"
+        );
+        assert!(
+            hard >= hardness::DEFAULT_HEAVY_THRESHOLD,
+            "hostile ∃-tree classified cheap: {hard}"
+        );
+        // Mutations, stats, unknown tenants and garbage stay cheap.
+        assert_eq!(predict_score(&registry, &req("hard", "add y : HL0")), 0.0);
+        assert_eq!(predict_score(&registry, &req("hard", "stats")), 0.0);
+        assert_eq!(predict_score(&registry, &req("nope", "check")), 0.0);
+        assert_eq!(predict_score(&registry, &req("hard", "query")), 0.0);
+        // Repeat predictions are answered by the shared score cache.
+        let again = predict_score(&registry, &req("hard", "check"));
+        assert_eq!(again, hard);
+        assert!(registry.shared().stats().scores >= 1);
+    }
+
+    #[test]
+    fn lanes_route_heavy_requests_and_enforce_the_lane_budget() {
+        let config = Config {
+            max_nodes: usize::MAX,
+            max_rule_applications: u64::MAX,
+            time_budget: Some(Duration::from_secs(20)), // backstop only
+            ..Config::default()
+        };
+        let registry = Arc::new(Registry::new(config));
+        registry.register("evil", &hostile_kb(40));
+        registry.register("nice", &parse_kb4("A SubClassOf B\nx : A").expect("parse"));
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServeOptions {
+                lanes: Some(LaneOptions {
+                    heavy_budget: Some(Duration::from_millis(80)),
+                    ..LaneOptions::default()
+                }),
+                ..ServeOptions::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        let roundtrip = |lines: &[&str]| -> Vec<Value> {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let mut writer = stream.try_clone().expect("clone");
+            let mut reader = BufReader::new(stream);
+            lines
+                .iter()
+                .map(|line| {
+                    writeln!(writer, "{line}").expect("send");
+                    let mut reply = String::new();
+                    reader.read_line(&mut reply).expect("reply");
+                    Value::parse(&reply).expect("json reply")
+                })
+                .collect()
+        };
+        let started = Instant::now();
+        let evil = roundtrip(&["tenant evil", "check"]);
+        assert_eq!(
+            evil[1].get("error").and_then(Value::as_str),
+            Some("budget"),
+            "heavy lane budget not enforced: {:?}",
+            evil[1]
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "lane budget must preempt the 20s backstop"
+        );
+        let nice = roundtrip(&["tenant nice", "query x B"]);
+        assert_eq!(nice[1].get("verdict").and_then(Value::as_str), Some("t"));
+        assert!(server.stats().heavy_admitted.load(Ordering::Relaxed) >= 1);
+        assert!(server.stats().cheap_admitted.load(Ordering::Relaxed) >= 1);
+        assert!(server.stats().cheap_completed.load(Ordering::Relaxed) >= 1);
         server.shutdown();
     }
 

@@ -1,0 +1,285 @@
+//! Labeled KBs spanning the static-hardness spectrum: the calibration
+//! corpus for `shoin4::hardness`.
+//!
+//! Three island shapes, each namespaced per KB so every generated KB is
+//! a single signature-dataflow module with a known character:
+//!
+//! * [`HardnessShape::HornChain`] — internal subsumption chains plus
+//!   assertions; entirely inside the Horn fragment, so the predicted
+//!   score must stay below the heavy threshold;
+//! * [`HardnessShape::Disjunctive`] — `⊔`-right chains whose classical
+//!   images are rejected by the Horn classifier; branch points (and the
+//!   measured tableau branching) grow with `size`;
+//! * [`HardnessShape::ExistsDeep`] — acyclic `∃`-doubling towers; the
+//!   expansion skeleton is bounded at depth `size` but the model the
+//!   tableau builds doubles with it.
+//!
+//! Each [`LabeledKb`] carries a probe (individual, concept) whose query
+//! is dataflow-connected to the island, so calibration runs can measure
+//! real search cost (`tableau::Stats`) against the predicted score and
+//! assert rank correlation. Axiom order is shuffled per KB (seeded) —
+//! consumers double as a test of the analyzer's order invariance.
+
+use dl::name::{IndividualName, RoleName};
+use dl::{Concept, RoleExpr};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use shoin4::{Axiom4, InclusionKind, KnowledgeBase4};
+
+/// Ground-truth shape of a generated KB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HardnessShape {
+    /// Horn subsumption chain: cheap, saturates.
+    HornChain,
+    /// `⊔`-residue chain: branch points grow with size.
+    Disjunctive,
+    /// Acyclic `∃`-doubling tower: model size grows with depth.
+    ExistsDeep,
+}
+
+impl HardnessShape {
+    /// All shapes, generation order.
+    pub const ALL: [HardnessShape; 3] = [
+        HardnessShape::HornChain,
+        HardnessShape::Disjunctive,
+        HardnessShape::ExistsDeep,
+    ];
+
+    /// Whether queries on this shape should leave the Horn fast path.
+    pub fn expect_residue(self) -> bool {
+        !matches!(self, HardnessShape::HornChain)
+    }
+}
+
+/// Knobs for the mix generator.
+#[derive(Debug, Clone)]
+pub struct HardnessMixParams {
+    /// RNG seed (per-KB axiom shuffles only; content is deterministic
+    /// in the other knobs).
+    pub seed: u64,
+    /// KBs generated per shape.
+    pub per_shape: usize,
+    /// Smallest chain length / tower depth.
+    pub min_size: usize,
+    /// Largest chain length / tower depth (inclusive); sizes cycle
+    /// through the range so every shape covers the whole spread.
+    pub max_size: usize,
+}
+
+impl Default for HardnessMixParams {
+    fn default() -> Self {
+        HardnessMixParams {
+            seed: 0,
+            per_shape: 34, // 3 shapes × 34 = 102 KBs ≥ the 100-KB floor
+            min_size: 2,
+            max_size: 7,
+        }
+    }
+}
+
+/// One generated KB with its ground truth and measurement probe.
+#[derive(Debug, Clone)]
+pub struct LabeledKb {
+    /// Stable id, e.g. `horn3/chain5` (shape, index, size).
+    pub id: String,
+    /// Planted shape.
+    pub shape: HardnessShape,
+    /// Chain length / tower depth.
+    pub size: usize,
+    /// The KB (one island, axiom order shuffled).
+    pub kb: KnowledgeBase4,
+    /// A query connected to the island by dataflow: running it measures
+    /// the island's real search cost.
+    pub probe: (IndividualName, Concept),
+}
+
+/// `C0 ⊑ C1 ⊑ … ⊑ Cn` (internal), `x0 : C0`.
+fn horn_island(prefix: &str, n: usize) -> Vec<Axiom4> {
+    let atom = |j: usize| Concept::atomic(format!("{prefix}C{j}"));
+    let mut axioms: Vec<Axiom4> = (0..n)
+        .map(|j| Axiom4::ConceptInclusion(InclusionKind::Internal, atom(j), atom(j + 1)))
+        .collect();
+    axioms.push(Axiom4::ConceptAssertion(
+        IndividualName::new(format!("{prefix}x0")),
+        atom(0),
+    ));
+    axioms
+}
+
+/// `Cj ⊑ C(j+1) ⊔ Dj` and `Dj ⊑ C(j+1)` (internal), `x0 : C0` — every
+/// inclusion with a `⊔` right-hand side is Horn residue, and the shared
+/// `C`/`D` names chain the whole thing into one module.
+fn disjunctive_island(prefix: &str, n: usize) -> Vec<Axiom4> {
+    let c = |j: usize| Concept::atomic(format!("{prefix}C{j}"));
+    let d = |j: usize| Concept::atomic(format!("{prefix}D{j}"));
+    let mut axioms = Vec::with_capacity(2 * n + 1);
+    for j in 0..n {
+        axioms.push(Axiom4::ConceptInclusion(
+            InclusionKind::Internal,
+            c(j),
+            c(j + 1).or(d(j)),
+        ));
+        axioms.push(Axiom4::ConceptInclusion(
+            InclusionKind::Internal,
+            d(j),
+            c(j + 1),
+        ));
+    }
+    axioms.push(Axiom4::ConceptAssertion(
+        IndividualName::new(format!("{prefix}x0")),
+        c(0),
+    ));
+    axioms
+}
+
+/// `Ej ⊑ ∃r.E(j+1) ⊓ ∃s.E(j+1)` for `j < n` (internal, acyclic),
+/// `x0 : E0` — the expansion skeleton is bounded at depth `n` but the
+/// canonical model doubles per level.
+fn exists_island(prefix: &str, n: usize) -> Vec<Axiom4> {
+    let atom = |j: usize| Concept::atomic(format!("{prefix}E{j}"));
+    let r = RoleName::new(format!("{prefix}r"));
+    let s = RoleName::new(format!("{prefix}s"));
+    let mut axioms: Vec<Axiom4> = (0..n)
+        .map(|j| {
+            let next = atom(j + 1);
+            Axiom4::ConceptInclusion(
+                InclusionKind::Internal,
+                atom(j),
+                Concept::some(RoleExpr::named(r.clone()), next.clone())
+                    .and(Concept::some(RoleExpr::named(s.clone()), next)),
+            )
+        })
+        .collect();
+    axioms.push(Axiom4::ConceptAssertion(
+        IndividualName::new(format!("{prefix}x0")),
+        atom(0),
+    ));
+    axioms
+}
+
+type IslandBuilder = fn(&str, usize) -> Vec<Axiom4>;
+
+/// Generate the labeled corpus (deterministic in `params`).
+pub fn hardness_mix(p: &HardnessMixParams) -> Vec<LabeledKb> {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let span = p.max_size.saturating_sub(p.min_size) + 1;
+    let mut out = Vec::with_capacity(3 * p.per_shape);
+    for shape in HardnessShape::ALL {
+        for i in 0..p.per_shape {
+            let size = p.min_size + i % span;
+            let (tag, builder): (&str, IslandBuilder) = match shape {
+                HardnessShape::HornChain => ("horn", horn_island),
+                HardnessShape::Disjunctive => ("disj", disjunctive_island),
+                HardnessShape::ExistsDeep => ("deep", exists_island),
+            };
+            let prefix = format!("{}{i}N", tag.to_uppercase());
+            let mut axioms = builder(&prefix, size);
+            axioms.shuffle(&mut rng);
+            let goal = match shape {
+                HardnessShape::ExistsDeep => Concept::atomic(format!("{prefix}E{size}")),
+                _ => Concept::atomic(format!("{prefix}C{size}")),
+            };
+            out.push(LabeledKb {
+                id: format!("{tag}{i}/chain{size}"),
+                shape,
+                size,
+                kb: KnowledgeBase4::from_axioms(axioms),
+                probe: (IndividualName::new(format!("{prefix}x0")), goal),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_covers_every_shape_and_size() {
+        let p = HardnessMixParams::default();
+        let corpus = hardness_mix(&p);
+        assert_eq!(corpus.len(), 102);
+        let again = hardness_mix(&p);
+        for (a, b) in corpus.iter().zip(&again) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.kb.axioms(), b.kb.axioms());
+        }
+        for shape in HardnessShape::ALL {
+            let sizes: std::collections::BTreeSet<usize> = corpus
+                .iter()
+                .filter(|l| l.shape == shape)
+                .map(|l| l.size)
+                .collect();
+            assert_eq!(sizes, (p.min_size..=p.max_size).collect(), "{shape:?}");
+        }
+    }
+
+    #[test]
+    fn each_kb_is_one_island_whose_probe_is_connected() {
+        for l in hardness_mix(&HardnessMixParams {
+            per_shape: 3,
+            ..HardnessMixParams::default()
+        }) {
+            let analysis = shoin4::hardness::analyze_kb(&l.kb);
+            assert_eq!(analysis.modules.len(), 1, "{}", l.id);
+            let (ind, _) = &l.probe;
+            assert!(
+                l.kb.axioms()
+                    .iter()
+                    .any(|ax| format!("{ax:?}").contains(ind.as_str())),
+                "{}: probe individual missing",
+                l.id
+            );
+        }
+    }
+
+    #[test]
+    fn shapes_plant_the_intended_stratification() {
+        for l in hardness_mix(&HardnessMixParams {
+            per_shape: 6,
+            ..HardnessMixParams::default()
+        }) {
+            let analysis = shoin4::hardness::analyze_kb(&l.kb);
+            let m = &analysis.modules[0];
+            match l.shape {
+                HardnessShape::HornChain => {
+                    assert_eq!(m.report.cost.residue, 0, "{}", l.id);
+                    assert!(
+                        m.report.score < shoin4::hardness::DEFAULT_HEAVY_THRESHOLD,
+                        "{}: {}",
+                        l.id,
+                        m.report.score
+                    );
+                }
+                HardnessShape::Disjunctive => {
+                    assert!(m.report.cost.residue > 0, "{}", l.id);
+                    assert!(m.report.cost.branch_points as usize >= l.size, "{}", l.id);
+                }
+                HardnessShape::ExistsDeep => {
+                    assert_eq!(m.report.cost.exists_depth, Some(l.size as u32), "{}", l.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_grows_with_size_within_the_hard_shapes() {
+        let corpus = hardness_mix(&HardnessMixParams::default());
+        for shape in [HardnessShape::Disjunctive, HardnessShape::ExistsDeep] {
+            let mut by_size: Vec<(usize, f64)> = corpus
+                .iter()
+                .filter(|l| l.shape == shape)
+                .map(|l| (l.size, shoin4::hardness::analyze_kb(&l.kb).max_score()))
+                .collect();
+            by_size.sort_by_key(|&(s, _)| s);
+            for w in by_size.windows(2) {
+                assert!(
+                    w[1].1 >= w[0].1,
+                    "{shape:?}: score not monotone in size: {by_size:?}"
+                );
+            }
+        }
+    }
+}

@@ -20,10 +20,14 @@
 //! * [`queries`] — instance-query workloads over a KB's signature;
 //! * [`tenant`] — multi-tenant fleets with a planted shared "core"
 //!   island (ground truth for cross-tenant cache sharing in the
-//!   serving layer).
+//!   serving layer);
+//! * [`mod@hardness_mix`] — labeled KBs spanning the static-hardness
+//!   spectrum (Horn chains, disjunctive residue, `∃`-doubling towers),
+//!   the calibration corpus for the search-cost predictor.
 
 pub mod churn;
 pub mod exceptions;
+pub mod hardness_mix;
 pub mod horn;
 pub mod inject;
 pub mod lintseed;
@@ -35,6 +39,7 @@ pub mod taxonomy;
 pub mod tenant;
 pub mod university;
 
+pub use hardness_mix::{hardness_mix, HardnessMixParams, HardnessShape, LabeledKb};
 pub use inject::{inject_contradictions, Injection};
 pub use lintseed::{lint_seeded_kb4, lint_seeded_kb4_sized, LintSeedParams, PlantedFindings};
 pub use medical::{medical_kb, MedicalParams};

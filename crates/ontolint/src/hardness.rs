@@ -1,0 +1,188 @@
+//! Family E: static hardness (`OL401`–`OL404`).
+//!
+//! Driven by the [`shoin4::hardness`] analyzer (re-exported here, so
+//! `ontolint::hardness::analyze_kb` is the same function the serving
+//! layer's cost-aware admission uses): each signature-dataflow module
+//! is stratified into its Horn core, disjunctive residue, and
+//! ∃-expansion skeleton, and the lints report the modules whose
+//! predicted search cost deserves attention *before* any query runs.
+//!
+//! * `OL401` — a module whose predicted score reaches the serving
+//!   layer's default heavy threshold;
+//! * `OL402` — a residue-dominated module: most of its classical images
+//!   are rejected by the Horn classifier, so a handful of axioms
+//!   forfeits the saturation fast path for the whole module;
+//! * `OL403` — a cyclic ∃-expansion skeleton: expansion depth is
+//!   unbounded and tableau termination rests on blocking;
+//! * `OL404` — the KB-level hardness summary.
+//!
+//! Like every other family, these rules run no search — the analysis is
+//! a pure function of the classical images.
+
+use crate::diagnostics::{Diagnostic, Severity};
+use shoin4::KnowledgeBase4;
+
+pub use shoin4::hardness::*;
+
+/// `OL402` needs a module with at least this many classical images —
+/// a two-image module is "dominated" by any single rejection, which is
+/// not an actionable signal.
+const RESIDUE_MIN_IMAGES: usize = 4;
+/// …and at least this fraction of them rejected.
+const RESIDUE_FRACTION: f64 = 0.5;
+
+/// Run all four hardness rules.
+pub fn run(kb: &KnowledgeBase4, out: &mut Vec<Diagnostic>) {
+    let analysis = analyze_kb(kb);
+    for m in &analysis.modules {
+        let cost = &m.report.cost;
+        if m.report.score >= DEFAULT_HEAVY_THRESHOLD {
+            out.push(Diagnostic {
+                rule: "OL401",
+                severity: Severity::Warning,
+                axioms: m.axioms.clone(),
+                subject: None,
+                message: format!(
+                    "hard module: predicted score {:.1} (heavy threshold \
+                     {DEFAULT_HEAVY_THRESHOLD}) from {} branch points, {} residue \
+                     images, ∃-depth {}",
+                    m.report.score,
+                    cost.branch_points,
+                    cost.residue,
+                    match cost.exists_depth {
+                        Some(d) => d.to_string(),
+                        None => "unbounded".to_string(),
+                    },
+                ),
+                suggestion: Some(
+                    "queries scoped to this module run the full tableau; consider \
+                     serving this KB with cost-aware lanes (`serve --lanes`)"
+                        .to_string(),
+                ),
+                claim: None,
+            });
+        }
+        if !m.residue_axioms.is_empty()
+            && cost.images >= RESIDUE_MIN_IMAGES
+            && cost.residue_fraction() >= RESIDUE_FRACTION
+        {
+            out.push(Diagnostic {
+                rule: "OL402",
+                severity: Severity::Warning,
+                axioms: m.residue_axioms.clone(),
+                subject: None,
+                message: format!(
+                    "residue-dominated module: {}/{} classical images are rejected \
+                     by the Horn classifier, so these axioms forfeit the saturation \
+                     fast path for all {} axioms of their module",
+                    cost.residue,
+                    cost.images,
+                    m.axioms.len(),
+                ),
+                suggestion: Some(
+                    "rewriting or retracting the listed axioms hands the module \
+                     back to the Horn path"
+                        .to_string(),
+                ),
+                claim: None,
+            });
+        }
+        if cost.exists_depth.is_none() {
+            out.push(Diagnostic {
+                rule: "OL403",
+                severity: Severity::Warning,
+                axioms: m.axioms.clone(),
+                subject: None,
+                message: "the module's ∃-expansion skeleton is cyclic: expansion \
+                          depth is unbounded and tableau termination rests on \
+                          blocking, the most expensive search regime"
+                    .to_string(),
+                suggestion: Some(
+                    "check whether the recursive existential really needs to \
+                     reach its own concept again"
+                        .to_string(),
+                ),
+                claim: None,
+            });
+        }
+    }
+    if !analysis.modules.is_empty() {
+        out.push(Diagnostic {
+            rule: "OL404",
+            severity: Severity::Info,
+            axioms: Vec::new(),
+            subject: None,
+            message: format!(
+                "hardness summary: {} modules, {} heavy (score ≥ \
+                 {DEFAULT_HEAVY_THRESHOLD}), max score {:.1}",
+                analysis.modules.len(),
+                analysis.heavy_modules(DEFAULT_HEAVY_THRESHOLD),
+                analysis.max_score(),
+            ),
+            suggestion: None,
+            claim: None,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let kb = shoin4::parse_kb4(src).unwrap();
+        let mut out = Vec::new();
+        run(&kb, &mut out);
+        out
+    }
+
+    #[test]
+    fn ol401_flags_hard_modules_and_spares_horn_chains() {
+        let diags = lint("A SubClassOf B or C\nx : A");
+        assert!(diags.iter().any(|d| d.rule == "OL401"), "{diags:?}");
+        let diags = lint("A SubClassOf B\nB SubClassOf C\nx : A");
+        assert!(diags.iter().all(|d| d.rule != "OL401"), "{diags:?}");
+    }
+
+    #[test]
+    fn ol402_names_the_residue_axioms() {
+        // Three disjunctive inclusions (all residue) plus one Horn
+        // assertion, chained through shared names so they form one
+        // module — 3/4 images rejected.
+        let diags = lint(
+            "A SubClassOf B or C
+             B SubClassOf C or D
+             C SubClassOf D or E
+             x : A",
+        );
+        let ol402: Vec<_> = diags.iter().filter(|d| d.rule == "OL402").collect();
+        assert_eq!(ol402.len(), 1, "{diags:?}");
+        assert_eq!(ol402[0].axioms, vec![0, 1, 2], "only the material axioms");
+    }
+
+    #[test]
+    fn ol403_flags_existential_cycles() {
+        let diags = lint("A SubClassOf r some A\nx : A");
+        assert!(diags.iter().any(|d| d.rule == "OL403"), "{diags:?}");
+        let diags = lint("A SubClassOf r some B\nx : A");
+        assert!(diags.iter().all(|d| d.rule != "OL403"), "{diags:?}");
+    }
+
+    #[test]
+    fn ol404_summarizes_nonempty_kbs() {
+        let diags = lint("A SubClassOf B\nP SubClassOf Q or R\nz : P");
+        let summary: Vec<_> = diags.iter().filter(|d| d.rule == "OL404").collect();
+        assert_eq!(summary.len(), 1);
+        assert!(summary[0].message.contains("hardness summary"));
+        assert!(lint("").is_empty());
+    }
+
+    #[test]
+    fn analyzer_is_reexported() {
+        // `ontolint::hardness::analyze_kb` must be the same analyzer the
+        // serving layer consults.
+        let kb = shoin4::parse_kb4("A SubClassOf B or C\nx : A").unwrap();
+        let analysis = analyze_kb(&kb);
+        assert!(analysis.max_score() >= DEFAULT_HEAVY_THRESHOLD);
+    }
+}

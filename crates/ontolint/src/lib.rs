@@ -15,6 +15,12 @@
 //!   axiom groups, contradiction-contamination radii, and module-blowup
 //!   anomalies, all derived from the [`dataflow`] analysis that also
 //!   powers the reasoner's module-scoped query execution.
+//! * **Static hardness** (`OL401`–`OL404`): per-module search-cost
+//!   prediction from the [`hardness`] stratifier (Horn core vs
+//!   disjunctive residue vs ∃-expansion skeleton) — hard modules,
+//!   residue-dominated modules, unbounded-∃ blocking risk, and the KB
+//!   hardness summary. The same scores drive the serving layer's
+//!   cost-aware admission lanes.
 //!
 //! The severity contract: every [`Severity::Error`] finding carries a
 //! [`Claim`] that an exact procedure (the `fourmodels` enumeration oracle
@@ -38,6 +44,7 @@ pub mod cost;
 pub mod dataflow;
 pub mod diagnostics;
 pub mod graph;
+pub mod hardness;
 pub mod hygiene;
 
 pub use diagnostics::{diagnostics_to_json, Claim, Diagnostic, Severity};
@@ -56,6 +63,7 @@ pub fn lint_kb4(kb: &KnowledgeBase4) -> Vec<Diagnostic> {
     dataflow::run(kb, &contradiction_diags, &mut out);
     hygiene::run(kb, &mut out);
     cost::run(kb, &mut out);
+    hardness::run(kb, &mut out);
     out.sort_by(|a, b| {
         b.severity
             .cmp(&a.severity)

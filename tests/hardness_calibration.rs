@@ -1,0 +1,174 @@
+//! Calibration evidence for the static hardness analyzer
+//! (`shoin4::hardness`): the predicted score is only useful for
+//! cost-aware admission if it *ranks* modules the way real search cost
+//! does, and only trustworthy if it is a pure function of the module.
+//!
+//! * **Rank correlation** — over the ≥ 100-KB [`ontogen::hardness_mix`]
+//!   corpus, Spearman's ρ between the predicted score and the measured
+//!   tableau cost (`rule_applications + branch_depth_peak` of the
+//!   probe query, under the same default config the serving layer
+//!   uses) must clear 0.5. This is the machine-checked form of the
+//!   "calibrated against ontogen corpora" claim in the analyzer docs.
+//! * **Invariance laws** (randomized): the score is stable under axiom
+//!   reordering, and analyzing a module in situ gives exactly the
+//!   score of the module's axioms extracted into a KB of their own —
+//!   the property that makes the serving layer's structural-key score
+//!   cache sound.
+
+use ontogen::hardness_mix::{hardness_mix, HardnessMixParams, HardnessShape};
+use proptest::prelude::*;
+use shoin4::hardness::analyze_kb;
+use shoin4::{KnowledgeBase4, Reasoner4};
+use tableau::Config;
+
+/// Average-rank (ties-aware) Spearman ρ.
+fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    fn ranks(v: &[f64]) -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&a, &b| v[a].total_cmp(&v[b]));
+        let mut out = vec![0.0; v.len()];
+        let mut i = 0;
+        while i < idx.len() {
+            let mut j = i;
+            while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+                j += 1;
+            }
+            let rank = (i + j) as f64 / 2.0 + 1.0;
+            for &k in &idx[i..=j] {
+                out[k] = rank;
+            }
+            i = j + 1;
+        }
+        out
+    }
+    let (rx, ry) = (ranks(xs), ranks(ys));
+    let n = xs.len() as f64;
+    let mean = (n + 1.0) / 2.0;
+    let (mut num, mut dx, mut dy) = (0.0, 0.0, 0.0);
+    for (a, b) in rx.iter().zip(&ry) {
+        num += (a - mean) * (b - mean);
+        dx += (a - mean).powi(2);
+        dy += (b - mean).powi(2);
+    }
+    num / (dx.sqrt() * dy.sqrt())
+}
+
+#[test]
+fn predicted_score_rank_correlates_with_measured_search_cost() {
+    let corpus = hardness_mix(&HardnessMixParams::default());
+    assert!(
+        corpus.len() >= 100,
+        "the calibration corpus promises ≥ 100 KBs"
+    );
+    let mut predicted = Vec::with_capacity(corpus.len());
+    let mut measured = Vec::with_capacity(corpus.len());
+    for l in &corpus {
+        predicted.push(analyze_kb(&l.kb).max_score());
+        // Measured under the serving layer's default config (Horn fast
+        // path on): cheap shapes saturate with next to no tableau work,
+        // hard shapes pay for their branching/expansion — exactly the
+        // asymmetry the lanes bet on.
+        let r = Reasoner4::with_config(&l.kb, Config::default());
+        let (ind, goal) = &l.probe;
+        r.query(ind, goal).expect("probe within limits");
+        let stats = r.stats();
+        measured.push((stats.rule_applications + stats.branch_depth_peak) as f64);
+    }
+    let rho = spearman(&predicted, &measured);
+    assert!(
+        rho >= 0.5,
+        "predicted hardness no longer ranks measured cost: ρ = {rho:.3}"
+    );
+
+    // The prediction separates the planted shapes in the aggregate:
+    // every Horn chain must score below every ∃-tower and below every
+    // disjunctive KB of nontrivial size.
+    let max_horn = corpus
+        .iter()
+        .zip(&predicted)
+        .filter(|(l, _)| l.shape == HardnessShape::HornChain)
+        .map(|(_, &s)| s)
+        .fold(f64::MIN, f64::max);
+    for (l, &score) in corpus.iter().zip(&predicted) {
+        if l.shape.expect_residue() {
+            assert!(
+                score > max_horn,
+                "{}: hard shape scored {score:.1} ≤ best Horn {max_horn:.1}",
+                l.id
+            );
+        }
+    }
+}
+
+/// `splitmix64` — a tiny seeded generator for the Fisher–Yates shuffles
+/// below (no RNG dependency in this test crate).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn shuffled(kb: &KnowledgeBase4, seed: u64) -> KnowledgeBase4 {
+    let mut axioms = kb.axioms().to_vec();
+    let mut state = seed;
+    for i in (1..axioms.len()).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        axioms.swap(i, j);
+    }
+    KnowledgeBase4::from_axioms(axioms)
+}
+
+/// Per-module scores, order-independent.
+fn score_multiset(kb: &KnowledgeBase4) -> Vec<f64> {
+    let mut scores: Vec<f64> = analyze_kb(kb)
+        .modules
+        .iter()
+        .map(|m| m.report.score)
+        .collect();
+    scores.sort_by(f64::total_cmp);
+    scores
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Law 1: the analysis is a function of the axiom *set* — any
+    /// reordering yields the same per-module score multiset.
+    #[test]
+    fn scores_are_stable_under_axiom_reorder(pick in 0usize..102, seed in any::<u64>()) {
+        let corpus = hardness_mix(&HardnessMixParams::default());
+        let kb = &corpus[pick % corpus.len()].kb;
+        prop_assert_eq!(score_multiset(kb), score_multiset(&shuffled(kb, seed)));
+    }
+
+    /// Law 2: a module analyzed in situ scores exactly what its axioms
+    /// score extracted into a KB of their own — the soundness condition
+    /// for caching scores by structural key across tenants.
+    #[test]
+    fn in_situ_module_score_equals_extracted_score(picks in proptest::collection::vec(0usize..102, 2..4)) {
+        let corpus = hardness_mix(&HardnessMixParams::default());
+        // Concatenate several islands into one KB; each stays its own
+        // dataflow module (the generator namespaces them).
+        let mut axioms = Vec::new();
+        for &p in &picks {
+            axioms.extend(corpus[p % corpus.len()].kb.axioms().iter().cloned());
+        }
+        let combined = KnowledgeBase4::from_axioms(axioms);
+        let analysis = analyze_kb(&combined);
+        for m in &analysis.modules {
+            let alone = KnowledgeBase4::from_axioms(
+                m.axioms
+                    .iter()
+                    .map(|&i| combined.axioms()[i].clone())
+                    .collect::<Vec<_>>(),
+            );
+            let alone_analysis = analyze_kb(&alone);
+            prop_assert_eq!(alone_analysis.modules.len(), 1);
+            let re = &alone_analysis.modules[0].report;
+            prop_assert_eq!(re.cost, m.report.cost);
+            prop_assert_eq!(re.score, m.report.score);
+        }
+    }
+}

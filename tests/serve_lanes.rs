@@ -1,0 +1,138 @@
+//! Cost-aware admission lanes, checked differentially over the wire: a
+//! [`shoin4::serve::Server`] with lanes enabled must be answer-
+//! *invisible* — every verdict a client reads back must be bit-identical
+//! to the same request sequence against a single-queue server over the
+//! same KBs under the same [`Config`]. Lanes only change *where* a
+//! request queues (and optionally its budget — disabled here so the
+//! answers stay comparable), never *what* it answers.
+//!
+//! The corpus is [`ontogen::hardness_mix`]: Horn chains (cheap lane),
+//! disjunctive residue and `∃`-doubling towers (heavy lane), so the
+//! sweep drives both lanes for real — asserted on the admission
+//! counters at the end, not assumed.
+
+use jsonio::Value;
+use ontogen::hardness_mix::{hardness_mix, HardnessMixParams};
+use shoin4::serve::{LaneOptions, Registry, ServeOptions, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+use tableau::Config;
+
+/// A generous budget: every corpus KB completes well inside it, so no
+/// reply is time-dependent and the transcripts compare exactly.
+fn config() -> Config {
+    Config {
+        time_budget: Some(Duration::from_secs(20)),
+        ..Config::default()
+    }
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let writer = stream.try_clone().expect("clone");
+        Client {
+            writer,
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn ask(&mut self, line: &str) -> Value {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("reply");
+        Value::parse(&reply).unwrap_or_else(|e| panic!("bad JSON reply {reply:?}: {e}"))
+    }
+}
+
+/// Drive the full probe sequence against one server and return the
+/// transcript as `(probe, reply)` pairs.
+fn transcript(opts: ServeOptions) -> (Vec<(String, String)>, Arc<Registry>, u64, u64) {
+    let corpus = hardness_mix(&HardnessMixParams {
+        per_shape: 8,
+        ..HardnessMixParams::default()
+    });
+    let registry = Arc::new(Registry::new(config()));
+    for l in &corpus {
+        assert!(registry.register(&l.id, &l.kb));
+    }
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&registry), opts).expect("bind");
+    let mut client = Client::connect(server.local_addr());
+    let mut out = Vec::new();
+    for l in &corpus {
+        client.ask(&format!("tenant {}", l.id));
+        let (ind, goal) = &l.probe;
+        for probe in [
+            "check".to_string(),
+            format!("query {ind} {goal}"),
+            format!("entails {ind} : {goal}"),
+        ] {
+            let reply = client.ask(&probe);
+            assert!(
+                reply.get("error").is_none(),
+                "unexpected error on {probe} against {}: {reply}",
+                l.id
+            );
+            out.push((format!("{}: {probe}", l.id), reply.to_string()));
+        }
+    }
+    client.ask("quit");
+    let stats = server.stats();
+    let cheap = stats.cheap_admitted.load(Ordering::Relaxed);
+    let heavy = stats.heavy_admitted.load(Ordering::Relaxed);
+    server.shutdown();
+    (out, registry, cheap, heavy)
+}
+
+#[test]
+fn lanes_are_answer_invisible_across_the_hardness_corpus() {
+    let (baseline, _, base_cheap, base_heavy) = transcript(ServeOptions {
+        workers: 2,
+        queue_depth: 64,
+        lanes: None,
+    });
+    let (laned, registry, cheap, heavy) = transcript(ServeOptions {
+        workers: 2,
+        queue_depth: 64,
+        lanes: Some(LaneOptions {
+            // No heavy-lane budget: the point here is routing parity,
+            // and a budget would make heavy replies time-dependent.
+            heavy_budget: None,
+            ..LaneOptions::default()
+        }),
+    });
+
+    assert_eq!(baseline.len(), laned.len());
+    for ((probe_a, reply_a), (probe_b, reply_b)) in baseline.iter().zip(&laned) {
+        assert_eq!(probe_a, probe_b);
+        assert_eq!(reply_a, reply_b, "lanes changed the answer to {probe_a}");
+    }
+
+    // The sweep must have exercised both lanes, or the parity claim is
+    // vacuous: the single-queue server admits everything cheap, the
+    // laned server must have routed the disjunctive/∃-deep tenants
+    // heavy and the Horn chains cheap.
+    assert_eq!(base_heavy, 0, "lanes off must not count heavy admissions");
+    assert!(base_cheap > 0);
+    assert!(heavy >= 1, "no probe routed to the heavy lane");
+    assert!(cheap >= 1, "no probe stayed on the cheap lane");
+
+    // Routing consulted the shared score cache: repeated probes against
+    // the same module must not re-run the analyzer every time.
+    let shared = registry.shared().stats();
+    assert!(
+        shared.score_hits > 0,
+        "per-request scoring never hit the shared score cache: {shared:?}"
+    );
+}

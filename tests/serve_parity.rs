@@ -243,6 +243,7 @@ fn server_matches_direct_reasoner_across_generated_fleet() {
         ServeOptions {
             workers: 4,
             queue_depth: 256,
+            lanes: None,
         },
     )
     .expect("bind");
@@ -390,6 +391,7 @@ fn saturated_server_sheds_and_recovers() {
         ServeOptions {
             workers: 1,
             queue_depth: 1,
+            lanes: None,
         },
     )
     .expect("bind");
